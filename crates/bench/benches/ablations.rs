@@ -1,0 +1,152 @@
+//! Ablations of BOHM's design decisions (beyond the paper's figures).
+//!
+//! 1. **Read-set annotation on/off** (§3.2.3): direct version references
+//!    vs. chain traversal at execution time.
+//! 2. **Batch size sweep** (§3.2.4): how much barrier amortization buys.
+//! 3. **Garbage collection on/off** (§3.3.2): Condition-3 GC cost/benefit
+//!    under hot-key version churn.
+//! 4. **CC/exec thread split** at a fixed total budget.
+
+use bohm::{Bohm, BohmConfig, CatalogSpec};
+use bohm_bench::driver::{run_bohm, BohmDriverConfig};
+use bohm_bench::params::Params;
+use bohm_bench::report::{print_figure, Series};
+use bohm_workloads::ycsb::{YcsbConfig, YcsbGen, YcsbKind};
+use bohm_workloads::TxnGen;
+
+fn build(cfg: &YcsbConfig, bohm_cfg: BohmConfig) -> Bohm {
+    let records = cfg.records;
+    let record_size = cfg.record_size;
+    Bohm::start(
+        bohm_cfg,
+        CatalogSpec::new().table(records, record_size, |r| r),
+    )
+}
+
+fn main() {
+    let p = Params::from_env();
+    let (cc, exec) = bohm_bench::engines::bohm_split(p.max_threads.max(4));
+    let ycsb = YcsbConfig {
+        records: p.ycsb_records,
+        record_size: p.ycsb_record_size,
+        theta: 0.9, // hot keys: long chains, much GC-able garbage
+        ..Default::default()
+    };
+
+    // 1. Read-set annotation ablation (2RMW-8R, where reads dominate).
+    {
+        let mut series = Vec::new();
+        for (label, annotate) in [("annotated", true), ("traversal", false)] {
+            let mut cfg = BohmConfig::with_threads(cc, exec);
+            cfg.annotate_reads = annotate;
+            cfg.index_capacity = ycsb.records as usize;
+            let engine = build(&ycsb, cfg);
+            let mut gen = YcsbGen::new(&ycsb, YcsbKind::Rmw2Read8, 7000);
+            let st = run_bohm(&engine, BohmDriverConfig::default(), p.secs, &mut gen);
+            engine.shutdown();
+            eprintln!("annotation={label}: {:.0} txns/s", st.throughput());
+            series.push(Series {
+                label: label.into(),
+                points: vec![(0.0, st.throughput())],
+            });
+        }
+        print_figure(
+            "Ablation 1: read-set annotation (YCSB 2RMW-8R, theta=0.9)",
+            "-",
+            &series,
+        );
+    }
+
+    // 2. Batch size sweep (10RMW).
+    {
+        let sizes: Vec<usize> = if p.full {
+            vec![10, 100, 500, 1_000, 4_000, 10_000]
+        } else {
+            vec![10, 100, 1_000, 4_000]
+        };
+        let mut points = Vec::new();
+        for &bs in &sizes {
+            let mut cfg = BohmConfig::with_threads(cc, exec);
+            cfg.index_capacity = ycsb.records as usize;
+            let engine = build(&ycsb, cfg);
+            let mut gen = YcsbGen::new(&ycsb, YcsbKind::Rmw10, 7100);
+            let st = run_bohm(
+                &engine,
+                BohmDriverConfig {
+                    batch_size: bs,
+                    inflight: 8,
+                },
+                p.secs,
+                &mut gen,
+            );
+            engine.shutdown();
+            eprintln!("batch={bs}: {:.0} txns/s", st.throughput());
+            points.push((bs as f64, st.throughput()));
+        }
+        print_figure(
+            "Ablation 2: batch size (YCSB 10RMW, theta=0.9)",
+            "batch_size",
+            &[Series {
+                label: "Bohm".into(),
+                points,
+            }],
+        );
+    }
+
+    // 3. GC on/off under hot-key churn.
+    {
+        let mut series = Vec::new();
+        for (label, gc) in [("gc_on", true), ("gc_off", false)] {
+            let mut cfg = BohmConfig::with_threads(cc, exec);
+            cfg.enable_gc = gc;
+            cfg.index_capacity = ycsb.records as usize;
+            let engine = build(&ycsb, cfg);
+            let mut gen = YcsbGen::new(&ycsb, YcsbKind::Rmw10, 7200);
+            let st = run_bohm(&engine, BohmDriverConfig::default(), p.secs, &mut gen);
+            let retired = engine.gc_retired();
+            engine.shutdown();
+            eprintln!(
+                "{label}: {:.0} txns/s ({} versions retired)",
+                st.throughput(),
+                retired
+            );
+            series.push(Series {
+                label: label.into(),
+                points: vec![(0.0, st.throughput())],
+            });
+        }
+        print_figure(
+            "Ablation 3: Condition-3 GC (YCSB 10RMW, theta=0.9)",
+            "-",
+            &series,
+        );
+    }
+
+    // 4. CC/exec split at a fixed total budget.
+    {
+        let total = p.max_threads.max(4);
+        let mut points = Vec::new();
+        for cc_n in 1..total {
+            if p.full || cc_n % 2 == 1 || cc_n == total - 1 {
+                let mut cfg = BohmConfig::with_threads(cc_n, total - cc_n);
+                cfg.index_capacity = ycsb.records as usize;
+                let engine = build(&ycsb, cfg);
+                let mut gen = YcsbGen::new(&ycsb, YcsbKind::Rmw10, 7300);
+                let st = run_bohm(&engine, BohmDriverConfig::default(), p.secs, &mut gen);
+                engine.shutdown();
+                eprintln!("split cc={cc_n}/exec={}: {:.0} txns/s", total - cc_n, st.throughput());
+                points.push((cc_n as f64, st.throughput()));
+            }
+        }
+        print_figure(
+            &format!("Ablation 4: CC/exec split at {total} total threads (YCSB 10RMW)"),
+            "cc_threads",
+            &[Series {
+                label: "Bohm".into(),
+                points,
+            }],
+        );
+    }
+    // Silence unused-import lint when sweeps shrink in quick mode.
+    let _: Option<Box<dyn TxnGen>> = None;
+}

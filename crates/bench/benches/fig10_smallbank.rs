@@ -1,0 +1,57 @@
+//! Figure 10: SmallBank throughput vs. thread count, high contention
+//! (50 customers, top) and low contention (100,000 customers, bottom) —
+//! §4.3.
+//!
+//! Expected shape: 2PL best at high contention but with a smaller margin
+//! over BOHM than in Fig. 5 (8-byte records make version creation cheap,
+//! and 20% of transactions are read-only Balance); Hekaton and SI drop
+//! under contention from aborts; at low contention 2PL/OCC/BOHM are close
+//! while Hekaton/SI are capped by the global timestamp counter (paper:
+//! >3× difference at 40 threads).
+
+use bohm_bench::engines::EngineKind;
+use bohm_bench::figure::measure;
+use bohm_bench::params::Params;
+use bohm_bench::report::{print_figure, Series};
+use bohm_workloads::smallbank::{SmallBankConfig, SmallBankGen};
+
+fn main() {
+    let p = Params::from_env();
+    let customer_counts: [(&str, u64); 2] = [
+        ("High Contention (50 customers)", 50),
+        (
+            "Low Contention (100k customers)",
+            if p.full { 100_000 } else { 20_000 },
+        ),
+    ];
+    for (name, customers) in customer_counts {
+        let cfg = SmallBankConfig {
+            customers,
+            think_us: 50,
+            initial_balance: 10_000,
+        };
+        let spec = cfg.spec();
+        let mut series = Vec::new();
+        for kind in EngineKind::ALL {
+            let mut points = Vec::new();
+            for &t in &p.thread_sweep {
+                let cfg2 = cfg.clone();
+                let st = measure(kind, &spec, t, p.secs, &move |i| {
+                    Box::new(SmallBankGen::new(cfg2.clone(), 6000 + i as u64))
+                });
+                points.push((t as f64, st.throughput()));
+                eprintln!(
+                    "{} customers={customers} t={t}: {:.0} txns/s (abort rate {:.1}%)",
+                    kind.name(),
+                    st.throughput(),
+                    st.abort_rate() * 100.0
+                );
+            }
+            series.push(Series {
+                label: kind.name().into(),
+                points,
+            });
+        }
+        print_figure(&format!("Figure 10 ({name}): SmallBank"), "threads", &series);
+    }
+}

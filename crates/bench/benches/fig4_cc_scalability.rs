@@ -1,0 +1,61 @@
+//! Figure 4: interaction between concurrency control and transaction
+//! execution modules (§4.1).
+//!
+//! Workload: 10 uniform RMWs per transaction on 1M 8-byte records — "this
+//! stresses the concurrency control layer as much as possible". The x-axis
+//! sweeps execution threads; one series per CC-thread count. Expected
+//! shape: throughput rises with execution threads until it matches the CC
+//! layer's capacity, then plateaus; more CC threads raise the plateau
+//! (intra-transaction parallelism + smaller per-thread cache footprint).
+
+use bohm_bench::driver::{run_bohm, BohmDriverConfig};
+use bohm_bench::engines::build_bohm;
+use bohm_bench::params::Params;
+use bohm_bench::report::{print_figure, Series};
+use bohm_workloads::micro::{MicroConfig, MicroGen};
+
+fn main() {
+    let p = Params::from_env();
+    let cfg = MicroConfig {
+        records: if p.full { 1_000_000 } else { 200_000 },
+        rmws_per_txn: 10,
+    };
+    let spec = cfg.spec();
+    let cc_counts: Vec<usize> = if p.full {
+        vec![2, 4, 6, 8]
+    } else {
+        vec![1, 2, 4]
+    };
+    let exec_sweep: Vec<usize> = p
+        .thread_sweep
+        .iter()
+        .copied()
+        .filter(|&t| t + cc_counts[cc_counts.len() - 1] <= p.max_threads + 4)
+        .collect();
+
+    let mut series = Vec::new();
+    for &cc in &cc_counts {
+        let mut points = Vec::new();
+        for &exec in &exec_sweep {
+            let engine = build_bohm(&spec, cc, exec);
+            let mut gen = MicroGen::new(cfg.clone(), 42);
+            let st = run_bohm(&engine, BohmDriverConfig::default(), p.secs, &mut gen);
+            engine.shutdown();
+            points.push((exec as f64, st.throughput()));
+            eprintln!(
+                "cc={cc} exec={exec}: {:.0} txns/s ({:.1}M accesses/s)",
+                st.throughput(),
+                st.access_rate() / 1e6
+            );
+        }
+        series.push(Series {
+            label: format!("CC={cc}"),
+            points,
+        });
+    }
+    print_figure(
+        "Figure 4: CC/execution module interaction (10RMW uniform)",
+        "exec_threads",
+        &series,
+    );
+}

@@ -1,0 +1,52 @@
+//! Figure 5: YCSB 10RMW throughput vs. thread count, high contention
+//! (θ = 0.9, top) and low contention (θ = 0, bottom) — §4.2.1.
+//!
+//! Expected shape: 2PL wins (multi-versioning pays 1,000-byte version
+//! creation inside the contention period without any concurrency benefit
+//! on a 100% RMW workload); BOHM beats Hekaton/SI clearly at high
+//! contention (no aborts); Hekaton/SI degrade with threads under θ = 0.9.
+
+use bohm_bench::engines::EngineKind;
+use bohm_bench::figure::measure;
+use bohm_bench::params::Params;
+use bohm_bench::report::{print_figure, Series};
+use bohm_workloads::ycsb::{YcsbConfig, YcsbGen, YcsbKind};
+
+fn main() {
+    let p = Params::from_env();
+    for (name, theta) in [("High Contention (theta=0.9)", 0.9), ("Low Contention (theta=0.0)", 0.0)] {
+        let cfg = YcsbConfig {
+            records: p.ycsb_records,
+            record_size: p.ycsb_record_size,
+            theta,
+            ..Default::default()
+        };
+        let spec = cfg.spec();
+        let mut series = Vec::new();
+        for kind in EngineKind::ALL {
+            let mut points = Vec::new();
+            for &t in &p.thread_sweep {
+                let cfg2 = cfg.clone();
+                let st = measure(kind, &spec, t, p.secs, &move |i| {
+                    Box::new(YcsbGen::new(&cfg2, YcsbKind::Rmw10, 1000 + i as u64))
+                });
+                points.push((t as f64, st.throughput()));
+                eprintln!(
+                    "{} θ={theta} t={t}: {:.0} txns/s (abort rate {:.1}%)",
+                    kind.name(),
+                    st.throughput(),
+                    st.abort_rate() * 100.0
+                );
+            }
+            series.push(Series {
+                label: kind.name().into(),
+                points,
+            });
+        }
+        print_figure(
+            &format!("Figure 5 ({name}): YCSB 10RMW"),
+            "threads",
+            &series,
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 6: YCSB 2RMW-8R throughput vs. thread count, θ = 0.9 (top) and
+//! θ = 0 (bottom) — §4.2.2.
+//!
+//! Expected shape: at high contention the multi-versioned systems beat the
+//! single-versioned ones, and BOHM beats even SI (SI wastes work on
+//! write-write aborts; BOHM pre-orders writes and never aborts). At low
+//! contention OCC wins narrowly, BOHM is close, and Hekaton/SI stop
+//! scaling beyond mid thread counts — the global timestamp counter.
+
+use bohm_bench::engines::EngineKind;
+use bohm_bench::figure::measure;
+use bohm_bench::params::Params;
+use bohm_bench::report::{print_figure, Series};
+use bohm_workloads::ycsb::{YcsbConfig, YcsbGen, YcsbKind};
+
+fn main() {
+    let p = Params::from_env();
+    for (name, theta) in [("High Contention (theta=0.9)", 0.9), ("Low Contention (theta=0.0)", 0.0)] {
+        let cfg = YcsbConfig {
+            records: p.ycsb_records,
+            record_size: p.ycsb_record_size,
+            theta,
+            ..Default::default()
+        };
+        let spec = cfg.spec();
+        let mut series = Vec::new();
+        for kind in EngineKind::ALL {
+            let mut points = Vec::new();
+            for &t in &p.thread_sweep {
+                let cfg2 = cfg.clone();
+                let st = measure(kind, &spec, t, p.secs, &move |i| {
+                    Box::new(YcsbGen::new(&cfg2, YcsbKind::Rmw2Read8, 2000 + i as u64))
+                });
+                points.push((t as f64, st.throughput()));
+                eprintln!(
+                    "{} θ={theta} t={t}: {:.0} txns/s (abort rate {:.1}%)",
+                    kind.name(),
+                    st.throughput(),
+                    st.abort_rate() * 100.0
+                );
+            }
+            series.push(Series {
+                label: kind.name().into(),
+                points,
+            });
+        }
+        print_figure(
+            &format!("Figure 6 ({name}): YCSB 2RMW-8R"),
+            "threads",
+            &series,
+        );
+    }
+}

@@ -1,0 +1,51 @@
+//! Figure 7: YCSB 2RMW-8R throughput at maximum thread count while
+//! sweeping the zipfian parameter θ ∈ [0, 0.95] — §4.2.2.
+//!
+//! Expected shape: Hekaton and SI are flat (and low) across low/medium θ —
+//! the global timestamp counter, not data contention, is their limit —
+//! until high θ introduces an even lower abort-driven bottleneck. OCC
+//! leads at low θ and collapses as θ grows; BOHM degrades gracefully and
+//! leads at high θ.
+
+use bohm_bench::engines::EngineKind;
+use bohm_bench::figure::measure;
+use bohm_bench::params::Params;
+use bohm_bench::report::{print_figure, Series};
+use bohm_workloads::ycsb::{YcsbConfig, YcsbGen, YcsbKind};
+
+fn main() {
+    let p = Params::from_env();
+    let thetas: Vec<f64> = if p.full {
+        vec![0.0, 0.2, 0.4, 0.6, 0.8, 0.9, 0.95, 0.99]
+    } else {
+        vec![0.0, 0.5, 0.9]
+    };
+    let threads = p.max_threads;
+    let mut series = Vec::new();
+    for kind in EngineKind::ALL {
+        let mut points = Vec::new();
+        for &theta in &thetas {
+            let cfg = YcsbConfig {
+                records: p.ycsb_records,
+                record_size: p.ycsb_record_size,
+                theta,
+                ..Default::default()
+            };
+            let spec = cfg.spec();
+            let st = measure(kind, &spec, threads, p.secs, &move |i| {
+                Box::new(YcsbGen::new(&cfg, YcsbKind::Rmw2Read8, 3000 + i as u64))
+            });
+            points.push((theta, st.throughput()));
+            eprintln!("{} θ={theta}: {:.0} txns/s", kind.name(), st.throughput());
+        }
+        series.push(Series {
+            label: kind.name().into(),
+            points,
+        });
+    }
+    print_figure(
+        &format!("Figure 7: YCSB 2RMW-8R vs contention ({threads} threads)"),
+        "theta",
+        &series,
+    );
+}

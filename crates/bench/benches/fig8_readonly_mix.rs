@@ -1,0 +1,64 @@
+//! Figure 8: YCSB throughput with long-running read-only transactions,
+//! sweeping the read-only fraction (log-log in the paper) — §4.2.3.
+//!
+//! Updates are the low-contention 10RMW transactions; read-only
+//! transactions read 10,000 uniformly-drawn records. Expected shape: with
+//! few read-only transactions (1%), multi-versioned systems beat
+//! single-versioned ones by ~an order of magnitude (readers don't block
+//! writers), and BOHM beats Hekaton/SI thanks to the read-set optimization
+//! (direct version references, no chain traversal). At 100% read-only all
+//! systems converge.
+
+use bohm_bench::engines::EngineKind;
+use bohm_bench::figure::measure;
+use bohm_bench::params::Params;
+use bohm_bench::report::{print_figure, Series};
+use bohm_workloads::ycsb::{YcsbConfig, YcsbGen, YcsbKind};
+
+fn main() {
+    let p = Params::from_env();
+    let fractions: Vec<f64> = if p.full {
+        vec![0.01, 0.05, 0.10, 0.25, 0.50, 1.0]
+    } else {
+        vec![0.01, 0.25, 1.0]
+    };
+    let threads = p.max_threads;
+    let mut series = Vec::new();
+    for kind in EngineKind::ALL {
+        let mut points = Vec::new();
+        for &frac in &fractions {
+            let cfg = YcsbConfig {
+                records: p.ycsb_records,
+                record_size: p.ycsb_record_size,
+                theta: 0.0,
+                read_only_len: p.read_only_len,
+                read_only_fraction: frac,
+            };
+            let spec = cfg.spec();
+            let kind_sel = if frac >= 1.0 {
+                YcsbKind::ReadOnly
+            } else {
+                YcsbKind::Rmw10
+            };
+            let st = measure(kind, &spec, threads, p.secs, &move |i| {
+                Box::new(YcsbGen::new(&cfg, kind_sel, 4000 + i as u64))
+            });
+            points.push((frac * 100.0, st.throughput()));
+            eprintln!(
+                "{} ro={:.0}%: {:.0} txns/s",
+                kind.name(),
+                frac * 100.0,
+                st.throughput()
+            );
+        }
+        series.push(Series {
+            label: kind.name().into(),
+            points,
+        });
+    }
+    print_figure(
+        &format!("Figure 8: long read-only transaction mix ({threads} threads)"),
+        "read_only_%",
+        &series,
+    );
+}

@@ -1,0 +1,56 @@
+//! Figure 9 (table): YCSB throughput with 1% long read-only transactions,
+//! absolute and as a percentage of BOHM's throughput — §4.2.3.
+//!
+//! Paper's row order and expectation: BOHM 100%, SI ≈ 64%, Hekaton ≈ 61%,
+//! 2PL ≈ 16%, OCC ≈ 9%.
+
+use bohm_bench::engines::EngineKind;
+use bohm_bench::figure::measure;
+use bohm_bench::params::Params;
+use bohm_bench::report::fmt_tput;
+use bohm_workloads::ycsb::{YcsbConfig, YcsbGen, YcsbKind};
+
+fn main() {
+    let p = Params::from_env();
+    let threads = p.max_threads;
+    let cfg = YcsbConfig {
+        records: p.ycsb_records,
+        record_size: p.ycsb_record_size,
+        theta: 0.0,
+        read_only_len: p.read_only_len,
+        read_only_fraction: 0.01,
+    };
+    let spec = cfg.spec();
+    let order = [
+        EngineKind::Bohm,
+        EngineKind::Si,
+        EngineKind::Hekaton,
+        EngineKind::Tpl,
+        EngineKind::Occ,
+    ];
+    let mut results = Vec::new();
+    for kind in order {
+        let cfg2 = cfg.clone();
+        let st = measure(kind, &spec, threads, p.secs, &move |i| {
+            Box::new(YcsbGen::new(&cfg2, YcsbKind::Rmw10, 5000 + i as u64))
+        });
+        eprintln!("{}: {:.0} txns/s", kind.name(), st.throughput());
+        results.push((kind, st.throughput()));
+    }
+    let bohm = results
+        .iter()
+        .find(|(k, _)| *k == EngineKind::Bohm)
+        .map(|(_, v)| *v)
+        .unwrap_or(1.0);
+    println!();
+    println!("=== Figure 9: YCSB with 1% long read-only transactions ({threads} threads) ===");
+    println!("{:>10} {:>18} {:>22}", "System", "Throughput (txns/s)", "% BOHM's Throughput");
+    for (kind, tput) in &results {
+        println!(
+            "{:>10} {:>18} {:>21.2}%",
+            kind.name(),
+            fmt_tput(*tput),
+            tput / bohm * 100.0
+        );
+    }
+}

@@ -1,0 +1,48 @@
+//! One-call measurement of any engine on any workload.
+
+use crate::driver::{run_bohm, run_interactive, BohmDriverConfig};
+use crate::engines::{self, EngineKind};
+use bohm_common::stats::RunStats;
+use bohm_workloads::{DatabaseSpec, TxnGen};
+use std::time::Duration;
+
+/// Build engine `kind` over `spec`, drive it with `threads` total threads
+/// for `secs`, and tear it down. `mk_gen(i)` seeds worker `i`'s stream.
+///
+/// For BOHM, `threads` is split between CC and execution threads with
+/// [`engines::bohm_split`] and the workload is submitted through the
+/// pipelined batch driver (its generator is `mk_gen(0)`).
+pub fn measure(
+    kind: EngineKind,
+    spec: &DatabaseSpec,
+    threads: usize,
+    secs: Duration,
+    mk_gen: &dyn Fn(usize) -> Box<dyn TxnGen>,
+) -> RunStats {
+    match kind {
+        EngineKind::Bohm => {
+            let (cc, exec) = engines::bohm_split(threads);
+            let engine = engines::build_bohm(spec, cc, exec);
+            let mut gen = mk_gen(0);
+            let st = run_bohm(&engine, BohmDriverConfig::default(), secs, gen.as_mut());
+            engine.shutdown();
+            st
+        }
+        EngineKind::Tpl => {
+            let engine = engines::build_tpl(spec);
+            run_interactive(&engine, threads, secs, |i| mk_gen(i))
+        }
+        EngineKind::Occ => {
+            let engine = engines::build_occ(spec);
+            run_interactive(&engine, threads, secs, |i| mk_gen(i))
+        }
+        EngineKind::Hekaton => {
+            let engine = engines::build_hekaton(spec);
+            run_interactive(&engine, threads, secs, |i| mk_gen(i))
+        }
+        EngineKind::Si => {
+            let engine = engines::build_si(spec);
+            run_interactive(&engine, threads, secs, |i| mk_gen(i))
+        }
+    }
+}

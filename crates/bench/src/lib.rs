@@ -1,0 +1,31 @@
+//! Benchmark harness regenerating the paper's evaluation (§4).
+//!
+//! Each figure/table of the paper has a bench target under `benches/`
+//! (`harness = false`); they print the same rows/series the paper reports.
+//! This library hosts the shared machinery:
+//!
+//! * [`engines`] — build every engine over one [`DatabaseSpec`] so all five
+//!   systems run identical preloaded databases,
+//! * [`driver`] — fixed-duration throughput drivers: worker-per-thread for
+//!   the interactive baselines, pipelined batch submission for BOHM,
+//! * [`report`] — paper-style table/CSV printing,
+//! * [`params`] — quick vs. full sweep scaling (`BOHM_BENCH_FULL=1`).
+
+/// The benchmark harness (and every bench target that links this library)
+/// uses mimalloc: BOHM's concurrency-control phase allocates one version
+/// object per write and retires them through epoch-deferred frees on other
+/// threads — a cross-thread churn pattern where glibc malloc measurably
+/// bottlenecks the CC threads (justification recorded in DESIGN.md).
+#[global_allocator]
+static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
+
+pub mod driver;
+pub mod engines;
+pub mod figure;
+pub mod params;
+pub mod report;
+
+pub use driver::{run_bohm, run_interactive, BohmDriverConfig};
+pub use engines::EngineKind;
+pub use figure::measure;
+pub use params::Params;

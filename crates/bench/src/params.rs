@@ -1,0 +1,80 @@
+//! Quick vs. full benchmark scaling.
+//!
+//! Default runs keep every figure to seconds so `cargo bench --workspace`
+//! finishes quickly; `BOHM_BENCH_FULL=1` switches to paper-scale databases
+//! and longer measurement windows (used for EXPERIMENTS.md numbers).
+
+use std::time::Duration;
+
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Paper-scale run?
+    pub full: bool,
+    /// YCSB / microbenchmark table size (paper: 1,000,000).
+    pub ycsb_records: u64,
+    /// YCSB record payload bytes (paper: 1,000).
+    pub ycsb_record_size: usize,
+    /// Records per long read-only transaction (paper: 10,000).
+    pub read_only_len: usize,
+    /// Measurement window per data point.
+    pub secs: Duration,
+    /// Thread counts swept on the x-axis (paper: 4..44 on 40 cores; scaled
+    /// to this machine's cores).
+    pub thread_sweep: Vec<usize>,
+    /// Max worker threads for single-point experiments (paper: 40).
+    pub max_threads: usize,
+}
+
+impl Params {
+    pub fn from_env() -> Self {
+        let full = std::env::var("BOHM_BENCH_FULL").map(|v| v != "0").unwrap_or(false);
+        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+        let max_threads = cores.min(if full { 64 } else { 16 });
+        let thread_sweep = if full {
+            let mut v = vec![2, 4];
+            let mut t = 8;
+            while t <= max_threads {
+                v.push(t);
+                t += 4;
+            }
+            v
+        } else {
+            [2, 4, 8, 16]
+                .into_iter()
+                .filter(|&t| t <= max_threads)
+                .collect()
+        };
+        Self {
+            full,
+            ycsb_records: if full { 1_000_000 } else { 200_000 },
+            ycsb_record_size: 1_000,
+            // The read-only transaction *length* is the crux of Figs. 8/9
+            // (reader lock-hold times / wasted validation); keep the paper's
+            // 10,000 reads even in quick mode.
+            read_only_len: 10_000,
+            secs: Duration::from_millis(if full { 3_000 } else { 600 }),
+            thread_sweep,
+            max_threads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_params_are_bounded() {
+        // (Does not read the env var to stay hermetic.)
+        let p = Params {
+            full: false,
+            ycsb_records: 200_000,
+            ycsb_record_size: 1000,
+            read_only_len: 2000,
+            secs: Duration::from_millis(600),
+            thread_sweep: vec![2, 4, 8],
+            max_threads: 8,
+        };
+        assert!(p.thread_sweep.iter().all(|&t| t <= p.max_threads));
+    }
+}

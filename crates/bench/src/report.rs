@@ -1,0 +1,87 @@
+//! Paper-style result tables.
+
+/// A result series: one engine line of a figure.
+pub struct Series {
+    pub label: String,
+    /// `(x, throughput txns/sec)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Print a figure's series as an aligned table plus machine-readable CSV.
+pub fn print_figure(title: &str, x_label: &str, series: &[Series]) {
+    println!();
+    println!("=== {title} ===");
+    // Aligned table.
+    print!("{:>12}", x_label);
+    for s in series {
+        print!("{:>14}", s.label);
+    }
+    println!();
+    let xs: Vec<f64> = series
+        .first()
+        .map(|s| s.points.iter().map(|p| p.0).collect())
+        .unwrap_or_default();
+    for (i, x) in xs.iter().enumerate() {
+        print!("{x:>12.2}");
+        for s in series {
+            match s.points.get(i) {
+                Some(&(_, y)) => print!("{:>14}", fmt_tput(y)),
+                None => print!("{:>14}", "-"),
+            }
+        }
+        println!();
+    }
+    // CSV block (for plotting / EXPERIMENTS.md extraction).
+    println!("--- csv: {title} ---");
+    print!("{x_label}");
+    for s in series {
+        print!(",{}", s.label);
+    }
+    println!();
+    for (i, x) in xs.iter().enumerate() {
+        print!("{x}");
+        for s in series {
+            match s.points.get(i) {
+                Some(&(_, y)) => print!(",{y:.0}"),
+                None => print!(","),
+            }
+        }
+        println!();
+    }
+    println!("--- end csv ---");
+}
+
+/// Human throughput formatting (matches the paper's "M txns/sec" axes).
+pub fn fmt_tput(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tput_formatting() {
+        assert_eq!(fmt_tput(1_500_000.0), "1.50M");
+        assert_eq!(fmt_tput(12_345.0), "12.3k");
+        assert_eq!(fmt_tput(42.0), "42");
+    }
+
+    #[test]
+    fn print_figure_smoke() {
+        print_figure(
+            "Test",
+            "threads",
+            &[Series {
+                label: "X".into(),
+                points: vec![(1.0, 10.0), (2.0, 20.0)],
+            }],
+        );
+    }
+}

@@ -1,0 +1,107 @@
+//! The engine-agnostic data access interface.
+//!
+//! Stored procedures run against an [`Access`] implementation supplied by
+//! whichever engine is executing the transaction. Reads and writes are
+//! addressed **positionally** — "the i-th entry of my declared read set /
+//! write set" — because every engine already holds the transaction's declared
+//! sets and several (BOHM in particular) pre-resolve each position to a
+//! version pointer during the concurrency-control phase (paper §3.2.3's
+//! read-set optimization). Positional addressing makes that resolution free
+//! at execution time.
+
+/// Why a transaction attempt did not commit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum AbortReason {
+    /// Engine-induced: concurrency-control conflict (validation failure,
+    /// write-write conflict, cascaded abort of a commit dependency, …).
+    /// Optimistic engines retry these (paper §4: "all our optimistic
+    /// baselines are configured to retry transactions in the event of an
+    /// abort induced by concurrency control").
+    Conflict,
+    /// Logic abort requested by the procedure itself (e.g. SmallBank
+    /// overdraft). Never retried; counts as a completed decision.
+    User,
+    /// BOHM-internal: the version this read resolved to has not been
+    /// produced yet; the executor must first evaluate the producing
+    /// transaction (paper §3.3.1 "read dependencies"). Carries the
+    /// log-timestamp of the producing transaction.
+    NotReady(u64),
+}
+
+impl AbortReason {
+    /// True for aborts that the harness should retry (engine conflicts).
+    #[inline]
+    pub fn is_retryable(self) -> bool {
+        matches!(self, AbortReason::Conflict)
+    }
+}
+
+/// Positional record access for one executing transaction.
+///
+/// `idx` is an index into the transaction's declared read set (for
+/// [`read`](Access::read)) or write set (for [`write`](Access::write)).
+/// Implementations panic on out-of-range indices — a procedure accessing a
+/// record it did not declare is a programming error that would silently
+/// break every engine's correctness argument.
+pub trait Access {
+    /// Read the current (engine-visible) value of read-set entry `idx` and
+    /// hand it to `out`. The callback style lets engines expose borrowed
+    /// storage without copying.
+    fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason>;
+
+    /// Write `data` as the new value of write-set entry `idx`. `data` must
+    /// be exactly the record's size (engines enforce this).
+    fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason>;
+
+    /// Size in bytes of the record behind write-set entry `idx` (fixed per
+    /// table). Lets procedures construct full-size payloads for blind
+    /// writes without reading the record first.
+    fn write_len(&mut self, idx: usize) -> usize;
+
+    /// Convenience: read the little-endian `u64` prefix of read-set entry
+    /// `idx` (every paper workload stores its semantic value there).
+    fn read_u64(&mut self, idx: usize) -> Result<u64, AbortReason> {
+        let mut v = 0u64;
+        self.read(idx, &mut |b| v = crate::value::get_u64(b, 0))?;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A trivial in-memory Access used to test default methods.
+    struct VecAccess {
+        rows: Vec<Vec<u8>>,
+    }
+
+    impl Access for VecAccess {
+        fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
+            out(&self.rows[idx]);
+            Ok(())
+        }
+        fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason> {
+            self.rows[idx] = data.to_vec();
+            Ok(())
+        }
+        fn write_len(&mut self, idx: usize) -> usize {
+            self.rows[idx].len()
+        }
+    }
+
+    #[test]
+    fn read_u64_default_reads_prefix() {
+        let mut a = VecAccess {
+            rows: vec![crate::value::of_u64(99, 16).to_vec()],
+        };
+        assert_eq!(a.read_u64(0).unwrap(), 99);
+    }
+
+    #[test]
+    fn retryability_classification() {
+        assert!(AbortReason::Conflict.is_retryable());
+        assert!(!AbortReason::User.is_retryable());
+        assert!(!AbortReason::NotReady(3).is_retryable());
+    }
+}

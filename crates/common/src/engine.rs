@@ -1,0 +1,44 @@
+//! The interactive-engine interface shared by the baselines.
+//!
+//! The paper's baselines (Hekaton, SI, OCC, 2PL) follow the classic model:
+//! a pool of worker threads, each running whole transactions one at a time
+//! against the shared database, retrying on concurrency-control aborts
+//! (§4: "all our optimistic baselines are configured to retry transactions
+//! in the event of an abort induced by concurrency control"). This trait
+//! captures that model so the benchmark harness can drive every baseline
+//! with identical code. BOHM itself uses a different (pipelined, batched)
+//! submission model and is driven separately.
+
+use crate::txn::Txn;
+
+/// Outcome of running one transaction to a final decision.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Whether the transaction committed (false ⇒ logic/user abort).
+    pub committed: bool,
+    /// Procedure fingerprint (digest of values read); 0 on user abort.
+    pub fingerprint: u64,
+    /// Number of concurrency-control aborts suffered before the decision
+    /// (each one was retried internally).
+    pub cc_retries: u64,
+}
+
+/// An engine driven by per-thread workers.
+pub trait Engine: Send + Sync + 'static {
+    /// Per-worker scratch state (write buffers, read sets, RNG-free).
+    type Worker: Send;
+
+    /// Engine display name (used in benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// Create state for one worker thread.
+    fn make_worker(&self) -> Self::Worker;
+
+    /// Run `txn` to a final decision, retrying concurrency-control aborts
+    /// internally.
+    fn execute(&self, txn: &Txn, w: &mut Self::Worker) -> ExecOutcome;
+
+    /// Read the committed `u64` prefix of a record while the engine is
+    /// quiescent (verification hooks for tests).
+    fn read_u64(&self, rid: crate::RecordId) -> Option<u64>;
+}

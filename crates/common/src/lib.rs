@@ -1,0 +1,33 @@
+//! Shared substrate for the BOHM reproduction workspace.
+//!
+//! This crate defines everything the concurrency-control engines agree on:
+//!
+//! * the record addressing model ([`RecordId`], [`TableId`], [`types::Timestamp`]),
+//! * the transaction model ([`Txn`], [`Procedure`]) — whole transactions with
+//!   read- and write-sets known in advance, exactly as BOHM requires
+//!   (paper §1, §3),
+//! * the engine-agnostic data-access interface ([`Access`]) through which
+//!   stored procedures run identically on every engine,
+//! * deterministic fast RNG ([`rng`]) and the YCSB zipfian key generator
+//!   ([`zipf`], Gray et al. SIGMOD'94 as cited by the paper §4.2.1),
+//! * measurement utilities ([`stats`]).
+//!
+//! Engines (BOHM itself plus the Hekaton, SI, OCC and 2PL baselines) depend
+//! only on this crate, which keeps the comparison apples-to-apples: the same
+//! `Txn` values flow into every engine.
+
+pub mod access;
+pub mod engine;
+pub mod procedures;
+pub mod rng;
+pub mod stats;
+pub mod txn;
+pub mod types;
+pub mod value;
+pub mod zipf;
+
+pub use access::{AbortReason, Access};
+pub use procedures::{execute_procedure, Procedure, SmallBankProc};
+pub use txn::Txn;
+pub use types::{RecordId, TableId, Timestamp, TxnId, INFINITY_TS};
+pub use value::Value;

@@ -1,0 +1,368 @@
+//! Stored procedures: engine-independent transaction logic.
+//!
+//! The paper's evaluation uses stored-procedure transactions exclusively
+//! (§1: applications submit whole transactions to avoid round trips). Each
+//! [`Procedure`] interprets the transaction's declared read/write sets
+//! positionally through the [`Access`] trait, so the identical logic runs on
+//! BOHM, Hekaton, SI, OCC and 2PL.
+//!
+//! Conventions (documented per variant) fix how read-set and write-set
+//! positions map to semantic roles; the `bohm-workloads` crate constructs
+//! transactions obeying these conventions and asserts them in tests.
+
+use crate::access::{AbortReason, Access};
+use crate::value;
+
+/// SmallBank stored procedures (paper §4.3; Cahill, PhD thesis 2009).
+///
+/// Tables: `Customer` (id → name, never updated), `Savings` (id → balance),
+/// `Checking` (id → balance). Balances are `u64` cents in the first 8 bytes
+/// of each 8-byte record.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SmallBankProc {
+    /// Read-only: return the sum of a customer's checking and savings
+    /// balances. Layout: reads = `[savings(c), checking(c)]`, writes = `[]`.
+    Balance,
+    /// Deposit `v` into checking.
+    /// Layout: reads = `[checking(c)]`, writes = `[checking(c)]`.
+    DepositChecking { v: u64 },
+    /// Add `v` (possibly negative) to savings; **aborts** (user abort) if the
+    /// resulting balance would be negative.
+    /// Layout: reads = `[savings(c)]`, writes = `[savings(c)]`.
+    TransactSaving { v: i64 },
+    /// Move all funds of customer 0 into customer 1's checking account.
+    /// Layout: reads = `[savings(c0), checking(c0), checking(c1)]`,
+    /// writes = `[savings(c0), checking(c0), checking(c1)]`.
+    Amalgamate,
+    /// Write a check of `v` against the combined balance; if it overdraws,
+    /// an extra 1-unit penalty is charged (classic SmallBank semantics —
+    /// this is the transaction that makes SI non-serializable).
+    /// Layout: reads = `[savings(c), checking(c)]`, writes = `[checking(c)]`.
+    WriteCheck { v: u64 },
+}
+
+/// Transaction logic, parameterized by the declared read/write sets.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Procedure {
+    /// Read every read-set entry, fold a checksum, write nothing. Used by
+    /// YCSB long read-only transactions (§4.2.3).
+    ReadOnly,
+    /// For each write-set entry `i`: if the same record appears in the read
+    /// set, read it, add `delta` to its `u64` prefix and write the result
+    /// back (a read-modify-write); otherwise blind-write `delta`.
+    /// Read-set entries that are not written are read (into a checksum).
+    /// Used by the §4.1 microbenchmark ("simple increment of this integer"),
+    /// YCSB 10RMW and YCSB 2RMW-8R.
+    ReadModifyWrite { delta: u64 },
+    /// Write `value`'s little-endian bytes to every write-set entry without
+    /// reading. Exercises BOHM's write-write ordering without read
+    /// dependencies (paper §3.3.1 "write dependencies").
+    BlindWrite { value: u64 },
+    /// SmallBank logic.
+    SmallBank(SmallBankProc),
+}
+
+/// Execute `proc` against `access`, interpreting `reads`/`writes` as the
+/// declared sets of the surrounding transaction.
+///
+/// `scratch` is a caller-owned buffer reused across transactions (the
+/// "workhorse collection" pattern) so that 1,000-byte YCSB record rewrites
+/// do not allocate per operation.
+///
+/// Returns `Ok(fingerprint)` on commit intent — a value derived from the
+/// reads, which equivalence tests use to compare engines — or the abort
+/// reason. Engine-induced errors from `access` propagate unchanged.
+pub fn execute_procedure(
+    proc: &Procedure,
+    reads: &[crate::RecordId],
+    writes: &[crate::RecordId],
+    access: &mut dyn Access,
+    scratch: &mut Vec<u8>,
+) -> Result<u64, AbortReason> {
+    match proc {
+        Procedure::ReadOnly => {
+            let mut acc = 0u64;
+            for i in 0..reads.len() {
+                let mut c = 0u64;
+                access.read(i, &mut |b| c = value::checksum(b))?;
+                acc = acc.wrapping_mul(31).wrapping_add(c);
+            }
+            Ok(acc)
+        }
+        Procedure::ReadModifyWrite { delta } => {
+            let mut acc = 0u64;
+            // Pass 1: pure reads (read-set entries that are not RMW targets).
+            for (i, rid) in reads.iter().enumerate() {
+                if !writes.contains(rid) {
+                    let mut c = 0u64;
+                    access.read(i, &mut |b| c = value::checksum(b))?;
+                    acc = acc.wrapping_mul(31).wrapping_add(c);
+                }
+            }
+            // Pass 2: read-modify-writes / blind writes.
+            for (w, rid) in writes.iter().enumerate() {
+                if let Some(r) = reads.iter().position(|x| x == rid) {
+                    scratch.clear();
+                    access.read(r, &mut |b| scratch.extend_from_slice(b))?;
+                    let old = value::get_u64(scratch, 0);
+                    value::put_u64(scratch, 0, old.wrapping_add(*delta));
+                    access.write(w, scratch)?;
+                    acc = acc.wrapping_mul(31).wrapping_add(old);
+                } else {
+                    // Blind write: full-size record with the delta prefix.
+                    let len = access.write_len(w);
+                    scratch.clear();
+                    scratch.extend_from_slice(&delta.to_le_bytes());
+                    scratch.resize(len, 0);
+                    access.write(w, scratch)?;
+                }
+            }
+            Ok(acc)
+        }
+        Procedure::BlindWrite { value: v } => {
+            for w in 0..writes.len() {
+                let len = access.write_len(w);
+                scratch.clear();
+                scratch.extend_from_slice(&v.to_le_bytes());
+                scratch.resize(len, 0);
+                access.write(w, scratch)?;
+            }
+            Ok(*v)
+        }
+        Procedure::SmallBank(sb) => small_bank(*sb, access, scratch),
+    }
+}
+
+fn write_u64(access: &mut dyn Access, idx: usize, v: u64, scratch: &mut Vec<u8>) -> Result<(), AbortReason> {
+    let len = access.write_len(idx);
+    scratch.clear();
+    scratch.extend_from_slice(&v.to_le_bytes());
+    scratch.resize(len, 0);
+    access.write(idx, scratch)
+}
+
+fn small_bank(
+    proc: SmallBankProc,
+    access: &mut dyn Access,
+    scratch: &mut Vec<u8>,
+) -> Result<u64, AbortReason> {
+    match proc {
+        SmallBankProc::Balance => {
+            let s = access.read_u64(0)?;
+            let c = access.read_u64(1)?;
+            Ok(s.wrapping_add(c))
+        }
+        SmallBankProc::DepositChecking { v } => {
+            let c = access.read_u64(0)?;
+            write_u64(access, 0, c.wrapping_add(v), scratch)?;
+            Ok(c)
+        }
+        SmallBankProc::TransactSaving { v } => {
+            let s = access.read_u64(0)? as i64;
+            let ns = s.wrapping_add(v);
+            if ns < 0 {
+                return Err(AbortReason::User);
+            }
+            write_u64(access, 0, ns as u64, scratch)?;
+            Ok(s as u64)
+        }
+        SmallBankProc::Amalgamate => {
+            let s0 = access.read_u64(0)?;
+            let c0 = access.read_u64(1)?;
+            let c1 = access.read_u64(2)?;
+            write_u64(access, 0, 0, scratch)?;
+            write_u64(access, 1, 0, scratch)?;
+            write_u64(access, 2, c1.wrapping_add(s0).wrapping_add(c0), scratch)?;
+            Ok(s0.wrapping_add(c0))
+        }
+        SmallBankProc::WriteCheck { v } => {
+            // Balances are i64 semantics stored two's-complement in the u64
+            // slot: checking may legitimately go negative here.
+            let s = access.read_u64(0)? as i64;
+            let c = access.read_u64(1)? as i64;
+            let v = v as i64;
+            let total = s.wrapping_add(c);
+            let new_c = if v > total {
+                // Overdraft: charge an extra penalty of 1.
+                c.wrapping_sub(v).wrapping_sub(1)
+            } else {
+                c.wrapping_sub(v)
+            };
+            write_u64(access, 0, new_c as u64, scratch)?;
+            Ok(total as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RecordId;
+
+    /// Simple map-backed Access for procedure unit tests.
+    struct MemAccess {
+        read_vals: Vec<Vec<u8>>,
+        written: Vec<Option<Vec<u8>>>,
+        len: usize,
+    }
+
+    impl MemAccess {
+        fn new(read_vals: Vec<u64>, n_writes: usize, len: usize) -> Self {
+            Self {
+                read_vals: read_vals
+                    .into_iter()
+                    .map(|v| crate::value::of_u64(v, len).to_vec())
+                    .collect(),
+                written: vec![None; n_writes],
+                len,
+            }
+        }
+        fn written_u64(&self, i: usize) -> u64 {
+            value::get_u64(self.written[i].as_ref().unwrap(), 0)
+        }
+    }
+
+    impl Access for MemAccess {
+        fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
+            out(&self.read_vals[idx]);
+            Ok(())
+        }
+        fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason> {
+            self.written[idx] = Some(data.to_vec());
+            Ok(())
+        }
+        fn write_len(&mut self, _idx: usize) -> usize {
+            self.len
+        }
+    }
+
+    fn rid(k: u64) -> RecordId {
+        RecordId::new(0, k)
+    }
+
+    #[test]
+    fn rmw_increments_prefix_and_preserves_tail() {
+        let reads = vec![rid(1)];
+        let writes = vec![rid(1)];
+        let mut a = MemAccess::new(vec![41], 1, 16);
+        let mut scratch = Vec::new();
+        execute_procedure(
+            &Procedure::ReadModifyWrite { delta: 1 },
+            &reads,
+            &writes,
+            &mut a,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(a.written_u64(0), 42);
+        assert_eq!(a.written[0].as_ref().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn rmw_blind_writes_undeclared_reads() {
+        // Write-set entry not in the read set gets the delta blind-written.
+        let reads = vec![];
+        let writes = vec![rid(9)];
+        let mut a = MemAccess::new(vec![], 1, 8);
+        let mut scratch = Vec::new();
+        execute_procedure(
+            &Procedure::ReadModifyWrite { delta: 7 },
+            &reads,
+            &writes,
+            &mut a,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(a.written_u64(0), 7);
+    }
+
+    #[test]
+    fn read_only_folds_all_reads() {
+        let reads = vec![rid(1), rid(2)];
+        let mut a = MemAccess::new(vec![10, 20], 0, 8);
+        let mut scratch = Vec::new();
+        let f1 = execute_procedure(&Procedure::ReadOnly, &reads, &[], &mut a, &mut scratch).unwrap();
+        let mut b = MemAccess::new(vec![10, 21], 0, 8);
+        let f2 = execute_procedure(&Procedure::ReadOnly, &reads, &[], &mut b, &mut scratch).unwrap();
+        assert_ne!(f1, f2, "fingerprint must reflect read values");
+    }
+
+    #[test]
+    fn blind_write_touches_every_write_slot() {
+        let writes = vec![rid(1), rid(2), rid(3)];
+        let mut a = MemAccess::new(vec![], 3, 8);
+        let mut scratch = Vec::new();
+        execute_procedure(
+            &Procedure::BlindWrite { value: 5 },
+            &[],
+            &writes,
+            &mut a,
+            &mut scratch,
+        )
+        .unwrap();
+        for i in 0..3 {
+            assert_eq!(a.written_u64(i), 5);
+        }
+    }
+
+    #[test]
+    fn smallbank_balance_sums() {
+        let mut a = MemAccess::new(vec![30, 12], 0, 8);
+        let mut scratch = Vec::new();
+        let got = small_bank(SmallBankProc::Balance, &mut a, &mut scratch).unwrap();
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn smallbank_deposit_adds() {
+        let mut a = MemAccess::new(vec![100], 1, 8);
+        let mut scratch = Vec::new();
+        small_bank(SmallBankProc::DepositChecking { v: 25 }, &mut a, &mut scratch).unwrap();
+        assert_eq!(a.written_u64(0), 125);
+    }
+
+    #[test]
+    fn smallbank_transact_saving_aborts_on_overdraft() {
+        let mut a = MemAccess::new(vec![10], 1, 8);
+        let mut scratch = Vec::new();
+        let r = small_bank(SmallBankProc::TransactSaving { v: -11 }, &mut a, &mut scratch);
+        assert_eq!(r.unwrap_err(), AbortReason::User);
+        assert!(a.written[0].is_none(), "aborted txn must not write");
+    }
+
+    #[test]
+    fn smallbank_transact_saving_allows_exact_zero() {
+        let mut a = MemAccess::new(vec![10], 1, 8);
+        let mut scratch = Vec::new();
+        small_bank(SmallBankProc::TransactSaving { v: -10 }, &mut a, &mut scratch).unwrap();
+        assert_eq!(a.written_u64(0), 0);
+    }
+
+    #[test]
+    fn smallbank_amalgamate_moves_all_funds() {
+        let mut a = MemAccess::new(vec![5, 7, 100], 3, 8);
+        let mut scratch = Vec::new();
+        small_bank(SmallBankProc::Amalgamate, &mut a, &mut scratch).unwrap();
+        assert_eq!(a.written_u64(0), 0);
+        assert_eq!(a.written_u64(1), 0);
+        assert_eq!(a.written_u64(2), 112);
+    }
+
+    #[test]
+    fn smallbank_write_check_penalizes_overdraft() {
+        // total 10, check of 15 → overdraft: checking = 4 - 15 - 1 = -12.
+        let mut a = MemAccess::new(vec![6, 4], 1, 8);
+        let mut scratch = Vec::new();
+        small_bank(SmallBankProc::WriteCheck { v: 15 }, &mut a, &mut scratch).unwrap();
+        assert_eq!(a.written_u64(0) as i64, -12);
+    }
+
+    #[test]
+    fn smallbank_write_check_normal_case_may_go_negative_without_penalty() {
+        // total 20 covers the 15 check; checking alone goes to -1, no penalty.
+        let mut a = MemAccess::new(vec![6, 14], 1, 8);
+        let mut scratch = Vec::new();
+        small_bank(SmallBankProc::WriteCheck { v: 15 }, &mut a, &mut scratch).unwrap();
+        assert_eq!(a.written_u64(0) as i64, -1);
+    }
+}

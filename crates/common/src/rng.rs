@@ -1,0 +1,145 @@
+//! Deterministic, allocation-free fast RNG for workload generation.
+//!
+//! Workload generators sit on the critical path of every benchmark driver
+//! thread, so we use xoshiro256** (public-domain construction by Blackman &
+//! Vigna) seeded through SplitMix64 — the standard pairing. `rand` is still
+//! used at the edges (proptest, seed derivation in tests); this type keeps
+//! the hot path branch-free and deterministic across platforms.
+
+/// xoshiro256** PRNG.
+#[derive(Clone, Debug)]
+pub struct FastRng {
+    s: [u64; 4],
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl FastRng {
+    /// Seed deterministically; any seed (including 0) produces a good state.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = seed;
+        Self {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, n)` via Lemire's multiply-shift (unbiased enough for
+    /// workload generation; n ≤ 2^32 in all our workloads).
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform double in `[0, 1)`.
+    #[inline]
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Bernoulli trial with probability `p`.
+    #[inline]
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.f64() < p
+    }
+
+    /// Derive an independent stream (for per-thread generators).
+    pub fn fork(&mut self, stream: u64) -> Self {
+        Self::seed_from(self.next_u64() ^ stream.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = FastRng::seed_from(7);
+        let mut b = FastRng::seed_from(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FastRng::seed_from(1);
+        let mut b = FastRng::seed_from(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_stays_in_range_and_covers() {
+        let mut r = FastRng::seed_from(42);
+        let mut seen = [false; 10];
+        for _ in 0..10_000 {
+            let v = r.below(10) as usize;
+            assert!(v < 10);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut r = FastRng::seed_from(3);
+        for _ in 0..10_000 {
+            let x = r.f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn chance_matches_probability_roughly() {
+        let mut r = FastRng::seed_from(9);
+        let hits = (0..100_000).filter(|_| r.chance(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn forked_streams_are_independent() {
+        let mut base = FastRng::seed_from(5);
+        let mut a = base.fork(0);
+        let mut b = base.fork(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same <= 1);
+    }
+
+    #[test]
+    fn zero_seed_is_fine() {
+        let mut r = FastRng::seed_from(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Measurement utilities: run statistics and a latency histogram.
+
+use std::time::Duration;
+
+/// Outcome counters for one benchmark run (aggregated over worker threads).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunStats {
+    /// Transactions that committed.
+    pub committed: u64,
+    /// Logic (user) aborts — completed decisions, not retried.
+    pub user_aborts: u64,
+    /// Concurrency-control aborts (each one is a retried attempt).
+    pub cc_aborts: u64,
+    /// Record accesses performed by committed transactions.
+    pub accesses: u64,
+    /// Wall-clock duration of the measured window.
+    pub duration: Duration,
+}
+
+impl RunStats {
+    /// Committed transactions per second.
+    pub fn throughput(&self) -> f64 {
+        self.committed as f64 / self.duration.as_secs_f64().max(1e-9)
+    }
+
+    /// Record accesses per second (the §4.1 microbenchmark metric:
+    /// "20 million RMW operations per second").
+    pub fn access_rate(&self) -> f64 {
+        self.accesses as f64 / self.duration.as_secs_f64().max(1e-9)
+    }
+
+    /// Fraction of attempts that ended in a concurrency-control abort.
+    pub fn abort_rate(&self) -> f64 {
+        let attempts = self.committed + self.user_aborts + self.cc_aborts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.cc_aborts as f64 / attempts as f64
+        }
+    }
+
+    /// Merge per-thread stats into a total (durations take the max — threads
+    /// run the same wall-clock window).
+    pub fn merge(&mut self, other: &RunStats) {
+        self.committed += other.committed;
+        self.user_aborts += other.user_aborts;
+        self.cc_aborts += other.cc_aborts;
+        self.accesses += other.accesses;
+        self.duration = self.duration.max(other.duration);
+    }
+}
+
+/// Power-of-two bucketed latency histogram (nanoseconds).
+///
+/// Fixed 64 buckets, no allocation after construction, mergeable across
+/// threads — suitable for per-transaction latency capture on the hot path.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    sum_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: [0; 64],
+            count: 0,
+            sum_ns: 0,
+            max_ns: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency observation.
+    #[inline]
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let bucket = 64 - ns.max(1).leading_zeros() as usize - 1;
+        self.buckets[bucket] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.sum_ns / self.count)
+        }
+    }
+
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Upper bound of the bucket containing the q-quantile (0 < q ≤ 1).
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Duration::from_nanos(1u64 << (i + 1).min(63));
+            }
+        }
+        self.max()
+    }
+
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let s = RunStats {
+            committed: 1000,
+            duration: Duration::from_secs(2),
+            ..Default::default()
+        };
+        assert!((s.throughput() - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_rate_counts_only_cc_aborts() {
+        let s = RunStats {
+            committed: 90,
+            user_aborts: 5,
+            cc_aborts: 5,
+            ..Default::default()
+        };
+        assert!((s.abort_rate() - 0.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn abort_rate_zero_when_idle() {
+        assert_eq!(RunStats::default().abort_rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates_and_takes_max_duration() {
+        let mut a = RunStats {
+            committed: 10,
+            duration: Duration::from_secs(1),
+            ..Default::default()
+        };
+        let b = RunStats {
+            committed: 20,
+            cc_aborts: 3,
+            duration: Duration::from_secs(2),
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.committed, 30);
+        assert_eq!(a.cc_aborts, 3);
+        assert_eq!(a.duration, Duration::from_secs(2));
+    }
+
+    #[test]
+    fn histogram_quantiles_are_monotone() {
+        let mut h = LatencyHistogram::new();
+        for i in 1..=1000u64 {
+            h.record(Duration::from_nanos(i * 100));
+        }
+        assert_eq!(h.count(), 1000);
+        assert!(h.quantile(0.5) <= h.quantile(0.99));
+        assert!(h.quantile(0.99) <= h.max().max(h.quantile(0.99)));
+        assert!(h.mean() > Duration::ZERO);
+    }
+
+    #[test]
+    fn histogram_merge_combines_counts() {
+        let mut a = LatencyHistogram::new();
+        let mut b = LatencyHistogram::new();
+        a.record(Duration::from_micros(1));
+        b.record(Duration::from_micros(1000));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert!(a.max() >= Duration::from_micros(1000));
+    }
+
+    #[test]
+    fn histogram_empty_is_zeroes() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert_eq!(h.quantile(0.99), Duration::ZERO);
+    }
+}

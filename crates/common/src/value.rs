@@ -1,0 +1,99 @@
+//! Record values: fixed-size opaque byte payloads.
+//!
+//! The paper's workloads use fixed record sizes per table (YCSB: 1,000 bytes,
+//! SmallBank / microbenchmark: 8 bytes, §4.2/§4.3). A [`Value`] is an owned
+//! boxed byte slice; helpers read and write little-endian `u64`s at an
+//! offset, which is how every stored procedure interprets its records.
+
+/// Owned record payload.
+///
+/// `Box<[u8]>` rather than `Vec<u8>`: values never grow after creation, and
+/// the two-word representation keeps version objects smaller (guides:
+/// "Boxed Slices").
+pub type Value = Box<[u8]>;
+
+/// Create a zeroed value of `len` bytes.
+#[inline]
+pub fn zeroed(len: usize) -> Value {
+    vec![0u8; len].into_boxed_slice()
+}
+
+/// Create a value of `len` bytes whose first 8 bytes encode `x`.
+///
+/// Panics if `len < 8`; all paper workloads use records of at least 8 bytes.
+pub fn of_u64(x: u64, len: usize) -> Value {
+    assert!(len >= 8, "record too small for a u64 payload");
+    let mut v = vec![0u8; len];
+    v[..8].copy_from_slice(&x.to_le_bytes());
+    v.into_boxed_slice()
+}
+
+/// Read the little-endian `u64` at byte offset `off`.
+#[inline]
+pub fn get_u64(data: &[u8], off: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&data[off..off + 8]);
+    u64::from_le_bytes(b)
+}
+
+/// Write `x` as little-endian at byte offset `off`.
+#[inline]
+pub fn put_u64(data: &mut [u8], off: usize, x: u64) {
+    data[off..off + 8].copy_from_slice(&x.to_le_bytes());
+}
+
+/// Fold a byte slice into a 64-bit checksum (used by read-only transactions
+/// so reads cannot be optimized away, and by equivalence tests).
+#[inline]
+pub fn checksum(data: &[u8]) -> u64 {
+    // FNV-1a over the first word plus length; cheap and stable.
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let take = data.len().min(8);
+    for &b in &data[..take] {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h ^ data.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_at_offsets() {
+        let mut v = zeroed(24);
+        put_u64(&mut v, 0, 0xDEAD_BEEF);
+        put_u64(&mut v, 8, 7);
+        put_u64(&mut v, 16, u64::MAX);
+        assert_eq!(get_u64(&v, 0), 0xDEAD_BEEF);
+        assert_eq!(get_u64(&v, 8), 7);
+        assert_eq!(get_u64(&v, 16), u64::MAX);
+    }
+
+    #[test]
+    fn of_u64_sets_prefix_only() {
+        let v = of_u64(42, 16);
+        assert_eq!(get_u64(&v, 0), 42);
+        assert_eq!(get_u64(&v, 8), 0);
+        assert_eq!(v.len(), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "record too small")]
+    fn of_u64_rejects_tiny_records() {
+        let _ = of_u64(1, 4);
+    }
+
+    #[test]
+    fn checksum_distinguishes_values() {
+        let a = of_u64(1, 8);
+        let b = of_u64(2, 8);
+        assert_ne!(checksum(&a), checksum(&b));
+        assert_eq!(checksum(&a), checksum(&of_u64(1, 8)));
+    }
+
+    #[test]
+    fn checksum_depends_on_length() {
+        assert_ne!(checksum(&zeroed(8)), checksum(&zeroed(16)));
+    }
+}

@@ -1,0 +1,232 @@
+//! Zipfian key generator (Gray et al., "Quickly generating billion-record
+//! synthetic databases", SIGMOD 1994) — the generator YCSB and the paper use
+//! to control contention via the parameter `theta` (§4.2.1: low contention
+//! `theta = 0`, high contention `theta = 0.9`; Fig. 7 sweeps `theta ∈ [0,1)`).
+//!
+//! `theta = 0` degenerates to the uniform distribution; we special-case it
+//! so the low-contention configurations pay no `pow` on the hot path.
+
+use crate::rng::FastRng;
+
+/// Zipfian distribution over `[0, n)` with skew `theta ∈ [0, 1)`.
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    n: u64,
+    theta: f64,
+    // Precomputed constants of the Gray et al. method.
+    alpha: f64,
+    eta: f64,
+    threshold1: f64,
+    threshold2: f64,
+}
+
+fn zeta(n: u64, theta: f64) -> f64 {
+    // Direct sum; called once at generator construction (n ≤ a few million
+    // in all paper workloads, so this is milliseconds of setup).
+    let mut sum = 0.0;
+    for i in 1..=n {
+        sum += 1.0 / (i as f64).powf(theta);
+    }
+    sum
+}
+
+impl Zipf {
+    /// Create a generator over `[0, n)`.
+    ///
+    /// Panics if `n == 0` or `theta` is outside `[0, 1)` (the paper never
+    /// uses `theta ≥ 1`, where this parameterization is undefined).
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs a non-empty domain");
+        assert!(
+            (0.0..1.0).contains(&theta),
+            "theta must be in [0,1), got {theta}"
+        );
+        if theta == 0.0 {
+            return Self {
+                n,
+                theta,
+                alpha: 0.0,
+                eta: 0.0,
+                threshold1: 0.0,
+                threshold2: 0.0,
+            };
+        }
+        let zetan = zeta(n, theta);
+        let zeta2 = zeta(2.min(n), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / n as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Self {
+            n,
+            theta,
+            alpha,
+            eta,
+            threshold1: 1.0 / zetan,
+            threshold2: (1.0 + 0.5f64.powf(theta)) / zetan,
+        }
+    }
+
+    /// Domain size.
+    #[inline]
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// Skew parameter.
+    #[inline]
+    pub fn theta(&self) -> f64 {
+        self.theta
+    }
+
+    /// Draw the next key. Rank 0 is the hottest key.
+    #[inline]
+    pub fn sample(&self, rng: &mut FastRng) -> u64 {
+        if self.theta == 0.0 {
+            return rng.below(self.n);
+        }
+        let u = rng.f64();
+        if u < self.threshold1 {
+            return 0;
+        }
+        if u < self.threshold2 {
+            return 1;
+        }
+        let v = (self.n as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        v.min(self.n - 1)
+    }
+
+    /// Draw `k` **distinct** keys into `out` (cleared first). The paper's
+    /// YCSB transactions access 10 distinct records (§4.2.1: "each element
+    /// of a transaction's read- and write-set is unique").
+    pub fn sample_distinct(&self, rng: &mut FastRng, k: usize, out: &mut Vec<u64>) {
+        assert!(
+            (k as u64) <= self.n,
+            "cannot draw {k} distinct keys from a domain of {}",
+            self.n
+        );
+        out.clear();
+        while out.len() < k {
+            let key = self.sample(rng);
+            if !out.contains(&key) {
+                out.push(key);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let z = Zipf::new(1000, 0.0);
+        let mut rng = FastRng::seed_from(1);
+        let mut counts = vec![0u32; 10];
+        for _ in 0..100_000 {
+            counts[(z.sample(&mut rng) / 100) as usize] += 1;
+        }
+        let (min, max) = (
+            *counts.iter().min().unwrap() as f64,
+            *counts.iter().max().unwrap() as f64,
+        );
+        assert!(max / min < 1.15, "uniform buckets too skewed: {counts:?}");
+    }
+
+    #[test]
+    fn skewed_distribution_favors_low_ranks() {
+        let z = Zipf::new(1_000_000, 0.9);
+        let mut rng = FastRng::seed_from(2);
+        let mut hot = 0usize;
+        let total = 200_000;
+        for _ in 0..total {
+            if z.sample(&mut rng) < 100 {
+                hot += 1;
+            }
+        }
+        // With theta=0.9 over 1M keys, the hottest 100 keys draw a large
+        // fraction of accesses (analytically ~28%); uniform would give 0.01%.
+        let frac = hot as f64 / total as f64;
+        assert!(frac > 0.15, "hot fraction = {frac}");
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mut rng = FastRng::seed_from(3);
+        let frac = |theta: f64, rng: &mut FastRng| {
+            let z = Zipf::new(100_000, theta);
+            let mut hot = 0;
+            for _ in 0..50_000 {
+                if z.sample(rng) < 10 {
+                    hot += 1;
+                }
+            }
+            hot as f64 / 50_000.0
+        };
+        let f_mid = frac(0.5, &mut rng);
+        let f_high = frac(0.99, &mut rng);
+        assert!(f_high > f_mid * 2.0, "mid={f_mid} high={f_high}");
+    }
+
+    #[test]
+    fn samples_stay_in_domain() {
+        for theta in [0.0, 0.5, 0.9, 0.99] {
+            let z = Zipf::new(50, theta);
+            let mut rng = FastRng::seed_from(4);
+            for _ in 0..10_000 {
+                assert!(z.sample(&mut rng) < 50);
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_sampling_yields_unique_keys() {
+        let z = Zipf::new(50, 0.9); // hot domain: duplicates are likely
+        let mut rng = FastRng::seed_from(5);
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            z.sample_distinct(&mut rng, 10, &mut out);
+            assert_eq!(out.len(), 10);
+            let mut sorted = out.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 10, "duplicate keys drawn: {out:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct keys")]
+    fn distinct_sampling_rejects_oversized_requests() {
+        let z = Zipf::new(5, 0.0);
+        let mut rng = FastRng::seed_from(6);
+        let mut out = Vec::new();
+        z.sample_distinct(&mut rng, 6, &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "theta")]
+    fn rejects_theta_one() {
+        let _ = Zipf::new(10, 1.0);
+    }
+
+    #[test]
+    fn hottest_two_keys_get_thresholds() {
+        // Regression test for the two closed-form branches of the Gray
+        // method: ranks 0 and 1 must be the two most frequent outcomes.
+        let z = Zipf::new(10_000, 0.9);
+        let mut rng = FastRng::seed_from(7);
+        let mut counts = std::collections::HashMap::<u64, u32>::new();
+        for _ in 0..100_000 {
+            *counts.entry(z.sample(&mut rng)).or_default() += 1;
+        }
+        let c0 = counts.get(&0).copied().unwrap_or(0);
+        let c1 = counts.get(&1).copied().unwrap_or(0);
+        let cmax_other = counts
+            .iter()
+            .filter(|(k, _)| **k > 1)
+            .map(|(_, v)| *v)
+            .max()
+            .unwrap();
+        assert!(c0 > c1, "rank 0 should beat rank 1: {c0} vs {c1}");
+        assert!(c1 >= cmax_other, "rank 1 should beat deeper ranks");
+    }
+}

@@ -1,0 +1,106 @@
+//! BOHM's implementation of the [`Access`] trait.
+//!
+//! Reads resolve through the annotation slots the CC phase filled in
+//! (paper §3.2.3's read-set optimization: a direct pointer to the correct
+//! version, no chain traversal, no shared-memory writes). When annotations
+//! are disabled (ablation) the read falls back to the paper's base
+//! mechanism: walking the version chain's backward references until the
+//! version with `begin < ts ≤ end` is found.
+//!
+//! A read that lands on a still-`Pending` placeholder returns
+//! [`AbortReason::NotReady`] carrying the producer's timestamp (the paper's
+//! "txn pointer"); the executor resolves it (paper §3.3.1) and re-runs the
+//! procedure. Writes fill the pre-installed placeholder via
+//! [`Version::fill_once`], which makes such re-runs idempotent.
+//!
+//! ## Logic-abort contract
+//!
+//! Procedures must decide a user abort **before their first write** (every
+//! SmallBank/YCSB/TPC-style procedure does: input validation precedes
+//! updates). BOHM fills placeholders in place, so a write followed by a
+//! user abort would require undo; the contract removes that case, and
+//! [`crate::exec`]'s copy-through path debug-asserts it.
+
+use crate::batch::TxnState;
+use bohm_common::{AbortReason, Access};
+use bohm_mvstore::{HashIndex, Version, VersionIndex, VersionState};
+use crossbeam_epoch::Guard;
+use std::sync::atomic::Ordering;
+
+pub(crate) struct BohmAccess<'a> {
+    pub t: &'a TxnState,
+    pub index: &'a HashIndex,
+    pub guard: &'a Guard,
+}
+
+impl BohmAccess<'_> {
+    /// Resolve read-set entry `idx` to its version.
+    fn version_for_read(&self, idx: usize) -> &Version {
+        // Large read sets carry no annotation slots (BohmConfig::
+        // annotate_max_reads): go straight to traversal.
+        let ptr = if self.t.read_refs.is_empty() {
+            std::ptr::null_mut()
+        } else {
+            self.t.read_refs[idx].load(Ordering::Acquire)
+        };
+        if !ptr.is_null() {
+            // SAFETY: annotation pointers stay valid until Condition-3 GC,
+            // which cannot pass this transaction's batch before it executes.
+            return unsafe { &*ptr };
+        }
+        // Fallback traversal (annotations disabled, or record not yet
+        // present at CC time).
+        let rid = self.t.txn.reads[idx];
+        let chain = self
+            .index
+            .get(rid)
+            .unwrap_or_else(|| panic!("read of unknown record {rid}"));
+        chain
+            .visible(self.t.ts, self.guard)
+            .unwrap_or_else(|| panic!("record {rid} does not exist at ts {}", self.t.ts))
+    }
+}
+
+impl Access for BohmAccess<'_> {
+    fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
+        let v = self.version_for_read(idx);
+        if !v.is_resolved() {
+            // Block on the producer (paper: "the read must block until the
+            // write is performed" — realized as recursive evaluation).
+            return Err(AbortReason::NotReady(v.begin()));
+        }
+        match v.state() {
+            VersionState::Ready => {
+                out(v.data());
+                Ok(())
+            }
+            VersionState::Tombstone => {
+                panic!(
+                    "read of deleted record {} at ts {}",
+                    self.t.txn.reads[idx], self.t.ts
+                )
+            }
+            VersionState::Pending => unreachable!("checked above"),
+        }
+    }
+
+    fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason> {
+        let ptr = self.t.write_refs[idx].load(Ordering::Acquire);
+        assert!(
+            !ptr.is_null(),
+            "CC phase must have installed a placeholder for write-set entry {idx}"
+        );
+        // SAFETY: placeholder liveness per Condition 3, as for reads; this
+        // thread is the unique producer (it holds the Executing state).
+        let v = unsafe { &*ptr };
+        v.fill_once(data);
+        Ok(())
+    }
+
+    fn write_len(&mut self, idx: usize) -> usize {
+        let ptr = self.t.write_refs[idx].load(Ordering::Acquire);
+        assert!(!ptr.is_null());
+        // SAFETY: placeholder liveness per Condition 3.
+        unsafe { &*ptr }.len()
+    }
+}

@@ -1,0 +1,356 @@
+//! Batches and per-transaction runtime state.
+//!
+//! BOHM amortizes all cross-thread coordination over batches (paper §3.2.4):
+//! CC threads process a batch independently and meet at one atomic
+//! countdown; execution threads do the same on their side. A [`TxnState`]
+//! carries the pre-allocated annotation slots the CC phase fills in — "the
+//! write containing the correct version reference for a read is to
+//! pre-allocated space within a transaction" (§3.2.3).
+
+use bohm_common::{Timestamp, Txn};
+use bohm_mvstore::Version;
+use parking_lot::{Condvar, Mutex};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Execution state machine of one transaction (paper §3.3.1).
+pub(crate) mod txn_status {
+    pub const UNPROCESSED: u8 = 0;
+    pub const EXECUTING: u8 = 1;
+    pub const COMPLETE: u8 = 2;
+}
+
+/// Commit decision of a completed transaction.
+pub(crate) mod txn_outcome {
+    pub const UNKNOWN: u8 = 0;
+    pub const COMMITTED: u8 = 1;
+    pub const USER_ABORT: u8 = 2;
+}
+
+/// Result of one transaction, readable after its batch completes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TxnOutcome {
+    pub committed: bool,
+    /// Procedure-defined digest of the values read (used by equivalence
+    /// tests to compare engines); 0 for aborted transactions.
+    pub fingerprint: u64,
+}
+
+/// One packed access-plan entry scanned by every CC thread.
+///
+/// Every CC thread must examine every transaction's sets (paper §3.2.2 —
+/// the acknowledged Amdahl component of the design), so that scan has to be
+/// cheap: the sequencer pre-hashes each access into a compact word
+/// (`[hash32 | write-flag | set-index]`), and the CC threads iterate a
+/// contiguous array doing one modulo per entry instead of re-hashing
+/// `RecordId`s out of pointer-chased `Vec`s `m` times over. Read entries
+/// come first so an RMW's read is annotated before its own placeholder is
+/// installed.
+#[derive(Clone, Copy)]
+pub(crate) struct PlanEntry(u64);
+
+impl PlanEntry {
+    const WRITE_BIT: u64 = 1 << 31;
+
+    fn new(hash: u64, is_write: bool, idx: usize) -> Self {
+        debug_assert!(idx < (1 << 31));
+        let mut w = (hash << 32) | (idx as u64);
+        if is_write {
+            w |= Self::WRITE_BIT;
+        }
+        PlanEntry(w)
+    }
+
+    /// CC partition owning this access, for `m` CC threads.
+    #[inline]
+    pub fn partition(self, m: usize) -> usize {
+        ((self.0 >> 32) % m as u64) as usize
+    }
+
+    #[inline]
+    pub fn is_write(self) -> bool {
+        self.0 & Self::WRITE_BIT != 0
+    }
+
+    /// Index into the transaction's read set or write set.
+    #[inline]
+    pub fn idx(self) -> usize {
+        (self.0 & (Self::WRITE_BIT - 1)) as usize
+    }
+}
+
+/// A transaction plus its engine-side runtime state.
+pub struct TxnState {
+    pub txn: Txn,
+    pub ts: Timestamp,
+    pub(crate) state: AtomicU8,
+    pub(crate) outcome: AtomicU8,
+    pub(crate) fingerprint: AtomicU64,
+    /// Packed access plan: reads first, then writes (see [`PlanEntry`]).
+    pub(crate) plan: Box<[PlanEntry]>,
+    /// One slot per read-set entry: direct pointer to the version this read
+    /// must observe, written by the owning CC thread (§3.2.3 optimization).
+    pub(crate) read_refs: Box<[AtomicPtr<Version>]>,
+    /// One slot per write-set entry: the placeholder version installed by
+    /// the owning CC thread (§3.2.2).
+    pub(crate) write_refs: Box<[AtomicPtr<Version>]>,
+}
+
+impl TxnState {
+    /// `annotate_max_reads`: see [`BohmConfig`](crate::BohmConfig); larger
+    /// read sets get no annotation slots and no read plan entries.
+    pub(crate) fn new(txn: Txn, ts: Timestamp, annotate_max_reads: usize) -> Self {
+        let nulls = |n: usize| -> Box<[AtomicPtr<Version>]> {
+            let mut v = Vec::with_capacity(n);
+            v.resize_with(n, || AtomicPtr::new(ptr::null_mut()));
+            v.into_boxed_slice()
+        };
+        let annotate = txn.reads.len() <= annotate_max_reads;
+        let (nr, nw) = (if annotate { txn.reads.len() } else { 0 }, txn.writes.len());
+        let mut plan = Vec::with_capacity(nr + nw);
+        if annotate {
+            for (i, rid) in txn.reads.iter().enumerate() {
+                plan.push(PlanEntry::new(rid.stable_hash() >> 32, false, i));
+            }
+        }
+        for (i, rid) in txn.writes.iter().enumerate() {
+            plan.push(PlanEntry::new(rid.stable_hash() >> 32, true, i));
+        }
+        Self {
+            txn,
+            ts,
+            state: AtomicU8::new(txn_status::UNPROCESSED),
+            outcome: AtomicU8::new(txn_outcome::UNKNOWN),
+            fingerprint: AtomicU64::new(0),
+            plan: plan.into_boxed_slice(),
+            read_refs: nulls(nr),
+            write_refs: nulls(nw),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn status(&self) -> u8 {
+        self.state.load(Ordering::Acquire)
+    }
+
+    /// Try to claim the transaction for execution
+    /// (`Unprocessed → Executing`). Exactly one thread can win.
+    #[inline]
+    pub(crate) fn try_claim(&self) -> bool {
+        self.state
+            .compare_exchange(
+                txn_status::UNPROCESSED,
+                txn_status::EXECUTING,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            )
+            .is_ok()
+    }
+
+    /// Park a claimed transaction back to `Unprocessed` (its dependency is
+    /// being executed by another thread; someone will retry it later).
+    #[inline]
+    pub(crate) fn park(&self) {
+        debug_assert_eq!(self.status(), txn_status::EXECUTING);
+        self.state.store(txn_status::UNPROCESSED, Ordering::Release);
+    }
+
+    /// Mark a claimed transaction `Complete` with its decision.
+    #[inline]
+    pub(crate) fn complete(&self, committed: bool, fingerprint: u64) {
+        debug_assert_eq!(self.status(), txn_status::EXECUTING);
+        self.fingerprint.store(fingerprint, Ordering::Relaxed);
+        self.outcome.store(
+            if committed {
+                txn_outcome::COMMITTED
+            } else {
+                txn_outcome::USER_ABORT
+            },
+            Ordering::Relaxed,
+        );
+        self.state.store(txn_status::COMPLETE, Ordering::Release);
+    }
+
+    pub(crate) fn outcome(&self) -> TxnOutcome {
+        TxnOutcome {
+            committed: self.outcome.load(Ordering::Relaxed) == txn_outcome::COMMITTED,
+            fingerprint: self.fingerprint.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One ordered batch of transactions flowing through the pipeline.
+pub struct Batch {
+    /// Dense batch sequence number.
+    pub id: u64,
+    /// Timestamp of the first transaction; transaction `i` has
+    /// `ts = base_ts + i`.
+    pub base_ts: Timestamp,
+    pub txns: Box<[TxnState]>,
+    /// CC threads yet to finish this batch (the §3.2.4 amortized barrier).
+    pub(crate) cc_pending: AtomicUsize,
+    /// Execution threads yet to finish their responsibilities.
+    pub(crate) exec_pending: AtomicUsize,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Batch {
+    pub(crate) fn new(
+        txns: Vec<Txn>,
+        base_ts: Timestamp,
+        id: u64,
+        cc_threads: usize,
+        exec_threads: usize,
+        annotate_max_reads: usize,
+    ) -> Arc<Self> {
+        let states: Vec<TxnState> = txns
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| TxnState::new(t, base_ts + i as u64, annotate_max_reads))
+            .collect();
+        Arc::new(Self {
+            id,
+            base_ts,
+            txns: states.into_boxed_slice(),
+            cc_pending: AtomicUsize::new(cc_threads),
+            exec_pending: AtomicUsize::new(exec_threads),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        })
+    }
+
+    /// Largest timestamp in the batch (the Condition-3 GC bound once every
+    /// execution thread passes this batch).
+    #[inline]
+    pub fn last_ts(&self) -> Timestamp {
+        self.base_ts + self.txns.len() as u64 - 1
+    }
+
+    /// Does `ts` fall inside this batch?
+    #[inline]
+    pub fn contains(&self, ts: Timestamp) -> bool {
+        !self.txns.is_empty() && ts >= self.base_ts && ts <= self.last_ts()
+    }
+
+    /// The transaction with timestamp `ts` (must be contained).
+    #[inline]
+    pub(crate) fn txn_at(&self, ts: Timestamp) -> &TxnState {
+        &self.txns[(ts - self.base_ts) as usize]
+    }
+
+    pub(crate) fn mark_done(&self) {
+        let mut d = self.done.lock();
+        *d = true;
+        self.done_cv.notify_all();
+    }
+
+    pub(crate) fn wait_done(&self) {
+        let mut d = self.done.lock();
+        while !*d {
+            self.done_cv.wait(&mut d);
+        }
+    }
+}
+
+/// Handle returned by [`Bohm::submit`](crate::Bohm::submit); wait for the
+/// batch and collect per-transaction outcomes.
+pub struct BatchHandle {
+    pub(crate) batch: Arc<Batch>,
+}
+
+impl BatchHandle {
+    /// Block until every transaction in the batch has executed.
+    pub fn wait(&self) {
+        self.batch.wait_done();
+    }
+
+    /// Number of transactions in the batch.
+    pub fn len(&self) -> usize {
+        self.batch.txns.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.batch.txns.is_empty()
+    }
+
+    /// Wait, then return each transaction's outcome in submission order.
+    pub fn outcomes(&self) -> Vec<TxnOutcome> {
+        self.wait();
+        self.batch.txns.iter().map(|t| t.outcome()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bohm_common::{Procedure, RecordId};
+
+    fn txn() -> Txn {
+        let rid = RecordId::new(0, 1);
+        Txn::new(vec![rid], vec![rid], Procedure::ReadModifyWrite { delta: 1 })
+    }
+
+    #[test]
+    fn state_machine_transitions() {
+        let t = TxnState::new(txn(), 5, 64);
+        assert_eq!(t.status(), txn_status::UNPROCESSED);
+        assert!(t.try_claim());
+        assert!(!t.try_claim(), "double claim must fail");
+        t.park();
+        assert!(t.try_claim(), "parked txn is claimable again");
+        t.complete(true, 42);
+        assert_eq!(t.status(), txn_status::COMPLETE);
+        assert!(!t.try_claim(), "complete txn is not claimable");
+        assert_eq!(
+            t.outcome(),
+            TxnOutcome {
+                committed: true,
+                fingerprint: 42
+            }
+        );
+    }
+
+    #[test]
+    fn annotation_slots_match_set_sizes() {
+        let t = TxnState::new(txn(), 1, 64);
+        assert_eq!(t.read_refs.len(), 1);
+        assert_eq!(t.write_refs.len(), 1);
+        assert!(t.read_refs[0].load(Ordering::Relaxed).is_null());
+    }
+
+    #[test]
+    fn batch_timestamps_are_dense() {
+        let b = Batch::new(vec![txn(), txn(), txn()], 100, 0, 2, 2, 64);
+        assert_eq!(b.last_ts(), 102);
+        assert!(b.contains(100) && b.contains(102));
+        assert!(!b.contains(99) && !b.contains(103));
+        assert_eq!(b.txn_at(101).ts, 101);
+    }
+
+    #[test]
+    fn done_signalling_wakes_waiters() {
+        let b = Batch::new(vec![txn()], 1, 0, 1, 1, 64);
+        let b2 = Arc::clone(&b);
+        let waiter = std::thread::spawn(move || b2.wait_done());
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        b.mark_done();
+        waiter.join().unwrap();
+    }
+
+    #[test]
+    fn only_one_claimer_wins_under_contention() {
+        let t = Arc::new(TxnState::new(txn(), 1, 64));
+        let winners: Vec<bool> = (0..8)
+            .map(|_| {
+                let t = Arc::clone(&t);
+                std::thread::spawn(move || t.try_claim())
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        assert_eq!(winners.iter().filter(|&&w| w).count(), 1);
+    }
+}

@@ -1,0 +1,114 @@
+//! The concurrency-control phase (paper §3.2).
+//!
+//! Each CC thread owns a static hash partition of the key space and runs
+//! the same loop: for every transaction of every batch, in timestamp order,
+//!
+//! * annotate each read-set entry in its partition with the current latest
+//!   version (§3.2.3 — this *is* the version a reader at this timestamp
+//!   must observe, because CC threads process transactions sequentially),
+//! * install an uninitialized placeholder version for each write-set entry
+//!   in its partition (§3.2.2), and
+//! * opportunistically truncate the record's dead version tail under the
+//!   Condition-3 GC bound (§3.3.2 — GC triggers on update).
+//!
+//! The per-transaction scan iterates the sequencer-built packed plan
+//! (see [`PlanEntry`](crate::batch::PlanEntry)): every CC thread examines
+//! every transaction — the design's acknowledged serial component (§3.2.2)
+//! — so the examination itself is a tight pass over one contiguous array.
+//!
+//! Threads never coordinate per transaction or per record; the only
+//! synchronization is one atomic countdown per batch (§3.2.4). Whichever
+//! thread finishes a batch last registers it in the window and hands it to
+//! every execution thread.
+
+use crate::batch::Batch;
+use crate::engine::Inner;
+use bohm_mvstore::{Version, VersionIndex};
+use crossbeam_channel::{Receiver, Sender};
+use crossbeam_epoch::{self as epoch, Owned};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Main loop of CC thread `me`. Exits when the submission side hangs up.
+pub(crate) fn cc_loop(
+    inner: Arc<Inner>,
+    me: usize,
+    rx: Receiver<Arc<Batch>>,
+    exec_senders: Vec<Sender<Arc<Batch>>>,
+) {
+    let mut probe_tick = me as u64; // desynchronize threads' probe phases
+    while let Ok(batch) = rx.recv() {
+        let t0 = std::time::Instant::now();
+        process_batch(&inner, me, &batch, &mut probe_tick);
+        inner
+            .cc_busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        // The §3.2.4 barrier, amortized over the whole batch: the last CC
+        // thread through publishes the batch to the execution layer.
+        if batch.cc_pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Window registration must precede hand-off so execution threads
+            // can resolve read dependencies into this batch.
+            inner.window.push(Arc::clone(&batch));
+            for s in &exec_senders {
+                // Receivers only disappear at shutdown.
+                let _ = s.send(Arc::clone(&batch));
+            }
+        }
+    }
+}
+
+/// Process every transaction of `batch` for partition `me`.
+pub(crate) fn process_batch(inner: &Inner, me: usize, batch: &Batch, probe_tick: &mut u64) {
+    let mut guard = epoch::pin();
+    let annotate = inner.config.annotate_reads;
+    let gc = inner.config.enable_gc;
+    let m = inner.config.cc_threads;
+    for (i, t) in batch.txns.iter().enumerate() {
+        // Plan order is reads-then-writes, so an RMW resolves its read to
+        // the predecessor version before its own placeholder is installed.
+        for e in t.plan.iter() {
+            if e.partition(m) != me {
+                continue;
+            }
+            if e.is_write() {
+                let wi = e.idx();
+                let rid = t.txn.writes[wi];
+                let chain = inner.index.get_or_insert(rid);
+                let size = inner.record_size(rid.table);
+                let v = chain.install(Owned::new(Version::placeholder(t.ts, size)), &guard);
+                t.write_refs[wi].store(v.as_raw() as *mut Version, Ordering::Release);
+                // GC triggers on update (§3.3.2) but is attempted on a
+                // 1-in-8 sample of installs: each truncate probe costs a
+                // coherence miss on the old head's line, and Condition 3
+                // only ever *delays* reclamation, never unsafely hastens
+                // it. The sample counter is per-thread (not ts-derived) so
+                // it cannot correlate with any record-to-timestamp pattern
+                // and starve a chain of probes.
+                *probe_tick += 1;
+                if gc && *probe_tick & 0x7 == 0 {
+                    let bound = inner.gc_bound.load(Ordering::Relaxed);
+                    if bound > 0 {
+                        let retired = chain.truncate(bound, &guard);
+                        if retired > 0 {
+                            inner
+                                .gc_retired
+                                .fetch_add(retired as u64, Ordering::Relaxed);
+                        }
+                    }
+                }
+            } else if annotate {
+                let ri = e.idx();
+                if let Some(chain) = inner.index.get(t.txn.reads[ri]) {
+                    if let Some(v) = chain.latest(&guard) {
+                        t.read_refs[ri]
+                            .store(v as *const Version as *mut Version, Ordering::Release);
+                    }
+                }
+            }
+        }
+        // Bound how long one epoch pin lives on big batches.
+        if i % 512 == 511 {
+            guard.repin();
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Engine configuration and catalog declaration.
+
+/// Tunables of a [`Bohm`](crate::Bohm) instance.
+///
+/// The split between concurrency-control and execution threads is the
+/// paper's central operational knob (Fig. 4 sweeps both); batch size
+/// controls how much coordination cost is amortized per barrier (§3.2.4).
+#[derive(Clone, Debug)]
+pub struct BohmConfig {
+    /// Number of concurrency-control threads (`m` in the paper). Each owns
+    /// `1/m` of the key space by hash partition.
+    pub cc_threads: usize,
+    /// Number of execution threads (`k`). Thread `i` is responsible for
+    /// transactions `i, i+k, i+2k, …` of each batch.
+    pub exec_threads: usize,
+    /// Enable the read-set optimization (§3.2.3): CC threads annotate each
+    /// transaction with direct pointers to the versions its reads resolve
+    /// to, so execution never traverses version chains. Disable to measure
+    /// the traversal cost (ablation; also how Fig. 8/9 explain the gap to
+    /// Hekaton/SI).
+    pub annotate_reads: bool,
+    /// Enable Condition-3 garbage collection of superseded versions
+    /// (§3.3.2). The paper runs BOHM with GC on.
+    pub enable_gc: bool,
+    /// Transactions whose read set exceeds this size are *not* annotated;
+    /// their reads fall back to chain traversal at execution time. The
+    /// §3.2.3 annotation is an optimization aimed at short transactions —
+    /// for a 10,000-record read-only transaction, having CC threads look up
+    /// and store ten thousand version pointers costs more than traversing
+    /// GC-trimmed chains on the (more numerous) execution threads.
+    pub annotate_max_reads: usize,
+    /// Sizing hint for the latch-free hash index.
+    pub index_capacity: usize,
+    /// Maximum recursion depth when resolving read dependencies before the
+    /// transaction is parked back to `Unprocessed`. Guards against deep
+    /// same-key RMW chains in huge batches blowing the stack; 64 is far
+    /// above anything the paper's workloads produce per batch.
+    pub max_resolve_depth: usize,
+}
+
+impl Default for BohmConfig {
+    fn default() -> Self {
+        Self {
+            cc_threads: 4,
+            exec_threads: 4,
+            annotate_reads: true,
+            enable_gc: true,
+            annotate_max_reads: 64,
+            index_capacity: 1 << 20,
+            max_resolve_depth: 64,
+        }
+    }
+}
+
+impl BohmConfig {
+    /// A tiny configuration for tests and doc examples (2 CC + 2 exec).
+    pub fn small() -> Self {
+        Self {
+            cc_threads: 2,
+            exec_threads: 2,
+            index_capacity: 1 << 10,
+            ..Self::default()
+        }
+    }
+
+    /// Configuration with explicit thread counts.
+    pub fn with_threads(cc: usize, exec: usize) -> Self {
+        Self {
+            cc_threads: cc,
+            exec_threads: exec,
+            ..Self::default()
+        }
+    }
+
+    pub(crate) fn validate(&self) {
+        assert!(self.cc_threads >= 1, "need at least one CC thread");
+        assert!(self.exec_threads >= 1, "need at least one execution thread");
+    }
+}
+
+/// Declarative catalog: tables with fixed record sizes and seed data.
+///
+/// Tables receive dense ids in declaration order, matching the
+/// [`TableId`](bohm_common::TableId)s used in [`RecordId`](bohm_common::RecordId)s.
+pub struct CatalogSpec {
+    pub(crate) tables: Vec<TableSpec>,
+}
+
+pub(crate) struct TableSpec {
+    pub rows: u64,
+    pub record_size: usize,
+    /// Seed value for the u64 prefix of each row.
+    pub seed: Box<dyn Fn(u64) -> u64 + Send + Sync>,
+}
+
+impl Default for CatalogSpec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CatalogSpec {
+    pub fn new() -> Self {
+        Self { tables: Vec::new() }
+    }
+
+    /// Declare a table of `rows` records of `record_size` bytes, each
+    /// preloaded (at timestamp 0) with `seed(row)` in its u64 prefix.
+    pub fn table(
+        mut self,
+        rows: u64,
+        record_size: usize,
+        seed: impl Fn(u64) -> u64 + Send + Sync + 'static,
+    ) -> Self {
+        assert!(record_size >= 8);
+        self.tables.push(TableSpec {
+            rows,
+            record_size,
+            seed: Box::new(seed),
+        });
+        self
+    }
+
+    /// Record size of table `t`.
+    pub fn record_size(&self, t: usize) -> usize {
+        self.tables[t].record_size
+    }
+
+    pub(crate) fn total_rows(&self) -> u64 {
+        self.tables.iter().map(|t| t.rows).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        BohmConfig::default().validate();
+        BohmConfig::small().validate();
+        BohmConfig::with_threads(1, 1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "CC thread")]
+    fn zero_cc_threads_rejected() {
+        BohmConfig::with_threads(0, 1).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "execution thread")]
+    fn zero_exec_threads_rejected() {
+        BohmConfig::with_threads(1, 0).validate();
+    }
+
+    #[test]
+    fn catalog_assigns_dense_ids_and_sizes() {
+        let c = CatalogSpec::new().table(10, 8, |_| 0).table(5, 1000, |r| r);
+        assert_eq!(c.tables.len(), 2);
+        assert_eq!(c.record_size(1), 1000);
+        assert_eq!(c.total_rows(), 15);
+        assert_eq!((c.tables[1].seed)(3), 3);
+    }
+}

@@ -1,0 +1,469 @@
+//! Engine assembly: threads, channels, sequencer, public API.
+
+use crate::batch::{Batch, BatchHandle, TxnOutcome};
+use crate::config::{BohmConfig, CatalogSpec};
+use crate::window::Window;
+use crate::{cc, exec};
+use bohm_common::{RecordId, TableId, Txn};
+use bohm_mvstore::{HashIndex, Version, VersionIndex, VersionState};
+use crossbeam_channel::{unbounded, Sender};
+use crossbeam_epoch::{self as epoch, Owned};
+use crossbeam_utils::CachePadded;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// State shared by all engine threads.
+pub(crate) struct Inner {
+    pub config: BohmConfig,
+    record_sizes: Vec<usize>,
+    pub index: HashIndex,
+    pub window: Window,
+    /// Per execution thread: last timestamp of the most recent batch it has
+    /// fully finished (paper §3.3.2's `batch_i`, only written by thread i).
+    pub finished_ts: Vec<CachePadded<AtomicU64>>,
+    /// Global Condition-3 low watermark, expressed as a timestamp bound:
+    /// every transaction with `ts ≤ gc_bound` has finished executing.
+    pub gc_bound: AtomicU64,
+    /// Total versions retired by GC (diagnostics / ablation benches).
+    pub gc_retired: AtomicU64,
+    /// Diagnostics: nanoseconds each layer spent busy (indexing by role).
+    pub cc_busy_ns: AtomicU64,
+    pub exec_busy_ns: AtomicU64,
+}
+
+impl Inner {
+    /// Which CC thread owns `rid` (static hash partitioning, §3.2.2).
+    /// Must agree with [`PlanEntry::partition`](crate::batch::PlanEntry):
+    /// both use bits 32..64 of the stable hash.
+    #[inline]
+    pub fn partition_of(&self, rid: RecordId) -> usize {
+        ((rid.stable_hash() >> 32) % self.config.cc_threads as u64) as usize
+    }
+
+    #[inline]
+    pub fn record_size(&self, table: TableId) -> usize {
+        self.record_sizes[table.index()]
+    }
+}
+
+struct Sequencer {
+    next_ts: u64,
+    next_batch: u64,
+}
+
+/// A running BOHM engine. See the [crate docs](crate) for the protocol.
+pub struct Bohm {
+    inner: Arc<Inner>,
+    cc_senders: Vec<Sender<Arc<Batch>>>,
+    seq: Mutex<Sequencer>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Bohm {
+    /// Build the store from `catalog`, preload it (every seeded version has
+    /// timestamp 0), and spawn `cc_threads + exec_threads` worker threads.
+    pub fn start(config: BohmConfig, catalog: CatalogSpec) -> Self {
+        config.validate();
+        let index = HashIndex::with_capacity(
+            (catalog.total_rows() as usize).max(config.index_capacity.min(1 << 22)),
+        );
+        {
+            // Preloading happens before any worker exists, so the
+            // single-writer-per-chain invariant holds trivially.
+            let guard = epoch::pin();
+            for (tid, spec) in catalog.tables.iter().enumerate() {
+                for row in 0..spec.rows {
+                    let rid = RecordId::new(tid as u32, row);
+                    let data = bohm_common::value::of_u64((spec.seed)(row), spec.record_size);
+                    index
+                        .get_or_insert(rid)
+                        .install(Owned::new(Version::ready(0, data)), &guard);
+                }
+            }
+        }
+        let record_sizes = catalog.tables.iter().map(|t| t.record_size).collect();
+        let inner = Arc::new(Inner {
+            finished_ts: (0..config.exec_threads)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+            gc_bound: AtomicU64::new(0),
+            gc_retired: AtomicU64::new(0),
+            cc_busy_ns: AtomicU64::new(0),
+            exec_busy_ns: AtomicU64::new(0),
+            window: Window::new(),
+            record_sizes,
+            index,
+            config,
+        });
+
+        let mut threads = Vec::new();
+        let mut exec_senders = Vec::new();
+        for i in 0..inner.config.exec_threads {
+            let (tx, rx) = unbounded();
+            exec_senders.push(tx);
+            let inner2 = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("bohm-exec-{i}"))
+                    .spawn(move || exec::exec_loop(inner2, i, rx))
+                    .expect("spawn execution thread"),
+            );
+        }
+        let mut cc_senders = Vec::new();
+        for i in 0..inner.config.cc_threads {
+            let (tx, rx) = unbounded();
+            cc_senders.push(tx);
+            let inner2 = Arc::clone(&inner);
+            let exec_senders2 = exec_senders.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("bohm-cc-{i}"))
+                    .spawn(move || cc::cc_loop(inner2, i, rx, exec_senders2))
+                    .expect("spawn CC thread"),
+            );
+        }
+        // Worker threads now hold the only long-lived exec senders (via the
+        // CC threads); when submission stops and CC threads exit, execution
+        // channels close and the pipeline drains itself.
+        drop(exec_senders);
+
+        Self {
+            inner,
+            cc_senders,
+            seq: Mutex::new(Sequencer {
+                next_ts: 1, // preloaded versions live at ts 0
+                next_batch: 0,
+            }),
+            threads,
+        }
+    }
+
+    /// Append a batch of whole transactions to the input log.
+    ///
+    /// This is the paper's single-threaded sequencer (§3.2.1): position in
+    /// the log *is* the timestamp; no shared counter is ever incremented on
+    /// the transaction path. Returns immediately; use the handle to wait.
+    pub fn submit(&self, txns: Vec<Txn>) -> BatchHandle {
+        let (cc_n, exec_n) = (self.inner.config.cc_threads, self.inner.config.exec_threads);
+        let batch = {
+            let mut seq = self.seq.lock();
+            let b = Batch::new(
+                txns,
+                seq.next_ts,
+                seq.next_batch,
+                cc_n,
+                exec_n,
+                if self.inner.config.annotate_reads {
+                    self.inner.config.annotate_max_reads
+                } else {
+                    0
+                },
+            );
+            seq.next_ts += b.txns.len() as u64;
+            seq.next_batch += 1;
+            // Hand off under the sequencer lock so batches reach every CC
+            // thread in timestamp order (their channels are FIFO).
+            if b.txns.is_empty() {
+                b.mark_done();
+            } else {
+                for s in &self.cc_senders {
+                    s.send(Arc::clone(&b)).expect("engine is shut down");
+                }
+            }
+            b
+        };
+        BatchHandle { batch }
+    }
+
+    /// Submit and wait; returns per-transaction outcomes in order.
+    pub fn execute_sync(&self, txns: Vec<Txn>) -> Vec<TxnOutcome> {
+        self.submit(txns).outcomes()
+    }
+
+    /// Read the latest committed value of `rid` (diagnostics / verification;
+    /// intended for quiescent moments, e.g. after draining all batches).
+    pub fn read_record(&self, rid: RecordId) -> Option<Box<[u8]>> {
+        let guard = epoch::pin();
+        let chain = self.inner.index.get(rid)?;
+        let v = chain.latest(&guard)?;
+        match v.state() {
+            VersionState::Ready => Some(v.data().into()),
+            VersionState::Tombstone => None,
+            VersionState::Pending => panic!("read_record on a non-quiescent engine"),
+        }
+    }
+
+    /// `u64` prefix of the latest committed value of `rid`.
+    pub fn read_u64(&self, rid: RecordId) -> Option<u64> {
+        self.read_record(rid)
+            .map(|d| bohm_common::value::get_u64(&d, 0))
+    }
+
+    /// Versions retired by Condition-3 GC so far.
+    pub fn gc_retired(&self) -> u64 {
+        self.inner.gc_retired.load(Ordering::Relaxed)
+    }
+
+    /// Diagnostics: total busy time of (CC, execution) layers so far.
+    pub fn busy_times(&self) -> (std::time::Duration, std::time::Duration) {
+        (
+            std::time::Duration::from_nanos(self.inner.cc_busy_ns.load(Ordering::Relaxed)),
+            std::time::Duration::from_nanos(self.inner.exec_busy_ns.load(Ordering::Relaxed)),
+        )
+    }
+
+    /// Current GC low watermark (largest timestamp known fully executed).
+    pub fn gc_bound(&self) -> u64 {
+        self.inner.gc_bound.load(Ordering::Relaxed)
+    }
+
+    /// Number of CC / execution threads (for harness reporting).
+    pub fn thread_counts(&self) -> (usize, usize) {
+        (self.inner.config.cc_threads, self.inner.config.exec_threads)
+    }
+
+    /// Stop accepting work, drain the pipeline, and join all threads.
+    pub fn shutdown(mut self) {
+        self.shutdown_impl();
+    }
+
+    fn shutdown_impl(&mut self) {
+        // Closing the CC channels lets CC threads exit; their exec-sender
+        // clones drop with them, which closes the execution channels in turn.
+        self.cc_senders.clear();
+        for h in self.threads.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Bohm {
+    fn drop(&mut self) {
+        self.shutdown_impl();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bohm_common::{Procedure, SmallBankProc};
+
+    fn rid(k: u64) -> RecordId {
+        RecordId::new(0, k)
+    }
+
+    fn rmw(keys: &[u64], delta: u64) -> Txn {
+        let rids: Vec<RecordId> = keys.iter().map(|&k| rid(k)).collect();
+        Txn::new(rids.clone(), rids, Procedure::ReadModifyWrite { delta })
+    }
+
+    fn small_engine() -> Bohm {
+        Bohm::start(
+            BohmConfig::small(),
+            CatalogSpec::new().table(64, 8, |row| row * 10),
+        )
+    }
+
+    #[test]
+    fn preload_is_visible() {
+        let e = small_engine();
+        assert_eq!(e.read_u64(rid(0)), Some(0));
+        assert_eq!(e.read_u64(rid(7)), Some(70));
+        assert!(e.read_u64(RecordId::new(0, 64)).is_none());
+        e.shutdown();
+    }
+
+    #[test]
+    fn single_rmw_commits() {
+        let e = small_engine();
+        let out = e.execute_sync(vec![rmw(&[3], 5)]);
+        assert!(out[0].committed);
+        assert_eq!(e.read_u64(rid(3)), Some(35));
+        e.shutdown();
+    }
+
+    #[test]
+    fn empty_batch_completes() {
+        let e = small_engine();
+        let out = e.execute_sync(vec![]);
+        assert!(out.is_empty());
+        e.shutdown();
+    }
+
+    #[test]
+    fn same_key_rmws_serialize_in_log_order() {
+        let e = small_engine();
+        // 100 increments of one hot record inside a single batch: the
+        // execution layer must chain the read dependencies correctly.
+        let out = e.execute_sync((0..100).map(|_| rmw(&[1], 1)).collect());
+        assert!(out.iter().all(|o| o.committed));
+        assert_eq!(e.read_u64(rid(1)), Some(110));
+        e.shutdown();
+    }
+
+    #[test]
+    fn many_batches_pipeline() {
+        let e = small_engine();
+        let handles: Vec<_> = (0..20)
+            .map(|_| e.submit((0..50).map(|i| rmw(&[i % 8], 1)).collect()))
+            .collect();
+        for h in &handles {
+            h.wait();
+        }
+        // 20 batches × 50 txns, spread over keys 0..8: key k receives
+        // ceil/floor counts; total adds = 1000.
+        let total: u64 = (0..8).map(|k| e.read_u64(rid(k)).unwrap() - k * 10).sum();
+        assert_eq!(total, 1000);
+        e.shutdown();
+    }
+
+    #[test]
+    fn blind_writes_take_last_value_in_log_order() {
+        let e = small_engine();
+        let txns = (0..10)
+            .map(|i| {
+                Txn::new(
+                    vec![],
+                    vec![rid(5)],
+                    Procedure::BlindWrite { value: 1000 + i },
+                )
+            })
+            .collect();
+        let out = e.execute_sync(txns);
+        assert!(out.iter().all(|o| o.committed));
+        assert_eq!(e.read_u64(rid(5)), Some(1009));
+        e.shutdown();
+    }
+
+    #[test]
+    fn user_abort_copies_previous_version_through() {
+        let e = Bohm::start(
+            BohmConfig::small(),
+            CatalogSpec::new()
+                .table(4, 8, |_| 100) // savings
+                .table(4, 8, |_| 50), // checking
+        );
+        let sav = RecordId::new(0, 1);
+        // Withdraw 70 twice: first succeeds (100→30), second aborts (30-70<0).
+        let w = |amount: i64| {
+            Txn::new(
+                vec![sav],
+                vec![sav],
+                Procedure::SmallBank(SmallBankProc::TransactSaving { v: amount }),
+            )
+        };
+        let out = e.execute_sync(vec![w(-70), w(-70), w(10)]);
+        assert!(out[0].committed);
+        assert!(!out[1].committed, "overdraft must abort");
+        assert!(out[2].committed);
+        assert_eq!(e.read_u64(sav), Some(40), "30 after abort, then +10");
+        e.shutdown();
+    }
+
+    #[test]
+    fn read_only_fingerprints_reflect_serial_order() {
+        let e = small_engine();
+        let ro = || Txn::new(vec![rid(2)], vec![], Procedure::ReadOnly);
+        // r0 sees 20; write makes it 21; r1 sees 21.
+        let out = e.execute_sync(vec![ro(), rmw(&[2], 1), ro()]);
+        assert!(out.iter().all(|o| o.committed));
+        assert_ne!(out[0].fingerprint, out[2].fingerprint);
+        e.shutdown();
+    }
+
+    #[test]
+    fn gc_reclaims_superseded_versions() {
+        let e = Bohm::start(
+            BohmConfig::small(),
+            CatalogSpec::new().table(2, 8, |_| 0),
+        );
+        for _ in 0..50 {
+            e.execute_sync((0..20).map(|_| rmw(&[0], 1)).collect());
+        }
+        assert_eq!(e.read_u64(rid(0)), Some(1000));
+        assert!(
+            e.gc_retired() > 500,
+            "hot-key updates should be reclaimed, got {}",
+            e.gc_retired()
+        );
+        assert!(e.gc_bound() > 0);
+        e.shutdown();
+    }
+
+    #[test]
+    fn gc_can_be_disabled() {
+        let mut cfg = BohmConfig::small();
+        cfg.enable_gc = false;
+        let e = Bohm::start(cfg, CatalogSpec::new().table(2, 8, |_| 0));
+        for _ in 0..10 {
+            e.execute_sync((0..20).map(|_| rmw(&[0], 1)).collect());
+        }
+        assert_eq!(e.gc_retired(), 0);
+        assert_eq!(e.read_u64(rid(0)), Some(200));
+        e.shutdown();
+    }
+
+    #[test]
+    fn annotations_can_be_disabled() {
+        let mut cfg = BohmConfig::small();
+        cfg.annotate_reads = false;
+        let e = Bohm::start(cfg, CatalogSpec::new().table(8, 8, |r| r));
+        let out = e.execute_sync((0..40).map(|i| rmw(&[i % 8], 1)).collect());
+        assert!(out.iter().all(|o| o.committed));
+        assert_eq!(e.read_u64(rid(3)), Some(3 + 5));
+        e.shutdown();
+    }
+
+    #[test]
+    fn read_write_mix_across_records() {
+        let e = small_engine();
+        // 2RMW-8R style: writes to 2 records, reads of 8 others.
+        let txns: Vec<Txn> = (0..30)
+            .map(|i| {
+                let w: Vec<RecordId> = vec![rid(i % 4), rid(4 + (i % 4))];
+                let mut r = w.clone();
+                r.extend((8..16).map(rid));
+                Txn::new(r, w, Procedure::ReadModifyWrite { delta: 1 })
+            })
+            .collect();
+        let out = e.execute_sync(txns);
+        assert!(out.iter().all(|o| o.committed));
+        // 30 txns × 2 writes spread uniformly over 8 records.
+        let total: u64 = (0..8)
+            .map(|k| e.read_u64(rid(k)).unwrap() - k * 10)
+            .sum();
+        assert_eq!(total, 60);
+        e.shutdown();
+    }
+
+    #[test]
+    fn single_thread_each_layer_works() {
+        let e = Bohm::start(
+            BohmConfig::with_threads(1, 1),
+            CatalogSpec::new().table(16, 8, |_| 0),
+        );
+        let out = e.execute_sync((0..64).map(|i| rmw(&[i % 16], 1)).collect());
+        assert!(out.iter().all(|o| o.committed));
+        assert_eq!(e.read_u64(rid(0)), Some(4));
+        e.shutdown();
+    }
+
+    #[test]
+    fn wide_write_sets_use_intra_txn_parallelism() {
+        // One transaction writing many records is processed cooperatively
+        // by all CC threads (paper Fig. 2).
+        let e = Bohm::start(
+            BohmConfig::with_threads(4, 2),
+            CatalogSpec::new().table(64, 8, |_| 0),
+        );
+        let keys: Vec<u64> = (0..64).collect();
+        let out = e.execute_sync(vec![rmw(&keys, 7)]);
+        assert!(out[0].committed);
+        for k in 0..64 {
+            assert_eq!(e.read_u64(rid(k)), Some(7));
+        }
+        e.shutdown();
+    }
+}

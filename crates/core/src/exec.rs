@@ -1,0 +1,245 @@
+//! The transaction-execution phase (paper §3.3).
+//!
+//! Execution thread `i` is *responsible* for transactions `i, i+k, i+2k, …`
+//! of each batch, but any thread may execute any transaction: claiming is
+//! an `Unprocessed → Executing` CAS on the transaction's state word
+//! (§3.3.1). When a read resolves to a still-pending placeholder, the
+//! executor recursively evaluates the producing transaction; if the
+//! producer is already `Executing` on another thread, the current
+//! transaction is parked back to `Unprocessed` and picked up again later —
+//! the exact protocol of §3.3.1.
+//!
+//! After finishing its responsibilities for a batch, a thread publishes the
+//! batch's last timestamp in its slot of `finished_ts`; the designated
+//! thread 0 refreshes the global Condition-3 GC bound
+//! (`min_i finished_ts[i]`, §3.3.2), and the last thread out deregisters
+//! the batch from the window and wakes submitters.
+
+use crate::access::BohmAccess;
+use crate::batch::{txn_status, Batch, TxnState};
+use crate::engine::Inner;
+use bohm_common::{execute_procedure, AbortReason};
+use crossbeam_channel::Receiver;
+use crossbeam_epoch as epoch;
+use crossbeam_utils::Backoff;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Main loop of execution thread `me`.
+pub(crate) fn exec_loop(inner: Arc<Inner>, me: usize, rx: Receiver<Arc<Batch>>) {
+    let mut scratch = Vec::new();
+    while let Ok(batch) = rx.recv() {
+        let t0 = std::time::Instant::now();
+        run_batch(&inner, me, &batch, &mut scratch);
+        inner
+            .exec_busy_ns
+            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        inner.finished_ts[me].store(batch.last_ts(), Ordering::Release);
+        if me == 0 {
+            refresh_gc_bound(&inner);
+        }
+        if batch.exec_pending.fetch_sub(1, Ordering::AcqRel) == 1 {
+            inner.window.remove(batch.id);
+            batch.mark_done();
+        }
+    }
+}
+
+/// Recompute the global low watermark (paper §3.3.2: execution thread t0
+/// periodically sets `lowwatermark = min(batch_i)`).
+pub(crate) fn refresh_gc_bound(inner: &Inner) {
+    let min = inner
+        .finished_ts
+        .iter()
+        .map(|a| a.load(Ordering::Acquire))
+        .min()
+        .unwrap_or(0);
+    inner.gc_bound.store(min, Ordering::Release);
+}
+
+/// Drive every transaction this thread is responsible for to `Complete`.
+pub(crate) fn run_batch(inner: &Inner, me: usize, batch: &Batch, scratch: &mut Vec<u8>) {
+    let k = inner.config.exec_threads;
+    let n = batch.txns.len();
+    let mut remaining: Vec<usize> = (me..n).step_by(k).collect();
+    let backoff = Backoff::new();
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        remaining.retain(|&i| {
+            let t = &batch.txns[i];
+            match t.status() {
+                txn_status::COMPLETE => false,
+                txn_status::EXECUTING => true, // someone else is on it
+                _ => {
+                    if t.try_claim() {
+                        !run_claimed(inner, t, scratch, 0)
+                    } else {
+                        true
+                    }
+                }
+            }
+        });
+        if remaining.len() == before && !remaining.is_empty() {
+            // No progress this round: transactions are blocked on producers
+            // executing elsewhere. Back off briefly.
+            backoff.snooze();
+        }
+    }
+}
+
+/// Evaluate a transaction this thread has claimed (state = `Executing`).
+///
+/// Returns `true` if the transaction reached `Complete`; `false` if it was
+/// parked back to `Unprocessed` because a dependency is executing on
+/// another thread.
+pub(crate) fn run_claimed(
+    inner: &Inner,
+    t: &TxnState,
+    scratch: &mut Vec<u8>,
+    depth: usize,
+) -> bool {
+    t.txn.think();
+    loop {
+        let guard = epoch::pin();
+        let mut access = BohmAccess {
+            t,
+            index: &inner.index,
+            guard: &guard,
+        };
+        let result = execute_procedure(
+            &t.txn.proc,
+            &t.txn.reads,
+            &t.txn.writes,
+            &mut access,
+            scratch,
+        );
+        match result {
+            Ok(fp) => {
+                debug_assert!(all_writes_resolved(t), "procedure must fill every write");
+                t.complete(true, fp);
+                return true;
+            }
+            Err(AbortReason::User) => {
+                // Logic abort: the transaction's versions carry the data of
+                // their predecessors (paper §3.3.1, "write dependencies").
+                match copy_through(t, &guard) {
+                    Ok(()) => {
+                        t.complete(false, 0);
+                        return true;
+                    }
+                    Err(dep_ts) => {
+                        if !resolve_dependency(inner, dep_ts, scratch, depth) {
+                            t.park();
+                            return false;
+                        }
+                    }
+                }
+            }
+            Err(AbortReason::NotReady(dep_ts)) => {
+                if !resolve_dependency(inner, dep_ts, scratch, depth) {
+                    t.park();
+                    return false;
+                }
+                // Dependency resolved: re-run the procedure. Writes already
+                // made are replayed idempotently (`fill_once`).
+            }
+            Err(AbortReason::Conflict) => {
+                unreachable!("BOHM never aborts transactions for concurrency control")
+            }
+        }
+    }
+}
+
+/// Ensure the transaction at `dep_ts` has executed.
+///
+/// Returns `true` once the producer is `Complete` (possibly by executing it
+/// on this thread, recursively); `false` if it is being executed elsewhere
+/// or the recursion budget is exhausted — in both cases the caller parks.
+fn resolve_dependency(inner: &Inner, dep_ts: u64, scratch: &mut Vec<u8>, depth: usize) -> bool {
+    if depth >= inner.config.max_resolve_depth {
+        return false;
+    }
+    loop {
+        // Absent from the window ⇒ the batch fully completed ⇒ resolved.
+        let Some(dep_batch) = inner.window.lookup(dep_ts) else {
+            return true;
+        };
+        let dep = dep_batch.txn_at(dep_ts);
+        match dep.status() {
+            txn_status::COMPLETE => return true,
+            txn_status::EXECUTING => {
+                // The producer is actively running on another thread and
+                // will finish in microseconds; briefly wait for it instead
+                // of parking and re-running our whole procedure ("writes can
+                // block reads", §3.1). If it parks itself (its own
+                // dependency was busy), we observe Unprocessed and claim it;
+                // if it is descheduled for long, give up and park.
+                let backoff = Backoff::new();
+                loop {
+                    match dep.status() {
+                        txn_status::COMPLETE => return true,
+                        txn_status::EXECUTING => {
+                            if backoff.is_completed() {
+                                return false;
+                            }
+                            backoff.snooze();
+                        }
+                        _ => break, // parked: fall through to claim
+                    }
+                }
+            }
+            _ => {
+                if dep.try_claim() {
+                    return run_claimed(inner, dep, scratch, depth + 1);
+                }
+                // Lost the claim race; observe the new state and decide.
+            }
+        }
+    }
+}
+
+/// On a logic abort, fill each still-pending placeholder with its
+/// predecessor's data so later readers observe the pre-transaction state
+/// (paper §3.3.1). Fails with the producer timestamp if a predecessor is
+/// itself unresolved.
+fn copy_through(t: &TxnState, guard: &epoch::Guard) -> Result<(), u64> {
+    for wi in 0..t.txn.writes.len() {
+        let ptr = t.write_refs[wi].load(Ordering::Acquire);
+        debug_assert!(!ptr.is_null());
+        // SAFETY: placeholder liveness per Condition 3 (see crate docs).
+        let v = unsafe { &*ptr };
+        if v.is_resolved() {
+            // The logic-abort contract says aborts precede writes, so a
+            // resolved version here can only come from an earlier attempt's
+            // copy-through replay.
+            continue;
+        }
+        match v.prev(guard) {
+            None => {
+                // Aborted insert of a fresh record: publish a tombstone so
+                // readers see continued absence.
+                v.fill_tombstone();
+            }
+            Some(prev) => {
+                if !prev.is_resolved() {
+                    return Err(prev.begin());
+                }
+                match prev.state() {
+                    bohm_mvstore::VersionState::Tombstone => v.fill_tombstone(),
+                    _ => {
+                        v.fill_once(prev.data());
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn all_writes_resolved(t: &TxnState) -> bool {
+    t.write_refs.iter().all(|p| {
+        let ptr = p.load(Ordering::Acquire);
+        // SAFETY: as in copy_through.
+        !ptr.is_null() && unsafe { &*ptr }.is_resolved()
+    })
+}

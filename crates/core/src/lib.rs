@@ -1,0 +1,74 @@
+//! # BOHM — serializable multi-version concurrency control
+//!
+//! Implementation of the protocol from *Faleiro & Abadi, "Rethinking
+//! serializable multiversion concurrency control", VLDB 2015*.
+//!
+//! BOHM separates **concurrency control** from **transaction execution**
+//! (paper §3). A transaction flows through three roles:
+//!
+//! 1. **Sequencer** (a single uncontended appender, §3.2.1): assigns each
+//!    transaction a timestamp equal to its position in the input log. This
+//!    one timestamp plays the role of both `t_begin` and `t_end` of
+//!    conventional MVCC — the transaction appears to execute atomically at
+//!    `ts`. In this implementation the sequencer is the [`Bohm::submit`]
+//!    path.
+//! 2. **Concurrency-control threads** (§3.2.2-§3.2.4): each owns a static
+//!    hash partition of the key space. For every transaction, in timestamp
+//!    order, the owner of each written record installs an *uninitialized
+//!    placeholder version* and the owner of each read record annotates the
+//!    transaction with a direct pointer to the version it must read. No CC
+//!    thread ever synchronizes with another except through one atomic
+//!    countdown per **batch**.
+//! 3. **Execution threads** (§3.3): claim transactions via an
+//!    `Unprocessed → Executing` CAS, evaluate the stored procedure, and fill
+//!    placeholders in. A read that lands on a still-pending placeholder
+//!    recursively executes the producing transaction, or parks the current
+//!    transaction back to `Unprocessed` if the producer is already being
+//!    executed elsewhere.
+//!
+//! Reads never block writes; reads perform no shared-memory writes; there is
+//! no global timestamp counter, no lock manager, and no validation — hence
+//! no concurrency-control aborts (§3.3.3 sketches why the resulting
+//! executions are serializable in timestamp order; the invariant is tested
+//! end-to-end in this workspace's `tests/`).
+//!
+//! Old versions are reclaimed with the paper's **Condition 3** (§3.3.2):
+//! once every execution thread has finished batch `b`, versions superseded
+//! by transactions of batches `≤ b` are unreachable and are truncated by the
+//! owning CC thread, deferring physical frees to `crossbeam-epoch` (RCU).
+//!
+//! ## Example
+//!
+//! ```
+//! use bohm::{Bohm, BohmConfig, CatalogSpec};
+//! use bohm_common::{Procedure, RecordId, Txn};
+//!
+//! // One table of 100 eight-byte records, preloaded with row id as value.
+//! let catalog = CatalogSpec::new().table(100, 8, |row| row);
+//! let engine = Bohm::start(BohmConfig::small(), catalog);
+//!
+//! // Increment record 7 a hundred times, 10 txns per batch.
+//! for _ in 0..10 {
+//!     let txns: Vec<Txn> = (0..10)
+//!         .map(|_| {
+//!             let rid = RecordId::new(0, 7);
+//!             Txn::new(vec![rid], vec![rid], Procedure::ReadModifyWrite { delta: 1 })
+//!         })
+//!         .collect();
+//!     engine.submit(txns).wait();
+//! }
+//! assert_eq!(engine.read_u64(RecordId::new(0, 7)), Some(107));
+//! engine.shutdown();
+//! ```
+
+pub mod access;
+pub mod batch;
+pub mod cc;
+pub mod config;
+pub mod engine;
+pub mod exec;
+pub mod window;
+
+pub use batch::{BatchHandle, TxnOutcome};
+pub use config::{BohmConfig, CatalogSpec};
+pub use engine::Bohm;

@@ -1,0 +1,102 @@
+//! The batch window: unfinished batches visible to execution threads.
+//!
+//! Execution and concurrency control operate on different batches
+//! concurrently (paper §3.3.1), and a thread on batch `b+1` may hit a read
+//! dependency on a still-pending version produced in batch `b`. The window
+//! resolves a producer *timestamp* (a version's `begin` — the paper's "txn
+//! pointer") back to its [`TxnState`] so the dependency can be executed
+//! recursively.
+//!
+//! The window is touched only on the cold path (batch hand-off and blocked
+//! reads), so a mutex-protected vector is appropriate; the hot execution
+//! path never takes this lock.
+
+use crate::batch::Batch;
+use bohm_common::Timestamp;
+use parking_lot::RwLock;
+use std::sync::Arc;
+
+#[derive(Default)]
+pub(crate) struct Window {
+    batches: RwLock<Vec<Arc<Batch>>>,
+}
+
+impl Window {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a batch before any execution thread can see it.
+    pub fn push(&self, b: Arc<Batch>) {
+        self.batches.write().push(b);
+    }
+
+    /// Deregister a fully-executed batch.
+    pub fn remove(&self, id: u64) {
+        let mut v = self.batches.write();
+        if let Some(pos) = v.iter().position(|b| b.id == id) {
+            v.swap_remove(pos);
+        }
+    }
+
+    /// Find the batch containing timestamp `ts`.
+    ///
+    /// `None` means the batch already completed — in that case the producing
+    /// transaction is `Complete` and its versions are resolved, so the
+    /// caller can simply retry its read.
+    pub fn lookup(&self, ts: Timestamp) -> Option<Arc<Batch>> {
+        self.batches
+            .read()
+            .iter()
+            .find(|b| b.contains(ts))
+            .cloned()
+    }
+
+    #[cfg(test)]
+    pub fn len(&self) -> usize {
+        self.batches.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bohm_common::{Procedure, RecordId, Txn};
+
+    fn mk_batch(id: u64, base_ts: u64, n: usize) -> Arc<Batch> {
+        let txns = (0..n)
+            .map(|_| {
+                Txn::new(
+                    vec![RecordId::new(0, 0)],
+                    vec![],
+                    Procedure::ReadOnly,
+                )
+            })
+            .collect();
+        Batch::new(txns, base_ts, id, 1, 1, 64)
+    }
+
+    #[test]
+    fn lookup_finds_containing_batch() {
+        let w = Window::new();
+        w.push(mk_batch(0, 1, 10)); // ts 1..=10
+        w.push(mk_batch(1, 11, 5)); // ts 11..=15
+        assert_eq!(w.lookup(1).unwrap().id, 0);
+        assert_eq!(w.lookup(10).unwrap().id, 0);
+        assert_eq!(w.lookup(11).unwrap().id, 1);
+        assert!(w.lookup(16).is_none());
+    }
+
+    #[test]
+    fn remove_makes_batch_unresolvable() {
+        let w = Window::new();
+        w.push(mk_batch(0, 1, 10));
+        w.push(mk_batch(1, 11, 10));
+        w.remove(0);
+        assert!(w.lookup(5).is_none());
+        assert_eq!(w.lookup(12).unwrap().id, 1);
+        assert_eq!(w.len(), 1);
+        w.remove(99); // unknown id is a no-op
+        assert_eq!(w.len(), 1);
+    }
+}

@@ -1,0 +1,690 @@
+//! The Hekaton / SI engine proper.
+
+use crate::store::HekatonStore;
+use crate::txn::{state, HkTxn};
+use crate::version::{txn_word, unpack, HkVersion, WordView, END_INF};
+use bohm_common::engine::{Engine, ExecOutcome};
+use bohm_common::{AbortReason, Access, RecordId, Txn};
+use crossbeam_epoch as epoch;
+use crossbeam_utils::CachePadded;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Isolation level of a [`Hekaton`] instance.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum IsolationLevel {
+    /// Full serializability: read-set validation at commit (Larson et al.'s
+    /// optimistic serializable protocol — the paper's "Hekaton").
+    Serializable,
+    /// Snapshot isolation: write-write conflicts only; subject to write
+    /// skew (the paper's "SI").
+    SnapshotIsolation,
+}
+
+/// Internal read/write tracking of one attempt.
+struct ReadRec {
+    rid: RecordId,
+    version: *const HkVersion,
+}
+
+struct WriteRec {
+    rid: RecordId,
+    old: *const HkVersion,
+    new: *const HkVersion,
+}
+
+/// Per-worker reusable state.
+pub struct HkWorker {
+    reads: Vec<ReadRec>,
+    writes: Vec<WriteRec>,
+    scratch: Vec<u8>,
+}
+
+// SAFETY: raw version pointers are only dereferenced under the engine's
+// lifetime (versions are never freed while the store lives).
+unsafe impl Send for HkWorker {}
+
+/// Hekaton-style MVCC engine (optimistic, with a global timestamp counter
+/// and commit dependencies). See the crate docs for the protocol.
+pub struct Hekaton {
+    store: HekatonStore,
+    /// **The** global counter (paper §2.1/§4.2.2). Deliberately a single
+    /// contended cache line — that contention is a measured phenomenon.
+    counter: CachePadded<AtomicU64>,
+    isolation: IsolationLevel,
+    /// Allow speculative reads of uncommitted (Preparing) data — "commit
+    /// dependencies". The paper's baselines have this on.
+    speculate: bool,
+}
+
+impl Hekaton {
+    pub fn new(store: HekatonStore, isolation: IsolationLevel) -> Self {
+        Self {
+            store,
+            counter: CachePadded::new(AtomicU64::new(1)), // ts 0 = preload
+            isolation,
+            speculate: true,
+        }
+    }
+
+    /// The paper's "Hekaton" configuration.
+    pub fn serializable(store: HekatonStore) -> Self {
+        Self::new(store, IsolationLevel::Serializable)
+    }
+
+    /// The paper's "SI" configuration.
+    pub fn snapshot_isolation(store: HekatonStore) -> Self {
+        Self::new(store, IsolationLevel::SnapshotIsolation)
+    }
+
+    /// Disable commit dependencies (ablation).
+    pub fn without_speculation(mut self) -> Self {
+        self.speculate = false;
+        self
+    }
+
+    pub fn store(&self) -> &HekatonStore {
+        &self.store
+    }
+
+    /// Current counter value (diagnostics: shows ≥ 2 bumps per txn).
+    pub fn counter_value(&self) -> u64 {
+        self.counter.load(Ordering::Relaxed)
+    }
+
+    /// Resolve the version of `rid` visible at `ts` for transaction `me`.
+    ///
+    /// `Err(())` means the resolution consumed state of an aborted
+    /// transaction (or needed speculation with it disabled) and the caller
+    /// must concurrency-abort. `Ok(None)` means no visible version.
+    fn resolve(
+        &self,
+        rid: RecordId,
+        ts: u64,
+        me: Option<&HkTxn>,
+    ) -> Result<Option<*const HkVersion>, ()> {
+        // A walk can transiently find nothing: if the head was loaded just
+        // before a concurrent writer pushed its new version, the old head's
+        // end word already carries the writer's marker (speculatively
+        // invisible once it prepares) while the new version is not on our
+        // snapshot of the chain yet. Re-walk from a fresh head; the window
+        // closes as soon as the writer's push lands (it immediately follows
+        // the end-word CAS), so a handful of retries always suffices. A
+        // genuinely absent record is judged `None` on a quiet first walk.
+        let backoff = crossbeam_utils::Backoff::new();
+        for _ in 0..64 {
+            let mut cur = self.store.head(rid).load(Ordering::Acquire);
+            while !cur.is_null() {
+                // SAFETY: versions live as long as the store (no GC).
+                let v = unsafe { &*cur };
+                if self.begin_visible(v, ts, me)? && self.end_visible(v, ts, me)? {
+                    return Ok(Some(cur));
+                }
+                cur = v.prev.load(Ordering::Acquire);
+            }
+            if self.store.head(rid).load(Ordering::Acquire).is_null() {
+                return Ok(None); // record never existed
+            }
+            backoff.snooze();
+        }
+        // Still racing after many walks: treat as a concurrency conflict.
+        Err(())
+    }
+
+    /// Load a transaction's state, waiting out the instants-long `ENDING`
+    /// window in which its end timestamp is drawn but not yet published.
+    #[inline]
+    fn settled_state(&self, t: &HkTxn) -> u32 {
+        let mut s = t.state();
+        if s == state::ENDING {
+            let backoff = crossbeam_utils::Backoff::new();
+            while s == state::ENDING {
+                backoff.snooze();
+                s = t.state();
+            }
+        }
+        s
+    }
+
+    fn begin_visible(&self, v: &HkVersion, ts: u64, me: Option<&HkTxn>) -> Result<bool, ()> {
+        match unpack(v.begin.load(Ordering::Acquire)) {
+            WordView::Ts(crate::version::ABORTED_SENTINEL) => Ok(false),
+            WordView::Ts(b) => Ok(b <= ts),
+            WordView::Txn(p) => {
+                if let Some(m) = me {
+                    if std::ptr::eq(p, m) {
+                        return Ok(true); // own write
+                    }
+                }
+                // SAFETY: txn objects are epoch-protected while referenced
+                // from version words; callers hold a pinned guard.
+                let producer = unsafe { &*p };
+                match self.settled_state(producer) {
+                    state::ACTIVE => Ok(false),
+                    state::PREPARING => {
+                        if producer.end_ts() <= ts {
+                            self.speculative_dep(producer, me)?;
+                            Ok(true)
+                        } else {
+                            Ok(false)
+                        }
+                    }
+                    state::COMMITTED => Ok(producer.end_ts() <= ts),
+                    state::ABORTED => Ok(false),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    fn end_visible(&self, v: &HkVersion, ts: u64, me: Option<&HkTxn>) -> Result<bool, ()> {
+        match unpack(v.end.load(Ordering::Acquire)) {
+            WordView::Ts(END_INF) => Ok(true),
+            WordView::Ts(e) => Ok(e > ts),
+            WordView::Txn(p) => {
+                if let Some(m) = me {
+                    if std::ptr::eq(p, m) {
+                        return Ok(false); // superseded by our own write
+                    }
+                }
+                // SAFETY: as in begin_visible.
+                let ender = unsafe { &*p };
+                match self.settled_state(ender) {
+                    state::ACTIVE => Ok(true),
+                    state::PREPARING => {
+                        if ender.end_ts() <= ts {
+                            // Speculatively invisible: our fate depends on
+                            // the ender committing.
+                            self.speculative_dep(ender, me)?;
+                            Ok(false)
+                        } else {
+                            Ok(true)
+                        }
+                    }
+                    state::COMMITTED => Ok(ender.end_ts() > ts),
+                    state::ABORTED => Ok(true),
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+
+    /// Register a commit dependency of `me` on `producer`.
+    fn speculative_dep(&self, producer: &HkTxn, me: Option<&HkTxn>) -> Result<(), ()> {
+        let Some(m) = me else {
+            // Diagnostic reads never race with Preparing txns (quiescence).
+            return Ok(());
+        };
+        if !self.speculate {
+            return Err(()); // speculation disabled: treat as conflict
+        }
+        match producer.register_dependent(m) {
+            Ok(_) => Ok(()),
+            Err(()) => Err(()), // producer aborted under us
+        }
+    }
+
+    /// First-writer-wins update: supersede the version this transaction
+    /// read (or, for blind writes, the version visible to it) and publish a
+    /// new uncommitted version.
+    fn install_write(
+        &self,
+        rid: RecordId,
+        data: &[u8],
+        me: &HkTxn,
+        reads: &[ReadRec],
+        w: &mut Vec<WriteRec>,
+    ) -> Result<(), ()> {
+        // An RMW must supersede exactly the version it read: re-resolving
+        // here could land on a *newer* speculatively-visible version and
+        // silently lose our read→write dependency (a lost update). The CAS
+        // below then fails if anything superseded our read version in the
+        // meantime, which is precisely the write-write/anti-dependency
+        // conflict that must abort.
+        let old = if let Some(r) = reads.iter().rev().find(|r| r.rid == rid) {
+            r.version
+        } else if let Some(prev) = w.iter().rev().find(|r| r.rid == rid) {
+            // Second write to the same record in one transaction: build on
+            // our own uncommitted version.
+            prev.new
+        } else {
+            match self.resolve(rid, me.begin_ts, Some(me))? {
+                Some(v) => v,
+                None => panic!("update of unknown record {rid}"),
+            }
+        };
+        // SAFETY: store-lifetime versions.
+        let old_ref = unsafe { &*old };
+        if old_ref
+            .end
+            .compare_exchange(
+                END_INF,
+                txn_word(me),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            )
+            .is_err()
+        {
+            return Err(()); // write-write conflict: first writer wins
+        }
+        let nv = Box::into_raw(Box::new(HkVersion::uncommitted(me, data.into())));
+        self.store.push(rid, nv);
+        w.push(WriteRec {
+            rid,
+            old,
+            new: nv,
+        });
+        Ok(())
+    }
+
+    /// Validation + dependency wait + post-processing. Returns commit/abort.
+    fn finish(&self, me: &HkTxn, w: &mut HkWorker, user_abort: bool) -> bool {
+        if user_abort {
+            self.abort_txn(me, w);
+            return false;
+        }
+        me.set_ending();
+        // SeqCst: the RMW is a two-way fence ordering the ENDING store
+        // before the draw (see `state::ENDING`).
+        let end_ts = self.counter.fetch_add(1, Ordering::SeqCst);
+        me.prepare(end_ts);
+        let mut ok = true;
+        if self.isolation == IsolationLevel::Serializable {
+            // Re-resolve every read as of the end timestamp; the version
+            // observed must still be the visible one (anti-dependency
+            // check). Records we ourselves updated are governed by the
+            // write-lock CAS instead.
+            for r in &w.reads {
+                if w.writes.iter().any(|wr| wr.rid == r.rid) {
+                    continue;
+                }
+                match self.resolve(r.rid, end_ts, Some(me)) {
+                    Ok(Some(vnow)) if std::ptr::eq(vnow, r.version) => {}
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+        }
+        if ok {
+            ok = me.wait_for_dependencies();
+        }
+        if ok {
+            me.resolve(true);
+            // Post-processing: swap txn markers for real timestamps.
+            for wr in &w.writes {
+                // SAFETY: store-lifetime versions; we own these markers.
+                unsafe {
+                    (*wr.new).begin.store(end_ts, Ordering::Release);
+                    (*wr.old).end.store(end_ts, Ordering::Release);
+                }
+            }
+            true
+        } else {
+            self.abort_txn(me, w);
+            false
+        }
+    }
+
+    fn abort_txn(&self, me: &HkTxn, w: &mut HkWorker) {
+        me.resolve(false);
+        for wr in &w.writes {
+            // SAFETY: store-lifetime versions.
+            unsafe {
+                (*wr.new).mark_aborted();
+                (*wr.old).end.store(END_INF, Ordering::Release);
+            }
+        }
+    }
+}
+
+struct HkAccess<'a> {
+    eng: &'a Hekaton,
+    txn: &'a Txn,
+    me: &'a HkTxn,
+    reads: &'a mut Vec<ReadRec>,
+    writes: &'a mut Vec<WriteRec>,
+}
+
+impl Access for HkAccess<'_> {
+    fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
+        let rid = self.txn.reads[idx];
+        match self.eng.resolve(rid, self.me.begin_ts, Some(self.me)) {
+            Ok(Some(v)) => {
+                self.reads.push(ReadRec { rid, version: v });
+                // SAFETY: store-lifetime versions; payload immutable.
+                out(unsafe { &*v }.data());
+                Ok(())
+            }
+            Ok(None) => panic!("read of unknown record {rid}"),
+            Err(()) => Err(AbortReason::Conflict),
+        }
+    }
+
+    fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason> {
+        let rid = self.txn.writes[idx];
+        self.eng
+            .install_write(rid, data, self.me, self.reads, self.writes)
+            .map_err(|()| AbortReason::Conflict)
+    }
+
+    fn write_len(&mut self, idx: usize) -> usize {
+        self.eng.store.record_size(self.txn.writes[idx])
+    }
+}
+
+/// Exponential back-off between retries of cc-aborted transactions.
+#[inline]
+fn backoff(attempt: u64) {
+    let spins = 1u64 << attempt.min(10);
+    for _ in 0..spins {
+        std::hint::spin_loop();
+    }
+    if attempt > 10 {
+        std::thread::yield_now();
+    }
+}
+
+impl Engine for Hekaton {
+    type Worker = HkWorker;
+
+    fn name(&self) -> &'static str {
+        match self.isolation {
+            IsolationLevel::Serializable => "Hekaton",
+            IsolationLevel::SnapshotIsolation => "SI",
+        }
+    }
+
+    fn make_worker(&self) -> HkWorker {
+        HkWorker {
+            reads: Vec::with_capacity(32),
+            writes: Vec::with_capacity(16),
+            scratch: Vec::with_capacity(64),
+        }
+    }
+
+    fn execute(&self, txn: &Txn, w: &mut HkWorker) -> ExecOutcome {
+        let mut attempts = 0u64;
+        loop {
+            w.reads.clear();
+            w.writes.clear();
+            let guard = epoch::pin();
+            let begin_ts = self.counter.fetch_add(1, Ordering::SeqCst);
+            let me_ptr = Box::into_raw(Box::new(HkTxn::new(begin_ts)));
+            // SAFETY: freed via epoch deferral below.
+            let me = unsafe { &*me_ptr };
+
+            txn.think();
+            let mut scratch = std::mem::take(&mut w.scratch);
+            let mut reads = std::mem::take(&mut w.reads);
+            let mut writes = std::mem::take(&mut w.writes);
+            let result = bohm_common::execute_procedure(
+                &txn.proc,
+                &txn.reads,
+                &txn.writes,
+                &mut HkAccess {
+                    eng: self,
+                    txn,
+                    me,
+                    reads: &mut reads,
+                    writes: &mut writes,
+                },
+                &mut scratch,
+            );
+            w.scratch = scratch;
+            w.reads = reads;
+            w.writes = writes;
+
+            let decision = match result {
+                Ok(fp) => {
+                    if self.finish(me, w, false) {
+                        Some(ExecOutcome {
+                            committed: true,
+                            fingerprint: fp,
+                            cc_retries: attempts,
+                        })
+                    } else {
+                        None // cc abort → retry
+                    }
+                }
+                Err(AbortReason::User) => {
+                    self.finish(me, w, true);
+                    Some(ExecOutcome {
+                        committed: false,
+                        fingerprint: 0,
+                        cc_retries: attempts,
+                    })
+                }
+                Err(AbortReason::Conflict) => {
+                    self.abort_txn(me, w);
+                    None
+                }
+                Err(e) => unreachable!("{e:?}"),
+            };
+
+            // SAFETY: all version words referencing `me` were replaced by
+            // post-processing; in-flight readers hold epoch guards.
+            unsafe { guard.defer_unchecked(move || drop(Box::from_raw(me_ptr))) };
+            drop(guard);
+
+            match decision {
+                Some(out) => return out,
+                None => {
+                    attempts += 1;
+                    backoff(attempts);
+                }
+            }
+        }
+    }
+
+    fn read_u64(&self, rid: RecordId) -> Option<u64> {
+        if (rid.row as usize) >= self.store.rows(rid.table.0) {
+            return None;
+        }
+        let _guard = epoch::pin();
+        match self.resolve(rid, u64::MAX & !(1 << 63), None) {
+            Ok(Some(v)) => {
+                // SAFETY: store-lifetime versions.
+                Some(bohm_common::value::get_u64(unsafe { &*v }.data(), 0))
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bohm_common::Procedure;
+    use std::sync::Arc;
+
+    fn store(rows: u64) -> HekatonStore {
+        let s = HekatonStore::new(&[(rows, 8)]);
+        s.seed_u64(0, |r| r);
+        s
+    }
+
+    fn rmw(k: u64, delta: u64) -> Txn {
+        let rid = RecordId::new(0, k);
+        Txn::new(vec![rid], vec![rid], Procedure::ReadModifyWrite { delta })
+    }
+
+    #[test]
+    fn rmw_commits_and_bumps_counter_twice() {
+        let e = Hekaton::serializable(store(8));
+        let c0 = e.counter_value();
+        let mut w = e.make_worker();
+        let out = e.execute(&rmw(3, 10), &mut w);
+        assert!(out.committed);
+        assert_eq!(e.read_u64(RecordId::new(0, 3)), Some(13));
+        assert!(
+            e.counter_value() >= c0 + 2,
+            "begin + commit must both hit the global counter"
+        );
+    }
+
+    #[test]
+    fn versions_accumulate_without_gc() {
+        let e = Hekaton::serializable(store(2));
+        let mut w = e.make_worker();
+        for _ in 0..10 {
+            assert!(e.execute(&rmw(0, 1), &mut w).committed);
+        }
+        assert_eq!(e.read_u64(RecordId::new(0, 0)), Some(10));
+        assert_eq!(e.store().chain_depth(RecordId::new(0, 0)), 11);
+    }
+
+    #[test]
+    fn concurrent_hot_key_increments_are_exact() {
+        for iso in [IsolationLevel::Serializable, IsolationLevel::SnapshotIsolation] {
+            let e = Arc::new(Hekaton::new(store(2), iso));
+            let mut handles = Vec::new();
+            for _ in 0..8 {
+                let e = Arc::clone(&e);
+                handles.push(std::thread::spawn(move || {
+                    let mut w = e.make_worker();
+                    let mut retries = 0;
+                    for _ in 0..2_000 {
+                        let out = e.execute(&rmw(1, 1), &mut w);
+                        assert!(out.committed);
+                        retries += out.cc_retries;
+                    }
+                    retries
+                }));
+            }
+            let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+            assert_eq!(e.read_u64(RecordId::new(0, 1)), Some(1 + 16_000));
+            assert!(total > 0, "hot-key RMWs must suffer ww-conflict aborts");
+        }
+    }
+
+    #[test]
+    fn user_abort_rolls_back_installed_versions() {
+        use bohm_common::SmallBankProc;
+        let s = HekatonStore::new(&[(2, 8)]);
+        s.seed_u64(0, |_| 5);
+        let e = Hekaton::serializable(s);
+        let mut w = e.make_worker();
+        let sav = RecordId::new(0, 0);
+        let t = Txn::new(
+            vec![sav],
+            vec![sav],
+            Procedure::SmallBank(SmallBankProc::TransactSaving { v: -10 }),
+        );
+        let out = e.execute(&t, &mut w);
+        assert!(!out.committed);
+        assert_eq!(out.cc_retries, 0, "logic aborts are not retried");
+        assert_eq!(e.read_u64(sav), Some(5));
+        // The aborted version stays as garbage in the chain (no GC) but a
+        // subsequent update must succeed over it.
+        assert!(e.execute(&rmw(0, 1), &mut w).committed);
+        assert_eq!(e.read_u64(sav), Some(6));
+    }
+
+    /// The write-skew anomaly (§2, Fig. 1): two transactions with
+    /// overlapping read sets and disjoint write sets drawn from the shared
+    /// reads. Serializable Hekaton must forbid the non-serializable
+    /// outcome; SI must (eventually) exhibit it.
+    fn zero_store(rows: u64) -> HekatonStore {
+        let s = HekatonStore::new(&[(rows, 8)]);
+        s.seed_u64(0, |_| 0);
+        s
+    }
+
+    fn write_skew_trial(e: &Arc<Hekaton>) -> (u64, u64) {
+        // x = r0, y = r1, both start 0 (zero-seeded store). Two concurrent
+        // RMWs with overlapping read sets {x, y} and disjoint single-record
+        // write sets — the §2 anomaly shape.
+        let x = RecordId::new(0, 0);
+        let y = RecordId::new(0, 1);
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let mk = |writes: RecordId| {
+            Txn::new(
+                vec![x, y],
+                vec![writes],
+                // RMW with delta 1 on the written record; reads of both.
+                Procedure::ReadModifyWrite { delta: 1 },
+            )
+        };
+        let h1 = {
+            let e = Arc::clone(e);
+            let b = Arc::clone(&barrier);
+            let t = mk(y);
+            std::thread::spawn(move || {
+                let mut w = e.make_worker();
+                b.wait();
+                e.execute(&t, &mut w)
+            })
+        };
+        let h2 = {
+            let e = Arc::clone(e);
+            let b = Arc::clone(&barrier);
+            let t = mk(x);
+            std::thread::spawn(move || {
+                let mut w = e.make_worker();
+                b.wait();
+                e.execute(&t, &mut w)
+            })
+        };
+        h1.join().unwrap();
+        h2.join().unwrap();
+        (
+            e.read_u64(x).unwrap(),
+            e.read_u64(y).unwrap(),
+        )
+    }
+
+    #[test]
+    fn serializable_mode_forbids_write_skew() {
+        // Under serializability the two RMWs must appear in *some* serial
+        // order; since each reads both records, the later one reads the
+        // earlier one's write. With our fingerprinting we can't observe the
+        // reads directly, but both-written (1,1) from a state where each
+        // read (0,0) is fine for this procedure (increments commute).
+        // The discriminating check is done through raw read observation:
+        // re-run many trials and assert the *reads* were never both-stale.
+        // Simpler equivalent: use validation retry counters — under
+        // serializable isolation, concurrent overlapping read sets with
+        // disjoint writes must produce at least one validation abort across
+        // many trials.
+        let mut saw_retry = false;
+        for _ in 0..50 {
+            let e = Arc::new(Hekaton::serializable(zero_store(2)));
+            let _ = write_skew_trial(&e);
+            if e.counter_value() > 5 {
+                // begin+begin+end+end = 4 bumps minimum; a 5th bump implies
+                // a retried attempt, i.e. a validation abort fired.
+                saw_retry = true;
+                break;
+            }
+        }
+        assert!(
+            saw_retry,
+            "serializable validation never fired on racing overlapped txns"
+        );
+    }
+
+    #[test]
+    fn snapshot_isolation_skips_read_validation() {
+        // Under SI the same race commits both transactions on first attempt
+        // (no read validation, disjoint write sets → no ww conflict), so
+        // the counter stays at the 4-bump minimum in every trial.
+        for _ in 0..20 {
+            let e = Arc::new(Hekaton::snapshot_isolation(zero_store(2)));
+            let (x, y) = write_skew_trial(&e);
+            assert_eq!((x, y), (1, 1), "SI admits the write-skew outcome");
+            assert!(
+                e.counter_value() <= 5,
+                "SI must not validation-abort disjoint writers"
+            );
+        }
+    }
+
+    #[test]
+    fn engine_names_reflect_isolation() {
+        let e1 = Hekaton::serializable(store(1));
+        let e2 = Hekaton::snapshot_isolation(store(1));
+        assert_eq!(e1.name(), "Hekaton");
+        assert_eq!(e2.name(), "SI");
+    }
+}

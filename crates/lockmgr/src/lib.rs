@@ -1,0 +1,22 @@
+//! Lock-manager substrate for the 2PL baseline.
+//!
+//! The paper's locking implementation has three properties (§4):
+//!
+//! 1. **Fine-grained latching** — no centralized latch. Here every record
+//!    gets its own reader/writer lock *word* in a flat pre-sized array (the
+//!    limit case of per-bucket latching: bucket count = record count, with
+//!    zero hash collisions because slots come from the store's dense
+//!    record→slot map).
+//! 2. **Deadlock freedom** — [`LockTable::acquire`] sorts requests into the
+//!    global record order before acquiring, so no deadlock detection logic
+//!    exists anywhere.
+//! 3. **No lock-table-entry allocations** — all state is allocated once at
+//!    startup; acquiring and releasing locks never allocates (the request
+//!    buffer is a caller-owned "workhorse" vector reused across
+//!    transactions).
+
+pub mod rwlock;
+pub mod table;
+
+pub use rwlock::RwSpin;
+pub use table::{LockMode, LockRequest, LockTable};

@@ -1,0 +1,315 @@
+//! Record indexes mapping [`RecordId`]s to version [`Chain`]s.
+//!
+//! Two implementations, matching the paper's setups:
+//!
+//! * [`HashIndex`] — the "standard latch-free hash-table" (§3.3.1): readers
+//!   are lock-free and write nothing; inserts are CAS-pushes onto bucket
+//!   lists. BOHM's protocol additionally guarantees that each *key* is only
+//!   ever inserted by one CC thread, but the index is safe for arbitrary
+//!   concurrent inserters (different keys may share a bucket).
+//! * [`DenseIndex`] — the fixed-size array index the paper's Hekaton/SI
+//!   baselines use (§4); also handy for ablations.
+//!
+//! Index entries are never removed while the index is alive (BOHM garbage
+//! collects *versions*, not keys), so entry nodes use plain `AtomicPtr`
+//! without deferred reclamation; the chains inside them handle version
+//! reclamation through `crossbeam-epoch`.
+
+use crate::chain::Chain;
+use bohm_common::{RecordId, TableId};
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+/// Common interface over the two index kinds.
+pub trait VersionIndex: Send + Sync {
+    /// Chain for `rid`, if the key has ever been inserted.
+    fn get(&self, rid: RecordId) -> Option<&Chain>;
+    /// Chain for `rid`, inserting an empty chain if absent.
+    fn get_or_insert(&self, rid: RecordId) -> &Chain;
+    /// Number of keys present.
+    fn len(&self) -> usize;
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+struct Entry {
+    rid: RecordId,
+    chain: Chain,
+    next: AtomicPtr<Entry>,
+}
+
+/// Latch-free chained hash table.
+pub struct HashIndex {
+    buckets: Box<[AtomicPtr<Entry>]>,
+    mask: u64,
+    len: AtomicUsize,
+}
+
+impl HashIndex {
+    /// Create with capacity for roughly `expected` keys (bucket count is the
+    /// next power of two ≥ `expected`, i.e. load factor ≤ 1).
+    pub fn with_capacity(expected: usize) -> Self {
+        let n = expected.max(16).next_power_of_two();
+        let mut buckets = Vec::with_capacity(n);
+        buckets.resize_with(n, || AtomicPtr::new(ptr::null_mut()));
+        Self {
+            buckets: buckets.into_boxed_slice(),
+            mask: (n - 1) as u64,
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    #[inline]
+    fn bucket(&self, rid: RecordId) -> &AtomicPtr<Entry> {
+        &self.buckets[(rid.stable_hash() & self.mask) as usize]
+    }
+
+    #[inline]
+    fn find(&self, rid: RecordId) -> Option<&Entry> {
+        let mut cur = self.bucket(rid).load(Ordering::Acquire);
+        while !cur.is_null() {
+            // SAFETY: entries are heap-allocated, published with release
+            // stores, and never freed while `&self` is alive.
+            let e = unsafe { &*cur };
+            if e.rid == rid {
+                return Some(e);
+            }
+            cur = e.next.load(Ordering::Acquire);
+        }
+        None
+    }
+}
+
+impl VersionIndex for HashIndex {
+    fn get(&self, rid: RecordId) -> Option<&Chain> {
+        self.find(rid).map(|e| &e.chain)
+    }
+
+    fn get_or_insert(&self, rid: RecordId) -> &Chain {
+        if let Some(e) = self.find(rid) {
+            return &e.chain;
+        }
+        let bucket = self.bucket(rid);
+        let mut new = Box::into_raw(Box::new(Entry {
+            rid,
+            chain: Chain::new(),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }));
+        loop {
+            let head = bucket.load(Ordering::Acquire);
+            // Re-scan the bucket: another thread may have inserted `rid`
+            // between our find() and the CAS below. (BOHM's partitioning
+            // makes that impossible for a single key, but the substrate
+            // stays correct without that assumption.)
+            let mut cur = head;
+            while !cur.is_null() {
+                let e = unsafe { &*cur };
+                if e.rid == rid {
+                    // SAFETY: `new` was never published.
+                    drop(unsafe { Box::from_raw(new) });
+                    return &e.chain;
+                }
+                cur = e.next.load(Ordering::Acquire);
+            }
+            unsafe { &*new }.next.store(head, Ordering::Relaxed);
+            match bucket.compare_exchange(head, new, Ordering::Release, Ordering::Acquire) {
+                Ok(_) => {
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return &unsafe { &*new }.chain;
+                }
+                Err(_) => {
+                    // Lost the race; retry (new stays unpublished).
+                    let _ = &mut new;
+                }
+            }
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for HashIndex {
+    fn drop(&mut self) {
+        for b in self.buckets.iter() {
+            let mut cur = b.load(Ordering::Relaxed);
+            while !cur.is_null() {
+                // SAFETY: exclusive access via &mut self.
+                let e = unsafe { Box::from_raw(cur) };
+                cur = e.next.load(Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Fixed-size array index: table sizes are declared up front and rows are
+/// addressed directly. Rejects out-of-range rows with `None`/panic.
+pub struct DenseIndex {
+    tables: Vec<Box<[Chain]>>,
+}
+
+impl DenseIndex {
+    /// `sizes[t]` is the row count of table `t`.
+    pub fn new(sizes: &[usize]) -> Self {
+        Self {
+            tables: sizes
+                .iter()
+                .map(|&n| {
+                    let mut v = Vec::with_capacity(n);
+                    v.resize_with(n, Chain::new);
+                    v.into_boxed_slice()
+                })
+                .collect(),
+        }
+    }
+
+    /// Row count of one table.
+    pub fn table_len(&self, table: TableId) -> usize {
+        self.tables[table.index()].len()
+    }
+}
+
+impl VersionIndex for DenseIndex {
+    fn get(&self, rid: RecordId) -> Option<&Chain> {
+        self.tables
+            .get(rid.table.index())
+            .and_then(|t| t.get(rid.row as usize))
+    }
+
+    fn get_or_insert(&self, rid: RecordId) -> &Chain {
+        self.get(rid)
+            .expect("DenseIndex is fixed-size; row out of declared bounds")
+    }
+
+    fn len(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::version::Version;
+    use crossbeam_epoch as epoch;
+    use crossbeam_epoch::Owned;
+
+    fn rid(t: u32, k: u64) -> RecordId {
+        RecordId::new(t, k)
+    }
+
+    #[test]
+    fn hash_get_or_insert_is_idempotent() {
+        let idx = HashIndex::with_capacity(64);
+        let a = idx.get_or_insert(rid(0, 1)) as *const Chain;
+        let b = idx.get_or_insert(rid(0, 1)) as *const Chain;
+        assert_eq!(a, b);
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn hash_get_misses_absent_keys() {
+        let idx = HashIndex::with_capacity(16);
+        idx.get_or_insert(rid(0, 1));
+        assert!(idx.get(rid(0, 2)).is_none());
+        assert!(idx.get(rid(1, 1)).is_none(), "table id is part of the key");
+    }
+
+    #[test]
+    fn hash_handles_bucket_collisions() {
+        // Tiny table forces collisions; all keys must remain reachable.
+        let idx = HashIndex::with_capacity(1);
+        for k in 0..200 {
+            idx.get_or_insert(rid(0, k));
+        }
+        assert_eq!(idx.len(), 200);
+        for k in 0..200 {
+            assert!(idx.get(rid(0, k)).is_some(), "lost key {k}");
+        }
+    }
+
+    #[test]
+    fn hash_chains_store_versions() {
+        let idx = HashIndex::with_capacity(16);
+        let g = epoch::pin();
+        idx.get_or_insert(rid(0, 7))
+            .install(Owned::new(Version::ready(1, bohm_common::value::of_u64(9, 8))), &g);
+        let v = idx.get(rid(0, 7)).unwrap().visible(2, &g).unwrap();
+        assert_eq!(bohm_common::value::get_u64(v.data(), 0), 9);
+    }
+
+    #[test]
+    fn hash_concurrent_inserts_unique_keys() {
+        use std::sync::Arc;
+        let idx = Arc::new(HashIndex::with_capacity(8)); // force collisions
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let idx = Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                for k in 0..500 {
+                    idx.get_or_insert(rid(0, t * 1000 + k));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(idx.len(), 8 * 500);
+        for t in 0..8u64 {
+            for k in 0..500 {
+                assert!(idx.get(rid(0, t * 1000 + k)).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn hash_concurrent_inserts_same_key_converge() {
+        use std::sync::Arc;
+        let idx = Arc::new(HashIndex::with_capacity(8));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let idx = Arc::clone(&idx);
+            handles.push(std::thread::spawn(move || {
+                let mut ptrs = Vec::new();
+                for k in 0..100u64 {
+                    ptrs.push(idx.get_or_insert(rid(0, k)) as *const Chain as usize);
+                }
+                ptrs
+            }));
+        }
+        let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for r in &results[1..] {
+            assert_eq!(r, &results[0], "all threads must agree on chain identity");
+        }
+        assert_eq!(idx.len(), 100);
+    }
+
+    #[test]
+    fn dense_index_addresses_by_row() {
+        let idx = DenseIndex::new(&[10, 5]);
+        assert_eq!(idx.len(), 15);
+        assert_eq!(idx.table_len(TableId(0)), 10);
+        assert!(idx.get(rid(0, 9)).is_some());
+        assert!(idx.get(rid(0, 10)).is_none());
+        assert!(idx.get(rid(1, 4)).is_some());
+        assert!(idx.get(rid(2, 0)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-size")]
+    fn dense_index_rejects_inserts_out_of_bounds() {
+        let idx = DenseIndex::new(&[4]);
+        idx.get_or_insert(rid(0, 4));
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let hash: Box<dyn VersionIndex> = Box::new(HashIndex::with_capacity(4));
+        let dense: Box<dyn VersionIndex> = Box::new(DenseIndex::new(&[4]));
+        hash.get_or_insert(rid(0, 1));
+        dense.get_or_insert(rid(0, 1));
+        assert_eq!(hash.len(), 1);
+        assert_eq!(dense.len(), 4);
+    }
+}

@@ -1,0 +1,30 @@
+//! Multi-version storage substrate for the BOHM engine.
+//!
+//! Implements the version layout of paper Fig. 3 — `{begin ts, end ts,
+//! txn pointer, data, prev pointer}` — plus the two structures BOHM builds
+//! on top of it:
+//!
+//! * [`Chain`]: the per-record linked list of versions, maintained by a
+//!   **single writer** (the concurrency-control thread that owns the
+//!   record's partition, paper §3.2.2) and traversed by many readers with
+//!   no shared-memory writes (paper §2.2 goal 2),
+//! * [`HashIndex`]: the "standard latch-free hash-table" the paper uses to
+//!   index data (§3.3.1) — one inserter per key, lock-free readers — and
+//!   [`DenseIndex`], the fixed-size array alternative (§4: the baselines'
+//!   array index; used here for ablations).
+//!
+//! Physical reclamation uses `crossbeam-epoch`, mirroring the paper's
+//! RCU-based garbage collection (§3.3.2). *Logical* reclamation safety comes
+//! from Condition 3 (batch low-watermark): by the time a version is
+//! truncated, no active or future transaction can resolve to it. The epoch
+//! guard additionally protects physically-overlapping chain traversals
+//! (e.g. a reader walking past the truncation point because no version is
+//! visible at its timestamp).
+
+pub mod chain;
+pub mod index;
+pub mod version;
+
+pub use chain::Chain;
+pub use index::{DenseIndex, HashIndex, VersionIndex};
+pub use version::{Version, VersionState};

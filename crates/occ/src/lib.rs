@@ -1,0 +1,487 @@
+//! Silo-style optimistic concurrency control baseline (Tu et al.,
+//! SOSP 2013), the paper's "OCC" (§4: "a direct implementation of Silo —
+//! it validates transactions using decentralized timestamps and avoids all
+//! shared-memory writes for records that were only read").
+//!
+//! Protocol summary:
+//!
+//! * Every record carries a 64-bit **TID word** (bit 63 = lock, rest =
+//!   version). Reads are *stable reads*: load TID, copy payload, re-load
+//!   TID; retry if it changed or was locked. Reads write nothing shared.
+//! * Writes are buffered in a **thread-local write buffer reused across
+//!   transactions** (§4.2.1 explains this buffer's cache locality is why
+//!   OCC beats multi-version systems at low contention).
+//! * Commit: lock the write set in global slot order (deadlock-free), issue
+//!   a fence, validate that every read's TID is unchanged and unlocked (or
+//!   locked by us), derive the new TID as `max(observed, thread-last) + 1`
+//!   — **decentralized**, no global counter — then apply writes and unlock
+//!   by storing the new TID.
+//! * Concurrency-control aborts release everything, back off exponentially
+//!   (the paper credits this back-off for OCC's graceful behaviour under
+//!   write contention, Fig. 5 top), and retry.
+
+use bohm_common::engine::{Engine, ExecOutcome};
+use bohm_common::{AbortReason, Access, RecordId, Txn};
+use bohm_svstore::{SingleVersionStore, StoreBuilder};
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+/// Lock bit of the TID word.
+const LOCK: u64 = 1 << 63;
+
+/// One buffered write.
+struct WriteEntry {
+    rid: RecordId,
+    slot: u64,
+    /// Range into the worker's byte buffer.
+    off: usize,
+    len: usize,
+}
+
+/// Per-worker state: read set, write buffer, decentralized TID clock.
+pub struct OccWorker {
+    reads: Vec<(RecordId, u64)>,
+    wentries: Vec<WriteEntry>,
+    wbuf: Vec<u8>,
+    read_buf: Vec<u8>,
+    scratch: Vec<u8>,
+    /// Sorted indices into `wentries` (lock order), reused.
+    lock_order: Vec<usize>,
+    /// Largest TID this thread has committed with (Silo's per-thread clock).
+    last_tid: u64,
+}
+
+impl OccWorker {
+    fn reset(&mut self) {
+        self.reads.clear();
+        self.wentries.clear();
+        self.wbuf.clear();
+        self.lock_order.clear();
+    }
+}
+
+/// The OCC engine.
+pub struct SiloOcc {
+    store: SingleVersionStore,
+    /// Cap on commit-phase retries before panicking (defence against bugs;
+    /// practically unreachable thanks to back-off).
+    max_attempts: u64,
+}
+
+impl SiloOcc {
+    pub fn new(store: SingleVersionStore) -> Self {
+        Self {
+            store,
+            max_attempts: u64::MAX,
+        }
+    }
+
+    pub fn from_builder(builder: StoreBuilder) -> Self {
+        Self::new(builder.build())
+    }
+
+    pub fn store(&self) -> &SingleVersionStore {
+        &self.store
+    }
+
+    #[inline]
+    fn meta(&self, rid: RecordId) -> &AtomicU64 {
+        self.store.table(rid).meta(rid.row as usize)
+    }
+}
+
+struct OccAccess<'a> {
+    eng: &'a SiloOcc,
+    txn: &'a Txn,
+    w: &'a mut OccWorker,
+}
+
+impl Access for OccAccess<'_> {
+    fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
+        let rid = self.txn.reads[idx];
+        // Read-own-write: serve from the write buffer.
+        if let Some(e) = self.w.wentries.iter().find(|e| e.rid == rid) {
+            out(&self.w.wbuf[e.off..e.off + e.len]);
+            return Ok(());
+        }
+        // Stable read: TID / payload / TID.
+        let meta = self.eng.meta(rid);
+        let table = self.eng.store.table(rid);
+        loop {
+            let t1 = meta.load(Ordering::Acquire);
+            if t1 & LOCK != 0 {
+                std::hint::spin_loop();
+                continue;
+            }
+            self.w.read_buf.clear();
+            // SAFETY: payload may be racing with a writer; the TID re-check
+            // below rejects torn reads (Silo's documented protocol).
+            unsafe {
+                table.read(rid.row as usize, &mut |b| {
+                    self.w.read_buf.extend_from_slice(b)
+                })
+            };
+            fence(Ordering::Acquire);
+            let t2 = meta.load(Ordering::Acquire);
+            if t1 == t2 {
+                self.w.reads.push((rid, t1));
+                out(&self.w.read_buf);
+                return Ok(());
+            }
+        }
+    }
+
+    fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason> {
+        let rid = self.txn.writes[idx];
+        if let Some(e) = self.w.wentries.iter().find(|e| e.rid == rid) {
+            debug_assert_eq!(e.len, data.len());
+            let (off, len) = (e.off, e.len);
+            self.w.wbuf[off..off + len].copy_from_slice(data);
+            return Ok(());
+        }
+        let off = self.w.wbuf.len();
+        self.w.wbuf.extend_from_slice(data);
+        self.w.wentries.push(WriteEntry {
+            rid,
+            slot: self.eng.store.slot(rid),
+            off,
+            len: data.len(),
+        });
+        Ok(())
+    }
+
+    fn write_len(&mut self, idx: usize) -> usize {
+        self.eng.store.table(self.txn.writes[idx]).record_size()
+    }
+}
+
+impl SiloOcc {
+    /// Silo commit protocol. Returns the new TID, or `None` on validation
+    /// failure (everything unlocked, caller retries).
+    fn try_commit(&self, w: &mut OccWorker) -> Option<u64> {
+        // Phase 1: lock the write set in slot order.
+        w.lock_order.clear();
+        w.lock_order.extend(0..w.wentries.len());
+        let entries = &w.wentries;
+        w.lock_order.sort_unstable_by_key(|&i| entries[i].slot);
+        let mut locked_tids = Vec::with_capacity(w.lock_order.len());
+        for &i in &w.lock_order {
+            let meta = self.meta(w.wentries[i].rid);
+            loop {
+                let cur = meta.load(Ordering::Relaxed);
+                if cur & LOCK == 0
+                    && meta
+                        .compare_exchange_weak(cur, cur | LOCK, Ordering::Acquire, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    locked_tids.push(cur);
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        }
+        fence(Ordering::SeqCst);
+        // Phase 2: validate the read set.
+        for &(rid, t1) in &w.reads {
+            let cur = self.meta(rid).load(Ordering::Acquire);
+            let in_write_set = w.wentries.iter().any(|e| e.rid == rid);
+            let changed = (cur & !LOCK) != t1;
+            let locked_by_other = (cur & LOCK != 0) && !in_write_set;
+            if changed || locked_by_other {
+                // Unlock and fail.
+                for (k, &i) in w.lock_order.iter().enumerate() {
+                    self.meta(w.wentries[i].rid)
+                        .store(locked_tids[k], Ordering::Release);
+                }
+                return None;
+            }
+        }
+        // TID: larger than anything observed and this thread's last.
+        let mut tid = w.last_tid;
+        for &(_, t) in &w.reads {
+            tid = tid.max(t);
+        }
+        for &t in &locked_tids {
+            tid = tid.max(t);
+        }
+        let tid = (tid + 1) & !LOCK;
+        // Phase 3: apply writes, unlock by publishing the new TID.
+        for (k, &i) in w.lock_order.iter().enumerate() {
+            let e = &w.wentries[i];
+            let _ = locked_tids[k];
+            // SAFETY: we hold the record's TID lock.
+            unsafe {
+                self.store
+                    .table(e.rid)
+                    .write(e.rid.row as usize, &w.wbuf[e.off..e.off + e.len])
+            };
+            self.meta(e.rid).store(tid, Ordering::Release);
+        }
+        w.last_tid = tid;
+        Some(tid)
+    }
+}
+
+/// Exponential back-off after a validation failure (Silo's contention
+/// regulation — §4.2.1 credits it for OCC's stability under high θ).
+#[inline]
+fn backoff(attempt: u64) {
+    let spins = 1u64 << attempt.min(12);
+    for _ in 0..spins {
+        std::hint::spin_loop();
+    }
+    if attempt > 12 {
+        std::thread::yield_now();
+    }
+}
+
+impl Engine for SiloOcc {
+    type Worker = OccWorker;
+
+    fn name(&self) -> &'static str {
+        "OCC"
+    }
+
+    fn make_worker(&self) -> OccWorker {
+        OccWorker {
+            reads: Vec::with_capacity(32),
+            wentries: Vec::with_capacity(16),
+            wbuf: Vec::with_capacity(16 * 1024),
+            read_buf: Vec::with_capacity(1024),
+            scratch: Vec::with_capacity(64),
+            lock_order: Vec::with_capacity(16),
+            last_tid: 0,
+        }
+    }
+
+    fn execute(&self, txn: &Txn, w: &mut OccWorker) -> ExecOutcome {
+        let mut attempts = 0u64;
+        loop {
+            w.reset();
+            txn.think();
+            let mut scratch = std::mem::take(&mut w.scratch);
+            let result = bohm_common::execute_procedure(
+                &txn.proc,
+                &txn.reads,
+                &txn.writes,
+                &mut OccAccess { eng: self, txn, w },
+                &mut scratch,
+            );
+            w.scratch = scratch;
+            match result {
+                Ok(fp) => {
+                    if self.try_commit(w).is_some() {
+                        return ExecOutcome {
+                            committed: true,
+                            fingerprint: fp,
+                            cc_retries: attempts,
+                        };
+                    }
+                    attempts += 1;
+                    assert!(attempts < self.max_attempts, "OCC live-lock");
+                    backoff(attempts);
+                }
+                Err(AbortReason::User) => {
+                    // Buffered writes are simply discarded.
+                    return ExecOutcome {
+                        committed: false,
+                        fingerprint: 0,
+                        cc_retries: attempts,
+                    };
+                }
+                Err(e) => unreachable!("OCC access cannot raise {e:?}"),
+            }
+        }
+    }
+
+    fn read_u64(&self, rid: RecordId) -> Option<u64> {
+        if (rid.row as usize) >= self.store.table(rid).rows() {
+            return None;
+        }
+        let mut v = 0;
+        // SAFETY: verification hook; caller guarantees quiescence.
+        unsafe {
+            self.store
+                .table(rid)
+                .read(rid.row as usize, &mut |b| v = bohm_common::value::get_u64(b, 0));
+        }
+        Some(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bohm_common::{Procedure, SmallBankProc};
+    use std::sync::Arc;
+
+    fn engine(rows: usize) -> SiloOcc {
+        let mut b = StoreBuilder::new();
+        b.add_table(rows, 8);
+        b.seed_u64(0, |r| r);
+        SiloOcc::from_builder(b)
+    }
+
+    fn rmw(k: u64, delta: u64) -> Txn {
+        let rid = RecordId::new(0, k);
+        Txn::new(vec![rid], vec![rid], Procedure::ReadModifyWrite { delta })
+    }
+
+    #[test]
+    fn rmw_commits() {
+        let e = engine(8);
+        let mut w = e.make_worker();
+        let out = e.execute(&rmw(2, 5), &mut w);
+        assert!(out.committed);
+        assert_eq!(e.read_u64(RecordId::new(0, 2)), Some(7));
+    }
+
+    #[test]
+    fn tids_advance_monotonically_per_worker() {
+        let e = engine(8);
+        let mut w = e.make_worker();
+        e.execute(&rmw(1, 1), &mut w);
+        let t1 = w.last_tid;
+        e.execute(&rmw(2, 1), &mut w);
+        assert!(w.last_tid > t1);
+    }
+
+    #[test]
+    fn user_abort_discards_buffered_writes() {
+        let mut b = StoreBuilder::new();
+        b.add_table(2, 8);
+        b.seed_u64(0, |_| 3);
+        let e = SiloOcc::from_builder(b);
+        let mut w = e.make_worker();
+        let sav = RecordId::new(0, 0);
+        let t = Txn::new(
+            vec![sav],
+            vec![sav],
+            Procedure::SmallBank(SmallBankProc::TransactSaving { v: -10 }),
+        );
+        let out = e.execute(&t, &mut w);
+        assert!(!out.committed);
+        assert_eq!(e.read_u64(sav), Some(3));
+    }
+
+    #[test]
+    fn read_own_write_within_txn() {
+        // BlindWrite both, then an RMW in the same txn would need the
+        // buffered value; emulate via a single RMW whose write feeds a read:
+        // write buffer upsert path (two writes of the same record).
+        let e = engine(4);
+        let mut w = e.make_worker();
+        let rid = RecordId::new(0, 1);
+        let t = Txn::new(vec![], vec![rid, rid], Procedure::BlindWrite { value: 9 });
+        assert!(e.execute(&t, &mut w).committed);
+        assert_eq!(e.read_u64(rid), Some(9));
+    }
+
+    #[test]
+    fn concurrent_hot_key_increments_are_exact() {
+        let e = Arc::new(engine(2));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let e = Arc::clone(&e);
+            handles.push(std::thread::spawn(move || {
+                let mut w = e.make_worker();
+                let mut retries = 0;
+                for _ in 0..5_000 {
+                    let out = e.execute(&rmw(1, 1), &mut w);
+                    assert!(out.committed);
+                    retries += out.cc_retries;
+                }
+                retries
+            }));
+        }
+        let total_retries: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(e.read_u64(RecordId::new(0, 1)), Some(1 + 40_000));
+        // A fully-contended hot key must have caused validation failures —
+        // otherwise validation is vacuous.
+        assert!(total_retries > 0, "expected some cc aborts under contention");
+    }
+
+    #[test]
+    fn disjoint_keys_commit_without_retries() {
+        let e = Arc::new(engine(64));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let e = Arc::clone(&e);
+            handles.push(std::thread::spawn(move || {
+                let mut w = e.make_worker();
+                let mut retries = 0;
+                for i in 0..2_000u64 {
+                    let k = t * 8 + (i % 8); // thread-private keys
+                    retries += e.execute(&rmw(k, 1), &mut w).cc_retries;
+                }
+                retries
+            }));
+        }
+        let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(total, 0, "disjoint write sets must never conflict");
+    }
+
+    #[test]
+    fn snapshot_consistency_of_multi_record_reads() {
+        // Writers keep records (0,1) equal; readers must never observe a
+        // mixed pair (that would be a torn/unserializable read).
+        let e = Arc::new(engine(2));
+        {
+            let mut w = e.make_worker();
+            let rids = vec![RecordId::new(0, 0), RecordId::new(0, 1)];
+            let t = Txn::new(vec![], rids, Procedure::BlindWrite { value: 0 });
+            assert!(e.execute(&t, &mut w).committed);
+        }
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let e = Arc::clone(&e);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut w = e.make_worker();
+                let rids = vec![RecordId::new(0, 0), RecordId::new(0, 1)];
+                let mut v = 1;
+                while !stop.load(Ordering::Relaxed) {
+                    let t = Txn::new(
+                        vec![],
+                        rids.clone(),
+                        Procedure::BlindWrite { value: v },
+                    );
+                    assert!(e.execute(&t, &mut w).committed);
+                    v += 1;
+                }
+            })
+        };
+        let mut readers = Vec::new();
+        for _ in 0..4 {
+            let e = Arc::clone(&e);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut w = e.make_worker();
+                let rids = vec![RecordId::new(0, 0), RecordId::new(0, 1)];
+                let t = Txn::new(rids, vec![], Procedure::ReadOnly);
+                let mut observed = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let out = e.execute(&t, &mut w);
+                    assert!(out.committed);
+                    // ReadOnly folds fp = 31·c0 + c1 (wrapping). The writer
+                    // keeps both records equal, so a consistent snapshot has
+                    // c0 = c1 = c and fp = 32·c mod 2^64, which is always
+                    // divisible by 32. A torn pair (c0 ≠ c1) breaks this
+                    // with probability 31/32 per occurrence.
+                    assert_eq!(
+                        out.fingerprint % 32,
+                        0,
+                        "non-serializable mixed snapshot observed"
+                    );
+                    observed += 1;
+                }
+                observed
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+    }
+}

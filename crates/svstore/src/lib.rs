@@ -1,0 +1,20 @@
+//! Single-version storage substrate.
+//!
+//! The paper's single-version baselines (Silo-style OCC and 2PL, §4) update
+//! records **in place**: "when a single-version system performs an RMW
+//! operation, it writes to the same set of memory words it reads" (§4.2.1).
+//! This crate provides that storage: per-table contiguous slabs of
+//! fixed-size records, each with one 64-bit metadata word (the OCC TID word;
+//! unused by 2PL, whose locks live in `bohm-lockmgr`).
+//!
+//! Synchronization is the *caller's* job — the whole point of the baselines
+//! is to compare different concurrency-control envelopes around the same
+//! storage — so the raw byte accessors are `unsafe` with a documented
+//! protocol obligation, and the engines discharge it (OCC via the TID-word
+//! protocol, 2PL via its locks).
+
+pub mod slab;
+pub mod store;
+
+pub use slab::Table;
+pub use store::{SingleVersionStore, StoreBuilder};

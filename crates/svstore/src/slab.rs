@@ -1,0 +1,153 @@
+//! One table: a contiguous slab of fixed-size records plus metadata words.
+
+use std::cell::UnsafeCell;
+use std::sync::atomic::AtomicU64;
+
+/// A fixed-size table of `rows` records, each `record_size` bytes, with one
+/// atomic metadata word per record.
+///
+/// Layout notes: metadata words live in their own array so that OCC readers
+/// validating TIDs do not drag record payload cache lines, and record
+/// payloads are contiguous for scan locality.
+pub struct Table {
+    rows: usize,
+    record_size: usize,
+    meta: Box<[AtomicU64]>,
+    data: Box<[UnsafeCell<u8>]>,
+}
+
+// SAFETY: concurrent access to `data` is governed by the caller protocol
+// documented on the unsafe accessors (engines serialize writers via the
+// metadata word or external locks).
+unsafe impl Send for Table {}
+unsafe impl Sync for Table {}
+
+impl Table {
+    /// Allocate a zero-initialized table.
+    pub fn new(rows: usize, record_size: usize) -> Self {
+        assert!(record_size >= 8, "records carry at least a u64 payload");
+        let mut meta = Vec::with_capacity(rows);
+        meta.resize_with(rows, || AtomicU64::new(0));
+        let mut data = Vec::with_capacity(rows * record_size);
+        data.resize_with(rows * record_size, || UnsafeCell::new(0));
+        Self {
+            rows,
+            record_size,
+            meta: meta.into_boxed_slice(),
+            data: data.into_boxed_slice(),
+        }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn record_size(&self) -> usize {
+        self.record_size
+    }
+
+    /// Metadata word of record `row` (OCC TID word / engine-defined).
+    #[inline]
+    pub fn meta(&self, row: usize) -> &AtomicU64 {
+        &self.meta[row]
+    }
+
+    /// Read the payload of record `row`.
+    ///
+    /// # Safety
+    /// The caller must guarantee that no thread writes this record's bytes
+    /// concurrently, **or** that a racy read is acceptable and will be
+    /// rejected by a later validation (Silo's read protocol: read the TID
+    /// word, read the payload, re-read the TID word; §4's OCC baseline).
+    #[inline]
+    pub unsafe fn read(&self, row: usize, out: &mut dyn FnMut(&[u8])) {
+        let base = self.base(row);
+        let slice = std::slice::from_raw_parts(base, self.record_size);
+        out(slice);
+    }
+
+    /// Overwrite the payload of record `row`.
+    ///
+    /// # Safety
+    /// The caller must hold exclusive write access to the record (2PL write
+    /// lock, or the OCC TID lock bit).
+    #[inline]
+    pub unsafe fn write(&self, row: usize, src: &[u8]) {
+        assert_eq!(src.len(), self.record_size, "payload must be record-sized");
+        let base = self.base(row) as *mut u8;
+        std::ptr::copy_nonoverlapping(src.as_ptr(), base, self.record_size);
+    }
+
+    /// Mutate the payload of record `row` in place.
+    ///
+    /// # Safety
+    /// Same exclusivity requirement as [`write`](Self::write).
+    #[inline]
+    pub unsafe fn with_mut(&self, row: usize, f: &mut dyn FnMut(&mut [u8])) {
+        let base = self.base(row) as *mut u8;
+        let slice = std::slice::from_raw_parts_mut(base, self.record_size);
+        f(slice);
+    }
+
+    #[inline]
+    fn base(&self, row: usize) -> *const u8 {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        self.data[row * self.record_size].get()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bohm_common::value::{get_u64, put_u64};
+
+    #[test]
+    fn zero_initialized() {
+        let t = Table::new(4, 16);
+        unsafe {
+            t.read(3, &mut |b| assert!(b.iter().all(|&x| x == 0)));
+        }
+        assert_eq!(t.meta(0).load(std::sync::atomic::Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let t = Table::new(8, 8);
+        unsafe {
+            t.write(5, &42u64.to_le_bytes());
+            t.read(5, &mut |b| assert_eq!(get_u64(b, 0), 42));
+            // Neighbors untouched.
+            t.read(4, &mut |b| assert_eq!(get_u64(b, 0), 0));
+            t.read(6, &mut |b| assert_eq!(get_u64(b, 0), 0));
+        }
+    }
+
+    #[test]
+    fn with_mut_updates_in_place() {
+        let t = Table::new(2, 16);
+        unsafe {
+            t.with_mut(1, &mut |b| put_u64(b, 8, 7));
+            t.read(1, &mut |b| {
+                assert_eq!(get_u64(b, 0), 0);
+                assert_eq!(get_u64(b, 8), 7);
+            });
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn bounds_checked() {
+        let t = Table::new(2, 8);
+        unsafe { t.read(2, &mut |_| {}) };
+    }
+
+    #[test]
+    fn meta_words_are_independent() {
+        let t = Table::new(3, 8);
+        t.meta(1).store(9, std::sync::atomic::Ordering::Relaxed);
+        assert_eq!(t.meta(0).load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert_eq!(t.meta(1).load(std::sync::atomic::Ordering::Relaxed), 9);
+    }
+}

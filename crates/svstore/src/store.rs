@@ -1,0 +1,159 @@
+//! Multi-table store: catalog of [`Table`]s addressed by [`RecordId`].
+
+use crate::slab::Table;
+use bohm_common::RecordId;
+
+/// An immutable catalog of single-version tables.
+pub struct SingleVersionStore {
+    tables: Vec<Table>,
+    /// Prefix sums of row counts: flat slot index of `(table, row)` is
+    /// `slot_base[table] + row`. Shared with the lock manager so lock slots
+    /// and records correspond 1:1 without any runtime allocation.
+    slot_base: Vec<u64>,
+    total_rows: u64,
+}
+
+impl SingleVersionStore {
+    /// Look up the table backing `rid`. Panics on unknown tables — the
+    /// catalog is fixed at load time, so this is a workload bug.
+    #[inline]
+    pub fn table(&self, rid: RecordId) -> &Table {
+        &self.tables[rid.table.index()]
+    }
+
+    #[inline]
+    pub fn tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Flat slot index of `rid` across all tables (dense, `< total_slots`).
+    #[inline]
+    pub fn slot(&self, rid: RecordId) -> u64 {
+        debug_assert!((rid.row as usize) < self.tables[rid.table.index()].rows());
+        self.slot_base[rid.table.index()] + rid.row
+    }
+
+    /// Total number of records across all tables.
+    #[inline]
+    pub fn total_slots(&self) -> u64 {
+        self.total_rows
+    }
+
+    /// Sum of the `u64` prefixes of every record in `table` — used by
+    /// invariant tests (e.g. SmallBank money conservation).
+    ///
+    /// Only call when no writers are active (it reads without the engines'
+    /// synchronization protocols).
+    pub fn table_sum(&self, table: u32) -> u64 {
+        let t = &self.tables[table as usize];
+        let mut sum = 0u64;
+        for row in 0..t.rows() {
+            // SAFETY: caller contract — quiescent store.
+            unsafe {
+                t.read(row, &mut |b| {
+                    sum = sum.wrapping_add(bohm_common::value::get_u64(b, 0));
+                });
+            }
+        }
+        sum
+    }
+}
+
+/// Builder: declare tables, optionally seed initial values, then freeze.
+pub struct StoreBuilder {
+    tables: Vec<Table>,
+}
+
+impl Default for StoreBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StoreBuilder {
+    pub fn new() -> Self {
+        Self { tables: Vec::new() }
+    }
+
+    /// Append a zeroed table of `rows` × `record_size` bytes; returns its
+    /// dense table id (ids are assigned in declaration order).
+    pub fn add_table(&mut self, rows: usize, record_size: usize) -> u32 {
+        self.tables.push(Table::new(rows, record_size));
+        (self.tables.len() - 1) as u32
+    }
+
+    /// Seed every row of table `table` with the value produced by `f(row)`
+    /// written at byte offset 0 as little-endian `u64`.
+    pub fn seed_u64(&mut self, table: u32, f: impl Fn(u64) -> u64) -> &mut Self {
+        let t = &self.tables[table as usize];
+        for row in 0..t.rows() {
+            // SAFETY: builder is not shared yet (&mut self).
+            unsafe {
+                t.with_mut(row, &mut |b| {
+                    bohm_common::value::put_u64(b, 0, f(row as u64))
+                });
+            }
+        }
+        self
+    }
+
+    pub fn build(self) -> SingleVersionStore {
+        let mut slot_base = Vec::with_capacity(self.tables.len());
+        let mut acc = 0u64;
+        for t in &self.tables {
+            slot_base.push(acc);
+            acc += t.rows() as u64;
+        }
+        SingleVersionStore {
+            tables: self.tables,
+            slot_base,
+            total_rows: acc,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bohm_common::value::get_u64;
+
+    #[test]
+    fn builder_assigns_dense_table_ids() {
+        let mut b = StoreBuilder::new();
+        assert_eq!(b.add_table(10, 8), 0);
+        assert_eq!(b.add_table(5, 16), 1);
+        let s = b.build();
+        assert_eq!(s.tables().len(), 2);
+        assert_eq!(s.total_slots(), 15);
+    }
+
+    #[test]
+    fn slots_are_dense_and_disjoint() {
+        let mut b = StoreBuilder::new();
+        b.add_table(10, 8);
+        b.add_table(5, 8);
+        let s = b.build();
+        let mut seen = std::collections::HashSet::new();
+        for row in 0..10 {
+            assert!(seen.insert(s.slot(RecordId::new(0, row))));
+        }
+        for row in 0..5 {
+            assert!(seen.insert(s.slot(RecordId::new(1, row))));
+        }
+        assert_eq!(seen.len(), 15);
+        assert!(seen.iter().all(|&x| x < 15));
+    }
+
+    #[test]
+    fn seeding_writes_prefixes() {
+        let mut b = StoreBuilder::new();
+        let t = b.add_table(4, 8);
+        b.seed_u64(t, |row| row * 100);
+        let s = b.build();
+        unsafe {
+            s.table(RecordId::new(0, 3))
+                .read(3, &mut |bytes| assert_eq!(get_u64(bytes, 0), 300));
+        }
+        assert_eq!(s.table_sum(0), 0 + 100 + 200 + 300);
+    }
+}

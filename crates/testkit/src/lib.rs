@@ -1,0 +1,252 @@
+//! Test substrate: a serial oracle and equivalence checkers.
+//!
+//! The core correctness claim of every engine here is serializability:
+//! the concurrent execution must be equivalent to *some* serial order —
+//! and for BOHM specifically to **the log order** (paper §3.3.3: timestamp
+//! order *is* the serialization order). The [`SerialOracle`] executes the
+//! same transactions one at a time on a plain in-memory store; comparing
+//! final states and per-transaction outcomes against it is how the
+//! integration and property tests validate the engines.
+
+use bohm_common::engine::ExecOutcome;
+use bohm_common::{AbortReason, Access, RecordId, Txn};
+use bohm_workloads::DatabaseSpec;
+
+/// A trivially-correct single-threaded executor.
+pub struct SerialOracle {
+    tables: Vec<Vec<Box<[u8]>>>,
+    scratch: Vec<u8>,
+}
+
+struct OracleAccess<'a> {
+    tables: &'a Vec<Vec<Box<[u8]>>>,
+    txn: &'a Txn,
+    /// Buffered writes, applied only on commit (keeps the oracle correct
+    /// even for procedures that violate the abort-before-write contract).
+    pending: Vec<(RecordId, Box<[u8]>)>,
+}
+
+impl Access for OracleAccess<'_> {
+    fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
+        let rid = self.txn.reads[idx];
+        if let Some((_, data)) = self.pending.iter().rev().find(|(r, _)| *r == rid) {
+            out(data);
+            return Ok(());
+        }
+        out(&self.tables[rid.table.index()][rid.row as usize]);
+        Ok(())
+    }
+
+    fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason> {
+        let rid = self.txn.writes[idx];
+        assert_eq!(
+            data.len(),
+            self.tables[rid.table.index()][rid.row as usize].len(),
+            "payload must be record-sized"
+        );
+        self.pending.push((rid, data.into()));
+        Ok(())
+    }
+
+    fn write_len(&mut self, idx: usize) -> usize {
+        let rid = self.txn.writes[idx];
+        self.tables[rid.table.index()][rid.row as usize].len()
+    }
+}
+
+impl SerialOracle {
+    pub fn new(spec: &DatabaseSpec) -> Self {
+        let tables = spec
+            .tables
+            .iter()
+            .map(|t| {
+                (0..t.rows)
+                    .map(|row| bohm_common::value::of_u64((t.seed)(row), t.record_size))
+                    .collect()
+            })
+            .collect();
+        Self {
+            tables,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Execute one transaction serially; returns the same outcome shape the
+    /// engines report.
+    pub fn apply(&mut self, txn: &Txn) -> ExecOutcome {
+        let mut access = OracleAccess {
+            tables: &self.tables,
+            txn,
+            pending: Vec::new(),
+        };
+        match bohm_common::execute_procedure(
+            &txn.proc,
+            &txn.reads,
+            &txn.writes,
+            &mut access,
+            &mut self.scratch,
+        ) {
+            Ok(fp) => {
+                let pending = access.pending;
+                for (rid, data) in pending {
+                    self.tables[rid.table.index()][rid.row as usize] = data;
+                }
+                ExecOutcome {
+                    committed: true,
+                    fingerprint: fp,
+                    cc_retries: 0,
+                }
+            }
+            Err(AbortReason::User) => ExecOutcome {
+                committed: false,
+                fingerprint: 0,
+                cc_retries: 0,
+            },
+            Err(e) => unreachable!("oracle cannot raise {e:?}"),
+        }
+    }
+
+    /// Current `u64` prefix of a record.
+    pub fn read_u64(&self, rid: RecordId) -> u64 {
+        bohm_common::value::get_u64(&self.tables[rid.table.index()][rid.row as usize], 0)
+    }
+
+    /// Raw record bytes.
+    pub fn read_record(&self, rid: RecordId) -> &[u8] {
+        &self.tables[rid.table.index()][rid.row as usize]
+    }
+
+    pub fn table_rows(&self, table: usize) -> u64 {
+        self.tables[table].len() as u64
+    }
+}
+
+/// Replay `txns` serially and compare against an engine's observed
+/// per-transaction outcomes and final state.
+///
+/// `read_final` exposes the engine's committed value of each record after
+/// the run. Returns a description of the first divergence, if any.
+pub fn check_serial_equivalence(
+    spec: &DatabaseSpec,
+    txns: &[Txn],
+    outcomes: &[ExecOutcome],
+    read_final: impl Fn(RecordId) -> Option<u64>,
+) -> Result<(), String> {
+    assert_eq!(txns.len(), outcomes.len());
+    let mut oracle = SerialOracle::new(spec);
+    for (i, (t, got)) in txns.iter().zip(outcomes).enumerate() {
+        let want = oracle.apply(t);
+        if want.committed != got.committed {
+            return Err(format!(
+                "txn {i}: engine {} but serial order says {}",
+                if got.committed { "committed" } else { "aborted" },
+                if want.committed { "commit" } else { "abort" },
+            ));
+        }
+        if want.committed && want.fingerprint != got.fingerprint {
+            return Err(format!(
+                "txn {i}: read fingerprint {:#x} != serial {:#x} (reads observed a non-log-order state)",
+                got.fingerprint, want.fingerprint
+            ));
+        }
+    }
+    for (tid, tdef) in spec.tables.iter().enumerate() {
+        for row in 0..tdef.rows {
+            let rid = RecordId::new(tid as u32, row);
+            let want = oracle.read_u64(rid);
+            match read_final(rid) {
+                Some(got) if got == want => {}
+                got => {
+                    return Err(format!(
+                        "final state diverges at {rid}: engine {got:?}, serial {want}"
+                    ))
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bohm_common::{Procedure, SmallBankProc};
+    use bohm_workloads::TableDef;
+
+    fn spec() -> DatabaseSpec {
+        DatabaseSpec::new(vec![TableDef {
+            rows: 4,
+            record_size: 8,
+            seed: |r| r * 100,
+        }])
+    }
+
+    fn rmw(k: u64, d: u64) -> Txn {
+        let rid = RecordId::new(0, k);
+        Txn::new(vec![rid], vec![rid], Procedure::ReadModifyWrite { delta: d })
+    }
+
+    #[test]
+    fn oracle_seeds_and_applies() {
+        let mut o = SerialOracle::new(&spec());
+        assert_eq!(o.read_u64(RecordId::new(0, 2)), 200);
+        let out = o.apply(&rmw(2, 5));
+        assert!(out.committed);
+        assert_eq!(o.read_u64(RecordId::new(0, 2)), 205);
+    }
+
+    #[test]
+    fn oracle_buffers_aborted_writes() {
+        let mut o = SerialOracle::new(&spec());
+        let sav = RecordId::new(0, 0); // value 0
+        let t = Txn::new(
+            vec![sav],
+            vec![sav],
+            Procedure::SmallBank(SmallBankProc::TransactSaving { v: -10 }),
+        );
+        assert!(!o.apply(&t).committed);
+        assert_eq!(o.read_u64(sav), 0);
+    }
+
+    #[test]
+    fn oracle_read_own_write_within_txn() {
+        // Two blind writes of the same record: second wins.
+        let rid = RecordId::new(0, 1);
+        let t = Txn::new(vec![], vec![rid, rid], Procedure::BlindWrite { value: 9 });
+        let mut o = SerialOracle::new(&spec());
+        o.apply(&t);
+        assert_eq!(o.read_u64(rid), 9);
+    }
+
+    #[test]
+    fn equivalence_detects_divergence() {
+        let txns = vec![rmw(0, 1), rmw(0, 1)];
+        let mut oracle = SerialOracle::new(&spec());
+        let outcomes: Vec<ExecOutcome> = txns.iter().map(|t| oracle.apply(t)).collect();
+        // Matching replay passes.
+        assert!(check_serial_equivalence(&spec(), &txns, &outcomes, |rid| {
+            Some(oracle.read_u64(rid))
+        })
+        .is_ok());
+        // A final-state lie is caught.
+        let err = check_serial_equivalence(&spec(), &txns, &outcomes, |rid| {
+            Some(oracle.read_u64(rid) + u64::from(rid.row == 0))
+        })
+        .unwrap_err();
+        assert!(err.contains("final state"), "{err}");
+        // A flipped commit decision is caught.
+        let mut bad = outcomes.clone();
+        bad[1].committed = false;
+        let err =
+            check_serial_equivalence(&spec(), &txns, &bad, |rid| Some(oracle.read_u64(rid)))
+                .unwrap_err();
+        assert!(err.contains("committed") || err.contains("abort"), "{err}");
+        // A wrong fingerprint (phantom read) is caught.
+        let mut bad = outcomes;
+        bad[1].fingerprint ^= 1;
+        let err =
+            check_serial_equivalence(&spec(), &txns, &bad, |rid| Some(oracle.read_u64(rid)))
+                .unwrap_err();
+        assert!(err.contains("fingerprint"), "{err}");
+    }
+}

@@ -1,0 +1,39 @@
+//! Workload generators for the paper's evaluation (§4).
+//!
+//! Three workload families, each parameterized exactly as in the paper:
+//!
+//! * [`micro`] — the §4.1 concurrency-control stress test: transactions of
+//!   10 read-modify-writes on uniformly-drawn 8-byte records from a
+//!   1,000,000-record table.
+//! * [`ycsb`] — §4.2: one table of 1,000,000 × 1,000-byte records;
+//!   transaction types 10RMW, 2RMW-8R and a long read-only transaction
+//!   touching 10,000 records; contention is controlled by the zipfian
+//!   parameter θ.
+//! * [`smallbank`] — §4.3: Customer/Savings/Checking tables, five
+//!   procedures in an even mix (20% of transactions are the read-only
+//!   `Balance`), a 50 µs spin per transaction, and contention controlled by
+//!   the number of customers.
+//!
+//! All generators are deterministic given a seed and implement [`TxnGen`],
+//! so every engine receives statistically identical input.
+
+pub mod micro;
+pub mod smallbank;
+pub mod spec;
+pub mod ycsb;
+
+pub use spec::{DatabaseSpec, TableDef};
+
+use bohm_common::Txn;
+
+/// A deterministic stream of transactions.
+pub trait TxnGen: Send {
+    /// Produce the next transaction.
+    fn next_txn(&mut self) -> Txn;
+}
+
+impl<F: FnMut() -> Txn + Send> TxnGen for F {
+    fn next_txn(&mut self) -> Txn {
+        self()
+    }
+}

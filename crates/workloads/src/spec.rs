@@ -1,0 +1,57 @@
+//! Engine-agnostic database specifications.
+//!
+//! Every engine preloads the same logical database; this module is the
+//! single source of truth a benchmark uses to instantiate BOHM, Hekaton,
+//! SI, OCC and 2PL over identical contents.
+
+/// One table: row count, fixed record size, and the seed value of each
+/// row's `u64` prefix.
+pub struct TableDef {
+    pub rows: u64,
+    pub record_size: usize,
+    pub seed: fn(u64) -> u64,
+}
+
+/// A full database: tables with dense ids in declaration order.
+pub struct DatabaseSpec {
+    pub tables: Vec<TableDef>,
+}
+
+impl DatabaseSpec {
+    pub fn new(tables: Vec<TableDef>) -> Self {
+        Self { tables }
+    }
+
+    /// Table shapes as `(rows, record_size)` pairs (Hekaton store input).
+    pub fn shapes(&self) -> Vec<(u64, usize)> {
+        self.tables.iter().map(|t| (t.rows, t.record_size)).collect()
+    }
+
+    pub fn total_rows(&self) -> u64 {
+        self.tables.iter().map(|t| t.rows).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_totals() {
+        let spec = DatabaseSpec::new(vec![
+            TableDef {
+                rows: 10,
+                record_size: 8,
+                seed: |r| r,
+            },
+            TableDef {
+                rows: 5,
+                record_size: 1000,
+                seed: |_| 0,
+            },
+        ]);
+        assert_eq!(spec.shapes(), vec![(10, 8), (5, 1000)]);
+        assert_eq!(spec.total_rows(), 15);
+        assert_eq!((spec.tables[0].seed)(7), 7);
+    }
+}

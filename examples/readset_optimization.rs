@@ -1,0 +1,79 @@
+//! The §3.2.3 read-set optimization, demonstrated.
+//!
+//! When transactions' read sets are known, BOHM's concurrency-control
+//! threads annotate every read with a **direct pointer** to the correct
+//! version, so execution never traverses version chains. This example
+//! runs the same hot-key workload (long chains!) with annotations on and
+//! off and reports the difference — the mechanism behind BOHM's Fig. 8/9
+//! advantage over Hekaton and SI, whose readers must walk version lists.
+//!
+//! ```sh
+//! cargo run --release --example readset_optimization
+//! ```
+
+use bohm_suite::common::{Procedure, RecordId, Txn};
+use bohm_suite::core::{Bohm, BohmConfig, CatalogSpec};
+use bohm_suite::common::rng::FastRng;
+use bohm_suite::common::zipf::Zipf;
+use std::time::Instant;
+
+fn run(annotate: bool) -> (f64, u64) {
+    let records = 10_000u64;
+    let mut cfg = BohmConfig::with_threads(2, 4);
+    cfg.annotate_reads = annotate;
+    cfg.enable_gc = false; // keep chains long: worst case for traversal
+    let engine = Bohm::start(cfg, CatalogSpec::new().table(records, 8, |r| r));
+
+    // Hot zipfian updates build deep chains on popular records while the
+    // same transactions read 8 other popular records.
+    let zipf = Zipf::new(records, 0.9);
+    let mut rng = FastRng::seed_from(11);
+    let mut keys = Vec::new();
+    let start = Instant::now();
+    let mut committed = 0u64;
+    let mut handles = std::collections::VecDeque::new();
+    while start.elapsed() < std::time::Duration::from_millis(1200) {
+        let txns: Vec<Txn> = (0..1000)
+            .map(|_| {
+                zipf.sample_distinct(&mut rng, 10, &mut keys);
+                let rids: Vec<RecordId> =
+                    keys.iter().map(|&k| RecordId::new(0, k)).collect();
+                let writes = rids[..2].to_vec();
+                Txn::new(rids, writes, Procedure::ReadModifyWrite { delta: 1 })
+            })
+            .collect();
+        handles.push_back(engine.submit(txns));
+        if handles.len() > 8 {
+            committed += handles
+                .pop_front()
+                .unwrap()
+                .outcomes()
+                .iter()
+                .filter(|o| o.committed)
+                .count() as u64;
+        }
+    }
+    for h in handles {
+        committed += h.outcomes().iter().filter(|o| o.committed).count() as u64;
+    }
+    let tput = committed as f64 / start.elapsed().as_secs_f64();
+    let hottest_chain_depth = {
+        // Diagnostic: how deep did the hottest record's chain get?
+        committed * 2 / records.max(1) // average updates per record (approx)
+    };
+    engine.shutdown();
+    (tput, hottest_chain_depth)
+}
+
+fn main() {
+    println!("YCSB-style 2RMW-8R, theta=0.9, GC off (chains grow unboundedly)\n");
+    let (with_annotations, _) = run(true);
+    let (without, avg_updates) = run(false);
+    println!("read-set annotation ON  : {with_annotations:>10.0} txns/s");
+    println!("read-set annotation OFF : {without:>10.0} txns/s  (chain traversal)");
+    println!("speedup: {:.2}x (avg ~{avg_updates} updates/record)", with_annotations / without);
+    println!();
+    println!("The annotated run resolves every read with one pointer load;");
+    println!("the traversal run walks backward version references, which is");
+    println!("what conventional MVCC readers (Hekaton/SI) must always do.");
+}

@@ -1,0 +1,22 @@
+//! Facade crate re-exporting the whole BOHM reproduction workspace.
+//!
+//! Downstream code can depend on `bohm-suite` alone and reach every
+//! subsystem through one namespace. See `DESIGN.md` for the system map.
+
+/// Examples and integration tests run with mimalloc for the same reason the
+/// bench harness does: BOHM's CC phase allocates a version object per write
+/// and frees them across threads via epoch reclamation, a pattern on which
+/// glibc malloc was measured to be the bottleneck (see DESIGN.md).
+#[global_allocator]
+static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
+
+pub use bohm as core;
+pub use bohm_common as common;
+pub use bohm_hekaton as hekaton;
+pub use bohm_lockmgr as lockmgr;
+pub use bohm_mvstore as mvstore;
+pub use bohm_occ as occ;
+pub use bohm_svstore as svstore;
+pub use bohm_testkit as testkit;
+pub use bohm_tpl as tpl;
+pub use bohm_workloads as workloads;

@@ -1,0 +1,315 @@
+//! Concurrency audits of the interactive baselines (Hekaton, SI, OCC, 2PL)
+//! under real multi-threaded load, plus cross-engine agreement checks.
+//!
+//! These are invariant-based: with many workers racing on shared records,
+//! each engine must preserve exact counters (RMW atomicity), conserve
+//! SmallBank money relative to its own committed decisions, and — for the
+//! serializable engines — never expose torn multi-record snapshots.
+
+use bohm_suite::common::engine::Engine;
+use bohm_suite::common::{Procedure, RecordId, SmallBankProc, Txn};
+use bohm_suite::hekaton::{Hekaton, HekatonStore};
+use bohm_suite::occ::SiloOcc;
+use bohm_suite::svstore::StoreBuilder;
+use bohm_suite::tpl::TwoPhaseLocking;
+use bohm_suite::workloads::smallbank::{tables, SmallBankConfig, SmallBankGen};
+use bohm_suite::workloads::TxnGen;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::Arc;
+
+fn sv_store(rows: usize, seed: fn(u64) -> u64) -> StoreBuilder {
+    let mut b = StoreBuilder::new();
+    let t = b.add_table(rows, 8);
+    b.seed_u64(t, seed);
+    b
+}
+
+fn hk_store(rows: u64, seed: fn(u64) -> u64) -> HekatonStore {
+    let s = HekatonStore::new(&[(rows, 8)]);
+    s.seed_u64(0, seed);
+    s
+}
+
+/// Generic exact-counter audit: `threads × iters` hot-key increments.
+fn counter_audit<E: Engine>(engine: Arc<E>, threads: usize, iters: u64) {
+    let rid = RecordId::new(0, 0);
+    let before = engine.read_u64(rid).unwrap();
+    let mut handles = Vec::new();
+    for _ in 0..threads {
+        let e = Arc::clone(&engine);
+        handles.push(std::thread::spawn(move || {
+            let mut w = e.make_worker();
+            let t = Txn::new(
+                vec![rid],
+                vec![rid],
+                Procedure::ReadModifyWrite { delta: 1 },
+            );
+            for _ in 0..iters {
+                assert!(e.execute(&t, &mut w).committed);
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        engine.read_u64(rid).unwrap(),
+        before + threads as u64 * iters,
+        "lost or duplicated increments on {}",
+        engine.name()
+    );
+}
+
+#[test]
+fn counter_audit_tpl() {
+    counter_audit(
+        Arc::new(TwoPhaseLocking::from_builder(sv_store(4, |r| r))),
+        8,
+        10_000,
+    );
+}
+
+#[test]
+fn counter_audit_occ() {
+    counter_audit(Arc::new(SiloOcc::from_builder(sv_store(4, |r| r))), 8, 10_000);
+}
+
+#[test]
+fn counter_audit_hekaton_serializable() {
+    counter_audit(Arc::new(Hekaton::serializable(hk_store(4, |r| r))), 8, 3_000);
+}
+
+#[test]
+fn counter_audit_snapshot_isolation() {
+    // SI forbids lost updates (first-writer-wins), so the audit holds.
+    counter_audit(
+        Arc::new(Hekaton::snapshot_isolation(hk_store(4, |r| r))),
+        8,
+        3_000,
+    );
+}
+
+/// SmallBank money-conservation audit under concurrency: total balances
+/// must equal initial + Σ(deltas of transactions the engine reported
+/// committed).
+fn smallbank_audit<E: Engine>(make: impl FnOnce() -> E, threads: usize, iters: usize) {
+    let customers = 32u64;
+    let engine = Arc::new(make());
+    let delta = Arc::new(AtomicI64::new(0));
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let e = Arc::clone(&engine);
+        let delta = Arc::clone(&delta);
+        handles.push(std::thread::spawn(move || {
+            let mut gen = SmallBankGen::new(
+                SmallBankConfig {
+                    customers,
+                    think_us: 0,
+                    initial_balance: 1_000,
+                },
+                77 + t as u64,
+            );
+            let mut w = e.make_worker();
+            for _ in 0..iters {
+                let txn = gen.next_txn();
+                let out = e.execute(&txn, &mut w);
+                if !out.committed {
+                    continue;
+                }
+                match txn.proc {
+                    Procedure::SmallBank(SmallBankProc::DepositChecking { v }) => {
+                        delta.fetch_add(v as i64, Ordering::Relaxed);
+                    }
+                    Procedure::SmallBank(SmallBankProc::TransactSaving { v }) => {
+                        delta.fetch_add(v, Ordering::Relaxed);
+                    }
+                    Procedure::SmallBank(SmallBankProc::WriteCheck { v }) => {
+                        let total_read = out.fingerprint as i64;
+                        let penalty = i64::from(v as i64 > total_read);
+                        delta.fetch_add(-(v as i64) - penalty, Ordering::Relaxed);
+                    }
+                    _ => {}
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut actual = 0i64;
+    for c in 0..customers {
+        actual += engine.read_u64(RecordId::new(tables::SAVINGS, c)).unwrap() as i64;
+        actual += engine.read_u64(RecordId::new(tables::CHECKING, c)).unwrap() as i64;
+    }
+    let expected = 2 * customers as i64 * 1_000 + delta.load(Ordering::SeqCst);
+    assert_eq!(actual, expected, "money not conserved on {}", engine.name());
+}
+
+fn smallbank_sv() -> StoreBuilder {
+    let mut b = StoreBuilder::new();
+    b.add_table(32, 8);
+    b.add_table(32, 8);
+    b.add_table(32, 8);
+    b.seed_u64(0, |r| r);
+    b.seed_u64(1, |_| 1_000);
+    b.seed_u64(2, |_| 1_000);
+    b
+}
+
+fn smallbank_hk() -> HekatonStore {
+    let s = HekatonStore::new(&[(32, 8), (32, 8), (32, 8)]);
+    s.seed_u64(0, |r| r);
+    s.seed_u64(1, |_| 1_000);
+    s.seed_u64(2, |_| 1_000);
+    s
+}
+
+#[test]
+fn smallbank_audit_tpl() {
+    smallbank_audit(|| TwoPhaseLocking::from_builder(smallbank_sv()), 8, 4_000);
+}
+
+#[test]
+fn smallbank_audit_occ() {
+    smallbank_audit(|| SiloOcc::from_builder(smallbank_sv()), 8, 4_000);
+}
+
+#[test]
+fn smallbank_audit_hekaton() {
+    smallbank_audit(|| Hekaton::serializable(smallbank_hk()), 8, 1_500);
+}
+
+/// WriteCheck + TransactSaving have the write-skew shape (WriteCheck reads
+/// savings+checking, writes checking only); money conservation still holds
+/// under SI because our audit derives the expected delta from each
+/// transaction's *observed reads* (the fingerprint), but full serializable
+/// engines additionally keep the observation consistent. Here we only
+/// assert SI conserves money w.r.t. its own observations.
+#[test]
+fn smallbank_audit_snapshot_isolation() {
+    smallbank_audit(|| Hekaton::snapshot_isolation(smallbank_hk()), 8, 1_500);
+}
+
+/// Serializable engines must never expose a torn multi-record snapshot:
+/// writers keep two records equal; reader fingerprints must stay on the
+/// "equal pair" manifold (fp = 32·c mod 2^64 ⇒ divisible by 32).
+fn snapshot_audit<E: Engine>(engine: Arc<E>) {
+    let rids = vec![RecordId::new(0, 0), RecordId::new(0, 1)];
+    {
+        let mut w = engine.make_worker();
+        let init = Txn::new(vec![], rids.clone(), Procedure::BlindWrite { value: 0 });
+        assert!(engine.execute(&init, &mut w).committed);
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let e = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let rids = rids.clone();
+        std::thread::spawn(move || {
+            let mut w = e.make_worker();
+            let mut v = 1u64;
+            while !stop.load(Ordering::Relaxed) {
+                let t = Txn::new(vec![], rids.clone(), Procedure::BlindWrite { value: v });
+                assert!(e.execute(&t, &mut w).committed);
+                v += 1;
+            }
+        })
+    };
+    let mut readers = Vec::new();
+    for _ in 0..4 {
+        let e = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let rids = rids.clone();
+        readers.push(std::thread::spawn(move || {
+            let mut w = e.make_worker();
+            let t = Txn::new(rids, vec![], Procedure::ReadOnly);
+            while !stop.load(Ordering::Relaxed) {
+                let out = e.execute(&t, &mut w);
+                assert!(out.committed);
+                assert_eq!(out.fingerprint % 32, 0, "torn snapshot on {}", e.name());
+            }
+        }));
+    }
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    stop.store(true, Ordering::Relaxed);
+    writer.join().unwrap();
+    for r in readers {
+        r.join().unwrap();
+    }
+}
+
+#[test]
+fn snapshot_audit_tpl() {
+    snapshot_audit(Arc::new(TwoPhaseLocking::from_builder(sv_store(2, |_| 0))));
+}
+
+#[test]
+fn snapshot_audit_occ() {
+    snapshot_audit(Arc::new(SiloOcc::from_builder(sv_store(2, |_| 0))));
+}
+
+#[test]
+fn snapshot_audit_hekaton() {
+    snapshot_audit(Arc::new(Hekaton::serializable(hk_store(2, |_| 0))));
+}
+
+#[test]
+fn snapshot_audit_snapshot_isolation() {
+    // SI *does* guarantee consistent snapshots (it only forgoes
+    // anti-dependency checking), so this audit holds for SI too.
+    snapshot_audit(Arc::new(Hekaton::snapshot_isolation(hk_store(2, |_| 0))));
+}
+
+/// All engines agree on the final state of a deterministic single-threaded
+/// workload (their serial orders coincide when one worker runs alone).
+#[test]
+fn engines_agree_single_threaded() {
+    let mut gen = SmallBankGen::new(
+        SmallBankConfig {
+            customers: 8,
+            think_us: 0,
+            initial_balance: 500,
+        },
+        5,
+    );
+    let txns: Vec<Txn> = (0..2_000).map(|_| gen.next_txn()).collect();
+
+    fn run<E: Engine>(e: &E, txns: &[Txn]) -> Vec<u64> {
+        let mut w = e.make_worker();
+        for t in txns {
+            e.execute(t, &mut w);
+        }
+        let mut out = Vec::new();
+        for table in [tables::SAVINGS, tables::CHECKING] {
+            for c in 0..8 {
+                out.push(e.read_u64(RecordId::new(table, c)).unwrap());
+            }
+        }
+        out
+    }
+
+    let mk_sv = || {
+        let mut b = StoreBuilder::new();
+        b.add_table(8, 8);
+        b.add_table(8, 8);
+        b.add_table(8, 8);
+        b.seed_u64(0, |r| r);
+        b.seed_u64(1, |_| 500);
+        b.seed_u64(2, |_| 500);
+        b
+    };
+    let mk_hk = || {
+        let s = HekatonStore::new(&[(8, 8), (8, 8), (8, 8)]);
+        s.seed_u64(0, |r| r);
+        s.seed_u64(1, |_| 500);
+        s.seed_u64(2, |_| 500);
+        s
+    };
+    let a = run(&TwoPhaseLocking::from_builder(mk_sv()), &txns);
+    let b = run(&SiloOcc::from_builder(mk_sv()), &txns);
+    let c = run(&Hekaton::serializable(mk_hk()), &txns);
+    let d = run(&Hekaton::snapshot_isolation(mk_hk()), &txns);
+    assert_eq!(a, b, "2PL vs OCC");
+    assert_eq!(a, c, "2PL vs Hekaton");
+    assert_eq!(a, d, "2PL vs SI");
+}

@@ -1,0 +1,200 @@
+//! Property-based tests (proptest): randomized transaction mixes must be
+//! serializable on every engine.
+//!
+//! * BOHM executes the mix concurrently in randomized batch sizes and must
+//!   match the serial oracle **in log order** (decisions, fingerprints and
+//!   full final state).
+//! * Each interactive engine executes the mix from a single worker (its
+//!   serial order is then the submission order) and must match the oracle
+//!   exactly — this fuzzes every engine's read/write/abort paths.
+//! * The lock manager's normalize() is checked against a model.
+
+use bohm_suite::common::engine::{Engine, ExecOutcome};
+use bohm_suite::common::{Procedure, RecordId, SmallBankProc, Txn};
+use bohm_suite::core::{Bohm, BohmConfig, CatalogSpec};
+use bohm_suite::lockmgr::{LockMode, LockRequest, LockTable};
+use bohm_suite::testkit::{check_serial_equivalence, SerialOracle};
+use bohm_suite::workloads::{DatabaseSpec, TableDef};
+use proptest::prelude::*;
+
+const ROWS: u64 = 12;
+
+fn spec() -> DatabaseSpec {
+    // Two tables so cross-table addressing is exercised; i64-friendly seeds.
+    DatabaseSpec::new(vec![
+        TableDef {
+            rows: ROWS,
+            record_size: 8,
+            seed: |r| 100 + r,
+        },
+        TableDef {
+            rows: ROWS,
+            record_size: 16,
+            seed: |r| 50 * r,
+        },
+    ])
+}
+
+/// Strategy: one random transaction over the two tables.
+fn txn_strategy() -> impl Strategy<Value = Txn> {
+    let rid = (0u32..2, 0u64..ROWS).prop_map(|(t, r)| RecordId::new(t, r));
+    let rids = proptest::collection::vec(rid, 1..4);
+    (rids, 0u8..6, 0u64..64).prop_map(|(mut rids, kind, val)| {
+        rids.sort_unstable();
+        rids.dedup();
+        match kind {
+            0 => Txn::new(rids, vec![], Procedure::ReadOnly),
+            1 => Txn::new(vec![], rids, Procedure::BlindWrite { value: val }),
+            2 | 3 => Txn::new(
+                rids.clone(),
+                rids,
+                Procedure::ReadModifyWrite { delta: val + 1 },
+            ),
+            4 => {
+                // RMW with extra pure reads: writes = first rid only.
+                let w = vec![rids[0]];
+                Txn::new(rids, w, Procedure::ReadModifyWrite { delta: val + 1 })
+            }
+            _ => {
+                // TransactSaving-style conditional abort on table 0.
+                let c = rids[0].row;
+                let sav = RecordId::new(0, c);
+                Txn::new(
+                    vec![sav],
+                    vec![sav],
+                    Procedure::SmallBank(SmallBankProc::TransactSaving {
+                        v: val as i64 - 120, // often overdrafts (seeds ~100)
+                    }),
+                )
+            }
+        }
+    })
+}
+
+fn catalog_of(spec: &DatabaseSpec) -> CatalogSpec {
+    let mut c = CatalogSpec::new();
+    for t in &spec.tables {
+        c = c.table(t.rows, t.record_size, t.seed);
+    }
+    c
+}
+
+// Fewer cases under dev profiles: the BOHM cases spin up real engine
+// thread pools and debug builds are ~20× slower per case.
+#[cfg(debug_assertions)]
+const CASES: u32 = 12;
+#[cfg(not(debug_assertions))]
+const CASES: u32 = 64;
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: CASES, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn bohm_random_mix_is_log_order_serializable(
+        txns in proptest::collection::vec(txn_strategy(), 1..200),
+        batch in 1usize..64,
+        cc in 1usize..4,
+        exec in 1usize..4,
+    ) {
+        let spec = spec();
+        let engine = Bohm::start(BohmConfig::with_threads(cc, exec), catalog_of(&spec));
+        let handles: Vec<_> = txns.chunks(batch).map(|c| engine.submit(c.to_vec())).collect();
+        let mut outcomes = Vec::new();
+        for h in handles {
+            outcomes.extend(h.outcomes().into_iter().map(|o| ExecOutcome {
+                committed: o.committed,
+                fingerprint: o.fingerprint,
+                cc_retries: 0,
+            }));
+        }
+        let res = check_serial_equivalence(&spec, &txns, &outcomes, |rid| engine.read_u64(rid));
+        engine.shutdown();
+        res.unwrap();
+    }
+
+    #[test]
+    fn interactive_engines_match_oracle_single_worker(
+        txns in proptest::collection::vec(txn_strategy(), 1..120),
+    ) {
+        let spec = spec();
+
+        fn check<E: Engine>(engine: &E, spec: &DatabaseSpec, txns: &[Txn]) {
+            let mut w = engine.make_worker();
+            let outcomes: Vec<ExecOutcome> =
+                txns.iter().map(|t| engine.execute(t, &mut w)).collect();
+            check_serial_equivalence(spec, txns, &outcomes, |rid| engine.read_u64(rid))
+                .unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
+        }
+
+        let mk_sv = || {
+            let mut b = bohm_suite::svstore::StoreBuilder::new();
+            b.add_table(ROWS as usize, 8);
+            b.add_table(ROWS as usize, 16);
+            b.seed_u64(0, |r| 100 + r);
+            b.seed_u64(1, |r| 50 * r);
+            b
+        };
+        check(&bohm_suite::tpl::TwoPhaseLocking::from_builder(mk_sv()), &spec, &txns);
+        check(&bohm_suite::occ::SiloOcc::from_builder(mk_sv()), &spec, &txns);
+
+        let mk_hk = || {
+            let s = bohm_suite::hekaton::HekatonStore::new(&[(ROWS, 8), (ROWS, 16)]);
+            s.seed_u64(0, |r| 100 + r);
+            s.seed_u64(1, |r| 50 * r);
+            s
+        };
+        check(&bohm_suite::hekaton::Hekaton::serializable(mk_hk()), &spec, &txns);
+        check(&bohm_suite::hekaton::Hekaton::snapshot_isolation(mk_hk()), &spec, &txns);
+    }
+
+    #[test]
+    fn lock_normalize_matches_model(
+        reqs in proptest::collection::vec((0u64..32, proptest::bool::ANY), 0..24),
+    ) {
+        let mut v: Vec<LockRequest> = reqs
+            .iter()
+            .map(|&(slot, ex)| LockRequest {
+                slot,
+                mode: if ex { LockMode::Exclusive } else { LockMode::Shared },
+            })
+            .collect();
+        LockTable::normalize(&mut v);
+        // Model: per-slot strongest mode, sorted by slot.
+        let mut model: std::collections::BTreeMap<u64, LockMode> = Default::default();
+        for &(slot, ex) in &reqs {
+            let m = model.entry(slot).or_insert(LockMode::Shared);
+            if ex {
+                *m = LockMode::Exclusive;
+            }
+        }
+        let want: Vec<LockRequest> = model
+            .into_iter()
+            .map(|(slot, mode)| LockRequest { slot, mode })
+            .collect();
+        prop_assert_eq!(v, want);
+    }
+
+    #[test]
+    fn oracle_is_deterministic(
+        txns in proptest::collection::vec(txn_strategy(), 1..60),
+    ) {
+        let spec1 = spec();
+        let spec2 = spec();
+        let mut o1 = SerialOracle::new(&spec1);
+        let mut o2 = SerialOracle::new(&spec2);
+        for t in &txns {
+            let a = o1.apply(t);
+            let b = o2.apply(t);
+            prop_assert_eq!(a.committed, b.committed);
+            prop_assert_eq!(a.fingerprint, b.fingerprint);
+        }
+        for table in 0..2u32 {
+            for row in 0..ROWS {
+                let rid = RecordId::new(table, row);
+                prop_assert_eq!(o1.read_u64(rid), o2.read_u64(rid));
+            }
+        }
+    }
+}

@@ -1,0 +1,256 @@
+//! End-to-end serializability of the BOHM engine.
+//!
+//! BOHM's correctness claim (paper §3.3.3) is that the concurrent execution
+//! is equivalent to the serial execution in **log order**. These tests
+//! drive the full pipeline (sequencer → CC threads → execution threads,
+//! many batches in flight) and compare against the serial oracle:
+//! per-transaction commit decisions, per-transaction read fingerprints, and
+//! the complete final database state must all match exactly.
+
+use bohm_suite::common::rng::FastRng;
+use bohm_suite::common::{Procedure, RecordId, SmallBankProc, Txn};
+use bohm_suite::core::{Bohm, BohmConfig, CatalogSpec};
+use bohm_suite::testkit::check_serial_equivalence;
+use bohm_suite::workloads::{DatabaseSpec, TableDef};
+
+fn catalog_of(spec: &DatabaseSpec) -> CatalogSpec {
+    let mut c = CatalogSpec::new();
+    for t in &spec.tables {
+        c = c.table(t.rows, t.record_size, t.seed);
+    }
+    c
+}
+
+/// Run txns through BOHM in `batch` sized batches with the whole pipeline
+/// in flight, then check equivalence with serial log-order replay.
+fn run_and_check(spec: DatabaseSpec, txns: Vec<Txn>, cfg: BohmConfig, batch: usize) {
+    let engine = Bohm::start(cfg, catalog_of(&spec));
+    let handles: Vec<_> = txns
+        .chunks(batch)
+        .map(|c| engine.submit(c.to_vec()))
+        .collect();
+    let mut outcomes = Vec::with_capacity(txns.len());
+    for h in handles {
+        for o in h.outcomes() {
+            outcomes.push(bohm_suite::common::engine::ExecOutcome {
+                committed: o.committed,
+                fingerprint: o.fingerprint,
+                cc_retries: 0,
+            });
+        }
+    }
+    let res = check_serial_equivalence(&spec, &txns, &outcomes, |rid| engine.read_u64(rid));
+    engine.shutdown();
+    res.unwrap();
+}
+
+fn one_table(rows: u64) -> DatabaseSpec {
+    DatabaseSpec::new(vec![TableDef {
+        rows,
+        record_size: 8,
+        seed: |r| r * 3,
+    }])
+}
+
+fn rmw_mix(rows: u64, n: usize, hot: bool, seed: u64) -> Vec<Txn> {
+    let mut rng = FastRng::seed_from(seed);
+    let dom = if hot { 4.min(rows) } else { rows };
+    (0..n)
+        .map(|_| {
+            let mut keys = Vec::new();
+            while keys.len() < 3.min(dom as usize) {
+                let k = rng.below(dom);
+                if !keys.contains(&k) {
+                    keys.push(k);
+                }
+            }
+            let rids: Vec<RecordId> = keys.iter().map(|&k| RecordId::new(0, k)).collect();
+            match rng.below(4) {
+                0 => Txn::new(rids.clone(), vec![], Procedure::ReadOnly),
+                1 => Txn::new(
+                    vec![],
+                    rids,
+                    Procedure::BlindWrite {
+                        value: rng.next_u64() % 1000,
+                    },
+                ),
+                _ => Txn::new(
+                    rids.clone(),
+                    rids,
+                    Procedure::ReadModifyWrite {
+                        delta: 1 + rng.below(9),
+                    },
+                ),
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn low_contention_mix_matches_serial_order() {
+    run_and_check(
+        one_table(512),
+        rmw_mix(512, 5_000, false, 1),
+        BohmConfig::with_threads(3, 3),
+        250,
+    );
+}
+
+#[test]
+fn hot_key_mix_matches_serial_order() {
+    // Almost every transaction conflicts: deep intra-batch dependency
+    // chains, heavy recursive resolution.
+    run_and_check(
+        one_table(64),
+        rmw_mix(64, 5_000, true, 2),
+        BohmConfig::with_threads(2, 4),
+        500,
+    );
+}
+
+#[test]
+fn single_txn_batches_match_serial_order() {
+    // Degenerate batching: barrier per transaction.
+    run_and_check(
+        one_table(32),
+        rmw_mix(32, 300, true, 3),
+        BohmConfig::with_threads(2, 2),
+        1,
+    );
+}
+
+#[test]
+fn many_threads_few_txns() {
+    // More threads than work: partitions and responsibilities mostly empty.
+    run_and_check(
+        one_table(16),
+        rmw_mix(16, 64, true, 4),
+        BohmConfig::with_threads(8, 8),
+        16,
+    );
+}
+
+#[test]
+fn annotations_off_matches_serial_order() {
+    let mut cfg = BohmConfig::with_threads(3, 3);
+    cfg.annotate_reads = false;
+    run_and_check(one_table(128), rmw_mix(128, 3_000, true, 5), cfg, 300);
+}
+
+#[test]
+fn gc_off_matches_serial_order() {
+    let mut cfg = BohmConfig::with_threads(3, 3);
+    cfg.enable_gc = false;
+    run_and_check(one_table(128), rmw_mix(128, 3_000, true, 6), cfg, 300);
+}
+
+#[test]
+fn smallbank_with_aborts_matches_serial_order() {
+    // TransactSaving overdrafts force user aborts whose copy-through
+    // placeholders must expose exactly the pre-transaction state.
+    let spec = DatabaseSpec::new(vec![
+        TableDef {
+            rows: 16,
+            record_size: 8,
+            seed: |r| r,
+        },
+        TableDef {
+            rows: 16,
+            record_size: 8,
+            seed: |_| 50,
+        },
+        TableDef {
+            rows: 16,
+            record_size: 8,
+            seed: |_| 50,
+        },
+    ]);
+    let mut rng = FastRng::seed_from(7);
+    let txns: Vec<Txn> = (0..4_000)
+        .map(|_| {
+            let c = rng.below(16);
+            match rng.below(5) {
+                0 => bohm_suite::workloads::smallbank::balance(c, 0),
+                1 => bohm_suite::workloads::smallbank::deposit_checking(c, rng.below(40), 0),
+                2 => bohm_suite::workloads::smallbank::transact_saving(
+                    c,
+                    rng.below(160) as i64 - 80, // frequent overdraft aborts
+                    0,
+                ),
+                3 => {
+                    let mut c1 = rng.below(16);
+                    while c1 == c {
+                        c1 = rng.below(16);
+                    }
+                    bohm_suite::workloads::smallbank::amalgamate(c, c1, 0)
+                }
+                _ => bohm_suite::workloads::smallbank::write_check(c, rng.below(60), 0),
+            }
+        })
+        .collect();
+    // Sanity: the workload must actually produce user aborts.
+    let mut oracle = bohm_suite::testkit::SerialOracle::new(&spec);
+    let aborts = txns.iter().filter(|t| !oracle.apply(t).committed).count();
+    assert!(aborts > 10, "workload produced too few aborts: {aborts}");
+    run_and_check(spec, txns, BohmConfig::with_threads(3, 4), 200);
+}
+
+#[test]
+fn write_skew_shape_is_serialized_by_log_order() {
+    // The §2 anomaly shape: overlapping read sets {x,y}, disjoint writes.
+    // In BOHM the log order decides; fingerprints must match that order.
+    let spec = one_table(2);
+    let x = RecordId::new(0, 0);
+    let y = RecordId::new(0, 1);
+    let mut txns = Vec::new();
+    for i in 0..500 {
+        let w = if i % 2 == 0 { x } else { y };
+        txns.push(Txn::new(
+            vec![x, y],
+            vec![w],
+            Procedure::ReadModifyWrite { delta: 1 },
+        ));
+    }
+    run_and_check(spec, txns, BohmConfig::with_threads(2, 4), 100);
+}
+
+#[test]
+fn blind_write_races_resolve_in_log_order() {
+    // Pure write-write conflicts: the concurrency-control layer pre-orders
+    // versions; the last blind write in log order must win every record.
+    let spec = one_table(4);
+    let mut txns = Vec::new();
+    for i in 0..1_000u64 {
+        let rid = RecordId::new(0, i % 4);
+        txns.push(Txn::new(
+            vec![],
+            vec![rid],
+            Procedure::BlindWrite { value: i },
+        ));
+    }
+    run_and_check(spec, txns, BohmConfig::with_threads(2, 4), 125);
+}
+
+#[test]
+fn sequential_submissions_interleave_correctly() {
+    // Multiple submitters taking turns on the sequencer: timestamps are
+    // assigned under the sequencer lock, so equivalence must still hold
+    // against the concatenated order.
+    let spec = one_table(8);
+    let engine = Bohm::start(BohmConfig::with_threads(2, 2), catalog_of(&spec));
+    let mut all = Vec::new();
+    let mut outcomes = Vec::new();
+    for round in 0..20 {
+        let txns = rmw_mix(8, 50, true, 100 + round);
+        let got = engine.execute_sync(txns.clone());
+        all.extend(txns);
+        outcomes.extend(got.into_iter().map(|o| bohm_suite::common::engine::ExecOutcome {
+            committed: o.committed,
+            fingerprint: o.fingerprint,
+            cc_retries: 0,
+        }));
+    }
+    let res = check_serial_equivalence(&spec, &all, &outcomes, |rid| engine.read_u64(rid));
+    engine.shutdown();
+    res.unwrap();
+}

@@ -3,24 +3,40 @@
 //! 1. **Read-set annotation on/off** (§3.2.3): direct version references
 //!    vs. chain traversal at execution time.
 //! 2. **Batch size sweep** (§3.2.4): how much barrier amortization buys.
+//!    Since the ingest refactor this is the *engine's* sequencer knob
+//!    (`BohmConfig::batch_size`), not a driver-side grouping trick.
 //! 3. **Garbage collection on/off** (§3.3.2): Condition-3 GC cost/benefit
 //!    under hot-key version churn.
 //! 4. **CC/exec thread split** at a fixed total budget.
 
-use bohm::{Bohm, BohmConfig, CatalogSpec};
-use bohm_bench::driver::{run_bohm, BohmDriverConfig};
+use bohm::BohmConfig;
+use bohm_bench::driver::{run_engine, DriverConfig};
+use bohm_bench::engines::build_bohm_with;
+use bohm_bench::figure::PIPELINED_DRIVER_SESSIONS;
 use bohm_bench::params::Params;
 use bohm_bench::report::{print_figure, Series};
+use bohm_common::stats::RunStats;
 use bohm_workloads::ycsb::{YcsbConfig, YcsbGen, YcsbKind};
-use bohm_workloads::TxnGen;
 
-fn build(cfg: &YcsbConfig, bohm_cfg: BohmConfig) -> Bohm {
-    let records = cfg.records;
-    let record_size = cfg.record_size;
-    Bohm::start(
-        bohm_cfg,
-        CatalogSpec::new().table(records, record_size, |r| r),
-    )
+fn drive(
+    ycsb: &YcsbConfig,
+    bohm_cfg: BohmConfig,
+    kind: YcsbKind,
+    seed: u64,
+    secs: std::time::Duration,
+) -> (RunStats, u64) {
+    let engine = build_bohm_with(&ycsb.spec(), bohm_cfg);
+    let ycsb2 = ycsb.clone();
+    let st = run_engine(
+        &engine,
+        PIPELINED_DRIVER_SESSIONS,
+        DriverConfig::default(),
+        secs,
+        move |i| Box::new(YcsbGen::new(&ycsb2, kind, seed + i as u64)),
+    );
+    let retired = engine.gc_retired();
+    engine.shutdown();
+    (st, retired)
 }
 
 fn main() {
@@ -39,11 +55,7 @@ fn main() {
         for (label, annotate) in [("annotated", true), ("traversal", false)] {
             let mut cfg = BohmConfig::with_threads(cc, exec);
             cfg.annotate_reads = annotate;
-            cfg.index_capacity = ycsb.records as usize;
-            let engine = build(&ycsb, cfg);
-            let mut gen = YcsbGen::new(&ycsb, YcsbKind::Rmw2Read8, 7000);
-            let st = run_bohm(&engine, BohmDriverConfig::default(), p.secs, &mut gen);
-            engine.shutdown();
+            let (st, _) = drive(&ycsb, cfg, YcsbKind::Rmw2Read8, 7000, p.secs);
             eprintln!("annotation={label}: {:.0} txns/s", st.throughput());
             series.push(Series {
                 label: label.into(),
@@ -57,7 +69,7 @@ fn main() {
         );
     }
 
-    // 2. Batch size sweep (10RMW).
+    // 2. Sequencer batch size sweep (10RMW).
     {
         let sizes: Vec<usize> = if p.full {
             vec![10, 100, 500, 1_000, 4_000, 10_000]
@@ -67,24 +79,14 @@ fn main() {
         let mut points = Vec::new();
         for &bs in &sizes {
             let mut cfg = BohmConfig::with_threads(cc, exec);
-            cfg.index_capacity = ycsb.records as usize;
-            let engine = build(&ycsb, cfg);
-            let mut gen = YcsbGen::new(&ycsb, YcsbKind::Rmw10, 7100);
-            let st = run_bohm(
-                &engine,
-                BohmDriverConfig {
-                    batch_size: bs,
-                    inflight: 8,
-                },
-                p.secs,
-                &mut gen,
-            );
-            engine.shutdown();
+            cfg.batch_size = bs;
+            cfg.ingest_capacity = bs * 4;
+            let (st, _) = drive(&ycsb, cfg, YcsbKind::Rmw10, 7100, p.secs);
             eprintln!("batch={bs}: {:.0} txns/s", st.throughput());
             points.push((bs as f64, st.throughput()));
         }
         print_figure(
-            "Ablation 2: batch size (YCSB 10RMW, theta=0.9)",
+            "Ablation 2: sequencer batch size (YCSB 10RMW, theta=0.9)",
             "batch_size",
             &[Series {
                 label: "Bohm".into(),
@@ -99,12 +101,7 @@ fn main() {
         for (label, gc) in [("gc_on", true), ("gc_off", false)] {
             let mut cfg = BohmConfig::with_threads(cc, exec);
             cfg.enable_gc = gc;
-            cfg.index_capacity = ycsb.records as usize;
-            let engine = build(&ycsb, cfg);
-            let mut gen = YcsbGen::new(&ycsb, YcsbKind::Rmw10, 7200);
-            let st = run_bohm(&engine, BohmDriverConfig::default(), p.secs, &mut gen);
-            let retired = engine.gc_retired();
-            engine.shutdown();
+            let (st, retired) = drive(&ycsb, cfg, YcsbKind::Rmw10, 7200, p.secs);
             eprintln!(
                 "{label}: {:.0} txns/s ({} versions retired)",
                 st.throughput(),
@@ -128,13 +125,13 @@ fn main() {
         let mut points = Vec::new();
         for cc_n in 1..total {
             if p.full || cc_n % 2 == 1 || cc_n == total - 1 {
-                let mut cfg = BohmConfig::with_threads(cc_n, total - cc_n);
-                cfg.index_capacity = ycsb.records as usize;
-                let engine = build(&ycsb, cfg);
-                let mut gen = YcsbGen::new(&ycsb, YcsbKind::Rmw10, 7300);
-                let st = run_bohm(&engine, BohmDriverConfig::default(), p.secs, &mut gen);
-                engine.shutdown();
-                eprintln!("split cc={cc_n}/exec={}: {:.0} txns/s", total - cc_n, st.throughput());
+                let cfg = BohmConfig::with_threads(cc_n, total - cc_n);
+                let (st, _) = drive(&ycsb, cfg, YcsbKind::Rmw10, 7300, p.secs);
+                eprintln!(
+                    "split cc={cc_n}/exec={}: {:.0} txns/s",
+                    total - cc_n,
+                    st.throughput()
+                );
                 points.push((cc_n as f64, st.throughput()));
             }
         }
@@ -147,6 +144,4 @@ fn main() {
             }],
         );
     }
-    // Silence unused-import lint when sweeps shrink in quick mode.
-    let _: Option<Box<dyn TxnGen>> = None;
 }

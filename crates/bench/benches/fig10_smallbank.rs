@@ -52,6 +52,10 @@ fn main() {
                 points,
             });
         }
-        print_figure(&format!("Figure 10 ({name}): SmallBank"), "threads", &series);
+        print_figure(
+            &format!("Figure 10 ({name}): SmallBank"),
+            "threads",
+            &series,
+        );
     }
 }

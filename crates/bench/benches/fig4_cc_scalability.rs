@@ -8,8 +8,9 @@
 //! layer's capacity, then plateaus; more CC threads raise the plateau
 //! (intra-transaction parallelism + smaller per-thread cache footprint).
 
-use bohm_bench::driver::{run_bohm, BohmDriverConfig};
+use bohm_bench::driver::{run_engine, DriverConfig};
 use bohm_bench::engines::build_bohm;
+use bohm_bench::figure::PIPELINED_DRIVER_SESSIONS;
 use bohm_bench::params::Params;
 use bohm_bench::report::{print_figure, Series};
 use bohm_workloads::micro::{MicroConfig, MicroGen};
@@ -26,20 +27,31 @@ fn main() {
     } else {
         vec![1, 2, 4]
     };
-    let exec_sweep: Vec<usize> = p
+    let mut exec_sweep: Vec<usize> = p
         .thread_sweep
         .iter()
         .copied()
         .filter(|&t| t + cc_counts[cc_counts.len() - 1] <= p.max_threads + 4)
         .collect();
+    if exec_sweep.is_empty() {
+        // Small hosts: keep one (oversubscribed) point rather than an
+        // empty figure.
+        exec_sweep.push(p.thread_sweep[0]);
+    }
 
     let mut series = Vec::new();
     for &cc in &cc_counts {
         let mut points = Vec::new();
         for &exec in &exec_sweep {
             let engine = build_bohm(&spec, cc, exec);
-            let mut gen = MicroGen::new(cfg.clone(), 42);
-            let st = run_bohm(&engine, BohmDriverConfig::default(), p.secs, &mut gen);
+            let cfg2 = cfg.clone();
+            let st = run_engine(
+                &engine,
+                PIPELINED_DRIVER_SESSIONS,
+                DriverConfig::default(),
+                p.secs,
+                move |i| Box::new(MicroGen::new(cfg2.clone(), 42 + i as u64)),
+            );
             engine.shutdown();
             points.push((exec as f64, st.throughput()));
             eprintln!(

@@ -15,7 +15,10 @@ use bohm_workloads::ycsb::{YcsbConfig, YcsbGen, YcsbKind};
 
 fn main() {
     let p = Params::from_env();
-    for (name, theta) in [("High Contention (theta=0.9)", 0.9), ("Low Contention (theta=0.0)", 0.0)] {
+    for (name, theta) in [
+        ("High Contention (theta=0.9)", 0.9),
+        ("Low Contention (theta=0.0)", 0.0),
+    ] {
         let cfg = YcsbConfig {
             records: p.ycsb_records,
             record_size: p.ycsb_record_size,

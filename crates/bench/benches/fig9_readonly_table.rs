@@ -44,7 +44,10 @@ fn main() {
         .unwrap_or(1.0);
     println!();
     println!("=== Figure 9: YCSB with 1% long read-only transactions ({threads} threads) ===");
-    println!("{:>10} {:>18} {:>22}", "System", "Throughput (txns/s)", "% BOHM's Throughput");
+    println!(
+        "{:>10} {:>18} {:>22}",
+        "System", "Throughput (txns/s)", "% BOHM's Throughput"
+    );
     for (kind, tput) in &results {
         println!(
             "{:>10} {:>18} {:>21.2}%",

@@ -1,9 +1,17 @@
-//! Fixed-duration throughput drivers.
+//! The fixed-duration throughput driver — **one code path for all five
+//! engines**.
+//!
+//! Every engine is driven through the [`BatchEngine`]/[`Session`] facade:
+//! `threads` driver threads each open a session, submit transactions from
+//! their private generator, and keep at most `pipeline_depth` outcomes
+//! unreaped. On the interactive baselines submission is synchronous and the
+//! depth is irrelevant; on BOHM submission is pipelined through the ingest
+//! queue and the depth is what keeps the sequencer/CC/execution pipeline
+//! full. Engine backpressure (a saturated ingest queue) blocks `submit`,
+//! so drivers can never outrun the engine unboundedly.
 
-use bohm::Bohm;
-use bohm_common::engine::Engine;
+use bohm_common::engine::{BatchEngine, Session};
 use bohm_common::stats::RunStats;
-use bohm_common::Txn;
 use bohm_workloads::TxnGen;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -15,23 +23,49 @@ use std::time::{Duration, Instant};
 /// in which case we silently continue unpinned).
 pub fn pin_to_core(core: usize) {
     #[cfg(target_os = "linux")]
-    // SAFETY: plain FFI with a stack-local cpu_set_t.
-    unsafe {
-        let mut set: libc::cpu_set_t = std::mem::zeroed();
-        libc::CPU_SET(core % libc::CPU_SETSIZE as usize, &mut set);
-        let _ = libc::sched_setaffinity(0, std::mem::size_of::<libc::cpu_set_t>(), &set);
+    {
+        // Raw sched_setaffinity(2) via the C library the binary already
+        // links, so no libc crate is needed: a cpu_set_t is 1024 bits.
+        extern "C" {
+            fn sched_setaffinity(pid: i32, cpusetsize: usize, mask: *const u64) -> i32;
+        }
+        let mut mask = [0u64; 16];
+        let bit = core % (64 * mask.len());
+        mask[bit / 64] |= 1u64 << (bit % 64);
+        // SAFETY: plain FFI with a stack-local, correctly-sized mask.
+        unsafe {
+            let _ = sched_setaffinity(0, std::mem::size_of_val(&mask), mask.as_ptr());
+        }
     }
     #[cfg(not(target_os = "linux"))]
     let _ = core;
 }
 
-/// Drive an interactive engine with `threads` workers for `duration`.
+/// Driver-side knobs (engine-side batching lives in `BohmConfig`).
+#[derive(Clone, Copy, Debug)]
+pub struct DriverConfig {
+    /// Maximum unreaped transactions per session. Interactive engines
+    /// complete synchronously and ignore this in effect; pipelined engines
+    /// need it ≫ 1 to amortize their per-batch barriers.
+    pub pipeline_depth: usize,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        Self {
+            pipeline_depth: 8192,
+        }
+    }
+}
+
+/// Drive `engine` with `threads` sessions for `duration`.
 ///
-/// `mk_gen(i)` builds worker `i`'s private transaction stream (seeded
+/// `mk_gen(i)` builds session `i`'s private transaction stream (seeded
 /// deterministically by the caller so runs are reproducible).
-pub fn run_interactive<E: Engine>(
+pub fn run_engine<E: BatchEngine>(
     engine: &E,
     threads: usize,
+    cfg: DriverConfig,
     duration: Duration,
     mk_gen: impl Fn(usize) -> Box<dyn TxnGen>,
 ) -> RunStats {
@@ -44,20 +78,35 @@ pub fn run_interactive<E: Engine>(
             let engine = &*engine;
             handles.push(s.spawn(move || {
                 pin_to_core(i);
-                let mut w = engine.make_worker();
+                let mut session = engine.open_session();
+                // Access counts of submitted-but-unreaped txns, FIFO like
+                // the session contract.
+                let mut in_flight_accesses: VecDeque<u64> = VecDeque::new();
                 let mut st = RunStats::default();
-                let start = Instant::now();
-                while !stop.load(Ordering::Relaxed) {
-                    let txn = gen.next_txn();
-                    let accesses = txn.access_count() as u64;
-                    let out = engine.execute(&txn, &mut w);
+                let reap = |session: &mut E::Session<'_>,
+                            accesses: &mut VecDeque<u64>,
+                            st: &mut RunStats| {
+                    let out = session.reap();
+                    let a = accesses.pop_front().unwrap_or(0);
                     if out.committed {
                         st.committed += 1;
-                        st.accesses += accesses;
+                        st.accesses += a;
                     } else {
                         st.user_aborts += 1;
                     }
                     st.cc_aborts += out.cc_retries;
+                };
+                let start = Instant::now();
+                while !stop.load(Ordering::Relaxed) {
+                    let txn = gen.next_txn();
+                    in_flight_accesses.push_back(txn.access_count() as u64);
+                    session.submit(txn);
+                    while session.in_flight() > cfg.pipeline_depth {
+                        reap(&mut session, &mut in_flight_accesses, &mut st);
+                    }
+                }
+                while session.in_flight() > 0 {
+                    reap(&mut session, &mut in_flight_accesses, &mut st);
                 }
                 st.duration = start.elapsed();
                 st
@@ -74,70 +123,6 @@ pub fn run_interactive<E: Engine>(
     stats
 }
 
-/// BOHM submission pipeline parameters.
-#[derive(Clone, Copy, Debug)]
-pub struct BohmDriverConfig {
-    /// Transactions per batch (the §3.2.4 coordination-amortization knob).
-    pub batch_size: usize,
-    /// Batches kept in flight before waiting on the oldest.
-    pub inflight: usize,
-}
-
-impl Default for BohmDriverConfig {
-    fn default() -> Self {
-        Self {
-            // Measured near the knee for 1,000-byte YCSB workloads; the
-            // ablations bench sweeps this knob.
-            batch_size: 4_000,
-            inflight: 8,
-        }
-    }
-}
-
-/// Drive a BOHM engine for `duration`: one sequencer-side thread generates
-/// batches and keeps the pipeline full; completed batches are accounted as
-/// they drain.
-pub fn run_bohm(
-    engine: &Bohm,
-    cfg: BohmDriverConfig,
-    duration: Duration,
-    gen: &mut dyn TxnGen,
-) -> RunStats {
-    let mut st = RunStats::default();
-    let mut inflight: VecDeque<(bohm::BatchHandle, u64)> = VecDeque::new();
-    let start = Instant::now();
-    let drain = |h: bohm::BatchHandle, accesses: u64, st: &mut RunStats| {
-        for o in h.outcomes() {
-            if o.committed {
-                st.committed += 1;
-            } else {
-                st.user_aborts += 1;
-            }
-        }
-        st.accesses += accesses;
-    };
-    while start.elapsed() < duration {
-        let mut accesses = 0u64;
-        let txns: Vec<Txn> = (0..cfg.batch_size)
-            .map(|_| {
-                let t = gen.next_txn();
-                accesses += t.access_count() as u64;
-                t
-            })
-            .collect();
-        inflight.push_back((engine.submit(txns), accesses));
-        if inflight.len() > cfg.inflight {
-            let (h, a) = inflight.pop_front().unwrap();
-            drain(h, a, &mut st);
-        }
-    }
-    for (h, a) in inflight {
-        drain(h, a, &mut st);
-    }
-    st.duration = start.elapsed();
-    st
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,12 +137,16 @@ mod tests {
     }
 
     #[test]
-    fn interactive_driver_counts_commits() {
+    fn interactive_engine_through_unified_driver() {
         let spec = micro_cfg().spec();
         let e = engines::build_tpl(&spec);
-        let st = run_interactive(&e, 2, Duration::from_millis(100), |i| {
-            Box::new(MicroGen::new(micro_cfg(), i as u64 + 1))
-        });
+        let st = run_engine(
+            &e,
+            2,
+            DriverConfig::default(),
+            Duration::from_millis(100),
+            |i| Box::new(MicroGen::new(micro_cfg(), i as u64 + 1)),
+        );
         assert!(st.committed > 0);
         assert_eq!(st.accesses, st.committed * 8);
         // Worker-local windows start after spawn, so allow a little slack.
@@ -165,23 +154,29 @@ mod tests {
     }
 
     #[test]
-    fn bohm_driver_drains_pipeline() {
+    fn bohm_through_unified_driver_drains_pipeline() {
         let spec = micro_cfg().spec();
         let e = engines::build_bohm(&spec, 2, 2);
-        let mut gen = MicroGen::new(micro_cfg(), 9);
-        let st = run_bohm(
+        let st = run_engine(
             &e,
-            BohmDriverConfig {
-                batch_size: 100,
-                inflight: 4,
+            2,
+            DriverConfig {
+                pipeline_depth: 500,
             },
             Duration::from_millis(100),
-            &mut gen,
+            |i| Box::new(MicroGen::new(micro_cfg(), 9 + i as u64)),
         );
         assert!(st.committed > 0);
-        assert_eq!(st.committed % 100, 0, "whole batches only");
-        // Every committed micro txn increments 4 records by 1: verify the
-        // engine state sums to the commit count.
+        assert_eq!(st.accesses, st.committed * 8);
+        // Quiesce (group submissions barrier on batch retirement), then
+        // verify: every committed micro txn incremented 4 records by 1.
+        let rid0 = bohm_common::RecordId::new(0, 0);
+        let noop = bohm_common::Txn::new(
+            vec![rid0],
+            vec![rid0],
+            bohm_common::Procedure::ReadModifyWrite { delta: 0 },
+        );
+        e.execute_sync(vec![noop]);
         let total: u64 = (0..1_000)
             .map(|k| e.read_u64(bohm_common::RecordId::new(0, k)).unwrap())
             .sum();

@@ -1,6 +1,13 @@
 //! Uniform engine construction over a [`DatabaseSpec`].
+//!
+//! [`AnyEngine`] erases the five concrete engine types behind the
+//! [`BatchEngine`] facade, so the benchmark harness builds, drives and
+//! tears down every system through identical code — BOHM included (its
+//! batching lives behind its own sequencer, not in the harness).
 
-use bohm::{Bohm, BohmConfig, CatalogSpec};
+use bohm::{Bohm, BohmConfig, BohmSession, CatalogSpec};
+use bohm_common::engine::{BatchEngine, ExecOutcome, Session, WorkerSession};
+use bohm_common::{RecordId, Txn};
 use bohm_hekaton::{Hekaton, HekatonStore};
 use bohm_occ::SiloOcc;
 use bohm_svstore::StoreBuilder;
@@ -35,17 +42,43 @@ impl EngineKind {
             EngineKind::Tpl => "2PL",
         }
     }
+
+    /// Build this engine over `spec`, giving it a total budget of
+    /// `threads` engine-side threads (BOHM splits them between its CC and
+    /// execution layers; the interactive engines are passive and use the
+    /// driver's threads instead).
+    pub fn build(self, spec: &DatabaseSpec, threads: usize) -> AnyEngine {
+        match self {
+            EngineKind::Bohm => {
+                let (cc, exec) = bohm_split(threads);
+                AnyEngine::Bohm(build_bohm(spec, cc, exec))
+            }
+            EngineKind::Tpl => AnyEngine::Tpl(build_tpl(spec)),
+            EngineKind::Occ => AnyEngine::Occ(build_occ(spec)),
+            EngineKind::Hekaton => AnyEngine::Hekaton(build_hekaton(spec)),
+            EngineKind::Si => AnyEngine::Si(build_si(spec)),
+        }
+    }
 }
 
-/// Build a BOHM engine preloaded from `spec` with the given thread split.
+/// Build a BOHM engine preloaded from `spec` with the given thread split;
+/// the index-capacity hint is sized to the database.
 pub fn build_bohm(spec: &DatabaseSpec, cc: usize, exec: usize) -> Bohm {
+    let mut cfg = BohmConfig::with_threads(cc, exec);
+    cfg.index_capacity = (spec.total_rows() as usize).next_power_of_two();
+    build_bohm_with(spec, cfg)
+}
+
+/// Build a BOHM engine preloaded from `spec` with a full custom config
+/// (ablations sweep batch size, linger, GC, index sizing, …). The config
+/// is honoured verbatim — including `index_capacity`, whose effective
+/// value still floors at the row count (`effective_index_capacity`).
+pub fn build_bohm_with(spec: &DatabaseSpec, cfg: BohmConfig) -> Bohm {
     let mut catalog = CatalogSpec::new();
     for t in &spec.tables {
         let seed = t.seed;
         catalog = catalog.table(t.rows, t.record_size, seed);
     }
-    let mut cfg = BohmConfig::with_threads(cc, exec);
-    cfg.index_capacity = (spec.total_rows() as usize).next_power_of_two();
     Bohm::start(cfg, catalog)
 }
 
@@ -96,6 +129,105 @@ pub fn bohm_split(total: usize) -> (usize, usize) {
     (cc, exec)
 }
 
+// ---------------------------------------------------------------------------
+// Type-erased engine + session
+// ---------------------------------------------------------------------------
+
+/// Any of the five engines, behind one [`BatchEngine`] implementation.
+pub enum AnyEngine {
+    Bohm(Bohm),
+    Tpl(TwoPhaseLocking),
+    Occ(SiloOcc),
+    Hekaton(Hekaton),
+    Si(Hekaton),
+}
+
+impl AnyEngine {
+    /// Tear the engine down (joins BOHM's pipeline threads; the passive
+    /// engines just drop).
+    pub fn shutdown(self) {
+        if let AnyEngine::Bohm(b) = self {
+            b.shutdown();
+        }
+    }
+
+    /// The wrapped BOHM engine, if this is one (GC/diagnostic hooks).
+    pub fn as_bohm(&self) -> Option<&Bohm> {
+        match self {
+            AnyEngine::Bohm(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+pub enum AnySession<'a> {
+    Bohm(BohmSession),
+    Tpl(WorkerSession<'a, TwoPhaseLocking>),
+    Occ(WorkerSession<'a, SiloOcc>),
+    Hekaton(WorkerSession<'a, Hekaton>),
+}
+
+impl Session for AnySession<'_> {
+    fn submit(&mut self, txn: Txn) {
+        match self {
+            AnySession::Bohm(s) => Session::submit(s, txn),
+            AnySession::Tpl(s) => s.submit(txn),
+            AnySession::Occ(s) => s.submit(txn),
+            AnySession::Hekaton(s) => s.submit(txn),
+        }
+    }
+
+    fn in_flight(&self) -> usize {
+        match self {
+            AnySession::Bohm(s) => s.in_flight(),
+            AnySession::Tpl(s) => s.in_flight(),
+            AnySession::Occ(s) => s.in_flight(),
+            AnySession::Hekaton(s) => s.in_flight(),
+        }
+    }
+
+    fn reap(&mut self) -> ExecOutcome {
+        match self {
+            AnySession::Bohm(s) => s.reap(),
+            AnySession::Tpl(s) => s.reap(),
+            AnySession::Occ(s) => s.reap(),
+            AnySession::Hekaton(s) => s.reap(),
+        }
+    }
+}
+
+impl BatchEngine for AnyEngine {
+    type Session<'a> = AnySession<'a>;
+
+    fn name(&self) -> &'static str {
+        match self {
+            AnyEngine::Bohm(_) => "Bohm",
+            AnyEngine::Tpl(_) => "2PL",
+            AnyEngine::Occ(_) => "OCC",
+            AnyEngine::Hekaton(_) => "Hekaton",
+            AnyEngine::Si(_) => "SI",
+        }
+    }
+
+    fn open_session(&self) -> AnySession<'_> {
+        match self {
+            AnyEngine::Bohm(e) => AnySession::Bohm(e.session()),
+            AnyEngine::Tpl(e) => AnySession::Tpl(e.open_session()),
+            AnyEngine::Occ(e) => AnySession::Occ(e.open_session()),
+            AnyEngine::Hekaton(e) | AnyEngine::Si(e) => AnySession::Hekaton(e.open_session()),
+        }
+    }
+
+    fn read_u64(&self, rid: RecordId) -> Option<u64> {
+        match self {
+            AnyEngine::Bohm(e) => e.read_u64(rid),
+            AnyEngine::Tpl(e) => BatchEngine::read_u64(e, rid),
+            AnyEngine::Occ(e) => BatchEngine::read_u64(e, rid),
+            AnyEngine::Hekaton(e) | AnyEngine::Si(e) => BatchEngine::read_u64(e, rid),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,22 +252,54 @@ mod tests {
 
     #[test]
     fn all_engines_preload_identically() {
-        use bohm_common::engine::Engine;
-        use bohm_common::RecordId;
         let s = spec();
-        let tpl = build_tpl(&s);
-        let occ = build_occ(&s);
-        let hk = build_hekaton(&s);
-        let si = build_si(&s);
-        let bohm = build_bohm(&s, 1, 1);
-        for row in 0..32 {
-            let rid = RecordId::new(0, row);
-            assert_eq!(tpl.read_u64(rid), Some(row));
-            assert_eq!(occ.read_u64(rid), Some(row));
-            assert_eq!(hk.read_u64(rid), Some(row));
-            assert_eq!(si.read_u64(rid), Some(row));
-            assert_eq!(bohm.read_u64(rid), Some(row));
+        for kind in EngineKind::ALL {
+            let engine = kind.build(&s, 2);
+            for row in 0..32 {
+                let rid = RecordId::new(0, row);
+                assert_eq!(
+                    engine.read_u64(rid),
+                    Some(row),
+                    "{} preload mismatch at row {row}",
+                    kind.name()
+                );
+            }
+            engine.shutdown();
         }
-        bohm.shutdown();
+    }
+
+    #[test]
+    fn every_engine_commits_through_the_facade() {
+        let s = spec();
+        let rid = RecordId::new(0, 3);
+        let txn = Txn::new(
+            vec![rid],
+            vec![rid],
+            bohm_common::Procedure::ReadModifyWrite { delta: 2 },
+        );
+        for kind in EngineKind::ALL {
+            let engine = kind.build(&s, 2);
+            let mut session = engine.open_session();
+            for _ in 0..10 {
+                session.submit(txn.clone());
+            }
+            let mut committed = 0;
+            while session.in_flight() > 0 {
+                if session.reap().committed {
+                    committed += 1;
+                }
+            }
+            assert_eq!(committed, 10, "{}", kind.name());
+            // Quiesce BOHM before the direct read.
+            if let AnyEngine::Bohm(b) = &engine {
+                b.execute_sync(vec![Txn::new(
+                    vec![rid],
+                    vec![rid],
+                    bohm_common::Procedure::ReadModifyWrite { delta: 0 },
+                )]);
+            }
+            assert_eq!(engine.read_u64(rid), Some(3 + 20), "{}", kind.name());
+            engine.shutdown();
+        }
     }
 }

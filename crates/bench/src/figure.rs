@@ -1,17 +1,25 @@
-//! One-call measurement of any engine on any workload.
+//! One-call measurement of any engine on any workload — a single code path
+//! for all five systems, via [`EngineKind::build`] + [`run_engine`].
 
-use crate::driver::{run_bohm, run_interactive, BohmDriverConfig};
-use crate::engines::{self, EngineKind};
+use crate::driver::{run_engine, DriverConfig};
+use crate::engines::EngineKind;
 use bohm_common::stats::RunStats;
 use bohm_workloads::{DatabaseSpec, TxnGen};
 use std::time::Duration;
 
-/// Build engine `kind` over `spec`, drive it with `threads` total threads
-/// for `secs`, and tear it down. `mk_gen(i)` seeds worker `i`'s stream.
+/// Driver threads used when the engine runs its own thread pool (BOHM:
+/// `threads` becomes the CC/execution budget and these sessions only feed
+/// the ingest queue, which two submitters saturate comfortably).
+pub const PIPELINED_DRIVER_SESSIONS: usize = 2;
+
+/// Build engine `kind` over `spec`, drive it for `secs`, and tear it down.
+/// `mk_gen(i)` seeds session `i`'s stream.
 ///
-/// For BOHM, `threads` is split between CC and execution threads with
-/// [`engines::bohm_split`] and the workload is submitted through the
-/// pipelined batch driver (its generator is `mk_gen(0)`).
+/// `threads` is the *engine-side* thread budget: the interactive baselines
+/// execute on their driver threads (so they get `threads` sessions); BOHM
+/// splits the budget between CC and execution threads with
+/// [`crate::engines::bohm_split`] and is fed by
+/// [`PIPELINED_DRIVER_SESSIONS`] submitter sessions.
 pub fn measure(
     kind: EngineKind,
     spec: &DatabaseSpec,
@@ -19,30 +27,12 @@ pub fn measure(
     secs: Duration,
     mk_gen: &dyn Fn(usize) -> Box<dyn TxnGen>,
 ) -> RunStats {
-    match kind {
-        EngineKind::Bohm => {
-            let (cc, exec) = engines::bohm_split(threads);
-            let engine = engines::build_bohm(spec, cc, exec);
-            let mut gen = mk_gen(0);
-            let st = run_bohm(&engine, BohmDriverConfig::default(), secs, gen.as_mut());
-            engine.shutdown();
-            st
-        }
-        EngineKind::Tpl => {
-            let engine = engines::build_tpl(spec);
-            run_interactive(&engine, threads, secs, |i| mk_gen(i))
-        }
-        EngineKind::Occ => {
-            let engine = engines::build_occ(spec);
-            run_interactive(&engine, threads, secs, |i| mk_gen(i))
-        }
-        EngineKind::Hekaton => {
-            let engine = engines::build_hekaton(spec);
-            run_interactive(&engine, threads, secs, |i| mk_gen(i))
-        }
-        EngineKind::Si => {
-            let engine = engines::build_si(spec);
-            run_interactive(&engine, threads, secs, |i| mk_gen(i))
-        }
-    }
+    let engine = kind.build(spec, threads);
+    let sessions = match kind {
+        EngineKind::Bohm => PIPELINED_DRIVER_SESSIONS,
+        _ => threads,
+    };
+    let st = run_engine(&engine, sessions, DriverConfig::default(), secs, mk_gen);
+    engine.shutdown();
+    st
 }

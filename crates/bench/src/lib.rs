@@ -5,19 +5,21 @@
 //! This library hosts the shared machinery:
 //!
 //! * [`engines`] — build every engine over one [`DatabaseSpec`] so all five
-//!   systems run identical preloaded databases,
-//! * [`driver`] — fixed-duration throughput drivers: worker-per-thread for
-//!   the interactive baselines, pipelined batch submission for BOHM,
+//!   systems run identical preloaded databases, and erase them behind
+//!   [`engines::AnyEngine`],
+//! * [`driver`] — the fixed-duration throughput driver: one session-based
+//!   code path for the interactive baselines and BOHM's pipelined ingest
+//!   alike,
 //! * [`report`] — paper-style table/CSV printing,
 //! * [`params`] — quick vs. full sweep scaling (`BOHM_BENCH_FULL=1`).
-
-/// The benchmark harness (and every bench target that links this library)
-/// uses mimalloc: BOHM's concurrency-control phase allocates one version
-/// object per write and retires them through epoch-deferred frees on other
-/// threads — a cross-thread churn pattern where glibc malloc measurably
-/// bottlenecks the CC threads (justification recorded in DESIGN.md).
-#[global_allocator]
-static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
+//!
+//! Allocator note: the original experiments ran with mimalloc — BOHM's CC
+//! phase allocates one version object per write and retires them through
+//! epoch-deferred frees on other threads, a churn pattern where glibc
+//! malloc measurably bottlenecks the CC threads (see DESIGN.md). This
+//! hermetic build has no access to the mimalloc crate, so absolute numbers
+//! here carry the system allocator's overhead; relative engine comparisons
+//! are unaffected (all five engines share the allocator).
 
 pub mod driver;
 pub mod engines;
@@ -25,7 +27,7 @@ pub mod figure;
 pub mod params;
 pub mod report;
 
-pub use driver::{run_bohm, run_interactive, BohmDriverConfig};
-pub use engines::EngineKind;
+pub use driver::{run_engine, DriverConfig};
+pub use engines::{AnyEngine, EngineKind};
 pub use figure::measure;
 pub use params::Params;

@@ -27,8 +27,12 @@ pub struct Params {
 
 impl Params {
     pub fn from_env() -> Self {
-        let full = std::env::var("BOHM_BENCH_FULL").map(|v| v != "0").unwrap_or(false);
-        let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(8);
+        let full = std::env::var("BOHM_BENCH_FULL")
+            .map(|v| v != "0")
+            .unwrap_or(false);
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(8);
         let max_threads = cores.min(if full { 64 } else { 16 });
         let thread_sweep = if full {
             let mut v = vec![2, 4];
@@ -43,6 +47,14 @@ impl Params {
                 .into_iter()
                 .filter(|&t| t <= max_threads)
                 .collect()
+        };
+        // Hosts with fewer cores than the smallest sweep point (e.g. 1-CPU
+        // containers) still get one oversubscribed data point instead of an
+        // empty figure.
+        let thread_sweep = if thread_sweep.is_empty() {
+            vec![max_threads.max(2)]
+        } else {
+            thread_sweep
         };
         Self {
             full,

@@ -1,15 +1,22 @@
-//! The interactive-engine interface shared by the baselines.
+//! Engine interfaces shared by BOHM and the baselines.
 //!
-//! The paper's baselines (Hekaton, SI, OCC, 2PL) follow the classic model:
-//! a pool of worker threads, each running whole transactions one at a time
-//! against the shared database, retrying on concurrency-control aborts
-//! (§4: "all our optimistic baselines are configured to retry transactions
-//! in the event of an abort induced by concurrency control"). This trait
-//! captures that model so the benchmark harness can drive every baseline
-//! with identical code. BOHM itself uses a different (pipelined, batched)
-//! submission model and is driven separately.
+//! Two layers:
+//!
+//! * [`Engine`] — the classic interactive model the paper's baselines
+//!   (Hekaton, SI, OCC, 2PL) follow: a pool of worker threads, each running
+//!   whole transactions one at a time against the shared database, retrying
+//!   on concurrency-control aborts (§4: "all our optimistic baselines are
+//!   configured to retry transactions in the event of an abort induced by
+//!   concurrency control").
+//! * [`BatchEngine`] / [`Session`] — the submission-oriented facade every
+//!   engine (including BOHM's pipelined, batched front-end) exposes, so the
+//!   benchmark driver and integration harnesses drive all five systems
+//!   through one code path. Interactive engines get it for free via a
+//!   blanket impl ([`WorkerSession`]); BOHM implements it natively over its
+//!   ingest queue.
 
 use crate::txn::Txn;
+use std::collections::VecDeque;
 
 /// Outcome of running one transaction to a final decision.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -41,4 +48,97 @@ pub trait Engine: Send + Sync + 'static {
     /// Read the committed `u64` prefix of a record while the engine is
     /// quiescent (verification hooks for tests).
     fn read_u64(&self, rid: crate::RecordId) -> Option<u64>;
+}
+
+/// One client's submission stream into a [`BatchEngine`].
+///
+/// The contract is a pipelined FIFO: [`submit`](Self::submit) feeds a
+/// transaction in (it may block under engine backpressure, and its outcome
+/// may be deferred); [`reap`](Self::reap) blocks for the outcome of the
+/// *oldest* unreaped transaction. Drivers keep a bounded number of
+/// transactions in flight and reap as they go, which drives a pipelined
+/// engine at full depth and degenerates gracefully to call/return on
+/// synchronous engines.
+pub trait Session: Send {
+    /// Feed one transaction into the engine. May block (backpressure);
+    /// completion may be deferred until a later [`reap`](Self::reap).
+    ///
+    /// Takes ownership: pipelined engines move the transaction into their
+    /// ingest queue without a copy (drivers generate owned transactions
+    /// anyway), and synchronous engines just execute and drop it.
+    fn submit(&mut self, txn: Txn);
+
+    /// Submitted-but-unreaped transactions.
+    fn in_flight(&self) -> usize;
+
+    /// Block until the oldest unreaped transaction has a decision and
+    /// return it. Panics if nothing is in flight.
+    fn reap(&mut self) -> ExecOutcome;
+}
+
+/// An engine drivable through per-client [`Session`]s — the single entry
+/// point the benchmark driver uses for all five systems.
+pub trait BatchEngine: Send + Sync + 'static {
+    /// The session type; borrows the engine at most for `'a`.
+    type Session<'a>: Session + 'a
+    where
+        Self: 'a;
+
+    /// Engine display name (used in benchmark tables).
+    fn name(&self) -> &'static str;
+
+    /// Open a submission session for one client/driver thread.
+    fn open_session(&self) -> Self::Session<'_>;
+
+    /// Read the committed `u64` prefix of a record while the engine is
+    /// quiescent (verification hooks for tests).
+    fn read_u64(&self, rid: crate::RecordId) -> Option<u64>;
+}
+
+/// [`Session`] adapter over an interactive [`Engine`] worker: `submit`
+/// executes synchronously and queues the outcome for `reap`.
+pub struct WorkerSession<'a, E: Engine> {
+    engine: &'a E,
+    worker: E::Worker,
+    done: VecDeque<ExecOutcome>,
+}
+
+impl<E: Engine> Session for WorkerSession<'_, E> {
+    fn submit(&mut self, txn: Txn) {
+        let out = self.engine.execute(&txn, &mut self.worker);
+        self.done.push_back(out);
+    }
+
+    fn in_flight(&self) -> usize {
+        self.done.len()
+    }
+
+    fn reap(&mut self) -> ExecOutcome {
+        self.done.pop_front().expect("reap with nothing in flight")
+    }
+}
+
+/// Every interactive engine is a [`BatchEngine`] whose sessions are
+/// plain workers.
+impl<E: Engine> BatchEngine for E {
+    type Session<'a>
+        = WorkerSession<'a, E>
+    where
+        E: 'a;
+
+    fn name(&self) -> &'static str {
+        Engine::name(self)
+    }
+
+    fn open_session(&self) -> WorkerSession<'_, E> {
+        WorkerSession {
+            engine: self,
+            worker: self.make_worker(),
+            done: VecDeque::new(),
+        }
+    }
+
+    fn read_u64(&self, rid: crate::RecordId) -> Option<u64> {
+        Engine::read_u64(self, rid)
+    }
 }

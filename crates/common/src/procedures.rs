@@ -133,7 +133,12 @@ pub fn execute_procedure(
     }
 }
 
-fn write_u64(access: &mut dyn Access, idx: usize, v: u64, scratch: &mut Vec<u8>) -> Result<(), AbortReason> {
+fn write_u64(
+    access: &mut dyn Access,
+    idx: usize,
+    v: u64,
+    scratch: &mut Vec<u8>,
+) -> Result<(), AbortReason> {
     let len = access.write_len(idx);
     scratch.clear();
     scratch.extend_from_slice(&v.to_le_bytes());
@@ -281,9 +286,11 @@ mod tests {
         let reads = vec![rid(1), rid(2)];
         let mut a = MemAccess::new(vec![10, 20], 0, 8);
         let mut scratch = Vec::new();
-        let f1 = execute_procedure(&Procedure::ReadOnly, &reads, &[], &mut a, &mut scratch).unwrap();
+        let f1 =
+            execute_procedure(&Procedure::ReadOnly, &reads, &[], &mut a, &mut scratch).unwrap();
         let mut b = MemAccess::new(vec![10, 21], 0, 8);
-        let f2 = execute_procedure(&Procedure::ReadOnly, &reads, &[], &mut b, &mut scratch).unwrap();
+        let f2 =
+            execute_procedure(&Procedure::ReadOnly, &reads, &[], &mut b, &mut scratch).unwrap();
         assert_ne!(f1, f2, "fingerprint must reflect read values");
     }
 
@@ -317,7 +324,12 @@ mod tests {
     fn smallbank_deposit_adds() {
         let mut a = MemAccess::new(vec![100], 1, 8);
         let mut scratch = Vec::new();
-        small_bank(SmallBankProc::DepositChecking { v: 25 }, &mut a, &mut scratch).unwrap();
+        small_bank(
+            SmallBankProc::DepositChecking { v: 25 },
+            &mut a,
+            &mut scratch,
+        )
+        .unwrap();
         assert_eq!(a.written_u64(0), 125);
     }
 
@@ -325,7 +337,11 @@ mod tests {
     fn smallbank_transact_saving_aborts_on_overdraft() {
         let mut a = MemAccess::new(vec![10], 1, 8);
         let mut scratch = Vec::new();
-        let r = small_bank(SmallBankProc::TransactSaving { v: -11 }, &mut a, &mut scratch);
+        let r = small_bank(
+            SmallBankProc::TransactSaving { v: -11 },
+            &mut a,
+            &mut scratch,
+        );
         assert_eq!(r.unwrap_err(), AbortReason::User);
         assert!(a.written[0].is_none(), "aborted txn must not write");
     }
@@ -334,7 +350,12 @@ mod tests {
     fn smallbank_transact_saving_allows_exact_zero() {
         let mut a = MemAccess::new(vec![10], 1, 8);
         let mut scratch = Vec::new();
-        small_bank(SmallBankProc::TransactSaving { v: -10 }, &mut a, &mut scratch).unwrap();
+        small_bank(
+            SmallBankProc::TransactSaving { v: -10 },
+            &mut a,
+            &mut scratch,
+        )
+        .unwrap();
         assert_eq!(a.written_u64(0), 0);
     }
 

@@ -94,11 +94,9 @@ impl LatencyHistogram {
     }
 
     pub fn mean(&self) -> Duration {
-        if self.count == 0 {
-            Duration::ZERO
-        } else {
-            Duration::from_nanos(self.sum_ns / self.count)
-        }
+        self.sum_ns
+            .checked_div(self.count)
+            .map_or(Duration::ZERO, Duration::from_nanos)
     }
 
     pub fn max(&self) -> Duration {

@@ -1,4 +1,4 @@
-//! Batches and per-transaction runtime state.
+//! Batches, per-transaction runtime state, and completion delivery.
 //!
 //! BOHM amortizes all cross-thread coordination over batches (paper §3.2.4):
 //! CC threads process a batch independently and meet at one atomic
@@ -6,6 +6,11 @@
 //! carries the pre-allocated annotation slots the CC phase fills in — "the
 //! write containing the correct version reference for a read is to
 //! pre-allocated space within a transaction" (§3.2.3).
+//!
+//! Completion is delivered **per transaction**: every transaction carries a
+//! hook into the [`Completion`] of the submission it arrived in, signalled
+//! the moment its executor marks it `Complete`. Batch boundaries are an
+//! engine-internal amortization artifact; submitters never see them.
 
 use bohm_common::{Timestamp, Txn};
 use bohm_mvstore::Version;
@@ -28,7 +33,7 @@ pub(crate) mod txn_outcome {
     pub const USER_ABORT: u8 = 2;
 }
 
-/// Result of one transaction, readable after its batch completes.
+/// Result of one transaction, readable once its handle reports done.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TxnOutcome {
     pub committed: bool,
@@ -36,6 +41,197 @@ pub struct TxnOutcome {
     /// tests to compare engines); 0 for aborted transactions.
     pub fingerprint: u64,
 }
+
+// ---------------------------------------------------------------------------
+// Completion: one per submission (single transaction or group)
+// ---------------------------------------------------------------------------
+
+/// Shared completion state of one submission.
+///
+/// Outcome slots are written lock-free by whichever execution thread
+/// completes each transaction; the mutex/condvar pair only carries the
+/// *edge* (wake-up), never the data.
+pub(crate) struct Completion {
+    /// Transactions not yet `Complete`.
+    remaining: AtomicUsize,
+    /// Per-transaction decision (`txn_outcome` values), written once.
+    flags: Box<[AtomicU8]>,
+    fingerprints: Box<[AtomicU64]>,
+    state: Mutex<DoneState>,
+    cv: Condvar,
+}
+
+#[derive(Default)]
+struct DoneState {
+    outcomes_done: bool,
+    retired: bool,
+}
+
+impl Completion {
+    /// `needs_barrier`: batch handles additionally wait for the *batches*
+    /// holding their transactions to retire (all execution threads past
+    /// them), which is what makes `Bohm::read_u64` after `wait()` race-free
+    /// and keeps the GC-watermark guarantees of the old batch-level API.
+    /// Per-transaction session handles skip it for latency.
+    pub(crate) fn new(n: usize, needs_barrier: bool) -> Arc<Self> {
+        let mk_flags = |v: u8| -> Box<[AtomicU8]> {
+            let mut f = Vec::with_capacity(n);
+            f.resize_with(n, || AtomicU8::new(v));
+            f.into_boxed_slice()
+        };
+        let mut fps = Vec::with_capacity(n);
+        fps.resize_with(n, || AtomicU64::new(0));
+        Arc::new(Self {
+            remaining: AtomicUsize::new(n),
+            flags: mk_flags(txn_outcome::UNKNOWN),
+            fingerprints: fps.into_boxed_slice(),
+            state: Mutex::new(DoneState {
+                outcomes_done: n == 0,
+                // An empty submission reaches no batch; nothing to wait for.
+                retired: n == 0 || !needs_barrier,
+            }),
+            cv: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// Record transaction `idx`'s decision; wakes waiters on the last one.
+    pub(crate) fn record(&self, idx: usize, committed: bool, fingerprint: u64) {
+        self.fingerprints[idx].store(fingerprint, Ordering::Relaxed);
+        self.flags[idx].store(
+            if committed {
+                txn_outcome::COMMITTED
+            } else {
+                txn_outcome::USER_ABORT
+            },
+            Ordering::Release,
+        );
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut st = self.state.lock();
+            st.outcomes_done = true;
+            if st.retired {
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Called at retirement of the batch holding this submission's **last**
+    /// transaction. Batches retire in id order (execution consumes them
+    /// FIFO), so the last batch retiring implies every earlier one did.
+    pub(crate) fn batch_retired(&self) {
+        let mut st = self.state.lock();
+        st.retired = true;
+        if st.outcomes_done {
+            self.cv.notify_all();
+        }
+    }
+
+    pub(crate) fn wait_done(&self) {
+        let mut st = self.state.lock();
+        while !(st.outcomes_done && st.retired) {
+            self.cv.wait(&mut st);
+        }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        let st = self.state.lock();
+        st.outcomes_done && st.retired
+    }
+
+    /// Outcome of transaction `idx`; valid only after [`wait_done`](Self::wait_done).
+    pub(crate) fn outcome(&self, idx: usize) -> TxnOutcome {
+        let flag = self.flags[idx].load(Ordering::Acquire);
+        debug_assert_ne!(flag, txn_outcome::UNKNOWN, "outcome read before done");
+        TxnOutcome {
+            committed: flag == txn_outcome::COMMITTED,
+            fingerprint: self.fingerprints[idx].load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A transaction's back-pointer into its submission's [`Completion`].
+#[derive(Clone)]
+pub(crate) struct TxnHook {
+    pub completion: Arc<Completion>,
+    pub index: u32,
+    /// Is this the submission's last transaction? If so, the batch sealed
+    /// around it owes the completion a retirement signal.
+    pub last_of_submission: bool,
+}
+
+impl TxnHook {
+    fn fire(&self, committed: bool, fingerprint: u64) {
+        self.completion
+            .record(self.index as usize, committed, fingerprint);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public handles
+// ---------------------------------------------------------------------------
+
+/// Handle to one submitted transaction
+/// (returned by [`BohmSession::submit`](crate::BohmSession::submit)).
+///
+/// Completion is signalled per transaction, the moment an execution thread
+/// finishes it — not when its (engine-internal) batch drains.
+pub struct TxnHandle {
+    pub(crate) completion: Arc<Completion>,
+}
+
+impl TxnHandle {
+    /// Block until the transaction has executed and return its outcome.
+    pub fn wait(&self) -> TxnOutcome {
+        self.completion.wait_done();
+        self.completion.outcome(0)
+    }
+
+    /// Has the transaction finished? (Non-blocking.)
+    pub fn is_done(&self) -> bool {
+        self.completion.is_done()
+    }
+}
+
+/// Handle to a submitted group of transactions
+/// (returned by [`Bohm::submit`](crate::Bohm::submit)).
+///
+/// Waiting additionally synchronizes with batch retirement, so after
+/// [`wait`](Self::wait) the engine is quiescent with respect to these
+/// transactions (safe to `read_u64`, GC watermark advanced).
+pub struct BatchHandle {
+    pub(crate) completion: Arc<Completion>,
+}
+
+impl BatchHandle {
+    /// Block until every transaction in the submission has executed.
+    pub fn wait(&self) {
+        self.completion.wait_done();
+    }
+
+    /// Number of transactions in the submission.
+    pub fn len(&self) -> usize {
+        self.completion.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.completion.len() == 0
+    }
+
+    /// Wait, then return each transaction's outcome in submission order.
+    pub fn outcomes(&self) -> Vec<TxnOutcome> {
+        self.wait();
+        (0..self.completion.len())
+            .map(|i| self.completion.outcome(i))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Plan entries (unchanged from the paper machinery)
+// ---------------------------------------------------------------------------
 
 /// One packed access-plan entry scanned by every CC thread.
 ///
@@ -85,8 +281,6 @@ pub struct TxnState {
     pub txn: Txn,
     pub ts: Timestamp,
     pub(crate) state: AtomicU8,
-    pub(crate) outcome: AtomicU8,
-    pub(crate) fingerprint: AtomicU64,
     /// Packed access plan: reads first, then writes (see [`PlanEntry`]).
     pub(crate) plan: Box<[PlanEntry]>,
     /// One slot per read-set entry: direct pointer to the version this read
@@ -95,12 +289,14 @@ pub struct TxnState {
     /// One slot per write-set entry: the placeholder version installed by
     /// the owning CC thread (§3.2.2).
     pub(crate) write_refs: Box<[AtomicPtr<Version>]>,
+    /// Per-transaction completion delivery.
+    pub(crate) hook: TxnHook,
 }
 
 impl TxnState {
     /// `annotate_max_reads`: see [`BohmConfig`](crate::BohmConfig); larger
     /// read sets get no annotation slots and no read plan entries.
-    pub(crate) fn new(txn: Txn, ts: Timestamp, annotate_max_reads: usize) -> Self {
+    pub(crate) fn new(txn: Txn, ts: Timestamp, annotate_max_reads: usize, hook: TxnHook) -> Self {
         let nulls = |n: usize| -> Box<[AtomicPtr<Version>]> {
             let mut v = Vec::with_capacity(n);
             v.resize_with(n, || AtomicPtr::new(ptr::null_mut()));
@@ -121,11 +317,10 @@ impl TxnState {
             txn,
             ts,
             state: AtomicU8::new(txn_status::UNPROCESSED),
-            outcome: AtomicU8::new(txn_outcome::UNKNOWN),
-            fingerprint: AtomicU64::new(0),
             plan: plan.into_boxed_slice(),
             read_refs: nulls(nr),
             write_refs: nulls(nw),
+            hook,
         }
     }
 
@@ -156,59 +351,58 @@ impl TxnState {
         self.state.store(txn_status::UNPROCESSED, Ordering::Release);
     }
 
-    /// Mark a claimed transaction `Complete` with its decision.
+    /// Mark a claimed transaction `Complete` with its decision; delivers
+    /// the outcome straight to the submitter's [`Completion`].
     #[inline]
     pub(crate) fn complete(&self, committed: bool, fingerprint: u64) {
         debug_assert_eq!(self.status(), txn_status::EXECUTING);
-        self.fingerprint.store(fingerprint, Ordering::Relaxed);
-        self.outcome.store(
-            if committed {
-                txn_outcome::COMMITTED
-            } else {
-                txn_outcome::USER_ABORT
-            },
-            Ordering::Relaxed,
-        );
         self.state.store(txn_status::COMPLETE, Ordering::Release);
-    }
-
-    pub(crate) fn outcome(&self) -> TxnOutcome {
-        TxnOutcome {
-            committed: self.outcome.load(Ordering::Relaxed) == txn_outcome::COMMITTED,
-            fingerprint: self.fingerprint.load(Ordering::Relaxed),
-        }
+        self.hook.fire(committed, fingerprint);
     }
 }
 
+// ---------------------------------------------------------------------------
+// Batch
+// ---------------------------------------------------------------------------
+
 /// One ordered batch of transactions flowing through the pipeline.
 pub struct Batch {
-    /// Dense batch sequence number.
+    /// Dense batch sequence number; the window slots batches by this.
     pub id: u64,
     /// Timestamp of the first transaction; transaction `i` has
-    /// `ts = base_ts + i`.
+    /// `ts = base_ts + i`. Bases are strided by `BohmConfig::batch_size`
+    /// regardless of fill, so `id = (ts - 1) / batch_size`.
     pub base_ts: Timestamp,
     pub txns: Box<[TxnState]>,
     /// CC threads yet to finish this batch (the §3.2.4 amortized barrier).
     pub(crate) cc_pending: AtomicUsize,
     /// Execution threads yet to finish their responsibilities.
     pub(crate) exec_pending: AtomicUsize,
-    done: Mutex<bool>,
-    done_cv: Condvar,
+    /// Completions whose last transaction lives in this batch; signalled at
+    /// retirement (see [`Completion::batch_retired`]).
+    pub(crate) barriers: Box<[Arc<Completion>]>,
 }
 
 impl Batch {
+    /// Assemble a batch from sequencer-bound entries.
     pub(crate) fn new(
-        txns: Vec<Txn>,
+        entries: Vec<(Txn, TxnHook)>,
         base_ts: Timestamp,
         id: u64,
         cc_threads: usize,
         exec_threads: usize,
         annotate_max_reads: usize,
     ) -> Arc<Self> {
-        let states: Vec<TxnState> = txns
+        let mut barriers = Vec::new();
+        let states: Vec<TxnState> = entries
             .into_iter()
             .enumerate()
-            .map(|(i, t)| TxnState::new(t, base_ts + i as u64, annotate_max_reads))
+            .map(|(i, (txn, hook))| {
+                if hook.last_of_submission {
+                    barriers.push(Arc::clone(&hook.completion));
+                }
+                TxnState::new(txn, base_ts + i as u64, annotate_max_reads, hook)
+            })
             .collect();
         Arc::new(Self {
             id,
@@ -216,8 +410,7 @@ impl Batch {
             txns: states.into_boxed_slice(),
             cc_pending: AtomicUsize::new(cc_threads),
             exec_pending: AtomicUsize::new(exec_threads),
-            done: Mutex::new(false),
-            done_cv: Condvar::new(),
+            barriers: barriers.into_boxed_slice(),
         })
     }
 
@@ -239,62 +432,48 @@ impl Batch {
     pub(crate) fn txn_at(&self, ts: Timestamp) -> &TxnState {
         &self.txns[(ts - self.base_ts) as usize]
     }
-
-    pub(crate) fn mark_done(&self) {
-        let mut d = self.done.lock();
-        *d = true;
-        self.done_cv.notify_all();
-    }
-
-    pub(crate) fn wait_done(&self) {
-        let mut d = self.done.lock();
-        while !*d {
-            self.done_cv.wait(&mut d);
-        }
-    }
-}
-
-/// Handle returned by [`Bohm::submit`](crate::Bohm::submit); wait for the
-/// batch and collect per-transaction outcomes.
-pub struct BatchHandle {
-    pub(crate) batch: Arc<Batch>,
-}
-
-impl BatchHandle {
-    /// Block until every transaction in the batch has executed.
-    pub fn wait(&self) {
-        self.batch.wait_done();
-    }
-
-    /// Number of transactions in the batch.
-    pub fn len(&self) -> usize {
-        self.batch.txns.len()
-    }
-
-    pub fn is_empty(&self) -> bool {
-        self.batch.txns.is_empty()
-    }
-
-    /// Wait, then return each transaction's outcome in submission order.
-    pub fn outcomes(&self) -> Vec<TxnOutcome> {
-        self.wait();
-        self.batch.txns.iter().map(|t| t.outcome()).collect()
-    }
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use bohm_common::{Procedure, RecordId};
 
     fn txn() -> Txn {
         let rid = RecordId::new(0, 1);
-        Txn::new(vec![rid], vec![rid], Procedure::ReadModifyWrite { delta: 1 })
+        Txn::new(
+            vec![rid],
+            vec![rid],
+            Procedure::ReadModifyWrite { delta: 1 },
+        )
+    }
+
+    pub(crate) fn hooked(n: usize) -> (Vec<(Txn, TxnHook)>, Arc<Completion>) {
+        let completion = Completion::new(n, true);
+        let entries = (0..n)
+            .map(|i| {
+                (
+                    txn(),
+                    TxnHook {
+                        completion: Arc::clone(&completion),
+                        index: i as u32,
+                        last_of_submission: i + 1 == n,
+                    },
+                )
+            })
+            .collect();
+        (entries, completion)
+    }
+
+    fn lone_state() -> (TxnState, Arc<Completion>) {
+        let (mut entries, c) = hooked(1);
+        let (t, hook) = entries.pop().unwrap();
+        (TxnState::new(t, 5, 64, hook), c)
     }
 
     #[test]
     fn state_machine_transitions() {
-        let t = TxnState::new(txn(), 5, 64);
+        let (t, completion) = lone_state();
         assert_eq!(t.status(), txn_status::UNPROCESSED);
         assert!(t.try_claim());
         assert!(!t.try_claim(), "double claim must fail");
@@ -304,7 +483,7 @@ mod tests {
         assert_eq!(t.status(), txn_status::COMPLETE);
         assert!(!t.try_claim(), "complete txn is not claimable");
         assert_eq!(
-            t.outcome(),
+            completion.outcome(0),
             TxnOutcome {
                 committed: true,
                 fingerprint: 42
@@ -314,7 +493,7 @@ mod tests {
 
     #[test]
     fn annotation_slots_match_set_sizes() {
-        let t = TxnState::new(txn(), 1, 64);
+        let (t, _c) = lone_state();
         assert_eq!(t.read_refs.len(), 1);
         assert_eq!(t.write_refs.len(), 1);
         assert!(t.read_refs[0].load(Ordering::Relaxed).is_null());
@@ -322,7 +501,8 @@ mod tests {
 
     #[test]
     fn batch_timestamps_are_dense() {
-        let b = Batch::new(vec![txn(), txn(), txn()], 100, 0, 2, 2, 64);
+        let (entries, _c) = hooked(3);
+        let b = Batch::new(entries, 100, 0, 2, 2, 64);
         assert_eq!(b.last_ts(), 102);
         assert!(b.contains(100) && b.contains(102));
         assert!(!b.contains(99) && !b.contains(103));
@@ -330,18 +510,64 @@ mod tests {
     }
 
     #[test]
+    fn completion_fires_per_txn_and_batch_barrier_gates_wait() {
+        let (entries, completion) = hooked(2);
+        let b = Batch::new(entries, 1, 0, 1, 1, 64);
+        assert!(!completion.is_done());
+        b.txns[0].try_claim();
+        b.txns[0].complete(true, 7);
+        assert!(!completion.is_done(), "one of two txns outstanding");
+        b.txns[1].try_claim();
+        b.txns[1].complete(false, 0);
+        assert!(
+            !completion.is_done(),
+            "barrier-mode completion also waits for batch retirement"
+        );
+        assert_eq!(b.barriers.len(), 1);
+        b.barriers[0].batch_retired();
+        assert!(completion.is_done());
+        assert_eq!(
+            completion.outcome(0),
+            TxnOutcome {
+                committed: true,
+                fingerprint: 7
+            }
+        );
+        assert!(!completion.outcome(1).committed);
+    }
+
+    #[test]
+    fn sessionless_completion_skips_barrier() {
+        let completion = Completion::new(1, false);
+        completion.record(0, true, 3);
+        assert!(completion.is_done(), "no barrier wait for session handles");
+        completion.wait_done(); // must not block
+    }
+
+    #[test]
     fn done_signalling_wakes_waiters() {
-        let b = Batch::new(vec![txn()], 1, 0, 1, 1, 64);
-        let b2 = Arc::clone(&b);
-        let waiter = std::thread::spawn(move || b2.wait_done());
+        let (entries, completion) = hooked(1);
+        let b = Batch::new(entries, 1, 0, 1, 1, 64);
+        let c2 = Arc::clone(&completion);
+        let waiter = std::thread::spawn(move || c2.wait_done());
         std::thread::sleep(std::time::Duration::from_millis(5));
-        b.mark_done();
+        b.txns[0].try_claim();
+        b.txns[0].complete(true, 0);
+        b.barriers[0].batch_retired();
         waiter.join().unwrap();
     }
 
     #[test]
+    fn empty_submission_is_born_done() {
+        let completion = Completion::new(0, true);
+        assert!(completion.is_done());
+        completion.wait_done();
+    }
+
+    #[test]
     fn only_one_claimer_wins_under_contention() {
-        let t = Arc::new(TxnState::new(txn(), 1, 64));
+        let (t, _c) = lone_state();
+        let t = Arc::new(t);
         let winners: Vec<bool> = (0..8)
             .map(|_| {
                 let t = Arc::clone(&t);

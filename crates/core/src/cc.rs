@@ -18,8 +18,10 @@
 //!
 //! Threads never coordinate per transaction or per record; the only
 //! synchronization is one atomic countdown per batch (§3.2.4). Whichever
-//! thread finishes a batch last registers it in the window and hands it to
-//! every execution thread.
+//! thread finishes a batch last hands it to every execution thread. (The
+//! sequencer already registered the batch in the window ring before any CC
+//! thread saw it, so execution can always resolve read dependencies into
+//! in-flight batches.)
 
 use crate::batch::Batch;
 use crate::engine::Inner;
@@ -46,9 +48,6 @@ pub(crate) fn cc_loop(
         // The §3.2.4 barrier, amortized over the whole batch: the last CC
         // thread through publishes the batch to the execution layer.
         if batch.cc_pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            // Window registration must precede hand-off so execution threads
-            // can resolve read dependencies into this batch.
-            inner.window.push(Arc::clone(&batch));
             for s in &exec_senders {
                 // Receivers only disappear at shutdown.
                 let _ = s.send(Arc::clone(&batch));

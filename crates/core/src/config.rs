@@ -1,5 +1,13 @@
 //! Engine configuration and catalog declaration.
 
+use std::time::Duration;
+
+/// Hard ceiling applied to [`BohmConfig::index_capacity`] when sizing the
+/// hash index (2^22 buckets ≈ 32 MiB of bucket heads). The *hint* is
+/// clamped to this; the actual row count never is — see
+/// [`BohmConfig::effective_index_capacity`].
+pub const MAX_INDEX_CAPACITY_HINT: usize = 1 << 22;
+
 /// Tunables of a [`Bohm`](crate::Bohm) instance.
 ///
 /// The split between concurrency-control and execution threads is the
@@ -29,13 +37,38 @@ pub struct BohmConfig {
     /// and store ten thousand version pointers costs more than traversing
     /// GC-trimmed chains on the (more numerous) execution threads.
     pub annotate_max_reads: usize,
-    /// Sizing hint for the latch-free hash index.
+    /// Sizing *hint* for the latch-free hash index. The effective capacity
+    /// is never below the catalog's row count and the hint is clamped to
+    /// [`MAX_INDEX_CAPACITY_HINT`]; see
+    /// [`effective_index_capacity`](Self::effective_index_capacity) for the
+    /// exact rule.
     pub index_capacity: usize,
     /// Maximum recursion depth when resolving read dependencies before the
     /// transaction is parked back to `Unprocessed`. Guards against deep
     /// same-key RMW chains in huge batches blowing the stack; 64 is far
     /// above anything the paper's workloads produce per batch.
     pub max_resolve_depth: usize,
+    /// Maximum transactions per sequencer-formed batch (the §3.2.4
+    /// coordination-amortization knob). Also the timestamp *stride*
+    /// reserved per batch: batch `b` owns timestamps
+    /// `1 + b·batch_size .. 1 + (b+1)·batch_size`, which is what makes the
+    /// window's timestamp→batch lookup O(1) arithmetic.
+    pub batch_size: usize,
+    /// How long the sequencer holds a partially-filled batch open waiting
+    /// for more transactions before sealing it (the time trigger; the size
+    /// trigger is [`batch_size`](Self::batch_size)). Low values favour
+    /// latency, higher values favour barrier amortization under streams of
+    /// small submissions.
+    pub batch_linger: Duration,
+    /// In-flight batch budget: the number of sealed-but-unretired batches
+    /// the pipeline may hold (rounded up to a power of two — it is the
+    /// window ring's capacity). When the budget is exhausted the sequencer
+    /// blocks, the ingest queue fills, and submitters feel backpressure.
+    pub max_inflight_batches: usize,
+    /// Ingest queue budget in *transactions* (not submissions): clients
+    /// enqueueing beyond this block until the sequencer drains. This is the
+    /// front door of the backpressure chain.
+    pub ingest_capacity: usize,
 }
 
 impl Default for BohmConfig {
@@ -48,6 +81,10 @@ impl Default for BohmConfig {
             annotate_max_reads: 64,
             index_capacity: 1 << 20,
             max_resolve_depth: 64,
+            batch_size: 4096,
+            batch_linger: Duration::from_micros(200),
+            max_inflight_batches: 8,
+            ingest_capacity: 4096 * 4,
         }
     }
 }
@@ -72,9 +109,39 @@ impl BohmConfig {
         }
     }
 
+    /// The hash-index capacity actually used for a catalog of `total_rows`.
+    ///
+    /// Rule: `max(total_rows, min(index_capacity, MAX_INDEX_CAPACITY_HINT))`.
+    /// The configured value is a **hint that can only grow** the index
+    /// beyond the preloaded rows (head-room for inserts); a hint *smaller*
+    /// than the row count is intentionally overridden — shrinking the index
+    /// below the data it must preload would only degrade every lookup, and
+    /// doing that silently was a past footgun (the clamp used to hide in
+    /// `Bohm::start`). The hint alone is clamped to
+    /// [`MAX_INDEX_CAPACITY_HINT`] so a fat-fingered constant cannot
+    /// allocate gigabytes of empty buckets; row counts are trusted as-is.
+    pub fn effective_index_capacity(&self, total_rows: u64) -> usize {
+        (total_rows as usize).max(self.index_capacity.min(MAX_INDEX_CAPACITY_HINT))
+    }
+
     pub(crate) fn validate(&self) {
         assert!(self.cc_threads >= 1, "need at least one CC thread");
         assert!(self.exec_threads >= 1, "need at least one execution thread");
+        assert!(self.batch_size >= 1, "batch_size must be at least 1");
+        assert!(
+            self.max_inflight_batches >= 2,
+            "max_inflight_batches must be at least 2 (CC and execution work \
+             on different batches concurrently)"
+        );
+        assert!(
+            self.ingest_capacity >= 1,
+            "ingest_capacity must be at least 1"
+        );
+        assert!(
+            self.index_capacity >= 1,
+            "index_capacity must be at least 1 (it is a sizing hint, see \
+             BohmConfig::effective_index_capacity)"
+        );
     }
 }
 
@@ -152,6 +219,50 @@ mod tests {
     #[should_panic(expected = "execution thread")]
     fn zero_exec_threads_rejected() {
         BohmConfig::with_threads(1, 0).validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "batch_size")]
+    fn zero_batch_size_rejected() {
+        let mut cfg = BohmConfig::small();
+        cfg.batch_size = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "max_inflight_batches")]
+    fn too_small_inflight_budget_rejected() {
+        let mut cfg = BohmConfig::small();
+        cfg.max_inflight_batches = 1;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "index_capacity")]
+    fn zero_index_capacity_rejected() {
+        let mut cfg = BohmConfig::small();
+        cfg.index_capacity = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    fn index_capacity_hint_never_shrinks_below_rows() {
+        let mut cfg = BohmConfig::small();
+        cfg.index_capacity = 16; // hint far below the data
+        assert_eq!(cfg.effective_index_capacity(10_000), 10_000);
+        // A generous hint grows the index beyond the preload.
+        cfg.index_capacity = 1 << 14;
+        assert_eq!(cfg.effective_index_capacity(100), 1 << 14);
+    }
+
+    #[test]
+    fn index_capacity_hint_is_clamped_but_rows_are_not() {
+        let mut cfg = BohmConfig::small();
+        cfg.index_capacity = usize::MAX; // absurd hint: clamped
+        assert_eq!(cfg.effective_index_capacity(100), MAX_INDEX_CAPACITY_HINT);
+        // Real data above the clamp is still honoured in full.
+        let rows = (MAX_INDEX_CAPACITY_HINT as u64) * 2;
+        assert_eq!(cfg.effective_index_capacity(rows), rows as usize);
     }
 
     #[test]

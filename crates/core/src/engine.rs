@@ -1,15 +1,16 @@
-//! Engine assembly: threads, channels, sequencer, public API.
+//! Engine assembly: threads, channels, ingest queue, public API.
 
-use crate::batch::{Batch, BatchHandle, TxnOutcome};
+use crate::batch::{BatchHandle, Completion, TxnOutcome};
 use crate::config::{BohmConfig, CatalogSpec};
+use crate::ingest::{self, IngestTx, SubmitReq};
+use crate::session::BohmSession;
 use crate::window::Window;
 use crate::{cc, exec};
 use bohm_common::{RecordId, TableId, Txn};
 use bohm_mvstore::{HashIndex, Version, VersionIndex, VersionState};
-use crossbeam_channel::{unbounded, Sender};
+use crossbeam_channel::unbounded;
 use crossbeam_epoch::{self as epoch, Owned};
 use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -34,13 +35,10 @@ pub(crate) struct Inner {
 }
 
 impl Inner {
-    /// Which CC thread owns `rid` (static hash partitioning, §3.2.2).
-    /// Must agree with [`PlanEntry::partition`](crate::batch::PlanEntry):
-    /// both use bits 32..64 of the stable hash.
-    #[inline]
-    pub fn partition_of(&self, rid: RecordId) -> usize {
-        ((rid.stable_hash() >> 32) % self.config.cc_threads as u64) as usize
-    }
+    // CC ownership of a record is static hash partitioning (§3.2.2): CC
+    // thread `(rid.stable_hash() >> 32) % cc_threads` — encoded in
+    // [`PlanEntry::partition`](crate::batch::PlanEntry), which pre-hashes
+    // accesses so the per-batch scan never re-hashes a `RecordId`.
 
     #[inline]
     pub fn record_size(&self, table: TableId) -> usize {
@@ -48,27 +46,20 @@ impl Inner {
     }
 }
 
-struct Sequencer {
-    next_ts: u64,
-    next_batch: u64,
-}
-
 /// A running BOHM engine. See the [crate docs](crate) for the protocol.
 pub struct Bohm {
     inner: Arc<Inner>,
-    cc_senders: Vec<Sender<Arc<Batch>>>,
-    seq: Mutex<Sequencer>,
+    ingest: IngestTx,
     threads: Vec<JoinHandle<()>>,
 }
 
 impl Bohm {
     /// Build the store from `catalog`, preload it (every seeded version has
-    /// timestamp 0), and spawn `cc_threads + exec_threads` worker threads.
+    /// timestamp 0), and spawn the sequencer plus
+    /// `cc_threads + exec_threads` worker threads.
     pub fn start(config: BohmConfig, catalog: CatalogSpec) -> Self {
         config.validate();
-        let index = HashIndex::with_capacity(
-            (catalog.total_rows() as usize).max(config.index_capacity.min(1 << 22)),
-        );
+        let index = HashIndex::with_capacity(config.effective_index_capacity(catalog.total_rows()));
         {
             // Preloading happens before any worker exists, so the
             // single-writer-per-chain invariant holds trivially.
@@ -92,7 +83,7 @@ impl Bohm {
             gc_retired: AtomicU64::new(0),
             cc_busy_ns: AtomicU64::new(0),
             exec_busy_ns: AtomicU64::new(0),
-            window: Window::new(),
+            window: Window::new(config.max_inflight_batches, config.batch_size as u64),
             record_sizes,
             index,
             config,
@@ -125,56 +116,57 @@ impl Bohm {
             );
         }
         // Worker threads now hold the only long-lived exec senders (via the
-        // CC threads); when submission stops and CC threads exit, execution
-        // channels close and the pipeline drains itself.
+        // CC threads); the sequencer holds the only CC senders. When the
+        // ingest queue closes, the whole pipeline drains and unwinds.
         drop(exec_senders);
+
+        let (ingest, rx) = ingest::ingest_queue(inner.config.ingest_capacity);
+        {
+            let inner2 = Arc::clone(&inner);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("bohm-seq".into())
+                    .spawn(move || ingest::seq_loop(inner2, rx, cc_senders))
+                    .expect("spawn sequencer thread"),
+            );
+        }
 
         Self {
             inner,
-            cc_senders,
-            seq: Mutex::new(Sequencer {
-                next_ts: 1, // preloaded versions live at ts 0
-                next_batch: 0,
-            }),
+            ingest,
             threads,
         }
     }
 
-    /// Append a batch of whole transactions to the input log.
+    /// Open a submission session: the per-client handle for enqueueing
+    /// single transactions with per-transaction completion.
     ///
-    /// This is the paper's single-threaded sequencer (§3.2.1): position in
-    /// the log *is* the timestamp; no shared counter is ever incremented on
-    /// the transaction path. Returns immediately; use the handle to wait.
+    /// Sessions are independent of the engine's lifetime (they hold only a
+    /// queue reference); submitting through one after
+    /// [`shutdown`](Self::shutdown) panics, like `submit`.
+    pub fn session(&self) -> BohmSession {
+        BohmSession::new(self.ingest.clone())
+    }
+
+    /// Append a group of whole transactions to the input log as one
+    /// submission.
+    ///
+    /// The group reaches the dedicated sequencer through the bounded ingest
+    /// queue (this call blocks when the queue is saturated — backpressure)
+    /// and is packed into one or more batches in arrival order; arrival
+    /// order *is* the serialization order (§3.2.1). Returns immediately
+    /// once enqueued; use the handle to wait.
     pub fn submit(&self, txns: Vec<Txn>) -> BatchHandle {
-        let (cc_n, exec_n) = (self.inner.config.cc_threads, self.inner.config.exec_threads);
-        let batch = {
-            let mut seq = self.seq.lock();
-            let b = Batch::new(
-                txns,
-                seq.next_ts,
-                seq.next_batch,
-                cc_n,
-                exec_n,
-                if self.inner.config.annotate_reads {
-                    self.inner.config.annotate_max_reads
-                } else {
-                    0
-                },
-            );
-            seq.next_ts += b.txns.len() as u64;
-            seq.next_batch += 1;
-            // Hand off under the sequencer lock so batches reach every CC
-            // thread in timestamp order (their channels are FIFO).
-            if b.txns.is_empty() {
-                b.mark_done();
-            } else {
-                for s in &self.cc_senders {
-                    s.send(Arc::clone(&b)).expect("engine is shut down");
-                }
-            }
-            b
+        let completion = Completion::new(txns.len(), true);
+        let handle = BatchHandle {
+            completion: Arc::clone(&completion),
         };
-        BatchHandle { batch }
+        if !txns.is_empty() {
+            self.ingest
+                .send(SubmitReq { txns, completion })
+                .unwrap_or_else(|_| panic!("engine is shut down"));
+        }
+        handle
     }
 
     /// Submit and wait; returns per-transaction outcomes in order.
@@ -230,9 +222,10 @@ impl Bohm {
     }
 
     fn shutdown_impl(&mut self) {
-        // Closing the CC channels lets CC threads exit; their exec-sender
-        // clones drop with them, which closes the execution channels in turn.
-        self.cc_senders.clear();
+        // Closing the ingest queue lets the sequencer drain and exit; its
+        // CC senders drop with it, CC threads exit, their exec-sender
+        // clones drop, and the execution channels close in turn.
+        self.ingest.close();
         for h in self.threads.drain(..) {
             let _ = h.join();
         }
@@ -295,7 +288,7 @@ mod tests {
     #[test]
     fn same_key_rmws_serialize_in_log_order() {
         let e = small_engine();
-        // 100 increments of one hot record inside a single batch: the
+        // 100 increments of one hot record inside a single submission: the
         // execution layer must chain the read dependencies correctly.
         let out = e.execute_sync((0..100).map(|_| rmw(&[1], 1)).collect());
         assert!(out.iter().all(|o| o.committed));
@@ -312,11 +305,54 @@ mod tests {
         for h in &handles {
             h.wait();
         }
-        // 20 batches × 50 txns, spread over keys 0..8: key k receives
+        // 20 submissions × 50 txns, spread over keys 0..8: key k receives
         // ceil/floor counts; total adds = 1000.
         let total: u64 = (0..8).map(|k| e.read_u64(rid(k)).unwrap() - k * 10).sum();
         assert_eq!(total, 1000);
         e.shutdown();
+    }
+
+    #[test]
+    fn session_submission_roundtrip() {
+        let e = small_engine();
+        let session = e.session();
+        // Pipeline many single-transaction submissions, then reap them.
+        let handles: Vec<_> = (0..200).map(|i| session.submit(rmw(&[i % 4], 1))).collect();
+        for h in &handles {
+            assert!(h.wait().committed);
+        }
+        // Quiesce (barrier semantics) before reading engine state directly:
+        // a trailing no-op submission retires after every earlier batch.
+        e.execute_sync(vec![rmw(&[63], 0)]);
+        let total: u64 = (0..4).map(|k| e.read_u64(rid(k)).unwrap() - k * 10).sum();
+        assert_eq!(total, 200);
+        e.shutdown();
+    }
+
+    #[test]
+    fn sessions_from_multiple_threads_apply_all_effects() {
+        let e = Arc::new(Bohm::start(
+            BohmConfig::with_threads(2, 2),
+            CatalogSpec::new().table(16, 8, |_| 0),
+        ));
+        let mut clients = Vec::new();
+        for c in 0..4u64 {
+            let e = Arc::clone(&e);
+            clients.push(std::thread::spawn(move || {
+                let session = e.session();
+                let handles: Vec<_> = (0..250)
+                    .map(|i| session.submit(rmw(&[(c * 4 + i) % 16], 1)))
+                    .collect();
+                handles.iter().filter(|h| h.wait().committed).count()
+            }));
+        }
+        let committed: usize = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(committed, 1000);
+        // Quiesce, then audit: every committed increment landed exactly once.
+        e.execute_sync(vec![rmw(&[0], 0)]);
+        let total: u64 = (0..16).map(|k| e.read_u64(rid(k)).unwrap()).sum();
+        assert_eq!(total, 1000);
+        Arc::try_unwrap(e).ok().unwrap().shutdown();
     }
 
     #[test]
@@ -375,10 +411,7 @@ mod tests {
 
     #[test]
     fn gc_reclaims_superseded_versions() {
-        let e = Bohm::start(
-            BohmConfig::small(),
-            CatalogSpec::new().table(2, 8, |_| 0),
-        );
+        let e = Bohm::start(BohmConfig::small(), CatalogSpec::new().table(2, 8, |_| 0));
         for _ in 0..50 {
             e.execute_sync((0..20).map(|_| rmw(&[0], 1)).collect());
         }
@@ -431,9 +464,7 @@ mod tests {
         let out = e.execute_sync(txns);
         assert!(out.iter().all(|o| o.committed));
         // 30 txns × 2 writes spread uniformly over 8 records.
-        let total: u64 = (0..8)
-            .map(|k| e.read_u64(rid(k)).unwrap() - k * 10)
-            .sum();
+        let total: u64 = (0..8).map(|k| e.read_u64(rid(k)).unwrap() - k * 10).sum();
         assert_eq!(total, 60);
         e.shutdown();
     }
@@ -464,6 +495,40 @@ mod tests {
         for k in 0..64 {
             assert_eq!(e.read_u64(rid(k)), Some(7));
         }
+        e.shutdown();
+    }
+
+    #[test]
+    fn tiny_batches_with_linger_trigger() {
+        // Force the *time* trigger: batch_size far above what we submit, so
+        // every seal comes from the linger timer.
+        let mut cfg = BohmConfig::small();
+        cfg.batch_size = 1 << 16;
+        cfg.batch_linger = std::time::Duration::from_micros(50);
+        let e = Bohm::start(cfg, CatalogSpec::new().table(8, 8, |_| 0));
+        for _ in 0..5 {
+            let out = e.execute_sync((0..16).map(|i| rmw(&[i % 8], 1)).collect());
+            assert!(out.iter().all(|o| o.committed));
+        }
+        assert_eq!(e.read_u64(rid(0)), Some(10));
+        e.shutdown();
+    }
+
+    #[test]
+    fn tight_inflight_budget_still_completes() {
+        // Budget of 2 with single-txn batches: the sequencer must block on
+        // the ring and resume as execution retires slots.
+        let mut cfg = BohmConfig::with_threads(1, 1);
+        cfg.batch_size = 1; // every transaction is its own batch
+        cfg.max_inflight_batches = 2;
+        cfg.ingest_capacity = 4;
+        let e = Bohm::start(cfg, CatalogSpec::new().table(4, 8, |_| 0));
+        let handles: Vec<_> = (0..64).map(|i| e.submit(vec![rmw(&[i % 4], 1)])).collect();
+        for h in handles {
+            assert!(h.outcomes()[0].committed);
+        }
+        let total: u64 = (0..4).map(|k| e.read_u64(rid(k)).unwrap()).sum();
+        assert_eq!(total, 64);
         e.shutdown();
     }
 }

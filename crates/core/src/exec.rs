@@ -10,10 +10,14 @@
 //! the exact protocol of §3.3.1.
 //!
 //! After finishing its responsibilities for a batch, a thread publishes the
-//! batch's last timestamp in its slot of `finished_ts`; the designated
-//! thread 0 refreshes the global Condition-3 GC bound
-//! (`min_i finished_ts[i]`, §3.3.2), and the last thread out deregisters
-//! the batch from the window and wakes submitters.
+//! batch's last timestamp in its slot of `finished_ts` (the designated
+//! thread 0 refreshes the global Condition-3 GC bound,
+//! `min_i finished_ts[i]`, §3.3.2). The last thread out *retires* the
+//! batch: it refreshes the GC bound once more, releases the batch's window
+//! ring slot (unblocking a sequencer waiting on the in-flight budget), and
+//! signals the retirement barriers of submissions whose last transaction
+//! lived in this batch. Per-transaction completion was already delivered as
+//! each transaction finished (`TxnState::complete`).
 
 use crate::access::BohmAccess;
 use crate::batch::{txn_status, Batch, TxnState};
@@ -39,8 +43,14 @@ pub(crate) fn exec_loop(inner: Arc<Inner>, me: usize, rx: Receiver<Arc<Batch>>) 
             refresh_gc_bound(&inner);
         }
         if batch.exec_pending.fetch_sub(1, Ordering::AcqRel) == 1 {
-            inner.window.remove(batch.id);
-            batch.mark_done();
+            // Every thread's `finished_ts` store happened before its
+            // countdown decrement, so this refresh observes them all: slot
+            // release and GC-bound advance travel together.
+            refresh_gc_bound(&inner);
+            inner.window.retire(batch.id);
+            for c in batch.barriers.iter() {
+                c.batch_retired();
+            }
         }
     }
 }

@@ -1,0 +1,329 @@
+//! The ingest layer: bounded submission queue + the dedicated sequencer.
+//!
+//! The paper's sequencer (§3.2.1) is "a single thread … that assigns each
+//! transaction a timestamp equal to its position in the input log". Earlier
+//! revisions of this codebase emulated that with a `Mutex<Sequencer>` taken
+//! on every `submit` call — contended by every client and unable to form
+//! batches across clients. This module gives the sequencer its own thread,
+//! fed by a bounded multi-producer queue:
+//!
+//! * **Clients** ([`BohmSession`](crate::BohmSession) / [`Bohm::submit`])
+//!   enqueue transactions and receive completion handles immediately. The
+//!   queue is budgeted in *transactions* ([`BohmConfig::ingest_capacity`]);
+//!   a saturated queue blocks the submitting client — backpressure instead
+//!   of unbounded growth.
+//! * **The sequencer** drains the queue in arrival order (arrival order
+//!   *is* the serialization order), packs transactions into batches, and
+//!   seals a batch when it reaches [`BohmConfig::batch_size`] **or** when
+//!   [`BohmConfig::batch_linger`] elapses with the queue idle — size and
+//!   time triggers, so steady streams amortize the per-batch barriers and
+//!   sparse traffic is not held hostage.
+//! * Sealed batches are registered in the [`Window`](crate::window::Window)
+//!   ring — which blocks while the in-flight-batch budget is exhausted,
+//!   completing the backpressure chain — and then handed to every CC
+//!   thread.
+//!
+//! Timestamps are strided: batch `b` owns `1 + b·batch_size ..=
+//! (b+1)·batch_size`, and a partially-filled batch leaves the tail of its
+//! stride unused. Gaps are invisible to the protocol (only order matters)
+//! and buy the window's O(1) timestamp→batch arithmetic.
+
+use crate::batch::{Batch, Completion, TxnHook};
+use crate::engine::Inner;
+use bohm_common::Txn;
+use crossbeam_channel::Sender;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One client submission: a group of transactions bound to a completion.
+pub(crate) struct SubmitReq {
+    pub txns: Vec<Txn>,
+    pub completion: Arc<Completion>,
+}
+
+struct QueueState {
+    reqs: VecDeque<SubmitReq>,
+    /// Total transactions queued (the budget is per transaction).
+    queued_txns: usize,
+    closed: bool,
+}
+
+struct QueueShared {
+    state: Mutex<QueueState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+}
+
+/// Submitting half of the ingest queue (cloned into every session).
+#[derive(Clone)]
+pub(crate) struct IngestTx {
+    shared: Arc<QueueShared>,
+}
+
+/// Draining half (owned by the sequencer thread).
+pub(crate) struct IngestRx {
+    shared: Arc<QueueShared>,
+}
+
+pub(crate) enum RecvOutcome {
+    Req(SubmitReq),
+    TimedOut,
+    Closed,
+}
+
+pub(crate) fn ingest_queue(capacity: usize) -> (IngestTx, IngestRx) {
+    let shared = Arc::new(QueueShared {
+        state: Mutex::new(QueueState {
+            reqs: VecDeque::new(),
+            queued_txns: 0,
+            closed: false,
+        }),
+        not_full: Condvar::new(),
+        not_empty: Condvar::new(),
+        capacity,
+    });
+    (
+        IngestTx {
+            shared: Arc::clone(&shared),
+        },
+        IngestRx { shared },
+    )
+}
+
+impl IngestTx {
+    /// Enqueue a submission, blocking while the transaction budget is
+    /// exhausted (backpressure). Fails only when the engine has shut down.
+    ///
+    /// A submission larger than the whole budget is admitted once the queue
+    /// is empty, so oversized groups make progress instead of deadlocking.
+    pub fn send(&self, req: SubmitReq) -> Result<(), SubmitReq> {
+        let n = req.txns.len();
+        let mut st = self.shared.state.lock();
+        loop {
+            if st.closed {
+                return Err(req);
+            }
+            if st.queued_txns + n <= self.shared.capacity || st.reqs.is_empty() {
+                st.queued_txns += n;
+                let was_empty = st.reqs.is_empty();
+                st.reqs.push_back(req);
+                drop(st);
+                if was_empty {
+                    self.shared.not_empty.notify_one();
+                }
+                return Ok(());
+            }
+            self.shared.not_full.wait(&mut st);
+        }
+    }
+
+    /// Stop accepting submissions; the sequencer drains what is queued and
+    /// exits. Idempotent.
+    pub fn close(&self) {
+        let mut st = self.shared.state.lock();
+        st.closed = true;
+        drop(st);
+        self.shared.not_full.notify_all();
+        self.shared.not_empty.notify_all();
+    }
+}
+
+impl IngestRx {
+    /// Pop the oldest submission; with a deadline, give up at the deadline
+    /// (the sequencer's linger timer). `Closed` only after the queue has
+    /// fully drained, so no accepted submission is ever dropped.
+    pub fn recv_deadline(&self, deadline: Option<Instant>) -> RecvOutcome {
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(req) = st.reqs.pop_front() {
+                st.queued_txns -= req.txns.len();
+                drop(st);
+                self.shared.not_full.notify_all();
+                return RecvOutcome::Req(req);
+            }
+            if st.closed {
+                return RecvOutcome::Closed;
+            }
+            match deadline {
+                None => self.shared.not_empty.wait(&mut st),
+                Some(d) => {
+                    if self.shared.not_empty.wait_until(&mut st, d).timed_out() {
+                        return RecvOutcome::TimedOut;
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sequencer role
+// ---------------------------------------------------------------------------
+
+/// Main loop of the sequencer thread: drain → bind → seal → dispatch.
+pub(crate) fn seq_loop(inner: Arc<Inner>, rx: IngestRx, cc_senders: Vec<Sender<Arc<Batch>>>) {
+    let stride = inner.config.batch_size;
+    let linger = inner.config.batch_linger;
+    let mut next_batch: u64 = 0;
+    let mut open: Vec<(Txn, TxnHook)> = Vec::with_capacity(stride);
+    let mut open_since = Instant::now();
+
+    let seal = |open: &mut Vec<(Txn, TxnHook)>, next_batch: &mut u64| {
+        if open.is_empty() {
+            return;
+        }
+        let base_ts = 1 + *next_batch * stride as u64;
+        let batch = Batch::new(
+            std::mem::take(open),
+            base_ts,
+            *next_batch,
+            inner.config.cc_threads,
+            inner.config.exec_threads,
+            if inner.config.annotate_reads {
+                inner.config.annotate_max_reads
+            } else {
+                0
+            },
+        );
+        *next_batch += 1;
+        // Ring registration first (it may block on the in-flight budget —
+        // that stall is the backpressure), and *before* any CC thread can
+        // install a placeholder whose producer must be resolvable.
+        inner.window.push(Arc::clone(&batch));
+        for s in &cc_senders {
+            // Worker channels only close after this thread drops its
+            // senders at exit.
+            let _ = s.send(Arc::clone(&batch));
+        }
+    };
+
+    loop {
+        let deadline = (!open.is_empty()).then(|| open_since + linger);
+        match rx.recv_deadline(deadline) {
+            RecvOutcome::Req(req) => {
+                let n = req.txns.len();
+                debug_assert!(n > 0, "empty submissions complete client-side");
+                for (i, txn) in req.txns.into_iter().enumerate() {
+                    if open.is_empty() {
+                        open_since = Instant::now();
+                    }
+                    open.push((
+                        txn,
+                        TxnHook {
+                            completion: Arc::clone(&req.completion),
+                            index: i as u32,
+                            last_of_submission: i + 1 == n,
+                        },
+                    ));
+                    if open.len() >= stride {
+                        seal(&mut open, &mut next_batch); // size trigger
+                    }
+                }
+            }
+            RecvOutcome::TimedOut => seal(&mut open, &mut next_batch), // time trigger
+            RecvOutcome::Closed => {
+                seal(&mut open, &mut next_batch);
+                break;
+            }
+        }
+    }
+    // Dropping `cc_senders` here closes the CC channels; CC threads exit,
+    // their exec-sender clones drop, and the pipeline drains itself.
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn req(n: usize) -> SubmitReq {
+        let rid = bohm_common::RecordId::new(0, 1);
+        SubmitReq {
+            txns: (0..n)
+                .map(|_| {
+                    Txn::new(
+                        vec![rid],
+                        vec![rid],
+                        bohm_common::Procedure::ReadModifyWrite { delta: 1 },
+                    )
+                })
+                .collect(),
+            completion: Completion::new(n, true),
+        }
+    }
+
+    #[test]
+    fn queue_is_fifo_and_counts_txns() {
+        let (tx, rx) = ingest_queue(100);
+        tx.send(req(3)).map_err(|_| ()).unwrap();
+        tx.send(req(5)).map_err(|_| ()).unwrap();
+        let RecvOutcome::Req(a) = rx.recv_deadline(None) else {
+            panic!()
+        };
+        assert_eq!(a.txns.len(), 3);
+        let RecvOutcome::Req(b) = rx.recv_deadline(None) else {
+            panic!()
+        };
+        assert_eq!(b.txns.len(), 5);
+    }
+
+    #[test]
+    fn saturated_queue_blocks_sender_until_drained() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (tx, rx) = ingest_queue(4);
+        tx.send(req(4)).map_err(|_| ()).unwrap(); // budget exhausted
+        let sent = Arc::new(AtomicBool::new(false));
+        let (tx2, sent2) = (tx.clone(), Arc::clone(&sent));
+        let t = std::thread::spawn(move || {
+            tx2.send(req(2)).map_err(|_| ()).unwrap(); // must block
+            sent2.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(
+            !sent.load(Ordering::SeqCst),
+            "send must block on a saturated queue (backpressure)"
+        );
+        let RecvOutcome::Req(_) = rx.recv_deadline(None) else {
+            panic!()
+        };
+        t.join().unwrap();
+        assert!(sent.load(Ordering::SeqCst));
+    }
+
+    #[test]
+    fn oversized_group_admitted_when_queue_empty() {
+        let (tx, rx) = ingest_queue(4);
+        tx.send(req(32)).map_err(|_| ()).unwrap(); // larger than the budget
+        let RecvOutcome::Req(r) = rx.recv_deadline(None) else {
+            panic!()
+        };
+        assert_eq!(r.txns.len(), 32);
+    }
+
+    #[test]
+    fn recv_deadline_times_out_when_idle() {
+        let (_tx, rx) = ingest_queue(4);
+        let t0 = Instant::now();
+        let RecvOutcome::TimedOut = rx.recv_deadline(Some(t0 + Duration::from_millis(10))) else {
+            panic!("expected timeout")
+        };
+        assert!(t0.elapsed() >= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let (tx, rx) = ingest_queue(10);
+        tx.send(req(1)).map_err(|_| ()).unwrap();
+        tx.close();
+        assert!(tx.send(req(1)).is_err(), "send after close must fail");
+        let RecvOutcome::Req(_) = rx.recv_deadline(None) else {
+            panic!("queued submission must survive close")
+        };
+        let RecvOutcome::Closed = rx.recv_deadline(None) else {
+            panic!("expected Closed after drain")
+        };
+    }
+}

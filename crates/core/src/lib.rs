@@ -4,14 +4,18 @@
 //! serializable multiversion concurrency control", VLDB 2015*.
 //!
 //! BOHM separates **concurrency control** from **transaction execution**
-//! (paper §3). A transaction flows through three roles:
+//! (paper §3). A transaction flows through the pipeline's roles:
 //!
-//! 1. **Sequencer** (a single uncontended appender, §3.2.1): assigns each
-//!    transaction a timestamp equal to its position in the input log. This
-//!    one timestamp plays the role of both `t_begin` and `t_end` of
-//!    conventional MVCC — the transaction appears to execute atomically at
-//!    `ts`. In this implementation the sequencer is the [`Bohm::submit`]
-//!    path.
+//! 1. **Sequencer** (a single uncontended appender, §3.2.1): a dedicated
+//!    thread draining the bounded ingest queue in arrival order and
+//!    assigning each transaction a timestamp equal to its position in the
+//!    input log. This one timestamp plays the role of both `t_begin` and
+//!    `t_end` of conventional MVCC — the transaction appears to execute
+//!    atomically at `ts`. The sequencer packs transactions into batches by
+//!    **size or time** trigger and registers each batch in the window ring
+//!    before dispatch; a full ring (the in-flight-batch budget) or a full
+//!    ingest queue blocks upstream — backpressure, not unbounded queueing.
+//!    See [`ingest`].
 //! 2. **Concurrency-control threads** (§3.2.2-§3.2.4): each owns a static
 //!    hash partition of the key space. For every transaction, in timestamp
 //!    order, the owner of each written record installs an *uninitialized
@@ -22,9 +26,11 @@
 //! 3. **Execution threads** (§3.3): claim transactions via an
 //!    `Unprocessed → Executing` CAS, evaluate the stored procedure, and fill
 //!    placeholders in. A read that lands on a still-pending placeholder
-//!    recursively executes the producing transaction, or parks the current
+//!    recursively executes the producing transaction — resolved back to its
+//!    batch in O(1) through the [`window`] ring — or parks the current
 //!    transaction back to `Unprocessed` if the producer is already being
-//!    executed elsewhere.
+//!    executed elsewhere. Each finished transaction signals its submitter
+//!    immediately (per-transaction completion).
 //!
 //! Reads never block writes; reads perform no shared-memory writes; there is
 //! no global timestamp counter, no lock manager, and no validation — hence
@@ -36,6 +42,9 @@
 //! once every execution thread has finished batch `b`, versions superseded
 //! by transactions of batches `≤ b` are unreachable and are truncated by the
 //! owning CC thread, deferring physical frees to `crossbeam-epoch` (RCU).
+//! Batch retirement releases the window ring slot and advances that bound.
+//!
+//! See `DESIGN.md` at the repository root for the system map.
 //!
 //! ## Example
 //!
@@ -47,17 +56,31 @@
 //! let catalog = CatalogSpec::new().table(100, 8, |row| row);
 //! let engine = Bohm::start(BohmConfig::small(), catalog);
 //!
-//! // Increment record 7 a hundred times, 10 txns per batch.
-//! for _ in 0..10 {
-//!     let txns: Vec<Txn> = (0..10)
-//!         .map(|_| {
-//!             let rid = RecordId::new(0, 7);
-//!             Txn::new(vec![rid], vec![rid], Procedure::ReadModifyWrite { delta: 1 })
-//!         })
-//!         .collect();
-//!     engine.submit(txns).wait();
-//! }
-//! assert_eq!(engine.read_u64(RecordId::new(0, 7)), Some(107));
+//! // Clients submit single transactions through sessions; the sequencer
+//! // forms batches behind the scenes. Increment record 7 a hundred times,
+//! // pipelined, then reap each transaction's own completion.
+//! let session = engine.session();
+//! let handles: Vec<_> = (0..100)
+//!     .map(|_| {
+//!         let rid = RecordId::new(0, 7);
+//!         session.submit(Txn::new(
+//!             vec![rid],
+//!             vec![rid],
+//!             Procedure::ReadModifyWrite { delta: 1 },
+//!         ))
+//!     })
+//!     .collect();
+//! assert!(handles.iter().all(|h| h.wait().committed));
+//!
+//! // Group submission is still available and quiesces on wait.
+//! let rid = RecordId::new(0, 7);
+//! let outcomes = engine.execute_sync(vec![Txn::new(
+//!     vec![rid],
+//!     vec![rid],
+//!     Procedure::ReadModifyWrite { delta: 0 },
+//! )]);
+//! assert!(outcomes[0].committed);
+//! assert_eq!(engine.read_u64(rid), Some(107));
 //! engine.shutdown();
 //! ```
 
@@ -67,8 +90,11 @@ pub mod cc;
 pub mod config;
 pub mod engine;
 pub mod exec;
+pub mod ingest;
+pub mod session;
 pub mod window;
 
-pub use batch::{BatchHandle, TxnOutcome};
-pub use config::{BohmConfig, CatalogSpec};
+pub use batch::{BatchHandle, TxnHandle, TxnOutcome};
+pub use config::{BohmConfig, CatalogSpec, MAX_INDEX_CAPACITY_HINT};
 pub use engine::Bohm;
+pub use session::BohmSession;

@@ -1,102 +1,312 @@
-//! The batch window: unfinished batches visible to execution threads.
+//! The batch window: a lock-free bounded ring of in-flight batches.
 //!
 //! Execution and concurrency control operate on different batches
 //! concurrently (paper §3.3.1), and a thread on batch `b+1` may hit a read
 //! dependency on a still-pending version produced in batch `b`. The window
 //! resolves a producer *timestamp* (a version's `begin` — the paper's "txn
-//! pointer") back to its [`TxnState`] so the dependency can be executed
+//! pointer") back to its batch so the dependency can be executed
 //! recursively.
 //!
-//! The window is touched only on the cold path (batch hand-off and blocked
-//! reads), so a mutex-protected vector is appropriate; the hot execution
-//! path never takes this lock.
+//! # Design
+//!
+//! The sequencer strides timestamps by `BohmConfig::batch_size` per batch
+//! id, so the batch containing timestamp `ts` is `(ts - 1) / stride` — pure
+//! arithmetic, no search. The window is then just a power-of-two ring of
+//! `AtomicPtr<Batch>` slots indexed by `id & mask`:
+//!
+//! * **push** (sequencer only): wait until slot `id & mask` is vacant, then
+//!   store. Capacity is the in-flight-batch budget — a full ring *is* the
+//!   pipeline's backpressure, propagating to the ingest queue and from
+//!   there to submitting sessions.
+//! * **lookup** (execution threads, blocked-read path): one load + two
+//!   field checks under an epoch pin. No lock, no scan, no shared-memory
+//!   write.
+//! * **retire** (last execution thread out of a batch): swap the slot to
+//!   null and defer the reference drop through the epoch collector; the
+//!   slot release also advances the Condition-3 GC bound (the caller
+//!   refreshes the watermark before retiring).
+//!
+//! A lookup that finds a vacant slot (or a different batch id) means the
+//! asked-for batch already retired — every transaction in it is `Complete`
+//! — so the caller can simply retry its read. Slot reuse cannot alias: ids
+//! mapping to the same slot are `capacity` apart, and at most `capacity`
+//! batches are in flight, with the sequencer blocked until the previous
+//! occupant retired.
 
 use crate::batch::Batch;
 use bohm_common::Timestamp;
-use parking_lot::RwLock;
+use crossbeam_epoch as epoch;
+use crossbeam_utils::Backoff;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-#[derive(Default)]
 pub(crate) struct Window {
-    batches: RwLock<Vec<Arc<Batch>>>,
+    slots: Box<[AtomicPtr<Batch>]>,
+    mask: u64,
+    /// Timestamp stride per batch id (`BohmConfig::batch_size`).
+    stride: u64,
+    /// Slow-path parking for a sequencer waiting on a full ring.
+    vacancy: Mutex<()>,
+    vacated: Condvar,
 }
 
 impl Window {
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Register a batch before any execution thread can see it.
-    pub fn push(&self, b: Arc<Batch>) {
-        self.batches.write().push(b);
-    }
-
-    /// Deregister a fully-executed batch.
-    pub fn remove(&self, id: u64) {
-        let mut v = self.batches.write();
-        if let Some(pos) = v.iter().position(|b| b.id == id) {
-            v.swap_remove(pos);
+    /// `capacity` is rounded up to a power of two; it bounds the number of
+    /// batches between sealing and retirement.
+    pub fn new(capacity: usize, stride: u64) -> Self {
+        assert!(capacity >= 2 && stride >= 1);
+        let n = capacity.next_power_of_two();
+        let mut slots = Vec::with_capacity(n);
+        slots.resize_with(n, || AtomicPtr::new(std::ptr::null_mut()));
+        Self {
+            slots: slots.into_boxed_slice(),
+            mask: (n - 1) as u64,
+            stride,
+            vacancy: Mutex::new(()),
+            vacated: Condvar::new(),
         }
     }
 
-    /// Find the batch containing timestamp `ts`.
+    /// Register a batch; blocks while the batch's slot is still occupied by
+    /// the batch `capacity` ids older (the in-flight budget). Sequencer
+    /// only.
+    pub fn push(&self, b: Arc<Batch>) {
+        let slot = &self.slots[(b.id & self.mask) as usize];
+        let ptr = Arc::into_raw(b) as *mut Batch;
+        // Fast path: spin briefly — retirement is usually imminent.
+        let backoff = Backoff::new();
+        loop {
+            if slot.load(Ordering::Acquire).is_null() {
+                break;
+            }
+            if backoff.is_completed() {
+                // Park until a retire signals; the timeout re-checks to
+                // stay robust against wake-up races.
+                let mut g = self.vacancy.lock();
+                while !slot.load(Ordering::Acquire).is_null() {
+                    self.vacated.wait_for(&mut g, Duration::from_millis(10));
+                }
+                break;
+            }
+            backoff.snooze();
+        }
+        debug_assert!(slot.load(Ordering::Acquire).is_null());
+        slot.store(ptr, Ordering::Release);
+    }
+
+    /// Deregister a fully-executed batch and release its slot.
+    pub fn retire(&self, id: u64) {
+        let slot = &self.slots[(id & self.mask) as usize];
+        let ptr = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+        debug_assert!(!ptr.is_null(), "retire of unregistered batch {id}");
+        debug_assert_eq!(unsafe { &*ptr }.id, id);
+        // Readers racing `lookup` may still hold the raw pointer; drop the
+        // window's reference only after their epoch pins release.
+        let guard = epoch::pin();
+        // SAFETY: `ptr` came from `Arc::into_raw` in `push` and was just
+        // unlinked from the slot; any concurrent `lookup` upgraded its own
+        // reference under an epoch pin taken before this defer runs.
+        unsafe {
+            guard.defer_unchecked(move || drop(Arc::from_raw(ptr)));
+        }
+        drop(guard);
+        // Wake a sequencer parked on the full ring.
+        drop(self.vacancy.lock());
+        self.vacated.notify_all();
+    }
+
+    /// Find the batch containing timestamp `ts` — O(1): one divide, one
+    /// load, two checks.
     ///
-    /// `None` means the batch already completed — in that case the producing
+    /// `None` means the batch already completed (retired) — the producing
     /// transaction is `Complete` and its versions are resolved, so the
     /// caller can simply retry its read.
     pub fn lookup(&self, ts: Timestamp) -> Option<Arc<Batch>> {
-        self.batches
-            .read()
-            .iter()
-            .find(|b| b.contains(ts))
-            .cloned()
+        if ts == 0 {
+            return None; // preloaded versions have no producing batch
+        }
+        let id = (ts - 1) / self.stride;
+        let slot = &self.slots[(id & self.mask) as usize];
+        let guard = epoch::pin();
+        let ptr = slot.load(Ordering::Acquire);
+        if ptr.is_null() {
+            return None;
+        }
+        // SAFETY: non-null slot pointers are valid while our epoch pin
+        // predates any retire's deferred drop (see `retire`).
+        let b = unsafe { &*ptr };
+        if b.id != id || !b.contains(ts) {
+            return None; // slot reused by a newer batch, or ts in the stride gap
+        }
+        // Upgrade to an owned reference while the pin protects the count.
+        // SAFETY: the window's own reference keeps the count ≥ 1 until the
+        // deferred drop, which cannot run while we are pinned.
+        unsafe {
+            Arc::increment_strong_count(ptr);
+            drop(guard);
+            Some(Arc::from_raw(ptr))
+        }
     }
 
+    /// Number of occupied slots (diagnostics/tests; racy by nature).
     #[cfg(test)]
     pub fn len(&self) -> usize {
-        self.batches.read().len()
+        self.slots
+            .iter()
+            .filter(|s| !s.load(Ordering::Acquire).is_null())
+            .count()
+    }
+}
+
+impl Drop for Window {
+    fn drop(&mut self) {
+        for slot in self.slots.iter() {
+            let ptr = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
+            if !ptr.is_null() {
+                // SAFETY: exclusive access via &mut self; no readers remain.
+                drop(unsafe { Arc::from_raw(ptr) });
+            }
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bohm_common::{Procedure, RecordId, Txn};
+    use crate::batch::tests::hooked;
 
-    fn mk_batch(id: u64, base_ts: u64, n: usize) -> Arc<Batch> {
-        let txns = (0..n)
-            .map(|_| {
-                Txn::new(
-                    vec![RecordId::new(0, 0)],
-                    vec![],
-                    Procedure::ReadOnly,
-                )
-            })
-            .collect();
-        Batch::new(txns, base_ts, id, 1, 1, 64)
+    const STRIDE: u64 = 10;
+
+    /// Batch `id` with `n` transactions at the strided base timestamp.
+    fn mk_batch(id: u64, n: usize) -> Arc<Batch> {
+        let (entries, _c) = hooked(n);
+        Batch::new(entries, 1 + id * STRIDE, id, 1, 1, 64)
+    }
+
+    fn window() -> Window {
+        Window::new(4, STRIDE)
     }
 
     #[test]
-    fn lookup_finds_containing_batch() {
-        let w = Window::new();
-        w.push(mk_batch(0, 1, 10)); // ts 1..=10
-        w.push(mk_batch(1, 11, 5)); // ts 11..=15
+    fn lookup_is_o1_on_strided_timestamps() {
+        let w = window();
+        w.push(mk_batch(0, 10)); // ts 1..=10
+        w.push(mk_batch(1, 5)); // ts 11..=15 (16..=20 is a stride gap)
         assert_eq!(w.lookup(1).unwrap().id, 0);
         assert_eq!(w.lookup(10).unwrap().id, 0);
         assert_eq!(w.lookup(11).unwrap().id, 1);
-        assert!(w.lookup(16).is_none());
+        assert_eq!(w.lookup(15).unwrap().id, 1);
+        assert!(w.lookup(16).is_none(), "stride gap of a partial batch");
+        assert!(w.lookup(21).is_none(), "batch 2 never pushed");
+        assert!(w.lookup(0).is_none(), "preload timestamp");
     }
 
     #[test]
-    fn remove_makes_batch_unresolvable() {
-        let w = Window::new();
-        w.push(mk_batch(0, 1, 10));
-        w.push(mk_batch(1, 11, 10));
-        w.remove(0);
+    fn retire_makes_batch_unresolvable_and_frees_slot() {
+        let w = window();
+        w.push(mk_batch(0, 10));
+        w.push(mk_batch(1, 10));
+        w.retire(0);
         assert!(w.lookup(5).is_none());
         assert_eq!(w.lookup(12).unwrap().id, 1);
         assert_eq!(w.len(), 1);
-        w.remove(99); // unknown id is a no-op
-        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn slot_reuse_cannot_alias_old_ids() {
+        let w = window(); // capacity 4
+        for id in 0..4 {
+            w.push(mk_batch(id, 10));
+        }
+        w.retire(0);
+        w.push(mk_batch(4, 10)); // reuses slot 0
+        assert!(w.lookup(5).is_none(), "ts of batch 0 must not hit batch 4");
+        assert_eq!(w.lookup(1 + 4 * STRIDE).unwrap().id, 4);
+    }
+
+    #[test]
+    fn push_blocks_until_slot_vacated() {
+        use std::sync::atomic::{AtomicBool, Ordering as O};
+        let w = Arc::new(window()); // capacity 4
+        for id in 0..4 {
+            w.push(mk_batch(id, 10));
+        }
+        let pushed = Arc::new(AtomicBool::new(false));
+        let (w2, p2) = (Arc::clone(&w), Arc::clone(&pushed));
+        let t = std::thread::spawn(move || {
+            w2.push(mk_batch(4, 10)); // blocks: slot 0 occupied
+            p2.store(true, O::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!pushed.load(O::SeqCst), "push must apply backpressure");
+        w.retire(0);
+        t.join().unwrap();
+        assert!(pushed.load(O::SeqCst));
+        assert_eq!(w.lookup(41).unwrap().id, 4);
+    }
+
+    #[test]
+    fn concurrent_push_lookup_retire_stress() {
+        // The satellite stress test: one producer pushing/one retirer
+        // releasing slots in retirement order while readers hammer lookups
+        // across the live window. Readers must only ever observe a batch
+        // whose id matches the timestamp arithmetic.
+        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as O};
+        const BATCHES: u64 = 400;
+        let w = Arc::new(Window::new(8, STRIDE));
+        let highest_pushed = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let mut readers = Vec::new();
+        for r in 0..4u64 {
+            let w = Arc::clone(&w);
+            let hi = Arc::clone(&highest_pushed);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut x = r.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                let mut hits = 0u64;
+                while !stop.load(O::Relaxed) {
+                    // Wandering timestamp across the plausible range.
+                    x ^= x << 13;
+                    x ^= x >> 7;
+                    x ^= x << 17;
+                    let ts = 1 + x % (hi.load(O::Relaxed).max(1) * STRIDE + STRIDE);
+                    if let Some(b) = w.lookup(ts) {
+                        // The O(1) contract: a hit is *the* containing batch.
+                        assert_eq!(b.id, (ts - 1) / STRIDE);
+                        assert!(b.contains(ts));
+                        hits += 1;
+                    }
+                }
+                hits
+            }));
+        }
+
+        let retirer = {
+            let w = Arc::clone(&w);
+            let hi = Arc::clone(&highest_pushed);
+            std::thread::spawn(move || {
+                let backoff = Backoff::new();
+                for id in 0..BATCHES {
+                    // Retire strictly behind the producer, as execution does.
+                    while hi.load(O::Acquire) < id + 1 {
+                        backoff.snooze();
+                    }
+                    w.retire(id);
+                }
+            })
+        };
+
+        for id in 0..BATCHES {
+            w.push(mk_batch(id, 7)); // partial batches: stride gaps exercised
+            highest_pushed.store(id + 1, O::Release);
+        }
+        retirer.join().unwrap();
+        stop.store(true, O::Relaxed);
+        let total_hits: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
+        assert!(total_hits > 0, "stress readers never hit a live batch");
+        assert_eq!(w.len(), 0, "all slots released");
     }
 }

@@ -65,7 +65,9 @@ impl HekatonStore {
     }
 
     /// Push `nv` (already initialized) as the new chain head of `rid`.
-    pub fn push(&self, rid: RecordId, nv: *mut HkVersion) {
+    /// Callers guarantee `nv` is a valid, exclusively-owned allocation
+    /// until the CAS publishes it (enforced crate-internally).
+    pub(crate) fn push(&self, rid: RecordId, nv: *mut HkVersion) {
         let head = self.head(rid);
         loop {
             let h = head.load(Ordering::Acquire);

@@ -86,6 +86,9 @@ impl HkTxn {
     /// for it), `Ok(false)` if this transaction already committed (no
     /// dependency needed), or `Err(())` if it aborted (the reader consumed
     /// poisoned data and must abort too).
+    // The unit error is deliberate: "producer aborted" carries no payload
+    // and the whole call graph is crate-internal.
+    #[allow(clippy::result_unit_err)]
     pub fn register_dependent(&self, reader: &HkTxn) -> Result<bool, ()> {
         let mut deps = self.dependents.lock();
         match self.state.load(Ordering::Acquire) {

@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 /// Tag bit: the word is a pointer to an [`HkTxn`], not a timestamp.
 pub const TXN_FLAG: u64 = 1 << 63;
 /// `end` value of a live latest version.
-pub const END_INF: u64 = u64::MAX & !TXN_FLAG; // still distinguishable: flag clear
+pub const END_INF: u64 = !TXN_FLAG; // all bits but the tag: flag clear
 /// `begin` value of a version whose creating transaction aborted.
 pub const ABORTED_SENTINEL: u64 = END_INF - 1;
 

@@ -150,7 +150,10 @@ mod tests {
             l2.unlock_exclusive();
         });
         std::thread::sleep(std::time::Duration::from_millis(10));
-        assert!(!writer_in.load(O::SeqCst), "writer entered with reader held");
+        assert!(
+            !writer_in.load(O::SeqCst),
+            "writer entered with reader held"
+        );
         l.unlock_shared();
         h.join().unwrap();
         assert!(writer_in.load(O::SeqCst));

@@ -197,7 +197,11 @@ mod tests {
         use std::sync::Arc;
         let n = 16u64;
         let t = Arc::new(LockTable::new(n));
-        let balances = Arc::new((0..n).map(|_| std::sync::atomic::AtomicU64::new(100)).collect::<Vec<_>>());
+        let balances = Arc::new(
+            (0..n)
+                .map(|_| std::sync::atomic::AtomicU64::new(100))
+                .collect::<Vec<_>>(),
+        );
         let mut handles = Vec::new();
         for tid in 0..8u64 {
             let t = Arc::clone(&t);
@@ -235,11 +239,9 @@ mod tests {
         }
         // Balances may individually wrap below zero; the *wrapping* sum is
         // conserved exactly iff no increment was lost or duplicated.
-        let sum = balances
-            .iter()
-            .fold(0u64, |acc, a| {
-                acc.wrapping_add(a.load(std::sync::atomic::Ordering::SeqCst))
-            });
+        let sum = balances.iter().fold(0u64, |acc, a| {
+            acc.wrapping_add(a.load(std::sync::atomic::Ordering::SeqCst))
+        });
         assert_eq!(sum, 100 * n);
     }
 }

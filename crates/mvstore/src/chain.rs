@@ -108,7 +108,7 @@ impl Chain {
     /// retired.
     ///
     /// Like `install`, this must only be called by the owning CC thread.
-    pub fn truncate<'g>(&self, bound: Timestamp, guard: &'g Guard) -> usize {
+    pub fn truncate(&self, bound: Timestamp, guard: &Guard) -> usize {
         // The head always has end = ∞, so the truncation point is strictly
         // below the head and `pred` is always valid.
         let head = self.head.load(Ordering::Acquire, guard);
@@ -238,7 +238,7 @@ mod tests {
         c.install(ready(100, 1), &g); // end=200
         c.install(ready(200, 2), &g); // end=300
         c.install(ready(300, 3), &g); // end=∞
-        // Watermark bound 250: version(100) has end 200 ≤ 250 → retire 1.
+                                      // Watermark bound 250: version(100) has end 200 ≤ 250 → retire 1.
         assert_eq!(c.truncate(250, &g), 1);
         assert_eq!(c.depth(&g), 2);
         // Readers above the bound still resolve correctly.

@@ -233,8 +233,10 @@ mod tests {
     fn hash_chains_store_versions() {
         let idx = HashIndex::with_capacity(16);
         let g = epoch::pin();
-        idx.get_or_insert(rid(0, 7))
-            .install(Owned::new(Version::ready(1, bohm_common::value::of_u64(9, 8))), &g);
+        idx.get_or_insert(rid(0, 7)).install(
+            Owned::new(Version::ready(1, bohm_common::value::of_u64(9, 8))),
+            &g,
+        );
         let v = idx.get(rid(0, 7)).unwrap().visible(2, &g).unwrap();
         assert_eq!(bohm_common::value::get_u64(v.data(), 0), 9);
     }

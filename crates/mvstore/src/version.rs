@@ -143,7 +143,10 @@ impl Version {
     /// the execution thread that won the `Unprocessed → Executing` CAS on
     /// the transaction whose timestamp equals `self.begin()`.
     pub fn fill(&self, src: &[u8]) {
-        debug_assert_eq!(self.state.load(Ordering::Relaxed), VersionState::Pending as u32);
+        debug_assert_eq!(
+            self.state.load(Ordering::Relaxed),
+            VersionState::Pending as u32
+        );
         // SAFETY: unique producer per the protocol above; readers are
         // excluded until the release-store below.
         let dst = unsafe { &mut *self.data.get() };
@@ -156,7 +159,10 @@ impl Version {
     /// Mutate the placeholder payload in place, then publish. Used when the
     /// producer computes directly into the version (avoids a copy).
     pub fn fill_with(&self, f: impl FnOnce(&mut [u8])) {
-        debug_assert_eq!(self.state.load(Ordering::Relaxed), VersionState::Pending as u32);
+        debug_assert_eq!(
+            self.state.load(Ordering::Relaxed),
+            VersionState::Pending as u32
+        );
         // SAFETY: see `fill`.
         let dst = unsafe { &mut *self.data.get() };
         f(dst);
@@ -187,7 +193,10 @@ impl Version {
 
     /// Publish this placeholder as a deletion tombstone.
     pub fn fill_tombstone(&self) {
-        debug_assert_eq!(self.state.load(Ordering::Relaxed), VersionState::Pending as u32);
+        debug_assert_eq!(
+            self.state.load(Ordering::Relaxed),
+            VersionState::Pending as u32
+        );
         self.state
             .store(VersionState::Tombstone as u32, Ordering::Release);
     }

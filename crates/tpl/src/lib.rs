@@ -147,9 +147,9 @@ impl Engine for TwoPhaseLocking {
         let mut v = 0;
         // SAFETY: verification hook; caller guarantees quiescence.
         unsafe {
-            self.store
-                .table(rid)
-                .read(rid.row as usize, &mut |b| v = bohm_common::value::get_u64(b, 0));
+            self.store.table(rid).read(rid.row as usize, &mut |b| {
+                v = bohm_common::value::get_u64(b, 0)
+            });
         }
         Some(v)
     }

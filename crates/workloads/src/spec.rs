@@ -24,7 +24,10 @@ impl DatabaseSpec {
 
     /// Table shapes as `(rows, record_size)` pairs (Hekaton store input).
     pub fn shapes(&self) -> Vec<(u64, usize)> {
-        self.tables.iter().map(|t| (t.rows, t.record_size)).collect()
+        self.tables
+            .iter()
+            .map(|t| (t.rows, t.record_size))
+            .collect()
     }
 
     pub fn total_rows(&self) -> u64 {

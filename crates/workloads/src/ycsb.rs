@@ -88,13 +88,15 @@ impl YcsbGen {
     }
 
     fn gen_rmw10(&mut self) -> Txn {
-        self.zipf.sample_distinct(&mut self.rng, 10, &mut self.keybuf);
+        self.zipf
+            .sample_distinct(&mut self.rng, 10, &mut self.keybuf);
         let rids: Vec<RecordId> = self.keybuf.iter().map(|&k| RecordId::new(0, k)).collect();
         Txn::new(rids.clone(), rids, Procedure::ReadModifyWrite { delta: 1 })
     }
 
     fn gen_2rmw8r(&mut self) -> Txn {
-        self.zipf.sample_distinct(&mut self.rng, 10, &mut self.keybuf);
+        self.zipf
+            .sample_distinct(&mut self.rng, 10, &mut self.keybuf);
         let rids: Vec<RecordId> = self.keybuf.iter().map(|&k| RecordId::new(0, k)).collect();
         let writes = rids[..2].to_vec();
         Txn::new(rids, writes, Procedure::ReadModifyWrite { delta: 1 })

@@ -13,35 +13,33 @@ fn main() {
     let catalog = CatalogSpec::new().table(1_000, 8, |_| 0);
 
     // Start the engine: 2 concurrency-control threads + 2 execution
-    // threads (the paper's two separated phases, §3).
+    // threads (the paper's two separated phases, §3), plus the dedicated
+    // sequencer that forms batches behind the ingest queue.
     let engine = Bohm::start(BohmConfig::with_threads(2, 2), catalog);
 
-    // BOHM consumes whole transactions with declared read/write sets.
-    // Here: 100 read-modify-write increments spread over 10 records, in
-    // one batch. The batch's log order *is* the serialization order.
-    let txns: Vec<Txn> = (0..100)
+    // Clients talk to the engine through *sessions*: submit single
+    // transactions (with declared read/write sets — BOHM consumes whole
+    // transactions), get back one handle per transaction. Sequencer
+    // arrival order *is* the serialization order.
+    let session = engine.session();
+    let handles: Vec<_> = (0..100)
         .map(|i| {
             let rid = RecordId::new(0, i % 10);
-            Txn::new(
+            session.submit(Txn::new(
                 vec![rid],
                 vec![rid],
                 Procedure::ReadModifyWrite { delta: 1 },
-            )
+            ))
         })
         .collect();
 
-    let outcomes = engine.execute_sync(txns);
-    let committed = outcomes.iter().filter(|o| o.committed).count();
+    // Each handle completes the moment its transaction finishes executing
+    // — no waiting for batch boundaries.
+    let committed = handles.iter().filter(|h| h.wait().committed).count();
     println!("committed {committed}/100 transactions");
 
-    // Each of the 10 records was incremented 10 times.
-    for k in 0..10 {
-        let v = engine.read_u64(RecordId::new(0, k)).unwrap();
-        println!("record {k}: {v}");
-        assert_eq!(v, 10);
-    }
-
-    // Read-only transactions never block writers (and vice versa).
+    // Group submission is still available; its handle waiting additionally
+    // quiesces the pipeline (so direct state reads below are safe).
     let ro = Txn::new(
         (0..10).map(|k| RecordId::new(0, k)).collect(),
         vec![],
@@ -49,6 +47,13 @@ fn main() {
     );
     let out = engine.execute_sync(vec![ro]);
     println!("read-only fingerprint: {:#x}", out[0].fingerprint);
+
+    // Each of the 10 records was incremented 10 times.
+    for k in 0..10 {
+        let v = engine.read_u64(RecordId::new(0, k)).unwrap();
+        println!("record {k}: {v}");
+        assert_eq!(v, 10);
+    }
 
     engine.shutdown();
     println!("done");

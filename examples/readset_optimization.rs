@@ -11,10 +11,10 @@
 //! cargo run --release --example readset_optimization
 //! ```
 
-use bohm_suite::common::{Procedure, RecordId, Txn};
-use bohm_suite::core::{Bohm, BohmConfig, CatalogSpec};
 use bohm_suite::common::rng::FastRng;
 use bohm_suite::common::zipf::Zipf;
+use bohm_suite::common::{Procedure, RecordId, Txn};
+use bohm_suite::core::{Bohm, BohmConfig, CatalogSpec};
 use std::time::Instant;
 
 fn run(annotate: bool) -> (f64, u64) {
@@ -36,8 +36,7 @@ fn run(annotate: bool) -> (f64, u64) {
         let txns: Vec<Txn> = (0..1000)
             .map(|_| {
                 zipf.sample_distinct(&mut rng, 10, &mut keys);
-                let rids: Vec<RecordId> =
-                    keys.iter().map(|&k| RecordId::new(0, k)).collect();
+                let rids: Vec<RecordId> = keys.iter().map(|&k| RecordId::new(0, k)).collect();
                 let writes = rids[..2].to_vec();
                 Txn::new(rids, writes, Procedure::ReadModifyWrite { delta: 1 })
             })
@@ -71,7 +70,10 @@ fn main() {
     let (without, avg_updates) = run(false);
     println!("read-set annotation ON  : {with_annotations:>10.0} txns/s");
     println!("read-set annotation OFF : {without:>10.0} txns/s  (chain traversal)");
-    println!("speedup: {:.2}x (avg ~{avg_updates} updates/record)", with_annotations / without);
+    println!(
+        "speedup: {:.2}x (avg ~{avg_updates} updates/record)",
+        with_annotations / without
+    );
     println!();
     println!("The annotated run resolves every read with one pointer load;");
     println!("the traversal run walks backward version references, which is");

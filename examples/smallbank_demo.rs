@@ -74,12 +74,8 @@ fn main() {
     // Audit: sum savings + checking across all customers.
     let mut actual_total = 0i64;
     for c in 0..cfg.customers {
-        actual_total += engine
-            .read_u64(RecordId::new(tables::SAVINGS, c))
-            .unwrap() as i64;
-        actual_total += engine
-            .read_u64(RecordId::new(tables::CHECKING, c))
-            .unwrap() as i64;
+        actual_total += engine.read_u64(RecordId::new(tables::SAVINGS, c)).unwrap() as i64;
+        actual_total += engine.read_u64(RecordId::new(tables::CHECKING, c)).unwrap() as i64;
     }
 
     println!("SmallBank on BOHM — {} customers", cfg.customers);

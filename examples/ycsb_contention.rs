@@ -64,7 +64,8 @@ fn main() {
 
     // --- BOHM (pipelined batch submission) ---
     {
-        let catalog = bohm_suite::core::CatalogSpec::new().table(cfg.records, cfg.record_size, |r| r);
+        let catalog =
+            bohm_suite::core::CatalogSpec::new().table(cfg.records, cfg.record_size, |r| r);
         let engine = bohm_suite::core::Bohm::start(
             bohm_suite::core::BohmConfig::with_threads(3, 5),
             catalog,

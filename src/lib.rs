@@ -2,13 +2,13 @@
 //!
 //! Downstream code can depend on `bohm-suite` alone and reach every
 //! subsystem through one namespace. See `DESIGN.md` for the system map.
-
-/// Examples and integration tests run with mimalloc for the same reason the
-/// bench harness does: BOHM's CC phase allocates a version object per write
-/// and frees them across threads via epoch reclamation, a pattern on which
-/// glibc malloc was measured to be the bottleneck (see DESIGN.md).
-#[global_allocator]
-static GLOBAL: mimalloc::MiMalloc = mimalloc::MiMalloc;
+//!
+//! Allocator note: the original experiments ran the examples and
+//! integration tests with mimalloc — BOHM's CC phase allocates a version
+//! object per write and frees them across threads via epoch reclamation, a
+//! pattern on which glibc malloc was measured to be the bottleneck (see
+//! DESIGN.md). The hermetic build has no mimalloc crate, so the system
+//! allocator is used; correctness is unaffected.
 
 pub use bohm as core;
 pub use bohm_common as common;

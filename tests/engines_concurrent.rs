@@ -71,12 +71,20 @@ fn counter_audit_tpl() {
 
 #[test]
 fn counter_audit_occ() {
-    counter_audit(Arc::new(SiloOcc::from_builder(sv_store(4, |r| r))), 8, 10_000);
+    counter_audit(
+        Arc::new(SiloOcc::from_builder(sv_store(4, |r| r))),
+        8,
+        10_000,
+    );
 }
 
 #[test]
 fn counter_audit_hekaton_serializable() {
-    counter_audit(Arc::new(Hekaton::serializable(hk_store(4, |r| r))), 8, 3_000);
+    counter_audit(
+        Arc::new(Hekaton::serializable(hk_store(4, |r| r))),
+        8,
+        3_000,
+    );
 }
 
 #[test]

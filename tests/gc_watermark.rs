@@ -12,7 +12,11 @@ use bohm_suite::core::{Bohm, BohmConfig, CatalogSpec};
 
 fn rmw(k: u64) -> Txn {
     let rid = RecordId::new(0, k);
-    Txn::new(vec![rid], vec![rid], Procedure::ReadModifyWrite { delta: 1 })
+    Txn::new(
+        vec![rid],
+        vec![rid],
+        Procedure::ReadModifyWrite { delta: 1 },
+    )
 }
 
 fn hot_engine(gc: bool) -> Bohm {
@@ -94,10 +98,9 @@ fn gc_never_reclaims_versions_needed_by_inflight_readers() {
             assert!(o.committed);
             if i % 2 == 1 {
                 // Read-only txn right after the update: sees `expected`.
-                let want =
-                    bohm_suite::common::value::checksum(&bohm_suite::common::value::of_u64(
-                        expected, 8,
-                    ));
+                let want = bohm_suite::common::value::checksum(&bohm_suite::common::value::of_u64(
+                    expected, 8,
+                ));
                 assert_eq!(o.fingerprint, want, "stale or over-collected read");
             } else {
                 expected += 1;

@@ -1,5 +1,10 @@
-//! Property-based tests (proptest): randomized transaction mixes must be
-//! serializable on every engine.
+//! Property-style tests: randomized transaction mixes must be serializable
+//! on every engine.
+//!
+//! (Formerly written against `proptest`; the hermetic build has no access
+//! to that crate, so the same properties are driven by the workspace's own
+//! deterministic [`FastRng`] — every case derives from a printed seed, so a
+//! failure message pinpoints the reproducing input.)
 //!
 //! * BOHM executes the mix concurrently in randomized batch sizes and must
 //!   match the serial oracle **in log order** (decisions, fingerprints and
@@ -10,14 +15,21 @@
 //! * The lock manager's normalize() is checked against a model.
 
 use bohm_suite::common::engine::{Engine, ExecOutcome};
+use bohm_suite::common::rng::FastRng;
 use bohm_suite::common::{Procedure, RecordId, SmallBankProc, Txn};
 use bohm_suite::core::{Bohm, BohmConfig, CatalogSpec};
 use bohm_suite::lockmgr::{LockMode, LockRequest, LockTable};
 use bohm_suite::testkit::{check_serial_equivalence, SerialOracle};
 use bohm_suite::workloads::{DatabaseSpec, TableDef};
-use proptest::prelude::*;
 
 const ROWS: u64 = 12;
+
+// Fewer cases under dev profiles: the BOHM cases spin up real engine
+// thread pools and debug builds are ~20× slower per case.
+#[cfg(debug_assertions)]
+const CASES: u64 = 12;
+#[cfg(not(debug_assertions))]
+const CASES: u64 = 64;
 
 fn spec() -> DatabaseSpec {
     // Two tables so cross-table addressing is exercised; i64-friendly seeds.
@@ -35,40 +47,44 @@ fn spec() -> DatabaseSpec {
     ])
 }
 
-/// Strategy: one random transaction over the two tables.
-fn txn_strategy() -> impl Strategy<Value = Txn> {
-    let rid = (0u32..2, 0u64..ROWS).prop_map(|(t, r)| RecordId::new(t, r));
-    let rids = proptest::collection::vec(rid, 1..4);
-    (rids, 0u8..6, 0u64..64).prop_map(|(mut rids, kind, val)| {
-        rids.sort_unstable();
-        rids.dedup();
-        match kind {
-            0 => Txn::new(rids, vec![], Procedure::ReadOnly),
-            1 => Txn::new(vec![], rids, Procedure::BlindWrite { value: val }),
-            2 | 3 => Txn::new(
-                rids.clone(),
-                rids,
-                Procedure::ReadModifyWrite { delta: val + 1 },
-            ),
-            4 => {
-                // RMW with extra pure reads: writes = first rid only.
-                let w = vec![rids[0]];
-                Txn::new(rids, w, Procedure::ReadModifyWrite { delta: val + 1 })
-            }
-            _ => {
-                // TransactSaving-style conditional abort on table 0.
-                let c = rids[0].row;
-                let sav = RecordId::new(0, c);
-                Txn::new(
-                    vec![sav],
-                    vec![sav],
-                    Procedure::SmallBank(SmallBankProc::TransactSaving {
-                        v: val as i64 - 120, // often overdrafts (seeds ~100)
-                    }),
-                )
-            }
+/// One random transaction over the two tables (the old proptest strategy).
+fn random_txn(rng: &mut FastRng) -> Txn {
+    let mut rids: Vec<RecordId> = (0..1 + rng.below(3))
+        .map(|_| RecordId::new(rng.below(2) as u32, rng.below(ROWS)))
+        .collect();
+    rids.sort_unstable();
+    rids.dedup();
+    let val = rng.below(64);
+    match rng.below(6) {
+        0 => Txn::new(rids, vec![], Procedure::ReadOnly),
+        1 => Txn::new(vec![], rids, Procedure::BlindWrite { value: val }),
+        2 | 3 => Txn::new(
+            rids.clone(),
+            rids,
+            Procedure::ReadModifyWrite { delta: val + 1 },
+        ),
+        4 => {
+            // RMW with extra pure reads: writes = first rid only.
+            let w = vec![rids[0]];
+            Txn::new(rids, w, Procedure::ReadModifyWrite { delta: val + 1 })
         }
-    })
+        _ => {
+            // TransactSaving-style conditional abort on table 0.
+            let c = rids[0].row;
+            let sav = RecordId::new(0, c);
+            Txn::new(
+                vec![sav],
+                vec![sav],
+                Procedure::SmallBank(SmallBankProc::TransactSaving {
+                    v: val as i64 - 120, // often overdrafts (seeds ~100)
+                }),
+            )
+        }
+    }
+}
+
+fn random_mix(rng: &mut FastRng, max: u64) -> Vec<Txn> {
+    (0..1 + rng.below(max)).map(|_| random_txn(rng)).collect()
 }
 
 fn catalog_of(spec: &DatabaseSpec) -> CatalogSpec {
@@ -79,28 +95,20 @@ fn catalog_of(spec: &DatabaseSpec) -> CatalogSpec {
     c
 }
 
-// Fewer cases under dev profiles: the BOHM cases spin up real engine
-// thread pools and debug builds are ~20× slower per case.
-#[cfg(debug_assertions)]
-const CASES: u32 = 12;
-#[cfg(not(debug_assertions))]
-const CASES: u32 = 64;
-
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: CASES, ..ProptestConfig::default()
-    })]
-
-    #[test]
-    fn bohm_random_mix_is_log_order_serializable(
-        txns in proptest::collection::vec(txn_strategy(), 1..200),
-        batch in 1usize..64,
-        cc in 1usize..4,
-        exec in 1usize..4,
-    ) {
+#[test]
+fn bohm_random_mix_is_log_order_serializable() {
+    for case in 0..CASES {
+        let mut rng = FastRng::seed_from(0xB0B0 + case);
+        let txns = random_mix(&mut rng, 199);
+        let batch = 1 + rng.below(63) as usize;
+        let cc = 1 + rng.below(3) as usize;
+        let exec = 1 + rng.below(3) as usize;
         let spec = spec();
         let engine = Bohm::start(BohmConfig::with_threads(cc, exec), catalog_of(&spec));
-        let handles: Vec<_> = txns.chunks(batch).map(|c| engine.submit(c.to_vec())).collect();
+        let handles: Vec<_> = txns
+            .chunks(batch)
+            .map(|c| engine.submit(c.to_vec()))
+            .collect();
         let mut outcomes = Vec::new();
         for h in handles {
             outcomes.extend(h.outcomes().into_iter().map(|o| ExecOutcome {
@@ -111,22 +119,23 @@ proptest! {
         }
         let res = check_serial_equivalence(&spec, &txns, &outcomes, |rid| engine.read_u64(rid));
         engine.shutdown();
-        res.unwrap();
+        res.unwrap_or_else(|e| panic!("case {case} (batch={batch} cc={cc} exec={exec}): {e}"));
+    }
+}
+
+#[test]
+fn interactive_engines_match_oracle_single_worker() {
+    fn check<E: Engine>(engine: &E, spec: &DatabaseSpec, txns: &[Txn], case: u64) {
+        let mut w = engine.make_worker();
+        let outcomes: Vec<ExecOutcome> = txns.iter().map(|t| engine.execute(t, &mut w)).collect();
+        check_serial_equivalence(spec, txns, &outcomes, |rid| engine.read_u64(rid))
+            .unwrap_or_else(|e| panic!("{} case {case}: {e}", Engine::name(engine)));
     }
 
-    #[test]
-    fn interactive_engines_match_oracle_single_worker(
-        txns in proptest::collection::vec(txn_strategy(), 1..120),
-    ) {
+    for case in 0..CASES {
+        let mut rng = FastRng::seed_from(0x1A7E + case);
+        let txns = random_mix(&mut rng, 119);
         let spec = spec();
-
-        fn check<E: Engine>(engine: &E, spec: &DatabaseSpec, txns: &[Txn]) {
-            let mut w = engine.make_worker();
-            let outcomes: Vec<ExecOutcome> =
-                txns.iter().map(|t| engine.execute(t, &mut w)).collect();
-            check_serial_equivalence(spec, txns, &outcomes, |rid| engine.read_u64(rid))
-                .unwrap_or_else(|e| panic!("{}: {e}", engine.name()));
-        }
 
         let mk_sv = || {
             let mut b = bohm_suite::svstore::StoreBuilder::new();
@@ -136,8 +145,18 @@ proptest! {
             b.seed_u64(1, |r| 50 * r);
             b
         };
-        check(&bohm_suite::tpl::TwoPhaseLocking::from_builder(mk_sv()), &spec, &txns);
-        check(&bohm_suite::occ::SiloOcc::from_builder(mk_sv()), &spec, &txns);
+        check(
+            &bohm_suite::tpl::TwoPhaseLocking::from_builder(mk_sv()),
+            &spec,
+            &txns,
+            case,
+        );
+        check(
+            &bohm_suite::occ::SiloOcc::from_builder(mk_sv()),
+            &spec,
+            &txns,
+            case,
+        );
 
         let mk_hk = || {
             let s = bohm_suite::hekaton::HekatonStore::new(&[(ROWS, 8), (ROWS, 16)]);
@@ -145,19 +164,37 @@ proptest! {
             s.seed_u64(1, |r| 50 * r);
             s
         };
-        check(&bohm_suite::hekaton::Hekaton::serializable(mk_hk()), &spec, &txns);
-        check(&bohm_suite::hekaton::Hekaton::snapshot_isolation(mk_hk()), &spec, &txns);
+        check(
+            &bohm_suite::hekaton::Hekaton::serializable(mk_hk()),
+            &spec,
+            &txns,
+            case,
+        );
+        check(
+            &bohm_suite::hekaton::Hekaton::snapshot_isolation(mk_hk()),
+            &spec,
+            &txns,
+            case,
+        );
     }
+}
 
-    #[test]
-    fn lock_normalize_matches_model(
-        reqs in proptest::collection::vec((0u64..32, proptest::bool::ANY), 0..24),
-    ) {
+#[test]
+fn lock_normalize_matches_model() {
+    for case in 0..4 * CASES {
+        let mut rng = FastRng::seed_from(0x10C0 + case);
+        let reqs: Vec<(u64, bool)> = (0..rng.below(24))
+            .map(|_| (rng.below(32), rng.below(2) == 1))
+            .collect();
         let mut v: Vec<LockRequest> = reqs
             .iter()
             .map(|&(slot, ex)| LockRequest {
                 slot,
-                mode: if ex { LockMode::Exclusive } else { LockMode::Shared },
+                mode: if ex {
+                    LockMode::Exclusive
+                } else {
+                    LockMode::Shared
+                },
             })
             .collect();
         LockTable::normalize(&mut v);
@@ -173,13 +210,15 @@ proptest! {
             .into_iter()
             .map(|(slot, mode)| LockRequest { slot, mode })
             .collect();
-        prop_assert_eq!(v, want);
+        assert_eq!(v, want, "case {case}");
     }
+}
 
-    #[test]
-    fn oracle_is_deterministic(
-        txns in proptest::collection::vec(txn_strategy(), 1..60),
-    ) {
+#[test]
+fn oracle_is_deterministic() {
+    for case in 0..CASES {
+        let mut rng = FastRng::seed_from(0x0AC1E + case);
+        let txns = random_mix(&mut rng, 59);
         let spec1 = spec();
         let spec2 = spec();
         let mut o1 = SerialOracle::new(&spec1);
@@ -187,13 +226,13 @@ proptest! {
         for t in &txns {
             let a = o1.apply(t);
             let b = o2.apply(t);
-            prop_assert_eq!(a.committed, b.committed);
-            prop_assert_eq!(a.fingerprint, b.fingerprint);
+            assert_eq!(a.committed, b.committed, "case {case}");
+            assert_eq!(a.fingerprint, b.fingerprint, "case {case}");
         }
         for table in 0..2u32 {
             for row in 0..ROWS {
                 let rid = RecordId::new(table, row);
-                prop_assert_eq!(o1.read_u64(rid), o2.read_u64(rid));
+                assert_eq!(o1.read_u64(rid), o2.read_u64(rid), "case {case}");
             }
         }
     }

@@ -1,0 +1,60 @@
+//! TPC-C-lite: throughput vs. thread count on the insert-heavy
+//! NewOrder/Payment/OrderStatus mix (beyond the paper's evaluation — the
+//! only figure whose database *grows* while it runs).
+//!
+//! Expected shape: BOHM's insert path is the same placeholder machinery as
+//! its update path, so it should track its SmallBank profile; the
+//! single-version baselines pay a presence check per access; Hekaton/SI
+//! additionally validate absent reads, so the OrderStatus probes show up
+//! as (rare) validation aborts under contention.
+//!
+//! Two contention points: few warehouses (hot district counters — every
+//! NewOrder RMWs one of `warehouses × 10` counters) and many warehouses.
+
+use bohm_bench::engines::EngineKind;
+use bohm_bench::figure::measure;
+use bohm_bench::params::Params;
+use bohm_bench::report::{print_figure, Series};
+use bohm_workloads::tpcc::{TpccConfig, TpccGen};
+
+fn main() {
+    let p = Params::from_env();
+    let warehouse_counts: [(&str, u64); 2] = [
+        ("High Contention", 2),
+        ("Low Contention", if p.smoke { 4 } else { 16 }),
+    ];
+    for (name, warehouses) in warehouse_counts {
+        let name = format!("{name} ({warehouses} warehouses)");
+        let cfg = TpccConfig {
+            warehouses,
+            districts_per_warehouse: 10,
+            customers_per_district: 96,
+            order_capacity: if p.smoke { 1 << 14 } else { 1 << 18 },
+            order_stripes: 64,
+            think_us: 0,
+        };
+        let spec = cfg.spec();
+        let mut series = Vec::new();
+        for kind in EngineKind::ALL {
+            let mut points = Vec::new();
+            for &t in &p.thread_sweep {
+                let cfg2 = cfg.clone();
+                let st = measure(kind, &spec, t, p.secs, &move |i| {
+                    Box::new(TpccGen::new(cfg2.clone(), 7_000 + i as u64, i as u64))
+                });
+                points.push((t as f64, st.throughput()));
+                eprintln!(
+                    "{} warehouses={warehouses} t={t}: {:.0} txns/s (abort rate {:.1}%)",
+                    kind.name(),
+                    st.throughput(),
+                    st.abort_rate() * 100.0
+                );
+            }
+            series.push(Series {
+                label: kind.name().into(),
+                points,
+            });
+        }
+        print_figure(&format!("TPC-C-lite ({name})"), "threads", &series);
+    }
+}

@@ -62,10 +62,12 @@ impl EngineKind {
 }
 
 /// Build a BOHM engine preloaded from `spec` with the given thread split;
-/// the index-capacity hint is sized to the database.
+/// the index-capacity hint is sized to the database **capacity** (seeded
+/// rows plus insert headroom, so insert-heavy workloads keep load factor
+/// ≤ 1).
 pub fn build_bohm(spec: &DatabaseSpec, cc: usize, exec: usize) -> Bohm {
     let mut cfg = BohmConfig::with_threads(cc, exec);
-    cfg.index_capacity = (spec.total_rows() as usize).next_power_of_two();
+    cfg.index_capacity = (spec.total_capacity() as usize).next_power_of_two();
     build_bohm_with(spec, cfg)
 }
 
@@ -82,21 +84,23 @@ pub fn build_bohm_with(spec: &DatabaseSpec, cfg: BohmConfig) -> Bohm {
     Bohm::start(cfg, catalog)
 }
 
-/// Build a preloaded single-version store (OCC / 2PL substrate).
+/// Build a preloaded single-version store (OCC / 2PL substrate). Tables
+/// with insert headroom get absent spare slots after the seeded prefix.
 pub fn build_sv_store(spec: &DatabaseSpec) -> StoreBuilder {
     let mut b = StoreBuilder::new();
     for t in &spec.tables {
-        let id = b.add_table(t.rows as usize, t.record_size);
+        let id = b.add_table_with_spare(t.rows as usize, t.spare_rows as usize, t.record_size);
         b.seed_u64(id, t.seed);
     }
     b
 }
 
-/// Build a preloaded Hekaton store.
+/// Build a preloaded Hekaton store. Slots beyond the seeded prefix keep
+/// null heads — records that exist only once inserted.
 pub fn build_hekaton_store(spec: &DatabaseSpec) -> HekatonStore {
     let s = HekatonStore::new(&spec.shapes());
     for (i, t) in spec.tables.iter().enumerate() {
-        s.seed_u64(i as u32, t.seed);
+        s.seed_rows_u64(i as u32, t.rows, t.seed);
     }
     s
 }
@@ -156,6 +160,44 @@ impl AnyEngine {
         match self {
             AnyEngine::Bohm(b) => Some(b),
             _ => None,
+        }
+    }
+
+    /// Drive the engine through one session in submission order with a
+    /// bounded pipeline and collect per-transaction outcomes. One session
+    /// means submission order *is* the serialization order on BOHM (single
+    /// ingest stream), so the result is comparable against the serial
+    /// oracle transaction-for-transaction.
+    pub fn run_stream(&self, txns: &[Txn]) -> Vec<ExecOutcome> {
+        let mut session = self.open_session();
+        let mut outcomes = Vec::with_capacity(txns.len());
+        for t in txns {
+            session.submit(t.clone());
+            // Bounded pipeline: BOHM batches while order is preserved.
+            while session.in_flight() > 256 {
+                outcomes.push(session.reap());
+            }
+        }
+        while session.in_flight() > 0 {
+            outcomes.push(session.reap());
+        }
+        outcomes
+    }
+
+    /// Quiesce the engine so direct [`read_u64`](BatchEngine::read_u64)
+    /// state audits are race-free. The interactive engines are quiescent
+    /// between calls already; BOHM needs a barrier group submission
+    /// (`execute_sync` waits for batch retirement, which orders it after
+    /// every earlier batch). Uses a zero-delta RMW of table 0, row 0 — the
+    /// catalog's first table must have at least one seeded row.
+    pub fn quiesce(&self) {
+        if let AnyEngine::Bohm(b) = self {
+            let r = RecordId::new(0, 0);
+            b.execute_sync(vec![Txn::new(
+                vec![r],
+                vec![r],
+                bohm_common::Procedure::ReadModifyWrite { delta: 0 },
+            )]);
         }
     }
 }
@@ -236,6 +278,7 @@ mod tests {
     fn spec() -> DatabaseSpec {
         DatabaseSpec::new(vec![TableDef {
             rows: 32,
+            spare_rows: 0,
             record_size: 8,
             seed: |r| r,
         }])
@@ -269,6 +312,37 @@ mod tests {
     }
 
     #[test]
+    fn every_engine_inserts_through_the_facade() {
+        use bohm_workloads::TableDef;
+        let s = DatabaseSpec::new(vec![TableDef {
+            rows: 4,
+            spare_rows: 4,
+            record_size: 8,
+            seed: |r| r,
+        }]);
+        let fresh = RecordId::new(0, 6);
+        for kind in EngineKind::ALL {
+            let engine = kind.build(&s, 2);
+            assert_eq!(
+                engine.read_u64(fresh),
+                None,
+                "{}: spare slot must start absent",
+                kind.name()
+            );
+            let mut session = engine.open_session();
+            session.submit(Txn::new(
+                vec![],
+                vec![fresh],
+                bohm_common::Procedure::BlindWrite { value: 99 },
+            ));
+            assert!(session.reap().committed, "{}", kind.name());
+            engine.quiesce();
+            assert_eq!(engine.read_u64(fresh), Some(99), "{}", kind.name());
+            engine.shutdown();
+        }
+    }
+
+    #[test]
     fn every_engine_commits_through_the_facade() {
         let s = spec();
         let rid = RecordId::new(0, 3);
@@ -290,14 +364,7 @@ mod tests {
                 }
             }
             assert_eq!(committed, 10, "{}", kind.name());
-            // Quiesce BOHM before the direct read.
-            if let AnyEngine::Bohm(b) = &engine {
-                b.execute_sync(vec![Txn::new(
-                    vec![rid],
-                    vec![rid],
-                    bohm_common::Procedure::ReadModifyWrite { delta: 0 },
-                )]);
-            }
+            engine.quiesce();
             assert_eq!(engine.read_u64(rid), Some(3 + 20), "{}", kind.name());
             engine.shutdown();
         }

@@ -2,7 +2,9 @@
 //!
 //! Default runs keep every figure to seconds so `cargo bench --workspace`
 //! finishes quickly; `BOHM_BENCH_FULL=1` switches to paper-scale databases
-//! and longer measurement windows (used for EXPERIMENTS.md numbers).
+//! and longer measurement windows (used for EXPERIMENTS.md numbers), and
+//! `BOHM_BENCH_SMOKE=1` shrinks everything to a CI-sized smoke test that
+//! only proves the figure path still runs.
 
 use std::time::Duration;
 
@@ -10,6 +12,8 @@ use std::time::Duration;
 pub struct Params {
     /// Paper-scale run?
     pub full: bool,
+    /// CI smoke run (one tiny data point per series)?
+    pub smoke: bool,
     /// YCSB / microbenchmark table size (paper: 1,000,000).
     pub ycsb_records: u64,
     /// YCSB record payload bytes (paper: 1,000).
@@ -30,11 +34,16 @@ impl Params {
         let full = std::env::var("BOHM_BENCH_FULL")
             .map(|v| v != "0")
             .unwrap_or(false);
+        let smoke = std::env::var("BOHM_BENCH_SMOKE")
+            .map(|v| v != "0")
+            .unwrap_or(false);
         let cores = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(8);
         let max_threads = cores.min(if full { 64 } else { 16 });
-        let thread_sweep = if full {
+        let thread_sweep = if smoke {
+            vec![2]
+        } else if full {
             let mut v = vec![2, 4];
             let mut t = 8;
             while t <= max_threads {
@@ -58,13 +67,26 @@ impl Params {
         };
         Self {
             full,
-            ycsb_records: if full { 1_000_000 } else { 200_000 },
+            smoke,
+            ycsb_records: if full {
+                1_000_000
+            } else if smoke {
+                20_000
+            } else {
+                200_000
+            },
             ycsb_record_size: 1_000,
             // The read-only transaction *length* is the crux of Figs. 8/9
             // (reader lock-hold times / wasted validation); keep the paper's
             // 10,000 reads even in quick mode.
-            read_only_len: 10_000,
-            secs: Duration::from_millis(if full { 3_000 } else { 600 }),
+            read_only_len: if smoke { 1_000 } else { 10_000 },
+            secs: Duration::from_millis(if full {
+                3_000
+            } else if smoke {
+                150
+            } else {
+                600
+            }),
             thread_sweep,
             max_threads,
         }
@@ -80,6 +102,7 @@ mod tests {
         // (Does not read the env var to stay hermetic.)
         let p = Params {
             full: false,
+            smoke: false,
             ycsb_records: 200_000,
             ycsb_record_size: 1000,
             read_only_len: 2000,

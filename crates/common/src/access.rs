@@ -47,7 +47,24 @@ pub trait Access {
     /// Read the current (engine-visible) value of read-set entry `idx` and
     /// hand it to `out`. The callback style lets engines expose borrowed
     /// storage without copying.
+    ///
+    /// Panics if the record does not exist at the transaction's snapshot —
+    /// procedures that tolerate absence use [`read_maybe`](Self::read_maybe).
     fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason>;
+
+    /// Absence-tolerant read of read-set entry `idx`.
+    ///
+    /// Returns `Ok(true)` and calls `out` with the payload if the record
+    /// exists at the transaction's snapshot, `Ok(false)` (without calling
+    /// `out`) if it does not — a key never inserted, not yet inserted at
+    /// this transaction's position in the serial order, or deleted. Engines
+    /// that support record insertion override this; absent reads
+    /// participate in concurrency control exactly like present ones (they
+    /// must be validated/serialized so that "absent" is the answer *some*
+    /// serial order gives).
+    fn read_maybe(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<bool, AbortReason> {
+        self.read(idx, out).map(|()| true)
+    }
 
     /// Write `data` as the new value of write-set entry `idx`. `data` must
     /// be exactly the record's size (engines enforce this).
@@ -96,6 +113,18 @@ mod tests {
             rows: vec![crate::value::of_u64(99, 16).to_vec()],
         };
         assert_eq!(a.read_u64(0).unwrap(), 99);
+    }
+
+    #[test]
+    fn read_maybe_defaults_to_present() {
+        let mut a = VecAccess {
+            rows: vec![crate::value::of_u64(7, 8).to_vec()],
+        };
+        let mut seen = 0;
+        assert!(a
+            .read_maybe(0, &mut |b| seen = crate::value::get_u64(b, 0))
+            .unwrap());
+        assert_eq!(seen, 7);
     }
 
     #[test]

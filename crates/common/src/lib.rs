@@ -27,7 +27,7 @@ pub mod value;
 pub mod zipf;
 
 pub use access::{AbortReason, Access};
-pub use procedures::{execute_procedure, Procedure, SmallBankProc};
+pub use procedures::{execute_procedure, Procedure, SmallBankProc, TpcCProc, ABSENT_FINGERPRINT};
 pub use txn::Txn;
 pub use types::{RecordId, TableId, Timestamp, TxnId, INFINITY_TS};
 pub use value::Value;

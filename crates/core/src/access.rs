@@ -34,8 +34,16 @@ pub(crate) struct BohmAccess<'a> {
 }
 
 impl BohmAccess<'_> {
-    /// Resolve read-set entry `idx` to its version.
-    fn version_for_read(&self, idx: usize) -> &Version {
+    /// Resolve read-set entry `idx` to its version, or `None` if the record
+    /// does not exist at this transaction's timestamp.
+    ///
+    /// The annotation slot is null when CC found the key absent from the
+    /// index (or annotations are off / the read set was too large). The
+    /// fallback re-probe filters by `ts`, so a key inserted by a *later*
+    /// transaction — whose chain and placeholder may well exist by now,
+    /// installed between CC time and execution — correctly reads as absent
+    /// rather than as that later version.
+    fn version_for_read(&self, idx: usize) -> Option<&Version> {
         // Large read sets carry no annotation slots (BohmConfig::
         // annotate_max_reads): go straight to traversal.
         let ptr = if self.t.read_refs.is_empty() {
@@ -46,40 +54,45 @@ impl BohmAccess<'_> {
         if !ptr.is_null() {
             // SAFETY: annotation pointers stay valid until Condition-3 GC,
             // which cannot pass this transaction's batch before it executes.
-            return unsafe { &*ptr };
+            return Some(unsafe { &*ptr });
         }
         // Fallback traversal (annotations disabled, or record not yet
         // present at CC time).
         let rid = self.t.txn.reads[idx];
-        let chain = self
-            .index
-            .get(rid)
-            .unwrap_or_else(|| panic!("read of unknown record {rid}"));
-        chain
-            .visible(self.t.ts, self.guard)
-            .unwrap_or_else(|| panic!("record {rid} does not exist at ts {}", self.t.ts))
+        self.index.get(rid)?.visible(self.t.ts, self.guard)
     }
 }
 
 impl Access for BohmAccess<'_> {
     fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
-        let v = self.version_for_read(idx);
+        if !self.read_maybe(idx, out)? {
+            panic!(
+                "read of unknown record {} at ts {}",
+                self.t.txn.reads[idx], self.t.ts
+            );
+        }
+        Ok(())
+    }
+
+    fn read_maybe(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<bool, AbortReason> {
+        let Some(v) = self.version_for_read(idx) else {
+            return Ok(false);
+        };
         if !v.is_resolved() {
             // Block on the producer (paper: "the read must block until the
-            // write is performed" — realized as recursive evaluation).
+            // write is performed" — realized as recursive evaluation). This
+            // covers tombstones-to-be as well: an aborted fresh insert only
+            // becomes a tombstone once its producer is copied through.
             return Err(AbortReason::NotReady(v.begin()));
         }
         match v.state() {
             VersionState::Ready => {
                 out(v.data());
-                Ok(())
+                Ok(true)
             }
-            VersionState::Tombstone => {
-                panic!(
-                    "read of deleted record {} at ts {}",
-                    self.t.txn.reads[idx], self.t.ts
-                )
-            }
+            // A tombstone is committed absence (deleted record, or the
+            // copy-through of an aborted fresh insert).
+            VersionState::Tombstone => Ok(false),
             VersionState::Pending => unreachable!("checked above"),
         }
     }

@@ -97,6 +97,12 @@ pub(crate) fn process_batch(inner: &Inner, me: usize, batch: &Batch, probe_tick:
                 }
             } else if annotate {
                 let ri = e.idx();
+                // A key absent from the index at CC time (a record nobody
+                // has inserted yet, in timestamp order up to this txn)
+                // leaves the annotation slot null on purpose: the executor
+                // falls back to a ts-filtered re-probe, which reports
+                // "absent" even if a later transaction's placeholder has
+                // appeared on the chain by then (see `BohmAccess`).
                 if let Some(chain) = inner.index.get(t.txn.reads[ri]) {
                     if let Some(v) = chain.latest(&guard) {
                         t.read_refs[ri]

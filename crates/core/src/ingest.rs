@@ -120,6 +120,14 @@ impl IngestTx {
         }
     }
 
+    /// Test hook: wake the receiver without enqueueing anything, emulating
+    /// a spurious condvar wakeup deterministically.
+    #[cfg(test)]
+    pub fn spurious_wake(&self) {
+        let _guard = self.shared.state.lock();
+        self.shared.not_empty.notify_all();
+    }
+
     /// Stop accepting submissions; the sequencer drains what is queued and
     /// exits. Idempotent.
     pub fn close(&self) {
@@ -150,7 +158,12 @@ impl IngestRx {
             match deadline {
                 None => self.shared.not_empty.wait(&mut st),
                 Some(d) => {
-                    if self.shared.not_empty.wait_until(&mut st, d).timed_out() {
+                    // Re-check the clock before re-arming: a spurious (or
+                    // data-less) wakeup near the deadline must not start
+                    // another full wait and overshoot the linger.
+                    if Instant::now() >= d
+                        || self.shared.not_empty.wait_until(&mut st, d).timed_out()
+                    {
                         return RecvOutcome::TimedOut;
                     }
                 }
@@ -311,6 +324,41 @@ mod tests {
             panic!("expected timeout")
         };
         assert!(t0.elapsed() >= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn linger_deadline_holds_under_spurious_wakeups() {
+        // Regression: a wakeup that delivers no data must not re-arm a full
+        // wait past the deadline. A hammering notifier emulates spurious
+        // wakeups; the receiver must still time out close to the deadline.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let (tx, rx) = ingest_queue(4);
+        let stop = Arc::new(AtomicBool::new(false));
+        let hammer = {
+            let (tx, stop) = (tx.clone(), Arc::clone(&stop));
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    tx.spurious_wake();
+                    std::thread::yield_now();
+                }
+            })
+        };
+        let linger = Duration::from_millis(40);
+        let t0 = Instant::now();
+        let RecvOutcome::TimedOut = rx.recv_deadline(Some(t0 + linger)) else {
+            panic!("expected timeout")
+        };
+        let elapsed = t0.elapsed();
+        stop.store(true, Ordering::Relaxed);
+        hammer.join().unwrap();
+        assert!(
+            elapsed >= Duration::from_millis(35),
+            "woke early: {elapsed:?}"
+        );
+        assert!(
+            elapsed < linger + Duration::from_millis(250),
+            "linger overshot under spurious wakes: {elapsed:?}"
+        );
     }
 
     #[test]

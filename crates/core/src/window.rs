@@ -40,7 +40,6 @@ use crossbeam_utils::Backoff;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
 
 pub(crate) struct Window {
     slots: Box<[AtomicPtr<Batch>]>,
@@ -82,11 +81,13 @@ impl Window {
                 break;
             }
             if backoff.is_completed() {
-                // Park until a retire signals; the timeout re-checks to
-                // stay robust against wake-up races.
+                // Park until a retire signals. The final slot re-check
+                // happens *under* the vacancy lock and `retire` notifies
+                // while holding it, so the wakeup cannot slip between the
+                // check and the wait — no timeout crutch needed.
                 let mut g = self.vacancy.lock();
                 while !slot.load(Ordering::Acquire).is_null() {
-                    self.vacated.wait_for(&mut g, Duration::from_millis(10));
+                    self.vacated.wait(&mut g);
                 }
                 break;
             }
@@ -112,8 +113,12 @@ impl Window {
             guard.defer_unchecked(move || drop(Arc::from_raw(ptr)));
         }
         drop(guard);
-        // Wake a sequencer parked on the full ring.
-        drop(self.vacancy.lock());
+        // Wake a sequencer parked on the full ring. Signalling while the
+        // vacancy lock is held pairs with `push`'s locked re-check: either
+        // the pusher sees the nulled slot, or it is already waiting and
+        // receives this notification — a wakeup can't be lost between its
+        // check and its wait.
+        let _g = self.vacancy.lock();
         self.vacated.notify_all();
     }
 
@@ -176,6 +181,7 @@ impl Drop for Window {
 mod tests {
     use super::*;
     use crate::batch::tests::hooked;
+    use std::time::Duration;
 
     const STRIDE: u64 = 10;
 
@@ -245,6 +251,46 @@ mod tests {
         t.join().unwrap();
         assert!(pushed.load(O::SeqCst));
         assert_eq!(w.lookup(41).unwrap().id, 4);
+    }
+
+    #[test]
+    fn push_park_wakeup_has_no_lost_wakeup_window() {
+        // Regression for the park-path race: with a minimal ring and a
+        // retirer that frees slots at arbitrary points relative to the
+        // pusher's park decision, every push must eventually complete. A
+        // lost wakeup would deadlock this test (the old code masked it
+        // with a 10 ms poll; there is no timeout to hide behind now).
+        use std::sync::atomic::{AtomicU64, Ordering as O};
+        const BATCHES: u64 = 3_000;
+        let w = Arc::new(Window::new(2, STRIDE));
+        let highest_pushed = Arc::new(AtomicU64::new(0));
+        let retirer = {
+            let w = Arc::clone(&w);
+            let hi = Arc::clone(&highest_pushed);
+            std::thread::spawn(move || {
+                let backoff = Backoff::new();
+                for id in 0..BATCHES {
+                    while hi.load(O::Acquire) < id + 1 {
+                        backoff.snooze();
+                    }
+                    // Vary the retire timing so it lands before, during and
+                    // after the pusher's spin→park transition.
+                    if id % 7 == 0 {
+                        std::thread::yield_now();
+                    }
+                    for _ in 0..(id % 64) * 32 {
+                        std::hint::spin_loop();
+                    }
+                    w.retire(id);
+                }
+            })
+        };
+        for id in 0..BATCHES {
+            w.push(mk_batch(id, 1)); // capacity 2: parks constantly
+            highest_pushed.store(id + 1, O::Release);
+        }
+        retirer.join().unwrap();
+        assert_eq!(w.len(), 0);
     }
 
     #[test]

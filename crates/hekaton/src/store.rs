@@ -41,8 +41,16 @@ impl HekatonStore {
     /// Preload every row of `table` with `seed(row)` as a committed version
     /// at timestamp 0. Call before sharing the store.
     pub fn seed_u64(&self, table: u32, seed: impl Fn(u64) -> u64) {
+        self.seed_rows_u64(table, self.tables[table as usize].heads.len() as u64, seed);
+    }
+
+    /// Preload only the first `rows` rows of `table`; the remaining slots
+    /// keep their null heads — records that do not exist until a
+    /// transaction inserts them (tables declared with insert headroom).
+    pub fn seed_rows_u64(&self, table: u32, rows: u64, seed: impl Fn(u64) -> u64) {
         let t = &self.tables[table as usize];
-        for row in 0..t.heads.len() {
+        assert!(rows as usize <= t.heads.len(), "seed beyond capacity");
+        for row in 0..rows as usize {
             let data = bohm_common::value::of_u64(seed(row as u64), t.record_size);
             let v = Box::into_raw(Box::new(HkVersion::committed(0, data)));
             t.heads[row].store(v, Ordering::Release);
@@ -80,6 +88,26 @@ impl HekatonStore {
                 return;
             }
         }
+    }
+
+    /// Compare-and-swap `nv` in as the chain head of `rid`, expecting the
+    /// head to still be `expected` (which becomes `nv`'s predecessor).
+    /// The record-insert path uses this instead of [`push`](Self::push):
+    /// an insert is only legal while the chain holds no live version, so
+    /// the head observed during that check must still be in place when the
+    /// new version is published. Returns whether the CAS won; on failure
+    /// `nv` is untouched and still exclusively owned by the caller.
+    pub(crate) fn try_push(
+        &self,
+        rid: RecordId,
+        expected: *mut HkVersion,
+        nv: *mut HkVersion,
+    ) -> bool {
+        let head = self.head(rid);
+        // SAFETY: nv is exclusively ours until the CAS succeeds.
+        unsafe { (*nv).prev.store(expected, Ordering::Relaxed) };
+        head.compare_exchange(expected, nv, Ordering::Release, Ordering::Relaxed)
+            .is_ok()
     }
 
     /// Number of versions in a record's chain (diagnostics; racy).

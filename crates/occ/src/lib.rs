@@ -97,13 +97,24 @@ struct OccAccess<'a> {
 
 impl Access for OccAccess<'_> {
     fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
+        if !self.read_maybe(idx, out)? {
+            panic!("read of unknown record {}", self.txn.reads[idx]);
+        }
+        Ok(())
+    }
+
+    fn read_maybe(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<bool, AbortReason> {
         let rid = self.txn.reads[idx];
         // Read-own-write: serve from the write buffer.
         if let Some(e) = self.w.wentries.iter().find(|e| e.rid == rid) {
             out(&self.w.wbuf[e.off..e.off + e.len]);
-            return Ok(());
+            return Ok(true);
         }
-        // Stable read: TID / payload / TID.
+        // Stable read: TID / payload+presence / TID. An absent slot is read
+        // exactly like a record: its observation is recorded against the
+        // slot's TID word, so a concurrent insert (which bumps the TID at
+        // commit) invalidates us — "absent" is a validated fact, not a
+        // racy glance.
         let meta = self.eng.meta(rid);
         let table = self.eng.store.table(rid);
         loop {
@@ -112,20 +123,25 @@ impl Access for OccAccess<'_> {
                 std::hint::spin_loop();
                 continue;
             }
+            let present = table.is_present(rid.row as usize);
             self.w.read_buf.clear();
-            // SAFETY: payload may be racing with a writer; the TID re-check
-            // below rejects torn reads (Silo's documented protocol).
-            unsafe {
-                table.read(rid.row as usize, &mut |b| {
-                    self.w.read_buf.extend_from_slice(b)
-                })
-            };
+            if present {
+                // SAFETY: payload may be racing with a writer; the TID
+                // re-check below rejects torn reads (Silo's protocol).
+                unsafe {
+                    table.read(rid.row as usize, &mut |b| {
+                        self.w.read_buf.extend_from_slice(b)
+                    })
+                };
+            }
             fence(Ordering::Acquire);
             let t2 = meta.load(Ordering::Acquire);
             if t1 == t2 {
                 self.w.reads.push((rid, t1));
-                out(&self.w.read_buf);
-                return Ok(());
+                if present {
+                    out(&self.w.read_buf);
+                }
+                return Ok(present);
             }
         }
     }
@@ -209,16 +225,17 @@ impl SiloOcc {
             tid = tid.max(t);
         }
         let tid = (tid + 1) & !LOCK;
-        // Phase 3: apply writes, unlock by publishing the new TID.
+        // Phase 3: apply writes, unlock by publishing the new TID. A write
+        // to a reserved (absent) slot is the insert: the presence flag goes
+        // up before the TID release-store, so any reader that validated
+        // "absent" against the old TID is invalidated by this commit.
         for (k, &i) in w.lock_order.iter().enumerate() {
             let e = &w.wentries[i];
             let _ = locked_tids[k];
+            let table = self.store.table(e.rid);
             // SAFETY: we hold the record's TID lock.
-            unsafe {
-                self.store
-                    .table(e.rid)
-                    .write(e.rid.row as usize, &w.wbuf[e.off..e.off + e.len])
-            };
+            unsafe { table.write(e.rid.row as usize, &w.wbuf[e.off..e.off + e.len]) };
+            table.mark_present(e.rid.row as usize);
             self.meta(e.rid).store(tid, Ordering::Release);
         }
         w.last_tid = tid;
@@ -299,13 +316,14 @@ impl Engine for SiloOcc {
     }
 
     fn read_u64(&self, rid: RecordId) -> Option<u64> {
-        if (rid.row as usize) >= self.store.table(rid).rows() {
+        let table = self.store.table(rid);
+        if (rid.row as usize) >= table.rows() || !table.is_present(rid.row as usize) {
             return None;
         }
         let mut v = 0;
         // SAFETY: verification hook; caller guarantees quiescence.
         unsafe {
-            self.store.table(rid).read(rid.row as usize, &mut |b| {
+            table.read(rid.row as usize, &mut |b| {
                 v = bohm_common::value::get_u64(b, 0)
             });
         }
@@ -429,6 +447,67 @@ mod tests {
         }
         let total: u64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert_eq!(total, 0, "disjoint write sets must never conflict");
+    }
+
+    #[test]
+    fn insert_into_spare_slot_becomes_visible() {
+        let mut b = StoreBuilder::new();
+        b.add_table_with_spare(2, 2, 8);
+        b.seed_u64(0, |r| r);
+        let e = SiloOcc::from_builder(b);
+        let mut w = e.make_worker();
+        let fresh = RecordId::new(0, 2);
+        assert_eq!(e.read_u64(fresh), None, "spare slot starts absent");
+        let t = Txn::new(vec![], vec![fresh], Procedure::BlindWrite { value: 7 });
+        assert!(e.execute(&t, &mut w).committed);
+        assert_eq!(e.read_u64(fresh), Some(7));
+        assert_eq!(e.store().row_count(0), 3);
+    }
+
+    #[test]
+    fn absent_read_fingerprint_then_insert_then_present() {
+        use bohm_common::{TpcCProc, ABSENT_FINGERPRINT};
+        let mut b = StoreBuilder::new();
+        b.add_table(1, 8);
+        b.add_table_with_spare(0, 2, 8);
+        b.seed_u64(0, |_| 5);
+        let e = SiloOcc::from_builder(b);
+        let mut w = e.make_worker();
+        let order = RecordId::new(1, 0);
+        let status = Txn::new(
+            vec![RecordId::new(0, 0), order],
+            vec![],
+            Procedure::TpcC(TpcCProc::OrderStatus),
+        );
+        let absent_fp = 5u64.wrapping_mul(31).wrapping_add(ABSENT_FINGERPRINT);
+        assert_eq!(e.execute(&status, &mut w).fingerprint, absent_fp);
+        let ins = Txn::new(vec![], vec![order], Procedure::BlindWrite { value: 1 });
+        assert!(e.execute(&ins, &mut w).committed);
+        let fp_after = e.execute(&status, &mut w).fingerprint;
+        assert_ne!(fp_after, absent_fp, "insert must change the probe");
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        let mut b = StoreBuilder::new();
+        b.add_table_with_spare(0, 64, 8);
+        let e = Arc::new(SiloOcc::from_builder(b));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let e = Arc::clone(&e);
+            handles.push(std::thread::spawn(move || {
+                let mut w = e.make_worker();
+                for i in 0..8u64 {
+                    let rid = RecordId::new(0, t * 8 + i);
+                    let txn = Txn::new(vec![], vec![rid], Procedure::BlindWrite { value: 100 + t });
+                    assert!(e.execute(&txn, &mut w).committed);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(e.store().row_count(0), 64);
     }
 
     #[test]

@@ -1,18 +1,28 @@
 //! One table: a contiguous slab of fixed-size records plus metadata words.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
-/// A fixed-size table of `rows` records, each `record_size` bytes, with one
-/// atomic metadata word per record.
+/// A fixed-capacity table of `rows` record slots, each `record_size` bytes,
+/// with one atomic metadata word per record.
+///
+/// Slots beyond the seeded prefix start **absent**: they have storage and a
+/// lock/TID slot but no record, and come into existence when a committing
+/// transaction inserts them ([`mark_present`](Self::mark_present)). This is
+/// how the single-version substrate supports record insertion without
+/// dynamic allocation — capacity is declared up front, like the paper's
+/// fixed-size array indexes.
 ///
 /// Layout notes: metadata words live in their own array so that OCC readers
 /// validating TIDs do not drag record payload cache lines, and record
-/// payloads are contiguous for scan locality.
+/// payloads are contiguous for scan locality. Presence flags are likewise
+/// their own array (they are read on every access of insert-capable
+/// tables).
 pub struct Table {
     rows: usize,
     record_size: usize,
     meta: Box<[AtomicU64]>,
+    present: Box<[AtomicU8]>,
     data: Box<[UnsafeCell<u8>]>,
 }
 
@@ -23,18 +33,55 @@ unsafe impl Send for Table {}
 unsafe impl Sync for Table {}
 
 impl Table {
-    /// Allocate a zero-initialized table.
+    /// Allocate a zero-initialized table whose every row exists (the
+    /// static-key workloads).
     pub fn new(rows: usize, record_size: usize) -> Self {
+        Self::with_headroom(rows, 0, record_size)
+    }
+
+    /// Allocate a table of `seeded + spare` slots where only the first
+    /// `seeded` rows exist; the rest await insertion.
+    pub fn with_headroom(seeded: usize, spare: usize, record_size: usize) -> Self {
         assert!(record_size >= 8, "records carry at least a u64 payload");
+        let rows = seeded + spare;
         let mut meta = Vec::with_capacity(rows);
         meta.resize_with(rows, || AtomicU64::new(0));
+        let mut present = Vec::with_capacity(rows);
+        present.resize_with(rows, || AtomicU8::new(0));
+        for p in present.iter().take(seeded) {
+            p.store(1, Ordering::Relaxed);
+        }
         let mut data = Vec::with_capacity(rows * record_size);
         data.resize_with(rows * record_size, || UnsafeCell::new(0));
         Self {
             rows,
             record_size,
             meta: meta.into_boxed_slice(),
+            present: present.into_boxed_slice(),
             data: data.into_boxed_slice(),
+        }
+    }
+
+    /// Does row `row` currently hold a record? Absent slots are reserved
+    /// capacity that no committed transaction has inserted yet.
+    #[inline]
+    pub fn is_present(&self, row: usize) -> bool {
+        self.present[row].load(Ordering::Acquire) != 0
+    }
+
+    /// Bring row `row` into existence. Callers hold the same exclusivity
+    /// the engines require for [`write`](Self::write) (2PL exclusive lock /
+    /// OCC TID lock bit), and publish afterwards through their own
+    /// release edge (lock release or TID store) — concurrent readers that
+    /// race this flag re-validate exactly like they do payload bytes.
+    ///
+    /// Already-present rows are left untouched: the write hot path of the
+    /// static-key workloads must not dirty the packed flag array's cache
+    /// line (readers of ~64 neighbouring rows share it via `is_present`).
+    #[inline]
+    pub fn mark_present(&self, row: usize) {
+        if self.present[row].load(Ordering::Relaxed) == 0 {
+            self.present[row].store(1, Ordering::Release);
         }
     }
 
@@ -141,6 +188,25 @@ mod tests {
     fn bounds_checked() {
         let t = Table::new(2, 8);
         unsafe { t.read(2, &mut |_| {}) };
+    }
+
+    #[test]
+    fn headroom_rows_start_absent_until_marked() {
+        let t = Table::with_headroom(2, 3, 8);
+        assert_eq!(t.rows(), 5);
+        assert!(t.is_present(0) && t.is_present(1));
+        for row in 2..5 {
+            assert!(!t.is_present(row), "spare row {row} must start absent");
+        }
+        t.mark_present(3);
+        assert!(t.is_present(3));
+        assert!(!t.is_present(2) && !t.is_present(4));
+    }
+
+    #[test]
+    fn plain_tables_are_fully_present() {
+        let t = Table::new(3, 8);
+        assert!((0..3).all(|r| t.is_present(r)));
     }
 
     #[test]

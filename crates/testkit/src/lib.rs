@@ -7,19 +7,29 @@
 //! same transactions one at a time on a plain in-memory store; comparing
 //! final states and per-transaction outcomes against it is how the
 //! integration and property tests validate the engines.
+//!
+//! The oracle models the full record lifecycle: tables have a seeded
+//! prefix plus absent headroom slots ([`TableDef::spare_rows`]); a write
+//! to an absent slot is an insert, reads of absent slots succeed through
+//! [`Access::read_maybe`], and [`row_count`](SerialOracle::row_count)
+//! exposes how many records exist — so equivalence checks validate
+//! inserted rows, not just updated ones.
 
 use bohm_common::engine::ExecOutcome;
 use bohm_common::{AbortReason, Access, RecordId, Txn};
-use bohm_workloads::DatabaseSpec;
+use bohm_workloads::{DatabaseSpec, TableDef};
 
 /// A trivially-correct single-threaded executor.
 pub struct SerialOracle {
-    tables: Vec<Vec<Box<[u8]>>>,
+    /// `None` = slot reserved but absent (never inserted / headroom).
+    tables: Vec<Vec<Option<Box<[u8]>>>>,
+    record_sizes: Vec<usize>,
     scratch: Vec<u8>,
 }
 
 struct OracleAccess<'a> {
-    tables: &'a Vec<Vec<Box<[u8]>>>,
+    tables: &'a Vec<Vec<Option<Box<[u8]>>>>,
+    record_sizes: &'a [usize],
     txn: &'a Txn,
     /// Buffered writes, applied only on commit (keeps the oracle correct
     /// even for procedures that violate the abort-before-write contract).
@@ -28,20 +38,32 @@ struct OracleAccess<'a> {
 
 impl Access for OracleAccess<'_> {
     fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
+        if !self.read_maybe(idx, out)? {
+            panic!("read of unknown record {}", self.txn.reads[idx]);
+        }
+        Ok(())
+    }
+
+    fn read_maybe(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<bool, AbortReason> {
         let rid = self.txn.reads[idx];
         if let Some((_, data)) = self.pending.iter().rev().find(|(r, _)| *r == rid) {
             out(data);
-            return Ok(());
+            return Ok(true);
         }
-        out(&self.tables[rid.table.index()][rid.row as usize]);
-        Ok(())
+        match &self.tables[rid.table.index()][rid.row as usize] {
+            Some(data) => {
+                out(data);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
     }
 
     fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason> {
         let rid = self.txn.writes[idx];
         assert_eq!(
             data.len(),
-            self.tables[rid.table.index()][rid.row as usize].len(),
+            self.record_sizes[rid.table.index()],
             "payload must be record-sized"
         );
         self.pending.push((rid, data.into()));
@@ -49,8 +71,7 @@ impl Access for OracleAccess<'_> {
     }
 
     fn write_len(&mut self, idx: usize) -> usize {
-        let rid = self.txn.writes[idx];
-        self.tables[rid.table.index()][rid.row as usize].len()
+        self.record_sizes[self.txn.writes[idx].table.index()]
     }
 }
 
@@ -60,13 +81,17 @@ impl SerialOracle {
             .tables
             .iter()
             .map(|t| {
-                (0..t.rows)
-                    .map(|row| bohm_common::value::of_u64((t.seed)(row), t.record_size))
+                (0..t.capacity())
+                    .map(|row| {
+                        (row < t.rows)
+                            .then(|| bohm_common::value::of_u64((t.seed)(row), t.record_size))
+                    })
                     .collect()
             })
             .collect();
         Self {
             tables,
+            record_sizes: spec.tables.iter().map(|t| t.record_size).collect(),
             scratch: Vec::new(),
         }
     }
@@ -76,6 +101,7 @@ impl SerialOracle {
     pub fn apply(&mut self, txn: &Txn) -> ExecOutcome {
         let mut access = OracleAccess {
             tables: &self.tables,
+            record_sizes: &self.record_sizes,
             txn,
             pending: Vec::new(),
         };
@@ -89,7 +115,8 @@ impl SerialOracle {
             Ok(fp) => {
                 let pending = access.pending;
                 for (rid, data) in pending {
-                    self.tables[rid.table.index()][rid.row as usize] = data;
+                    // A write to an absent slot is the record's insert.
+                    self.tables[rid.table.index()][rid.row as usize] = Some(data);
                 }
                 ExecOutcome {
                     committed: true,
@@ -106,18 +133,26 @@ impl SerialOracle {
         }
     }
 
-    /// Current `u64` prefix of a record.
-    pub fn read_u64(&self, rid: RecordId) -> u64 {
-        bohm_common::value::get_u64(&self.tables[rid.table.index()][rid.row as usize], 0)
+    /// Current `u64` prefix of a record; `None` while the record is absent.
+    pub fn read_u64(&self, rid: RecordId) -> Option<u64> {
+        self.tables[rid.table.index()][rid.row as usize]
+            .as_deref()
+            .map(|d| bohm_common::value::get_u64(d, 0))
     }
 
-    /// Raw record bytes.
-    pub fn read_record(&self, rid: RecordId) -> &[u8] {
-        &self.tables[rid.table.index()][rid.row as usize]
+    /// Raw record bytes, if the record exists.
+    pub fn read_record(&self, rid: RecordId) -> Option<&[u8]> {
+        self.tables[rid.table.index()][rid.row as usize].as_deref()
     }
 
+    /// Slot capacity of a table (seeded rows + insert headroom).
     pub fn table_rows(&self, table: usize) -> u64 {
         self.tables[table].len() as u64
+    }
+
+    /// Number of records that exist in `table` (seeded + inserted).
+    pub fn row_count(&self, table: usize) -> u64 {
+        self.tables[table].iter().filter(|r| r.is_some()).count() as u64
     }
 }
 
@@ -125,7 +160,10 @@ impl SerialOracle {
 /// per-transaction outcomes and final state.
 ///
 /// `read_final` exposes the engine's committed value of each record after
-/// the run. Returns a description of the first divergence, if any.
+/// the run — `None` for records the engine considers absent, which must
+/// agree with the oracle slot-for-slot across the full capacity (so both
+/// missing inserts and phantom inserts are caught). Returns a description
+/// of the first divergence, if any.
 pub fn check_serial_equivalence(
     spec: &DatabaseSpec,
     txns: &[Txn],
@@ -155,31 +193,51 @@ pub fn check_serial_equivalence(
         }
     }
     for (tid, tdef) in spec.tables.iter().enumerate() {
-        for row in 0..tdef.rows {
+        for row in 0..tdef.capacity() {
             let rid = RecordId::new(tid as u32, row);
             let want = oracle.read_u64(rid);
-            match read_final(rid) {
-                Some(got) if got == want => {}
-                got => {
-                    return Err(format!(
-                        "final state diverges at {rid}: engine {got:?}, serial {want}"
-                    ))
-                }
+            let got = read_final(rid);
+            if got != want {
+                return Err(format!(
+                    "final state diverges at {rid}: engine {got:?}, serial {want:?}"
+                ));
             }
         }
     }
     Ok(())
 }
 
+/// Count the records an engine exposes in `table` by probing every slot of
+/// the declared capacity through its quiescent read hook.
+pub fn engine_row_count(
+    tdef: &TableDef,
+    table: u32,
+    read: impl Fn(RecordId) -> Option<u64>,
+) -> u64 {
+    (0..tdef.capacity())
+        .filter(|&row| read(RecordId::new(table, row)).is_some())
+        .count() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use bohm_common::{Procedure, SmallBankProc};
+    use bohm_common::{Procedure, SmallBankProc, TpcCProc, ABSENT_FINGERPRINT};
     use bohm_workloads::TableDef;
 
     fn spec() -> DatabaseSpec {
         DatabaseSpec::new(vec![TableDef {
             rows: 4,
+            spare_rows: 0,
+            record_size: 8,
+            seed: |r| r * 100,
+        }])
+    }
+
+    fn spec_with_headroom() -> DatabaseSpec {
+        DatabaseSpec::new(vec![TableDef {
+            rows: 2,
+            spare_rows: 3,
             record_size: 8,
             seed: |r| r * 100,
         }])
@@ -197,10 +255,10 @@ mod tests {
     #[test]
     fn oracle_seeds_and_applies() {
         let mut o = SerialOracle::new(&spec());
-        assert_eq!(o.read_u64(RecordId::new(0, 2)), 200);
+        assert_eq!(o.read_u64(RecordId::new(0, 2)), Some(200));
         let out = o.apply(&rmw(2, 5));
         assert!(out.committed);
-        assert_eq!(o.read_u64(RecordId::new(0, 2)), 205);
+        assert_eq!(o.read_u64(RecordId::new(0, 2)), Some(205));
     }
 
     #[test]
@@ -213,7 +271,7 @@ mod tests {
             Procedure::SmallBank(SmallBankProc::TransactSaving { v: -10 }),
         );
         assert!(!o.apply(&t).committed);
-        assert_eq!(o.read_u64(sav), 0);
+        assert_eq!(o.read_u64(sav), Some(0));
     }
 
     #[test]
@@ -223,7 +281,36 @@ mod tests {
         let t = Txn::new(vec![], vec![rid, rid], Procedure::BlindWrite { value: 9 });
         let mut o = SerialOracle::new(&spec());
         o.apply(&t);
-        assert_eq!(o.read_u64(rid), 9);
+        assert_eq!(o.read_u64(rid), Some(9));
+    }
+
+    #[test]
+    fn oracle_inserts_and_counts_rows() {
+        let mut o = SerialOracle::new(&spec_with_headroom());
+        assert_eq!(o.row_count(0), 2);
+        assert_eq!(o.table_rows(0), 5);
+        let fresh = RecordId::new(0, 3);
+        assert_eq!(o.read_u64(fresh), None);
+        let t = Txn::new(vec![], vec![fresh], Procedure::BlindWrite { value: 7 });
+        assert!(o.apply(&t).committed);
+        assert_eq!(o.read_u64(fresh), Some(7));
+        assert_eq!(o.row_count(0), 3);
+    }
+
+    #[test]
+    fn oracle_absent_reads_fingerprint_like_engines() {
+        let mut o = SerialOracle::new(&spec_with_headroom());
+        let probe = Txn::new(
+            vec![RecordId::new(0, 0), RecordId::new(0, 4)],
+            vec![],
+            Procedure::TpcC(TpcCProc::OrderStatus),
+        );
+        let out = o.apply(&probe);
+        assert!(out.committed);
+        assert_eq!(
+            out.fingerprint,
+            0u64.wrapping_mul(31).wrapping_add(ABSENT_FINGERPRINT)
+        );
     }
 
     #[test]
@@ -233,26 +320,64 @@ mod tests {
         let outcomes: Vec<ExecOutcome> = txns.iter().map(|t| oracle.apply(t)).collect();
         // Matching replay passes.
         assert!(check_serial_equivalence(&spec(), &txns, &outcomes, |rid| {
-            Some(oracle.read_u64(rid))
+            oracle.read_u64(rid)
         })
         .is_ok());
         // A final-state lie is caught.
         let err = check_serial_equivalence(&spec(), &txns, &outcomes, |rid| {
-            Some(oracle.read_u64(rid) + u64::from(rid.row == 0))
+            Some(oracle.read_u64(rid).unwrap() + u64::from(rid.row == 0))
         })
         .unwrap_err();
         assert!(err.contains("final state"), "{err}");
         // A flipped commit decision is caught.
         let mut bad = outcomes.clone();
         bad[1].committed = false;
-        let err = check_serial_equivalence(&spec(), &txns, &bad, |rid| Some(oracle.read_u64(rid)))
-            .unwrap_err();
+        let err =
+            check_serial_equivalence(&spec(), &txns, &bad, |rid| oracle.read_u64(rid)).unwrap_err();
         assert!(err.contains("committed") || err.contains("abort"), "{err}");
         // A wrong fingerprint (phantom read) is caught.
         let mut bad = outcomes;
         bad[1].fingerprint ^= 1;
-        let err = check_serial_equivalence(&spec(), &txns, &bad, |rid| Some(oracle.read_u64(rid)))
-            .unwrap_err();
+        let err =
+            check_serial_equivalence(&spec(), &txns, &bad, |rid| oracle.read_u64(rid)).unwrap_err();
         assert!(err.contains("fingerprint"), "{err}");
+    }
+
+    #[test]
+    fn equivalence_catches_missing_and_phantom_inserts() {
+        let spec = spec_with_headroom();
+        let fresh = RecordId::new(0, 2);
+        let txns = vec![Txn::new(
+            vec![],
+            vec![fresh],
+            Procedure::BlindWrite { value: 9 },
+        )];
+        let mut oracle = SerialOracle::new(&spec);
+        let outcomes: Vec<ExecOutcome> = txns.iter().map(|t| oracle.apply(t)).collect();
+        // Engine agreeing slot-for-slot passes.
+        assert!(
+            check_serial_equivalence(&spec, &txns, &outcomes, |rid| oracle.read_u64(rid)).is_ok()
+        );
+        // Engine that lost the insert is caught.
+        let err = check_serial_equivalence(&spec, &txns, &outcomes, |rid| {
+            if rid == fresh {
+                None
+            } else {
+                oracle.read_u64(rid)
+            }
+        })
+        .unwrap_err();
+        assert!(err.contains("diverges"), "{err}");
+        // Engine that invented a row is caught.
+        let err = check_serial_equivalence(&spec, &txns, &outcomes, |rid| {
+            oracle.read_u64(rid).or(Some(1))
+        })
+        .unwrap_err();
+        assert!(err.contains("diverges"), "{err}");
+        // Row counting helper agrees with the oracle.
+        assert_eq!(
+            engine_row_count(&spec.tables[0], 0, |rid| oracle.read_u64(rid)),
+            oracle.row_count(0)
+        );
     }
 }

@@ -59,17 +59,35 @@ struct TplAccess<'a> {
 
 impl Access for TplAccess<'_> {
     fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
+        if !self.read_maybe(idx, out)? {
+            panic!("read of unknown record {}", self.txn.reads[idx]);
+        }
+        Ok(())
+    }
+
+    fn read_maybe(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<bool, AbortReason> {
         let rid = self.txn.reads[idx];
+        let table = self.store.table(rid);
+        // The lock covers the slot whether or not a record exists in it, so
+        // "absent" is as stable an answer as any payload for the duration
+        // of the transaction.
+        if !table.is_present(rid.row as usize) {
+            return Ok(false);
+        }
         // SAFETY: the worker holds a shared or exclusive lock on this
         // record for the duration of the transaction (strict 2PL).
-        unsafe { self.store.table(rid).read(rid.row as usize, out) };
-        Ok(())
+        unsafe { table.read(rid.row as usize, out) };
+        Ok(true)
     }
 
     fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason> {
         let rid = self.txn.writes[idx];
+        let table = self.store.table(rid);
         // SAFETY: exclusive lock held (write-set entries lock Exclusive).
-        unsafe { self.store.table(rid).write(rid.row as usize, data) };
+        unsafe { table.write(rid.row as usize, data) };
+        // First write to a reserved slot is the insert; the lock release
+        // publishes flag and payload together.
+        table.mark_present(rid.row as usize);
         Ok(())
     }
 
@@ -141,13 +159,14 @@ impl Engine for TwoPhaseLocking {
     }
 
     fn read_u64(&self, rid: RecordId) -> Option<u64> {
-        if (rid.row as usize) >= self.store.table(rid).rows() {
+        let table = self.store.table(rid);
+        if (rid.row as usize) >= table.rows() || !table.is_present(rid.row as usize) {
             return None;
         }
         let mut v = 0;
         // SAFETY: verification hook; caller guarantees quiescence.
         unsafe {
-            self.store.table(rid).read(rid.row as usize, &mut |b| {
+            table.read(rid.row as usize, &mut |b| {
                 v = bohm_common::value::get_u64(b, 0)
             });
         }
@@ -275,5 +294,42 @@ mod tests {
         let e = engine(4);
         assert_eq!(e.read_u64(RecordId::new(0, 3)), Some(3));
         assert_eq!(e.read_u64(RecordId::new(0, 4)), None);
+    }
+
+    #[test]
+    fn insert_into_spare_slot_becomes_visible() {
+        let mut b = StoreBuilder::new();
+        b.add_table_with_spare(2, 2, 8);
+        b.seed_u64(0, |r| r);
+        let e = TwoPhaseLocking::from_builder(b);
+        let mut w = e.make_worker();
+        let fresh = RecordId::new(0, 3);
+        assert_eq!(e.read_u64(fresh), None, "spare slot starts absent");
+        let t = Txn::new(vec![], vec![fresh], Procedure::BlindWrite { value: 9 });
+        assert!(e.execute(&t, &mut w).committed);
+        assert_eq!(e.read_u64(fresh), Some(9));
+        assert_eq!(e.store().row_count(0), 3);
+    }
+
+    #[test]
+    fn absent_read_reports_absence_not_garbage() {
+        use bohm_common::{TpcCProc, ABSENT_FINGERPRINT};
+        let mut b = StoreBuilder::new();
+        b.add_table(1, 8); // customer stand-in
+        b.add_table_with_spare(0, 4, 8); // order stand-in, empty
+        b.seed_u64(0, |_| 5);
+        let e = TwoPhaseLocking::from_builder(b);
+        let mut w = e.make_worker();
+        let t = Txn::new(
+            vec![RecordId::new(0, 0), RecordId::new(1, 2)],
+            vec![],
+            Procedure::TpcC(TpcCProc::OrderStatus),
+        );
+        let out = e.execute(&t, &mut w);
+        assert!(out.committed);
+        assert_eq!(
+            out.fingerprint,
+            5u64.wrapping_mul(31).wrapping_add(ABSENT_FINGERPRINT)
+        );
     }
 }

@@ -13,6 +13,9 @@
 //!   procedures in an even mix (20% of transactions are the read-only
 //!   `Balance`), a 50 µs spin per transaction, and contention controlled by
 //!   the number of customers.
+//! * [`tpcc`] — TPC-C-lite (beyond the paper): NewOrder/Payment/OrderStatus
+//!   over warehouse, district, customer and order tables; the only family
+//!   that **inserts records**, growing the database as it runs.
 //!
 //! All generators are deterministic given a seed and implement [`TxnGen`],
 //! so every engine receives statistically identical input.
@@ -20,6 +23,7 @@
 pub mod micro;
 pub mod smallbank;
 pub mod spec;
+pub mod tpcc;
 pub mod ycsb;
 
 pub use spec::{DatabaseSpec, TableDef};

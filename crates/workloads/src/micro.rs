@@ -29,6 +29,7 @@ impl MicroConfig {
     pub fn spec(&self) -> DatabaseSpec {
         DatabaseSpec::new(vec![TableDef {
             rows: self.records,
+            spare_rows: 0,
             record_size: 8,
             seed: |_| 0,
         }])

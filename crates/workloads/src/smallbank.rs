@@ -50,16 +50,19 @@ impl SmallBankConfig {
         DatabaseSpec::new(vec![
             TableDef {
                 rows: self.customers,
+                spare_rows: 0,
                 record_size: 8,
                 seed: |row| row,
             },
             TableDef {
                 rows: self.customers,
+                spare_rows: 0,
                 record_size: 8,
                 seed: |_| 10_000,
             },
             TableDef {
                 rows: self.customers,
+                spare_rows: 0,
                 record_size: 8,
                 seed: |_| 10_000,
             },

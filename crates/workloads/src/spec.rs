@@ -4,12 +4,26 @@
 //! single source of truth a benchmark uses to instantiate BOHM, Hekaton,
 //! SI, OCC and 2PL over identical contents.
 
-/// One table: row count, fixed record size, and the seed value of each
-/// row's `u64` prefix.
+/// One table: seeded row count, insert headroom, fixed record size, and the
+/// seed value of each preloaded row's `u64` prefix.
 pub struct TableDef {
+    /// Rows preloaded before the run (each seeded via [`seed`](Self::seed)).
     pub rows: u64,
+    /// Additional row ids reserved for record inserts: rows
+    /// `rows .. rows + spare_rows` start **absent** and come into existence
+    /// only when a transaction writes them (TPC-C-lite orders). Zero for
+    /// the paper's static-key workloads.
+    pub spare_rows: u64,
     pub record_size: usize,
     pub seed: fn(u64) -> u64,
+}
+
+impl TableDef {
+    /// Total addressable rows: seeded prefix plus insert headroom.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.rows + self.spare_rows
+    }
 }
 
 /// A full database: tables with dense ids in declaration order.
@@ -22,16 +36,24 @@ impl DatabaseSpec {
         Self { tables }
     }
 
-    /// Table shapes as `(rows, record_size)` pairs (Hekaton store input).
+    /// Table shapes as `(capacity, record_size)` pairs — sizing input for
+    /// the fixed-size stores (Hekaton array index, single-version slabs),
+    /// which must reserve slots for insertable rows up front.
     pub fn shapes(&self) -> Vec<(u64, usize)> {
         self.tables
             .iter()
-            .map(|t| (t.rows, t.record_size))
+            .map(|t| (t.capacity(), t.record_size))
             .collect()
     }
 
+    /// Preloaded rows across all tables.
     pub fn total_rows(&self) -> u64 {
         self.tables.iter().map(|t| t.rows).sum()
+    }
+
+    /// Addressable rows across all tables (preloaded + insert headroom).
+    pub fn total_capacity(&self) -> u64 {
+        self.tables.iter().map(|t| t.capacity()).sum()
     }
 }
 
@@ -44,17 +66,21 @@ mod tests {
         let spec = DatabaseSpec::new(vec![
             TableDef {
                 rows: 10,
+                spare_rows: 0,
                 record_size: 8,
                 seed: |r| r,
             },
             TableDef {
                 rows: 5,
+                spare_rows: 3,
                 record_size: 1000,
                 seed: |_| 0,
             },
         ]);
-        assert_eq!(spec.shapes(), vec![(10, 8), (5, 1000)]);
+        assert_eq!(spec.shapes(), vec![(10, 8), (8, 1000)]);
         assert_eq!(spec.total_rows(), 15);
+        assert_eq!(spec.total_capacity(), 18);
+        assert_eq!(spec.tables[1].capacity(), 8);
         assert_eq!((spec.tables[0].seed)(7), 7);
     }
 }

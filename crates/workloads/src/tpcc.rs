@@ -1,0 +1,333 @@
+//! TPC-C-lite workload: an insert-heavy, multi-table order-entry mix.
+//!
+//! The paper evaluates BOHM only on preloaded key sets; this family opens
+//! the record-insert path end to end. Four tables — `warehouse`,
+//! `district`, `customer` and `order` — and three procedures:
+//!
+//! * **NewOrder** (45%) — RMW of the district order counter plus an
+//!   **insert** of a fresh order record ([`TpcCProc::NewOrder`]),
+//! * **Payment** (43%) — a cross-table RMW touching warehouse, district
+//!   and customer ([`TpcCProc::Payment`]),
+//! * **OrderStatus** (12%) — read-only; probes an order slot that may not
+//!   exist yet, exercising absence-tolerant reads
+//!   ([`TpcCProc::OrderStatus`]).
+//!
+//! Write sets are declared up front (BOHM's model), so order ids are
+//! **generator-assigned**: each generator owns a disjoint stripe of the
+//! order table and hands out slots sequentially, wrapping within its
+//! stripe once the headroom is exhausted (a wrapped NewOrder degrades to
+//! an update of a recycled slot — harmless for every engine). The order
+//! table is declared with zero seeded rows and `spare_rows` headroom, so
+//! every order the workload creates is a true insert.
+
+use crate::spec::{DatabaseSpec, TableDef};
+use crate::TxnGen;
+use bohm_common::rng::FastRng;
+use bohm_common::{Procedure, RecordId, TpcCProc, Txn};
+
+/// Dense table ids of the TPC-C-lite schema.
+pub mod tables {
+    pub const WAREHOUSE: u32 = 0;
+    pub const DISTRICT: u32 = 1;
+    pub const CUSTOMER: u32 = 2;
+    pub const ORDER: u32 = 3;
+}
+
+/// Workload parameters.
+#[derive(Clone, Debug)]
+pub struct TpccConfig {
+    pub warehouses: u64,
+    pub districts_per_warehouse: u64,
+    pub customers_per_district: u64,
+    /// Order-table insert headroom (the table starts empty).
+    pub order_capacity: u64,
+    /// Generator stripes the order table is partitioned into; every
+    /// session index passed to [`TpccGen::new`] must be below this.
+    pub order_stripes: u64,
+    /// Per-transaction busy-spin, µs.
+    pub think_us: u32,
+}
+
+impl Default for TpccConfig {
+    fn default() -> Self {
+        Self {
+            warehouses: 4,
+            districts_per_warehouse: 10,
+            customers_per_district: 96,
+            order_capacity: 1 << 16,
+            order_stripes: 64,
+            think_us: 0,
+        }
+    }
+}
+
+impl TpccConfig {
+    pub fn districts(&self) -> u64 {
+        self.warehouses * self.districts_per_warehouse
+    }
+
+    pub fn customers(&self) -> u64 {
+        self.districts() * self.customers_per_district
+    }
+
+    /// Order slots owned by one generator stripe.
+    pub fn orders_per_stripe(&self) -> u64 {
+        let per = self.order_capacity / self.order_stripes;
+        assert!(per >= 1, "order_capacity must cover order_stripes");
+        per
+    }
+
+    pub fn spec(&self) -> DatabaseSpec {
+        DatabaseSpec::new(vec![
+            TableDef {
+                rows: self.warehouses,
+                spare_rows: 0,
+                record_size: 8,
+                seed: |_| 0, // w_ytd
+            },
+            TableDef {
+                rows: self.districts(),
+                spare_rows: 0,
+                record_size: 16,
+                seed: |_| 0, // d_next_o_id counter / d_ytd share the prefix
+            },
+            TableDef {
+                rows: self.customers(),
+                spare_rows: 0,
+                record_size: 16,
+                seed: |_| 100_000, // c_balance (cents)
+            },
+            TableDef {
+                rows: 0,
+                spare_rows: self.order_capacity,
+                record_size: 32,
+                seed: |_| 0, // never invoked: the table starts empty
+            },
+        ])
+    }
+}
+
+fn warehouse(w: u64) -> RecordId {
+    RecordId::new(tables::WAREHOUSE, w)
+}
+
+fn district(cfg: &TpccConfig, w: u64, d: u64) -> RecordId {
+    RecordId::new(tables::DISTRICT, w * cfg.districts_per_warehouse + d)
+}
+
+fn customer(cfg: &TpccConfig, w: u64, d: u64, c: u64) -> RecordId {
+    RecordId::new(
+        tables::CUSTOMER,
+        (w * cfg.districts_per_warehouse + d) * cfg.customers_per_district + c,
+    )
+}
+
+fn order(row: u64) -> RecordId {
+    RecordId::new(tables::ORDER, row)
+}
+
+/// Build a NewOrder transaction inserting order row `o_row`.
+pub fn new_order(cfg: &TpccConfig, w: u64, d: u64, c: u64, o_row: u64, lines: u32) -> Txn {
+    let mut t = Txn::new(
+        vec![district(cfg, w, d), customer(cfg, w, d, c)],
+        vec![district(cfg, w, d), order(o_row)],
+        Procedure::TpcC(TpcCProc::NewOrder { lines }),
+    );
+    t.think_us = cfg.think_us;
+    t
+}
+
+/// Build a Payment transaction.
+pub fn payment(cfg: &TpccConfig, w: u64, d: u64, c: u64, amount: u64) -> Txn {
+    let rids = vec![warehouse(w), district(cfg, w, d), customer(cfg, w, d, c)];
+    let mut t = Txn::new(
+        rids.clone(),
+        rids,
+        Procedure::TpcC(TpcCProc::Payment { amount }),
+    );
+    t.think_us = cfg.think_us;
+    t
+}
+
+/// Build an OrderStatus transaction probing order row `o_row`.
+pub fn order_status(cfg: &TpccConfig, w: u64, d: u64, c: u64, o_row: u64) -> Txn {
+    let mut t = Txn::new(
+        vec![customer(cfg, w, d, c), order(o_row)],
+        vec![],
+        Procedure::TpcC(TpcCProc::OrderStatus),
+    );
+    t.think_us = cfg.think_us;
+    t
+}
+
+/// Per-session TPC-C-lite transaction generator.
+pub struct TpccGen {
+    cfg: TpccConfig,
+    rng: FastRng,
+    /// First order row of this generator's stripe.
+    stripe_base: u64,
+    /// Orders this generator has issued NewOrder transactions for.
+    created: u64,
+}
+
+impl TpccGen {
+    /// `stripe` must be below `cfg.order_stripes`; generators with distinct
+    /// stripes insert into disjoint order-row ranges.
+    pub fn new(cfg: TpccConfig, seed: u64, stripe: u64) -> Self {
+        assert!(stripe < cfg.order_stripes, "stripe beyond order_stripes");
+        let stripe_base = stripe * cfg.orders_per_stripe();
+        Self {
+            cfg,
+            rng: FastRng::seed_from(seed),
+            stripe_base,
+            created: 0,
+        }
+    }
+
+    /// Orders this generator has created so far (≥ the number of distinct
+    /// rows it inserted; equal until the stripe wraps).
+    pub fn orders_created(&self) -> u64 {
+        self.created
+    }
+
+    /// Distinct order rows this generator has inserted.
+    pub fn orders_inserted(&self) -> u64 {
+        self.created.min(self.cfg.orders_per_stripe())
+    }
+
+    fn wdc(&mut self) -> (u64, u64, u64) {
+        (
+            self.rng.below(self.cfg.warehouses),
+            self.rng.below(self.cfg.districts_per_warehouse),
+            self.rng.below(self.cfg.customers_per_district),
+        )
+    }
+}
+
+impl TxnGen for TpccGen {
+    fn next_txn(&mut self) -> Txn {
+        let (w, d, c) = self.wdc();
+        let per = self.cfg.orders_per_stripe();
+        match self.rng.below(100) {
+            0..=44 => {
+                let o_row = self.stripe_base + self.created % per;
+                self.created += 1;
+                let lines = 1 + self.rng.below(10) as u32;
+                new_order(&self.cfg, w, d, c, o_row, lines)
+            }
+            45..=87 => payment(&self.cfg, w, d, c, 1 + self.rng.below(5_000)),
+            _ => {
+                // Probe a created order most of the time; 1-in-8 probes the
+                // next slot, which is absent until that NewOrder happens
+                // (and after a wrap is simply the oldest recycled order).
+                let o_row = if self.created == 0 || self.rng.below(8) == 0 {
+                    self.stripe_base + self.created % per
+                } else {
+                    self.stripe_base + self.rng.below(self.created.min(per))
+                };
+                order_status(&self.cfg, w, d, c, o_row)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bohm_common::TableId;
+
+    fn small() -> TpccConfig {
+        TpccConfig {
+            warehouses: 2,
+            districts_per_warehouse: 2,
+            customers_per_district: 8,
+            order_capacity: 64,
+            order_stripes: 4,
+            think_us: 0,
+        }
+    }
+
+    #[test]
+    fn spec_shapes_match_schema() {
+        let s = small().spec();
+        assert_eq!(s.tables.len(), 4);
+        assert_eq!(s.tables[tables::ORDER as usize].rows, 0);
+        assert_eq!(s.tables[tables::ORDER as usize].capacity(), 64);
+        assert_eq!(s.tables[tables::DISTRICT as usize].rows, 4);
+        assert_eq!(s.tables[tables::CUSTOMER as usize].rows, 32);
+        assert_eq!(s.total_rows() + 64, s.total_capacity());
+    }
+
+    #[test]
+    fn layouts_match_procedure_conventions() {
+        let cfg = small();
+        let t = new_order(&cfg, 1, 1, 3, 9, 4);
+        assert_eq!(t.reads.len(), 2);
+        assert_eq!(t.writes.len(), 2);
+        assert_eq!(t.reads[0], t.writes[0], "district is the RMW");
+        assert_eq!(t.writes[1], RecordId::new(tables::ORDER, 9));
+        assert_eq!(t.reads[0].table, TableId(tables::DISTRICT));
+        assert_eq!(t.reads[1].table, TableId(tables::CUSTOMER));
+
+        let t = payment(&cfg, 0, 1, 2, 50);
+        assert_eq!(t.reads, t.writes);
+        assert_eq!(t.reads.len(), 3);
+
+        let t = order_status(&cfg, 0, 0, 0, 5);
+        assert!(t.writes.is_empty());
+        assert_eq!(t.reads[1], RecordId::new(tables::ORDER, 5));
+    }
+
+    #[test]
+    fn stripes_are_disjoint_and_wrap_in_place() {
+        let cfg = small(); // 16 orders per stripe
+        for stripe in 0..4 {
+            let mut g = TpccGen::new(cfg.clone(), stripe, stripe);
+            let lo = stripe * 16;
+            for _ in 0..200 {
+                let t = g.next_txn();
+                for rid in t.reads.iter().chain(t.writes.iter()) {
+                    if rid.table == TableId(tables::ORDER) {
+                        assert!(
+                            (lo..lo + 16).contains(&rid.row),
+                            "stripe {stripe} leaked to order row {}",
+                            rid.row
+                        );
+                    }
+                }
+            }
+            assert_eq!(g.orders_inserted(), g.orders_created().min(16));
+        }
+    }
+
+    #[test]
+    fn mix_covers_all_three_procedures() {
+        let mut g = TpccGen::new(small(), 42, 0);
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            match g.next_txn().proc {
+                Procedure::TpcC(TpcCProc::NewOrder { .. }) => counts[0] += 1,
+                Procedure::TpcC(TpcCProc::Payment { .. }) => counts[1] += 1,
+                Procedure::TpcC(TpcCProc::OrderStatus) => counts[2] += 1,
+                _ => panic!("non-TPC-C txn generated"),
+            }
+        }
+        assert!((4_000..5_000).contains(&counts[0]), "{counts:?}");
+        assert!((3_800..4_800).contains(&counts[1]), "{counts:?}");
+        assert!((800..1_600).contains(&counts[2]), "{counts:?}");
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mk = || {
+            let mut g = TpccGen::new(small(), 7, 1);
+            (0..100)
+                .map(|_| {
+                    let t = g.next_txn();
+                    (t.reads.clone(), t.writes.clone())
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+}

@@ -52,6 +52,7 @@ impl YcsbConfig {
     pub fn spec(&self) -> DatabaseSpec {
         DatabaseSpec::new(vec![TableDef {
             rows: self.records,
+            spare_rows: 0,
             record_size: self.record_size,
             seed: |row| row,
         }])

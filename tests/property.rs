@@ -36,11 +36,13 @@ fn spec() -> DatabaseSpec {
     DatabaseSpec::new(vec![
         TableDef {
             rows: ROWS,
+            spare_rows: 0,
             record_size: 8,
             seed: |r| 100 + r,
         },
         TableDef {
             rows: ROWS,
+            spare_rows: 0,
             record_size: 16,
             seed: |r| 50 * r,
         },

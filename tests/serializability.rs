@@ -47,6 +47,7 @@ fn run_and_check(spec: DatabaseSpec, txns: Vec<Txn>, cfg: BohmConfig, batch: usi
 fn one_table(rows: u64) -> DatabaseSpec {
     DatabaseSpec::new(vec![TableDef {
         rows,
+        spare_rows: 0,
         record_size: 8,
         seed: |r| r * 3,
     }])
@@ -151,16 +152,19 @@ fn smallbank_with_aborts_matches_serial_order() {
     let spec = DatabaseSpec::new(vec![
         TableDef {
             rows: 16,
+            spare_rows: 0,
             record_size: 8,
             seed: |r| r,
         },
         TableDef {
             rows: 16,
+            spare_rows: 0,
             record_size: 8,
             seed: |_| 50,
         },
         TableDef {
             rows: 16,
+            spare_rows: 0,
             record_size: 8,
             seed: |_| 50,
         },

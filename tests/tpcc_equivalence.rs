@@ -1,0 +1,188 @@
+//! Cross-engine equivalence on the TPC-C-lite workload: all five engines
+//! vs. the serial oracle on a seeded NewOrder/Payment/OrderStatus mix.
+//!
+//! This is the end-to-end audit of the record-insert path: every engine
+//! must produce oracle-identical per-transaction fingerprints (including
+//! the absence fingerprints of OrderStatus probes that race inserts in
+//! the log), an oracle-identical final state across the order table's
+//! *capacity* (missing and phantom inserts both diverge), and identical
+//! inserted-row counts.
+
+use bohm_bench::engines::EngineKind;
+use bohm_common::engine::{BatchEngine, ExecOutcome, Session};
+use bohm_common::{RecordId, Txn, ABSENT_FINGERPRINT};
+use bohm_suite::testkit::{check_serial_equivalence, engine_row_count, SerialOracle};
+use bohm_suite::workloads::tpcc::{self, tables, TpccConfig, TpccGen};
+use bohm_suite::workloads::TxnGen;
+
+fn small_cfg() -> TpccConfig {
+    TpccConfig {
+        warehouses: 2,
+        districts_per_warehouse: 2,
+        customers_per_district: 16,
+        order_capacity: 4096,
+        order_stripes: 1, // single generator: no wrap within the test sizes
+        think_us: 0,
+    }
+}
+
+#[test]
+fn all_engines_match_serial_oracle_on_tpcc_mix() {
+    let cfg = small_cfg();
+    let spec = cfg.spec();
+    let mut gen = TpccGen::new(cfg.clone(), 0xC0FFEE, 0);
+    let txns: Vec<Txn> = (0..1_500).map(|_| gen.next_txn()).collect();
+    assert!(gen.orders_created() > 400, "mix must be insert-heavy");
+
+    // Oracle row count for the order table, computed once.
+    let mut oracle = SerialOracle::new(&spec);
+    for t in &txns {
+        oracle.apply(t);
+    }
+    let oracle_orders = oracle.row_count(tables::ORDER as usize);
+    assert_eq!(
+        oracle_orders,
+        gen.orders_inserted(),
+        "oracle inserts every generated order exactly once"
+    );
+
+    for kind in EngineKind::ALL {
+        let engine = kind.build(&spec, 4);
+        let outcomes = engine.run_stream(&txns);
+        engine.quiesce();
+        check_serial_equivalence(&spec, &txns, &outcomes, |rid| engine.read_u64(rid))
+            .unwrap_or_else(|e| panic!("{} diverged from serial oracle: {e}", kind.name()));
+        let got_orders =
+            engine_row_count(&spec.tables[tables::ORDER as usize], tables::ORDER, |rid| {
+                engine.read_u64(rid)
+            });
+        assert_eq!(
+            got_orders,
+            oracle_orders,
+            "{}: inserted-order count diverged",
+            kind.name()
+        );
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn read_of_never_inserted_key_is_absent_on_every_engine() {
+    // The satellite regression: a probe of an order slot nothing ever
+    // inserted must report absence — the same fingerprint as the oracle —
+    // on all five engines, not a stale or invented value (and must not
+    // panic or livelock on engines whose index lacks the key entirely).
+    let cfg = small_cfg();
+    let spec = cfg.spec();
+    let never = cfg.order_capacity - 1;
+    let probe = tpcc::order_status(&cfg, 0, 0, 0, never);
+
+    let mut oracle = SerialOracle::new(&spec);
+    let want = oracle.apply(&probe);
+    assert!(want.committed);
+    // Customer seed is 100_000 cents.
+    assert_eq!(
+        want.fingerprint,
+        100_000u64.wrapping_mul(31).wrapping_add(ABSENT_FINGERPRINT)
+    );
+
+    for kind in EngineKind::ALL {
+        let engine = kind.build(&spec, 2);
+        let mut session = engine.open_session();
+        session.submit(probe.clone());
+        let out = session.reap();
+        assert!(out.committed, "{}", kind.name());
+        assert_eq!(
+            out.fingerprint,
+            want.fingerprint,
+            "{}: absent read fingerprint diverged",
+            kind.name()
+        );
+        engine.quiesce();
+        assert_eq!(
+            engine.read_u64(RecordId::new(tables::ORDER, never)),
+            None,
+            "{}: probed slot must stay absent",
+            kind.name()
+        );
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn order_insert_then_status_probe_round_trips_on_every_engine() {
+    let cfg = small_cfg();
+    let spec = cfg.spec();
+    // NewOrder inserting order row 7, then OrderStatus probing it, as one
+    // submitted stream — plus a probe of the *next* (absent) slot.
+    let txns = vec![
+        tpcc::new_order(&cfg, 1, 1, 3, 7, 5),
+        tpcc::order_status(&cfg, 1, 1, 3, 7),
+        tpcc::order_status(&cfg, 1, 1, 3, 8),
+    ];
+    let mut oracle = SerialOracle::new(&spec);
+    let want: Vec<ExecOutcome> = txns.iter().map(|t| oracle.apply(t)).collect();
+    assert_ne!(want[1].fingerprint, want[2].fingerprint);
+
+    for kind in EngineKind::ALL {
+        let engine = kind.build(&spec, 2);
+        let outcomes = engine.run_stream(&txns);
+        for (i, (got, want)) in outcomes.iter().zip(&want).enumerate() {
+            assert_eq!(
+                (got.committed, got.fingerprint),
+                (want.committed, want.fingerprint),
+                "{} txn {i}",
+                kind.name()
+            );
+        }
+        engine.quiesce();
+        // The inserted order encodes (customer balance read, line count):
+        // every customer is seeded with 100_000, and the NewOrder carried
+        // 5 lines.
+        let row = engine.read_u64(RecordId::new(tables::ORDER, 7));
+        assert_eq!(
+            row,
+            Some(100_000u64.wrapping_mul(1_000).wrapping_add(5)),
+            "{}: order payload",
+            kind.name()
+        );
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn tpcc_mix_conserves_money_across_engines() {
+    // Payment moves `amount` out of a customer and into warehouse+district
+    // YTDs; NewOrder/OrderStatus move no money. Invariant per engine:
+    // sum(warehouse) + sum(district ytd-part) ... district prefix doubles
+    // as the order counter, so only warehouse+customer conservation is
+    // checked: initial customer total - final customer total == warehouse
+    // total (every cent left a customer iff it landed in a warehouse YTD).
+    let cfg = small_cfg();
+    let spec = cfg.spec();
+    let mut gen = TpccGen::new(cfg.clone(), 77, 0);
+    let txns: Vec<Txn> = (0..800).map(|_| gen.next_txn()).collect();
+    let initial_cust_total = 100_000u64 * cfg.customers();
+    for kind in EngineKind::ALL {
+        let engine = kind.build(&spec, 4);
+        let _ = engine.run_stream(&txns);
+        engine.quiesce();
+        let cust_total: u64 = (0..cfg.customers())
+            .map(|c| engine.read_u64(RecordId::new(tables::CUSTOMER, c)).unwrap())
+            .fold(0u64, |a, v| a.wrapping_add(v));
+        let wh_total: u64 = (0..cfg.warehouses)
+            .map(|w| {
+                engine
+                    .read_u64(RecordId::new(tables::WAREHOUSE, w))
+                    .unwrap()
+            })
+            .fold(0u64, |a, v| a.wrapping_add(v));
+        assert_eq!(
+            initial_cust_total.wrapping_sub(cust_total),
+            wh_total,
+            "{}: money leaked between customers and warehouses",
+            kind.name()
+        );
+        engine.shutdown();
+    }
+}

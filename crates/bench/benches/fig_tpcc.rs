@@ -1,6 +1,7 @@
-//! TPC-C-lite: throughput vs. thread count on the insert-heavy
-//! NewOrder/Payment/OrderStatus mix (beyond the paper's evaluation — the
-//! only figure whose database *grows* while it runs).
+//! TPC-C-lite: throughput vs. thread count on the insert-and-delete-heavy
+//! NewOrder/Payment/Delivery/OrderStatus mix (beyond the paper's
+//! evaluation — the only figure whose database *churns* while it runs:
+//! orders are inserted, delivered and their slots recycled).
 //!
 //! Expected shape: BOHM's insert path is the same placeholder machinery as
 //! its update path, so it should track its SmallBank profile; the
@@ -14,7 +15,7 @@
 use bohm_bench::engines::EngineKind;
 use bohm_bench::figure::measure;
 use bohm_bench::params::Params;
-use bohm_bench::report::{print_figure, Series};
+use bohm_bench::report::{print_figure, write_bench_json, Series};
 use bohm_workloads::tpcc::{TpccConfig, TpccGen};
 
 fn main() {
@@ -23,6 +24,7 @@ fn main() {
         ("High Contention", 2),
         ("Low Contention", if p.smoke { 4 } else { 16 }),
     ];
+    let mut artifact: Vec<(String, Vec<Series>)> = Vec::new();
     for (name, warehouses) in warehouse_counts {
         let name = format!("{name} ({warehouses} warehouses)");
         let cfg = TpccConfig {
@@ -31,6 +33,7 @@ fn main() {
             customers_per_district: 96,
             order_capacity: if p.smoke { 1 << 14 } else { 1 << 18 },
             order_stripes: 64,
+            delivery_batch: 4,
             think_us: 0,
         };
         let spec = cfg.spec();
@@ -55,6 +58,10 @@ fn main() {
                 points,
             });
         }
-        print_figure(&format!("TPC-C-lite ({name})"), "threads", &series);
+        let title = format!("TPC-C-lite ({name})");
+        print_figure(&title, "threads", &series);
+        artifact.push((title, series));
     }
+    // Seed the perf trajectory: CI sets BOHM_BENCH_JSON and uploads the file.
+    write_bench_json(&artifact, "threads");
 }

@@ -4,8 +4,9 @@
 //! (`harness = false`); they print the same rows/series the paper reports.
 //! This library hosts the shared machinery:
 //!
-//! * [`engines`] — build every engine over one [`DatabaseSpec`] so all five
-//!   systems run identical preloaded databases, and erase them behind
+//! * [`engines`] — build every engine over one
+//!   [`DatabaseSpec`](bohm_workloads::DatabaseSpec) so all five systems run
+//!   identical preloaded databases, and erase them behind
 //!   [`engines::AnyEngine`],
 //! * [`driver`] — the fixed-duration throughput driver: one session-based
 //!   code path for the interactive baselines and BOHM's pipelined ingest

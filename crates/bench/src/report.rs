@@ -51,6 +51,63 @@ pub fn print_figure(title: &str, x_label: &str, series: &[Series]) {
     println!("--- end csv ---");
 }
 
+/// Write figures as a machine-readable JSON benchmark artifact to the path
+/// named by the `BOHM_BENCH_JSON` environment variable (no-op when unset).
+/// CI uploads the file so every run seeds the performance trajectory; the
+/// schema is deliberately tiny and hand-rolled (no serde in the hermetic
+/// build): `{"figures": [{"title", "x_label", "series": [{"label",
+/// "points": [[x, txns_per_sec], …]}]}]}`.
+pub fn write_bench_json(figures: &[(String, Vec<Series>)], x_label: &str) {
+    let Ok(path) = std::env::var("BOHM_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    write_bench_json_to(std::path::Path::new(&path), figures, x_label);
+}
+
+/// [`write_bench_json`] with an explicit destination (testable without the
+/// process-global environment).
+pub fn write_bench_json_to(
+    path: &std::path::Path,
+    figures: &[(String, Vec<Series>)],
+    x_label: &str,
+) {
+    let esc = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
+    let mut out = String::from("{\"figures\":[");
+    for (fi, (title, series)) in figures.iter().enumerate() {
+        if fi > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"title\":\"{}\",\"x_label\":\"{}\",\"series\":[",
+            esc(title),
+            esc(x_label)
+        ));
+        for (si, s) in series.iter().enumerate() {
+            if si > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{{\"label\":\"{}\",\"points\":[", esc(&s.label)));
+            for (pi, &(x, y)) in s.points.iter().enumerate() {
+                if pi > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{x},{y:.1}]"));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("failed to write bench artifact {}: {e}", path.display());
+    } else {
+        eprintln!("bench artifact written to {}", path.display());
+    }
+}
+
 /// Human throughput formatting (matches the paper's "M txns/sec" axes).
 pub fn fmt_tput(v: f64) -> String {
     if v >= 1e6 {
@@ -71,6 +128,29 @@ mod tests {
         assert_eq!(fmt_tput(1_500_000.0), "1.50M");
         assert_eq!(fmt_tput(12_345.0), "12.3k");
         assert_eq!(fmt_tput(42.0), "42");
+    }
+
+    #[test]
+    fn bench_json_roundtrips_through_env() {
+        let dir = std::env::temp_dir().join(format!("bohm-bench-json-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        write_bench_json_to(
+            &path,
+            &[(
+                "High \"Contention\"".into(),
+                vec![Series {
+                    label: "Bohm".into(),
+                    points: vec![(2.0, 1000.5), (4.0, 2000.0)],
+                }],
+            )],
+            "threads",
+        );
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert!(got.contains("\"x_label\":\"threads\""), "{got}");
+        assert!(got.contains("[2,1000.5]"), "{got}");
+        assert!(got.contains("High \\\"Contention\\\""), "escaping: {got}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

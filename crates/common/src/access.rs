@@ -70,6 +70,34 @@ pub trait Access {
     /// be exactly the record's size (engines enforce this).
     fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason>;
 
+    /// Delete write-set entry `idx`: after this transaction, the record no
+    /// longer exists (subsequent reads observe absence, and the slot is
+    /// reclaimable by the engine's substrate — presence flag cleared, or a
+    /// tombstone version that garbage collection prunes).
+    ///
+    /// Deletes are *blind*, like writes: no prior read of the record is
+    /// required, and deleting an already-absent record is a serialized
+    /// no-op (the observed absence participates in concurrency control the
+    /// same way an absent read does). A delete must be the entry's **only**
+    /// operation in the transaction: engines that publish resolutions
+    /// eagerly (BOHM fills the pre-installed placeholder in place, where a
+    /// published result may already have been consumed by a later-timestamp
+    /// reader) can neither un-delete nor retract a write, so mixing
+    /// `write` and `delete` on one entry is unsupported in either order —
+    /// re-insert or delete from a later transaction instead.
+    ///
+    /// The logic-abort contract extends to deletes: a procedure must decide
+    /// a user abort before its first write *or delete* (in-place engines
+    /// have no undo log).
+    ///
+    /// The default implementation panics — engines that support the record
+    /// lifecycle override it, and procedures that delete are only run on
+    /// such engines.
+    fn delete(&mut self, idx: usize) -> Result<(), AbortReason> {
+        let _ = idx;
+        panic!("this Access implementation does not support record deletes");
+    }
+
     /// Size in bytes of the record behind write-set entry `idx` (fixed per
     /// table). Lets procedures construct full-size payloads for blind
     /// writes without reading the record first.

@@ -31,3 +31,13 @@ pub use procedures::{execute_procedure, Procedure, SmallBankProc, TpcCProc, ABSE
 pub use txn::Txn;
 pub use types::{RecordId, TableId, Timestamp, TxnId, INFINITY_TS};
 pub use value::Value;
+
+/// Iteration budget for stress/hammer tests: `default` unless the
+/// `BOHM_STRESS_ITERS` environment variable overrides it (the scheduled
+/// nightly CI job cranks it up; PR CI and local runs stay cheap).
+pub fn stress_iters(default: u64) -> u64 {
+    std::env::var("BOHM_STRESS_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}

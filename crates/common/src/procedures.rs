@@ -70,6 +70,16 @@ pub enum TpcCProc {
     /// fingerprint distinguishes the two outcomes).
     /// Layout: reads = `[customer(c), order(o)]`, writes = `[]`.
     OrderStatus,
+    /// Batch-consume the oldest undelivered orders of one generator stripe:
+    /// each present order is read (folded into the fingerprint) and
+    /// **deleted**, and the stripe's delivery cursor advances by the number
+    /// of orders consumed. Absent probed slots fold [`ABSENT_FINGERPRINT`]
+    /// and are left untouched, so Delivery is robust to racing streams.
+    /// Layout: reads = writes = `[cursor(stripe), order(o_1..o_k)]` with
+    /// the order rows chosen by the generator (write sets are declared up
+    /// front, per BOHM's model, so the "oldest undelivered" window is the
+    /// generator's per-stripe delivery cursor).
+    Delivery,
 }
 
 /// Fingerprint contribution of an absent record in an absence-tolerant
@@ -98,6 +108,21 @@ pub enum Procedure {
     SmallBank(SmallBankProc),
     /// TPC-C-lite logic (the record-inserting workload family).
     TpcC(TpcCProc),
+    /// Absence-tolerant read-only probe: [`Access::read_maybe`] every
+    /// read-set entry and fold each outcome — the record's checksum when
+    /// present, [`ABSENT_FINGERPRINT`] when not — into the fingerprint.
+    /// The lifecycle-audit twin of [`Procedure::ReadOnly`] (which panics on
+    /// absence): equivalence tests use it to check that delete visibility
+    /// is atomic across multiple records.
+    ProbeAll,
+    /// Delete every write-set entry, guarded by a user-abort check that
+    /// runs **before** the first delete (honouring the logic-abort
+    /// contract): if the `u64` prefix of read-set entry 0 is below `min`,
+    /// the transaction aborts and no record is touched. Fingerprint = the
+    /// guard value. Layout: reads = `[guard]`, writes = targets.
+    /// Exercises the delete path (including blind deletes of absent slots
+    /// and aborted-delete rollback) outside the TPC-C mix.
+    GuardedDelete { min: u64 },
 }
 
 /// Execute `proc` against `access`, interpreting `reads`/`writes` as the
@@ -141,7 +166,26 @@ pub fn execute_procedure(
             Ok(*v)
         }
         Procedure::SmallBank(sb) => small_bank(*sb, access, scratch),
-        Procedure::TpcC(tp) => tpcc(*tp, access, scratch),
+        Procedure::TpcC(tp) => tpcc(*tp, reads, access, scratch),
+        Procedure::ProbeAll => {
+            let mut acc = 0u64;
+            for i in 0..reads.len() {
+                let mut c = ABSENT_FINGERPRINT;
+                access.read_maybe(i, &mut |b| c = value::checksum(b))?;
+                acc = acc.wrapping_mul(31).wrapping_add(c);
+            }
+            Ok(acc)
+        }
+        Procedure::GuardedDelete { min } => {
+            let g = access.read_u64(0)?;
+            if g < *min {
+                return Err(AbortReason::User);
+            }
+            for w in 0..writes.len() {
+                access.delete(w)?;
+            }
+            Ok(g)
+        }
     }
 }
 
@@ -319,6 +363,7 @@ fn small_bank(
 
 fn tpcc(
     proc: TpcCProc,
+    reads: &[crate::RecordId],
     access: &mut dyn Access,
     scratch: &mut Vec<u8>,
 ) -> Result<u64, AbortReason> {
@@ -363,6 +408,24 @@ fn tpcc(
             access.read_maybe(1, &mut |b| order_fp = value::checksum(b))?;
             Ok(cust.wrapping_mul(31).wrapping_add(order_fp))
         }
+        TpcCProc::Delivery => {
+            // Positions 1.. of the (identical) read and write sets are the
+            // order slots to consume; position 0 is the delivery cursor.
+            let cursor = access.read_u64(0)?;
+            let mut fp = cursor;
+            let mut consumed = 0u64;
+            for i in 1..reads.len() {
+                let mut c = ABSENT_FINGERPRINT;
+                let present = access.read_maybe(i, &mut |b| c = value::checksum(b))?;
+                fp = fp.wrapping_mul(31).wrapping_add(c);
+                if present {
+                    access.delete(i)?;
+                    consumed += 1;
+                }
+            }
+            write_u64(access, 0, cursor.wrapping_add(consumed), scratch)?;
+            Ok(fp)
+        }
     }
 }
 
@@ -376,6 +439,7 @@ mod tests {
     struct MemAccess {
         read_vals: Vec<Option<Vec<u8>>>,
         written: Vec<Option<Vec<u8>>>,
+        deleted: Vec<bool>,
         len: usize,
     }
 
@@ -387,6 +451,7 @@ mod tests {
                     .map(|v| Some(crate::value::of_u64(v, len).to_vec()))
                     .collect(),
                 written: vec![None; n_writes],
+                deleted: vec![false; n_writes],
                 len,
             }
         }
@@ -422,6 +487,12 @@ mod tests {
         }
         fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason> {
             self.written[idx] = Some(data.to_vec());
+            self.deleted[idx] = false;
+            Ok(())
+        }
+        fn delete(&mut self, idx: usize) -> Result<(), AbortReason> {
+            self.deleted[idx] = true;
+            self.written[idx] = None;
             Ok(())
         }
         fn write_len(&mut self, _idx: usize) -> usize {
@@ -655,6 +726,78 @@ mod tests {
             fp_absent,
             7u64.wrapping_mul(31).wrapping_add(ABSENT_FINGERPRINT)
         );
+    }
+
+    #[test]
+    fn tpcc_delivery_consumes_present_orders_and_advances_cursor() {
+        // reads = writes = [cursor, order_a (present), order_b (absent)].
+        let rids = vec![rid(0), rid(10), rid(11)];
+        let mut a = MemAccess::new(vec![3, 777], 3, 16).with_absent(2);
+        let mut scratch = Vec::new();
+        let fp = execute_procedure(
+            &Procedure::TpcC(TpcCProc::Delivery),
+            &rids,
+            &rids,
+            &mut a,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(a.written_u64(0), 4, "cursor advances by consumed count");
+        assert!(a.deleted[1], "present order consumed");
+        assert!(!a.deleted[2], "absent slot untouched");
+        let order_ck = value::checksum(&crate::value::of_u64(777, 16));
+        let want = 3u64
+            .wrapping_mul(31)
+            .wrapping_add(order_ck)
+            .wrapping_mul(31)
+            .wrapping_add(ABSENT_FINGERPRINT);
+        assert_eq!(fp, want, "fingerprint folds cursor + per-order outcomes");
+    }
+
+    #[test]
+    fn probe_all_folds_presence_and_absence() {
+        let reads = vec![rid(1), rid(2)];
+        let mut a = MemAccess::new(vec![7], 0, 8).with_absent(1);
+        let mut scratch = Vec::new();
+        let fp =
+            execute_procedure(&Procedure::ProbeAll, &reads, &[], &mut a, &mut scratch).unwrap();
+        let c = value::checksum(&crate::value::of_u64(7, 8));
+        assert_eq!(fp, c.wrapping_mul(31).wrapping_add(ABSENT_FINGERPRINT));
+    }
+
+    #[test]
+    fn guarded_delete_aborts_before_touching_anything() {
+        let reads = vec![rid(0)];
+        let writes = vec![rid(5), rid(6)];
+        let mut a = MemAccess::new(vec![4], 2, 8);
+        let mut scratch = Vec::new();
+        let r = execute_procedure(
+            &Procedure::GuardedDelete { min: 5 },
+            &reads,
+            &writes,
+            &mut a,
+            &mut scratch,
+        );
+        assert_eq!(r.unwrap_err(), AbortReason::User);
+        assert!(a.deleted.iter().all(|d| !d), "abort precedes every delete");
+    }
+
+    #[test]
+    fn guarded_delete_deletes_every_target_when_guard_passes() {
+        let reads = vec![rid(0)];
+        let writes = vec![rid(5), rid(6)];
+        let mut a = MemAccess::new(vec![9], 2, 8);
+        let mut scratch = Vec::new();
+        let fp = execute_procedure(
+            &Procedure::GuardedDelete { min: 5 },
+            &reads,
+            &writes,
+            &mut a,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(fp, 9, "fingerprint is the guard value");
+        assert!(a.deleted.iter().all(|d| *d));
     }
 
     #[test]

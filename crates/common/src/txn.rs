@@ -3,8 +3,8 @@
 //! BOHM's model (paper §1, §3): a transaction is submitted in its entirety,
 //! with a deducible write-set (and, for the §3.2.3 read-set optimization,
 //! read-set). We represent that directly — a [`Txn`] is data: declared read
-//! and write sets plus a [`Procedure`](crate::Procedure) describing its
-//! logic. All five engines consume the same `Txn` values.
+//! and write sets plus a [`Procedure`] describing its logic. All five
+//! engines consume the same `Txn` values.
 
 use crate::procedures::Procedure;
 use crate::types::RecordId;

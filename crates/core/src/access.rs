@@ -116,4 +116,35 @@ impl Access for BohmAccess<'_> {
         // SAFETY: placeholder liveness per Condition 3.
         unsafe { &*ptr }.len()
     }
+
+    fn delete(&mut self, idx: usize) -> Result<(), AbortReason> {
+        // A delete is a write whose placeholder resolves to a tombstone:
+        // the CC phase already installed the placeholder (delete targets
+        // are declared write-set entries), readers above this timestamp
+        // observe absence, and the superseded tail becomes reclaimable
+        // once the Condition-3 bound passes it — a later re-insert of the
+        // key supersedes the tombstone itself, which then truncates too.
+        let ptr = self.t.write_refs[idx].load(Ordering::Acquire);
+        assert!(
+            !ptr.is_null(),
+            "CC phase must have installed a placeholder for write-set entry {idx}"
+        );
+        // SAFETY: placeholder liveness per Condition 3; unique producer.
+        let v = unsafe { &*ptr };
+        if !v.fill_tombstone_once() {
+            // Already resolved. A legal replay (re-run after a blocked
+            // read) finds the tombstone from the first pass; finding
+            // *data* means the procedure wrote this entry earlier in the
+            // same transaction — a contract violation (the `Ready` state
+            // may already have been consumed by a later-timestamp reader,
+            // so it cannot be retracted). Fail loudly rather than silently
+            // diverging from the other engines.
+            assert!(
+                v.state() == bohm_mvstore::VersionState::Tombstone,
+                "delete of write-set entry {idx} after writing it: a delete \
+                 must be the entry's only resolution in its transaction"
+            );
+        }
+        Ok(())
+    }
 }

@@ -8,7 +8,7 @@
 //! pre-allocated space within a transaction" (§3.2.3).
 //!
 //! Completion is delivered **per transaction**: every transaction carries a
-//! hook into the [`Completion`] of the submission it arrived in, signalled
+//! hook into the `Completion` of the submission it arrived in, signalled
 //! the moment its executor marks it `Complete`. Batch boundaries are an
 //! engine-internal amortization artifact; submitters never see them.
 

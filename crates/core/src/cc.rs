@@ -12,7 +12,7 @@
 //!   Condition-3 GC bound (§3.3.2 — GC triggers on update).
 //!
 //! The per-transaction scan iterates the sequencer-built packed plan
-//! (see [`PlanEntry`](crate::batch::PlanEntry)): every CC thread examines
+//! (see `PlanEntry` in `crate::batch`): every CC thread examines
 //! every transaction — the design's acknowledged serial component (§3.2.2)
 //! — so the examination itself is a tight pass over one contiguous array.
 //!

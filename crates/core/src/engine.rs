@@ -602,6 +602,80 @@ mod tests {
     }
 
     #[test]
+    fn delete_lifecycle_absent_then_reinsert() {
+        use bohm_common::Procedure::{BlindWrite, GuardedDelete};
+        let e = Bohm::start(
+            BohmConfig::small(),
+            CatalogSpec::new().table(4, 8, |r| r + 5),
+        );
+        let guard = rid(0);
+        let victim = rid(2); // seeded 7
+        let probe = || {
+            Txn::new(
+                vec![guard, victim],
+                vec![],
+                bohm_common::Procedure::TpcC(bohm_common::TpcCProc::OrderStatus),
+            )
+        };
+        let del = Txn::new(vec![guard], vec![victim], GuardedDelete { min: 0 });
+        let ins = Txn::new(vec![], vec![victim], BlindWrite { value: 99 });
+        // One submission: probe (present), delete, probe (absent),
+        // re-insert, probe (present again) — log order is serial order.
+        let out = e.execute_sync(vec![probe(), del, probe(), ins, probe()]);
+        assert!(out.iter().all(|o| o.committed));
+        let absent_fp = 5u64
+            .wrapping_mul(31)
+            .wrapping_add(bohm_common::ABSENT_FINGERPRINT);
+        assert_ne!(out[0].fingerprint, absent_fp, "pre-delete probe sees row");
+        assert_eq!(out[2].fingerprint, absent_fp, "post-delete probe absent");
+        assert_ne!(
+            out[4].fingerprint, absent_fp,
+            "post-reinsert probe sees row"
+        );
+        assert_eq!(e.read_u64(victim), Some(99));
+        e.shutdown();
+    }
+
+    #[test]
+    fn user_aborted_delete_leaves_row_readable() {
+        use bohm_common::Procedure::GuardedDelete;
+        // Guard seeded 0 < min ⇒ user abort; the delete placeholder is
+        // copied through from its predecessor, so the row survives.
+        let e = Bohm::start(BohmConfig::small(), CatalogSpec::new().table(4, 8, |r| r));
+        let del = Txn::new(vec![rid(0)], vec![rid(2)], GuardedDelete { min: 1 });
+        let out = e.execute_sync(vec![del]);
+        assert!(!out[0].committed);
+        assert_eq!(e.read_u64(rid(2)), Some(2), "aborted delete rolls back");
+        e.shutdown();
+    }
+
+    #[test]
+    fn delete_churn_is_reclaimed_by_condition3_gc() {
+        use bohm_common::Procedure::{BlindWrite, GuardedDelete};
+        // Sustained insert→delete→re-insert cycles on a hot key: superseded
+        // values *and* consumed tombstones must flow out through the
+        // Condition-3 truncation, not accumulate.
+        let e = Bohm::start(BohmConfig::small(), CatalogSpec::new().table(2, 8, |_| 1));
+        let guard = rid(0);
+        let hot = rid(1);
+        let iters = bohm_common::stress_iters(400);
+        for _ in 0..iters {
+            let out = e.execute_sync(vec![
+                Txn::new(vec![guard], vec![hot], GuardedDelete { min: 0 }),
+                Txn::new(vec![], vec![hot], BlindWrite { value: 9 }),
+            ]);
+            assert!(out.iter().all(|o| o.committed));
+        }
+        assert_eq!(e.read_u64(hot), Some(9));
+        assert!(
+            e.gc_retired() > iters,
+            "delete churn should be reclaimed, got {} after {iters} cycles",
+            e.gc_retired()
+        );
+        e.shutdown();
+    }
+
+    #[test]
     fn tight_inflight_budget_still_completes() {
         // Budget of 2 with single-txn batches: the sequencer must block on
         // the ring and resume as execution retires slots.

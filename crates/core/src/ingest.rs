@@ -7,21 +7,24 @@
 //! batches across clients. This module gives the sequencer its own thread,
 //! fed by a bounded multi-producer queue:
 //!
-//! * **Clients** ([`BohmSession`](crate::BohmSession) / [`Bohm::submit`])
-//!   enqueue transactions and receive completion handles immediately. The
-//!   queue is budgeted in *transactions* ([`BohmConfig::ingest_capacity`]);
-//!   a saturated queue blocks the submitting client — backpressure instead
-//!   of unbounded growth.
+//! * **Clients** ([`BohmSession`](crate::BohmSession) /
+//!   [`Bohm::submit`](crate::Bohm::submit)) enqueue transactions and
+//!   receive completion handles immediately. The queue is budgeted in
+//!   *transactions*
+//!   ([`ingest_capacity`](crate::BohmConfig::ingest_capacity)); a saturated
+//!   queue blocks the submitting client — backpressure instead of
+//!   unbounded growth.
 //! * **The sequencer** drains the queue in arrival order (arrival order
 //!   *is* the serialization order), packs transactions into batches, and
-//!   seals a batch when it reaches [`BohmConfig::batch_size`] **or** when
-//!   [`BohmConfig::batch_linger`] elapses with the queue idle — size and
-//!   time triggers, so steady streams amortize the per-batch barriers and
-//!   sparse traffic is not held hostage.
-//! * Sealed batches are registered in the [`Window`](crate::window::Window)
-//!   ring — which blocks while the in-flight-batch budget is exhausted,
-//!   completing the backpressure chain — and then handed to every CC
-//!   thread.
+//!   seals a batch when it reaches
+//!   [`batch_size`](crate::BohmConfig::batch_size) **or** when
+//!   [`batch_linger`](crate::BohmConfig::batch_linger) elapses with the
+//!   queue idle — size and time triggers, so steady streams amortize the
+//!   per-batch barriers and sparse traffic is not held hostage.
+//! * Sealed batches are registered in the `Window` ring
+//!   (`crate::window`) — which blocks while the in-flight-batch budget is
+//!   exhausted, completing the backpressure chain — and then handed to
+//!   every CC thread.
 //!
 //! Timestamps are strided: batch `b` owns `1 + b·batch_size ..=
 //! (b+1)·batch_size`, and a partially-filled batch leaves the tail of its

@@ -261,7 +261,7 @@ mod tests {
         // lost wakeup would deadlock this test (the old code masked it
         // with a 10 ms poll; there is no timeout to hide behind now).
         use std::sync::atomic::{AtomicU64, Ordering as O};
-        const BATCHES: u64 = 3_000;
+        let batches: u64 = bohm_common::stress_iters(3_000);
         let w = Arc::new(Window::new(2, STRIDE));
         let highest_pushed = Arc::new(AtomicU64::new(0));
         let retirer = {
@@ -269,7 +269,7 @@ mod tests {
             let hi = Arc::clone(&highest_pushed);
             std::thread::spawn(move || {
                 let backoff = Backoff::new();
-                for id in 0..BATCHES {
+                for id in 0..batches {
                     while hi.load(O::Acquire) < id + 1 {
                         backoff.snooze();
                     }
@@ -285,7 +285,7 @@ mod tests {
                 }
             })
         };
-        for id in 0..BATCHES {
+        for id in 0..batches {
             w.push(mk_batch(id, 1)); // capacity 2: parks constantly
             highest_pushed.store(id + 1, O::Release);
         }
@@ -298,9 +298,10 @@ mod tests {
         // The satellite stress test: one producer pushing/one retirer
         // releasing slots in retirement order while readers hammer lookups
         // across the live window. Readers must only ever observe a batch
-        // whose id matches the timestamp arithmetic.
+        // whose id matches the timestamp arithmetic. The nightly CI job
+        // raises the batch count via BOHM_STRESS_ITERS.
         use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as O};
-        const BATCHES: u64 = 400;
+        let batches: u64 = bohm_common::stress_iters(400);
         let w = Arc::new(Window::new(8, STRIDE));
         let highest_pushed = Arc::new(AtomicU64::new(0));
         let stop = Arc::new(AtomicBool::new(false));
@@ -335,7 +336,7 @@ mod tests {
             let hi = Arc::clone(&highest_pushed);
             std::thread::spawn(move || {
                 let backoff = Backoff::new();
-                for id in 0..BATCHES {
+                for id in 0..batches {
                     // Retire strictly behind the producer, as execution does.
                     while hi.load(O::Acquire) < id + 1 {
                         backoff.snooze();
@@ -345,7 +346,7 @@ mod tests {
             })
         };
 
-        for id in 0..BATCHES {
+        for id in 0..batches {
             w.push(mk_batch(id, 7)); // partial batches: stride gaps exercised
             highest_pushed.store(id + 1, O::Release);
         }

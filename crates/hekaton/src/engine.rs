@@ -7,7 +7,9 @@ use bohm_common::engine::{Engine, ExecOutcome};
 use bohm_common::{AbortReason, Access, RecordId, Txn};
 use crossbeam_epoch as epoch;
 use crossbeam_utils::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Isolation level of a [`Hekaton`] instance.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -38,15 +40,78 @@ struct WriteRec {
     new: *const HkVersion,
 }
 
+/// Upper bound on concurrently-live workers (slots are recycled when a
+/// worker drops, so this bounds concurrency, not total sessions).
+const ACTIVE_SLOTS: usize = 512;
+
+/// The active-transaction registry: one cache-padded timestamp slot per
+/// live worker. A worker publishes its begin timestamp for the duration of
+/// each transaction attempt and `u64::MAX` while idle; the minimum over all
+/// slots is the GC **watermark** — no in-flight transaction can read below
+/// it, and future transactions draw strictly larger timestamps, so versions
+/// whose end timestamp is at or below it are unreachable garbage.
+struct SlotPool {
+    active: Box<[CachePadded<AtomicU64>]>,
+    next: AtomicUsize,
+    free: Mutex<Vec<usize>>,
+}
+
+impl SlotPool {
+    fn new() -> Self {
+        let mut active = Vec::with_capacity(ACTIVE_SLOTS);
+        active.resize_with(ACTIVE_SLOTS, || CachePadded::new(AtomicU64::new(u64::MAX)));
+        Self {
+            active: active.into_boxed_slice(),
+            next: AtomicUsize::new(0),
+            free: Mutex::new(Vec::new()),
+        }
+    }
+
+    fn acquire(&self) -> usize {
+        if let Some(slot) = self.free.lock().pop() {
+            return slot;
+        }
+        let slot = self.next.fetch_add(1, Ordering::Relaxed);
+        assert!(
+            slot < ACTIVE_SLOTS,
+            "more than {ACTIVE_SLOTS} concurrent Hekaton workers"
+        );
+        slot
+    }
+
+    /// Minimum begin timestamp over all in-flight transactions, or
+    /// `u64::MAX` when the engine is idle.
+    fn watermark(&self) -> u64 {
+        let n = self.next.load(Ordering::Acquire).min(ACTIVE_SLOTS);
+        self.active[..n]
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .min()
+            .unwrap_or(u64::MAX)
+    }
+}
+
 /// Per-worker reusable state.
 pub struct HkWorker {
     reads: Vec<ReadRec>,
     writes: Vec<WriteRec>,
     scratch: Vec<u8>,
+    /// This worker's slot in the active-transaction registry.
+    slot: usize,
+    slots: Arc<SlotPool>,
+    /// Xorshift state drawing the post-commit chain-pruning sample.
+    prune_rng: u64,
 }
 
-// SAFETY: raw version pointers are only dereferenced under the engine's
-// lifetime (versions are never freed while the store lives).
+impl Drop for HkWorker {
+    fn drop(&mut self) {
+        self.slots.active[self.slot].store(u64::MAX, Ordering::Release);
+        self.slots.free.lock().push(self.slot);
+    }
+}
+
+// SAFETY: raw version pointers are only dereferenced while the creating
+// attempt's epoch pin is held (the pruner defers frees past live pins).
 unsafe impl Send for HkWorker {}
 
 /// Hekaton-style MVCC engine (optimistic, with a global timestamp counter
@@ -60,6 +125,14 @@ pub struct Hekaton {
     /// Allow speculative reads of uncommitted (Preparing) data — "commit
     /// dependencies". The paper's baselines have this on.
     speculate: bool,
+    /// Active-transaction registry driving the chain pruner's watermark.
+    slots: Arc<SlotPool>,
+    /// Incremental chain pruning on (default). The paper's baselines run
+    /// with "no incremental garbage collection"; [`without_gc`](Self::without_gc)
+    /// restores that configuration for paper-faithful ablations.
+    gc: bool,
+    /// Versions retired by the pruner (diagnostics).
+    pruned: AtomicU64,
 }
 
 impl Hekaton {
@@ -69,6 +142,9 @@ impl Hekaton {
             counter: CachePadded::new(AtomicU64::new(1)), // ts 0 = preload
             isolation,
             speculate: true,
+            slots: Arc::new(SlotPool::new()),
+            gc: true,
+            pruned: AtomicU64::new(0),
         }
     }
 
@@ -86,6 +162,19 @@ impl Hekaton {
     pub fn without_speculation(mut self) -> Self {
         self.speculate = false;
         self
+    }
+
+    /// Disable the version-chain pruner — the paper's original "no
+    /// incremental GC" configuration, under which chains grow without bound
+    /// (see `versions_accumulate_without_gc`).
+    pub fn without_gc(mut self) -> Self {
+        self.gc = false;
+        self
+    }
+
+    /// Versions reclaimed by the chain pruner so far.
+    pub fn pruned_versions(&self) -> u64 {
+        self.pruned.load(Ordering::Relaxed)
     }
 
     pub fn store(&self) -> &HekatonStore {
@@ -121,7 +210,8 @@ impl Hekaton {
         for _ in 0..64 {
             let mut cur = self.store.head(rid).load(Ordering::Acquire);
             while !cur.is_null() {
-                // SAFETY: versions live as long as the store (no GC).
+                // SAFETY: every caller holds an epoch pin; the pruner
+                // defers version destruction past in-flight pins.
                 let v = unsafe { &*cur };
                 if self.begin_visible(v, ts, me)? && self.end_visible(v, ts, me)? {
                     return Ok(Some(cur));
@@ -147,7 +237,7 @@ impl Hekaton {
     fn stably_absent(&self, rid: RecordId, ts: u64) -> bool {
         let mut cur = self.store.head(rid).load(Ordering::Acquire);
         while !cur.is_null() {
-            // SAFETY: versions live as long as the store (no GC).
+            // SAFETY: callers hold an epoch pin (see `resolve`).
             let v = unsafe { &*cur };
             match unpack(v.begin.load(Ordering::Acquire)) {
                 WordView::Ts(crate::version::ABORTED_SENTINEL) => {}
@@ -319,7 +409,7 @@ impl Hekaton {
         // version anywhere means the key is not insertable at this point.
         let mut cur = head;
         while !cur.is_null() {
-            // SAFETY: versions live as long as the store (no GC).
+            // SAFETY: caller holds an epoch pin (see `resolve`).
             let v = unsafe { &*cur };
             if !v.is_aborted_garbage() {
                 return Err(());
@@ -339,6 +429,82 @@ impl Hekaton {
             // SAFETY: exclusively ours, unreachable from the store.
             drop(unsafe { Box::from_raw(nv) });
             Err(())
+        }
+    }
+
+    /// Delete `rid`: supersede its visible version with an uncommitted
+    /// **tombstone** (first-writer-wins on the superseded version's end
+    /// word, exactly like an update). Deleting an absent record — null
+    /// resolution or a visible tombstone — installs nothing but records the
+    /// observed absence like an absent read, so serializable validation
+    /// still catches a concurrent insert of the key.
+    fn install_delete(
+        &self,
+        rid: RecordId,
+        me: &HkTxn,
+        reads: &mut Vec<ReadRec>,
+        w: &mut Vec<WriteRec>,
+    ) -> Result<(), ()> {
+        let old = if let Some(prev) = w.iter().rev().find(|r| r.rid == rid) {
+            prev.new
+        } else if let Some(r) = reads.iter().rev().find(|r| r.rid == rid) {
+            r.version
+        } else {
+            match self.resolve(rid, me.begin_ts, Some(me))? {
+                Some(v) => v,
+                None => std::ptr::null(),
+            }
+        };
+        // SAFETY: store-lifetime under our epoch pin.
+        if old.is_null() || unsafe { &*old }.is_tombstone() {
+            reads.push(ReadRec { rid, version: old });
+            return Ok(());
+        }
+        let old_ref = unsafe { &*old };
+        if old_ref
+            .end
+            .compare_exchange(END_INF, txn_word(me), Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return Err(()); // write-write conflict: first writer wins
+        }
+        let nv = Box::into_raw(Box::new(HkVersion::uncommitted_tombstone(me)));
+        self.store.push(rid, nv);
+        w.push(WriteRec { rid, old, new: nv });
+        Ok(())
+    }
+
+    /// Sampled post-commit chain pruning of this transaction's write set.
+    /// The 1-in-4 sample is drawn from a per-worker xorshift stream, not a
+    /// commit counter: a deterministic period can resonate with a periodic
+    /// workload's record-to-commit pattern and starve some records of
+    /// probes entirely (the same hazard BOHM's CC probe counter documents).
+    fn maybe_prune(&self, w: &mut HkWorker, guard: &epoch::Guard) {
+        if !self.gc {
+            return;
+        }
+        w.prune_rng ^= w.prune_rng << 13;
+        w.prune_rng ^= w.prune_rng >> 7;
+        w.prune_rng ^= w.prune_rng << 17;
+        if w.prune_rng & 0x3 != 0 {
+            return;
+        }
+        let watermark = self.slots.watermark();
+        if watermark == u64::MAX {
+            return; // nothing registered (diagnostic-only contexts)
+        }
+        let mut freed = 0usize;
+        for wr in &w.writes {
+            freed += self.store.prune(wr.rid, watermark, guard);
+        }
+        // Reads too: a key that is never written again (e.g. deleted and
+        // retired from the hot set) would otherwise keep its dead suffix
+        // forever; this way any later probe of it reclaims the chain.
+        for r in &w.reads {
+            freed += self.store.prune(r.rid, watermark, guard);
+        }
+        if freed > 0 {
+            self.pruned.fetch_add(freed as u64, Ordering::Relaxed);
         }
     }
 
@@ -435,8 +601,14 @@ impl Access for HkAccess<'_> {
         match self.eng.resolve(rid, self.me.begin_ts, Some(self.me)) {
             Ok(Some(v)) => {
                 self.reads.push(ReadRec { rid, version: v });
-                // SAFETY: store-lifetime versions; payload immutable.
-                out(unsafe { &*v }.data());
+                // SAFETY: alive under our epoch pin; payload immutable.
+                let vr = unsafe { &*v };
+                if vr.is_tombstone() {
+                    // A visible tombstone is committed absence; it is still
+                    // validated by pointer identity like any read.
+                    return Ok(false);
+                }
+                out(vr.data());
                 Ok(true)
             }
             Ok(None) => {
@@ -456,6 +628,13 @@ impl Access for HkAccess<'_> {
         let rid = self.txn.writes[idx];
         self.eng
             .install_write(rid, data, self.me, self.reads, self.writes)
+            .map_err(|()| AbortReason::Conflict)
+    }
+
+    fn delete(&mut self, idx: usize) -> Result<(), AbortReason> {
+        let rid = self.txn.writes[idx];
+        self.eng
+            .install_delete(rid, self.me, self.reads, self.writes)
             .map_err(|()| AbortReason::Conflict)
     }
 
@@ -491,6 +670,9 @@ impl Engine for Hekaton {
             reads: Vec::with_capacity(32),
             writes: Vec::with_capacity(16),
             scratch: Vec::with_capacity(64),
+            slot: self.slots.acquire(),
+            slots: Arc::clone(&self.slots),
+            prune_rng: 0x9E37_79B9_7F4A_7C15 ^ (self.slots.next.load(Ordering::Relaxed) as u64),
         }
     }
 
@@ -500,7 +682,18 @@ impl Engine for Hekaton {
             w.reads.clear();
             w.writes.clear();
             let guard = epoch::pin();
+            // Publish a *lower bound* in the active registry BEFORE drawing
+            // the begin timestamp, then refine it. Ordering matters: a
+            // draw-then-publish window would let a pruner scan the registry
+            // between the two, miss this transaction, compute a watermark
+            // above our timestamp, and free a version we still need. With
+            // the bound published first (all SeqCst), any scan that misses
+            // it is ordered before our draw — and then every end timestamp
+            // the pruner can observe is below ours, so nothing it frees is
+            // visible to us.
+            self.slots.active[w.slot].store(self.counter.load(Ordering::SeqCst), Ordering::SeqCst);
             let begin_ts = self.counter.fetch_add(1, Ordering::SeqCst);
+            self.slots.active[w.slot].store(begin_ts, Ordering::SeqCst);
             let me_ptr = Box::into_raw(Box::new(HkTxn::new(begin_ts)));
             // SAFETY: freed via epoch deferral below.
             let me = unsafe { &*me_ptr };
@@ -529,6 +722,10 @@ impl Engine for Hekaton {
             let decision = match result {
                 Ok(fp) => {
                     if self.finish(me, w, false) {
+                        // Reclaim dead versions behind this commit's writes
+                        // (sampled; the registry still holds our begin_ts,
+                        // bounding the watermark from above).
+                        self.maybe_prune(w, &guard);
                         Some(ExecOutcome {
                             committed: true,
                             fingerprint: fp,
@@ -556,6 +753,7 @@ impl Engine for Hekaton {
             // SAFETY: all version words referencing `me` were replaced by
             // post-processing; in-flight readers hold epoch guards.
             unsafe { guard.defer_unchecked(move || drop(Box::from_raw(me_ptr))) };
+            self.slots.active[w.slot].store(u64::MAX, Ordering::Release);
             drop(guard);
 
             match decision {
@@ -575,8 +773,12 @@ impl Engine for Hekaton {
         let _guard = epoch::pin();
         match self.resolve(rid, END_INF, None) {
             Ok(Some(v)) => {
-                // SAFETY: store-lifetime versions.
-                Some(bohm_common::value::get_u64(unsafe { &*v }.data(), 0))
+                // SAFETY: alive under the pin (pruner defers frees).
+                let vr = unsafe { &*v };
+                if vr.is_tombstone() {
+                    return None; // committed absence
+                }
+                Some(bohm_common::value::get_u64(vr.data(), 0))
             }
             _ => None,
         }
@@ -616,13 +818,193 @@ mod tests {
 
     #[test]
     fn versions_accumulate_without_gc() {
-        let e = Hekaton::serializable(store(2));
+        // The paper-faithful "no incremental GC" configuration: chains grow
+        // one version per update, forever — the leak the chain pruner
+        // exists to fix (see the churn tests below).
+        let e = Hekaton::serializable(store(2)).without_gc();
         let mut w = e.make_worker();
         for _ in 0..10 {
             assert!(e.execute(&rmw(0, 1), &mut w).committed);
         }
         assert_eq!(e.read_u64(RecordId::new(0, 0)), Some(10));
         assert_eq!(e.store().chain_depth(RecordId::new(0, 0)), 11);
+        assert_eq!(e.pruned_versions(), 0);
+    }
+
+    #[test]
+    fn update_churn_keeps_chains_bounded_with_pruner() {
+        let e = Hekaton::serializable(store(2));
+        let mut w = e.make_worker();
+        let iters = bohm_common::stress_iters(2_000);
+        for _ in 0..iters {
+            assert!(e.execute(&rmw(0, 1), &mut w).committed);
+        }
+        assert_eq!(e.read_u64(RecordId::new(0, 0)), Some(iters));
+        let depth = e.store().chain_depth(RecordId::new(0, 0));
+        assert!(
+            depth < 64,
+            "pruner must bound the chain; depth {depth} after {iters} updates"
+        );
+        assert!(e.pruned_versions() > 0, "pruner must actually reclaim");
+    }
+
+    #[test]
+    fn insert_delete_churn_keeps_chains_bounded() {
+        use bohm_common::Procedure::{BlindWrite, GuardedDelete};
+        // The acceptance-criterion test: sustained insert→delete→re-insert
+        // cycles over a tiny keyset must not grow version chains without
+        // bound — committed-dead versions (including consumed tombstones)
+        // are reclaimed as the watermark passes them.
+        let s = HekatonStore::new(&[(1, 8), (4, 8)]);
+        s.seed_u64(0, |_| 1); // guard row for GuardedDelete
+        let e = Hekaton::serializable(s);
+        let mut w = e.make_worker();
+        let guard = RecordId::new(0, 0);
+        let iters = bohm_common::stress_iters(2_000);
+        for i in 0..iters {
+            let k = RecordId::new(1, i % 4);
+            let ins = Txn::new(vec![], vec![k], BlindWrite { value: i });
+            assert!(e.execute(&ins, &mut w).committed);
+            let del = Txn::new(vec![guard], vec![k], GuardedDelete { min: 0 });
+            assert!(e.execute(&del, &mut w).committed);
+        }
+        for row in 0..4 {
+            let rid = RecordId::new(1, row);
+            assert_eq!(e.read_u64(rid), None, "deleted key reads absent");
+            let depth = e.store().chain_depth(rid);
+            assert!(
+                depth < 64,
+                "chain of row {row} unbounded: depth {depth} after {iters} cycles"
+            );
+        }
+        assert!(
+            e.pruned_versions() > iters / 4,
+            "churn must reclaim aggressively, pruned only {}",
+            e.pruned_versions()
+        );
+    }
+
+    #[test]
+    fn reads_reclaim_chains_of_keys_no_longer_written() {
+        // A key that stops being written must still be reclaimable: pruning
+        // rides on *reads* too, so probe-only traffic shrinks the chain.
+        let e = Hekaton::serializable(store(2));
+        let mut w = e.make_worker();
+        for _ in 0..30 {
+            assert!(e.execute(&rmw(0, 1), &mut w).committed);
+        }
+        let hot = RecordId::new(0, 0);
+        let probe = Txn::new(vec![hot], vec![], Procedure::ProbeAll);
+        for _ in 0..64 {
+            assert!(e.execute(&probe, &mut w).committed);
+        }
+        let depth = e.store().chain_depth(hot);
+        assert!(
+            depth <= 2,
+            "read-driven pruning must shrink the chain: {depth}"
+        );
+        assert_eq!(e.read_u64(hot), Some(30));
+    }
+
+    #[test]
+    fn delete_makes_record_absent_and_reinsertable() {
+        let s = HekatonStore::new(&[(2, 8)]);
+        s.seed_u64(0, |r| r + 5);
+        let e = Hekaton::serializable(s);
+        let mut w = e.make_worker();
+        let guard = RecordId::new(0, 0);
+        let victim = RecordId::new(0, 1);
+        let del = Txn::new(
+            vec![guard],
+            vec![victim],
+            Procedure::GuardedDelete { min: 0 },
+        );
+        let out = e.execute(&del, &mut w);
+        assert!(out.committed);
+        assert_eq!(e.read_u64(victim), None, "tombstone reads as absence");
+        // Re-insert over the tombstone (update path, not head-CAS).
+        let ins = Txn::new(vec![], vec![victim], Procedure::BlindWrite { value: 42 });
+        assert!(e.execute(&ins, &mut w).committed);
+        assert_eq!(e.read_u64(victim), Some(42));
+        // And it RMWs like any record afterwards.
+        assert!(e.execute(&rmw(1, 1), &mut w).committed);
+        assert_eq!(e.read_u64(victim), Some(43));
+    }
+
+    #[test]
+    fn aborted_delete_restores_the_superseded_version() {
+        // A user abort *after* the procedure level would be a contract
+        // violation; the engine-level rollback is exercised through the
+        // first-writer-wins conflict path instead: concurrent deleters and
+        // re-inserters of one hot key must leave a consistent final state
+        // (every conflict loser's tombstone is unwound via abort_txn).
+        let s = HekatonStore::new(&[(2, 8)]);
+        s.seed_u64(0, |_| 7);
+        let e = Arc::new(Hekaton::serializable(s));
+        let hot = RecordId::new(0, 1);
+        let guard = RecordId::new(0, 0);
+        let mut handles = Vec::new();
+        for t in 0..6u64 {
+            let e = Arc::clone(&e);
+            handles.push(std::thread::spawn(move || {
+                let mut w = e.make_worker();
+                for i in 0..500u64 {
+                    if (t + i) % 2 == 0 {
+                        let del =
+                            Txn::new(vec![guard], vec![hot], Procedure::GuardedDelete { min: 0 });
+                        assert!(e.execute(&del, &mut w).committed);
+                    } else {
+                        let ins =
+                            Txn::new(vec![], vec![hot], Procedure::BlindWrite { value: 100 + t });
+                        assert!(e.execute(&ins, &mut w).committed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        if let Some(v) = e.read_u64(hot) {
+            assert!((100..106).contains(&v), "value from some insert: {v}");
+        }
+        // Guard row untouched throughout.
+        assert_eq!(e.read_u64(guard), Some(7));
+    }
+
+    #[test]
+    fn user_aborted_delete_leaves_row_readable() {
+        let s = HekatonStore::new(&[(2, 8)]);
+        s.seed_u64(0, |_| 0); // guard value 0 < min ⇒ user abort
+        let e = Hekaton::serializable(s);
+        let mut w = e.make_worker();
+        let victim = RecordId::new(0, 1);
+        let del = Txn::new(
+            vec![RecordId::new(0, 0)],
+            vec![victim],
+            Procedure::GuardedDelete { min: 1 },
+        );
+        let out = e.execute(&del, &mut w);
+        assert!(!out.committed);
+        assert_eq!(out.cc_retries, 0, "logic aborts are not retried");
+        assert_eq!(e.read_u64(victim), Some(0), "row survives the abort");
+    }
+
+    #[test]
+    fn blind_delete_of_absent_key_is_a_validated_noop() {
+        let s = HekatonStore::new(&[(1, 8), (2, 8)]); // table 1 unseeded
+        s.seed_u64(0, |_| 9);
+        let e = Hekaton::serializable(s);
+        let mut w = e.make_worker();
+        let absent = RecordId::new(1, 0);
+        let del = Txn::new(
+            vec![RecordId::new(0, 0)],
+            vec![absent],
+            Procedure::GuardedDelete { min: 0 },
+        );
+        let out = e.execute(&del, &mut w);
+        assert!(out.committed, "deleting nothing commits");
+        assert_eq!(e.read_u64(absent), None);
+        assert_eq!(e.store().chain_depth(absent), 0, "no version installed");
     }
 
     #[test]
@@ -871,7 +1253,10 @@ mod tests {
             "garbage must not masquerade as a conflict"
         );
         assert_eq!(e.read_u64(fresh), Some(3));
-        assert_eq!(e.store().chain_depth(fresh), 2, "insert stacked on garbage");
+        // The insert stacks on the garbage; the sampled pruner may already
+        // have unlinked the aborted version beneath the new head.
+        let depth = e.store().chain_depth(fresh);
+        assert!((1..=2).contains(&depth), "unexpected chain depth {depth}");
     }
 
     #[test]

@@ -6,12 +6,17 @@
 //! backward-linked version chain; pushes are CAS-loops because, unlike
 //! BOHM, *any* worker thread may install a version on any record.
 
-use crate::version::HkVersion;
+use crate::version::{unpack, HkVersion, WordView, END_INF};
 use bohm_common::RecordId;
-use std::sync::atomic::{AtomicPtr, Ordering};
+use crossbeam_epoch as epoch;
+use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
 
 struct TableSlots {
     heads: Box<[AtomicPtr<HkVersion>]>,
+    /// Per-record pruner mutual exclusion (try-lock; contenders skip). Only
+    /// pruners write `prev` of published versions or free them, so holding
+    /// this lock makes a record's chain structure single-writer again.
+    prune_locks: Box<[AtomicU8]>,
     record_size: usize,
 }
 
@@ -29,8 +34,11 @@ impl HekatonStore {
                 .map(|&(rows, record_size)| {
                     let mut heads = Vec::with_capacity(rows as usize);
                     heads.resize_with(rows as usize, || AtomicPtr::new(std::ptr::null_mut()));
+                    let mut prune_locks = Vec::with_capacity(rows as usize);
+                    prune_locks.resize_with(rows as usize, || AtomicU8::new(0));
                     TableSlots {
                         heads: heads.into_boxed_slice(),
+                        prune_locks: prune_locks.into_boxed_slice(),
                         record_size,
                     }
                 })
@@ -112,15 +120,95 @@ impl HekatonStore {
 
     /// Number of versions in a record's chain (diagnostics; racy).
     pub fn chain_depth(&self, rid: RecordId) -> usize {
+        // The epoch pin keeps any version the walk can reach alive: the
+        // pruner defers physical destruction past in-flight pins.
+        let _g = epoch::pin();
         let mut n = 0;
         let mut cur = self.head(rid).load(Ordering::Acquire);
         while !cur.is_null() {
             n += 1;
-            // SAFETY: versions are never freed while the store is alive
-            // (no-GC configuration); prev is immutable after publication.
             cur = unsafe { &*cur }.prev.load(Ordering::Acquire);
         }
         n
+    }
+
+    /// Prune the dead suffix of `rid`'s version chain.
+    ///
+    /// `watermark` is the minimum begin timestamp over all in-flight
+    /// transactions (the engine's active-transaction registry): a version
+    /// whose end is a real timestamp `e ≤ watermark` is invisible to every
+    /// active transaction (their `ts ≥ watermark ≥ e` fails `e > ts`) and
+    /// to every future one (the global counter has already passed `e`), so
+    /// it — and everything older beneath it — is garbage. Aborted-insert
+    /// versions are additionally unlinked one by one wherever they sit.
+    ///
+    /// The chain **head is never pruned** (it is the CAS anchor for
+    /// writers), so a fully-dead record that keeps getting pruned converges
+    /// to exactly one version — for deleted records, a single committed
+    /// tombstone. Pruning is driven by commits that read or write the
+    /// record, so a key *never touched again* retains its final chain
+    /// until something touches it (a background sweep is future work).
+    ///
+    /// Runs under the record's prune try-lock; contenders return 0
+    /// immediately. Physical destruction is deferred through `guard`'s
+    /// epoch, so concurrent readers mid-walk stay safe. Returns the number
+    /// of versions retired.
+    pub(crate) fn prune(&self, rid: RecordId, watermark: u64, guard: &epoch::Guard) -> usize {
+        let t = &self.tables[rid.table.index()];
+        let lock = &t.prune_locks[rid.row as usize];
+        if lock
+            .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            return 0;
+        }
+        let mut freed = 0;
+        let head = t.heads[rid.row as usize].load(Ordering::Acquire);
+        if !head.is_null() {
+            // SAFETY: only pruners free versions, and we hold this record's
+            // prune lock; the head itself is never freed.
+            let mut pred = unsafe { &*head };
+            loop {
+                let cur = pred.prev.load(Ordering::Acquire);
+                if cur.is_null() {
+                    break;
+                }
+                // SAFETY: reachable from `pred` under the prune lock.
+                let v = unsafe { &*cur };
+                if v.is_aborted_garbage() {
+                    // Unlink the single aborted version (readers skip it
+                    // anyway; the epoch defers its destruction past them).
+                    let next = v.prev.load(Ordering::Acquire);
+                    pred.prev.store(next, Ordering::Release);
+                    // SAFETY: unlinked under the prune lock; Box-allocated.
+                    unsafe { guard.defer_unchecked(move || drop(Box::from_raw(cur))) };
+                    freed += 1;
+                    continue; // same pred, new successor
+                }
+                match unpack(v.end.load(Ordering::Acquire)) {
+                    WordView::Ts(e) if e != END_INF && e <= watermark => {
+                        // Dead: unlink and retire the whole suffix. Every
+                        // older version is dead too (committed with an even
+                        // smaller end, or aborted garbage).
+                        pred.prev.store(std::ptr::null_mut(), Ordering::Release);
+                        let mut dead = cur;
+                        while !dead.is_null() {
+                            // SAFETY: the suffix is unreachable from the
+                            // head; destruction deferred past live pins.
+                            let older = unsafe { &*dead }.prev.load(Ordering::Acquire);
+                            let p = dead;
+                            unsafe { guard.defer_unchecked(move || drop(Box::from_raw(p))) };
+                            freed += 1;
+                            dead = older;
+                        }
+                        break;
+                    }
+                    _ => pred = v,
+                }
+            }
+        }
+        lock.store(0, Ordering::Release);
+        freed
     }
 }
 

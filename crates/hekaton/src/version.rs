@@ -46,10 +46,15 @@ pub enum WordView {
 pub struct HkVersion {
     pub begin: AtomicU64,
     pub end: AtomicU64,
-    /// Older version (immutable once the version is published).
+    /// Older version. Immutable once the version is published, **except**
+    /// for the chain pruner, which unlinks dead suffixes under the record's
+    /// prune lock (see `HekatonStore::prune`).
     pub prev: AtomicPtr<HkVersion>,
+    /// Deletion tombstone: this version's visibility interval means "the
+    /// record does not exist". Set at construction, immutable.
+    tombstone: bool,
     /// Payload, written by the creating transaction before publication and
-    /// immutable afterwards.
+    /// immutable afterwards (empty for tombstones).
     data: UnsafeCell<Box<[u8]>>,
 }
 
@@ -65,6 +70,7 @@ impl HkVersion {
             begin: AtomicU64::new(begin_ts),
             end: AtomicU64::new(END_INF),
             prev: AtomicPtr::new(std::ptr::null_mut()),
+            tombstone: false,
             data: UnsafeCell::new(data),
         }
     }
@@ -75,8 +81,27 @@ impl HkVersion {
             begin: AtomicU64::new(txn_word(creator)),
             end: AtomicU64::new(END_INF),
             prev: AtomicPtr::new(std::ptr::null_mut()),
+            tombstone: false,
             data: UnsafeCell::new(data),
         }
+    }
+
+    /// A deletion tombstone under creation by `creator`: once committed,
+    /// readers in its visibility window observe the record as absent.
+    pub fn uncommitted_tombstone(creator: *const HkTxn) -> Self {
+        Self {
+            begin: AtomicU64::new(txn_word(creator)),
+            end: AtomicU64::new(END_INF),
+            prev: AtomicPtr::new(std::ptr::null_mut()),
+            tombstone: true,
+            data: UnsafeCell::new(Box::new([])),
+        }
+    }
+
+    /// Is this version a deletion tombstone?
+    #[inline]
+    pub fn is_tombstone(&self) -> bool {
+        self.tombstone
     }
 
     #[inline]

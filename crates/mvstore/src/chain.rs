@@ -252,6 +252,34 @@ mod tests {
     }
 
     #[test]
+    fn tombstones_truncate_once_superseded() {
+        // Record lifecycle on one chain: value → delete (tombstone) →
+        // re-insert. Once the GC bound passes the re-insert, both the
+        // tombstone and the pre-delete value are reclaimed; the chain
+        // converges to the single live version.
+        let c = Chain::new();
+        let g = epoch::pin();
+        c.install(ready(100, 1), &g); // end=200 after delete
+        let del = c.install(Owned::new(Version::placeholder(200, 8)), &g);
+        unsafe { del.as_ref() }.unwrap().fill_tombstone();
+        // Deleted: readers above the tombstone observe it (absence).
+        assert_eq!(
+            c.visible(250, &g).unwrap().state(),
+            crate::version::VersionState::Tombstone
+        );
+        // Re-insert supersedes the tombstone (end = 300).
+        c.install(ready(300, 3), &g);
+        assert_eq!(c.depth(&g), 3);
+        // Bound below the re-insert keeps the tombstone (a reader at 250
+        // might still need to observe the deletion).
+        assert_eq!(c.truncate(250, &g), 1, "only the pre-delete value dies");
+        // Bound at the re-insert reclaims the tombstone too.
+        assert_eq!(c.truncate(300, &g), 1);
+        assert_eq!(c.depth(&g), 1);
+        assert_eq!(get_u64(c.latest(&g).unwrap().data(), 0), 3);
+    }
+
+    #[test]
     fn truncate_never_touches_live_head() {
         let c = Chain::new();
         let g = epoch::pin();

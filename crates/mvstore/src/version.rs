@@ -201,6 +201,19 @@ impl Version {
             .store(VersionState::Tombstone as u32, Ordering::Release);
     }
 
+    /// Idempotent [`fill_tombstone`](Self::fill_tombstone): no-op if already
+    /// resolved. The executor's re-run path replays deletes exactly like
+    /// writes (see [`fill_once`](Self::fill_once)); a replayed delete is a
+    /// deterministic repeat, so skipping it is sound. Returns whether this
+    /// call performed the fill.
+    pub fn fill_tombstone_once(&self) -> bool {
+        if self.is_resolved() {
+            return false;
+        }
+        self.fill_tombstone();
+        true
+    }
+
     /// Read the payload. Panics if the version is still `Pending` — callers
     /// must check [`is_resolved`](Self::is_resolved) (and resolve the
     /// producer) first; BOHM's executor does exactly that.

@@ -28,13 +28,17 @@ use std::sync::atomic::{fence, AtomicU64, Ordering};
 /// Lock bit of the TID word.
 const LOCK: u64 = 1 << 63;
 
-/// One buffered write.
+/// One buffered write (or delete — deletes carry no payload).
 struct WriteEntry {
     rid: RecordId,
     slot: u64,
-    /// Range into the worker's byte buffer.
+    /// Range into the worker's byte buffer (unused while `delete`).
     off: usize,
     len: usize,
+    /// Buffered record delete: commit clears the presence flag instead of
+    /// writing a payload. A later `write` of the same rid in the same
+    /// transaction flips the entry back to an insert/update.
+    delete: bool,
 }
 
 /// Per-worker state: read set, write buffer, decentralized TID clock.
@@ -105,8 +109,12 @@ impl Access for OccAccess<'_> {
 
     fn read_maybe(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<bool, AbortReason> {
         let rid = self.txn.reads[idx];
-        // Read-own-write: serve from the write buffer.
+        // Read-own-write: serve from the write buffer (a buffered delete
+        // reads as this transaction's own absence).
         if let Some(e) = self.w.wentries.iter().find(|e| e.rid == rid) {
+            if e.delete {
+                return Ok(false);
+            }
             out(&self.w.wbuf[e.off..e.off + e.len]);
             return Ok(true);
         }
@@ -148,10 +156,21 @@ impl Access for OccAccess<'_> {
 
     fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason> {
         let rid = self.txn.writes[idx];
-        if let Some(e) = self.w.wentries.iter().find(|e| e.rid == rid) {
-            debug_assert_eq!(e.len, data.len());
-            let (off, len) = (e.off, e.len);
-            self.w.wbuf[off..off + len].copy_from_slice(data);
+        if let Some(i) = self.w.wentries.iter().position(|e| e.rid == rid) {
+            let e = &self.w.wentries[i];
+            if !e.delete {
+                debug_assert_eq!(e.len, data.len());
+                let (off, len) = (e.off, e.len);
+                self.w.wbuf[off..off + len].copy_from_slice(data);
+                return Ok(());
+            }
+            // Write after own delete: the entry becomes a re-insert.
+            let off = self.w.wbuf.len();
+            self.w.wbuf.extend_from_slice(data);
+            let e = &mut self.w.wentries[i];
+            e.off = off;
+            e.len = data.len();
+            e.delete = false;
             return Ok(());
         }
         let off = self.w.wbuf.len();
@@ -161,6 +180,23 @@ impl Access for OccAccess<'_> {
             slot: self.eng.store.slot(rid),
             off,
             len: data.len(),
+            delete: false,
+        });
+        Ok(())
+    }
+
+    fn delete(&mut self, idx: usize) -> Result<(), AbortReason> {
+        let rid = self.txn.writes[idx];
+        if let Some(e) = self.w.wentries.iter_mut().find(|e| e.rid == rid) {
+            e.delete = true; // supersedes any buffered payload
+            return Ok(());
+        }
+        self.w.wentries.push(WriteEntry {
+            rid,
+            slot: self.eng.store.slot(rid),
+            off: 0,
+            len: 0,
+            delete: true,
         });
         Ok(())
     }
@@ -228,14 +264,21 @@ impl SiloOcc {
         // Phase 3: apply writes, unlock by publishing the new TID. A write
         // to a reserved (absent) slot is the insert: the presence flag goes
         // up before the TID release-store, so any reader that validated
-        // "absent" against the old TID is invalidated by this commit.
+        // "absent" against the old TID is invalidated by this commit. A
+        // delete mirrors the insert: the flag goes *down* before the TID
+        // bump, invalidating any reader that validated the record present,
+        // and the slot rejoins the table's free pool.
         for (k, &i) in w.lock_order.iter().enumerate() {
             let e = &w.wentries[i];
             let _ = locked_tids[k];
             let table = self.store.table(e.rid);
-            // SAFETY: we hold the record's TID lock.
-            unsafe { table.write(e.rid.row as usize, &w.wbuf[e.off..e.off + e.len]) };
-            table.mark_present(e.rid.row as usize);
+            if e.delete {
+                table.clear_present(e.rid.row as usize);
+            } else {
+                // SAFETY: we hold the record's TID lock.
+                unsafe { table.write(e.rid.row as usize, &w.wbuf[e.off..e.off + e.len]) };
+                table.mark_present(e.rid.row as usize);
+            }
             self.meta(e.rid).store(tid, Ordering::Release);
         }
         w.last_tid = tid;
@@ -508,6 +551,132 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(e.store().row_count(0), 64);
+    }
+
+    #[test]
+    fn delete_then_reinsert_recycles_the_slot() {
+        use bohm_common::Procedure::GuardedDelete;
+        let mut b = StoreBuilder::new();
+        b.add_table(4, 8);
+        b.seed_u64(0, |r| r + 10);
+        let e = SiloOcc::from_builder(b);
+        let mut w = e.make_worker();
+        let guard = RecordId::new(0, 0);
+        let victim = RecordId::new(0, 2);
+        let del = Txn::new(vec![guard], vec![victim], GuardedDelete { min: 0 });
+        assert!(e.execute(&del, &mut w).committed);
+        assert_eq!(e.read_u64(victim), None, "deleted row reads absent");
+        assert_eq!(e.store().row_count(0), 3);
+        assert_eq!(e.store().free_slots(0), 1);
+        let ins = Txn::new(vec![], vec![victim], Procedure::BlindWrite { value: 5 });
+        assert!(e.execute(&ins, &mut w).committed);
+        assert_eq!(e.read_u64(victim), Some(5), "slot recycled by re-insert");
+        assert_eq!(e.store().free_slots(0), 0);
+    }
+
+    #[test]
+    fn aborted_delete_discards_the_buffered_delete() {
+        use bohm_common::Procedure::GuardedDelete;
+        let mut b = StoreBuilder::new();
+        b.add_table(2, 8);
+        b.seed_u64(0, |_| 0); // guard 0 < min ⇒ user abort
+        let e = SiloOcc::from_builder(b);
+        let mut w = e.make_worker();
+        let victim = RecordId::new(0, 1);
+        let del = Txn::new(
+            vec![RecordId::new(0, 0)],
+            vec![victim],
+            GuardedDelete { min: 1 },
+        );
+        assert!(!e.execute(&del, &mut w).committed);
+        assert_eq!(e.read_u64(victim), Some(0), "aborted delete rolls back");
+        assert_eq!(e.store().free_slots(0), 0, "slot not reclaimed");
+    }
+
+    #[test]
+    fn delivery_consumes_order_through_buffered_delete() {
+        use bohm_common::TpcCProc;
+        // Delivery reads then deletes an order and writes the cursor in the
+        // same transaction, exercising a mixed write/delete buffer.
+        let mut b = StoreBuilder::new();
+        b.add_table(1, 8); // cursor
+        b.add_table_with_spare(1, 0, 8); // one seeded order
+        b.seed_u64(1, |_| 42);
+        let e = SiloOcc::from_builder(b);
+        let mut w = e.make_worker();
+        let cursor = RecordId::new(0, 0);
+        let order = RecordId::new(1, 0);
+        let rids = vec![cursor, order];
+        let deliver = Txn::new(rids.clone(), rids, Procedure::TpcC(TpcCProc::Delivery));
+        assert!(e.execute(&deliver, &mut w).committed);
+        assert_eq!(e.read_u64(cursor), Some(1));
+        assert_eq!(e.read_u64(order), None, "delivered order deleted");
+        assert_eq!(e.store().row_count(1), 0);
+    }
+
+    #[test]
+    fn delete_visibility_is_atomic_across_records() {
+        // A writer alternates "insert rows (0,1) = 9" and "delete rows
+        // (0,1)"; probing readers must never observe a mixed pair — the
+        // TID-validated read protocol covers presence transitions exactly
+        // like payload changes.
+        use bohm_common::Procedure::{GuardedDelete, ProbeAll};
+        use bohm_common::ABSENT_FINGERPRINT;
+        let mut b = StoreBuilder::new();
+        b.add_table(1, 8); // guard for GuardedDelete
+        b.add_table_with_spare(0, 2, 8); // churn pair, starts absent
+        let e = Arc::new(SiloOcc::from_builder(b));
+        let pair = [RecordId::new(1, 0), RecordId::new(1, 1)];
+        let fp_absent = ABSENT_FINGERPRINT
+            .wrapping_mul(31)
+            .wrapping_add(ABSENT_FINGERPRINT);
+        let c9 = bohm_common::value::checksum(&bohm_common::value::of_u64(9, 8));
+        let fp_present = c9.wrapping_mul(31).wrapping_add(c9);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let e = Arc::clone(&e);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut w = e.make_worker();
+                let ins = Txn::new(vec![], pair.to_vec(), Procedure::BlindWrite { value: 9 });
+                let del = Txn::new(
+                    vec![RecordId::new(0, 0)],
+                    pair.to_vec(),
+                    GuardedDelete { min: 0 },
+                );
+                while !stop.load(Ordering::Relaxed) {
+                    assert!(e.execute(&ins, &mut w).committed);
+                    assert!(e.execute(&del, &mut w).committed);
+                }
+            })
+        };
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let e = Arc::clone(&e);
+            let stop = Arc::clone(&stop);
+            readers.push(std::thread::spawn(move || {
+                let mut w = e.make_worker();
+                let probe = Txn::new(pair.to_vec(), vec![], ProbeAll);
+                let mut seen = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let out = e.execute(&probe, &mut w);
+                    assert!(out.committed);
+                    assert!(
+                        out.fingerprint == fp_absent || out.fingerprint == fp_present,
+                        "mixed insert/delete pair observed: {:#x}",
+                        out.fingerprint
+                    );
+                    seen += 1;
+                }
+                seen
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
     }
 
     #[test]

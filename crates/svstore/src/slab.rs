@@ -1,7 +1,7 @@
 //! One table: a contiguous slab of fixed-size records plus metadata words.
 
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 /// A fixed-capacity table of `rows` record slots, each `record_size` bytes,
 /// with one atomic metadata word per record.
@@ -23,6 +23,11 @@ pub struct Table {
     record_size: usize,
     meta: Box<[AtomicU64]>,
     present: Box<[AtomicU8]>,
+    /// Number of present rows. Because rows are client-addressed, a table
+    /// needs no allocation free-list: a cleared slot *is* the recyclable
+    /// slot (the same row id re-inserts), and this counter is the free-list
+    /// accounting — `rows - present_count` slots are reusable at any time.
+    present_count: AtomicUsize,
     data: Box<[UnsafeCell<u8>]>,
 }
 
@@ -58,6 +63,7 @@ impl Table {
             record_size,
             meta: meta.into_boxed_slice(),
             present: present.into_boxed_slice(),
+            present_count: AtomicUsize::new(seeded),
             data: data.into_boxed_slice(),
         }
     }
@@ -82,7 +88,33 @@ impl Table {
     pub fn mark_present(&self, row: usize) {
         if self.present[row].load(Ordering::Relaxed) == 0 {
             self.present[row].store(1, Ordering::Release);
+            self.present_count.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Take row `row` out of existence (a committed record delete). Same
+    /// exclusivity/publication contract as [`mark_present`](Self::mark_present);
+    /// the slot's storage and metadata word survive, so the row id is
+    /// immediately reusable by a later insert.
+    #[inline]
+    pub fn clear_present(&self, row: usize) {
+        if self.present[row].load(Ordering::Relaxed) != 0 {
+            self.present[row].store(0, Ordering::Release);
+            self.present_count.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Rows currently holding a record (seeded + inserted − deleted). Racy
+    /// under concurrent writers; exact on a quiescent table.
+    #[inline]
+    pub fn present_rows(&self) -> usize {
+        self.present_count.load(Ordering::Acquire)
+    }
+
+    /// Slots available for (re-)insertion — the implicit free-list depth.
+    #[inline]
+    pub fn free_slots(&self) -> usize {
+        self.rows - self.present_rows()
     }
 
     #[inline]
@@ -207,6 +239,27 @@ mod tests {
     fn plain_tables_are_fully_present() {
         let t = Table::new(3, 8);
         assert!((0..3).all(|r| t.is_present(r)));
+    }
+
+    #[test]
+    fn clear_present_recycles_slots() {
+        let t = Table::with_headroom(2, 2, 8);
+        assert_eq!(t.present_rows(), 2);
+        assert_eq!(t.free_slots(), 2);
+        t.clear_present(1);
+        assert!(!t.is_present(1));
+        assert_eq!(t.present_rows(), 1);
+        assert_eq!(t.free_slots(), 3);
+        // Idempotent on an already-absent row.
+        t.clear_present(1);
+        assert_eq!(t.present_rows(), 1);
+        // The cleared slot is reusable.
+        t.mark_present(1);
+        assert!(t.is_present(1));
+        assert_eq!(t.present_rows(), 2);
+        // Re-marking a present row does not double-count.
+        t.mark_present(1);
+        assert_eq!(t.present_rows(), 2);
     }
 
     #[test]

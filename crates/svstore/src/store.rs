@@ -61,11 +61,17 @@ impl SingleVersionStore {
         sum
     }
 
-    /// Number of present records in `table` (seeded + committed inserts).
-    /// Racy under concurrent writers, exact on a quiescent store.
+    /// Number of present records in `table` (seeded + committed inserts −
+    /// committed deletes). Racy under concurrent writers, exact on a
+    /// quiescent store; O(1) via the table's presence counter.
     pub fn row_count(&self, table: u32) -> u64 {
-        let t = &self.tables[table as usize];
-        (0..t.rows()).filter(|&row| t.is_present(row)).count() as u64
+        self.tables[table as usize].present_rows() as u64
+    }
+
+    /// Slots of `table` available for (re-)insertion — deleted rows return
+    /// here, making the implicit free-list depth observable to tests.
+    pub fn free_slots(&self, table: u32) -> u64 {
+        self.tables[table as usize].free_slots() as u64
     }
 }
 

@@ -31,9 +31,10 @@ struct OracleAccess<'a> {
     tables: &'a Vec<Vec<Option<Box<[u8]>>>>,
     record_sizes: &'a [usize],
     txn: &'a Txn,
-    /// Buffered writes, applied only on commit (keeps the oracle correct
-    /// even for procedures that violate the abort-before-write contract).
-    pending: Vec<(RecordId, Box<[u8]>)>,
+    /// Buffered writes and deletes (`None` = delete), applied in order only
+    /// on commit (keeps the oracle correct even for procedures that violate
+    /// the abort-before-write contract).
+    pending: Vec<(RecordId, Option<Box<[u8]>>)>,
 }
 
 impl Access for OracleAccess<'_> {
@@ -47,8 +48,13 @@ impl Access for OracleAccess<'_> {
     fn read_maybe(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<bool, AbortReason> {
         let rid = self.txn.reads[idx];
         if let Some((_, data)) = self.pending.iter().rev().find(|(r, _)| *r == rid) {
-            out(data);
-            return Ok(true);
+            return Ok(match data {
+                Some(d) => {
+                    out(d);
+                    true
+                }
+                None => false, // deleted by this transaction
+            });
         }
         match &self.tables[rid.table.index()][rid.row as usize] {
             Some(data) => {
@@ -66,7 +72,12 @@ impl Access for OracleAccess<'_> {
             self.record_sizes[rid.table.index()],
             "payload must be record-sized"
         );
-        self.pending.push((rid, data.into()));
+        self.pending.push((rid, Some(data.into())));
+        Ok(())
+    }
+
+    fn delete(&mut self, idx: usize) -> Result<(), AbortReason> {
+        self.pending.push((self.txn.writes[idx], None));
         Ok(())
     }
 
@@ -115,8 +126,10 @@ impl SerialOracle {
             Ok(fp) => {
                 let pending = access.pending;
                 for (rid, data) in pending {
-                    // A write to an absent slot is the record's insert.
-                    self.tables[rid.table.index()][rid.row as usize] = Some(data);
+                    // A write to an absent slot is the record's insert; a
+                    // `None` entry is a delete, returning the slot to the
+                    // absent pool (re-insertable by a later transaction).
+                    self.tables[rid.table.index()][rid.row as usize] = data;
                 }
                 ExecOutcome {
                     committed: true,
@@ -311,6 +324,55 @@ mod tests {
             out.fingerprint,
             0u64.wrapping_mul(31).wrapping_add(ABSENT_FINGERPRINT)
         );
+    }
+
+    #[test]
+    fn oracle_deletes_and_recycles_slots() {
+        let mut o = SerialOracle::new(&spec());
+        let victim = RecordId::new(0, 1); // seeded 100
+        let del = Txn::new(
+            vec![RecordId::new(0, 0)],
+            vec![victim],
+            Procedure::GuardedDelete { min: 0 },
+        );
+        assert!(o.apply(&del).committed);
+        assert_eq!(o.read_u64(victim), None, "deleted row is absent");
+        assert_eq!(o.row_count(0), 3);
+        // The slot is reusable: a write re-inserts it.
+        let ins = Txn::new(vec![], vec![victim], Procedure::BlindWrite { value: 7 });
+        assert!(o.apply(&ins).committed);
+        assert_eq!(o.read_u64(victim), Some(7));
+        assert_eq!(o.row_count(0), 4);
+    }
+
+    #[test]
+    fn oracle_aborted_delete_leaves_row_intact() {
+        let mut o = SerialOracle::new(&spec());
+        let victim = RecordId::new(0, 1);
+        // Guard (row 0, value 0) below min ⇒ user abort before the delete.
+        let del = Txn::new(
+            vec![RecordId::new(0, 0)],
+            vec![victim],
+            Procedure::GuardedDelete { min: 1 },
+        );
+        assert!(!o.apply(&del).committed);
+        assert_eq!(o.read_u64(victim), Some(100));
+        assert_eq!(o.row_count(0), 4);
+    }
+
+    #[test]
+    fn oracle_read_after_delete_within_txn_sees_absence() {
+        // Delivery shape: a txn that deletes then re-probes through pending
+        // must observe its own delete.
+        let mut o = SerialOracle::new(&spec_with_headroom());
+        let order = RecordId::new(0, 1); // seeded 100
+        let cursor = RecordId::new(0, 0); // seeded 0
+        let rids = vec![cursor, order];
+        let t = Txn::new(rids.clone(), rids, Procedure::TpcC(TpcCProc::Delivery));
+        let out = o.apply(&t);
+        assert!(out.committed);
+        assert_eq!(o.read_u64(order), None, "delivered order is deleted");
+        assert_eq!(o.read_u64(cursor), Some(1), "cursor advanced");
     }
 
     #[test]

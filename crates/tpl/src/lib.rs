@@ -91,6 +91,16 @@ impl Access for TplAccess<'_> {
         Ok(())
     }
 
+    fn delete(&mut self, idx: usize) -> Result<(), AbortReason> {
+        let rid = self.txn.writes[idx];
+        // Exclusive lock held on the slot (write-set entries lock Exclusive),
+        // so clearing the flag is race-free and the lock release publishes
+        // it; deleting an already-absent slot is a no-op under the same
+        // lock. The slot returns to the table's free pool immediately.
+        self.store.table(rid).clear_present(rid.row as usize);
+        Ok(())
+    }
+
     fn write_len(&mut self, idx: usize) -> usize {
         self.store.table(self.txn.writes[idx]).record_size()
     }
@@ -309,6 +319,89 @@ mod tests {
         assert!(e.execute(&t, &mut w).committed);
         assert_eq!(e.read_u64(fresh), Some(9));
         assert_eq!(e.store().row_count(0), 3);
+    }
+
+    #[test]
+    fn delete_then_reinsert_recycles_the_slot() {
+        let mut b = StoreBuilder::new();
+        b.add_table(4, 8);
+        b.seed_u64(0, |r| r + 10);
+        let e = TwoPhaseLocking::from_builder(b);
+        let mut w = e.make_worker();
+        let guard = RecordId::new(0, 0);
+        let victim = RecordId::new(0, 2);
+        let del = Txn::new(
+            vec![guard],
+            vec![victim],
+            Procedure::GuardedDelete { min: 0 },
+        );
+        assert!(e.execute(&del, &mut w).committed);
+        assert_eq!(e.read_u64(victim), None, "deleted row reads absent");
+        assert_eq!(e.store().row_count(0), 3);
+        assert_eq!(e.store().free_slots(0), 1, "slot returned to free pool");
+        // Reuse the slot.
+        let ins = Txn::new(vec![], vec![victim], Procedure::BlindWrite { value: 77 });
+        assert!(e.execute(&ins, &mut w).committed);
+        assert_eq!(e.read_u64(victim), Some(77));
+        assert_eq!(e.store().free_slots(0), 0);
+    }
+
+    #[test]
+    fn aborted_delete_leaves_row_readable_and_slot_unreclaimed() {
+        let mut b = StoreBuilder::new();
+        b.add_table(2, 8);
+        b.seed_u64(0, |_| 0); // guard value 0 < min ⇒ user abort
+        let e = TwoPhaseLocking::from_builder(b);
+        let mut w = e.make_worker();
+        let victim = RecordId::new(0, 1);
+        let del = Txn::new(
+            vec![RecordId::new(0, 0)],
+            vec![victim],
+            Procedure::GuardedDelete { min: 1 },
+        );
+        assert!(!e.execute(&del, &mut w).committed);
+        assert_eq!(e.read_u64(victim), Some(0), "aborted delete rolls back");
+        assert_eq!(e.store().free_slots(0), 0);
+    }
+
+    #[test]
+    fn concurrent_delete_insert_churn_stays_consistent() {
+        // Threads alternate delete/insert of a shared row under 2PL; the
+        // final state must be either a committed insert value or absent —
+        // never a torn/half state — and the presence counter must agree
+        // with the flag.
+        let mut b = StoreBuilder::new();
+        b.add_table(2, 8);
+        b.seed_u64(0, |_| 1);
+        let e = Arc::new(TwoPhaseLocking::from_builder(b));
+        let hot = RecordId::new(0, 1);
+        let guard = RecordId::new(0, 0);
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let e = Arc::clone(&e);
+            handles.push(std::thread::spawn(move || {
+                let mut w = e.make_worker();
+                for i in 0..2_000u64 {
+                    if (t + i) % 2 == 0 {
+                        let del =
+                            Txn::new(vec![guard], vec![hot], Procedure::GuardedDelete { min: 0 });
+                        assert!(e.execute(&del, &mut w).committed);
+                    } else {
+                        let ins =
+                            Txn::new(vec![], vec![hot], Procedure::BlindWrite { value: 100 + t });
+                        assert!(e.execute(&ins, &mut w).committed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        if let Some(v) = e.read_u64(hot) {
+            assert!((100..104).contains(&v), "value from some insert: {v}");
+        }
+        let expect = 1 + u64::from(e.read_u64(hot).is_some());
+        assert_eq!(e.store().row_count(0), expect);
     }
 
     #[test]

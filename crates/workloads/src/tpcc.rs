@@ -1,24 +1,31 @@
-//! TPC-C-lite workload: an insert-heavy, multi-table order-entry mix.
+//! TPC-C-lite workload: an insert-and-delete-heavy, multi-table
+//! order-entry mix.
 //!
 //! The paper evaluates BOHM only on preloaded key sets; this family opens
-//! the record-insert path end to end. Four tables — `warehouse`,
-//! `district`, `customer` and `order` — and three procedures:
+//! the full record lifecycle end to end. Five tables — `warehouse`,
+//! `district`, `customer`, `order` and the per-stripe `delivery` cursor —
+//! and four procedures:
 //!
-//! * **NewOrder** (45%) — RMW of the district order counter plus an
+//! * **NewOrder** (43%) — RMW of the district order counter plus an
 //!   **insert** of a fresh order record ([`TpcCProc::NewOrder`]),
-//! * **Payment** (43%) — a cross-table RMW touching warehouse, district
+//! * **Payment** (40%) — a cross-table RMW touching warehouse, district
 //!   and customer ([`TpcCProc::Payment`]),
+//! * **Delivery** (5%) — batch-consume the oldest undelivered orders:
+//!   each is read and **deleted**, and the stripe's delivery cursor
+//!   advances ([`TpcCProc::Delivery`]),
 //! * **OrderStatus** (12%) — read-only; probes an order slot that may not
-//!   exist yet, exercising absence-tolerant reads
-//!   ([`TpcCProc::OrderStatus`]).
+//!   exist (not yet inserted, or already delivered), exercising
+//!   absence-tolerant reads ([`TpcCProc::OrderStatus`]).
 //!
 //! Write sets are declared up front (BOHM's model), so order ids are
 //! **generator-assigned**: each generator owns a disjoint stripe of the
-//! order table and hands out slots sequentially, wrapping within its
-//! stripe once the headroom is exhausted (a wrapped NewOrder degrades to
-//! an update of a recycled slot — harmless for every engine). The order
-//! table is declared with zero seeded rows and `spare_rows` headroom, so
-//! every order the workload creates is a true insert.
+//! order table and runs it as a ring — NewOrder inserts at the head,
+//! Delivery deletes at the tail, and a full stripe forces a Delivery in
+//! place of the NewOrder. Every order the workload creates is therefore a
+//! **true insert** into a currently-absent slot (the table is declared
+//! with zero seeded rows and `spare_rows` headroom), and every delivered
+//! slot is genuinely recycled — the insert→delete→reclaim loop the
+//! engines' lifecycle machinery exists for.
 
 use crate::spec::{DatabaseSpec, TableDef};
 use crate::TxnGen;
@@ -31,6 +38,9 @@ pub mod tables {
     pub const DISTRICT: u32 = 1;
     pub const CUSTOMER: u32 = 2;
     pub const ORDER: u32 = 3;
+    /// One row per generator stripe: the count of orders delivered
+    /// (consumed + deleted) from that stripe, serializing Deliveries.
+    pub const DELIVERY: u32 = 4;
 }
 
 /// Workload parameters.
@@ -44,6 +54,8 @@ pub struct TpccConfig {
     /// Generator stripes the order table is partitioned into; every
     /// session index passed to [`TpccGen::new`] must be below this.
     pub order_stripes: u64,
+    /// Maximum orders one Delivery transaction consumes.
+    pub delivery_batch: u64,
     /// Per-transaction busy-spin, µs.
     pub think_us: u32,
 }
@@ -56,6 +68,7 @@ impl Default for TpccConfig {
             customers_per_district: 96,
             order_capacity: 1 << 16,
             order_stripes: 64,
+            delivery_batch: 4,
             think_us: 0,
         }
     }
@@ -103,6 +116,12 @@ impl TpccConfig {
                 record_size: 32,
                 seed: |_| 0, // never invoked: the table starts empty
             },
+            TableDef {
+                rows: self.order_stripes,
+                spare_rows: 0,
+                record_size: 8,
+                seed: |_| 0, // delivered-order count per stripe
+            },
         ])
     }
 }
@@ -124,6 +143,10 @@ fn customer(cfg: &TpccConfig, w: u64, d: u64, c: u64) -> RecordId {
 
 fn order(row: u64) -> RecordId {
     RecordId::new(tables::ORDER, row)
+}
+
+fn delivery_cursor(stripe: u64) -> RecordId {
+    RecordId::new(tables::DELIVERY, stripe)
 }
 
 /// Build a NewOrder transaction inserting order row `o_row`.
@@ -149,6 +172,21 @@ pub fn payment(cfg: &TpccConfig, w: u64, d: u64, c: u64, amount: u64) -> Txn {
     t
 }
 
+/// Build a Delivery transaction for `stripe`, consuming `count` orders
+/// starting at ring position `first` (the stripe's oldest undelivered
+/// order). Reads = writes = `[cursor, order…]`, per the
+/// [`TpcCProc::Delivery`] layout.
+pub fn delivery(cfg: &TpccConfig, stripe: u64, first: u64, count: u64) -> Txn {
+    let per = cfg.orders_per_stripe();
+    let base = stripe * per;
+    let mut rids = Vec::with_capacity(1 + count as usize);
+    rids.push(delivery_cursor(stripe));
+    rids.extend((0..count).map(|i| order(base + (first + i) % per)));
+    let mut t = Txn::new(rids.clone(), rids, Procedure::TpcC(TpcCProc::Delivery));
+    t.think_us = cfg.think_us;
+    t
+}
+
 /// Build an OrderStatus transaction probing order row `o_row`.
 pub fn order_status(cfg: &TpccConfig, w: u64, d: u64, c: u64, o_row: u64) -> Txn {
     let mut t = Txn::new(
@@ -161,13 +199,23 @@ pub fn order_status(cfg: &TpccConfig, w: u64, d: u64, c: u64, o_row: u64) -> Txn
 }
 
 /// Per-session TPC-C-lite transaction generator.
+///
+/// The stripe is a ring: `created` counts NewOrders issued (head),
+/// `delivered` counts orders consumed by Delivery (tail). The generator
+/// keeps `created - delivered ≤ orders_per_stripe()` by forcing a Delivery
+/// when the stripe is full, so every NewOrder inserts into a slot that is
+/// currently absent (never inserted, or delivered and thus recycled).
 pub struct TpccGen {
     cfg: TpccConfig,
     rng: FastRng,
+    /// This generator's stripe index.
+    stripe: u64,
     /// First order row of this generator's stripe.
     stripe_base: u64,
     /// Orders this generator has issued NewOrder transactions for.
     created: u64,
+    /// Orders this generator has consumed via Delivery transactions.
+    delivered: u64,
 }
 
 impl TpccGen {
@@ -179,20 +227,28 @@ impl TpccGen {
         Self {
             cfg,
             rng: FastRng::seed_from(seed),
+            stripe,
             stripe_base,
             created: 0,
+            delivered: 0,
         }
     }
 
-    /// Orders this generator has created so far (≥ the number of distinct
-    /// rows it inserted; equal until the stripe wraps).
+    /// Orders this generator has created so far.
     pub fn orders_created(&self) -> u64 {
         self.created
     }
 
-    /// Distinct order rows this generator has inserted.
-    pub fn orders_inserted(&self) -> u64 {
-        self.created.min(self.cfg.orders_per_stripe())
+    /// Orders this generator has consumed (deleted) via Delivery.
+    pub fn orders_delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Order rows currently live (inserted and not yet delivered) — the
+    /// expected `row_count` contribution of this stripe after the stream
+    /// executes.
+    pub fn orders_live(&self) -> u64 {
+        self.created - self.delivered
     }
 
     fn wdc(&mut self) -> (u64, u64, u64) {
@@ -202,6 +258,17 @@ impl TpccGen {
             self.rng.below(self.cfg.customers_per_district),
         )
     }
+
+    /// Consume up to `delivery_batch` of the oldest undelivered orders.
+    /// Callers guarantee at least one order is undelivered.
+    fn next_delivery(&mut self) -> Txn {
+        let undelivered = self.created - self.delivered;
+        debug_assert!(undelivered > 0);
+        let count = self.cfg.delivery_batch.min(undelivered);
+        let t = delivery(&self.cfg, self.stripe, self.delivered, count);
+        self.delivered += count;
+        t
+    }
 }
 
 impl TxnGen for TpccGen {
@@ -209,21 +276,39 @@ impl TxnGen for TpccGen {
         let (w, d, c) = self.wdc();
         let per = self.cfg.orders_per_stripe();
         match self.rng.below(100) {
-            0..=44 => {
+            0..=42 => {
+                if self.created - self.delivered == per {
+                    // Stripe full: deliver instead, so the next NewOrder
+                    // inserts into a genuinely recycled (absent) slot.
+                    return self.next_delivery();
+                }
                 let o_row = self.stripe_base + self.created % per;
                 self.created += 1;
                 let lines = 1 + self.rng.below(10) as u32;
                 new_order(&self.cfg, w, d, c, o_row, lines)
             }
-            45..=87 => payment(&self.cfg, w, d, c, 1 + self.rng.below(5_000)),
+            43..=82 => payment(&self.cfg, w, d, c, 1 + self.rng.below(5_000)),
+            83..=87 => {
+                if self.created == self.delivered {
+                    // Nothing to deliver yet; keep the mix flowing.
+                    return payment(&self.cfg, w, d, c, 1 + self.rng.below(5_000));
+                }
+                self.next_delivery()
+            }
             _ => {
-                // Probe a created order most of the time; 1-in-8 probes the
-                // next slot, which is absent until that NewOrder happens
-                // (and after a wrap is simply the oldest recycled order).
-                let o_row = if self.created == 0 || self.rng.below(8) == 0 {
+                // Probe a live order most of the time; 1-in-8 probes the
+                // next (not-yet-inserted) slot and 1-in-8 the most recently
+                // delivered one — usually absent (the read-after-delete
+                // case), though either ring position may hold a live order
+                // again near the wrap. Absence-tolerant reads make every
+                // outcome serializable; the oracle adjudicates.
+                let live = self.created - self.delivered;
+                let o_row = if live == 0 || self.rng.below(8) == 0 {
                     self.stripe_base + self.created % per
+                } else if self.delivered > 0 && self.rng.below(8) == 0 {
+                    self.stripe_base + (self.delivered - 1) % per
                 } else {
-                    self.stripe_base + self.rng.below(self.created.min(per))
+                    self.stripe_base + (self.delivered + self.rng.below(live)) % per
                 };
                 order_status(&self.cfg, w, d, c, o_row)
             }
@@ -243,6 +328,7 @@ mod tests {
             customers_per_district: 8,
             order_capacity: 64,
             order_stripes: 4,
+            delivery_batch: 3,
             think_us: 0,
         }
     }
@@ -250,11 +336,12 @@ mod tests {
     #[test]
     fn spec_shapes_match_schema() {
         let s = small().spec();
-        assert_eq!(s.tables.len(), 4);
+        assert_eq!(s.tables.len(), 5);
         assert_eq!(s.tables[tables::ORDER as usize].rows, 0);
         assert_eq!(s.tables[tables::ORDER as usize].capacity(), 64);
         assert_eq!(s.tables[tables::DISTRICT as usize].rows, 4);
         assert_eq!(s.tables[tables::CUSTOMER as usize].rows, 32);
+        assert_eq!(s.tables[tables::DELIVERY as usize].rows, 4);
         assert_eq!(s.total_rows() + 64, s.total_capacity());
     }
 
@@ -276,15 +363,22 @@ mod tests {
         let t = order_status(&cfg, 0, 0, 0, 5);
         assert!(t.writes.is_empty());
         assert_eq!(t.reads[1], RecordId::new(tables::ORDER, 5));
+
+        let t = delivery(&cfg, 1, 15, 3); // wraps within stripe 1 (rows 16..32)
+        assert_eq!(t.reads, t.writes);
+        assert_eq!(t.reads[0], RecordId::new(tables::DELIVERY, 1));
+        assert_eq!(t.reads[1], RecordId::new(tables::ORDER, 16 + 15));
+        assert_eq!(t.reads[2], RecordId::new(tables::ORDER, 16), "ring wrap");
+        assert_eq!(t.reads[3], RecordId::new(tables::ORDER, 17));
     }
 
     #[test]
-    fn stripes_are_disjoint_and_wrap_in_place() {
+    fn stripes_are_disjoint_and_ring_never_overflows() {
         let cfg = small(); // 16 orders per stripe
         for stripe in 0..4 {
             let mut g = TpccGen::new(cfg.clone(), stripe, stripe);
             let lo = stripe * 16;
-            for _ in 0..200 {
+            for _ in 0..500 {
                 let t = g.next_txn();
                 for rid in t.reads.iter().chain(t.writes.iter()) {
                     if rid.table == TableId(tables::ORDER) {
@@ -295,26 +389,33 @@ mod tests {
                         );
                     }
                 }
+                assert!(g.orders_live() <= 16, "ring invariant violated");
             }
-            assert_eq!(g.orders_inserted(), g.orders_created().min(16));
+            assert_eq!(g.orders_live(), g.orders_created() - g.orders_delivered());
+            assert!(g.orders_delivered() > 0, "long streams must deliver");
         }
     }
 
     #[test]
-    fn mix_covers_all_three_procedures() {
+    fn mix_covers_all_four_procedures() {
         let mut g = TpccGen::new(small(), 42, 0);
-        let mut counts = [0usize; 3];
+        let mut counts = [0usize; 4];
         for _ in 0..10_000 {
             match g.next_txn().proc {
                 Procedure::TpcC(TpcCProc::NewOrder { .. }) => counts[0] += 1,
                 Procedure::TpcC(TpcCProc::Payment { .. }) => counts[1] += 1,
-                Procedure::TpcC(TpcCProc::OrderStatus) => counts[2] += 1,
+                Procedure::TpcC(TpcCProc::Delivery) => counts[2] += 1,
+                Procedure::TpcC(TpcCProc::OrderStatus) => counts[3] += 1,
                 _ => panic!("non-TPC-C txn generated"),
             }
         }
-        assert!((4_000..5_000).contains(&counts[0]), "{counts:?}");
-        assert!((3_800..4_800).contains(&counts[1]), "{counts:?}");
-        assert!((800..1_600).contains(&counts[2]), "{counts:?}");
+        assert!((3_500..4_800).contains(&counts[0]), "{counts:?}");
+        assert!((3_500..4_800).contains(&counts[1]), "{counts:?}");
+        assert!((300..1_500).contains(&counts[2]), "{counts:?}");
+        assert!((800..1_600).contains(&counts[3]), "{counts:?}");
+        // Deliveries consume in delivery_batch-sized bites, so the stream
+        // stays net insert-positive but recycles constantly.
+        assert!(g.orders_delivered() > 500, "mix must exercise deletes");
     }
 
     #[test]

@@ -26,6 +26,7 @@ fn main() {
         customers_per_district: 32,
         order_capacity: 1 << 13,
         order_stripes: 1,
+        delivery_batch: 4,
         think_us: 0,
     };
     let spec = cfg.spec();
@@ -38,8 +39,9 @@ fn main() {
     let want: Vec<_> = txns.iter().map(|t| oracle.apply(t)).collect();
     let want_orders = oracle.row_count(tables::ORDER as usize);
     println!(
-        "stream: {TXNS} txns, {} orders created ({} distinct rows inserted)",
+        "stream: {TXNS} txns, {} orders created, {} delivered (deleted), {} live",
         gen.orders_created(),
+        gen.orders_delivered(),
         want_orders
     );
 
@@ -71,7 +73,7 @@ fn main() {
         let conserved = (100_000u64 * cfg.customers()).wrapping_sub(cust_total) == wh_total;
 
         println!(
-            "{:>8}: fingerprint mismatches {}, orders inserted {} (want {}), money {}",
+            "{:>8}: fingerprint mismatches {}, orders live {} (want {}), money {}",
             kind.name(),
             mismatches,
             orders,

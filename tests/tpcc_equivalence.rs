@@ -1,12 +1,14 @@
 //! Cross-engine equivalence on the TPC-C-lite workload: all five engines
-//! vs. the serial oracle on a seeded NewOrder/Payment/OrderStatus mix.
+//! vs. the serial oracle on a seeded NewOrder/Payment/Delivery/OrderStatus
+//! mix.
 //!
-//! This is the end-to-end audit of the record-insert path: every engine
+//! This is the end-to-end audit of the record *lifecycle*: every engine
 //! must produce oracle-identical per-transaction fingerprints (including
-//! the absence fingerprints of OrderStatus probes that race inserts in
-//! the log), an oracle-identical final state across the order table's
-//! *capacity* (missing and phantom inserts both diverge), and identical
-//! inserted-row counts.
+//! the absence fingerprints of OrderStatus probes that race inserts and
+//! deletes in the log), an oracle-identical final state across the order
+//! table's *capacity* (missing inserts, phantom inserts, missing deletes
+//! and phantom deletes all diverge), identical live-row counts, genuine
+//! slot reuse after delivery, and correct rollback of aborted deletes.
 
 use bohm_bench::engines::EngineKind;
 use bohm_common::engine::{BatchEngine, ExecOutcome, Session};
@@ -22,6 +24,7 @@ fn small_cfg() -> TpccConfig {
         customers_per_district: 16,
         order_capacity: 4096,
         order_stripes: 1, // single generator: no wrap within the test sizes
+        delivery_batch: 4,
         think_us: 0,
     }
 }
@@ -31,8 +34,13 @@ fn all_engines_match_serial_oracle_on_tpcc_mix() {
     let cfg = small_cfg();
     let spec = cfg.spec();
     let mut gen = TpccGen::new(cfg.clone(), 0xC0FFEE, 0);
-    let txns: Vec<Txn> = (0..1_500).map(|_| gen.next_txn()).collect();
-    assert!(gen.orders_created() > 400, "mix must be insert-heavy");
+    let n = bohm_common::stress_iters(1_500) as usize;
+    let txns: Vec<Txn> = (0..n).map(|_| gen.next_txn()).collect();
+    assert!(
+        gen.orders_created() > n as u64 / 4,
+        "mix must be insert-heavy"
+    );
+    assert!(gen.orders_delivered() > 0, "mix must exercise deletes");
 
     // Oracle row count for the order table, computed once.
     let mut oracle = SerialOracle::new(&spec);
@@ -42,8 +50,8 @@ fn all_engines_match_serial_oracle_on_tpcc_mix() {
     let oracle_orders = oracle.row_count(tables::ORDER as usize);
     assert_eq!(
         oracle_orders,
-        gen.orders_inserted(),
-        "oracle inserts every generated order exactly once"
+        gen.orders_live(),
+        "oracle inserts every order once and deletes every delivered one"
     );
 
     for kind in EngineKind::ALL {
@@ -59,7 +67,14 @@ fn all_engines_match_serial_oracle_on_tpcc_mix() {
         assert_eq!(
             got_orders,
             oracle_orders,
-            "{}: inserted-order count diverged",
+            "{}: live-order count diverged",
+            kind.name()
+        );
+        // The delivery cursor audits the delete stream end to end.
+        assert_eq!(
+            engine.read_u64(RecordId::new(tables::DELIVERY, 0)),
+            Some(gen.orders_delivered()),
+            "{}: delivery cursor diverged",
             kind.name()
         );
         engine.shutdown();
@@ -146,6 +161,120 @@ fn order_insert_then_status_probe_round_trips_on_every_engine() {
             "{}: order payload",
             kind.name()
         );
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn delivery_deletes_then_slot_reuse_round_trips_on_every_engine() {
+    // The lifecycle script: insert order row 7 → deliver (delete) it →
+    // probe it (absent, the read-after-delete check) → insert row 7 again
+    // (slot reuse: the delivered slot is genuinely recyclable) → probe it
+    // (present). Scripted, so all five engines replay the identical log.
+    let cfg = small_cfg();
+    let spec = cfg.spec();
+    let txns = vec![
+        tpcc::new_order(&cfg, 1, 1, 3, 7, 5),
+        tpcc::delivery(&cfg, 0, 7, 1),
+        tpcc::order_status(&cfg, 1, 1, 3, 7),
+        tpcc::new_order(&cfg, 0, 0, 1, 7, 2),
+        tpcc::order_status(&cfg, 1, 1, 3, 7),
+    ];
+    let mut oracle = SerialOracle::new(&spec);
+    let want: Vec<ExecOutcome> = txns.iter().map(|t| oracle.apply(t)).collect();
+    assert!(want.iter().all(|o| o.committed));
+    // The post-delete probe observes absence; the post-reuse probe does not.
+    let absent_fp = 100_000u64.wrapping_mul(31).wrapping_add(ABSENT_FINGERPRINT);
+    assert_eq!(want[2].fingerprint, absent_fp);
+    assert_ne!(want[4].fingerprint, absent_fp);
+    assert_eq!(
+        oracle.row_count(tables::ORDER as usize),
+        1,
+        "one live order"
+    );
+
+    for kind in EngineKind::ALL {
+        let engine = kind.build(&spec, 4);
+        let outcomes = engine.run_stream(&txns);
+        for (i, (got, want)) in outcomes.iter().zip(&want).enumerate() {
+            assert_eq!(
+                (got.committed, got.fingerprint),
+                (want.committed, want.fingerprint),
+                "{} txn {i}",
+                kind.name()
+            );
+        }
+        engine.quiesce();
+        // Reused slot holds the *second* order's payload (customer seeded
+        // 100_000, 2 lines).
+        assert_eq!(
+            engine.read_u64(RecordId::new(tables::ORDER, 7)),
+            Some(100_000u64.wrapping_mul(1_000).wrapping_add(2)),
+            "{}: recycled slot payload",
+            kind.name()
+        );
+        assert_eq!(
+            engine.read_u64(RecordId::new(tables::DELIVERY, 0)),
+            Some(1),
+            "{}: delivery cursor",
+            kind.name()
+        );
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn aborted_delete_leaves_row_readable_on_every_engine() {
+    // The satellite regression: a transaction that sets out to delete and
+    // aborts must leave the row readable and the slot unreclaimed — on
+    // in-place engines because the abort is decided before the delete, on
+    // versioned/buffered engines because rollback discards the tombstone
+    // or buffered delete.
+    use bohm_common::Procedure::GuardedDelete;
+    let cfg = small_cfg();
+    let spec = cfg.spec();
+    // Customer balances seed at 100_000; guard against 200_000 ⇒ abort.
+    let guard = RecordId::new(tables::CUSTOMER, 0);
+    let victim = RecordId::new(tables::CUSTOMER, 5);
+    let aborting = Txn::new(vec![guard], vec![victim], GuardedDelete { min: 200_000 });
+    let deleting = Txn::new(vec![guard], vec![victim], GuardedDelete { min: 0 });
+    let txns = vec![aborting, deleting];
+    let mut oracle = SerialOracle::new(&spec);
+    let want: Vec<ExecOutcome> = txns.iter().map(|t| oracle.apply(t)).collect();
+    assert!(!want[0].committed);
+    assert!(want[1].committed);
+
+    for kind in EngineKind::ALL {
+        let engine = kind.build(&spec, 2);
+        let mut session = engine.open_session();
+        session.submit(txns[0].clone());
+        let out = session.reap();
+        assert!(!out.committed, "{}: guard must abort", kind.name());
+        engine.quiesce();
+        assert_eq!(
+            engine.read_u64(victim),
+            Some(100_000),
+            "{}: aborted delete must leave the row readable",
+            kind.name()
+        );
+        let live = engine_row_count(
+            &spec.tables[tables::CUSTOMER as usize],
+            tables::CUSTOMER,
+            |rid| engine.read_u64(rid),
+        );
+        assert_eq!(
+            live,
+            cfg.customers(),
+            "{}: slot must stay unreclaimed after the abort",
+            kind.name()
+        );
+        // The committing delete then works — full state equivalence check.
+        session.submit(txns[1].clone());
+        assert!(session.reap().committed, "{}", kind.name());
+        drop(session);
+        engine.quiesce();
+        check_serial_equivalence(&spec, &txns, &want, |rid| engine.read_u64(rid))
+            .unwrap_or_else(|e| panic!("{} diverged from serial oracle: {e}", kind.name()));
         engine.shutdown();
     }
 }

@@ -1,7 +1,8 @@
 //! TPC-C-lite: throughput vs. thread count on the insert-and-delete-heavy
-//! NewOrder/Payment/Delivery/OrderStatus mix (beyond the paper's
-//! evaluation — the only figure whose database *churns* while it runs:
-//! orders are inserted, delivered and their slots recycled).
+//! NewOrder/Payment/Delivery/OrderStatus/OrderHistory mix (beyond the
+//! paper's evaluation — the only figure whose database *churns* while it
+//! runs: orders are inserted, scanned, delivered and their slots
+//! recycled).
 //!
 //! Expected shape: BOHM's insert path is the same placeholder machinery as
 //! its update path, so it should track its SmallBank profile; the
@@ -9,14 +10,62 @@
 //! additionally validate absent reads, so the OrderStatus probes show up
 //! as (rare) validation aborts under contention.
 //!
-//! Two contention points: few warehouses (hot district counters — every
-//! NewOrder RMWs one of `warehouses × 10` counters) and many warehouses.
+//! Three figures: few warehouses (hot district counters — every NewOrder
+//! RMWs one of `warehouses × 10` counters), many warehouses, and the
+//! scan-heavy OrderHistory mix (50% range scans racing inserts/deletes at
+//! the window edges — where scan-path regressions land).
 
 use bohm_bench::engines::EngineKind;
 use bohm_bench::figure::measure;
 use bohm_bench::params::Params;
 use bohm_bench::report::{print_figure, write_bench_json, Series};
 use bohm_workloads::tpcc::{TpccConfig, TpccGen};
+
+/// The shared workload shape; figures vary only warehouses + generator.
+fn config(p: &Params, warehouses: u64) -> TpccConfig {
+    TpccConfig {
+        warehouses,
+        districts_per_warehouse: 10,
+        customers_per_district: 96,
+        order_capacity: if p.smoke { 1 << 14 } else { 1 << 18 },
+        order_stripes: 64,
+        delivery_batch: 4,
+        unbounded_orders: false,
+        think_us: 0,
+    }
+}
+
+/// Sweep every engine over the thread counts for one figure.
+fn engine_sweep(
+    p: &Params,
+    cfg: &TpccConfig,
+    tag: &str,
+    mk_gen: impl Fn(TpccConfig, usize) -> TpccGen + Copy + 'static,
+) -> Vec<Series> {
+    let spec = cfg.spec();
+    let mut series = Vec::new();
+    for kind in EngineKind::ALL {
+        let mut points = Vec::new();
+        for &t in &p.thread_sweep {
+            let cfg2 = cfg.clone();
+            let st = measure(kind, &spec, t, p.secs, &move |i| {
+                Box::new(mk_gen(cfg2.clone(), i))
+            });
+            points.push((t as f64, st.throughput()));
+            eprintln!(
+                "{} {tag} t={t}: {:.0} txns/s (abort rate {:.1}%)",
+                kind.name(),
+                st.throughput(),
+                st.abort_rate() * 100.0
+            );
+        }
+        series.push(Series {
+            label: kind.name().into(),
+            points,
+        });
+    }
+    series
+}
 
 fn main() {
     let p = Params::from_env();
@@ -26,39 +75,24 @@ fn main() {
     ];
     let mut artifact: Vec<(String, Vec<Series>)> = Vec::new();
     for (name, warehouses) in warehouse_counts {
-        let name = format!("{name} ({warehouses} warehouses)");
-        let cfg = TpccConfig {
-            warehouses,
-            districts_per_warehouse: 10,
-            customers_per_district: 96,
-            order_capacity: if p.smoke { 1 << 14 } else { 1 << 18 },
-            order_stripes: 64,
-            delivery_batch: 4,
-            think_us: 0,
-        };
-        let spec = cfg.spec();
-        let mut series = Vec::new();
-        for kind in EngineKind::ALL {
-            let mut points = Vec::new();
-            for &t in &p.thread_sweep {
-                let cfg2 = cfg.clone();
-                let st = measure(kind, &spec, t, p.secs, &move |i| {
-                    Box::new(TpccGen::new(cfg2.clone(), 7_000 + i as u64, i as u64))
-                });
-                points.push((t as f64, st.throughput()));
-                eprintln!(
-                    "{} warehouses={warehouses} t={t}: {:.0} txns/s (abort rate {:.1}%)",
-                    kind.name(),
-                    st.throughput(),
-                    st.abort_rate() * 100.0
-                );
-            }
-            series.push(Series {
-                label: kind.name().into(),
-                points,
-            });
-        }
-        let title = format!("TPC-C-lite ({name})");
+        let cfg = config(&p, warehouses);
+        let series = engine_sweep(&p, &cfg, &format!("warehouses={warehouses}"), |cfg, i| {
+            TpccGen::new(cfg, 7_000 + i as u64, i as u64)
+        });
+        let title = format!("TPC-C-lite ({name} ({warehouses} warehouses))");
+        print_figure(&title, "threads", &series);
+        artifact.push((title, series));
+    }
+    // OrderHistory scan throughput: the scan-heavy mix (50% range scans
+    // with phantom protection, racing NewOrder inserts and Delivery
+    // deletes at the window edges). Regressions in any engine's scan path
+    // show up in this figure of the uploaded artifact.
+    {
+        let cfg = config(&p, 4);
+        let series = engine_sweep(&p, &cfg, "scan-mix", |cfg, i| {
+            TpccGen::new(cfg, 9_000 + i as u64, i as u64).scan_heavy()
+        });
+        let title = "TPC-C-lite OrderHistory scan mix".to_string();
         print_figure(&title, "threads", &series);
         artifact.push((title, series));
     }

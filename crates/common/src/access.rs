@@ -98,6 +98,36 @@ pub trait Access {
         panic!("this Access implementation does not support record deletes");
     }
 
+    /// Key-range scan: invoke `out(row, payload)` for every record that
+    /// exists in scan-set entry `idx` (a declared
+    /// [`ScanRange`](crate::txn::ScanRange)), in ascending key order, and
+    /// return the number of present rows.
+    ///
+    /// A scan is a predicate read, and engines guarantee **phantom
+    /// protection**: the result is the range's membership at the
+    /// transaction's position in the serial order — a concurrent insert
+    /// into or delete from the range either orders entirely before the
+    /// scan (and is observed) or entirely after it (and is not), never
+    /// halfway. Each engine enforces this with its own mechanism (range
+    /// locks covering absent slots, per-slot read validation, commit-time
+    /// range re-resolution, or BOHM's timestamp-ordered CC pass).
+    ///
+    /// The scanned range must not overlap the transaction's own write set:
+    /// engines disagree on whether a scan observes the transaction's own
+    /// uncommitted writes, so procedures must not rely on either behaviour.
+    /// Ranges must also lie within the table's declared capacity for
+    /// portability: array-backed engines (and the serial oracle) panic on
+    /// an over-capacity range, while dynamically-indexed engines treat
+    /// rows beyond the preload as ordinarily absent — only growable-table
+    /// workloads, which run on the latter exclusively, may exceed it.
+    ///
+    /// The default implementation panics — engines that support range
+    /// scans override it, and scanning procedures only run on such engines.
+    fn scan(&mut self, idx: usize, out: &mut dyn FnMut(u64, &[u8])) -> Result<u64, AbortReason> {
+        let _ = (idx, out);
+        panic!("this Access implementation does not support range scans");
+    }
+
     /// Size in bytes of the record behind write-set entry `idx` (fixed per
     /// table). Lets procedures construct full-size payloads for blind
     /// writes without reading the record first.

@@ -27,8 +27,11 @@ pub mod value;
 pub mod zipf;
 
 pub use access::{AbortReason, Access};
-pub use procedures::{execute_procedure, Procedure, SmallBankProc, TpcCProc, ABSENT_FINGERPRINT};
-pub use txn::Txn;
+pub use procedures::{
+    execute_procedure, range_audit_fingerprint, Procedure, SmallBankProc, TpcCProc,
+    ABSENT_FINGERPRINT, SCAN_POISON_GAP, SCAN_POISON_VALUE,
+};
+pub use txn::{ScanRange, Txn};
 pub use types::{RecordId, TableId, Timestamp, TxnId, INFINITY_TS};
 pub use value::Value;
 

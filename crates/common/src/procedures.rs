@@ -70,6 +70,16 @@ pub enum TpcCProc {
     /// fingerprint distinguishes the two outcomes).
     /// Layout: reads = `[customer(c), order(o)]`, writes = `[]`.
     OrderStatus,
+    /// Range scan with phantom protection: read the customer, then scan a
+    /// key range of the order table (the customer's order-history window),
+    /// folding every present order — row id and payload — plus the result
+    /// cardinality into the fingerprint. A concurrent NewOrder inserting
+    /// into (or Delivery deleting from) the window must serialize entirely
+    /// before or after the scan; a half-observed insert/delete changes the
+    /// fingerprint and is caught by the oracle audit.
+    /// Layout: reads = `[customer(c)]`, scans = `[order window]`,
+    /// writes = `[]`.
+    OrderHistory,
     /// Batch-consume the oldest undelivered orders of one generator stripe:
     /// each present order is read (folded into the fingerprint) and
     /// **deleted**, and the stripe's delivery cursor advances by the number
@@ -86,6 +96,24 @@ pub enum TpcCProc {
 /// read (must differ from any checksum of real bytes with overwhelming
 /// probability, and be identical across engines).
 pub const ABSENT_FINGERPRINT: u64 = 0xAB5E_17F1_0A0B_5E17;
+
+/// [`Procedure::RangeAudit`] fingerprint for a scan that observed a row
+/// whose value violates the `expect_base + row` convention (a torn or
+/// non-serializable read).
+pub const SCAN_POISON_VALUE: u64 = 0xBAD5_CA40_BAD5_CA40;
+
+/// [`Procedure::RangeAudit`] fingerprint for a scan whose present rows are
+/// not one contiguous run (a phantom: a concurrent whole-window insert or
+/// delete was observed halfway).
+pub const SCAN_POISON_GAP: u64 = SCAN_POISON_VALUE | 1;
+
+/// [`Procedure::RangeAudit`] fingerprint of a non-empty, consistent scan:
+/// `(count << 32) ^ first_row`. Exposed so hammers can precompute the only
+/// legal outcomes of an atomically-maintained window.
+#[inline]
+pub fn range_audit_fingerprint(count: u64, first_row: u64) -> u64 {
+    (count << 32) ^ first_row
+}
 
 /// Transaction logic, parameterized by the declared read/write sets.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -115,6 +143,21 @@ pub enum Procedure {
     /// absence): equivalence tests use it to check that delete visibility
     /// is atomic across multiple records.
     ProbeAll,
+    /// Scan-set entry 0 under a value convention: every present row must
+    /// hold `expect_base + row` in its `u64` prefix, and the present rows
+    /// must form one contiguous run. Fingerprint:
+    /// [`SCAN_POISON_VALUE`] on a value violation, [`SCAN_POISON_GAP`] on
+    /// a non-contiguous result, `0` for an empty scan, and
+    /// [`range_audit_fingerprint`]`(count, first_row)` otherwise. The
+    /// phantom hammer drives this against concurrent whole-window
+    /// inserts/deletes: any non-atomic observation poisons or truncates
+    /// the fingerprint. Layout: scans = `[window]`, reads = writes = `[]`.
+    RangeAudit { expect_base: u64 },
+    /// Blind-write every write-set entry with `base + row` in its `u64`
+    /// prefix (row-keyed values, unlike [`Procedure::BlindWrite`]'s single
+    /// value) — the insert half of the phantom hammer: one transaction
+    /// atomically materializes a whole key window. Fingerprint = `base`.
+    InsertKeyed { base: u64 },
     /// Delete every write-set entry, guarded by a user-abort check that
     /// runs **before** the first delete (honouring the logic-abort
     /// contract): if the `u64` prefix of read-set entry 0 is below `min`,
@@ -175,6 +218,38 @@ pub fn execute_procedure(
                 acc = acc.wrapping_mul(31).wrapping_add(c);
             }
             Ok(acc)
+        }
+        Procedure::RangeAudit { expect_base } => {
+            let base = *expect_base;
+            let mut bad_value = false;
+            let mut first = u64::MAX;
+            let mut last = 0u64;
+            let count = access.scan(0, &mut |row, b| {
+                if value::get_u64(b, 0) != base.wrapping_add(row) {
+                    bad_value = true;
+                }
+                first = first.min(row);
+                last = last.max(row);
+            })?;
+            Ok(if bad_value {
+                SCAN_POISON_VALUE
+            } else if count == 0 {
+                0
+            } else if count != last - first + 1 {
+                SCAN_POISON_GAP
+            } else {
+                range_audit_fingerprint(count, first)
+            })
+        }
+        Procedure::InsertKeyed { base } => {
+            for (w, rid) in writes.iter().enumerate() {
+                let len = access.write_len(w);
+                scratch.clear();
+                scratch.extend_from_slice(&base.wrapping_add(rid.row).to_le_bytes());
+                scratch.resize(len, 0);
+                access.write(w, scratch)?;
+            }
+            Ok(*base)
         }
         Procedure::GuardedDelete { min } => {
             let g = access.read_u64(0)?;
@@ -408,6 +483,14 @@ fn tpcc(
             access.read_maybe(1, &mut |b| order_fp = value::checksum(b))?;
             Ok(cust.wrapping_mul(31).wrapping_add(order_fp))
         }
+        TpcCProc::OrderHistory => {
+            let cust = access.read_u64(0)?;
+            let mut fp = cust;
+            let count = access.scan(0, &mut |row, b| {
+                fp = fp.wrapping_mul(31).wrapping_add(row ^ value::checksum(b));
+            })?;
+            Ok(fp.wrapping_mul(31).wrapping_add(count))
+        }
         TpcCProc::Delivery => {
             // Positions 1.. of the (identical) read and write sets are the
             // order slots to consume; position 0 is the delivery cursor.
@@ -440,6 +523,8 @@ mod tests {
         read_vals: Vec<Option<Vec<u8>>>,
         written: Vec<Option<Vec<u8>>>,
         deleted: Vec<bool>,
+        /// Rows served by `scan(0)`: `(row, payload-or-absent)` in key order.
+        scan_rows: Vec<(u64, Option<Vec<u8>>)>,
         len: usize,
     }
 
@@ -452,8 +537,17 @@ mod tests {
                     .collect(),
                 written: vec![None; n_writes],
                 deleted: vec![false; n_writes],
+                scan_rows: Vec::new(),
                 len,
             }
+        }
+
+        fn with_scan_rows(mut self, rows: Vec<(u64, Option<u64>)>) -> Self {
+            self.scan_rows = rows
+                .into_iter()
+                .map(|(row, v)| (row, v.map(|v| crate::value::of_u64(v, self.len).to_vec())))
+                .collect();
+            self
         }
         fn with_absent(mut self, idx: usize) -> Self {
             if self.read_vals.len() <= idx {
@@ -494,6 +588,21 @@ mod tests {
             self.deleted[idx] = true;
             self.written[idx] = None;
             Ok(())
+        }
+        fn scan(
+            &mut self,
+            idx: usize,
+            out: &mut dyn FnMut(u64, &[u8]),
+        ) -> Result<u64, AbortReason> {
+            assert_eq!(idx, 0, "MemAccess models a single scan");
+            let mut n = 0;
+            for (row, v) in &self.scan_rows {
+                if let Some(v) = v {
+                    out(*row, v);
+                    n += 1;
+                }
+            }
+            Ok(n)
         }
         fn write_len(&mut self, _idx: usize) -> usize {
             self.len
@@ -752,6 +861,99 @@ mod tests {
             .wrapping_mul(31)
             .wrapping_add(ABSENT_FINGERPRINT);
         assert_eq!(fp, want, "fingerprint folds cursor + per-order outcomes");
+    }
+
+    #[test]
+    fn order_history_folds_rows_payloads_and_count() {
+        let reads = vec![rid(2)];
+        let mut scratch = Vec::new();
+        let mut a =
+            MemAccess::new(vec![7], 0, 8).with_scan_rows(vec![(10, Some(100)), (12, Some(200))]);
+        let fp = execute_procedure(
+            &Procedure::TpcC(TpcCProc::OrderHistory),
+            &reads,
+            &[],
+            &mut a,
+            &mut scratch,
+        )
+        .unwrap();
+        let c = |v: u64| value::checksum(&crate::value::of_u64(v, 8));
+        let want = 7u64
+            .wrapping_mul(31)
+            .wrapping_add(10 ^ c(100))
+            .wrapping_mul(31)
+            .wrapping_add(12 ^ c(200))
+            .wrapping_mul(31)
+            .wrapping_add(2);
+        assert_eq!(fp, want);
+        // Membership changes (a phantom) change the fingerprint.
+        let mut b = MemAccess::new(vec![7], 0, 8).with_scan_rows(vec![(10, Some(100)), (12, None)]);
+        let fp2 = execute_procedure(
+            &Procedure::TpcC(TpcCProc::OrderHistory),
+            &reads,
+            &[],
+            &mut b,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_ne!(fp, fp2, "membership must be fingerprint-visible");
+    }
+
+    #[test]
+    fn range_audit_classifies_scan_outcomes() {
+        let mut scratch = Vec::new();
+        let audit = Procedure::RangeAudit { expect_base: 1_000 };
+        // Consistent contiguous window.
+        let mut a = MemAccess::new(vec![], 0, 8).with_scan_rows(vec![
+            (4, Some(1_004)),
+            (5, Some(1_005)),
+            (6, Some(1_006)),
+        ]);
+        assert_eq!(
+            execute_procedure(&audit, &[], &[], &mut a, &mut scratch).unwrap(),
+            range_audit_fingerprint(3, 4)
+        );
+        // Empty scan.
+        let mut e = MemAccess::new(vec![], 0, 8).with_scan_rows(vec![(4, None)]);
+        assert_eq!(
+            execute_procedure(&audit, &[], &[], &mut e, &mut scratch).unwrap(),
+            0
+        );
+        // Gap (half-observed window) poisons.
+        let mut g = MemAccess::new(vec![], 0, 8).with_scan_rows(vec![
+            (4, Some(1_004)),
+            (5, None),
+            (6, Some(1_006)),
+        ]);
+        assert_eq!(
+            execute_procedure(&audit, &[], &[], &mut g, &mut scratch).unwrap(),
+            SCAN_POISON_GAP
+        );
+        // Wrong value poisons.
+        let mut v = MemAccess::new(vec![], 0, 8).with_scan_rows(vec![(4, Some(999))]);
+        assert_eq!(
+            execute_procedure(&audit, &[], &[], &mut v, &mut scratch).unwrap(),
+            SCAN_POISON_VALUE
+        );
+    }
+
+    #[test]
+    fn insert_keyed_writes_row_keyed_values() {
+        let writes = vec![rid(7), rid(9)];
+        let mut a = MemAccess::new(vec![], 2, 16);
+        let mut scratch = Vec::new();
+        let fp = execute_procedure(
+            &Procedure::InsertKeyed { base: 50 },
+            &[],
+            &writes,
+            &mut a,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(fp, 50);
+        assert_eq!(a.written_u64(0), 57);
+        assert_eq!(a.written_u64(1), 59);
+        assert_eq!(a.written[1].as_ref().unwrap().len(), 16);
     }
 
     #[test]

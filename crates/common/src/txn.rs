@@ -7,7 +7,65 @@
 //! engines consume the same `Txn` values.
 
 use crate::procedures::Procedure;
-use crate::types::RecordId;
+use crate::types::{RecordId, TableId};
+
+/// One declared key-range scan: the half-open row interval `lo..hi` of one
+/// table.
+///
+/// A scan is a *predicate read* — "every record of `table` whose key lies
+/// in `lo..hi`" — and therefore subject to the phantom problem: a
+/// concurrent insert into (or delete from) the range must be serialized
+/// against the scan, not merely against the records that happened to exist
+/// when the scan ran. Each engine realizes that protection with its own
+/// mechanism (range locks, per-slot validation, commit-time re-scan, or
+/// BOHM's timestamp-ordered concurrency-control pass); see
+/// [`Access::scan`](crate::access::Access::scan).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ScanRange {
+    pub table: TableId,
+    /// First row of the range (inclusive).
+    pub lo: u64,
+    /// End of the range (exclusive).
+    pub hi: u64,
+}
+
+impl ScanRange {
+    #[inline]
+    pub const fn new(table: u32, lo: u64, hi: u64) -> Self {
+        Self {
+            table: TableId(table),
+            lo,
+            hi,
+        }
+    }
+
+    /// Number of row slots the range covers (present or absent).
+    #[inline]
+    pub fn len(&self) -> u64 {
+        self.hi.saturating_sub(self.lo)
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.hi <= self.lo
+    }
+
+    /// The [`RecordId`] of one row in the range.
+    #[inline]
+    pub fn rid(&self, row: u64) -> RecordId {
+        debug_assert!((self.lo..self.hi).contains(&row));
+        RecordId {
+            table: self.table,
+            row,
+        }
+    }
+
+    /// Iterate the rows of the range in key order.
+    #[inline]
+    pub fn rows(&self) -> std::ops::Range<u64> {
+        self.lo..self.hi
+    }
+}
 
 /// One whole transaction, as handed to an engine.
 #[derive(Clone, Debug)]
@@ -18,6 +76,13 @@ pub struct Txn {
     /// Declared write set. Placeholders are created for exactly these
     /// records in BOHM's concurrency-control phase (paper §3.2.2).
     pub writes: Vec<RecordId>,
+    /// Declared key-range scans (predicate reads). Like the read set, scans
+    /// are known up front; unlike it, their *membership* is resolved by the
+    /// engine at the transaction's position in the serial order, with
+    /// phantom protection. A scanned range must not overlap the
+    /// transaction's own write set (engines disagree on whether a scan
+    /// observes the transaction's own writes).
+    pub scans: Vec<ScanRange>,
     /// Transaction logic (a stored procedure over positional accesses).
     pub proc: Procedure,
     /// Busy-work executed at the start of the transaction body, in
@@ -32,6 +97,23 @@ impl Txn {
         Self {
             reads,
             writes,
+            scans: Vec::new(),
+            proc,
+            think_us: 0,
+        }
+    }
+
+    /// Construct a transaction that also declares key-range scans.
+    pub fn with_scans(
+        reads: Vec<RecordId>,
+        writes: Vec<RecordId>,
+        scans: Vec<ScanRange>,
+        proc: Procedure,
+    ) -> Self {
+        Self {
+            reads,
+            writes,
+            scans,
             proc,
             think_us: 0,
         }
@@ -45,10 +127,14 @@ impl Txn {
     }
 
     /// Total declared accesses (used by throughput accounting: the §4.1
-    /// microbenchmark reports "record accesses per second").
+    /// microbenchmark reports "record accesses per second"). A scan counts
+    /// every slot of its range — each is examined with full concurrency
+    /// control whether or not a record exists in it.
     #[inline]
     pub fn access_count(&self) -> usize {
-        self.reads.len() + self.writes.len()
+        self.reads.len()
+            + self.writes.len()
+            + self.scans.iter().map(|s| s.len() as usize).sum::<usize>()
     }
 
     /// Position of `rid` in the read set, if declared.
@@ -109,6 +195,28 @@ mod tests {
         assert_eq!(t.write_index(rid(9)), Some(0));
         assert_eq!(t.write_index(rid(5)), None);
         assert_eq!(t.access_count(), 3);
+    }
+
+    #[test]
+    fn scan_range_geometry() {
+        let s = crate::txn::ScanRange::new(2, 10, 14);
+        assert_eq!(s.len(), 4);
+        assert!(!s.is_empty());
+        assert_eq!(s.rows().collect::<Vec<_>>(), vec![10, 11, 12, 13]);
+        assert_eq!(s.rid(11), RecordId::new(2, 11));
+        assert!(crate::txn::ScanRange::new(0, 5, 5).is_empty());
+    }
+
+    #[test]
+    fn scans_count_their_slots_as_accesses() {
+        let t = Txn::with_scans(
+            vec![rid(1)],
+            vec![],
+            vec![crate::txn::ScanRange::new(0, 0, 8)],
+            Procedure::ReadOnly,
+        );
+        assert_eq!(t.access_count(), 1 + 8);
+        assert!(t.is_read_only());
     }
 
     #[test]

@@ -31,6 +31,9 @@ pub(crate) struct BohmAccess<'a> {
     pub t: &'a TxnState,
     pub index: &'a HashIndex,
     pub guard: &'a Guard,
+    /// `Inner::deletes_seen` — bumped when a tombstone is published, which
+    /// arms the CC threads' key sweep (a pure gate; see `cc::sweep_keys`).
+    pub deletes: &'a std::sync::atomic::AtomicU64,
 }
 
 impl BohmAccess<'_> {
@@ -117,6 +120,61 @@ impl Access for BohmAccess<'_> {
         unsafe { &*ptr }.len()
     }
 
+    fn scan(&mut self, idx: usize, out: &mut dyn FnMut(u64, &[u8])) -> Result<u64, AbortReason> {
+        // Phantom protection is the CC phase itself: the owning CC threads
+        // pre-annotated every key of the range with the version a reader at
+        // this timestamp must observe (processing transactions in timestamp
+        // order makes "the latest version at my sequence point" exactly
+        // that), so a concurrently batched insert into the range is
+        // *ordered* against this scan rather than racing it. Null slots
+        // fall back to a ts-filtered index probe, which also answers
+        // "absent" for keys whose chains were created by later-timestamp
+        // transactions between CC time and now. Still-pending versions
+        // block on their producer like any read (§3.3.1); re-runs replay
+        // the scan deterministically.
+        let s = self.t.txn.scans[idx];
+        let refs = &self.t.scan_refs[idx];
+        // An empty slice means the scan was not annotated (annotations
+        // disabled, or the range exceeds annotate_max_reads): every row
+        // goes through the ts-filtered fallback probe.
+        let annotated = refs.len() as u64 == s.len();
+        let mut n = 0;
+        for row in s.rows() {
+            let ptr = if annotated {
+                refs[(row - s.lo) as usize].load(Ordering::Acquire)
+            } else {
+                std::ptr::null_mut()
+            };
+            let v = if ptr.is_null() {
+                let rid = s.rid(row);
+                match self
+                    .index
+                    .get(rid)
+                    .and_then(|c| c.visible(self.t.ts, self.guard))
+                {
+                    Some(v) => v,
+                    None => continue,
+                }
+            } else {
+                // SAFETY: annotation pointers stay valid until Condition-3
+                // GC, which cannot pass this transaction before it executes.
+                unsafe { &*ptr }
+            };
+            if !v.is_resolved() {
+                return Err(AbortReason::NotReady(v.begin()));
+            }
+            match v.state() {
+                VersionState::Ready => {
+                    out(row, v.data());
+                    n += 1;
+                }
+                VersionState::Tombstone => {}
+                VersionState::Pending => unreachable!("checked above"),
+            }
+        }
+        Ok(n)
+    }
+
     fn delete(&mut self, idx: usize) -> Result<(), AbortReason> {
         // A delete is a write whose placeholder resolves to a tombstone:
         // the CC phase already installed the placeholder (delete targets
@@ -131,7 +189,9 @@ impl Access for BohmAccess<'_> {
         );
         // SAFETY: placeholder liveness per Condition 3; unique producer.
         let v = unsafe { &*ptr };
-        if !v.fill_tombstone_once() {
+        if v.fill_tombstone_once() {
+            self.deletes.fetch_add(1, Ordering::Relaxed);
+        } else {
             // Already resolved. A legal replay (re-run after a blocked
             // read) finds the tombstone from the first pass; finding
             // *data* means the procedure wrote this entry earlier in the

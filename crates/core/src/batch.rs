@@ -286,6 +286,21 @@ pub struct TxnState {
     /// One slot per read-set entry: direct pointer to the version this read
     /// must observe, written by the owning CC thread (§3.2.3 optimization).
     pub(crate) read_refs: Box<[AtomicPtr<Version>]>,
+    /// Per scan, one slot per row of the scanned range: the version a
+    /// reader at this timestamp must observe for that key, written by the
+    /// key's owning CC thread while it pre-annotates the range (the scan
+    /// counterpart of `read_refs`). A null slot means the key had no chain
+    /// at CC time — i.e. no transaction ordered before this one ever
+    /// inserted it, so it is absent at this timestamp (later inserts are
+    /// *ordered after* the scan by the CC pass, not phantoms).
+    ///
+    /// Annotation is subject to the same knobs as reads: with
+    /// `annotate_reads` off, or for a range wider than
+    /// `annotate_max_reads`, the inner slice is **empty** (nothing is
+    /// allocated or annotated — a declared terabyte-wide range must not
+    /// allocate a pointer per slot) and the executor's ts-filtered
+    /// fallback probe serves every row with identical semantics.
+    pub(crate) scan_refs: Box<[Box<[AtomicPtr<Version>]>]>,
     /// One slot per write-set entry: the placeholder version installed by
     /// the owning CC thread (§3.2.2).
     pub(crate) write_refs: Box<[AtomicPtr<Version>]>,
@@ -313,6 +328,21 @@ impl TxnState {
         for (i, rid) in txn.writes.iter().enumerate() {
             plan.push(PlanEntry::new(rid.stable_hash() >> 32, true, i));
         }
+        let scan_refs = txn
+            .scans
+            .iter()
+            .map(|s| {
+                // `annotate_max_reads` arrives as 0 when annotate_reads is
+                // off, so both knobs gate here; an empty slice marks the
+                // scan as fallback-only.
+                if s.len() as usize <= annotate_max_reads {
+                    nulls(s.len() as usize)
+                } else {
+                    nulls(0)
+                }
+            })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
         Self {
             txn,
             ts,
@@ -320,6 +350,7 @@ impl TxnState {
             plan: plan.into_boxed_slice(),
             read_refs: nulls(nr),
             write_refs: nulls(nw),
+            scan_refs,
             hook,
         }
     }

@@ -30,6 +30,15 @@ pub struct BohmConfig {
     /// Enable Condition-3 garbage collection of superseded versions
     /// (§3.3.2). The paper runs BOHM with GC on.
     pub enable_gc: bool,
+    /// Index buckets each CC thread sweeps per batch looking for
+    /// reclaimable *keys*: a fully-deleted key whose chain has collapsed to
+    /// a sole committed tombstone older than the GC bound (and whose every
+    /// annotation holder has executed) has its tombstone, chain and index
+    /// entry retired outright — without this, full-table delete churn
+    /// leaks one tombstone plus an index entry per ever-used key. `0`
+    /// disables key reclamation (version GC alone then applies). Requires
+    /// [`enable_gc`](Self::enable_gc).
+    pub key_gc_buckets: usize,
     /// Transactions whose read set exceeds this size are *not* annotated;
     /// their reads fall back to chain traversal at execution time. The
     /// §3.2.3 annotation is an optimization aimed at short transactions —
@@ -78,6 +87,7 @@ impl Default for BohmConfig {
             exec_threads: 4,
             annotate_reads: true,
             enable_gc: true,
+            key_gc_buckets: 512,
             annotate_max_reads: 64,
             index_capacity: 1 << 20,
             max_resolve_depth: 64,

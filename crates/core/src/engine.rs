@@ -29,6 +29,14 @@ pub(crate) struct Inner {
     pub gc_bound: AtomicU64,
     /// Total versions retired by GC (diagnostics / ablation benches).
     pub gc_retired: AtomicU64,
+    /// Fully-deleted keys whose index entries were reclaimed by the CC
+    /// threads' key sweep (diagnostics; see `cc::sweep_keys`).
+    pub keys_retired: AtomicU64,
+    /// Tombstones ever produced (committed deletes + aborted-insert
+    /// copy-throughs). Purely a gate: while zero, the key sweep has
+    /// nothing it could ever reclaim and skips entirely, so delete-free
+    /// workloads (the paper figures) pay no bucket walks on the CC path.
+    pub deletes_seen: AtomicU64,
     /// Diagnostics: nanoseconds each layer spent busy (indexing by role).
     pub cc_busy_ns: AtomicU64,
     pub exec_busy_ns: AtomicU64,
@@ -81,6 +89,8 @@ impl Bohm {
                 .collect(),
             gc_bound: AtomicU64::new(0),
             gc_retired: AtomicU64::new(0),
+            keys_retired: AtomicU64::new(0),
+            deletes_seen: AtomicU64::new(0),
             cc_busy_ns: AtomicU64::new(0),
             exec_busy_ns: AtomicU64::new(0),
             window: Window::new(config.max_inflight_batches, config.batch_size as u64),
@@ -196,6 +206,18 @@ impl Bohm {
     /// Versions retired by Condition-3 GC so far.
     pub fn gc_retired(&self) -> u64 {
         self.inner.gc_retired.load(Ordering::Relaxed)
+    }
+
+    /// Fully-deleted keys whose index entries (tombstone, chain and all)
+    /// were reclaimed by the key sweep so far.
+    pub fn keys_retired(&self) -> u64 {
+        self.inner.keys_retired.load(Ordering::Relaxed)
+    }
+
+    /// Number of keys currently present in the hash index (preloaded +
+    /// inserted − reclaimed); the live-memory audit hook of the key sweep.
+    pub fn index_keys(&self) -> usize {
+        self.inner.index.len()
     }
 
     /// Diagnostics: total busy time of (CC, execution) layers so far.
@@ -637,6 +659,123 @@ mod tests {
     }
 
     #[test]
+    fn scans_are_ordered_against_batched_inserts_not_phantoms() {
+        use bohm_common::Procedure::BlindWrite;
+        use bohm_common::{ScanRange, TpcCProc};
+        let e = small_engine(); // 64 seeded rows; rows ≥ 64 insert-fresh
+        let history = || {
+            Txn::with_scans(
+                vec![rid(0)],
+                vec![],
+                vec![ScanRange::new(0, 100, 110)],
+                Procedure::TpcC(TpcCProc::OrderHistory),
+            )
+        };
+        let ins = |k: u64, v: u64| Txn::new(vec![], vec![rid(k)], BlindWrite { value: v });
+        // One submission ⇒ one batch: every scan executes while the
+        // *later* inserts' placeholders are already on the scanned range's
+        // chains. The CC pre-annotation (and the ts-filtered fallback)
+        // must order each scan between its log neighbours: 0, then 1, then
+        // 2 present rows — never a phantom from a later insert.
+        let out = e.execute_sync(vec![
+            history(),
+            ins(105, 7),
+            history(),
+            ins(103, 8),
+            history(),
+        ]);
+        assert!(out.iter().all(|o| o.committed));
+        assert_eq!(out[0].fingerprint, 0, "pre-insert scan is empty");
+        assert_ne!(out[2].fingerprint, out[0].fingerprint);
+        assert_ne!(out[4].fingerprint, out[2].fingerprint);
+        // Deleting from the range shrinks the membership back.
+        let del = Txn::new(
+            vec![rid(0)],
+            vec![rid(103)],
+            Procedure::GuardedDelete { min: 0 },
+        );
+        let out2 = e.execute_sync(vec![del, history()]);
+        assert!(out2.iter().all(|o| o.committed));
+        assert_eq!(
+            out2[1].fingerprint, out[2].fingerprint,
+            "post-delete scan matches the single-row membership"
+        );
+        e.shutdown();
+    }
+
+    #[test]
+    fn scans_stay_correct_with_annotations_disabled() {
+        use bohm_common::Procedure::BlindWrite;
+        use bohm_common::{ScanRange, TpcCProc};
+        // The ablation path: with annotate_reads off (and thus no scan
+        // pre-annotation either), every scanned row resolves through the
+        // ts-filtered fallback probe — same ordering guarantees, no
+        // pointer slots allocated.
+        let mut cfg = BohmConfig::small();
+        cfg.annotate_reads = false;
+        let e = Bohm::start(cfg, CatalogSpec::new().table(64, 8, |r| r * 10));
+        let history = || {
+            Txn::with_scans(
+                vec![rid(0)],
+                vec![],
+                vec![ScanRange::new(0, 100, 110)],
+                Procedure::TpcC(TpcCProc::OrderHistory),
+            )
+        };
+        let ins = |k: u64, v: u64| Txn::new(vec![], vec![rid(k)], BlindWrite { value: v });
+        let out = e.execute_sync(vec![history(), ins(105, 7), history()]);
+        assert!(out.iter().all(|o| o.committed));
+        assert_eq!(out[0].fingerprint, 0, "pre-insert scan is empty");
+        assert_ne!(out[2].fingerprint, 0, "post-insert scan sees the row");
+        e.shutdown();
+    }
+
+    #[test]
+    fn oversized_scan_ranges_fall_back_without_allocating() {
+        use bohm_common::{ScanRange, TpcCProc};
+        // A range wider than annotate_max_reads gets no annotation slots
+        // (a declared terabyte-wide range must not allocate per-slot
+        // pointers in the sequencer); the fallback probe still serves it.
+        let mut cfg = BohmConfig::small();
+        cfg.annotate_max_reads = 4;
+        let e = Bohm::start(cfg, CatalogSpec::new().table(16, 8, |r| r + 1));
+        let wide = Txn::with_scans(
+            vec![rid(0)],
+            vec![],
+            vec![ScanRange::new(0, 0, 16)], // 16 > annotate_max_reads
+            Procedure::TpcC(TpcCProc::OrderHistory),
+        );
+        let out = e.execute_sync(vec![wide]);
+        assert!(out[0].committed);
+        assert_ne!(out[0].fingerprint, 0, "all 16 seeded rows observed");
+        e.shutdown();
+    }
+
+    #[test]
+    fn scan_blocks_on_pending_producer_within_a_batch() {
+        use bohm_common::Procedure::BlindWrite;
+        use bohm_common::{ScanRange, TpcCProc};
+        // [insert K, scan covering K] in one batch: if the executor reaches
+        // the scan first it lands on the insert's pending placeholder and
+        // must resolve the producer (NotReady → recursive execution), then
+        // observe the row — the §3.3.1 protocol extended to ranges.
+        let e = small_engine();
+        let ins = Txn::new(vec![], vec![rid(200)], BlindWrite { value: 9 });
+        let history = Txn::with_scans(
+            vec![rid(0)],
+            vec![],
+            vec![ScanRange::new(0, 198, 203)],
+            Procedure::TpcC(TpcCProc::OrderHistory),
+        );
+        for _ in 0..20 {
+            let out = e.execute_sync(vec![ins.clone(), history.clone()]);
+            assert!(out.iter().all(|o| o.committed));
+            assert_ne!(out[1].fingerprint, 0, "scan must observe the insert");
+        }
+        e.shutdown();
+    }
+
+    #[test]
     fn user_aborted_delete_leaves_row_readable() {
         use bohm_common::Procedure::GuardedDelete;
         // Guard seeded 0 < min ⇒ user abort; the delete placeholder is
@@ -672,6 +811,87 @@ mod tests {
             "delete churn should be reclaimed, got {} after {iters} cycles",
             e.gc_retired()
         );
+        e.shutdown();
+    }
+
+    #[test]
+    fn full_table_delete_churn_returns_index_to_baseline() {
+        use bohm_common::Procedure::{BlindWrite, GuardedDelete};
+        // The former leak: a fully-deleted key kept one tombstone (its
+        // chain head) plus its index entry forever. The CC key sweep must
+        // return the index to its preloaded footprint once the GC bound
+        // passes the deletes.
+        let mut cfg = BohmConfig::small();
+        cfg.key_gc_buckets = usize::MAX; // full sweep per batch: deterministic
+        let e = Bohm::start(cfg, CatalogSpec::new().table(2, 8, |_| 1));
+        let baseline = e.index_keys();
+        assert_eq!(baseline, 2);
+        let guard = rid(0);
+        let inserts: Vec<Txn> = (100..164)
+            .map(|k| Txn::new(vec![], vec![rid(k)], BlindWrite { value: k }))
+            .collect();
+        assert!(e.execute_sync(inserts).iter().all(|o| o.committed));
+        assert_eq!(e.index_keys(), baseline + 64);
+        let deletes: Vec<Txn> = (100..164)
+            .map(|k| Txn::new(vec![guard], vec![rid(k)], GuardedDelete { min: 0 }))
+            .collect();
+        assert!(e.execute_sync(deletes).iter().all(|o| o.committed));
+        // Filler batches advance the GC bound and run the sweep.
+        for _ in 0..20 {
+            e.execute_sync(vec![rmw(&[0], 0)]);
+            if e.index_keys() == baseline {
+                break;
+            }
+        }
+        assert_eq!(
+            e.index_keys(),
+            baseline,
+            "full-table churn must not leak index entries"
+        );
+        assert!(e.keys_retired() >= 64, "got {}", e.keys_retired());
+        for k in 100..164 {
+            assert_eq!(e.read_u64(rid(k)), None, "reclaimed key reads absent");
+        }
+        // Reclaimed keys stay insertable (fresh chain through the index).
+        let out = e.execute_sync(vec![Txn::new(
+            vec![],
+            vec![rid(120)],
+            BlindWrite { value: 7 },
+        )]);
+        assert!(out[0].committed);
+        assert_eq!(e.read_u64(rid(120)), Some(7));
+        assert_eq!(e.index_keys(), baseline + 1);
+        e.shutdown();
+    }
+
+    #[test]
+    fn key_sweep_spares_annotated_and_live_chains() {
+        use bohm_common::Procedure::GuardedDelete;
+        // Deleting one key and probing it from the same stream: the probe's
+        // annotation must never be invalidated (the sweep defers until the
+        // annotated transaction has executed), and live keys are untouched.
+        let mut cfg = BohmConfig::small();
+        cfg.key_gc_buckets = usize::MAX;
+        let e = Bohm::start(cfg, CatalogSpec::new().table(8, 8, |r| r + 1));
+        let victim = rid(5);
+        let probe = Txn::new(
+            vec![rid(0), victim],
+            vec![],
+            Procedure::TpcC(bohm_common::TpcCProc::OrderStatus),
+        );
+        for _ in 0..50 {
+            let del = Txn::new(vec![rid(0)], vec![victim], GuardedDelete { min: 0 });
+            let ins = Txn::new(
+                vec![],
+                vec![victim],
+                bohm_common::Procedure::BlindWrite { value: 9 },
+            );
+            let out = e.execute_sync(vec![del, probe.clone(), ins, probe.clone()]);
+            assert!(out.iter().all(|o| o.committed));
+            assert_ne!(out[1].fingerprint, out[3].fingerprint);
+        }
+        assert_eq!(e.read_u64(victim), Some(9));
+        assert_eq!(e.index_keys(), 8, "live keys must never be reclaimed");
         e.shutdown();
     }
 

@@ -115,6 +115,7 @@ pub(crate) fn run_claimed(
             t,
             index: &inner.index,
             guard: &guard,
+            deletes: &inner.deletes_seen,
         };
         let result = execute_procedure(
             &t.txn.proc,
@@ -132,7 +133,7 @@ pub(crate) fn run_claimed(
             Err(AbortReason::User) => {
                 // Logic abort: the transaction's versions carry the data of
                 // their predecessors (paper §3.3.1, "write dependencies").
-                match copy_through(t, &guard) {
+                match copy_through(inner, t, &guard) {
                     Ok(()) => {
                         t.complete(false, 0);
                         return true;
@@ -211,8 +212,10 @@ fn resolve_dependency(inner: &Inner, dep_ts: u64, scratch: &mut Vec<u8>, depth: 
 /// On a logic abort, fill each still-pending placeholder with its
 /// predecessor's data so later readers observe the pre-transaction state
 /// (paper §3.3.1). Fails with the producer timestamp if a predecessor is
-/// itself unresolved.
-fn copy_through(t: &TxnState, guard: &epoch::Guard) -> Result<(), u64> {
+/// itself unresolved. Tombstone fills arm the key sweep's
+/// `deletes_seen` gate like committed deletes do (an aborted fresh insert
+/// leaves a reclaimable sole-tombstone chain behind).
+fn copy_through(inner: &Inner, t: &TxnState, guard: &epoch::Guard) -> Result<(), u64> {
     for wi in 0..t.txn.writes.len() {
         let ptr = t.write_refs[wi].load(Ordering::Acquire);
         debug_assert!(!ptr.is_null());
@@ -229,13 +232,17 @@ fn copy_through(t: &TxnState, guard: &epoch::Guard) -> Result<(), u64> {
                 // Aborted insert of a fresh record: publish a tombstone so
                 // readers see continued absence.
                 v.fill_tombstone();
+                inner.deletes_seen.fetch_add(1, Ordering::Relaxed);
             }
             Some(prev) => {
                 if !prev.is_resolved() {
                     return Err(prev.begin());
                 }
                 match prev.state() {
-                    bohm_mvstore::VersionState::Tombstone => v.fill_tombstone(),
+                    bohm_mvstore::VersionState::Tombstone => {
+                        v.fill_tombstone();
+                        inner.deletes_seen.fetch_add(1, Ordering::Relaxed);
+                    }
                     _ => {
                         v.fill_once(prev.data());
                     }

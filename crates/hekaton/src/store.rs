@@ -6,7 +6,7 @@
 //! backward-linked version chain; pushes are CAS-loops because, unlike
 //! BOHM, *any* worker thread may install a version on any record.
 
-use crate::version::{unpack, HkVersion, WordView, END_INF};
+use crate::version::{unpack, HkVersion, WordView, ABORTED_SENTINEL, END_INF};
 use bohm_common::RecordId;
 use crossbeam_epoch as epoch;
 use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
@@ -80,6 +80,12 @@ impl HekatonStore {
         self.tables[table as usize].heads.len()
     }
 
+    /// Number of tables in the store (the background sweep's outer loop).
+    #[inline]
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+
     /// Push `nv` (already initialized) as the new chain head of `rid`.
     /// Callers guarantee `nv` is a valid, exclusively-owned allocation
     /// until the CAS publishes it (enforced crate-internally).
@@ -142,12 +148,17 @@ impl HekatonStore {
     /// it — and everything older beneath it — is garbage. Aborted-insert
     /// versions are additionally unlinked one by one wherever they sit.
     ///
-    /// The chain **head is never pruned** (it is the CAS anchor for
-    /// writers), so a fully-dead record that keeps getting pruned converges
-    /// to exactly one version — for deleted records, a single committed
-    /// tombstone. Pruning is driven by commits that read or write the
-    /// record, so a key *never touched again* retains its final chain
-    /// until something touches it (a background sweep is future work).
+    /// A *live* chain head is never pruned (it is the CAS anchor for
+    /// writers), so a record under churn converges to one live version.
+    /// The one head that **is** reclaimed is the last tombstone: when the
+    /// whole chain is a single committed tombstone with `begin ≤
+    /// watermark`, the record is logically absent for every in-flight and
+    /// future transaction, and a null head gives the same answer — so the
+    /// tombstone's end word is sealed (CAS ∞ → begin, which excludes any
+    /// concurrent superseder: updates must win that CAS first, and inserts
+    /// refuse chains holding committed versions) and the head pointer is
+    /// CAS'd to null. This closes the former head-tombstone leak where a
+    /// fully-deleted, never-reinserted key retained one version forever.
     ///
     /// Runs under the record's prune try-lock; contenders return 0
     /// immediately. Physical destruction is deferred through `guard`'s
@@ -204,6 +215,41 @@ impl HekatonStore {
                         break;
                     }
                     _ => pred = v,
+                }
+            }
+        }
+        // Head reclamation: if what remains is a single committed tombstone
+        // old enough that every in-flight and future reader sees absence
+        // either way, unlink it. The end-word seal must come first — a
+        // successful CAS (∞ → begin) excludes every future supersede, and
+        // inserts cannot target a chain holding a committed version, so
+        // after the seal no push can move the head and the head CAS below
+        // is uncontended. A failed seal means a writer superseded the
+        // tombstone first (a re-insert): leave everything to them.
+        let head = t.heads[rid.row as usize].load(Ordering::Acquire);
+        if !head.is_null() {
+            // SAFETY: reachable under the prune lock; epoch-deferred frees.
+            let h = unsafe { &*head };
+            if h.is_tombstone() && h.prev.load(Ordering::Acquire).is_null() {
+                if let WordView::Ts(b) = unpack(h.begin.load(Ordering::Acquire)) {
+                    if b != ABORTED_SENTINEL
+                        && b <= watermark
+                        && h.end
+                            .compare_exchange(END_INF, b, Ordering::AcqRel, Ordering::Relaxed)
+                            .is_ok()
+                        && t.heads[rid.row as usize]
+                            .compare_exchange(
+                                head,
+                                std::ptr::null_mut(),
+                                Ordering::AcqRel,
+                                Ordering::Relaxed,
+                            )
+                            .is_ok()
+                    {
+                        // SAFETY: unlinked; destruction deferred past pins.
+                        unsafe { guard.defer_unchecked(move || drop(Box::from_raw(head))) };
+                        freed += 1;
+                    }
                 }
             }
         }

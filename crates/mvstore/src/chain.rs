@@ -12,11 +12,18 @@
 use crate::version::Version;
 use bohm_common::Timestamp;
 use crossbeam_epoch::{Atomic, Guard, Owned, Shared};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The version chain of one record.
 pub struct Chain {
     head: Atomic<Version>,
+    /// Largest timestamp of any transaction whose read or scan the owning
+    /// CC thread annotated with a direct pointer into this chain. Written
+    /// only by that thread (timestamps arrive monotonically), read by the
+    /// same thread's key-reclamation sweep: an index entry may only be
+    /// retired once every possible annotation holder has executed
+    /// (`annotated_ts ≤ GC bound`) — the annotation-safe lifetime rule.
+    annotated_ts: AtomicU64,
 }
 
 impl Default for Chain {
@@ -30,6 +37,38 @@ impl Chain {
     pub fn new() -> Self {
         Self {
             head: Atomic::null(),
+            annotated_ts: AtomicU64::new(0),
+        }
+    }
+
+    /// Record that the owning CC thread handed a direct pointer into this
+    /// chain to the (not-yet-executed) transaction at `ts`. Single-writer,
+    /// monotonic — see the field docs.
+    #[inline]
+    pub fn note_annotation(&self, ts: Timestamp) {
+        self.annotated_ts.store(ts, Ordering::Relaxed);
+    }
+
+    /// Largest timestamp ever passed to [`note_annotation`](Self::note_annotation).
+    #[inline]
+    pub fn annotated_ts(&self) -> Timestamp {
+        self.annotated_ts.load(Ordering::Relaxed)
+    }
+
+    /// If the whole chain is exactly one *resolved tombstone*, return its
+    /// begin timestamp. This is the reclaimable shape of a fully-deleted
+    /// key: combined with `begin ≤ GC bound` (every reader that could still
+    /// need to observe the deletion has executed) and the annotation rule,
+    /// the key's index entry can be retired outright.
+    pub fn sole_tombstone(&self, guard: &Guard) -> Option<Timestamp> {
+        let head = self.head.load(Ordering::Acquire, guard);
+        let v = unsafe { head.as_ref() }?;
+        if v.state() == crate::version::VersionState::Tombstone
+            && v.prev.load(Ordering::Acquire, guard).is_null()
+        {
+            Some(v.begin())
+        } else {
+            None
         }
     }
 
@@ -277,6 +316,26 @@ mod tests {
         assert_eq!(c.truncate(300, &g), 1);
         assert_eq!(c.depth(&g), 1);
         assert_eq!(get_u64(c.latest(&g).unwrap().data(), 0), 3);
+    }
+
+    #[test]
+    fn sole_tombstone_shape_and_annotation_bookkeeping() {
+        let c = Chain::new();
+        let g = epoch::pin();
+        assert!(c.sole_tombstone(&g).is_none(), "empty chain");
+        c.install(ready(100, 1), &g);
+        assert!(c.sole_tombstone(&g).is_none(), "live value");
+        let del = c.install(Owned::new(Version::placeholder(200, 8)), &g);
+        unsafe { del.as_ref() }.unwrap().fill_tombstone();
+        assert!(
+            c.sole_tombstone(&g).is_none(),
+            "predecessor value still linked"
+        );
+        assert_eq!(c.truncate(200, &g), 1);
+        assert_eq!(c.sole_tombstone(&g), Some(200), "fully-deleted shape");
+        assert_eq!(c.annotated_ts(), 0);
+        c.note_annotation(250);
+        assert_eq!(c.annotated_ts(), 250);
     }
 
     #[test]

@@ -10,17 +10,30 @@
 //! * [`DenseIndex`] — the fixed-size array index the paper's Hekaton/SI
 //!   baselines use (§4); also handy for ablations.
 //!
-//! Index entries are never removed while the index is alive (BOHM garbage
-//! collects *versions*, not keys), so entry nodes use plain `AtomicPtr`
-//! without deferred reclamation; the chains inside them handle version
-//! reclamation through `crossbeam-epoch`.
+//! Index entries live until the key is *reclaimed*: a fully-deleted key
+//! whose chain has collapsed to a sole committed tombstone older than the
+//! GC bound can have its entry retired outright
+//! ([`HashIndex::sweep_retire`]), which is what keeps full-table delete
+//! churn from growing the index without bound. Retirement is
+//! epoch-deferred, so every concurrent traversal of a bucket list must
+//! hold a `crossbeam-epoch` pin (all engine call sites do); the caller
+//! contract on `sweep_retire` restricts *who* may approve a reclamation.
 
 use crate::chain::Chain;
 use bohm_common::{RecordId, TableId};
+use crossbeam_epoch::Guard;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 
 /// Common interface over the two index kinds.
+///
+/// # Reclamation caveat
+/// [`HashIndex`] entries can be retired by [`HashIndex::sweep_retire`]
+/// with epoch-deferred frees, so callers that may race a sweeper must
+/// invoke `get`/`get_or_insert` (and use the returned `&Chain`) under a
+/// `crossbeam_epoch` pin — the signatures do not enforce this. Every
+/// engine call site holds one; pin-less use is only sound while no
+/// sweeper can run (preload, tests, `DenseIndex`).
 pub trait VersionIndex: Send + Sync {
     /// Chain for `rid`, if the key has ever been inserted.
     fn get(&self, rid: RecordId) -> Option<&Chain>;
@@ -44,7 +57,17 @@ pub struct HashIndex {
     buckets: Box<[AtomicPtr<Entry>]>,
     mask: u64,
     len: AtomicUsize,
+    /// Striped removal locks for [`sweep_retire`](Self::sweep_retire):
+    /// mid-list unlinks assume a stable predecessor, so removers of
+    /// entries in the same bucket exclude each other (try-lock — a busy
+    /// stripe is simply skipped this round). Inserters never take these:
+    /// insertion is a head CAS, which removal of the head entry races
+    /// through its own CAS.
+    retire_locks: Box<[AtomicU8]>,
 }
+
+/// Number of removal-lock stripes (power of two; buckets map in modulo).
+const RETIRE_STRIPES: usize = 1024;
 
 impl HashIndex {
     /// Create with capacity for roughly `expected` keys (bucket count is the
@@ -53,11 +76,97 @@ impl HashIndex {
         let n = expected.max(16).next_power_of_two();
         let mut buckets = Vec::with_capacity(n);
         buckets.resize_with(n, || AtomicPtr::new(ptr::null_mut()));
+        let stripes = n.min(RETIRE_STRIPES);
+        let mut retire_locks = Vec::with_capacity(stripes);
+        retire_locks.resize_with(stripes, || AtomicU8::new(0));
         Self {
             buckets: buckets.into_boxed_slice(),
             mask: (n - 1) as u64,
             len: AtomicUsize::new(0),
+            retire_locks: retire_locks.into_boxed_slice(),
         }
+    }
+
+    /// Number of buckets (sweep-cursor arithmetic for callers).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Visit `count` buckets starting at `start` (wrapping) and retire
+    /// every entry `reclaim` approves, returning how many were retired.
+    /// Entry destruction (and the destruction of the chain and versions
+    /// inside it) is deferred through `guard`'s epoch.
+    ///
+    /// # Caller contract
+    /// For any given key, reclamation may only be approved by the key's
+    /// single logical chain writer (BOHM: the CC thread owning the key's
+    /// partition), and only when it can prove no raw pointer into the
+    /// chain survives outside an epoch pin (the annotation-safe lifetime
+    /// rule: every annotated transaction has executed). A violation would
+    /// let a concurrent installer publish onto a retired chain — a lost
+    /// write. Concurrent `get`/`get_or_insert` traversals from any thread
+    /// remain safe provided they run under an epoch pin.
+    pub fn sweep_retire(
+        &self,
+        start: usize,
+        count: usize,
+        guard: &Guard,
+        reclaim: &mut dyn FnMut(RecordId, &Chain) -> bool,
+    ) -> usize {
+        let nbuckets = self.buckets.len();
+        let count = count.min(nbuckets);
+        let mut retired = 0;
+        for i in 0..count {
+            let bi = (start + i) & (self.mask as usize);
+            let stripe = &self.retire_locks[bi & (self.retire_locks.len() - 1)];
+            if stripe
+                .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                continue; // another remover owns the stripe; next round
+            }
+            let bucket = &self.buckets[bi];
+            'restart: loop {
+                let mut pred: *const Entry = ptr::null();
+                let mut cur = bucket.load(Ordering::Acquire);
+                while !cur.is_null() {
+                    // SAFETY: reachable under the stripe lock; only this
+                    // remover unlinks here, and frees are epoch-deferred
+                    // past `guard` and every concurrent pin.
+                    let e = unsafe { &*cur };
+                    let next = e.next.load(Ordering::Acquire);
+                    if reclaim(e.rid, &e.chain) {
+                        if pred.is_null() {
+                            if bucket
+                                .compare_exchange(cur, next, Ordering::AcqRel, Ordering::Acquire)
+                                .is_err()
+                            {
+                                // Lost to a concurrent head insert; the
+                                // list above us changed — re-walk.
+                                continue 'restart;
+                            }
+                        } else {
+                            // Mid-list: pred is stable (stripe-locked
+                            // removers; inserters only touch the head).
+                            unsafe { &*pred }.next.store(next, Ordering::Release);
+                        }
+                        self.len.fetch_sub(1, Ordering::Relaxed);
+                        retired += 1;
+                        // SAFETY: unlinked; traversals that still hold a
+                        // reference are pinned, and destruction waits for
+                        // them.
+                        unsafe { guard.defer_unchecked(move || drop(Box::from_raw(cur))) };
+                        cur = next;
+                    } else {
+                        pred = cur;
+                        cur = next;
+                    }
+                }
+                break;
+            }
+            stripe.store(0, Ordering::Release);
+        }
+        retired
     }
 
     #[inline]
@@ -69,8 +178,12 @@ impl HashIndex {
     fn find(&self, rid: RecordId) -> Option<&Entry> {
         let mut cur = self.bucket(rid).load(Ordering::Acquire);
         while !cur.is_null() {
-            // SAFETY: entries are heap-allocated, published with release
-            // stores, and never freed while `&self` is alive.
+            // SAFETY: entries are heap-allocated and published with release
+            // stores. Since [`sweep_retire`](Self::sweep_retire) exists,
+            // entries CAN be freed — epoch-deferred — so every traversal
+            // (this one, and the `get`/`get_or_insert` entry points above
+            // it) must run under a `crossbeam_epoch` pin whenever a sweeper
+            // may be live; see the trait docs on [`VersionIndex`].
             let e = unsafe { &*cur };
             if e.rid == rid {
                 return Some(e);
@@ -285,6 +398,97 @@ mod tests {
             assert_eq!(r, &results[0], "all threads must agree on chain identity");
         }
         assert_eq!(idx.len(), 100);
+    }
+
+    #[test]
+    fn sweep_retire_removes_head_and_mid_entries() {
+        let idx = HashIndex::with_capacity(1); // one bucket: forces a list
+        for k in 0..6 {
+            idx.get_or_insert(rid(0, k));
+        }
+        assert_eq!(idx.len(), 6);
+        let g = epoch::pin();
+        // Retire the even keys wherever they sit in the bucket list.
+        let retired = idx.sweep_retire(0, idx.bucket_count(), &g, &mut |r, _| r.row % 2 == 0);
+        assert_eq!(retired, 3);
+        assert_eq!(idx.len(), 3);
+        for k in 0..6 {
+            assert_eq!(
+                idx.get(rid(0, k)).is_some(),
+                k % 2 == 1,
+                "key {k} retirement state wrong"
+            );
+        }
+        // Retired keys are re-insertable with fresh chains.
+        idx.get_or_insert(rid(0, 0));
+        assert_eq!(idx.len(), 4);
+    }
+
+    #[test]
+    fn sweep_retire_wraps_and_respects_count() {
+        let idx = HashIndex::with_capacity(64);
+        for k in 0..100 {
+            idx.get_or_insert(rid(0, k));
+        }
+        let g = epoch::pin();
+        // Sweeping every bucket from an offset start must still see all.
+        let retired = idx.sweep_retire(37, usize::MAX, &g, &mut |_, _| true);
+        assert_eq!(retired, 100);
+        assert_eq!(idx.len(), 0);
+    }
+
+    #[test]
+    fn sweep_retire_races_concurrent_inserts_safely() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        // One sweeper retires key 0's entries while other threads insert
+        // distinct keys into the same (tiny) bucket space: no key other
+        // than the reclaimed one may be lost, and the index must stay
+        // traversable throughout.
+        let idx = Arc::new(HashIndex::with_capacity(4));
+        let stop = Arc::new(AtomicBool::new(false));
+        let sweeper = {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let g = epoch::pin();
+                    idx.sweep_retire(0, idx.bucket_count(), &g, &mut |r, _| r.table == TableId(9));
+                }
+            })
+        };
+        let mut inserters = Vec::new();
+        for t in 0..4u64 {
+            let idx = Arc::clone(&idx);
+            let stop = Arc::clone(&stop);
+            inserters.push(std::thread::spawn(move || {
+                let mut i = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let g = epoch::pin();
+                    // Table 9 keys are sweep bait; table `t` keys must stay.
+                    idx.get_or_insert(rid(9, t * 1_000_000 + i));
+                    idx.get_or_insert(rid(t as u32, i % 256));
+                    drop(g);
+                    i += 1;
+                }
+                i
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        sweeper.join().unwrap();
+        for (t, h) in inserters.into_iter().enumerate() {
+            let n = h.join().unwrap();
+            assert!(n > 0);
+            let g = epoch::pin();
+            for i in 0..n.min(256) {
+                assert!(
+                    idx.get(rid(t as u32, i)).is_some(),
+                    "inserted key lost: table {t} row {i}"
+                );
+            }
+            drop(g);
+        }
     }
 
     #[test]

@@ -99,16 +99,19 @@ struct OccAccess<'a> {
     w: &'a mut OccWorker,
 }
 
-impl Access for OccAccess<'_> {
-    fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
-        if !self.read_maybe(idx, out)? {
-            panic!("read of unknown record {}", self.txn.reads[idx]);
-        }
-        Ok(())
-    }
-
-    fn read_maybe(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<bool, AbortReason> {
-        let rid = self.txn.reads[idx];
+impl OccAccess<'_> {
+    /// Stable read of one slot, by record id: TID / payload+presence / TID,
+    /// with the observation recorded in the read set. An absent slot is
+    /// read exactly like a record: its observation is recorded against the
+    /// slot's TID word, so a concurrent insert (which bumps the TID at
+    /// commit) invalidates us — "absent" is a validated fact, not a racy
+    /// glance. Shared by point reads and range scans (a scan is a stable
+    /// read of every slot in its range).
+    fn stable_read(
+        &mut self,
+        rid: RecordId,
+        out: &mut dyn FnMut(&[u8]),
+    ) -> Result<bool, AbortReason> {
         // Read-own-write: serve from the write buffer (a buffered delete
         // reads as this transaction's own absence).
         if let Some(e) = self.w.wentries.iter().find(|e| e.rid == rid) {
@@ -118,11 +121,6 @@ impl Access for OccAccess<'_> {
             out(&self.w.wbuf[e.off..e.off + e.len]);
             return Ok(true);
         }
-        // Stable read: TID / payload+presence / TID. An absent slot is read
-        // exactly like a record: its observation is recorded against the
-        // slot's TID word, so a concurrent insert (which bumps the TID at
-        // commit) invalidates us — "absent" is a validated fact, not a
-        // racy glance.
         let meta = self.eng.meta(rid);
         let table = self.eng.store.table(rid);
         loop {
@@ -152,6 +150,48 @@ impl Access for OccAccess<'_> {
                 return Ok(present);
             }
         }
+    }
+}
+
+impl Access for OccAccess<'_> {
+    fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
+        if !self.read_maybe(idx, out)? {
+            panic!("read of unknown record {}", self.txn.reads[idx]);
+        }
+        Ok(())
+    }
+
+    fn read_maybe(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<bool, AbortReason> {
+        let rid = self.txn.reads[idx];
+        self.stable_read(rid, out)
+    }
+
+    fn scan(&mut self, idx: usize, out: &mut dyn FnMut(u64, &[u8])) -> Result<u64, AbortReason> {
+        // Phantom protection is the recorded range: every slot of the range
+        // — absent ones included — enters the read set with the TID it was
+        // observed under. A concurrent insert into or delete from the range
+        // bumps the affected slot's TID at its commit (presence flips
+        // before the TID release-store), so validation of this read set is
+        // exactly "no insert/delete intersected the scanned range before
+        // our TID bump".
+        let s = self.txn.scans[idx];
+        let table = &self.eng.store.tables()[s.table.index()];
+        assert!(
+            s.hi as usize <= table.rows(),
+            "scan range {s:?} beyond table capacity {}",
+            table.rows()
+        );
+        let mut n = 0;
+        for row in s.rows() {
+            let rid = RecordId {
+                table: s.table,
+                row,
+            };
+            if self.stable_read(rid, &mut |b| out(row, b))? {
+                n += 1;
+            }
+        }
+        Ok(n)
     }
 
     fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason> {
@@ -612,6 +652,108 @@ mod tests {
         assert_eq!(e.read_u64(cursor), Some(1));
         assert_eq!(e.read_u64(order), None, "delivered order deleted");
         assert_eq!(e.store().row_count(1), 0);
+    }
+
+    #[test]
+    fn scan_observes_membership_and_validates_the_range() {
+        use bohm_common::{range_audit_fingerprint, ScanRange, SCAN_POISON_GAP};
+        let mut b = StoreBuilder::new();
+        b.add_table_with_spare(2, 3, 8); // rows 0,1 seeded; 2..5 absent
+        b.seed_u64(0, |r| 10 + r);
+        let e = SiloOcc::from_builder(b);
+        let mut w = e.make_worker();
+        let audit = || {
+            Txn::with_scans(
+                vec![],
+                vec![],
+                vec![ScanRange::new(0, 0, 5)],
+                Procedure::RangeAudit { expect_base: 10 },
+            )
+        };
+        assert_eq!(
+            e.execute(&audit(), &mut w).fingerprint,
+            range_audit_fingerprint(2, 0)
+        );
+        let ins = Txn::new(
+            vec![],
+            vec![RecordId::new(0, 2)],
+            Procedure::InsertKeyed { base: 10 },
+        );
+        assert!(e.execute(&ins, &mut w).committed);
+        assert_eq!(
+            e.execute(&audit(), &mut w).fingerprint,
+            range_audit_fingerprint(3, 0)
+        );
+        let del = Txn::new(
+            vec![RecordId::new(0, 0)],
+            vec![RecordId::new(0, 1)],
+            Procedure::GuardedDelete { min: 0 },
+        );
+        assert!(e.execute(&del, &mut w).committed);
+        assert_eq!(e.execute(&audit(), &mut w).fingerprint, SCAN_POISON_GAP);
+    }
+
+    #[test]
+    fn concurrent_window_churn_never_yields_a_partial_scan() {
+        use bohm_common::Procedure::{GuardedDelete, InsertKeyed, RangeAudit};
+        use bohm_common::{range_audit_fingerprint, ScanRange};
+        // A writer atomically materializes and dissolves a whole key window
+        // while scanners sweep it: every scan must observe all of it or
+        // none of it — a partial observation is a phantom that slot-level
+        // TID validation must reject.
+        let mut b = StoreBuilder::new();
+        b.add_table(1, 8); // guard row for GuardedDelete
+        b.add_table_with_spare(0, 8, 8); // the churned window, starts absent
+        let e = Arc::new(SiloOcc::from_builder(b));
+        let window: Vec<RecordId> = (0..8).map(|r| RecordId::new(1, r)).collect();
+        let fp_full = range_audit_fingerprint(8, 0);
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let writer = {
+            let e = Arc::clone(&e);
+            let stop = Arc::clone(&stop);
+            let window = window.clone();
+            std::thread::spawn(move || {
+                let mut w = e.make_worker();
+                let ins = Txn::new(vec![], window.clone(), InsertKeyed { base: 7 });
+                let del = Txn::new(vec![RecordId::new(0, 0)], window, GuardedDelete { min: 0 });
+                while !stop.load(Ordering::Relaxed) {
+                    assert!(e.execute(&ins, &mut w).committed);
+                    assert!(e.execute(&del, &mut w).committed);
+                }
+            })
+        };
+        let mut scanners = Vec::new();
+        for _ in 0..3 {
+            let e = Arc::clone(&e);
+            let stop = Arc::clone(&stop);
+            scanners.push(std::thread::spawn(move || {
+                let mut w = e.make_worker();
+                let scan = Txn::with_scans(
+                    vec![],
+                    vec![],
+                    vec![ScanRange::new(1, 0, 8)],
+                    RangeAudit { expect_base: 7 },
+                );
+                let mut seen = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let out = e.execute(&scan, &mut w);
+                    assert!(out.committed);
+                    assert!(
+                        out.fingerprint == 0 || out.fingerprint == fp_full,
+                        "partial window observed: {:#x}",
+                        out.fingerprint
+                    );
+                    seen += 1;
+                }
+                seen
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        writer.join().unwrap();
+        for s in scanners {
+            assert!(s.join().unwrap() > 0);
+        }
     }
 
     #[test]

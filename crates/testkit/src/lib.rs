@@ -81,6 +81,29 @@ impl Access for OracleAccess<'_> {
         Ok(())
     }
 
+    fn scan(&mut self, idx: usize, out: &mut dyn FnMut(u64, &[u8])) -> Result<u64, AbortReason> {
+        // Serial semantics are the reference the engines' phantom
+        // protection must reproduce: the range's membership at this
+        // transaction's position in the log, in key order. (Scans must not
+        // overlap the transaction's own write set, so the pending buffer is
+        // deliberately not consulted.)
+        let s = self.txn.scans[idx];
+        let table = &self.tables[s.table.index()];
+        assert!(
+            s.hi as usize <= table.len(),
+            "scan range {s:?} beyond table capacity {}",
+            table.len()
+        );
+        let mut n = 0;
+        for row in s.rows() {
+            if let Some(data) = &table[row as usize] {
+                out(row, data);
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
     fn write_len(&mut self, idx: usize) -> usize {
         self.record_sizes[self.txn.writes[idx].table.index()]
     }
@@ -220,6 +243,91 @@ pub fn check_serial_equivalence(
     Ok(())
 }
 
+/// Scan-vs-insert phantom hammer, runnable against any
+/// [`BatchEngine`](bohm_common::engine::BatchEngine).
+///
+/// A writer thread alternately **materializes** the whole key window
+/// `lo..lo+width` of `table` in one transaction
+/// ([`Procedure::InsertKeyed`](bohm_common::Procedure::InsertKeyed), values `base + row`) and **dissolves** it
+/// in one transaction ([`Procedure::GuardedDelete`](bohm_common::Procedure::GuardedDelete) over the window), for
+/// `rounds` rounds. Concurrent scanner threads run
+/// [`Procedure::RangeAudit`](bohm_common::Procedure::RangeAudit) over the window in a loop: because every
+/// serial state of the window is "entirely present" or "entirely absent",
+/// every scan must fingerprint as exactly one of those two — any other
+/// outcome (a partial count, a gap, a torn value) is a phantom or
+/// non-serializable scan, and the hammer panics with the offending
+/// fingerprint.
+///
+/// `guard` must name an existing record whose `u64` prefix is ≥ 0 forever
+/// (any seeded row) — it is the GuardedDelete guard read.
+pub fn phantom_hammer<E: bohm_common::engine::BatchEngine>(
+    engine: &E,
+    guard: RecordId,
+    table: u32,
+    lo: u64,
+    width: u64,
+    rounds: u64,
+) {
+    use bohm_common::engine::Session;
+    use bohm_common::{range_audit_fingerprint, Procedure, ScanRange};
+    use std::sync::atomic::{AtomicBool, Ordering};
+    let window: Vec<RecordId> = (lo..lo + width).map(|r| RecordId::new(table, r)).collect();
+    let base = 10_000u64;
+    let fp_full = range_audit_fingerprint(width, lo);
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let writer = {
+            let window = window.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut sess = engine.open_session();
+                let ins = Txn::new(vec![], window.clone(), Procedure::InsertKeyed { base });
+                let del = Txn::new(vec![guard], window, Procedure::GuardedDelete { min: 0 });
+                for _ in 0..rounds {
+                    sess.submit(ins.clone());
+                    assert!(sess.reap().committed, "window insert must commit");
+                    sess.submit(del.clone());
+                    assert!(sess.reap().committed, "window delete must commit");
+                }
+                stop.store(true, Ordering::Relaxed);
+            })
+        };
+        let mut scanners = Vec::new();
+        for _ in 0..2 {
+            let stop = &stop;
+            scanners.push(s.spawn(move || {
+                let mut sess = engine.open_session();
+                let scan = Txn::with_scans(
+                    vec![],
+                    vec![],
+                    vec![ScanRange::new(table, lo, lo + width)],
+                    Procedure::RangeAudit { expect_base: base },
+                );
+                let mut seen = 0u64;
+                // A floor of scans keeps the audit meaningful even when a
+                // fast writer drains its rounds before this thread spins up.
+                while !stop.load(Ordering::Relaxed) || seen < 64 {
+                    sess.submit(scan.clone());
+                    let out = sess.reap();
+                    assert!(out.committed, "scans never abort");
+                    assert!(
+                        out.fingerprint == 0 || out.fingerprint == fp_full,
+                        "phantom scan: fingerprint {:#x} is neither the empty \
+                         nor the full window (full = {fp_full:#x})",
+                        out.fingerprint
+                    );
+                    seen += 1;
+                }
+                seen
+            }));
+        }
+        writer.join().unwrap();
+        for sc in scanners {
+            assert!(sc.join().unwrap() > 0, "scanner made no progress");
+        }
+    });
+}
+
 /// Count the records an engine exposes in `table` by probing every slot of
 /// the declared capacity through its quiescent read hook.
 pub fn engine_row_count(
@@ -244,6 +352,7 @@ mod tests {
             spare_rows: 0,
             record_size: 8,
             seed: |r| r * 100,
+            growable: false,
         }])
     }
 
@@ -253,6 +362,7 @@ mod tests {
             spare_rows: 3,
             record_size: 8,
             seed: |r| r * 100,
+            growable: false,
         }])
     }
 
@@ -373,6 +483,45 @@ mod tests {
         assert!(out.committed);
         assert_eq!(o.read_u64(order), None, "delivered order is deleted");
         assert_eq!(o.read_u64(cursor), Some(1), "cursor advanced");
+    }
+
+    #[test]
+    fn oracle_scan_tracks_membership_across_inserts_and_deletes() {
+        use bohm_common::ScanRange;
+        let mut o = SerialOracle::new(&spec_with_headroom()); // rows 0,1 seeded
+        let history = || {
+            Txn::with_scans(
+                vec![RecordId::new(0, 0)],
+                vec![],
+                vec![ScanRange::new(0, 0, 5)],
+                Procedure::TpcC(TpcCProc::OrderHistory),
+            )
+        };
+        let fp0 = o.apply(&history()).fingerprint;
+        // Insert into the scanned range: membership (and fingerprint) change.
+        let fresh = RecordId::new(0, 3);
+        assert!(
+            o.apply(&Txn::new(
+                vec![],
+                vec![fresh],
+                Procedure::BlindWrite { value: 9 }
+            ))
+            .committed
+        );
+        let fp1 = o.apply(&history()).fingerprint;
+        assert_ne!(fp0, fp1, "insert into the range must be observed");
+        // Delete from the scanned range: membership shrinks again.
+        let del = Txn::new(
+            vec![RecordId::new(0, 0)],
+            vec![fresh],
+            Procedure::GuardedDelete { min: 0 },
+        );
+        assert!(o.apply(&del).committed);
+        assert_eq!(
+            o.apply(&history()).fingerprint,
+            fp0,
+            "delete restores the original membership"
+        );
     }
 
     #[test]

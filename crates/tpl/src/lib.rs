@@ -101,6 +101,30 @@ impl Access for TplAccess<'_> {
         Ok(())
     }
 
+    fn scan(&mut self, idx: usize, out: &mut dyn FnMut(u64, &[u8])) -> Result<u64, AbortReason> {
+        // Phantom protection is the lock set: `execute` acquired a shared
+        // lock on *every* slot of the range, present or absent — the lock
+        // on an absent slot is the gap/next-key lock that blocks a
+        // concurrent insert into the range until this transaction releases
+        // (and a delete needs the same exclusive lock). The membership
+        // observed here is therefore stable for the whole transaction.
+        let s = self.txn.scans[idx];
+        let table = self.store.table(RecordId {
+            table: s.table,
+            row: s.lo,
+        });
+        let mut n = 0;
+        for row in s.rows() {
+            if !table.is_present(row as usize) {
+                continue;
+            }
+            // SAFETY: shared lock held on this slot for the whole txn.
+            unsafe { table.read(row as usize, &mut |b| out(row, b)) };
+            n += 1;
+        }
+        Ok(n)
+    }
+
     fn write_len(&mut self, idx: usize) -> usize {
         self.store.table(self.txn.writes[idx]).record_size()
     }
@@ -134,6 +158,29 @@ impl Engine for TwoPhaseLocking {
                 slot: self.store.slot(*rid),
                 mode: LockMode::Exclusive,
             });
+        }
+        // Scans lock every slot of their range, absent slots included: the
+        // shared lock on a slot holding no record is the gap/next-key lock
+        // that keeps a concurrent insert (which needs it exclusively) out of
+        // the range until this transaction releases — genuine phantom
+        // protection, with no separate predicate-lock table needed because
+        // the key space of a table is its dense slot array.
+        for s in &txn.scans {
+            let table = &self.store.tables()[s.table.index()];
+            assert!(
+                s.hi as usize <= table.rows(),
+                "scan range {s:?} beyond table capacity {}",
+                table.rows()
+            );
+            for row in s.rows() {
+                w.reqs.push(LockRequest {
+                    slot: self.store.slot(RecordId {
+                        table: s.table,
+                        row,
+                    }),
+                    mode: LockMode::Shared,
+                });
+            }
         }
         LockTable::normalize(&mut w.reqs);
         self.locks.acquire_raw(&w.reqs);
@@ -402,6 +449,46 @@ mod tests {
         }
         let expect = 1 + u64::from(e.read_u64(hot).is_some());
         assert_eq!(e.store().row_count(0), expect);
+    }
+
+    #[test]
+    fn scan_observes_membership_under_range_locks() {
+        use bohm_common::{range_audit_fingerprint, ScanRange, SCAN_POISON_GAP};
+        let mut b = StoreBuilder::new();
+        b.add_table_with_spare(2, 3, 8); // rows 0,1 seeded; 2..5 absent
+        b.seed_u64(0, |r| 10 + r);
+        let e = TwoPhaseLocking::from_builder(b);
+        let mut w = e.make_worker();
+        let audit = || {
+            Txn::with_scans(
+                vec![],
+                vec![],
+                vec![ScanRange::new(0, 0, 5)],
+                Procedure::RangeAudit { expect_base: 10 },
+            )
+        };
+        let out = e.execute(&audit(), &mut w);
+        assert!(out.committed);
+        assert_eq!(out.fingerprint, range_audit_fingerprint(2, 0));
+        // Insert row 2 (value 12, per the keyed convention): run grows.
+        let ins = Txn::new(
+            vec![],
+            vec![RecordId::new(0, 2)],
+            Procedure::InsertKeyed { base: 10 },
+        );
+        assert!(e.execute(&ins, &mut w).committed);
+        assert_eq!(
+            e.execute(&audit(), &mut w).fingerprint,
+            range_audit_fingerprint(3, 0)
+        );
+        // Delete row 1: the hole is visible as a gap.
+        let del = Txn::new(
+            vec![RecordId::new(0, 0)],
+            vec![RecordId::new(0, 1)],
+            Procedure::GuardedDelete { min: 0 },
+        );
+        assert!(e.execute(&del, &mut w).committed);
+        assert_eq!(e.execute(&audit(), &mut w).fingerprint, SCAN_POISON_GAP);
     }
 
     #[test]

@@ -32,6 +32,7 @@ impl MicroConfig {
             spare_rows: 0,
             record_size: 8,
             seed: |_| 0,
+            growable: false,
         }])
     }
 }

@@ -16,10 +16,20 @@ pub struct TableDef {
     pub spare_rows: u64,
     pub record_size: usize,
     pub seed: fn(u64) -> u64,
+    /// The table may grow beyond [`capacity`](Self::capacity): row ids at
+    /// or above it are legal insert targets. Only engines with a dynamic
+    /// index support this — BOHM's latch-free hash index accepts any row
+    /// id, while the array-backed substrates (single-version slabs, the
+    /// Hekaton fixed-size array index) pre-size their slot arrays and
+    /// **refuse to build** a growable table with a clear error instead of
+    /// silently wrapping or corrupting neighbours. For growable tables,
+    /// `capacity()` degrades to a sizing hint.
+    pub growable: bool,
 }
 
 impl TableDef {
-    /// Total addressable rows: seeded prefix plus insert headroom.
+    /// Total addressable rows: seeded prefix plus insert headroom (for
+    /// [`growable`](Self::growable) tables, a hint rather than a bound).
     #[inline]
     pub fn capacity(&self) -> u64 {
         self.rows + self.spare_rows
@@ -69,12 +79,14 @@ mod tests {
                 spare_rows: 0,
                 record_size: 8,
                 seed: |r| r,
+                growable: false,
             },
             TableDef {
                 rows: 5,
                 spare_rows: 3,
                 record_size: 1000,
                 seed: |_| 0,
+                growable: false,
             },
         ]);
         assert_eq!(spec.shapes(), vec![(10, 8), (8, 1000)]);

@@ -4,7 +4,7 @@
 //! The paper evaluates BOHM only on preloaded key sets; this family opens
 //! the full record lifecycle end to end. Five tables — `warehouse`,
 //! `district`, `customer`, `order` and the per-stripe `delivery` cursor —
-//! and four procedures:
+//! and five procedures:
 //!
 //! * **NewOrder** (43%) — RMW of the district order counter plus an
 //!   **insert** of a fresh order record ([`TpcCProc::NewOrder`]),
@@ -13,9 +13,13 @@
 //! * **Delivery** (5%) — batch-consume the oldest undelivered orders:
 //!   each is read and **deleted**, and the stripe's delivery cursor
 //!   advances ([`TpcCProc::Delivery`]),
-//! * **OrderStatus** (12%) — read-only; probes an order slot that may not
+//! * **OrderStatus** (8%) — read-only; probes an order slot that may not
 //!   exist (not yet inserted, or already delivered), exercising
-//!   absence-tolerant reads ([`TpcCProc::OrderStatus`]).
+//!   absence-tolerant reads ([`TpcCProc::OrderStatus`]),
+//! * **OrderHistory** (4%) — read-only range scan of the stripe's
+//!   oldest-live order window with phantom protection: its edges are
+//!   exactly where Delivery deletes and NewOrder inserts land
+//!   ([`TpcCProc::OrderHistory`]).
 //!
 //! Write sets are declared up front (BOHM's model), so order ids are
 //! **generator-assigned**: each generator owns a disjoint stripe of the
@@ -56,9 +60,22 @@ pub struct TpccConfig {
     pub order_stripes: u64,
     /// Maximum orders one Delivery transaction consumes.
     pub delivery_batch: u64,
+    /// Let the order table grow beyond [`order_capacity`](Self::order_capacity):
+    /// stripes become huge virtual ranges ([`UNBOUNDED_STRIPE_SPAN`] rows
+    /// each), so NewOrder streams insert fresh ever-larger row ids instead
+    /// of recycling a capped ring. Only dynamically-indexed engines (BOHM)
+    /// can run this configuration — the array-backed baselines refuse to
+    /// build a growable spec with a clear error; keep this `false` for
+    /// cross-engine parity runs.
+    pub unbounded_orders: bool,
     /// Per-transaction busy-spin, µs.
     pub think_us: u32,
 }
+
+/// Virtual rows per stripe under [`TpccConfig::unbounded_orders`] — large
+/// enough that no realistic stream ever wraps a stripe, small enough that
+/// `stripe * span` cannot overflow `u64` for any sane stripe count.
+pub const UNBOUNDED_STRIPE_SPAN: u64 = 1 << 40;
 
 impl Default for TpccConfig {
     fn default() -> Self {
@@ -69,6 +86,7 @@ impl Default for TpccConfig {
             order_capacity: 1 << 16,
             order_stripes: 64,
             delivery_batch: 4,
+            unbounded_orders: false,
             think_us: 0,
         }
     }
@@ -83,8 +101,13 @@ impl TpccConfig {
         self.districts() * self.customers_per_district
     }
 
-    /// Order slots owned by one generator stripe.
+    /// Order slots owned by one generator stripe. Under
+    /// [`unbounded_orders`](Self::unbounded_orders) this is the virtual
+    /// span — effectively "never wrap".
     pub fn orders_per_stripe(&self) -> u64 {
+        if self.unbounded_orders {
+            return UNBOUNDED_STRIPE_SPAN;
+        }
         let per = self.order_capacity / self.order_stripes;
         assert!(per >= 1, "order_capacity must cover order_stripes");
         per
@@ -97,30 +120,37 @@ impl TpccConfig {
                 spare_rows: 0,
                 record_size: 8,
                 seed: |_| 0, // w_ytd
+                growable: false,
             },
             TableDef {
                 rows: self.districts(),
                 spare_rows: 0,
                 record_size: 16,
                 seed: |_| 0, // d_next_o_id counter / d_ytd share the prefix
+                growable: false,
             },
             TableDef {
                 rows: self.customers(),
                 spare_rows: 0,
                 record_size: 16,
                 seed: |_| 100_000, // c_balance (cents)
+                growable: false,
             },
             TableDef {
                 rows: 0,
+                // Under unbounded_orders the capacity degrades to an
+                // index-sizing hint; array engines refuse growable tables.
                 spare_rows: self.order_capacity,
                 record_size: 32,
                 seed: |_| 0, // never invoked: the table starts empty
+                growable: self.unbounded_orders,
             },
             TableDef {
                 rows: self.order_stripes,
                 spare_rows: 0,
                 record_size: 8,
                 seed: |_| 0, // delivered-order count per stripe
+                growable: false,
             },
         ])
     }
@@ -198,6 +228,21 @@ pub fn order_status(cfg: &TpccConfig, w: u64, d: u64, c: u64, o_row: u64) -> Txn
     t
 }
 
+/// Build an OrderHistory transaction: read the customer, then range-scan
+/// order rows `lo..hi` (the customer's order-history window) with phantom
+/// protection. Layout per [`TpcCProc::OrderHistory`]:
+/// reads = `[customer(c)]`, scans = `[orders lo..hi]`, writes = `[]`.
+pub fn order_history(cfg: &TpccConfig, w: u64, d: u64, c: u64, lo: u64, hi: u64) -> Txn {
+    let mut t = Txn::with_scans(
+        vec![customer(cfg, w, d, c)],
+        vec![],
+        vec![bohm_common::ScanRange::new(tables::ORDER, lo, hi)],
+        Procedure::TpcC(TpcCProc::OrderHistory),
+    );
+    t.think_us = cfg.think_us;
+    t
+}
+
 /// Per-session TPC-C-lite transaction generator.
 ///
 /// The stripe is a ring: `created` counts NewOrders issued (head),
@@ -216,6 +261,9 @@ pub struct TpccGen {
     created: u64,
     /// Orders this generator has consumed via Delivery transactions.
     delivered: u64,
+    /// Scan-heavy mode: half the mix becomes OrderHistory scans (the
+    /// scan-throughput benchmark series; see [`scan_heavy`](Self::scan_heavy)).
+    scan_heavy: bool,
 }
 
 impl TpccGen {
@@ -231,7 +279,16 @@ impl TpccGen {
             stripe_base,
             created: 0,
             delivered: 0,
+            scan_heavy: false,
         }
+    }
+
+    /// Switch to the scan-heavy mix: 40% NewOrder / 10% Delivery / 50%
+    /// OrderHistory — the order-history scan path dominates, with enough
+    /// churn at both window edges to keep the phantom machinery honest.
+    pub fn scan_heavy(mut self) -> Self {
+        self.scan_heavy = true;
+        self
     }
 
     /// Orders this generator has created so far.
@@ -269,12 +326,40 @@ impl TpccGen {
         self.delivered += count;
         t
     }
+
+    /// Scan the stripe's oldest-live order window (its front edge races
+    /// Delivery deletes; its back edge races NewOrder inserts — the
+    /// phantom-prone region by construction). Clamped to the contiguous
+    /// chunk before the ring wrap.
+    fn next_order_history(&mut self, w: u64, d: u64, c: u64) -> Txn {
+        const WINDOW: u64 = 8;
+        let per = self.cfg.orders_per_stripe();
+        let first = self.delivered % per;
+        let span = WINDOW.min(per - first);
+        let lo = self.stripe_base + first;
+        order_history(&self.cfg, w, d, c, lo, lo + span)
+    }
 }
 
 impl TxnGen for TpccGen {
     fn next_txn(&mut self) -> Txn {
         let (w, d, c) = self.wdc();
         let per = self.cfg.orders_per_stripe();
+        if self.scan_heavy {
+            return match self.rng.below(100) {
+                0..=39 => {
+                    if self.created - self.delivered == per {
+                        return self.next_delivery();
+                    }
+                    let o_row = self.stripe_base + self.created % per;
+                    self.created += 1;
+                    let lines = 1 + self.rng.below(10) as u32;
+                    new_order(&self.cfg, w, d, c, o_row, lines)
+                }
+                40..=49 if self.created > self.delivered => self.next_delivery(),
+                _ => self.next_order_history(w, d, c),
+            };
+        }
         match self.rng.below(100) {
             0..=42 => {
                 if self.created - self.delivered == per {
@@ -295,7 +380,7 @@ impl TxnGen for TpccGen {
                 }
                 self.next_delivery()
             }
-            _ => {
+            88..=95 => {
                 // Probe a live order most of the time; 1-in-8 probes the
                 // next (not-yet-inserted) slot and 1-in-8 the most recently
                 // delivered one — usually absent (the read-after-delete
@@ -312,6 +397,7 @@ impl TxnGen for TpccGen {
                 };
                 order_status(&self.cfg, w, d, c, o_row)
             }
+            _ => self.next_order_history(w, d, c),
         }
     }
 }
@@ -329,6 +415,7 @@ mod tests {
             order_capacity: 64,
             order_stripes: 4,
             delivery_batch: 3,
+            unbounded_orders: false,
             think_us: 0,
         }
     }
@@ -397,25 +484,86 @@ mod tests {
     }
 
     #[test]
-    fn mix_covers_all_four_procedures() {
+    fn mix_covers_all_five_procedures() {
         let mut g = TpccGen::new(small(), 42, 0);
-        let mut counts = [0usize; 4];
+        let mut counts = [0usize; 5];
         for _ in 0..10_000 {
             match g.next_txn().proc {
                 Procedure::TpcC(TpcCProc::NewOrder { .. }) => counts[0] += 1,
                 Procedure::TpcC(TpcCProc::Payment { .. }) => counts[1] += 1,
                 Procedure::TpcC(TpcCProc::Delivery) => counts[2] += 1,
                 Procedure::TpcC(TpcCProc::OrderStatus) => counts[3] += 1,
+                Procedure::TpcC(TpcCProc::OrderHistory) => counts[4] += 1,
                 _ => panic!("non-TPC-C txn generated"),
             }
         }
         assert!((3_500..4_800).contains(&counts[0]), "{counts:?}");
         assert!((3_500..4_800).contains(&counts[1]), "{counts:?}");
         assert!((300..1_500).contains(&counts[2]), "{counts:?}");
-        assert!((800..1_600).contains(&counts[3]), "{counts:?}");
+        assert!((500..1_200).contains(&counts[3]), "{counts:?}");
+        assert!((200..800).contains(&counts[4]), "{counts:?}");
         // Deliveries consume in delivery_batch-sized bites, so the stream
         // stays net insert-positive but recycles constantly.
         assert!(g.orders_delivered() > 500, "mix must exercise deletes");
+    }
+
+    #[test]
+    fn order_history_layout_and_window_stays_in_stripe() {
+        use bohm_common::TableId;
+        let cfg = small();
+        let t = order_history(&cfg, 1, 1, 3, 20, 26);
+        assert_eq!(t.reads.len(), 1);
+        assert_eq!(t.reads[0].table, TableId(tables::CUSTOMER));
+        assert!(t.writes.is_empty());
+        assert_eq!(t.scans.len(), 1);
+        assert_eq!(t.scans[0].table, TableId(tables::ORDER));
+        assert_eq!((t.scans[0].lo, t.scans[0].hi), (20, 26));
+        // Generated history scans stay inside the generator's stripe.
+        for stripe in 0..4 {
+            let mut g = TpccGen::new(cfg.clone(), stripe, stripe);
+            let lo = stripe * 16;
+            for _ in 0..500 {
+                let t = g.next_txn();
+                for s in &t.scans {
+                    assert!(s.lo >= lo && s.hi <= lo + 16, "scan {s:?} leaked");
+                    assert!(!s.is_empty());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unbounded_orders_grow_past_declared_capacity() {
+        let cfg = TpccConfig {
+            unbounded_orders: true,
+            ..small()
+        };
+        assert_eq!(cfg.orders_per_stripe(), UNBOUNDED_STRIPE_SPAN);
+        assert!(cfg.spec().tables[tables::ORDER as usize].growable);
+        let mut g = TpccGen::new(cfg.clone(), 7, 2);
+        let lo = 2 * UNBOUNDED_STRIPE_SPAN;
+        let mut max_row = 0;
+        for _ in 0..5_000 {
+            let t = g.next_txn();
+            for rid in t.reads.iter().chain(t.writes.iter()) {
+                if rid.table == bohm_common::TableId(tables::ORDER) {
+                    assert!(
+                        (lo..lo + UNBOUNDED_STRIPE_SPAN).contains(&rid.row),
+                        "stripe leak at row {}",
+                        rid.row
+                    );
+                    max_row = max_row.max(rid.row);
+                }
+            }
+        }
+        // The stream kept inserting fresh rows far past the (capped-mode)
+        // per-stripe ring of order_capacity / order_stripes = 16 rows.
+        assert!(
+            max_row - lo > 64,
+            "unbounded stream must outgrow the capped ring (got {})",
+            max_row - lo
+        );
+        assert!(g.orders_created() > 64);
     }
 
     #[test]

@@ -55,6 +55,7 @@ impl YcsbConfig {
             spare_rows: 0,
             record_size: self.record_size,
             seed: |row| row,
+            growable: false,
         }])
     }
 }

@@ -1,0 +1,77 @@
+#!/usr/bin/env sh
+# Diff two BENCH_*.json benchmark artifacts (the schema written by
+# bench/src/report.rs::write_bench_json) and print per-figure, per-series
+# throughput deltas — the quick way to spot a regression (e.g. in the
+# OrderHistory scan path) between two runs.
+#
+# Usage:
+#   scripts/bench_trend.sh OLD.json NEW.json   # explicit pair
+#   scripts/bench_trend.sh DIR                 # two newest BENCH_*.json in DIR
+#
+# Exit status: 0 always (the report is informational; gate on it in CI by
+# grepping the output if desired).
+set -eu
+
+if [ "$#" -eq 2 ]; then
+    old="$1"
+    new="$2"
+elif [ "$#" -eq 1 ] && [ -d "$1" ]; then
+    # Two newest artifacts by mtime (whitespace-safe: one path per line).
+    new=$(ls -1t "$1"/BENCH_*.json 2>/dev/null | sed -n 1p)
+    old=$(ls -1t "$1"/BENCH_*.json 2>/dev/null | sed -n 2p)
+    if [ -z "$old" ]; then
+        echo "bench_trend: need at least two BENCH_*.json artifacts in the directory" >&2
+        exit 1
+    fi
+else
+    echo "usage: $0 OLD.json NEW.json | $0 DIR" >&2
+    exit 1
+fi
+
+exec python3 - "$old" "$new" <<'PY'
+import json
+import signal
+import sys
+
+# Die quietly when the output is piped into `head` etc.
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+old_path, new_path = sys.argv[1], sys.argv[2]
+
+
+def load(path):
+    """{(figure_title, series_label, x): throughput}"""
+    out = {}
+    with open(path) as f:
+        doc = json.load(f)
+    for fig in doc.get("figures", []):
+        for series in fig.get("series", []):
+            for x, y in series.get("points", []):
+                out[(fig["title"], series["label"], x)] = y
+    return out
+
+
+old, new = load(old_path), load(new_path)
+print(f"bench trend: {old_path} -> {new_path}")
+current_title = None
+for (title, label, x) in sorted(new):
+    if title != current_title:
+        current_title = title
+        print(f"\n== {title} ==")
+    y_new = new[(title, label, x)]
+    y_old = old.get((title, label, x))
+    if y_old is None:
+        print(f"  {label:>12} @ {x:>5g}: {y_new:>12.0f}  (new series/point)")
+    elif y_old == 0:
+        print(f"  {label:>12} @ {x:>5g}: {y_new:>12.0f}  (old was 0)")
+    else:
+        delta = 100.0 * (y_new - y_old) / y_old
+        flag = "  <-- regression" if delta < -10.0 else ""
+        print(
+            f"  {label:>12} @ {x:>5g}: {y_old:>12.0f} -> {y_new:>12.0f}"
+            f"  ({delta:+6.1f}%){flag}"
+        )
+missing = sorted(set(old) - set(new))
+for (title, label, x) in missing:
+    print(f"  dropped: {title} / {label} @ {x:g}")
+PY

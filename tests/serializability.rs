@@ -50,6 +50,7 @@ fn one_table(rows: u64) -> DatabaseSpec {
         spare_rows: 0,
         record_size: 8,
         seed: |r| r * 3,
+        growable: false,
     }])
 }
 
@@ -155,18 +156,21 @@ fn smallbank_with_aborts_matches_serial_order() {
             spare_rows: 0,
             record_size: 8,
             seed: |r| r,
+            growable: false,
         },
         TableDef {
             rows: 16,
             spare_rows: 0,
             record_size: 8,
             seed: |_| 50,
+            growable: false,
         },
         TableDef {
             rows: 16,
             spare_rows: 0,
             record_size: 8,
             seed: |_| 50,
+            growable: false,
         },
     ]);
     let mut rng = FastRng::seed_from(7);

@@ -10,10 +10,13 @@
 //! additionally validate absent reads, so the OrderStatus probes show up
 //! as (rare) validation aborts under contention.
 //!
-//! Three figures: few warehouses (hot district counters — every NewOrder
-//! RMWs one of `warehouses × 10` counters), many warehouses, and the
+//! Four figures: few warehouses (hot district counters — every NewOrder
+//! RMWs one of `warehouses × 10` counters), many warehouses, the
 //! scan-heavy OrderHistory mix (50% range scans racing inserts/deletes at
-//! the window edges — where scan-path regressions land).
+//! the window edges — where scan-path regressions land), and the
+//! index-heavy CustomerStatus mix (50% secondary-index scans racing
+//! NewOrder/Delivery maintenance of the scanned posting lists — where
+//! index-path regressions land).
 
 use bohm_bench::engines::EngineKind;
 use bohm_bench::figure::measure;
@@ -30,6 +33,7 @@ fn config(p: &Params, warehouses: u64) -> TpccConfig {
         order_capacity: if p.smoke { 1 << 14 } else { 1 << 18 },
         order_stripes: 64,
         delivery_batch: 4,
+        orders_per_customer: 64,
         unbounded_orders: false,
         think_us: 0,
     }
@@ -93,6 +97,21 @@ fn main() {
             TpccGen::new(cfg, 9_000 + i as u64, i as u64).scan_heavy()
         });
         let title = "TPC-C-lite OrderHistory scan mix".to_string();
+        print_figure(&title, "threads", &series);
+        artifact.push((title, series));
+    }
+    // Secondary-index scan throughput: the index-heavy mix (50%
+    // CustomerStatus index scans through the customer→orders posting
+    // lists, with every NewOrder/Delivery churning the scanned keys).
+    // Regressions in any engine's index_scan path — or in the
+    // transactional maintenance it races — land in this `index_scan`
+    // figure of the uploaded artifact.
+    {
+        let cfg = config(&p, 4);
+        let series = engine_sweep(&p, &cfg, "index-mix", |cfg, i| {
+            TpccGen::new(cfg, 11_000 + i as u64, i as u64).index_heavy()
+        });
+        let title = "TPC-C-lite CustomerStatus index_scan mix".to_string();
         print_figure(&title, "threads", &series);
         artifact.push((title, series));
     }

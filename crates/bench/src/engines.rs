@@ -331,6 +331,7 @@ mod tests {
             order_capacity: 32, // declared hint, deliberately tiny
             order_stripes: 1,
             delivery_batch: 2,
+            orders_per_customer: 4,
             unbounded_orders: true,
             think_us: 0,
         };

@@ -128,6 +128,44 @@ pub trait Access {
         panic!("this Access implementation does not support range scans");
     }
 
+    /// Secondary-index scan: invoke `out(row, payload)` for every live
+    /// member row of index-scan-set entry `idx` (a declared
+    /// [`IndexScan`](crate::txn::IndexScan)), in ascending row order, and
+    /// return the number of rows emitted.
+    ///
+    /// The scanned key's **posting-list record** (read-set entry
+    /// `IndexScan::list`, encoded per [`crate::index`]) is read through the
+    /// engine's ordinary read machinery — that read is the index key's
+    /// concurrency control — and each member row is then read at the same
+    /// snapshot. Phantom protection therefore holds at the *key*
+    /// granularity: a concurrent transaction that adds a row to or removes
+    /// a row from the key's posting set must write the posting-list
+    /// record, which every engine serializes against the scan (lock
+    /// conflict, TID validation failure, commit-time re-resolution, or
+    /// BOHM's timestamp order).
+    ///
+    /// **Covering-writer contract:** any transaction that inserts, deletes
+    /// or updates a row of an indexed table must declare (and write) the
+    /// affected posting-list record in the same transaction. That write is
+    /// what serializes in-place engines' member-row reads — 2PL index
+    /// scanners read member payloads under the posting-list lock alone —
+    /// and what keeps list membership and row existence atomic everywhere
+    /// else. A listed-but-absent member row (possible only on a torn
+    /// snapshot of a doomed optimistic attempt, or if the contract is
+    /// violated) is skipped, not an error.
+    ///
+    /// The default implementation panics — engines that support secondary
+    /// indexes override it, and index-scanning procedures only run on such
+    /// engines.
+    fn index_scan(
+        &mut self,
+        idx: usize,
+        out: &mut dyn FnMut(u64, &[u8]),
+    ) -> Result<u64, AbortReason> {
+        let _ = (idx, out);
+        panic!("this Access implementation does not support secondary-index scans");
+    }
+
     /// Size in bytes of the record behind write-set entry `idx` (fixed per
     /// table). Lets procedures construct full-size payloads for blind
     /// writes without reading the record first.

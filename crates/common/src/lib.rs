@@ -18,6 +18,7 @@
 
 pub mod access;
 pub mod engine;
+pub mod index;
 pub mod procedures;
 pub mod rng;
 pub mod stats;
@@ -31,7 +32,7 @@ pub use procedures::{
     execute_procedure, range_audit_fingerprint, Procedure, SmallBankProc, TpcCProc,
     ABSENT_FINGERPRINT, SCAN_POISON_GAP, SCAN_POISON_VALUE,
 };
-pub use txn::{ScanRange, Txn};
+pub use txn::{IndexScan, ScanRange, Txn};
 pub use types::{RecordId, TableId, Timestamp, TxnId, INFINITY_TS};
 pub use value::Value;
 

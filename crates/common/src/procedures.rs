@@ -52,10 +52,16 @@ pub enum SmallBankProc {
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum TpcCProc {
     /// Place an order: bump the district's order counter and **insert** a
-    /// fresh order record describing the customer and line count.
-    /// Layout: reads = `[district(w,d), customer(c)]`,
-    /// writes = `[district(w,d), order(o)]` with `o` a generator-assigned
-    /// fresh key (write sets are declared up front, per BOHM's model).
+    /// fresh order record describing the customer and line count. When the
+    /// customer→orders secondary index is declared (a third read/write
+    /// entry: the customer's posting list), the insert is **transactionally
+    /// indexed** — the order row is added to the customer's posting list in
+    /// the same transaction, and the order payload carries the customer's
+    /// row id at byte offset 8 so Delivery can find the list to unmaintain.
+    /// Layout: reads = `[district(w,d), customer(c)]` (+ `order_list(c)`),
+    /// writes = `[district(w,d), order(o)]` (+ `order_list(c)`) with `o` a
+    /// generator-assigned fresh key (write sets are declared up front, per
+    /// BOHM's model).
     NewOrder {
         /// Order-line count, folded into the inserted order record.
         lines: u32,
@@ -70,6 +76,19 @@ pub enum TpcCProc {
     /// fingerprint distinguishes the two outcomes).
     /// Layout: reads = `[customer(c), order(o)]`, writes = `[]`.
     OrderStatus,
+    /// Secondary-index scan with phantom protection: read the customer,
+    /// then [`Access::index_scan`] the customer's **live orders** through
+    /// the customer→orders posting list, folding every member order — row
+    /// id and payload — plus the result cardinality into the fingerprint.
+    /// A concurrent NewOrder adding to (or Delivery removing from) the
+    /// customer's posting set must serialize entirely before or after the
+    /// scan; a half-observed membership changes the fingerprint and is
+    /// caught by the oracle audit. This is a genuine multi-range
+    /// transaction: the posting-list read plus one point read per member
+    /// order, scattered across the order table.
+    /// Layout: reads = `[customer(c), order_list(c)]`,
+    /// index_scans = `[{list: 1, table: order}]`, writes = `[]`.
+    CustomerStatus,
     /// Range scan with phantom protection: read the customer, then scan a
     /// key range of the order table (the customer's order-history window),
     /// folding every present order — row id and payload — plus the result
@@ -89,6 +108,15 @@ pub enum TpcCProc {
     /// the order rows chosen by the generator (write sets are declared up
     /// front, per BOHM's model, so the "oldest undelivered" window is the
     /// generator's per-stripe delivery cursor).
+    ///
+    /// With the customer→orders index declared, the layout gains the
+    /// posting lists of the consumed orders' customers (deduplicated):
+    /// reads = writes = `[cursor, order_1..order_k, list_1..list_j]` —
+    /// positions after the cursor that share `reads[1].table` are orders;
+    /// the remaining tail positions are lists. Each deleted order is
+    /// removed from its customer's posting list (the customer row id is
+    /// read from the order payload's byte offset 8) in the same
+    /// transaction, keeping the index transactionally consistent.
     Delivery,
 }
 
@@ -143,15 +171,19 @@ pub enum Procedure {
     /// absence): equivalence tests use it to check that delete visibility
     /// is atomic across multiple records.
     ProbeAll,
-    /// Scan-set entry 0 under a value convention: every present row must
-    /// hold `expect_base + row` in its `u64` prefix, and the present rows
-    /// must form one contiguous run. Fingerprint:
-    /// [`SCAN_POISON_VALUE`] on a value violation, [`SCAN_POISON_GAP`] on
-    /// a non-contiguous result, `0` for an empty scan, and
-    /// [`range_audit_fingerprint`]`(count, first_row)` otherwise. The
-    /// phantom hammer drives this against concurrent whole-window
-    /// inserts/deletes: any non-atomic observation poisons or truncates
-    /// the fingerprint. Layout: scans = `[window]`, reads = writes = `[]`.
+    /// Audit **every declared scan** under a value convention: every
+    /// present row must hold `expect_base + row` in its `u64` prefix, and
+    /// the union of present rows must form one contiguous run (the declared
+    /// ranges are expected to be adjacent, e.g. one window split in two for
+    /// the multi-range hammer — a transaction whose scans observe
+    /// different serial points shows up as a gap or partial count).
+    /// Fingerprint: [`SCAN_POISON_VALUE`] on a value violation,
+    /// [`SCAN_POISON_GAP`] on a non-contiguous union, `0` for an empty
+    /// result, and [`range_audit_fingerprint`]`(count, first_row)`
+    /// otherwise. The phantom hammer drives this against concurrent
+    /// whole-window inserts/deletes: any non-atomic observation poisons or
+    /// truncates the fingerprint. Layout: scans = `[window…]`,
+    /// reads = writes = `[]`.
     RangeAudit { expect_base: u64 },
     /// Blind-write every write-set entry with `base + row` in its `u64`
     /// prefix (row-keyed values, unlike [`Procedure::BlindWrite`]'s single
@@ -168,8 +200,8 @@ pub enum Procedure {
     GuardedDelete { min: u64 },
 }
 
-/// Execute `proc` against `access`, interpreting `reads`/`writes` as the
-/// declared sets of the surrounding transaction.
+/// Execute `proc` against `access`, interpreting `reads`/`writes`/`scans`
+/// as the declared sets of the surrounding transaction.
 ///
 /// `scratch` is a caller-owned buffer reused across transactions (the
 /// "workhorse collection" pattern) so that 1,000-byte YCSB record rewrites
@@ -182,6 +214,7 @@ pub fn execute_procedure(
     proc: &Procedure,
     reads: &[crate::RecordId],
     writes: &[crate::RecordId],
+    scans: &[crate::ScanRange],
     access: &mut dyn Access,
     scratch: &mut Vec<u8>,
 ) -> Result<u64, AbortReason> {
@@ -209,7 +242,7 @@ pub fn execute_procedure(
             Ok(*v)
         }
         Procedure::SmallBank(sb) => small_bank(*sb, access, scratch),
-        Procedure::TpcC(tp) => tpcc(*tp, reads, access, scratch),
+        Procedure::TpcC(tp) => tpcc(*tp, reads, writes, access, scratch),
         Procedure::ProbeAll => {
             let mut acc = 0u64;
             for i in 0..reads.len() {
@@ -224,13 +257,16 @@ pub fn execute_procedure(
             let mut bad_value = false;
             let mut first = u64::MAX;
             let mut last = 0u64;
-            let count = access.scan(0, &mut |row, b| {
-                if value::get_u64(b, 0) != base.wrapping_add(row) {
-                    bad_value = true;
-                }
-                first = first.min(row);
-                last = last.max(row);
-            })?;
+            let mut count = 0u64;
+            for si in 0..scans.len() {
+                count += access.scan(si, &mut |row, b| {
+                    if value::get_u64(b, 0) != base.wrapping_add(row) {
+                        bad_value = true;
+                    }
+                    first = first.min(row);
+                    last = last.max(row);
+                })?;
+            }
             Ok(if bad_value {
                 SCAN_POISON_VALUE
             } else if count == 0 {
@@ -439,6 +475,7 @@ fn small_bank(
 fn tpcc(
     proc: TpcCProc,
     reads: &[crate::RecordId],
+    writes: &[crate::RecordId],
     access: &mut dyn Access,
     scratch: &mut Vec<u8>,
 ) -> Result<u64, AbortReason> {
@@ -449,8 +486,11 @@ fn tpcc(
             let next = access.read_u64(0)?;
             write_u64(access, 0, next.wrapping_add(1), scratch)?;
             let cust = access.read_u64(1)?;
-            // Insert the order record: the prefix encodes the customer and
-            // line count so equivalence checks can audit inserted rows.
+            // Insert the order record: the prefix encodes the customer
+            // balance and line count so equivalence checks can audit
+            // inserted rows; bytes 8..16 (when the record has room) carry
+            // the customer's row id — the index key — so Delivery can find
+            // the posting list this order must be removed from.
             let len = access.write_len(1);
             scratch.clear();
             scratch.extend_from_slice(
@@ -459,8 +499,24 @@ fn tpcc(
                     .wrapping_add(lines as u64)
                     .to_le_bytes(),
             );
+            if len >= 16 {
+                scratch.extend_from_slice(&reads[1].row.to_le_bytes());
+            }
             scratch.resize(len, 0);
             access.write(1, scratch)?;
+            // Index maintenance: add the inserted order row under its
+            // customer key (an RMW of the posting-list record, which is
+            // what serializes this insert against index scanners on every
+            // engine). Declared only when the workload runs with the
+            // customer→orders index.
+            if writes.len() > 2 {
+                scratch.clear();
+                access.read(2, &mut |b| scratch.extend_from_slice(b))?;
+                // Failure is only reachable on a doomed optimistic
+                // attempt's torn snapshot (see `crate::index`).
+                let _ = crate::index::posting_insert(scratch, writes[1].row);
+                access.write(2, scratch)?;
+            }
             Ok(next.wrapping_mul(31).wrapping_add(cust))
         }
         TpcCProc::Payment { amount } => {
@@ -491,20 +547,74 @@ fn tpcc(
             })?;
             Ok(fp.wrapping_mul(31).wrapping_add(count))
         }
+        TpcCProc::CustomerStatus => {
+            let cust = access.read_u64(0)?;
+            let mut fp = cust;
+            let count = access.index_scan(0, &mut |row, b| {
+                fp = fp.wrapping_mul(31).wrapping_add(row ^ value::checksum(b));
+            })?;
+            Ok(fp.wrapping_mul(31).wrapping_add(count))
+        }
         TpcCProc::Delivery => {
-            // Positions 1.. of the (identical) read and write sets are the
-            // order slots to consume; position 0 is the delivery cursor.
+            // Position 0 is the delivery cursor; the following run of
+            // positions sharing position 1's table are the order slots to
+            // consume; any remaining tail positions are the posting lists
+            // of the consumed orders' customers (index maintenance).
             let cursor = access.read_u64(0)?;
             let mut fp = cursor;
             let mut consumed = 0u64;
-            for i in 1..reads.len() {
+            let n = reads.len();
+            let orders_end = if n > 1 {
+                let order_table = reads[1].table;
+                (2..n).find(|&i| reads[i].table != order_table).unwrap_or(n)
+            } else {
+                n
+            };
+            let maintain = orders_end < n;
+            // (customer key, order row) of each consumed order, recorded so
+            // the posting lists can be updated once each after the deletes.
+            // Stack storage for the common delivery-batch sizes; the heap
+            // fallback keeps the hot path allocation-free (the same pattern
+            // as the RMW position buffers above).
+            const INLINE: usize = 32;
+            let mut rbuf = [(0u64, 0u64); INLINE];
+            let mut rheap: Vec<(u64, u64)> = Vec::new();
+            let removals: &mut [(u64, u64)] = if maintain && orders_end - 1 > INLINE {
+                rheap.resize(orders_end - 1, (0, 0));
+                &mut rheap
+            } else {
+                &mut rbuf
+            };
+            let mut nrem = 0usize;
+            for (i, rid) in reads.iter().enumerate().take(orders_end).skip(1) {
                 let mut c = ABSENT_FINGERPRINT;
-                let present = access.read_maybe(i, &mut |b| c = value::checksum(b))?;
+                let mut cust_key = u64::MAX;
+                let present = access.read_maybe(i, &mut |b| {
+                    c = value::checksum(b);
+                    if b.len() >= 16 {
+                        cust_key = value::get_u64(b, 8);
+                    }
+                })?;
                 fp = fp.wrapping_mul(31).wrapping_add(c);
                 if present {
                     access.delete(i)?;
                     consumed += 1;
+                    if maintain {
+                        removals[nrem] = (cust_key, rid.row);
+                        nrem += 1;
+                    }
                 }
+            }
+            for (p, list_rid) in writes.iter().enumerate().take(n).skip(orders_end) {
+                let key = list_rid.row;
+                scratch.clear();
+                access.read(p, &mut |b| scratch.extend_from_slice(b))?;
+                for &(cust, row) in removals[..nrem].iter().filter(|&&(cust, _)| cust == key) {
+                    // Failure is only reachable on a doomed optimistic
+                    // attempt's torn snapshot (see `crate::index`).
+                    let _ = (cust, crate::index::posting_remove(scratch, row));
+                }
+                access.write(p, scratch)?;
             }
             write_u64(access, 0, cursor.wrapping_add(consumed), scratch)?;
             Ok(fp)
@@ -525,6 +635,9 @@ mod tests {
         deleted: Vec<bool>,
         /// Rows served by `scan(0)`: `(row, payload-or-absent)` in key order.
         scan_rows: Vec<(u64, Option<Vec<u8>>)>,
+        /// Rows served by `index_scan(0)`: `(row, payload-or-absent)` in
+        /// ascending order (absent = listed member whose row is gone).
+        index_rows: Vec<(u64, Option<Vec<u8>>)>,
         len: usize,
     }
 
@@ -538,12 +651,20 @@ mod tests {
                 written: vec![None; n_writes],
                 deleted: vec![false; n_writes],
                 scan_rows: Vec::new(),
+                index_rows: Vec::new(),
                 len,
             }
         }
 
         fn with_scan_rows(mut self, rows: Vec<(u64, Option<u64>)>) -> Self {
             self.scan_rows = rows
+                .into_iter()
+                .map(|(row, v)| (row, v.map(|v| crate::value::of_u64(v, self.len).to_vec())))
+                .collect();
+            self
+        }
+        fn with_index_rows(mut self, rows: Vec<(u64, Option<u64>)>) -> Self {
+            self.index_rows = rows
                 .into_iter()
                 .map(|(row, v)| (row, v.map(|v| crate::value::of_u64(v, self.len).to_vec())))
                 .collect();
@@ -604,6 +725,21 @@ mod tests {
             }
             Ok(n)
         }
+        fn index_scan(
+            &mut self,
+            idx: usize,
+            out: &mut dyn FnMut(u64, &[u8]),
+        ) -> Result<u64, AbortReason> {
+            assert_eq!(idx, 0, "MemAccess models a single index scan");
+            let mut n = 0;
+            for (row, v) in &self.index_rows {
+                if let Some(v) = v {
+                    out(*row, v);
+                    n += 1;
+                }
+            }
+            Ok(n)
+        }
         fn write_len(&mut self, _idx: usize) -> usize {
             self.len
         }
@@ -613,13 +749,24 @@ mod tests {
         RecordId::new(0, k)
     }
 
+    /// Shorthand for procedures that declare no key-range scans.
+    fn exec_no_scans(
+        proc: &Procedure,
+        reads: &[RecordId],
+        writes: &[RecordId],
+        access: &mut dyn Access,
+        scratch: &mut Vec<u8>,
+    ) -> Result<u64, AbortReason> {
+        execute_procedure(proc, reads, writes, &[], access, scratch)
+    }
+
     #[test]
     fn rmw_increments_prefix_and_preserves_tail() {
         let reads = vec![rid(1)];
         let writes = vec![rid(1)];
         let mut a = MemAccess::new(vec![41], 1, 16);
         let mut scratch = Vec::new();
-        execute_procedure(
+        exec_no_scans(
             &Procedure::ReadModifyWrite { delta: 1 },
             &reads,
             &writes,
@@ -638,7 +785,7 @@ mod tests {
         let writes = vec![rid(9)];
         let mut a = MemAccess::new(vec![], 1, 8);
         let mut scratch = Vec::new();
-        execute_procedure(
+        exec_no_scans(
             &Procedure::ReadModifyWrite { delta: 7 },
             &reads,
             &writes,
@@ -654,11 +801,9 @@ mod tests {
         let reads = vec![rid(1), rid(2)];
         let mut a = MemAccess::new(vec![10, 20], 0, 8);
         let mut scratch = Vec::new();
-        let f1 =
-            execute_procedure(&Procedure::ReadOnly, &reads, &[], &mut a, &mut scratch).unwrap();
+        let f1 = exec_no_scans(&Procedure::ReadOnly, &reads, &[], &mut a, &mut scratch).unwrap();
         let mut b = MemAccess::new(vec![10, 21], 0, 8);
-        let f2 =
-            execute_procedure(&Procedure::ReadOnly, &reads, &[], &mut b, &mut scratch).unwrap();
+        let f2 = exec_no_scans(&Procedure::ReadOnly, &reads, &[], &mut b, &mut scratch).unwrap();
         assert_ne!(f1, f2, "fingerprint must reflect read values");
     }
 
@@ -667,7 +812,7 @@ mod tests {
         let writes = vec![rid(1), rid(2), rid(3)];
         let mut a = MemAccess::new(vec![], 3, 8);
         let mut scratch = Vec::new();
-        execute_procedure(
+        exec_no_scans(
             &Procedure::BlindWrite { value: 5 },
             &[],
             &writes,
@@ -746,7 +891,7 @@ mod tests {
                 .collect();
             let mut scratch = Vec::new();
             let mut a = MemAccess::new(vals.clone(), writes.len(), 16);
-            let got = execute_procedure(
+            let got = exec_no_scans(
                 &Procedure::ReadModifyWrite { delta: 3 },
                 &reads,
                 &writes,
@@ -771,7 +916,7 @@ mod tests {
         let writes = vec![rid(1), rid(9)];
         let mut a = MemAccess::new(vec![41, 7], 2, 16);
         let mut scratch = Vec::new();
-        let fp = execute_procedure(
+        let fp = exec_no_scans(
             &Procedure::TpcC(TpcCProc::NewOrder { lines: 5 }),
             &reads,
             &writes,
@@ -795,7 +940,7 @@ mod tests {
         let writes = reads.clone();
         let mut a = MemAccess::new(vec![100, 200, 300], 3, 8);
         let mut scratch = Vec::new();
-        execute_procedure(
+        exec_no_scans(
             &Procedure::TpcC(TpcCProc::Payment { amount: 25 }),
             &reads,
             &writes,
@@ -813,7 +958,7 @@ mod tests {
         let reads = vec![rid(2), rid(9)];
         let mut scratch = Vec::new();
         let mut present = MemAccess::new(vec![7, 1234], 0, 8);
-        let fp_present = execute_procedure(
+        let fp_present = exec_no_scans(
             &Procedure::TpcC(TpcCProc::OrderStatus),
             &reads,
             &[],
@@ -822,7 +967,7 @@ mod tests {
         )
         .unwrap();
         let mut absent = MemAccess::new(vec![7], 0, 8).with_absent(1);
-        let fp_absent = execute_procedure(
+        let fp_absent = exec_no_scans(
             &Procedure::TpcC(TpcCProc::OrderStatus),
             &reads,
             &[],
@@ -843,7 +988,7 @@ mod tests {
         let rids = vec![rid(0), rid(10), rid(11)];
         let mut a = MemAccess::new(vec![3, 777], 3, 16).with_absent(2);
         let mut scratch = Vec::new();
-        let fp = execute_procedure(
+        let fp = exec_no_scans(
             &Procedure::TpcC(TpcCProc::Delivery),
             &rids,
             &rids,
@@ -869,7 +1014,7 @@ mod tests {
         let mut scratch = Vec::new();
         let mut a =
             MemAccess::new(vec![7], 0, 8).with_scan_rows(vec![(10, Some(100)), (12, Some(200))]);
-        let fp = execute_procedure(
+        let fp = exec_no_scans(
             &Procedure::TpcC(TpcCProc::OrderHistory),
             &reads,
             &[],
@@ -888,7 +1033,7 @@ mod tests {
         assert_eq!(fp, want);
         // Membership changes (a phantom) change the fingerprint.
         let mut b = MemAccess::new(vec![7], 0, 8).with_scan_rows(vec![(10, Some(100)), (12, None)]);
-        let fp2 = execute_procedure(
+        let fp2 = exec_no_scans(
             &Procedure::TpcC(TpcCProc::OrderHistory),
             &reads,
             &[],
@@ -900,41 +1045,234 @@ mod tests {
     }
 
     #[test]
+    fn customer_status_folds_members_and_count() {
+        let reads = vec![rid(2), rid(3)]; // [customer, posting list]
+        let mut scratch = Vec::new();
+        let mut a = MemAccess::new(vec![7, 0], 0, 8)
+            .with_index_rows(vec![(10, Some(100)), (12, Some(200))]);
+        let fp = exec_no_scans(
+            &Procedure::TpcC(TpcCProc::CustomerStatus),
+            &reads,
+            &[],
+            &mut a,
+            &mut scratch,
+        )
+        .unwrap();
+        let c = |v: u64| value::checksum(&crate::value::of_u64(v, 8));
+        let want = 7u64
+            .wrapping_mul(31)
+            .wrapping_add(10 ^ c(100))
+            .wrapping_mul(31)
+            .wrapping_add(12 ^ c(200))
+            .wrapping_mul(31)
+            .wrapping_add(2);
+        assert_eq!(want, fp, "same fold as OrderHistory, over index members");
+        // Membership changes (a phantom on the index key) change the
+        // fingerprint.
+        let mut b =
+            MemAccess::new(vec![7, 0], 0, 8).with_index_rows(vec![(10, Some(100)), (12, None)]);
+        let fp2 = exec_no_scans(
+            &Procedure::TpcC(TpcCProc::CustomerStatus),
+            &reads,
+            &[],
+            &mut b,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_ne!(fp, fp2, "index membership must be fingerprint-visible");
+    }
+
+    #[test]
+    fn tpcc_new_order_maintains_the_customer_index() {
+        // reads = [district, customer, order_list], writes = [district,
+        // order, order_list]: the third entry pair is the index maintenance.
+        let reads = vec![
+            RecordId::new(1, 0),
+            RecordId::new(2, 5),
+            RecordId::new(5, 5),
+        ];
+        let writes = vec![
+            RecordId::new(1, 0),
+            RecordId::new(3, 9),
+            RecordId::new(5, 5),
+        ];
+        // 24-byte records: room for the customer row id at offset 8, and a
+        // posting-list capacity of 2.
+        let mut a = MemAccess::new(vec![41, 7, 0], 3, 24);
+        let mut scratch = Vec::new();
+        let fp = exec_no_scans(
+            &Procedure::TpcC(TpcCProc::NewOrder { lines: 5 }),
+            &reads,
+            &writes,
+            &mut a,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(fp, 41u64.wrapping_mul(31).wrapping_add(7));
+        assert_eq!(a.written_u64(0), 42, "district counter bumped");
+        let order = a.written[1].as_ref().unwrap();
+        assert_eq!(value::get_u64(order, 0), 7 * 1_000 + 5);
+        assert_eq!(
+            value::get_u64(order, 8),
+            5,
+            "order carries its customer row id (the index key)"
+        );
+        let list = a.written[2].as_ref().unwrap();
+        assert_eq!(
+            crate::index::posting_rows(list).collect::<Vec<_>>(),
+            vec![9],
+            "order row added under the customer key"
+        );
+    }
+
+    #[test]
+    fn tpcc_delivery_unmaintains_the_customer_index() {
+        // reads = writes = [cursor, order (present), order (absent), list]:
+        // the consumed order's row must leave its customer's posting list;
+        // a member of another customer stays.
+        let rids = vec![
+            RecordId::new(4, 0),
+            RecordId::new(3, 10),
+            RecordId::new(3, 11),
+            RecordId::new(5, 5),
+        ];
+        let mut a = MemAccess::new(vec![3], 4, 24).with_absent(2);
+        // Order 10 belongs to customer key 5 (payload offset 8) …
+        let mut order = crate::value::of_u64(777, 24).to_vec();
+        value::put_u64(&mut order, 8, 5);
+        a.read_vals[1] = Some(order.clone());
+        // … and customer 5's list holds rows 10 and 99.
+        let mut list = vec![0u8; 24];
+        assert!(crate::index::posting_insert(&mut list, 10));
+        assert!(crate::index::posting_insert(&mut list, 99));
+        a.read_vals.push(Some(list));
+        let mut scratch = Vec::new();
+        let fp = exec_no_scans(
+            &Procedure::TpcC(TpcCProc::Delivery),
+            &rids,
+            &rids,
+            &mut a,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(a.written_u64(0), 4, "cursor advances by consumed count");
+        assert!(a.deleted[1], "present order consumed");
+        assert!(!a.deleted[2], "absent slot untouched");
+        let new_list = a.written[3].as_ref().unwrap();
+        assert_eq!(
+            crate::index::posting_rows(new_list).collect::<Vec<_>>(),
+            vec![99],
+            "consumed order removed from its customer's posting list"
+        );
+        // Fingerprint folds cursor + per-order outcomes, as before.
+        let order_ck = value::checksum(&order);
+        let want = 3u64
+            .wrapping_mul(31)
+            .wrapping_add(order_ck)
+            .wrapping_mul(31)
+            .wrapping_add(ABSENT_FINGERPRINT);
+        assert_eq!(fp, want);
+    }
+
+    #[test]
     fn range_audit_classifies_scan_outcomes() {
         let mut scratch = Vec::new();
         let audit = Procedure::RangeAudit { expect_base: 1_000 };
+        let window = [crate::txn::ScanRange::new(0, 4, 7)];
+        let mut run = |a: &mut MemAccess| {
+            execute_procedure(&audit, &[], &[], &window, a, &mut scratch).unwrap()
+        };
         // Consistent contiguous window.
         let mut a = MemAccess::new(vec![], 0, 8).with_scan_rows(vec![
             (4, Some(1_004)),
             (5, Some(1_005)),
             (6, Some(1_006)),
         ]);
-        assert_eq!(
-            execute_procedure(&audit, &[], &[], &mut a, &mut scratch).unwrap(),
-            range_audit_fingerprint(3, 4)
-        );
+        assert_eq!(run(&mut a), range_audit_fingerprint(3, 4));
         // Empty scan.
         let mut e = MemAccess::new(vec![], 0, 8).with_scan_rows(vec![(4, None)]);
-        assert_eq!(
-            execute_procedure(&audit, &[], &[], &mut e, &mut scratch).unwrap(),
-            0
-        );
+        assert_eq!(run(&mut e), 0);
         // Gap (half-observed window) poisons.
         let mut g = MemAccess::new(vec![], 0, 8).with_scan_rows(vec![
             (4, Some(1_004)),
             (5, None),
             (6, Some(1_006)),
         ]);
-        assert_eq!(
-            execute_procedure(&audit, &[], &[], &mut g, &mut scratch).unwrap(),
-            SCAN_POISON_GAP
-        );
+        assert_eq!(run(&mut g), SCAN_POISON_GAP);
         // Wrong value poisons.
         let mut v = MemAccess::new(vec![], 0, 8).with_scan_rows(vec![(4, Some(999))]);
+        assert_eq!(run(&mut v), SCAN_POISON_VALUE);
+    }
+
+    /// Access stub for the multi-scan RangeAudit: serves each declared scan
+    /// from its own row list (MemAccess models a single scan only).
+    struct TwoScanAccess {
+        per_scan: Vec<Vec<(u64, u64)>>,
+        len: usize,
+    }
+
+    impl Access for TwoScanAccess {
+        fn read(&mut self, _idx: usize, _out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
+            unreachable!()
+        }
+        fn write(&mut self, _idx: usize, _data: &[u8]) -> Result<(), AbortReason> {
+            unreachable!()
+        }
+        fn write_len(&mut self, _idx: usize) -> usize {
+            self.len
+        }
+        fn scan(
+            &mut self,
+            idx: usize,
+            out: &mut dyn FnMut(u64, &[u8]),
+        ) -> Result<u64, AbortReason> {
+            let rows = &self.per_scan[idx];
+            for &(row, v) in rows {
+                out(row, &crate::value::of_u64(v, self.len));
+            }
+            Ok(rows.len() as u64)
+        }
+    }
+
+    #[test]
+    fn range_audit_folds_adjacent_scans_as_one_window() {
+        // Two adjacent declared ranges behave exactly like their union: a
+        // consistent split window fingerprints as the whole window, and
+        // scans observing *different* serial points (one full, one empty)
+        // poison as a gap or truncate the count.
+        let mut scratch = Vec::new();
+        let audit = Procedure::RangeAudit { expect_base: 100 };
+        let halves = [
+            crate::txn::ScanRange::new(0, 4, 6),
+            crate::txn::ScanRange::new(0, 6, 8),
+        ];
+        let full: Vec<(u64, u64)> = (4..8).map(|r| (r, 100 + r)).collect();
+        let mut consistent = TwoScanAccess {
+            per_scan: vec![full[..2].to_vec(), full[2..].to_vec()],
+            len: 8,
+        };
         assert_eq!(
-            execute_procedure(&audit, &[], &[], &mut v, &mut scratch).unwrap(),
-            SCAN_POISON_VALUE
+            execute_procedure(&audit, &[], &[], &halves, &mut consistent, &mut scratch).unwrap(),
+            range_audit_fingerprint(4, 4)
         );
+        let mut empty = TwoScanAccess {
+            per_scan: vec![vec![], vec![]],
+            len: 8,
+        };
+        assert_eq!(
+            execute_procedure(&audit, &[], &[], &halves, &mut empty, &mut scratch).unwrap(),
+            0
+        );
+        // First half full, second half empty: the union is not the whole
+        // window — a cross-range phantom — and must not fingerprint as
+        // either legal outcome.
+        let mut torn = TwoScanAccess {
+            per_scan: vec![full[..2].to_vec(), vec![]],
+            len: 8,
+        };
+        let fp = execute_procedure(&audit, &[], &[], &halves, &mut torn, &mut scratch).unwrap();
+        assert_ne!(fp, range_audit_fingerprint(4, 4));
+        assert_ne!(fp, 0);
     }
 
     #[test]
@@ -942,7 +1280,7 @@ mod tests {
         let writes = vec![rid(7), rid(9)];
         let mut a = MemAccess::new(vec![], 2, 16);
         let mut scratch = Vec::new();
-        let fp = execute_procedure(
+        let fp = exec_no_scans(
             &Procedure::InsertKeyed { base: 50 },
             &[],
             &writes,
@@ -961,8 +1299,7 @@ mod tests {
         let reads = vec![rid(1), rid(2)];
         let mut a = MemAccess::new(vec![7], 0, 8).with_absent(1);
         let mut scratch = Vec::new();
-        let fp =
-            execute_procedure(&Procedure::ProbeAll, &reads, &[], &mut a, &mut scratch).unwrap();
+        let fp = exec_no_scans(&Procedure::ProbeAll, &reads, &[], &mut a, &mut scratch).unwrap();
         let c = value::checksum(&crate::value::of_u64(7, 8));
         assert_eq!(fp, c.wrapping_mul(31).wrapping_add(ABSENT_FINGERPRINT));
     }
@@ -973,7 +1310,7 @@ mod tests {
         let writes = vec![rid(5), rid(6)];
         let mut a = MemAccess::new(vec![4], 2, 8);
         let mut scratch = Vec::new();
-        let r = execute_procedure(
+        let r = exec_no_scans(
             &Procedure::GuardedDelete { min: 5 },
             &reads,
             &writes,
@@ -990,7 +1327,7 @@ mod tests {
         let writes = vec![rid(5), rid(6)];
         let mut a = MemAccess::new(vec![9], 2, 8);
         let mut scratch = Vec::new();
-        let fp = execute_procedure(
+        let fp = exec_no_scans(
             &Procedure::GuardedDelete { min: 5 },
             &reads,
             &writes,

@@ -29,6 +29,37 @@ pub struct ScanRange {
     pub hi: u64,
 }
 
+/// One declared secondary-index scan: "the rows of `table` that currently
+/// belong to index key *k*", where *k*'s **posting-list record** is
+/// read-set entry [`list`](Self::list).
+///
+/// A secondary index is stored as a table of posting-list records (one per
+/// index key; see [`crate::index`]), so declaring the posting-list record
+/// in the read set is what puts the index *key* under concurrency control
+/// on every engine — the key-granular 2PL lock, the OCC per-index-key TID
+/// validation, the Hekaton/SI list version, BOHM's CC-phase annotation.
+/// The member rows themselves are discovered at execution time from the
+/// snapshot's list and read through
+/// [`Access::index_scan`](crate::access::Access::index_scan).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IndexScan {
+    /// Position **in the read set** of the scanned key's posting-list
+    /// record.
+    pub list: usize,
+    /// Table holding the member rows the posting list points into.
+    pub table: TableId,
+}
+
+impl IndexScan {
+    #[inline]
+    pub const fn new(list: usize, table: u32) -> Self {
+        Self {
+            list,
+            table: TableId(table),
+        }
+    }
+}
+
 impl ScanRange {
     #[inline]
     pub const fn new(table: u32, lo: u64, hi: u64) -> Self {
@@ -83,6 +114,14 @@ pub struct Txn {
     /// transaction's own write set (engines disagree on whether a scan
     /// observes the transaction's own writes).
     pub scans: Vec<ScanRange>,
+    /// Declared secondary-index scans. Each names a posting-list record in
+    /// the read set (the index *key* under concurrency control) plus the
+    /// table its member rows live in; membership is resolved by the engine
+    /// at the transaction's position in the serial order, with the same
+    /// phantom protection as [`scans`](Self::scans). Index-scanned keys
+    /// must not have their posting lists in the transaction's own write
+    /// set (the own-write caveat of scans applies).
+    pub index_scans: Vec<IndexScan>,
     /// Transaction logic (a stored procedure over positional accesses).
     pub proc: Procedure,
     /// Busy-work executed at the start of the transaction body, in
@@ -98,6 +137,7 @@ impl Txn {
             reads,
             writes,
             scans: Vec::new(),
+            index_scans: Vec::new(),
             proc,
             think_us: 0,
         }
@@ -114,6 +154,27 @@ impl Txn {
             reads,
             writes,
             scans,
+            index_scans: Vec::new(),
+            proc,
+            think_us: 0,
+        }
+    }
+
+    /// Construct a transaction that declares secondary-index scans.
+    pub fn with_index_scans(
+        reads: Vec<RecordId>,
+        writes: Vec<RecordId>,
+        index_scans: Vec<IndexScan>,
+        proc: Procedure,
+    ) -> Self {
+        for s in &index_scans {
+            debug_assert!(s.list < reads.len(), "posting list must be a declared read");
+        }
+        Self {
+            reads,
+            writes,
+            scans: Vec::new(),
+            index_scans,
             proc,
             think_us: 0,
         }
@@ -129,7 +190,9 @@ impl Txn {
     /// Total declared accesses (used by throughput accounting: the §4.1
     /// microbenchmark reports "record accesses per second"). A scan counts
     /// every slot of its range — each is examined with full concurrency
-    /// control whether or not a record exists in it.
+    /// control whether or not a record exists in it. An index scan's
+    /// membership is only known at execution time, so it contributes just
+    /// its declared posting-list read (already in the read set).
     #[inline]
     pub fn access_count(&self) -> usize {
         self.reads.len()
@@ -216,6 +279,23 @@ mod tests {
             Procedure::ReadOnly,
         );
         assert_eq!(t.access_count(), 1 + 8);
+        assert!(t.is_read_only());
+    }
+
+    #[test]
+    fn index_scans_reference_declared_reads() {
+        let cust = RecordId::new(2, 5);
+        let list = RecordId::new(5, 5);
+        let t = Txn::with_index_scans(
+            vec![cust, list],
+            vec![],
+            vec![crate::txn::IndexScan::new(1, 3)],
+            Procedure::ReadOnly,
+        );
+        assert_eq!(t.index_scans.len(), 1);
+        assert_eq!(t.index_scans[0].list, 1);
+        assert_eq!(t.index_scans[0].table, crate::types::TableId(3));
+        assert_eq!(t.access_count(), 2, "only declared reads are counted");
         assert!(t.is_read_only());
     }
 

@@ -62,7 +62,9 @@ impl BohmAccess<'_> {
         // Fallback traversal (annotations disabled, or record not yet
         // present at CC time).
         let rid = self.t.txn.reads[idx];
-        self.index.get(rid)?.visible(self.t.ts, self.guard)
+        self.index
+            .get(rid, self.guard)?
+            .visible(self.t.ts, self.guard)
     }
 }
 
@@ -149,7 +151,7 @@ impl Access for BohmAccess<'_> {
                 let rid = s.rid(row);
                 match self
                     .index
-                    .get(rid)
+                    .get(rid, self.guard)
                     .and_then(|c| c.visible(self.t.ts, self.guard))
                 {
                     Some(v) => v,
@@ -159,6 +161,68 @@ impl Access for BohmAccess<'_> {
                 // SAFETY: annotation pointers stay valid until Condition-3
                 // GC, which cannot pass this transaction before it executes.
                 unsafe { &*ptr }
+            };
+            if !v.is_resolved() {
+                return Err(AbortReason::NotReady(v.begin()));
+            }
+            match v.state() {
+                VersionState::Ready => {
+                    out(row, v.data());
+                    n += 1;
+                }
+                VersionState::Tombstone => {}
+                VersionState::Pending => unreachable!("checked above"),
+            }
+        }
+        Ok(n)
+    }
+
+    fn index_scan(
+        &mut self,
+        idx: usize,
+        out: &mut dyn FnMut(u64, &[u8]),
+    ) -> Result<u64, AbortReason> {
+        // The scanned key's posting-list record is a declared read, so the
+        // CC phase already **pre-annotated the index key**: the owning CC
+        // thread resolved it, at its sequence point, to the version a
+        // reader at this timestamp must observe — which orders every
+        // batched maintenance write (a NewOrder adding a member, a
+        // Delivery removing one) against this scan by construction, not as
+        // a race. The membership at this timestamp is therefore exactly
+        // the annotated list version's contents.
+        //
+        // Member rows are then resolved by ts-filtered chain probes (their
+        // identities are only known now, so they carry no annotations):
+        // each member was inserted by the same earlier-timestamp
+        // transaction that added it to the list, so its chain exists by CC
+        // time of this batch, and `visible(ts)` skips any later-timestamp
+        // placeholders. A still-pending version blocks on its producer
+        // exactly like a point read (§3.3.1); the re-run replays the scan
+        // deterministically.
+        let s = self.t.txn.index_scans[idx];
+        let Some(lv) = self.version_for_read(s.list) else {
+            return Ok(0); // key never had a posting list: empty result
+        };
+        if !lv.is_resolved() {
+            return Err(AbortReason::NotReady(lv.begin()));
+        }
+        let list = match lv.state() {
+            VersionState::Ready => lv.data(),
+            VersionState::Tombstone => return Ok(0),
+            VersionState::Pending => unreachable!("checked above"),
+        };
+        let mut n = 0;
+        for row in bohm_common::index::posting_rows(list) {
+            let rid = bohm_common::RecordId {
+                table: s.table,
+                row,
+            };
+            let Some(v) = self
+                .index
+                .get(rid, self.guard)
+                .and_then(|c| c.visible(self.t.ts, self.guard))
+            else {
+                continue; // contract violation tolerance: skip
             };
             if !v.is_resolved() {
                 return Err(AbortReason::NotReady(v.begin()));

@@ -155,7 +155,7 @@ pub(crate) fn process_batch(inner: &Inner, me: usize, batch: &Batch, probe_tick:
                 if (rid.stable_hash() >> 32) % m as u64 != me as u64 {
                     continue;
                 }
-                if let Some(chain) = inner.index.get(rid) {
+                if let Some(chain) = inner.index.get(rid, &guard) {
                     // The annotation hands an unexecuted transaction a raw
                     // version pointer; record its timestamp so the key
                     // sweep never retires this chain under it.
@@ -176,7 +176,7 @@ pub(crate) fn process_batch(inner: &Inner, me: usize, batch: &Batch, probe_tick:
             if e.is_write() {
                 let wi = e.idx();
                 let rid = t.txn.writes[wi];
-                let chain = inner.index.get_or_insert(rid);
+                let chain = inner.index.get_or_insert(rid, &guard);
                 let size = inner.record_size(rid.table);
                 let v = chain.install(Owned::new(Version::placeholder(t.ts, size)), &guard);
                 t.write_refs[wi].store(v.as_raw() as *mut Version, Ordering::Release);
@@ -207,7 +207,7 @@ pub(crate) fn process_batch(inner: &Inner, me: usize, batch: &Batch, probe_tick:
                 // falls back to a ts-filtered re-probe, which reports
                 // "absent" even if a later transaction's placeholder has
                 // appeared on the chain by then (see `BohmAccess`).
-                if let Some(chain) = inner.index.get(t.txn.reads[ri]) {
+                if let Some(chain) = inner.index.get(t.txn.reads[ri], &guard) {
                     if let Some(v) = chain.latest(&guard) {
                         chain.note_annotation(t.ts);
                         t.read_refs[ri]

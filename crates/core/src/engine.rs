@@ -77,7 +77,7 @@ impl Bohm {
                     let rid = RecordId::new(tid as u32, row);
                     let data = bohm_common::value::of_u64((spec.seed)(row), spec.record_size);
                     index
-                        .get_or_insert(rid)
+                        .get_or_insert(rid, &guard)
                         .install(Owned::new(Version::ready(0, data)), &guard);
                 }
             }
@@ -188,7 +188,7 @@ impl Bohm {
     /// intended for quiescent moments, e.g. after draining all batches).
     pub fn read_record(&self, rid: RecordId) -> Option<Box<[u8]>> {
         let guard = epoch::pin();
-        let chain = self.inner.index.get(rid)?;
+        let chain = self.inner.index.get(rid, &guard)?;
         let v = chain.latest(&guard)?;
         match v.state() {
             VersionState::Ready => Some(v.data().into()),

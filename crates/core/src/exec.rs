@@ -121,6 +121,7 @@ pub(crate) fn run_claimed(
             &t.txn.proc,
             &t.txn.reads,
             &t.txn.writes,
+            &t.txn.scans,
             &mut access,
             scratch,
         );

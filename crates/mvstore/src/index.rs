@@ -16,7 +16,9 @@
 //! ([`HashIndex::sweep_retire`]), which is what keeps full-table delete
 //! churn from growing the index without bound. Retirement is
 //! epoch-deferred, so every concurrent traversal of a bucket list must
-//! hold a `crossbeam-epoch` pin (all engine call sites do); the caller
+//! hold a `crossbeam-epoch` pin — enforced **by signature**:
+//! [`VersionIndex::get`]/[`VersionIndex::get_or_insert`] take the
+//! caller's `Guard` and tie the returned chain borrow to it. The caller
 //! contract on `sweep_retire` restricts *who* may approve a reclamation.
 
 use crate::chain::Chain;
@@ -27,18 +29,21 @@ use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 
 /// Common interface over the two index kinds.
 ///
-/// # Reclamation caveat
+/// # Reclamation safety — enforced by signature
 /// [`HashIndex`] entries can be retired by [`HashIndex::sweep_retire`]
-/// with epoch-deferred frees, so callers that may race a sweeper must
-/// invoke `get`/`get_or_insert` (and use the returned `&Chain`) under a
-/// `crossbeam_epoch` pin — the signatures do not enforce this. Every
-/// engine call site holds one; pin-less use is only sound while no
-/// sweeper can run (preload, tests, `DenseIndex`).
+/// with epoch-deferred frees, so any traversal racing a sweeper must run
+/// under a `crossbeam_epoch` pin. This used to be a doc-comment caveat;
+/// the signatures now *make pin-less racing use impossible*:
+/// `get`/`get_or_insert` take the caller's epoch [`Guard`], and the
+/// returned [`Chain`] borrow is tied to it — the chain reference cannot
+/// outlive the pin that keeps a concurrently-retired entry's memory
+/// alive. `DenseIndex` never retires entries and ignores the guard, but
+/// shares the contract so the two kinds stay interchangeable.
 pub trait VersionIndex: Send + Sync {
     /// Chain for `rid`, if the key has ever been inserted.
-    fn get(&self, rid: RecordId) -> Option<&Chain>;
+    fn get<'g>(&'g self, rid: RecordId, guard: &'g Guard) -> Option<&'g Chain>;
     /// Chain for `rid`, inserting an empty chain if absent.
-    fn get_or_insert(&self, rid: RecordId) -> &Chain;
+    fn get_or_insert<'g>(&'g self, rid: RecordId, guard: &'g Guard) -> &'g Chain;
     /// Number of keys present.
     fn len(&self) -> usize;
     fn is_empty(&self) -> bool {
@@ -180,10 +185,11 @@ impl HashIndex {
         while !cur.is_null() {
             // SAFETY: entries are heap-allocated and published with release
             // stores. Since [`sweep_retire`](Self::sweep_retire) exists,
-            // entries CAN be freed — epoch-deferred — so every traversal
-            // (this one, and the `get`/`get_or_insert` entry points above
-            // it) must run under a `crossbeam_epoch` pin whenever a sweeper
-            // may be live; see the trait docs on [`VersionIndex`].
+            // entries CAN be freed — epoch-deferred — which is why the
+            // public entry points (`get`/`get_or_insert`) demand the
+            // caller's epoch `Guard` by signature and tie the returned
+            // borrow to it; this private walk is only reachable through
+            // them (or under `&mut self`).
             let e = unsafe { &*cur };
             if e.rid == rid {
                 return Some(e);
@@ -195,11 +201,14 @@ impl HashIndex {
 }
 
 impl VersionIndex for HashIndex {
-    fn get(&self, rid: RecordId) -> Option<&Chain> {
+    fn get<'g>(&'g self, rid: RecordId, _guard: &'g Guard) -> Option<&'g Chain> {
+        // `_guard` is what makes the traversal sound against a concurrent
+        // `sweep_retire`: retired entries are freed through the epoch
+        // collector, and the returned borrow cannot outlive the pin.
         self.find(rid).map(|e| &e.chain)
     }
 
-    fn get_or_insert(&self, rid: RecordId) -> &Chain {
+    fn get_or_insert<'g>(&'g self, rid: RecordId, _guard: &'g Guard) -> &'g Chain {
         if let Some(e) = self.find(rid) {
             return &e.chain;
         }
@@ -285,14 +294,15 @@ impl DenseIndex {
 }
 
 impl VersionIndex for DenseIndex {
-    fn get(&self, rid: RecordId) -> Option<&Chain> {
+    fn get<'g>(&'g self, rid: RecordId, _guard: &'g Guard) -> Option<&'g Chain> {
+        // Dense entries are never retired; the guard is contract-only.
         self.tables
             .get(rid.table.index())
             .and_then(|t| t.get(rid.row as usize))
     }
 
-    fn get_or_insert(&self, rid: RecordId) -> &Chain {
-        self.get(rid)
+    fn get_or_insert<'g>(&'g self, rid: RecordId, guard: &'g Guard) -> &'g Chain {
+        self.get(rid, guard)
             .expect("DenseIndex is fixed-size; row out of declared bounds")
     }
 
@@ -315,8 +325,9 @@ mod tests {
     #[test]
     fn hash_get_or_insert_is_idempotent() {
         let idx = HashIndex::with_capacity(64);
-        let a = idx.get_or_insert(rid(0, 1)) as *const Chain;
-        let b = idx.get_or_insert(rid(0, 1)) as *const Chain;
+        let g = epoch::pin();
+        let a = idx.get_or_insert(rid(0, 1), &g) as *const Chain;
+        let b = idx.get_or_insert(rid(0, 1), &g) as *const Chain;
         assert_eq!(a, b);
         assert_eq!(idx.len(), 1);
     }
@@ -324,21 +335,26 @@ mod tests {
     #[test]
     fn hash_get_misses_absent_keys() {
         let idx = HashIndex::with_capacity(16);
-        idx.get_or_insert(rid(0, 1));
-        assert!(idx.get(rid(0, 2)).is_none());
-        assert!(idx.get(rid(1, 1)).is_none(), "table id is part of the key");
+        let g = epoch::pin();
+        idx.get_or_insert(rid(0, 1), &g);
+        assert!(idx.get(rid(0, 2), &g).is_none());
+        assert!(
+            idx.get(rid(1, 1), &g).is_none(),
+            "table id is part of the key"
+        );
     }
 
     #[test]
     fn hash_handles_bucket_collisions() {
         // Tiny table forces collisions; all keys must remain reachable.
         let idx = HashIndex::with_capacity(1);
+        let g = epoch::pin();
         for k in 0..200 {
-            idx.get_or_insert(rid(0, k));
+            idx.get_or_insert(rid(0, k), &g);
         }
         assert_eq!(idx.len(), 200);
         for k in 0..200 {
-            assert!(idx.get(rid(0, k)).is_some(), "lost key {k}");
+            assert!(idx.get(rid(0, k), &g).is_some(), "lost key {k}");
         }
     }
 
@@ -346,11 +362,11 @@ mod tests {
     fn hash_chains_store_versions() {
         let idx = HashIndex::with_capacity(16);
         let g = epoch::pin();
-        idx.get_or_insert(rid(0, 7)).install(
+        idx.get_or_insert(rid(0, 7), &g).install(
             Owned::new(Version::ready(1, bohm_common::value::of_u64(9, 8))),
             &g,
         );
-        let v = idx.get(rid(0, 7)).unwrap().visible(2, &g).unwrap();
+        let v = idx.get(rid(0, 7), &g).unwrap().visible(2, &g).unwrap();
         assert_eq!(bohm_common::value::get_u64(v.data(), 0), 9);
     }
 
@@ -362,8 +378,9 @@ mod tests {
         for t in 0..8u64 {
             let idx = Arc::clone(&idx);
             handles.push(std::thread::spawn(move || {
+                let g = epoch::pin();
                 for k in 0..500 {
-                    idx.get_or_insert(rid(0, t * 1000 + k));
+                    idx.get_or_insert(rid(0, t * 1000 + k), &g);
                 }
             }));
         }
@@ -371,9 +388,10 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(idx.len(), 8 * 500);
+        let g = epoch::pin();
         for t in 0..8u64 {
             for k in 0..500 {
-                assert!(idx.get(rid(0, t * 1000 + k)).is_some());
+                assert!(idx.get(rid(0, t * 1000 + k), &g).is_some());
             }
         }
     }
@@ -386,9 +404,10 @@ mod tests {
         for _ in 0..8 {
             let idx = Arc::clone(&idx);
             handles.push(std::thread::spawn(move || {
+                let g = epoch::pin();
                 let mut ptrs = Vec::new();
                 for k in 0..100u64 {
-                    ptrs.push(idx.get_or_insert(rid(0, k)) as *const Chain as usize);
+                    ptrs.push(idx.get_or_insert(rid(0, k), &g) as *const Chain as usize);
                 }
                 ptrs
             }));
@@ -403,34 +422,34 @@ mod tests {
     #[test]
     fn sweep_retire_removes_head_and_mid_entries() {
         let idx = HashIndex::with_capacity(1); // one bucket: forces a list
+        let g = epoch::pin();
         for k in 0..6 {
-            idx.get_or_insert(rid(0, k));
+            idx.get_or_insert(rid(0, k), &g);
         }
         assert_eq!(idx.len(), 6);
-        let g = epoch::pin();
         // Retire the even keys wherever they sit in the bucket list.
         let retired = idx.sweep_retire(0, idx.bucket_count(), &g, &mut |r, _| r.row % 2 == 0);
         assert_eq!(retired, 3);
         assert_eq!(idx.len(), 3);
         for k in 0..6 {
             assert_eq!(
-                idx.get(rid(0, k)).is_some(),
+                idx.get(rid(0, k), &g).is_some(),
                 k % 2 == 1,
                 "key {k} retirement state wrong"
             );
         }
         // Retired keys are re-insertable with fresh chains.
-        idx.get_or_insert(rid(0, 0));
+        idx.get_or_insert(rid(0, 0), &g);
         assert_eq!(idx.len(), 4);
     }
 
     #[test]
     fn sweep_retire_wraps_and_respects_count() {
         let idx = HashIndex::with_capacity(64);
-        for k in 0..100 {
-            idx.get_or_insert(rid(0, k));
-        }
         let g = epoch::pin();
+        for k in 0..100 {
+            idx.get_or_insert(rid(0, k), &g);
+        }
         // Sweeping every bucket from an offset start must still see all.
         let retired = idx.sweep_retire(37, usize::MAX, &g, &mut |_, _| true);
         assert_eq!(retired, 100);
@@ -466,8 +485,8 @@ mod tests {
                 while !stop.load(Ordering::Relaxed) {
                     let g = epoch::pin();
                     // Table 9 keys are sweep bait; table `t` keys must stay.
-                    idx.get_or_insert(rid(9, t * 1_000_000 + i));
-                    idx.get_or_insert(rid(t as u32, i % 256));
+                    idx.get_or_insert(rid(9, t * 1_000_000 + i), &g);
+                    idx.get_or_insert(rid(t as u32, i % 256), &g);
                     drop(g);
                     i += 1;
                 }
@@ -483,7 +502,7 @@ mod tests {
             let g = epoch::pin();
             for i in 0..n.min(256) {
                 assert!(
-                    idx.get(rid(t as u32, i)).is_some(),
+                    idx.get(rid(t as u32, i), &g).is_some(),
                     "inserted key lost: table {t} row {i}"
                 );
             }
@@ -494,27 +513,30 @@ mod tests {
     #[test]
     fn dense_index_addresses_by_row() {
         let idx = DenseIndex::new(&[10, 5]);
+        let g = epoch::pin();
         assert_eq!(idx.len(), 15);
         assert_eq!(idx.table_len(TableId(0)), 10);
-        assert!(idx.get(rid(0, 9)).is_some());
-        assert!(idx.get(rid(0, 10)).is_none());
-        assert!(idx.get(rid(1, 4)).is_some());
-        assert!(idx.get(rid(2, 0)).is_none());
+        assert!(idx.get(rid(0, 9), &g).is_some());
+        assert!(idx.get(rid(0, 10), &g).is_none());
+        assert!(idx.get(rid(1, 4), &g).is_some());
+        assert!(idx.get(rid(2, 0), &g).is_none());
     }
 
     #[test]
     #[should_panic(expected = "fixed-size")]
     fn dense_index_rejects_inserts_out_of_bounds() {
         let idx = DenseIndex::new(&[4]);
-        idx.get_or_insert(rid(0, 4));
+        let g = epoch::pin();
+        idx.get_or_insert(rid(0, 4), &g);
     }
 
     #[test]
     fn trait_object_usable() {
         let hash: Box<dyn VersionIndex> = Box::new(HashIndex::with_capacity(4));
         let dense: Box<dyn VersionIndex> = Box::new(DenseIndex::new(&[4]));
-        hash.get_or_insert(rid(0, 1));
-        dense.get_or_insert(rid(0, 1));
+        let g = epoch::pin();
+        hash.get_or_insert(rid(0, 1), &g);
+        dense.get_or_insert(rid(0, 1), &g);
         assert_eq!(hash.len(), 1);
         assert_eq!(dense.len(), 4);
     }

@@ -47,6 +47,9 @@ pub struct OccWorker {
     wentries: Vec<WriteEntry>,
     wbuf: Vec<u8>,
     read_buf: Vec<u8>,
+    /// Posting-list copy for index scans (stable-reading the member rows
+    /// recycles `read_buf`, so the list needs its own reusable buffer).
+    list_buf: Vec<u8>,
     scratch: Vec<u8>,
     /// Sorted indices into `wentries` (lock order), reused.
     lock_order: Vec<usize>,
@@ -164,6 +167,47 @@ impl Access for OccAccess<'_> {
     fn read_maybe(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<bool, AbortReason> {
         let rid = self.txn.reads[idx];
         self.stable_read(rid, out)
+    }
+
+    fn index_scan(
+        &mut self,
+        idx: usize,
+        out: &mut dyn FnMut(u64, &[u8]),
+    ) -> Result<u64, AbortReason> {
+        // Phantom protection is the **per-index-key version counter**: the
+        // scanned key's posting-list record enters the read set with the
+        // TID it was stable-read under, and every maintenance transaction
+        // (NewOrder adding a member, Delivery removing one) rewrites the
+        // record — bumping that TID at its commit — so validation of this
+        // read set is exactly "no membership change of the scanned key
+        // committed before our TID bump". Member rows are stable-read and
+        // recorded individually, so their payloads (and their presence)
+        // validate like any other read.
+        let s = self.txn.index_scans[idx];
+        let list_rid = self.txn.reads[s.list];
+        let mut list = std::mem::take(&mut self.w.list_buf);
+        list.clear();
+        // An absent posting-list record is an empty result (matching every
+        // other engine and the oracle); the absence was recorded in the
+        // read set, so a concurrent creation of the list still invalidates.
+        if !self.stable_read(list_rid, &mut |b| list.extend_from_slice(b))? {
+            self.w.list_buf = list;
+            return Ok(0);
+        }
+        let mut n = 0;
+        for row in bohm_common::index::posting_rows(&list) {
+            let rid = RecordId {
+                table: s.table,
+                row,
+            };
+            // A listed-but-absent member is a torn snapshot this attempt
+            // will fail validation on (or a contract violation): skip it.
+            if self.stable_read(rid, &mut |b| out(row, b))? {
+                n += 1;
+            }
+        }
+        self.w.list_buf = list;
+        Ok(n)
     }
 
     fn scan(&mut self, idx: usize, out: &mut dyn FnMut(u64, &[u8])) -> Result<u64, AbortReason> {
@@ -352,6 +396,7 @@ impl Engine for SiloOcc {
             wentries: Vec::with_capacity(16),
             wbuf: Vec::with_capacity(16 * 1024),
             read_buf: Vec::with_capacity(1024),
+            list_buf: Vec::with_capacity(256),
             scratch: Vec::with_capacity(64),
             lock_order: Vec::with_capacity(16),
             last_tid: 0,
@@ -368,6 +413,7 @@ impl Engine for SiloOcc {
                 &txn.proc,
                 &txn.reads,
                 &txn.writes,
+                &txn.scans,
                 &mut OccAccess { eng: self, txn, w },
                 &mut scratch,
             );

@@ -104,6 +104,34 @@ impl Access for OracleAccess<'_> {
         Ok(n)
     }
 
+    fn index_scan(
+        &mut self,
+        idx: usize,
+        out: &mut dyn FnMut(u64, &[u8]),
+    ) -> Result<u64, AbortReason> {
+        // Serial reference semantics for secondary indexes: the committed
+        // posting list of the scanned key at this transaction's log
+        // position, each member row read from the same committed state, in
+        // ascending row order. (Like `scan`, the pending buffer is not
+        // consulted: index-scanned keys must not be in the transaction's
+        // own write set.)
+        let s = self.txn.index_scans[idx];
+        let list_rid = self.txn.reads[s.list];
+        let Some(list) = self.tables[list_rid.table.index()][list_rid.row as usize].as_deref()
+        else {
+            return Ok(0);
+        };
+        let table = &self.tables[s.table.index()];
+        let mut n = 0;
+        for row in bohm_common::index::posting_rows(list) {
+            if let Some(Some(data)) = table.get(row as usize) {
+                out(row, data);
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
     fn write_len(&mut self, idx: usize) -> usize {
         self.record_sizes[self.txn.writes[idx].table.index()]
     }
@@ -143,6 +171,7 @@ impl SerialOracle {
             &txn.proc,
             &txn.reads,
             &txn.writes,
+            &txn.scans,
             &mut access,
             &mut self.scratch,
         ) {
@@ -268,12 +297,49 @@ pub fn phantom_hammer<E: bohm_common::engine::BatchEngine>(
     width: u64,
     rounds: u64,
 ) {
+    phantom_hammer_ranges(engine, guard, table, lo, width, rounds, 1);
+}
+
+/// [`phantom_hammer`] with the scanners' window declared as `ranges`
+/// adjacent [`ScanRange`](bohm_common::ScanRange)s instead of one — the
+/// **multi-range-per-transaction** mode. Each scan transaction covers the
+/// whole window split into `ranges` pieces; since every engine must give
+/// the *transaction* one position in the serial order, the pieces must
+/// observe the same serial point — a transaction whose first range sees
+/// the materialized window while its second sees the dissolved one
+/// fingerprints as a partial count or gap and panics.
+pub fn phantom_hammer_ranges<E: bohm_common::engine::BatchEngine>(
+    engine: &E,
+    guard: RecordId,
+    table: u32,
+    lo: u64,
+    width: u64,
+    rounds: u64,
+    ranges: u64,
+) {
     use bohm_common::engine::Session;
     use bohm_common::{range_audit_fingerprint, Procedure, ScanRange};
     use std::sync::atomic::{AtomicBool, Ordering};
+    assert!(
+        ranges >= 1 && ranges <= width,
+        "window must split into ranges"
+    );
     let window: Vec<RecordId> = (lo..lo + width).map(|r| RecordId::new(table, r)).collect();
     let base = 10_000u64;
     let fp_full = range_audit_fingerprint(width, lo);
+    // Split the window into `ranges` adjacent pieces (first pieces take the
+    // remainder), so the audited union is exactly `lo..lo+width`.
+    let scans: Vec<ScanRange> = {
+        let mut out = Vec::with_capacity(ranges as usize);
+        let (chunk, rem) = (width / ranges, width % ranges);
+        let mut at = lo;
+        for i in 0..ranges {
+            let len = chunk + u64::from(i < rem);
+            out.push(ScanRange::new(table, at, at + len));
+            at += len;
+        }
+        out
+    };
     let stop = AtomicBool::new(false);
     std::thread::scope(|s| {
         let writer = {
@@ -295,12 +361,13 @@ pub fn phantom_hammer<E: bohm_common::engine::BatchEngine>(
         let mut scanners = Vec::new();
         for _ in 0..2 {
             let stop = &stop;
+            let scans = &scans;
             scanners.push(s.spawn(move || {
                 let mut sess = engine.open_session();
                 let scan = Txn::with_scans(
                     vec![],
                     vec![],
-                    vec![ScanRange::new(table, lo, lo + width)],
+                    scans.clone(),
                     Procedure::RangeAudit { expect_base: base },
                 );
                 let mut seen = 0u64;
@@ -324,6 +391,116 @@ pub fn phantom_hammer<E: bohm_common::engine::BatchEngine>(
         writer.join().unwrap();
         for sc in scanners {
             assert!(sc.join().unwrap() > 0, "scanner made no progress");
+        }
+    });
+}
+
+/// Index-key phantom hammer: NewOrder/Delivery churn of one customer's
+/// posting list vs. concurrent
+/// [`TpcCProc::CustomerStatus`](bohm_common::TpcCProc::CustomerStatus)
+/// index scanners, runnable against any engine.
+///
+/// The writer repeatedly inserts `delivery_batch` orders for **one fixed
+/// customer** (one NewOrder per transaction, ring rows `0..B`, identical
+/// payloads every round) and then delivers — deletes and unindexes — all
+/// of them in a single transaction. The only serial states of the
+/// customer's posting set are therefore the prefixes `{}, {0}, {0,1}, …,
+/// {0..B-1}` — so every concurrent CustomerStatus scan must fingerprint
+/// as exactly one of those `B + 1` precomputed values. Anything else is a
+/// phantom on the index key (a half-observed insert or delivery) or a
+/// torn member read, and the hammer panics.
+///
+/// `cfg` must have the customer index, one stripe ring of exactly
+/// `delivery_batch` slots (`order_capacity / order_stripes ==
+/// delivery_batch`), and `orders_per_customer ≥ delivery_batch`; Payment
+/// is never issued, so the customer balance (and thus the fingerprint
+/// base) stays at the 100 000-cent seed.
+pub fn index_phantom_hammer<E: bohm_common::engine::BatchEngine>(
+    engine: &E,
+    cfg: &bohm_workloads::tpcc::TpccConfig,
+    rounds: u64,
+) {
+    use bohm_common::engine::Session;
+    use bohm_common::value::{checksum, of_u64, put_u64};
+    use bohm_workloads::tpcc;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    assert!(cfg.has_customer_index(), "hammer needs the customer index");
+    let batch = cfg.delivery_batch;
+    assert_eq!(
+        cfg.orders_per_stripe(),
+        batch,
+        "stripe ring must hold exactly one delivery batch so rows repeat each round"
+    );
+    assert!(
+        cfg.orders_per_customer >= batch,
+        "posting list must fit the batch"
+    );
+    // Stripe 0's partition always contains global customer 0 = (w0,d0,c0).
+    let (w, d, c) = (0, 0, 0);
+    let spec = cfg.spec();
+    let order_size = spec.tables[tpcc::tables::ORDER as usize].record_size;
+    // Legal fingerprints: every prefix of the round's insertion order. The
+    // member payload prefix is balance·1000 + lines (balance stays at the
+    // 100_000 seed; lines fixed at 1), with the customer row id at byte 8.
+    let payload = {
+        let mut p = of_u64(100_000 * 1_000 + 1, order_size);
+        put_u64(&mut p, 8, 0);
+        p
+    };
+    let member_ck = checksum(&payload);
+    let legal: Vec<u64> = (0..=batch)
+        .map(|j| {
+            let mut fp = 100_000u64;
+            for row in 0..j {
+                fp = fp.wrapping_mul(31).wrapping_add(row ^ member_ck);
+            }
+            fp.wrapping_mul(31).wrapping_add(j)
+        })
+        .collect();
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let writer = {
+            let stop = &stop;
+            s.spawn(move || {
+                let mut sess = engine.open_session();
+                for round in 0..rounds {
+                    for i in 0..batch {
+                        sess.submit(tpcc::new_order(cfg, w, d, c, i, 1));
+                        assert!(sess.reap().committed, "NewOrder must commit");
+                    }
+                    let custs = vec![0u64; batch as usize];
+                    sess.submit(tpcc::delivery(cfg, 0, round * batch, batch, &custs));
+                    assert!(sess.reap().committed, "Delivery must commit");
+                }
+                stop.store(true, Ordering::Relaxed);
+            })
+        };
+        let mut scanners = Vec::new();
+        for _ in 0..2 {
+            let stop = &stop;
+            let legal = &legal;
+            scanners.push(s.spawn(move || {
+                let mut sess = engine.open_session();
+                let scan = tpcc::customer_status(cfg, w, d, c);
+                let mut seen = 0u64;
+                while !stop.load(Ordering::Relaxed) || seen < 64 {
+                    sess.submit(scan.clone());
+                    let out = sess.reap();
+                    assert!(out.committed, "index scans never abort");
+                    assert!(
+                        legal.contains(&out.fingerprint),
+                        "index-key phantom: fingerprint {:#x} matches no \
+                         prefix of the customer's posting set (legal: {legal:x?})",
+                        out.fingerprint
+                    );
+                    seen += 1;
+                }
+                seen
+            }));
+        }
+        writer.join().unwrap();
+        for sc in scanners {
+            assert!(sc.join().unwrap() > 0, "index scanner made no progress");
         }
     });
 }

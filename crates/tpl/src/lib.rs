@@ -101,6 +101,51 @@ impl Access for TplAccess<'_> {
         Ok(())
     }
 
+    fn index_scan(
+        &mut self,
+        idx: usize,
+        out: &mut dyn FnMut(u64, &[u8]),
+    ) -> Result<u64, AbortReason> {
+        // Phantom protection is the **key-granular index lock**: the
+        // scanned key's posting-list record is a declared read, so
+        // `execute` holds its shared lock for the whole transaction — and
+        // an *empty* posting list is still a locked record, i.e. the gap
+        // lock that blocks a concurrent NewOrder from adding the key's
+        // first member until this transaction releases. Maintenance
+        // (NewOrder/Delivery) needs the same lock exclusively, so the
+        // membership observed here is stable.
+        //
+        // Member rows are read WITHOUT their own slot locks, under the
+        // covering-writer contract (see `Access::index_scan`): any writer
+        // of an indexed row holds the row's posting-list lock exclusively
+        // in the same transaction, which conflicts with our shared lock —
+        // so member payloads cannot change (or be deleted/torn) while we
+        // read them.
+        let s = self.txn.index_scans[idx];
+        let list_rid = self.txn.reads[s.list];
+        let lt = self.store.table(list_rid);
+        let dt = &self.store.tables()[s.table.index()];
+        if !lt.is_present(list_rid.row as usize) {
+            return Ok(0); // index key has no posting list: empty result
+        }
+        let mut n = 0;
+        // SAFETY: shared (or exclusive) lock held on the posting-list slot
+        // for the duration of the transaction (declared read-set entry).
+        unsafe {
+            lt.read(list_rid.row as usize, &mut |list| {
+                for row in bohm_common::index::posting_rows(list) {
+                    if (row as usize) >= dt.rows() || !dt.is_present(row as usize) {
+                        continue; // contract violation tolerance: skip
+                    }
+                    // SAFETY: covering-writer contract (see above).
+                    dt.read(row as usize, &mut |b| out(row, b));
+                    n += 1;
+                }
+            });
+        }
+        Ok(n)
+    }
+
     fn scan(&mut self, idx: usize, out: &mut dyn FnMut(u64, &[u8])) -> Result<u64, AbortReason> {
         // Phantom protection is the lock set: `execute` acquired a shared
         // lock on *every* slot of the range, present or absent — the lock
@@ -190,6 +235,7 @@ impl Engine for TwoPhaseLocking {
             &txn.proc,
             &txn.reads,
             &txn.writes,
+            &txn.scans,
             &mut TplAccess {
                 store: &self.store,
                 txn,

@@ -26,7 +26,7 @@ pub mod spec;
 pub mod tpcc;
 pub mod ycsb;
 
-pub use spec::{DatabaseSpec, TableDef};
+pub use spec::{DatabaseSpec, IndexDef, TableDef};
 
 use bohm_common::Txn;
 

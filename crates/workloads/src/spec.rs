@@ -3,6 +3,14 @@
 //! Every engine preloads the same logical database; this module is the
 //! single source of truth a benchmark uses to instantiate BOHM, Hekaton,
 //! SI, OCC and 2PL over identical contents.
+//!
+//! Secondary indexes ([`IndexDef`]) are declared here too and **lowered
+//! into a table of posting-list records** (one row per index key, seeded
+//! empty), so every engine builder materializes the index through its
+//! ordinary table machinery and every engine's concurrency control covers
+//! index maintenance and index scans without engine-specific builder code
+//! (see `bohm_common::index` for the record format and the protocol
+//! story).
 
 /// One table: seeded row count, insert headroom, fixed record size, and the
 /// seed value of each preloaded row's `u64` prefix.
@@ -36,14 +44,71 @@ impl TableDef {
     }
 }
 
-/// A full database: tables with dense ids in declaration order.
+/// One declared secondary index: a `key → member rows` mapping over
+/// `on_table`, stored as a table of posting-list records (one fixed-size
+/// record per key; see `bohm_common::index`).
+///
+/// Declaring the index via [`DatabaseSpec::with_index`] appends that
+/// posting-list table to the spec — every key's list is **seeded present
+/// and empty**, which matters for the engines' phantom protection: an
+/// empty list is still a lockable/validatable record (2PL's gap lock on a
+/// key with no members yet, OCC's per-key TID word, a Hekaton/SI version,
+/// a BOHM chain the CC phase can annotate).
+#[derive(Clone, Copy, Debug)]
+pub struct IndexDef {
+    /// Table whose rows the posting lists point into.
+    pub on_table: u32,
+    /// Number of distinct index keys (one posting-list row per key; the
+    /// key *is* the row id of the posting-list table).
+    pub keys: u64,
+    /// Maximum member rows per key — fixes the posting-list record size.
+    /// Workload generators must keep every key's live membership within
+    /// this bound; `bohm_common::index::posting_insert` rejects overflow
+    /// rather than corrupting neighbours.
+    pub max_entries: u64,
+}
+
+/// A full database: tables with dense ids in declaration order, plus the
+/// secondary indexes lowered into posting-list tables.
 pub struct DatabaseSpec {
     pub tables: Vec<TableDef>,
+    /// Declared secondary indexes, paired with the dense table id their
+    /// posting-list table was lowered to.
+    pub indexes: Vec<(IndexDef, u32)>,
 }
 
 impl DatabaseSpec {
     pub fn new(tables: Vec<TableDef>) -> Self {
-        Self { tables }
+        Self {
+            tables,
+            indexes: Vec::new(),
+        }
+    }
+
+    /// Declare a secondary index: appends its posting-list table (all keys
+    /// seeded with empty lists) and records the mapping. Returns the spec
+    /// for chaining; the lowered table id is recoverable via
+    /// [`indexes`](Self::indexes) or as `tables.len() - 1` right after the
+    /// call.
+    pub fn with_index(mut self, def: IndexDef) -> Self {
+        assert!(
+            (def.on_table as usize) < self.tables.len(),
+            "index declared over unknown table {}",
+            def.on_table
+        );
+        assert!(
+            def.max_entries > 0,
+            "index needs room for at least one member"
+        );
+        self.tables.push(TableDef {
+            rows: def.keys,
+            spare_rows: 0,
+            record_size: bohm_common::index::posting_record_size(def.max_entries),
+            seed: |_| 0, // count word 0: every key starts with an empty list
+            growable: false,
+        });
+        self.indexes.push((def, (self.tables.len() - 1) as u32));
+        self
     }
 
     /// Table shapes as `(capacity, record_size)` pairs — sizing input for
@@ -70,6 +135,41 @@ impl DatabaseSpec {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn with_index_lowers_a_posting_list_table() {
+        let spec = DatabaseSpec::new(vec![TableDef {
+            rows: 0,
+            spare_rows: 16,
+            record_size: 32,
+            seed: |_| 0,
+            growable: false,
+        }])
+        .with_index(IndexDef {
+            on_table: 0,
+            keys: 4,
+            max_entries: 3,
+        });
+        assert_eq!(spec.tables.len(), 2);
+        let (def, tid) = spec.indexes[0];
+        assert_eq!(tid, 1);
+        assert_eq!(def.on_table, 0);
+        let t = &spec.tables[tid as usize];
+        assert_eq!(t.rows, 4, "one posting-list row per key, all seeded");
+        assert_eq!(t.record_size, 8 + 8 * 3);
+        assert_eq!((t.seed)(2), 0, "lists start empty (count word 0)");
+        assert!(!t.growable);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown table")]
+    fn with_index_rejects_unknown_tables() {
+        let _ = DatabaseSpec::new(vec![]).with_index(IndexDef {
+            on_table: 0,
+            keys: 1,
+            max_entries: 1,
+        });
+    }
 
     #[test]
     fn shapes_and_totals() {

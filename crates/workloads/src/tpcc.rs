@@ -2,24 +2,31 @@
 //! order-entry mix.
 //!
 //! The paper evaluates BOHM only on preloaded key sets; this family opens
-//! the full record lifecycle end to end. Five tables — `warehouse`,
-//! `district`, `customer`, `order` and the per-stripe `delivery` cursor —
-//! and five procedures:
+//! the full record lifecycle end to end. Six tables — `warehouse`,
+//! `district`, `customer`, `order`, the per-stripe `delivery` cursor, and
+//! the **customer→orders secondary index** (a posting-list table lowered
+//! by [`crate::spec::IndexDef`]) — and six procedures:
 //!
 //! * **NewOrder** (43%) — RMW of the district order counter plus an
-//!   **insert** of a fresh order record ([`TpcCProc::NewOrder`]),
-//! * **Payment** (40%) — a cross-table RMW touching warehouse, district
+//!   **insert** of a fresh order record, added to its customer's posting
+//!   list in the same transaction ([`TpcCProc::NewOrder`]),
+//! * **Payment** (36%) — a cross-table RMW touching warehouse, district
 //!   and customer ([`TpcCProc::Payment`]),
 //! * **Delivery** (5%) — batch-consume the oldest undelivered orders:
-//!   each is read and **deleted**, and the stripe's delivery cursor
-//!   advances ([`TpcCProc::Delivery`]),
-//! * **OrderStatus** (8%) — read-only; probes an order slot that may not
+//!   each is read, **deleted**, and removed from its customer's posting
+//!   list; the stripe's delivery cursor advances ([`TpcCProc::Delivery`]),
+//! * **OrderStatus** (6%) — read-only; probes an order slot that may not
 //!   exist (not yet inserted, or already delivered), exercising
 //!   absence-tolerant reads ([`TpcCProc::OrderStatus`]),
 //! * **OrderHistory** (4%) — read-only range scan of the stripe's
 //!   oldest-live order window with phantom protection: its edges are
 //!   exactly where Delivery deletes and NewOrder inserts land
-//!   ([`TpcCProc::OrderHistory`]).
+//!   ([`TpcCProc::OrderHistory`]),
+//! * **CustomerStatus** (6%) — read-only **secondary-index scan**: a
+//!   customer's live orders reached through the posting list, each member
+//!   row read at the same snapshot — a genuine multi-range transaction
+//!   racing NewOrder inserts and Delivery deletes on the index key
+//!   ([`TpcCProc::CustomerStatus`]).
 //!
 //! Write sets are declared up front (BOHM's model), so order ids are
 //! **generator-assigned**: each generator owns a disjoint stripe of the
@@ -30,11 +37,23 @@
 //! with zero seeded rows and `spare_rows` headroom), and every delivered
 //! slot is genuinely recycled — the insert→delete→reclaim loop the
 //! engines' lifecycle machinery exists for.
+//!
+//! **Index sizing.** Posting lists are fixed-size
+//! ([`TpccConfig::orders_per_customer`] members), so the generator must
+//! bound each customer's live orders: NewOrder customers are drawn from a
+//! per-stripe **partition** of the customer space (global customer row ≡
+//! stripe mod `order_stripes`) — so one generator sees all orders of its
+//! customers — and a NewOrder aimed at a full customer becomes a Delivery
+//! instead, exactly like a full stripe ring. Under
+//! [`unbounded_orders`](TpccConfig::unbounded_orders) the index is
+//! disabled (fixed-size lists cannot back an unbounded stream) and the
+//! pre-index transaction shapes are generated.
 
-use crate::spec::{DatabaseSpec, TableDef};
+use crate::spec::{DatabaseSpec, IndexDef, TableDef};
 use crate::TxnGen;
 use bohm_common::rng::FastRng;
-use bohm_common::{Procedure, RecordId, TpcCProc, Txn};
+use bohm_common::{IndexScan, Procedure, RecordId, TpcCProc, Txn};
+use std::collections::VecDeque;
 
 /// Dense table ids of the TPC-C-lite schema.
 pub mod tables {
@@ -45,6 +64,11 @@ pub mod tables {
     /// One row per generator stripe: the count of orders delivered
     /// (consumed + deleted) from that stripe, serializing Deliveries.
     pub const DELIVERY: u32 = 4;
+    /// The customer→orders secondary index: one posting-list record per
+    /// customer (row id = global customer row), holding the customer's
+    /// live order rows. Absent from the schema under
+    /// `TpccConfig::unbounded_orders`.
+    pub const CUSTOMER_ORDERS: u32 = 5;
 }
 
 /// Workload parameters.
@@ -60,6 +84,12 @@ pub struct TpccConfig {
     pub order_stripes: u64,
     /// Maximum orders one Delivery transaction consumes.
     pub delivery_batch: u64,
+    /// Posting-list capacity of the customer→orders index: the maximum
+    /// live orders any single customer may hold. The generator enforces
+    /// the bound (a NewOrder aimed at a full customer delivers instead),
+    /// so maintenance can never overflow a list. Ignored (the index is
+    /// disabled) under [`unbounded_orders`](Self::unbounded_orders).
+    pub orders_per_customer: u64,
     /// Let the order table grow beyond [`order_capacity`](Self::order_capacity):
     /// stripes become huge virtual ranges ([`UNBOUNDED_STRIPE_SPAN`] rows
     /// each), so NewOrder streams insert fresh ever-larger row ids instead
@@ -86,6 +116,7 @@ impl Default for TpccConfig {
             order_capacity: 1 << 16,
             order_stripes: 64,
             delivery_batch: 4,
+            orders_per_customer: 64,
             unbounded_orders: false,
             think_us: 0,
         }
@@ -101,6 +132,83 @@ impl TpccConfig {
         self.districts() * self.customers_per_district
     }
 
+    /// Is the customer→orders secondary index part of the schema? Yes
+    /// except under [`unbounded_orders`](Self::unbounded_orders), whose
+    /// ever-growing per-customer order sets cannot fit fixed-size posting
+    /// lists.
+    pub fn has_customer_index(&self) -> bool {
+        !self.unbounded_orders
+    }
+
+    /// Check the configuration for the mistakes that used to fail late and
+    /// obscurely: a zero stripe count previously reached
+    /// [`orders_per_stripe`](Self::orders_per_stripe) and panicked with a
+    /// raw divide-by-zero, and a capacity that is not a multiple of the
+    /// stripe count silently stranded the remainder slots (no stripe ring
+    /// could ever reach them). [`spec`](Self::spec) and [`TpccGen::new`]
+    /// call this and panic with the returned message on `Err`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.warehouses == 0 || self.districts_per_warehouse == 0 {
+            return Err("warehouses and districts_per_warehouse must both be ≥ 1".into());
+        }
+        if self.customers_per_district == 0 {
+            return Err("customers_per_district must be ≥ 1".into());
+        }
+        if self.order_stripes == 0 {
+            return Err(
+                "order_stripes must be ≥ 1 (the order table is partitioned into stripes; \
+                 zero stripes would divide by zero)"
+                    .into(),
+            );
+        }
+        if self.delivery_batch == 0 {
+            return Err(
+                "delivery_batch must be ≥ 1 (a Delivery consumes at least one order)".into(),
+            );
+        }
+        if self.unbounded_orders {
+            return Ok(()); // virtual stripe spans; capacity is only a hint
+        }
+        if self.order_capacity < self.order_stripes {
+            return Err(format!(
+                "order_capacity ({}) must cover order_stripes ({}): every stripe ring needs \
+                 at least one slot",
+                self.order_capacity, self.order_stripes
+            ));
+        }
+        if !self.order_capacity.is_multiple_of(self.order_stripes) {
+            return Err(format!(
+                "order_capacity ({}) must be a multiple of order_stripes ({}): the remainder \
+                 ({} slots) would be silently stranded — unreachable by any stripe ring",
+                self.order_capacity,
+                self.order_stripes,
+                self.order_capacity % self.order_stripes
+            ));
+        }
+        if self.orders_per_customer == 0 {
+            return Err(
+                "orders_per_customer must be ≥ 1 (it is the customer→orders posting-list \
+                 capacity)"
+                    .into(),
+            );
+        }
+        if self.customers() < self.order_stripes {
+            return Err(format!(
+                "customers ({}) must be ≥ order_stripes ({}): NewOrder customers are \
+                 partitioned by stripe so each posting list has a single maintaining \
+                 generator, which needs at least one customer per stripe",
+                self.customers(),
+                self.order_stripes
+            ));
+        }
+        Ok(())
+    }
+
+    fn assert_valid(&self) {
+        self.validate()
+            .unwrap_or_else(|e| panic!("invalid TpccConfig: {e}"));
+    }
+
     /// Order slots owned by one generator stripe. Under
     /// [`unbounded_orders`](Self::unbounded_orders) this is the virtual
     /// span — effectively "never wrap".
@@ -108,13 +216,44 @@ impl TpccConfig {
         if self.unbounded_orders {
             return UNBOUNDED_STRIPE_SPAN;
         }
+        // Defensive twin of `validate` (callers that skip spec()/TpccGen
+        // still get a clear message, not a raw divide-by-zero).
+        assert!(
+            self.order_stripes > 0,
+            "order_stripes must be ≥ 1; see TpccConfig::validate"
+        );
         let per = self.order_capacity / self.order_stripes;
         assert!(per >= 1, "order_capacity must cover order_stripes");
         per
     }
 
+    /// Customers in `stripe`'s partition (global rows ≡ stripe mod
+    /// `order_stripes`); ≥ 1 for every valid config.
+    fn stripe_customers(&self, stripe: u64) -> u64 {
+        let c = self.customers();
+        if stripe >= c {
+            0
+        } else {
+            (c - 1 - stripe) / self.order_stripes + 1
+        }
+    }
+
+    /// Decompose a global customer row into `(warehouse, district,
+    /// customer-in-district)` — the inverse of the `customer` addressing.
+    /// Public so audits (e.g. a per-customer index sweep) can address
+    /// every customer without duplicating the layout arithmetic.
+    pub fn customer_coords(&self, global: u64) -> (u64, u64, u64) {
+        let per_wh = self.districts_per_warehouse * self.customers_per_district;
+        (
+            global / per_wh,
+            (global % per_wh) / self.customers_per_district,
+            global % self.customers_per_district,
+        )
+    }
+
     pub fn spec(&self) -> DatabaseSpec {
-        DatabaseSpec::new(vec![
+        self.assert_valid();
+        let base = DatabaseSpec::new(vec![
             TableDef {
                 rows: self.warehouses,
                 spare_rows: 0,
@@ -152,7 +291,17 @@ impl TpccConfig {
                 seed: |_| 0, // delivered-order count per stripe
                 growable: false,
             },
-        ])
+        ]);
+        if !self.has_customer_index() {
+            return base;
+        }
+        // The customer→orders index: one posting-list row per customer
+        // (the index key is the global customer row), seeded empty.
+        base.with_index(IndexDef {
+            on_table: tables::ORDER,
+            keys: self.customers(),
+            max_entries: self.orders_per_customer,
+        })
     }
 }
 
@@ -179,12 +328,44 @@ fn delivery_cursor(stripe: u64) -> RecordId {
     RecordId::new(tables::DELIVERY, stripe)
 }
 
-/// Build a NewOrder transaction inserting order row `o_row`.
+/// Posting-list record of one customer's live orders (the index key is
+/// the global customer row).
+fn order_list(global_customer: u64) -> RecordId {
+    RecordId::new(tables::CUSTOMER_ORDERS, global_customer)
+}
+
+/// Build a NewOrder transaction inserting order row `o_row`. With the
+/// customer→orders index in the schema, the customer's posting list is a
+/// third read/write pair — the transactional index maintenance.
 pub fn new_order(cfg: &TpccConfig, w: u64, d: u64, c: u64, o_row: u64, lines: u32) -> Txn {
-    let mut t = Txn::new(
-        vec![district(cfg, w, d), customer(cfg, w, d, c)],
-        vec![district(cfg, w, d), order(o_row)],
-        Procedure::TpcC(TpcCProc::NewOrder { lines }),
+    let cust = customer(cfg, w, d, c);
+    let mut reads = vec![district(cfg, w, d), cust];
+    let mut writes = vec![district(cfg, w, d), order(o_row)];
+    if cfg.has_customer_index() {
+        reads.push(order_list(cust.row));
+        writes.push(order_list(cust.row));
+    }
+    let mut t = Txn::new(reads, writes, Procedure::TpcC(TpcCProc::NewOrder { lines }));
+    t.think_us = cfg.think_us;
+    t
+}
+
+/// Build a CustomerStatus transaction: read the customer, then
+/// secondary-index-scan their live orders (posting list + one point read
+/// per member order) with phantom protection on the index key. Layout per
+/// [`TpcCProc::CustomerStatus`]: reads = `[customer(c), order_list(c)]`,
+/// index_scans = `[{list: 1, table: order}]`, writes = `[]`.
+pub fn customer_status(cfg: &TpccConfig, w: u64, d: u64, c: u64) -> Txn {
+    assert!(
+        cfg.has_customer_index(),
+        "CustomerStatus needs the customer→orders index (disabled under unbounded_orders)"
+    );
+    let cust = customer(cfg, w, d, c);
+    let mut t = Txn::with_index_scans(
+        vec![cust, order_list(cust.row)],
+        vec![],
+        vec![IndexScan::new(1, tables::ORDER)],
+        Procedure::TpcC(TpcCProc::CustomerStatus),
     );
     t.think_us = cfg.think_us;
     t
@@ -204,14 +385,28 @@ pub fn payment(cfg: &TpccConfig, w: u64, d: u64, c: u64, amount: u64) -> Txn {
 
 /// Build a Delivery transaction for `stripe`, consuming `count` orders
 /// starting at ring position `first` (the stripe's oldest undelivered
-/// order). Reads = writes = `[cursor, order…]`, per the
-/// [`TpcCProc::Delivery`] layout.
-pub fn delivery(cfg: &TpccConfig, stripe: u64, first: u64, count: u64) -> Txn {
+/// order). `customers[i]` is the global customer row of the i-th consumed
+/// order — write sets are declared up front, so the posting lists the
+/// deletes must unmaintain are part of the declared shape (deduplicated;
+/// ignored when the schema has no index). Reads = writes =
+/// `[cursor, order…, list…]`, per the [`TpcCProc::Delivery`] layout.
+pub fn delivery(cfg: &TpccConfig, stripe: u64, first: u64, count: u64, customers: &[u64]) -> Txn {
     let per = cfg.orders_per_stripe();
     let base = stripe * per;
-    let mut rids = Vec::with_capacity(1 + count as usize);
+    let mut rids = Vec::with_capacity(1 + 2 * count as usize);
     rids.push(delivery_cursor(stripe));
     rids.extend((0..count).map(|i| order(base + (first + i) % per)));
+    if cfg.has_customer_index() {
+        assert_eq!(
+            customers.len() as u64,
+            count,
+            "one customer per consumed order (declared write sets)"
+        );
+        let mut lists = customers.to_vec();
+        lists.sort_unstable();
+        lists.dedup();
+        rids.extend(lists.into_iter().map(order_list));
+    }
     let mut t = Txn::new(rids.clone(), rids, Procedure::TpcC(TpcCProc::Delivery));
     t.think_us = cfg.think_us;
     t
@@ -264,14 +459,37 @@ pub struct TpccGen {
     /// Scan-heavy mode: half the mix becomes OrderHistory scans (the
     /// scan-throughput benchmark series; see [`scan_heavy`](Self::scan_heavy)).
     scan_heavy: bool,
+    /// Index-heavy mode: half the mix becomes CustomerStatus index scans
+    /// (the index-scan benchmark series; see [`index_heavy`](Self::index_heavy)).
+    index_heavy: bool,
+    /// Global customer row of each live order, oldest first (parallel to
+    /// ring positions `delivered..created`) — the declared-write-set
+    /// knowledge Delivery needs to name the posting lists it unmaintains.
+    /// Empty when the schema has no index.
+    pending_custs: VecDeque<u64>,
+    /// Live-order count per customer of this stripe's partition (ordinal
+    /// `o` is global row `stripe + o·order_stripes`): the generator-side
+    /// enforcement of the posting-list capacity. Empty without the index.
+    cust_live: Vec<u64>,
+    /// Customers in this stripe's partition.
+    partition: u64,
 }
 
 impl TpccGen {
     /// `stripe` must be below `cfg.order_stripes`; generators with distinct
-    /// stripes insert into disjoint order-row ranges.
+    /// stripes insert into disjoint order-row ranges (and, with the
+    /// customer→orders index, maintain disjoint customer partitions).
     pub fn new(cfg: TpccConfig, seed: u64, stripe: u64) -> Self {
+        cfg.validate()
+            .unwrap_or_else(|e| panic!("invalid TpccConfig: {e}"));
         assert!(stripe < cfg.order_stripes, "stripe beyond order_stripes");
         let stripe_base = stripe * cfg.orders_per_stripe();
+        let partition = cfg.stripe_customers(stripe);
+        let cust_live = if cfg.has_customer_index() {
+            vec![0u64; partition as usize]
+        } else {
+            Vec::new()
+        };
         Self {
             cfg,
             rng: FastRng::seed_from(seed),
@@ -280,6 +498,10 @@ impl TpccGen {
             created: 0,
             delivered: 0,
             scan_heavy: false,
+            index_heavy: false,
+            pending_custs: VecDeque::new(),
+            cust_live,
+            partition,
         }
     }
 
@@ -288,6 +510,20 @@ impl TpccGen {
     /// churn at both window edges to keep the phantom machinery honest.
     pub fn scan_heavy(mut self) -> Self {
         self.scan_heavy = true;
+        self.index_heavy = false;
+        self
+    }
+
+    /// Switch to the index-heavy mix: 40% NewOrder / 10% Delivery / 50%
+    /// CustomerStatus — the secondary-index scan path dominates, with
+    /// every NewOrder/Delivery churning the scanned posting lists.
+    pub fn index_heavy(mut self) -> Self {
+        assert!(
+            self.cfg.has_customer_index(),
+            "index-heavy mix needs the customer→orders index"
+        );
+        self.index_heavy = true;
+        self.scan_heavy = false;
         self
     }
 
@@ -322,9 +558,62 @@ impl TpccGen {
         let undelivered = self.created - self.delivered;
         debug_assert!(undelivered > 0);
         let count = self.cfg.delivery_batch.min(undelivered);
-        let t = delivery(&self.cfg, self.stripe, self.delivered, count);
+        let custs: Vec<u64> = if self.cfg.has_customer_index() {
+            let custs: Vec<u64> = self.pending_custs.drain(..count as usize).collect();
+            for &g in &custs {
+                let ord = (g - self.stripe) / self.cfg.order_stripes;
+                self.cust_live[ord as usize] -= 1;
+            }
+            custs
+        } else {
+            Vec::new()
+        };
+        let t = delivery(&self.cfg, self.stripe, self.delivered, count, &custs);
         self.delivered += count;
         t
+    }
+
+    /// Issue a NewOrder inserting at the stripe's ring head — or a
+    /// Delivery when the ring is full or (with the index) the chosen
+    /// customer's posting list is at capacity, so the stream frees slots
+    /// and list entries before growing again. `(w, d, c)` is used only
+    /// without the index; with it, the customer comes from this stripe's
+    /// partition so each posting list has a single maintaining generator.
+    fn next_new_order(&mut self, w: u64, d: u64, c: u64) -> Txn {
+        let per = self.cfg.orders_per_stripe();
+        if self.created - self.delivered == per {
+            // Stripe full: deliver instead, so the next NewOrder inserts
+            // into a genuinely recycled (absent) slot.
+            return self.next_delivery();
+        }
+        let (w, d, c) = if self.cfg.has_customer_index() {
+            let ord = self.rng.below(self.partition);
+            if self.cust_live[ord as usize] >= self.cfg.orders_per_customer {
+                // The customer's posting list is full: deliver instead
+                // (there is at least one live order to consume).
+                return self.next_delivery();
+            }
+            let g = self.stripe + ord * self.cfg.order_stripes;
+            self.cust_live[ord as usize] += 1;
+            self.pending_custs.push_back(g);
+            self.cfg.customer_coords(g)
+        } else {
+            (w, d, c)
+        };
+        let o_row = self.stripe_base + self.created % per;
+        self.created += 1;
+        let lines = 1 + self.rng.below(10) as u32;
+        new_order(&self.cfg, w, d, c, o_row, lines)
+    }
+
+    /// Index-scan a customer of this stripe's partition (the customers
+    /// whose posting lists this generator's NewOrders/Deliveries churn).
+    fn next_customer_status(&mut self) -> Txn {
+        debug_assert!(self.cfg.has_customer_index());
+        let ord = self.rng.below(self.partition);
+        let g = self.stripe + ord * self.cfg.order_stripes;
+        let (w, d, c) = self.cfg.customer_coords(g);
+        customer_status(&self.cfg, w, d, c)
     }
 
     /// Scan the stripe's oldest-live order window (its front edge races
@@ -347,40 +636,29 @@ impl TxnGen for TpccGen {
         let per = self.cfg.orders_per_stripe();
         if self.scan_heavy {
             return match self.rng.below(100) {
-                0..=39 => {
-                    if self.created - self.delivered == per {
-                        return self.next_delivery();
-                    }
-                    let o_row = self.stripe_base + self.created % per;
-                    self.created += 1;
-                    let lines = 1 + self.rng.below(10) as u32;
-                    new_order(&self.cfg, w, d, c, o_row, lines)
-                }
+                0..=39 => self.next_new_order(w, d, c),
                 40..=49 if self.created > self.delivered => self.next_delivery(),
                 _ => self.next_order_history(w, d, c),
             };
         }
+        if self.index_heavy {
+            return match self.rng.below(100) {
+                0..=39 => self.next_new_order(w, d, c),
+                40..=49 if self.created > self.delivered => self.next_delivery(),
+                _ => self.next_customer_status(),
+            };
+        }
         match self.rng.below(100) {
-            0..=42 => {
-                if self.created - self.delivered == per {
-                    // Stripe full: deliver instead, so the next NewOrder
-                    // inserts into a genuinely recycled (absent) slot.
-                    return self.next_delivery();
-                }
-                let o_row = self.stripe_base + self.created % per;
-                self.created += 1;
-                let lines = 1 + self.rng.below(10) as u32;
-                new_order(&self.cfg, w, d, c, o_row, lines)
-            }
-            43..=82 => payment(&self.cfg, w, d, c, 1 + self.rng.below(5_000)),
-            83..=87 => {
+            0..=42 => self.next_new_order(w, d, c),
+            43..=78 => payment(&self.cfg, w, d, c, 1 + self.rng.below(5_000)),
+            79..=83 => {
                 if self.created == self.delivered {
                     // Nothing to deliver yet; keep the mix flowing.
                     return payment(&self.cfg, w, d, c, 1 + self.rng.below(5_000));
                 }
                 self.next_delivery()
             }
-            88..=95 => {
+            84..=89 => {
                 // Probe a live order most of the time; 1-in-8 probes the
                 // next (not-yet-inserted) slot and 1-in-8 the most recently
                 // delivered one — usually absent (the read-after-delete
@@ -397,7 +675,16 @@ impl TxnGen for TpccGen {
                 };
                 order_status(&self.cfg, w, d, c, o_row)
             }
-            _ => self.next_order_history(w, d, c),
+            90..=93 => self.next_order_history(w, d, c),
+            _ => {
+                if self.cfg.has_customer_index() {
+                    self.next_customer_status()
+                } else {
+                    // Index-less schema (unbounded_orders): keep the slot
+                    // read-only with an extra history scan instead.
+                    self.next_order_history(w, d, c)
+                }
+            }
         }
     }
 }
@@ -415,6 +702,7 @@ mod tests {
             order_capacity: 64,
             order_stripes: 4,
             delivery_batch: 3,
+            orders_per_customer: 8,
             unbounded_orders: false,
             think_us: 0,
         }
@@ -423,25 +711,88 @@ mod tests {
     #[test]
     fn spec_shapes_match_schema() {
         let s = small().spec();
-        assert_eq!(s.tables.len(), 5);
+        assert_eq!(s.tables.len(), 6);
         assert_eq!(s.tables[tables::ORDER as usize].rows, 0);
         assert_eq!(s.tables[tables::ORDER as usize].capacity(), 64);
         assert_eq!(s.tables[tables::DISTRICT as usize].rows, 4);
         assert_eq!(s.tables[tables::CUSTOMER as usize].rows, 32);
         assert_eq!(s.tables[tables::DELIVERY as usize].rows, 4);
+        // The lowered customer→orders index: one posting list per customer,
+        // sized by orders_per_customer.
+        assert_eq!(s.indexes.len(), 1);
+        assert_eq!(s.indexes[0].1, tables::CUSTOMER_ORDERS);
+        assert_eq!(s.indexes[0].0.on_table, tables::ORDER);
+        let lists = &s.tables[tables::CUSTOMER_ORDERS as usize];
+        assert_eq!(lists.rows, 32, "one posting-list row per customer");
+        assert_eq!(lists.record_size, 8 + 8 * 8);
         assert_eq!(s.total_rows() + 64, s.total_capacity());
+    }
+
+    #[test]
+    fn validate_rejects_zero_stripes_with_a_clear_error() {
+        // Regression: this used to reach orders_per_stripe() and die with a
+        // raw divide-by-zero.
+        let cfg = TpccConfig {
+            order_stripes: 0,
+            ..small()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("order_stripes"), "{err}");
+        assert!(err.contains("divide"), "{err}");
+        // spec() surfaces the same message instead of a divide-by-zero.
+        let panic = match std::panic::catch_unwind(|| cfg.spec()) {
+            Err(e) => e,
+            Ok(_) => panic!("spec() must reject order_stripes = 0"),
+        };
+        let msg = panic.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("order_stripes"), "spec panic: {msg}");
+        // TpccGen::new is guarded identically.
+        assert!(std::panic::catch_unwind(|| TpccGen::new(cfg.clone(), 1, 0)).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_stranded_remainder_slots() {
+        // Regression: order_capacity % order_stripes != 0 used to silently
+        // strand the remainder (no stripe ring could reach those slots).
+        let cfg = TpccConfig {
+            order_capacity: 65, // 65 % 4 == 1 stranded slot
+            ..small()
+        };
+        let err = cfg.validate().unwrap_err();
+        assert!(err.contains("stranded"), "{err}");
+        assert!(err.contains("65"), "{err}");
+        // And a capacity below the stripe count is caught separately.
+        let cfg = TpccConfig {
+            order_capacity: 2,
+            ..small()
+        };
+        assert!(cfg.validate().unwrap_err().contains("cover"), "{cfg:?}");
+        // The defaults (and the unbounded configuration) stay valid.
+        assert!(TpccConfig::default().validate().is_ok());
+        assert!(TpccConfig {
+            unbounded_orders: true,
+            order_capacity: 65,
+            ..small()
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
     fn layouts_match_procedure_conventions() {
         let cfg = small();
         let t = new_order(&cfg, 1, 1, 3, 9, 4);
-        assert_eq!(t.reads.len(), 2);
-        assert_eq!(t.writes.len(), 2);
+        assert_eq!(t.reads.len(), 3);
+        assert_eq!(t.writes.len(), 3);
         assert_eq!(t.reads[0], t.writes[0], "district is the RMW");
         assert_eq!(t.writes[1], RecordId::new(tables::ORDER, 9));
         assert_eq!(t.reads[0].table, TableId(tables::DISTRICT));
         assert_eq!(t.reads[1].table, TableId(tables::CUSTOMER));
+        // Index maintenance: the customer's posting list is the third RMW
+        // pair, keyed by the global customer row (w=1, d=1, c=3 → 27).
+        let g = 27;
+        assert_eq!(t.reads[2], RecordId::new(tables::CUSTOMER_ORDERS, g));
+        assert_eq!(t.reads[2], t.writes[2], "posting list is an RMW");
 
         let t = payment(&cfg, 0, 1, 2, 50);
         assert_eq!(t.reads, t.writes);
@@ -451,12 +802,29 @@ mod tests {
         assert!(t.writes.is_empty());
         assert_eq!(t.reads[1], RecordId::new(tables::ORDER, 5));
 
-        let t = delivery(&cfg, 1, 15, 3); // wraps within stripe 1 (rows 16..32)
+        // Delivery of 3 orders belonging to customers 27, 5, 27: the order
+        // slots wrap the stripe-1 ring, and the posting lists are declared
+        // deduplicated and sorted after them.
+        let t = delivery(&cfg, 1, 15, 3, &[27, 5, 27]);
         assert_eq!(t.reads, t.writes);
+        assert_eq!(t.reads.len(), 1 + 3 + 2);
         assert_eq!(t.reads[0], RecordId::new(tables::DELIVERY, 1));
         assert_eq!(t.reads[1], RecordId::new(tables::ORDER, 16 + 15));
         assert_eq!(t.reads[2], RecordId::new(tables::ORDER, 16), "ring wrap");
         assert_eq!(t.reads[3], RecordId::new(tables::ORDER, 17));
+        assert_eq!(t.reads[4], RecordId::new(tables::CUSTOMER_ORDERS, 5));
+        assert_eq!(t.reads[5], RecordId::new(tables::CUSTOMER_ORDERS, 27));
+
+        // CustomerStatus: customer + posting list reads, one index scan
+        // over the order table, no writes.
+        let t = customer_status(&cfg, 1, 1, 3);
+        assert!(t.writes.is_empty());
+        assert_eq!(t.reads.len(), 2);
+        assert_eq!(t.reads[0], RecordId::new(tables::CUSTOMER, g));
+        assert_eq!(t.reads[1], RecordId::new(tables::CUSTOMER_ORDERS, g));
+        assert_eq!(t.index_scans.len(), 1);
+        assert_eq!(t.index_scans[0].list, 1);
+        assert_eq!(t.index_scans[0].table, TableId(tables::ORDER));
     }
 
     #[test]
@@ -484,9 +852,9 @@ mod tests {
     }
 
     #[test]
-    fn mix_covers_all_five_procedures() {
+    fn mix_covers_all_six_procedures() {
         let mut g = TpccGen::new(small(), 42, 0);
-        let mut counts = [0usize; 5];
+        let mut counts = [0usize; 6];
         for _ in 0..10_000 {
             match g.next_txn().proc {
                 Procedure::TpcC(TpcCProc::NewOrder { .. }) => counts[0] += 1,
@@ -494,17 +862,83 @@ mod tests {
                 Procedure::TpcC(TpcCProc::Delivery) => counts[2] += 1,
                 Procedure::TpcC(TpcCProc::OrderStatus) => counts[3] += 1,
                 Procedure::TpcC(TpcCProc::OrderHistory) => counts[4] += 1,
+                Procedure::TpcC(TpcCProc::CustomerStatus) => counts[5] += 1,
                 _ => panic!("non-TPC-C txn generated"),
             }
         }
-        assert!((3_500..4_800).contains(&counts[0]), "{counts:?}");
-        assert!((3_500..4_800).contains(&counts[1]), "{counts:?}");
-        assert!((300..1_500).contains(&counts[2]), "{counts:?}");
-        assert!((500..1_200).contains(&counts[3]), "{counts:?}");
+        assert!((3_200..4_600).contains(&counts[0]), "{counts:?}");
+        assert!((3_000..4_300).contains(&counts[1]), "{counts:?}");
+        assert!((300..1_800).contains(&counts[2]), "{counts:?}");
+        assert!((350..1_000).contains(&counts[3]), "{counts:?}");
         assert!((200..800).contains(&counts[4]), "{counts:?}");
+        assert!((350..1_000).contains(&counts[5]), "{counts:?}");
         // Deliveries consume in delivery_batch-sized bites, so the stream
         // stays net insert-positive but recycles constantly.
         assert!(g.orders_delivered() > 500, "mix must exercise deletes");
+    }
+
+    #[test]
+    fn generator_bounds_posting_lists_and_keeps_partitions_disjoint() {
+        use std::collections::HashMap;
+        let cfg = small(); // 8 partition customers per stripe, cap 8 each
+        for stripe in 0..4 {
+            let mut g = TpccGen::new(cfg.clone(), 100 + stripe, stripe);
+            // Exact replay of the stream: order row → owning customer.
+            let mut owner: HashMap<u64, u64> = HashMap::new();
+            let mut live: HashMap<u64, u64> = HashMap::new();
+            for _ in 0..2_000 {
+                let t = g.next_txn();
+                match t.proc {
+                    Procedure::TpcC(TpcCProc::NewOrder { .. }) => {
+                        // The maintained posting list belongs to this
+                        // stripe's customer partition.
+                        let list = t.writes[2];
+                        assert_eq!(list.table, TableId(tables::CUSTOMER_ORDERS));
+                        assert_eq!(
+                            list.row % cfg.order_stripes,
+                            stripe,
+                            "NewOrder customer escaped the stripe partition"
+                        );
+                        owner.insert(t.writes[1].row, list.row);
+                        let n = live.entry(list.row).or_insert(0);
+                        *n += 1;
+                        assert!(
+                            *n <= cfg.orders_per_customer,
+                            "customer {} exceeded its posting-list capacity",
+                            list.row
+                        );
+                    }
+                    Procedure::TpcC(TpcCProc::Delivery) => {
+                        // The declared lists are exactly the consumed
+                        // orders' customers, deduplicated.
+                        let mut want: Vec<u64> = t
+                            .reads
+                            .iter()
+                            .filter(|r| r.table == TableId(tables::ORDER))
+                            .map(|r| {
+                                let cust = owner.remove(&r.row).expect("undelivered order");
+                                *live.get_mut(&cust).unwrap() -= 1;
+                                cust
+                            })
+                            .collect();
+                        want.sort_unstable();
+                        want.dedup();
+                        let got: Vec<u64> = t
+                            .reads
+                            .iter()
+                            .filter(|r| r.table == TableId(tables::CUSTOMER_ORDERS))
+                            .map(|r| r.row)
+                            .collect();
+                        assert_eq!(got, want, "declared lists ≠ consumed customers");
+                    }
+                    _ => {}
+                }
+            }
+            assert!(
+                g.orders_delivered() > 0,
+                "stream must recycle under the per-customer cap"
+            );
+        }
     }
 
     #[test]

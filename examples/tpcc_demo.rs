@@ -27,6 +27,7 @@ fn main() {
         order_capacity: 1 << 13,
         order_stripes: 1,
         delivery_batch: 4,
+        orders_per_customer: 64,
         unbounded_orders: false,
         think_us: 0,
     };

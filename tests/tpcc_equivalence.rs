@@ -25,6 +25,7 @@ fn small_cfg() -> TpccConfig {
         order_capacity: 4096,
         order_stripes: 1, // single generator: no wrap within the test sizes
         delivery_batch: 4,
+        orders_per_customer: 64,
         unbounded_orders: false,
         think_us: 0,
     }
@@ -59,6 +60,22 @@ fn all_engines_match_serial_oracle_on_tpcc_mix() {
         "oracle inserts every order once and deletes every delivered one"
     );
 
+    // The stream itself interleaves CustomerStatus index scans whose
+    // fingerprints are compared transaction-for-transaction above; this
+    // final sweep additionally audits the **complete** customer→orders
+    // mapping: one index scan per customer, against the oracle's.
+    let index_audit: Vec<Txn> = (0..cfg.customers())
+        .map(|g| {
+            let (w, d, c) = cfg.customer_coords(g);
+            tpcc::customer_status(&cfg, w, d, c)
+        })
+        .collect();
+    let want_audit: Vec<ExecOutcome> = index_audit.iter().map(|t| oracle.apply(t)).collect();
+    assert!(
+        txns.iter().any(|t| !t.index_scans.is_empty()),
+        "mix must exercise secondary-index scans (CustomerStatus)"
+    );
+
     for kind in EngineKind::ALL {
         let engine = kind.build(&spec, 4);
         let outcomes = engine.run_stream(&txns);
@@ -82,6 +99,19 @@ fn all_engines_match_serial_oracle_on_tpcc_mix() {
             "{}: delivery cursor diverged",
             kind.name()
         );
+        // Index audit: every customer's index scan reproduces the oracle's
+        // customer→orders mapping (members, payloads and cardinality are
+        // all fingerprint-visible).
+        let got_audit = engine.run_stream(&index_audit);
+        for (g, (got, want)) in got_audit.iter().zip(&want_audit).enumerate() {
+            assert!(got.committed);
+            assert_eq!(
+                got.fingerprint,
+                want.fingerprint,
+                "{}: customer {g}'s index scan diverged from the oracle mapping",
+                kind.name()
+            );
+        }
         engine.shutdown();
     }
 }
@@ -178,9 +208,10 @@ fn delivery_deletes_then_slot_reuse_round_trips_on_every_engine() {
     // (present). Scripted, so all five engines replay the identical log.
     let cfg = small_cfg();
     let spec = cfg.spec();
+    // Customer (w=1,d=1,c=3) is global row 51: the first order's index key.
     let txns = vec![
         tpcc::new_order(&cfg, 1, 1, 3, 7, 5),
-        tpcc::delivery(&cfg, 0, 7, 1),
+        tpcc::delivery(&cfg, 0, 7, 1, &[51]),
         tpcc::order_status(&cfg, 1, 1, 3, 7),
         tpcc::new_order(&cfg, 0, 0, 1, 7, 2),
         tpcc::order_status(&cfg, 1, 1, 3, 7),
@@ -245,7 +276,7 @@ fn order_history_scan_round_trips_on_every_engine() {
         history(),
         tpcc::new_order(&cfg, 0, 0, 1, 9, 2),
         history(),
-        tpcc::delivery(&cfg, 0, 7, 1),
+        tpcc::delivery(&cfg, 0, 7, 1, &[51]), // row 7 belongs to customer 51
         history(),
     ];
     let mut oracle = SerialOracle::new(&spec);
@@ -268,6 +299,149 @@ fn order_history_scan_round_trips_on_every_engine() {
                 (got.committed, got.fingerprint),
                 (want.committed, want.fingerprint),
                 "{} txn {i}",
+                kind.name()
+            );
+        }
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn customer_index_scan_round_trips_on_every_engine() {
+    // The scripted secondary-index lifecycle: scan an empty customer, grow
+    // their posting set with NewOrders, insert an order for a *different*
+    // customer (index selectivity: the scan must not see it), deliver one
+    // order (delete + unindex), re-scanning after each step. Every engine
+    // must reproduce the serial oracle's customer→orders mapping — and
+    // fingerprint — at each position of the log.
+    let cfg = small_cfg();
+    let spec = cfg.spec();
+    let status = || tpcc::customer_status(&cfg, 1, 1, 3); // customer 51
+    let txns = vec![
+        status(),                             // 0: {}
+        tpcc::new_order(&cfg, 1, 1, 3, 7, 5), // cust 51 gains row 7
+        status(),                             // 2: {7}
+        tpcc::new_order(&cfg, 1, 1, 3, 9, 2), // cust 51 gains row 9
+        status(),                             // 4: {7, 9}
+        tpcc::new_order(&cfg, 0, 0, 1, 8, 1), // cust 1 gains row 8
+        status(),                             // 6: still {7, 9} — selective
+        tpcc::customer_status(&cfg, 0, 0, 1), // 7: cust 1 sees {8}
+        tpcc::delivery(&cfg, 0, 7, 1, &[51]), // row 7 delivered
+        status(),                             // 9: {9}
+    ];
+    let mut oracle = SerialOracle::new(&spec);
+    let want: Vec<ExecOutcome> = txns.iter().map(|t| oracle.apply(t)).collect();
+    assert!(want.iter().all(|o| o.committed));
+    // Oracle sanity: the four distinct memberships of customer 51 plus
+    // customer 1's scan are five distinct fingerprints; the off-customer
+    // insert changes nothing for customer 51.
+    let fps = [0, 2, 4, 9].map(|i| want[i].fingerprint);
+    for i in 0..4 {
+        for j in i + 1..4 {
+            assert_ne!(fps[i], fps[j], "index memberships must be distinct");
+        }
+    }
+    assert_eq!(
+        want[4].fingerprint, want[6].fingerprint,
+        "another customer's insert must be invisible to this index key"
+    );
+
+    for kind in EngineKind::ALL {
+        let engine = kind.build(&spec, 4);
+        let outcomes = engine.run_stream(&txns);
+        for (i, (got, want)) in outcomes.iter().zip(&want).enumerate() {
+            assert_eq!(
+                (got.committed, got.fingerprint),
+                (want.committed, want.fingerprint),
+                "{} txn {i}",
+                kind.name()
+            );
+        }
+        engine.quiesce();
+        // Posting-list counts are part of the final state: customer 51
+        // holds one live order, customer 1 holds one.
+        assert_eq!(
+            engine.read_u64(RecordId::new(tables::CUSTOMER_ORDERS, 51)),
+            Some(1),
+            "{}: customer 51 posting count",
+            kind.name()
+        );
+        assert_eq!(
+            engine.read_u64(RecordId::new(tables::CUSTOMER_ORDERS, 1)),
+            Some(1),
+            "{}: customer 1 posting count",
+            kind.name()
+        );
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn index_key_phantom_hammer_on_every_engine() {
+    // The index-key concurrency audit: a writer churns one customer's
+    // posting set (B NewOrders, then one Delivery consuming all B) while
+    // CustomerStatus scanners sweep the same key from other sessions. The
+    // only serial states are prefixes of the batch, so any other observed
+    // fingerprint is a phantom on the index key; the hammer panics on it.
+    use bohm_suite::testkit::index_phantom_hammer;
+    let cfg = TpccConfig {
+        warehouses: 1,
+        districts_per_warehouse: 1,
+        customers_per_district: 4,
+        order_capacity: 4, // one stripe ring == one delivery batch
+        order_stripes: 1,
+        delivery_batch: 4,
+        orders_per_customer: 8,
+        unbounded_orders: false,
+        think_us: 0,
+    };
+    let spec = cfg.spec();
+    let rounds = bohm_common::stress_iters(150);
+    for kind in EngineKind::ALL {
+        let engine = kind.build(&spec, 4);
+        index_phantom_hammer(&engine, &cfg, rounds);
+        engine.quiesce();
+        // The final Delivery leaves the customer with no live orders and
+        // an empty posting list.
+        assert_eq!(
+            engine.read_u64(RecordId::new(tables::CUSTOMER_ORDERS, 0)),
+            Some(0),
+            "{}: posting list must end empty",
+            kind.name()
+        );
+        for row in 0..4 {
+            assert_eq!(
+                engine.read_u64(RecordId::new(tables::ORDER, row)),
+                None,
+                "{}: order row {row} must end absent",
+                kind.name()
+            );
+        }
+        engine.shutdown();
+    }
+}
+
+#[test]
+fn two_range_scan_phantom_hammer_on_every_engine() {
+    // The multi-range mode of the phantom hammer: each scan transaction
+    // declares the churned window as TWO adjacent ranges, so both ranges
+    // must observe the same serial point — a transaction seeing the window
+    // materialized through one range and dissolved through the other
+    // fingerprints as a partial count or gap and panics.
+    use bohm_suite::testkit::phantom_hammer_ranges;
+    let cfg = small_cfg();
+    let spec = cfg.spec();
+    let guard = RecordId::new(tables::CUSTOMER, 0); // seeded 100_000 ≥ 0
+    let rounds = bohm_common::stress_iters(150);
+    for kind in EngineKind::ALL {
+        let engine = kind.build(&spec, 4);
+        phantom_hammer_ranges(&engine, guard, tables::ORDER, 8, 6, rounds, 2);
+        engine.quiesce();
+        for row in 8..14 {
+            assert_eq!(
+                engine.read_u64(RecordId::new(tables::ORDER, row)),
+                None,
+                "{}: window row {row} must end absent",
                 kind.name()
             );
         }

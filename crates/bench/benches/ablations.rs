@@ -57,10 +57,7 @@ fn main() {
             cfg.annotate_reads = annotate;
             let (st, _) = drive(&ycsb, cfg, YcsbKind::Rmw2Read8, 7000, p.secs);
             eprintln!("annotation={label}: {:.0} txns/s", st.throughput());
-            series.push(Series {
-                label: label.into(),
-                points: vec![(0.0, st.throughput())],
-            });
+            series.push(Series::new(label, vec![(0.0, st.throughput())]));
         }
         print_figure(
             "Ablation 1: read-set annotation (YCSB 2RMW-8R, theta=0.9)",
@@ -88,10 +85,7 @@ fn main() {
         print_figure(
             "Ablation 2: sequencer batch size (YCSB 10RMW, theta=0.9)",
             "batch_size",
-            &[Series {
-                label: "Bohm".into(),
-                points,
-            }],
+            &[Series::new("Bohm", points)],
         );
     }
 
@@ -107,10 +101,7 @@ fn main() {
                 st.throughput(),
                 retired
             );
-            series.push(Series {
-                label: label.into(),
-                points: vec![(0.0, st.throughput())],
-            });
+            series.push(Series::new(label, vec![(0.0, st.throughput())]));
         }
         print_figure(
             "Ablation 3: Condition-3 GC (YCSB 10RMW, theta=0.9)",
@@ -138,10 +129,7 @@ fn main() {
         print_figure(
             &format!("Ablation 4: CC/exec split at {total} total threads (YCSB 10RMW)"),
             "cc_threads",
-            &[Series {
-                label: "Bohm".into(),
-                points,
-            }],
+            &[Series::new("Bohm", points)],
         );
     }
 }

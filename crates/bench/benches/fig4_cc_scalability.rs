@@ -60,10 +60,7 @@ fn main() {
                 st.access_rate() / 1e6
             );
         }
-        series.push(Series {
-            label: format!("CC={cc}"),
-            points,
-        });
+        series.push(Series::new(format!("CC={cc}"), points));
     }
     print_figure(
         "Figure 4: CC/execution module interaction (10RMW uniform)",

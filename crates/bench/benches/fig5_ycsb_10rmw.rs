@@ -41,10 +41,7 @@ fn main() {
                     st.abort_rate() * 100.0
                 );
             }
-            series.push(Series {
-                label: kind.name().into(),
-                points,
-            });
+            series.push(Series::new(kind.name(), points));
         }
         print_figure(
             &format!("Figure 5 ({name}): YCSB 10RMW"),

@@ -42,10 +42,7 @@ fn main() {
                     st.abort_rate() * 100.0
                 );
             }
-            series.push(Series {
-                label: kind.name().into(),
-                points,
-            });
+            series.push(Series::new(kind.name(), points));
         }
         print_figure(
             &format!("Figure 6 ({name}): YCSB 2RMW-8R"),

@@ -38,10 +38,7 @@ fn main() {
             points.push((theta, st.throughput()));
             eprintln!("{} θ={theta}: {:.0} txns/s", kind.name(), st.throughput());
         }
-        series.push(Series {
-            label: kind.name().into(),
-            points,
-        });
+        series.push(Series::new(kind.name(), points));
     }
     print_figure(
         &format!("Figure 7: YCSB 2RMW-8R vs contention ({threads} threads)"),

@@ -51,10 +51,7 @@ fn main() {
                 st.throughput()
             );
         }
-        series.push(Series {
-            label: kind.name().into(),
-            points,
-        });
+        series.push(Series::new(kind.name(), points));
     }
     print_figure(
         &format!("Figure 8: long read-only transaction mix ({threads} threads)"),

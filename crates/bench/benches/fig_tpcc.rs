@@ -39,7 +39,25 @@ fn config(p: &Params, warehouses: u64) -> TpccConfig {
     }
 }
 
+/// Median of a non-empty sample (midpoint average for even counts).
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
 /// Sweep every engine over the thread counts for one figure.
+///
+/// This figure feeds the CI perf gate, so each point is the **median of
+/// `p.runs` measurements after one discarded warmup run** — the warmup pays
+/// the cold-cache/page-fault cost that made smoke-mode first iterations
+/// land systematically low — and the per-point dispersion
+/// `(max − min) / median` rides along in the artifact so the gate can
+/// scale its regression threshold to the host's actual noise.
 fn engine_sweep(
     p: &Params,
     cfg: &TpccConfig,
@@ -50,22 +68,36 @@ fn engine_sweep(
     let mut series = Vec::new();
     for kind in EngineKind::ALL {
         let mut points = Vec::new();
+        let mut spread = Vec::new();
         for &t in &p.thread_sweep {
-            let cfg2 = cfg.clone();
-            let st = measure(kind, &spec, t, p.secs, &move |i| {
-                Box::new(mk_gen(cfg2.clone(), i))
-            });
-            points.push((t as f64, st.throughput()));
-            eprintln!(
-                "{} {tag} t={t}: {:.0} txns/s (abort rate {:.1}%)",
-                kind.name(),
-                st.throughput(),
-                st.abort_rate() * 100.0
-            );
+            let mut samples = Vec::with_capacity(p.runs);
+            for run in 0..=p.runs {
+                let cfg2 = cfg.clone();
+                let st = measure(kind, &spec, t, p.secs, &move |i| {
+                    Box::new(mk_gen(cfg2.clone(), i))
+                });
+                if run == 0 {
+                    continue; // cold run: discard
+                }
+                samples.push(st.throughput());
+                eprintln!(
+                    "{} {tag} t={t} run={run}/{}: {:.0} txns/s (abort rate {:.1}%)",
+                    kind.name(),
+                    p.runs,
+                    st.throughput(),
+                    st.abort_rate() * 100.0
+                );
+            }
+            let med = median(&mut samples);
+            let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+            points.push((t as f64, med));
+            spread.push(if med > 0.0 { (hi - lo) / med } else { 0.0 });
         }
         series.push(Series {
             label: kind.name().into(),
             points,
+            runs: p.runs,
+            spread,
         });
     }
     series

@@ -27,6 +27,10 @@ pub struct Params {
     pub thread_sweep: Vec<usize>,
     /// Max worker threads for single-point experiments (paper: 40).
     pub max_threads: usize,
+    /// Measured repetitions per data point for gated figures (fig_tpcc):
+    /// each point is the median of `runs` measurements taken after one
+    /// discarded cold run.
+    pub runs: usize,
 }
 
 impl Params {
@@ -89,6 +93,7 @@ impl Params {
             }),
             thread_sweep,
             max_threads,
+            runs: if full { 5 } else { 3 },
         }
     }
 }
@@ -109,6 +114,7 @@ mod tests {
             secs: Duration::from_millis(600),
             thread_sweep: vec![2, 4, 8],
             max_threads: 8,
+            runs: 3,
         };
         assert!(p.thread_sweep.iter().all(|&t| t <= p.max_threads));
     }

@@ -3,8 +3,28 @@
 /// A result series: one engine line of a figure.
 pub struct Series {
     pub label: String,
-    /// `(x, throughput txns/sec)` points.
+    /// `(x, throughput txns/sec)` points — the per-point median when
+    /// `runs > 1`.
     pub points: Vec<(f64, f64)>,
+    /// Measured repetitions behind each point (discarded warmup runs not
+    /// counted). `1` for single-shot figures.
+    pub runs: usize,
+    /// Per-point relative dispersion, `(max − min) / median` over the
+    /// repetitions; empty for single-shot figures. Downstream gating scales
+    /// its regression threshold by this, so noisy hosts don't fail CI.
+    pub spread: Vec<f64>,
+}
+
+impl Series {
+    /// A single-shot series: one measurement per point, no dispersion data.
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Self {
+            label: label.into(),
+            points,
+            runs: 1,
+            spread: Vec::new(),
+        }
+    }
 }
 
 /// Print a figure's series as an aligned table plus machine-readable CSV.
@@ -56,7 +76,11 @@ pub fn print_figure(title: &str, x_label: &str, series: &[Series]) {
 /// CI uploads the file so every run seeds the performance trajectory; the
 /// schema is deliberately tiny and hand-rolled (no serde in the hermetic
 /// build): `{"figures": [{"title", "x_label", "series": [{"label",
-/// "points": [[x, txns_per_sec], …]}]}]}`.
+/// "points": [[x, txns_per_sec], …], "runs": N,
+/// "spread": [rel_dispersion, …]}]}]}`. `runs`/`spread` carry the
+/// repetition count and per-point `(max−min)/median` of median-of-N
+/// figures; single-shot figures emit `"runs":1,"spread":[]`. Consumers
+/// reading only `points` are unaffected.
 pub fn write_bench_json(figures: &[(String, Vec<Series>)], x_label: &str) {
     let Ok(path) = std::env::var("BOHM_BENCH_JSON") else {
         return;
@@ -95,6 +119,13 @@ pub fn write_bench_json_to(
                     out.push(',');
                 }
                 out.push_str(&format!("[{x},{y:.1}]"));
+            }
+            out.push_str(&format!("],\"runs\":{},\"spread\":[", s.runs));
+            for (pi, sp) in s.spread.iter().enumerate() {
+                if pi > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{sp:.4}"));
             }
             out.push_str("]}");
         }
@@ -139,10 +170,7 @@ mod tests {
             &path,
             &[(
                 "High \"Contention\"".into(),
-                vec![Series {
-                    label: "Bohm".into(),
-                    points: vec![(2.0, 1000.5), (4.0, 2000.0)],
-                }],
+                vec![Series::new("Bohm", vec![(2.0, 1000.5), (4.0, 2000.0)])],
             )],
             "threads",
         );
@@ -150,6 +178,33 @@ mod tests {
         assert!(got.contains("\"x_label\":\"threads\""), "{got}");
         assert!(got.contains("[2,1000.5]"), "{got}");
         assert!(got.contains("High \\\"Contention\\\""), "escaping: {got}");
+        assert!(
+            got.contains("\"runs\":1,\"spread\":[]"),
+            "single-shot dispersion fields: {got}"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bench_json_carries_dispersion_of_median_series() {
+        let dir = std::env::temp_dir().join(format!("bohm-bench-spread-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_spread.json");
+        write_bench_json_to(
+            &path,
+            &[(
+                "Fig".into(),
+                vec![Series {
+                    label: "Bohm".into(),
+                    points: vec![(2.0, 1000.0)],
+                    runs: 3,
+                    spread: vec![0.0375],
+                }],
+            )],
+            "threads",
+        );
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert!(got.contains("\"runs\":3,\"spread\":[0.0375]"), "{got}");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -158,10 +213,7 @@ mod tests {
         print_figure(
             "Test",
             "threads",
-            &[Series {
-                label: "X".into(),
-                points: vec![(1.0, 10.0), (2.0, 20.0)],
-            }],
+            &[Series::new("X", vec![(1.0, 10.0), (2.0, 20.0)])],
         );
     }
 }

@@ -17,6 +17,7 @@
 //! `Txn` values flow into every engine.
 
 pub mod access;
+pub mod arena;
 pub mod engine;
 pub mod index;
 pub mod procedures;
@@ -28,8 +29,9 @@ pub mod value;
 pub mod zipf;
 
 pub use access::{AbortReason, Access};
+pub use arena::{ASlice, Arena, ArenaPool, SetBuf};
 pub use procedures::{
-    execute_procedure, range_audit_fingerprint, Procedure, SmallBankProc, TpcCProc,
+    execute_procedure, range_audit_fingerprint, ExecScratch, Procedure, SmallBankProc, TpcCProc,
     ABSENT_FINGERPRINT, SCAN_POISON_GAP, SCAN_POISON_VALUE,
 };
 pub use txn::{IndexScan, ScanRange, Txn};

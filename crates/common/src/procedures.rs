@@ -200,12 +200,36 @@ pub enum Procedure {
     GuardedDelete { min: u64 },
 }
 
+/// Reusable per-worker execution scratch: the byte workhorse plus every
+/// buffer any procedure used to allocate per call (the RMW position indices
+/// and the Delivery removal list). One `ExecScratch` lives in each engine
+/// worker / exec thread and is reused across transactions, so the procedure
+/// layer performs **zero** heap allocation per call in steady state — even
+/// when a set overflows the stack-inline fast paths.
+#[derive(Default)]
+pub struct ExecScratch {
+    /// Record-image workhorse buffer (reads copied in, writes staged out).
+    pub bytes: Vec<u8>,
+    /// RMW read-set position index (heap fallback of `sorted_positions`).
+    idx_r: Vec<u32>,
+    /// RMW write-set position index (heap fallback of `sorted_positions`).
+    idx_w: Vec<u32>,
+    /// Delivery's (customer key, order row) removal list (heap fallback).
+    removals: Vec<(u64, u64)>,
+}
+
+impl ExecScratch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Execute `proc` against `access`, interpreting `reads`/`writes`/`scans`
 /// as the declared sets of the surrounding transaction.
 ///
-/// `scratch` is a caller-owned buffer reused across transactions (the
-/// "workhorse collection" pattern) so that 1,000-byte YCSB record rewrites
-/// do not allocate per operation.
+/// `scratch` is a caller-owned buffer bundle reused across transactions
+/// (the "workhorse collection" pattern) so that 1,000-byte YCSB record
+/// rewrites — and every overflow path — do not allocate per operation.
 ///
 /// Returns `Ok(fingerprint)` on commit intent — a value derived from the
 /// reads, which equivalence tests use to compare engines — or the abort
@@ -216,7 +240,7 @@ pub fn execute_procedure(
     writes: &[crate::RecordId],
     scans: &[crate::ScanRange],
     access: &mut dyn Access,
-    scratch: &mut Vec<u8>,
+    scratch: &mut ExecScratch,
 ) -> Result<u64, AbortReason> {
     match proc {
         Procedure::ReadOnly => {
@@ -232,12 +256,13 @@ pub fn execute_procedure(
             read_modify_write(*delta, reads, writes, access, scratch)
         }
         Procedure::BlindWrite { value: v } => {
+            let bytes = &mut scratch.bytes;
             for w in 0..writes.len() {
                 let len = access.write_len(w);
-                scratch.clear();
-                scratch.extend_from_slice(&v.to_le_bytes());
-                scratch.resize(len, 0);
-                access.write(w, scratch)?;
+                bytes.clear();
+                bytes.extend_from_slice(&v.to_le_bytes());
+                bytes.resize(len, 0);
+                access.write(w, bytes)?;
             }
             Ok(*v)
         }
@@ -278,12 +303,13 @@ pub fn execute_procedure(
             })
         }
         Procedure::InsertKeyed { base } => {
+            let bytes = &mut scratch.bytes;
             for (w, rid) in writes.iter().enumerate() {
                 let len = access.write_len(w);
-                scratch.clear();
-                scratch.extend_from_slice(&base.wrapping_add(rid.row).to_le_bytes());
-                scratch.resize(len, 0);
-                access.write(w, scratch)?;
+                bytes.clear();
+                bytes.extend_from_slice(&base.wrapping_add(rid.row).to_le_bytes());
+                bytes.resize(len, 0);
+                access.write(w, bytes)?;
             }
             Ok(*base)
         }
@@ -313,8 +339,16 @@ fn read_modify_write(
     reads: &[crate::RecordId],
     writes: &[crate::RecordId],
     access: &mut dyn Access,
-    scratch: &mut Vec<u8>,
+    scratch: &mut ExecScratch,
 ) -> Result<u64, AbortReason> {
+    // Split borrows: the position indices stay borrowed across the byte
+    // workhorse's uses below.
+    let ExecScratch {
+        bytes: scratch,
+        idx_r,
+        idx_w,
+        ..
+    } = scratch;
     let mut acc = 0u64;
     let blind = |access: &mut dyn Access, w: usize, scratch: &mut Vec<u8>| {
         // Blind write: full-size record with the delta prefix.
@@ -348,14 +382,13 @@ fn read_modify_write(
     }
     // General path: sort positional indices by (rid, position) once, so
     // membership and first-occurrence lookups are binary searches. Small
-    // sets (all paper workloads) stay on stack buffers.
+    // sets (all paper workloads) stay on stack buffers; bigger ones land in
+    // the reusable scratch indices.
     const INLINE: usize = 64;
     let mut rbuf = [0u32; INLINE];
     let mut wbuf = [0u32; INLINE];
-    let mut rheap = Vec::new();
-    let mut wheap = Vec::new();
-    let ridx = sorted_positions(reads, &mut rbuf, &mut rheap);
-    let widx = sorted_positions(writes, &mut wbuf, &mut wheap);
+    let ridx = sorted_positions(reads, &mut rbuf, idx_r);
+    let widx = sorted_positions(writes, &mut wbuf, idx_w);
     // Pass 1: pure reads (read-set entries that are not RMW targets).
     for (i, rid) in reads.iter().enumerate() {
         if first_position(widx, writes, rid).is_none() {
@@ -375,7 +408,8 @@ fn read_modify_write(
 }
 
 /// Positions `0..set.len()` sorted by `(set[i], i)`; uses `buf` when the
-/// set fits, else allocates into `heap`.
+/// set fits, else the reusable `heap` buffer (no allocation once its
+/// capacity has grown to the workload's set sizes).
 fn sorted_positions<'a>(
     set: &[crate::RecordId],
     buf: &'a mut [u32],
@@ -388,7 +422,8 @@ fn sorted_positions<'a>(
         }
         idx
     } else {
-        *heap = (0..set.len() as u32).collect();
+        heap.clear();
+        heap.extend(0..set.len() as u32);
         heap
     };
     // Stable tie order by position: first occurrence of each rid leads.
@@ -422,8 +457,9 @@ fn write_u64(
 fn small_bank(
     proc: SmallBankProc,
     access: &mut dyn Access,
-    scratch: &mut Vec<u8>,
+    scratch: &mut ExecScratch,
 ) -> Result<u64, AbortReason> {
+    let scratch = &mut scratch.bytes;
     match proc {
         SmallBankProc::Balance => {
             let s = access.read_u64(0)?;
@@ -477,8 +513,13 @@ fn tpcc(
     reads: &[crate::RecordId],
     writes: &[crate::RecordId],
     access: &mut dyn Access,
-    scratch: &mut Vec<u8>,
+    scratch: &mut ExecScratch,
 ) -> Result<u64, AbortReason> {
+    let ExecScratch {
+        bytes: scratch,
+        removals,
+        ..
+    } = scratch;
     match proc {
         TpcCProc::NewOrder { lines } => {
             // Bump the district's order counter (an RMW serialized across
@@ -573,15 +614,16 @@ fn tpcc(
             let maintain = orders_end < n;
             // (customer key, order row) of each consumed order, recorded so
             // the posting lists can be updated once each after the deletes.
-            // Stack storage for the common delivery-batch sizes; the heap
-            // fallback keeps the hot path allocation-free (the same pattern
-            // as the RMW position buffers above).
+            // Stack storage for the common delivery-batch sizes; the
+            // reusable scratch fallback keeps even oversized batches
+            // allocation-free in steady state (the same pattern as the RMW
+            // position buffers above).
             const INLINE: usize = 32;
             let mut rbuf = [(0u64, 0u64); INLINE];
-            let mut rheap: Vec<(u64, u64)> = Vec::new();
             let removals: &mut [(u64, u64)] = if maintain && orders_end - 1 > INLINE {
-                rheap.resize(orders_end - 1, (0, 0));
-                &mut rheap
+                removals.clear();
+                removals.resize(orders_end - 1, (0, 0));
+                removals
             } else {
                 &mut rbuf
             };
@@ -755,7 +797,7 @@ mod tests {
         reads: &[RecordId],
         writes: &[RecordId],
         access: &mut dyn Access,
-        scratch: &mut Vec<u8>,
+        scratch: &mut ExecScratch,
     ) -> Result<u64, AbortReason> {
         execute_procedure(proc, reads, writes, &[], access, scratch)
     }
@@ -765,7 +807,7 @@ mod tests {
         let reads = vec![rid(1)];
         let writes = vec![rid(1)];
         let mut a = MemAccess::new(vec![41], 1, 16);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         exec_no_scans(
             &Procedure::ReadModifyWrite { delta: 1 },
             &reads,
@@ -784,7 +826,7 @@ mod tests {
         let reads = vec![];
         let writes = vec![rid(9)];
         let mut a = MemAccess::new(vec![], 1, 8);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         exec_no_scans(
             &Procedure::ReadModifyWrite { delta: 7 },
             &reads,
@@ -800,7 +842,7 @@ mod tests {
     fn read_only_folds_all_reads() {
         let reads = vec![rid(1), rid(2)];
         let mut a = MemAccess::new(vec![10, 20], 0, 8);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let f1 = exec_no_scans(&Procedure::ReadOnly, &reads, &[], &mut a, &mut scratch).unwrap();
         let mut b = MemAccess::new(vec![10, 21], 0, 8);
         let f2 = exec_no_scans(&Procedure::ReadOnly, &reads, &[], &mut b, &mut scratch).unwrap();
@@ -811,7 +853,7 @@ mod tests {
     fn blind_write_touches_every_write_slot() {
         let writes = vec![rid(1), rid(2), rid(3)];
         let mut a = MemAccess::new(vec![], 3, 8);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         exec_no_scans(
             &Procedure::BlindWrite { value: 5 },
             &[],
@@ -889,7 +931,7 @@ mod tests {
                     rng
                 })
                 .collect();
-            let mut scratch = Vec::new();
+            let mut scratch = ExecScratch::new();
             let mut a = MemAccess::new(vals.clone(), writes.len(), 16);
             let got = exec_no_scans(
                 &Procedure::ReadModifyWrite { delta: 3 },
@@ -900,7 +942,7 @@ mod tests {
             )
             .unwrap();
             let mut b = MemAccess::new(vals, writes.len(), 16);
-            let want = rmw_reference(3, &reads, &writes, &mut b, &mut scratch).unwrap();
+            let want = rmw_reference(3, &reads, &writes, &mut b, &mut scratch.bytes).unwrap();
             assert_eq!(got, want, "fingerprint diverged on {rkeys:?}/{wkeys:?}");
             assert_eq!(
                 a.written, b.written,
@@ -915,7 +957,7 @@ mod tests {
         let reads = vec![rid(1), rid(2)];
         let writes = vec![rid(1), rid(9)];
         let mut a = MemAccess::new(vec![41, 7], 2, 16);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let fp = exec_no_scans(
             &Procedure::TpcC(TpcCProc::NewOrder { lines: 5 }),
             &reads,
@@ -939,7 +981,7 @@ mod tests {
         let reads = vec![rid(1), rid(2), rid(3)];
         let writes = reads.clone();
         let mut a = MemAccess::new(vec![100, 200, 300], 3, 8);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         exec_no_scans(
             &Procedure::TpcC(TpcCProc::Payment { amount: 25 }),
             &reads,
@@ -956,7 +998,7 @@ mod tests {
     #[test]
     fn tpcc_order_status_distinguishes_absent_orders() {
         let reads = vec![rid(2), rid(9)];
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let mut present = MemAccess::new(vec![7, 1234], 0, 8);
         let fp_present = exec_no_scans(
             &Procedure::TpcC(TpcCProc::OrderStatus),
@@ -987,7 +1029,7 @@ mod tests {
         // reads = writes = [cursor, order_a (present), order_b (absent)].
         let rids = vec![rid(0), rid(10), rid(11)];
         let mut a = MemAccess::new(vec![3, 777], 3, 16).with_absent(2);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let fp = exec_no_scans(
             &Procedure::TpcC(TpcCProc::Delivery),
             &rids,
@@ -1011,7 +1053,7 @@ mod tests {
     #[test]
     fn order_history_folds_rows_payloads_and_count() {
         let reads = vec![rid(2)];
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let mut a =
             MemAccess::new(vec![7], 0, 8).with_scan_rows(vec![(10, Some(100)), (12, Some(200))]);
         let fp = exec_no_scans(
@@ -1047,7 +1089,7 @@ mod tests {
     #[test]
     fn customer_status_folds_members_and_count() {
         let reads = vec![rid(2), rid(3)]; // [customer, posting list]
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let mut a = MemAccess::new(vec![7, 0], 0, 8)
             .with_index_rows(vec![(10, Some(100)), (12, Some(200))]);
         let fp = exec_no_scans(
@@ -1099,7 +1141,7 @@ mod tests {
         // 24-byte records: room for the customer row id at offset 8, and a
         // posting-list capacity of 2.
         let mut a = MemAccess::new(vec![41, 7, 0], 3, 24);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let fp = exec_no_scans(
             &Procedure::TpcC(TpcCProc::NewOrder { lines: 5 }),
             &reads,
@@ -1146,7 +1188,7 @@ mod tests {
         assert!(crate::index::posting_insert(&mut list, 10));
         assert!(crate::index::posting_insert(&mut list, 99));
         a.read_vals.push(Some(list));
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let fp = exec_no_scans(
             &Procedure::TpcC(TpcCProc::Delivery),
             &rids,
@@ -1176,7 +1218,7 @@ mod tests {
 
     #[test]
     fn range_audit_classifies_scan_outcomes() {
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let audit = Procedure::RangeAudit { expect_base: 1_000 };
         let window = [crate::txn::ScanRange::new(0, 4, 7)];
         let mut run = |a: &mut MemAccess| {
@@ -1240,7 +1282,7 @@ mod tests {
         // consistent split window fingerprints as the whole window, and
         // scans observing *different* serial points (one full, one empty)
         // poison as a gap or truncate the count.
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let audit = Procedure::RangeAudit { expect_base: 100 };
         let halves = [
             crate::txn::ScanRange::new(0, 4, 6),
@@ -1279,7 +1321,7 @@ mod tests {
     fn insert_keyed_writes_row_keyed_values() {
         let writes = vec![rid(7), rid(9)];
         let mut a = MemAccess::new(vec![], 2, 16);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let fp = exec_no_scans(
             &Procedure::InsertKeyed { base: 50 },
             &[],
@@ -1298,7 +1340,7 @@ mod tests {
     fn probe_all_folds_presence_and_absence() {
         let reads = vec![rid(1), rid(2)];
         let mut a = MemAccess::new(vec![7], 0, 8).with_absent(1);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let fp = exec_no_scans(&Procedure::ProbeAll, &reads, &[], &mut a, &mut scratch).unwrap();
         let c = value::checksum(&crate::value::of_u64(7, 8));
         assert_eq!(fp, c.wrapping_mul(31).wrapping_add(ABSENT_FINGERPRINT));
@@ -1309,7 +1351,7 @@ mod tests {
         let reads = vec![rid(0)];
         let writes = vec![rid(5), rid(6)];
         let mut a = MemAccess::new(vec![4], 2, 8);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let r = exec_no_scans(
             &Procedure::GuardedDelete { min: 5 },
             &reads,
@@ -1326,7 +1368,7 @@ mod tests {
         let reads = vec![rid(0)];
         let writes = vec![rid(5), rid(6)];
         let mut a = MemAccess::new(vec![9], 2, 8);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let fp = exec_no_scans(
             &Procedure::GuardedDelete { min: 5 },
             &reads,
@@ -1342,7 +1384,7 @@ mod tests {
     #[test]
     fn smallbank_balance_sums() {
         let mut a = MemAccess::new(vec![30, 12], 0, 8);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let got = small_bank(SmallBankProc::Balance, &mut a, &mut scratch).unwrap();
         assert_eq!(got, 42);
     }
@@ -1350,7 +1392,7 @@ mod tests {
     #[test]
     fn smallbank_deposit_adds() {
         let mut a = MemAccess::new(vec![100], 1, 8);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         small_bank(
             SmallBankProc::DepositChecking { v: 25 },
             &mut a,
@@ -1363,7 +1405,7 @@ mod tests {
     #[test]
     fn smallbank_transact_saving_aborts_on_overdraft() {
         let mut a = MemAccess::new(vec![10], 1, 8);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         let r = small_bank(
             SmallBankProc::TransactSaving { v: -11 },
             &mut a,
@@ -1376,7 +1418,7 @@ mod tests {
     #[test]
     fn smallbank_transact_saving_allows_exact_zero() {
         let mut a = MemAccess::new(vec![10], 1, 8);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         small_bank(
             SmallBankProc::TransactSaving { v: -10 },
             &mut a,
@@ -1389,7 +1431,7 @@ mod tests {
     #[test]
     fn smallbank_amalgamate_moves_all_funds() {
         let mut a = MemAccess::new(vec![5, 7, 100], 3, 8);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         small_bank(SmallBankProc::Amalgamate, &mut a, &mut scratch).unwrap();
         assert_eq!(a.written_u64(0), 0);
         assert_eq!(a.written_u64(1), 0);
@@ -1400,7 +1442,7 @@ mod tests {
     fn smallbank_write_check_penalizes_overdraft() {
         // total 10, check of 15 → overdraft: checking = 4 - 15 - 1 = -12.
         let mut a = MemAccess::new(vec![6, 4], 1, 8);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         small_bank(SmallBankProc::WriteCheck { v: 15 }, &mut a, &mut scratch).unwrap();
         assert_eq!(a.written_u64(0) as i64, -12);
     }
@@ -1409,7 +1451,7 @@ mod tests {
     fn smallbank_write_check_normal_case_may_go_negative_without_penalty() {
         // total 20 covers the 15 check; checking alone goes to -1, no penalty.
         let mut a = MemAccess::new(vec![6, 14], 1, 8);
-        let mut scratch = Vec::new();
+        let mut scratch = ExecScratch::new();
         small_bank(SmallBankProc::WriteCheck { v: 15 }, &mut a, &mut scratch).unwrap();
         assert_eq!(a.written_u64(0) as i64, -1);
     }

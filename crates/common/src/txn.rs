@@ -6,6 +6,7 @@
 //! and write sets plus a [`Procedure`] describing its logic. All five
 //! engines consume the same `Txn` values.
 
+use crate::arena::{Arena, SetBuf};
 use crate::procedures::Procedure;
 use crate::types::{RecordId, TableId};
 
@@ -103,17 +104,17 @@ impl ScanRange {
 pub struct Txn {
     /// Declared read set. Contains every record the procedure will read,
     /// including the read half of each read-modify-write.
-    pub reads: Vec<RecordId>,
+    pub reads: SetBuf<RecordId>,
     /// Declared write set. Placeholders are created for exactly these
     /// records in BOHM's concurrency-control phase (paper §3.2.2).
-    pub writes: Vec<RecordId>,
+    pub writes: SetBuf<RecordId>,
     /// Declared key-range scans (predicate reads). Like the read set, scans
     /// are known up front; unlike it, their *membership* is resolved by the
     /// engine at the transaction's position in the serial order, with
     /// phantom protection. A scanned range must not overlap the
     /// transaction's own write set (engines disagree on whether a scan
     /// observes the transaction's own writes).
-    pub scans: Vec<ScanRange>,
+    pub scans: SetBuf<ScanRange>,
     /// Declared secondary-index scans. Each names a posting-list record in
     /// the read set (the index *key* under concurrency control) plus the
     /// table its member rows live in; membership is resolved by the engine
@@ -121,7 +122,7 @@ pub struct Txn {
     /// phantom protection as [`scans`](Self::scans). Index-scanned keys
     /// must not have their posting lists in the transaction's own write
     /// set (the own-write caveat of scans applies).
-    pub index_scans: Vec<IndexScan>,
+    pub index_scans: SetBuf<IndexScan>,
     /// Transaction logic (a stored procedure over positional accesses).
     pub proc: Procedure,
     /// Busy-work executed at the start of the transaction body, in
@@ -134,10 +135,10 @@ impl Txn {
     /// Construct with no think time.
     pub fn new(reads: Vec<RecordId>, writes: Vec<RecordId>, proc: Procedure) -> Self {
         Self {
-            reads,
-            writes,
-            scans: Vec::new(),
-            index_scans: Vec::new(),
+            reads: reads.into(),
+            writes: writes.into(),
+            scans: SetBuf::default(),
+            index_scans: SetBuf::default(),
             proc,
             think_us: 0,
         }
@@ -151,10 +152,10 @@ impl Txn {
         proc: Procedure,
     ) -> Self {
         Self {
-            reads,
-            writes,
-            scans,
-            index_scans: Vec::new(),
+            reads: reads.into(),
+            writes: writes.into(),
+            scans: scans.into(),
+            index_scans: SetBuf::default(),
             proc,
             think_us: 0,
         }
@@ -171,14 +172,42 @@ impl Txn {
             debug_assert!(s.list < reads.len(), "posting list must be a declared read");
         }
         Self {
-            reads,
-            writes,
-            scans: Vec::new(),
-            index_scans,
+            reads: reads.into(),
+            writes: writes.into(),
+            scans: SetBuf::default(),
+            index_scans: index_scans.into(),
             proc,
             think_us: 0,
         }
     }
+
+    /// Repack the declared sets into `arena`, contiguous in submission
+    /// order. Called by the sequencer as transactions join a batch, so the
+    /// CC and execution phases walk densely packed memory and the client's
+    /// `Vec`s are freed up front instead of living as long as the batch.
+    ///
+    /// Under the `plain-alloc` feature this is a no-op: every set stays in
+    /// its original `Vec`, which is the A side of the arena-equivalence
+    /// regression test.
+    #[cfg(not(feature = "plain-alloc"))]
+    pub fn repack(&mut self, arena: &mut Arena) {
+        if !self.reads.is_packed() {
+            self.reads = SetBuf::Packed(arena.alloc_copy(&self.reads));
+        }
+        if !self.writes.is_packed() {
+            self.writes = SetBuf::Packed(arena.alloc_copy(&self.writes));
+        }
+        if !self.scans.is_packed() {
+            self.scans = SetBuf::Packed(arena.alloc_copy(&self.scans));
+        }
+        if !self.index_scans.is_packed() {
+            self.index_scans = SetBuf::Packed(arena.alloc_copy(&self.index_scans));
+        }
+    }
+
+    /// `plain-alloc` build: sets keep their client-built `Vec`s.
+    #[cfg(feature = "plain-alloc")]
+    pub fn repack(&mut self, _arena: &mut Arena) {}
 
     /// True if the transaction declares no writes (long read-only YCSB
     /// transactions, SmallBank `Balance`).
@@ -297,6 +326,29 @@ mod tests {
         assert_eq!(t.index_scans[0].table, crate::types::TableId(3));
         assert_eq!(t.access_count(), 2, "only declared reads are counted");
         assert!(t.is_read_only());
+    }
+
+    #[test]
+    fn repack_preserves_sets() {
+        let pool = crate::arena::ArenaPool::default();
+        let mut arena = pool.arena();
+        let mut t = Txn::with_scans(
+            vec![rid(5), rid(9)],
+            vec![rid(9)],
+            vec![crate::txn::ScanRange::new(0, 0, 8)],
+            Procedure::ReadModifyWrite { delta: 1 },
+        );
+        let before = t.clone();
+        t.repack(&mut arena);
+        assert_eq!(t.reads, before.reads);
+        assert_eq!(t.writes, before.writes);
+        assert_eq!(t.scans, before.scans);
+        assert_eq!(t.index_scans, before.index_scans);
+        assert_eq!(t.read_index(rid(9)), Some(1));
+        assert_eq!(t.access_count(), 3 + 8);
+        // Repacking twice is a no-op either way.
+        t.repack(&mut arena);
+        assert_eq!(t.reads, before.reads);
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! the moment its executor marks it `Complete`. Batch boundaries are an
 //! engine-internal amortization artifact; submitters never see them.
 
-use bohm_common::{Timestamp, Txn};
+use bohm_common::{ASlice, Arena, Timestamp, Txn};
 use bohm_mvstore::Version;
 use parking_lot::{Condvar, Mutex};
 use std::ptr;
@@ -54,11 +54,43 @@ pub struct TxnOutcome {
 pub(crate) struct Completion {
     /// Transactions not yet `Complete`.
     remaining: AtomicUsize,
-    /// Per-transaction decision (`txn_outcome` values), written once.
-    flags: Box<[AtomicU8]>,
-    fingerprints: Box<[AtomicU64]>,
+    /// Submission size (`remaining` counts down; this doesn't).
+    count: usize,
+    /// Per-transaction decision (`txn_outcome` values) + fingerprint,
+    /// each written once.
+    slots: Slots,
     state: Mutex<DoneState>,
     cv: Condvar,
+}
+
+/// Outcome storage. The per-transaction session path submits
+/// single-transaction groups at engine throughput, so the `n <= 1` case
+/// stores its slot inline instead of paying two boxed slices per submission.
+enum Slots {
+    One(AtomicU8, AtomicU64),
+    Many(Box<[AtomicU8]>, Box<[AtomicU64]>),
+}
+
+impl Slots {
+    fn flag(&self, idx: usize) -> &AtomicU8 {
+        match self {
+            Slots::One(f, _) => {
+                debug_assert_eq!(idx, 0);
+                f
+            }
+            Slots::Many(f, _) => &f[idx],
+        }
+    }
+
+    fn fingerprint(&self, idx: usize) -> &AtomicU64 {
+        match self {
+            Slots::One(_, fp) => {
+                debug_assert_eq!(idx, 0);
+                fp
+            }
+            Slots::Many(_, fp) => &fp[idx],
+        }
+    }
 }
 
 #[derive(Default)]
@@ -74,17 +106,19 @@ impl Completion {
     /// and keeps the GC-watermark guarantees of the old batch-level API.
     /// Per-transaction session handles skip it for latency.
     pub(crate) fn new(n: usize, needs_barrier: bool) -> Arc<Self> {
-        let mk_flags = |v: u8| -> Box<[AtomicU8]> {
+        let slots = if n <= 1 {
+            Slots::One(AtomicU8::new(txn_outcome::UNKNOWN), AtomicU64::new(0))
+        } else {
             let mut f = Vec::with_capacity(n);
-            f.resize_with(n, || AtomicU8::new(v));
-            f.into_boxed_slice()
+            f.resize_with(n, || AtomicU8::new(txn_outcome::UNKNOWN));
+            let mut fps = Vec::with_capacity(n);
+            fps.resize_with(n, || AtomicU64::new(0));
+            Slots::Many(f.into_boxed_slice(), fps.into_boxed_slice())
         };
-        let mut fps = Vec::with_capacity(n);
-        fps.resize_with(n, || AtomicU64::new(0));
         Arc::new(Self {
             remaining: AtomicUsize::new(n),
-            flags: mk_flags(txn_outcome::UNKNOWN),
-            fingerprints: fps.into_boxed_slice(),
+            count: n,
+            slots,
             state: Mutex::new(DoneState {
                 outcomes_done: n == 0,
                 // An empty submission reaches no batch; nothing to wait for.
@@ -95,13 +129,15 @@ impl Completion {
     }
 
     pub(crate) fn len(&self) -> usize {
-        self.flags.len()
+        self.count
     }
 
     /// Record transaction `idx`'s decision; wakes waiters on the last one.
     pub(crate) fn record(&self, idx: usize, committed: bool, fingerprint: u64) {
-        self.fingerprints[idx].store(fingerprint, Ordering::Relaxed);
-        self.flags[idx].store(
+        self.slots
+            .fingerprint(idx)
+            .store(fingerprint, Ordering::Relaxed);
+        self.slots.flag(idx).store(
             if committed {
                 txn_outcome::COMMITTED
             } else {
@@ -143,11 +179,11 @@ impl Completion {
 
     /// Outcome of transaction `idx`; valid only after [`wait_done`](Self::wait_done).
     pub(crate) fn outcome(&self, idx: usize) -> TxnOutcome {
-        let flag = self.flags[idx].load(Ordering::Acquire);
+        let flag = self.slots.flag(idx).load(Ordering::Acquire);
         debug_assert_ne!(flag, txn_outcome::UNKNOWN, "outcome read before done");
         TxnOutcome {
             committed: flag == txn_outcome::COMMITTED,
-            fingerprint: self.fingerprints[idx].load(Ordering::Relaxed),
+            fingerprint: self.slots.fingerprint(idx).load(Ordering::Relaxed),
         }
     }
 }
@@ -277,15 +313,20 @@ impl PlanEntry {
 }
 
 /// A transaction plus its engine-side runtime state.
+///
+/// All per-transaction buffers (the packed plan and the annotation slots)
+/// live in the batch's arena: minting them is a bump-pointer move, they sit
+/// contiguous in timestamp order for the CC threads' sequential scan, and
+/// they recycle wholesale when the batch retires out of the window ring.
 pub struct TxnState {
     pub txn: Txn,
     pub ts: Timestamp,
     pub(crate) state: AtomicU8,
     /// Packed access plan: reads first, then writes (see [`PlanEntry`]).
-    pub(crate) plan: Box<[PlanEntry]>,
+    pub(crate) plan: ASlice<PlanEntry>,
     /// One slot per read-set entry: direct pointer to the version this read
     /// must observe, written by the owning CC thread (§3.2.3 optimization).
-    pub(crate) read_refs: Box<[AtomicPtr<Version>]>,
+    pub(crate) read_refs: ASlice<AtomicPtr<Version>>,
     /// Per scan, one slot per row of the scanned range: the version a
     /// reader at this timestamp must observe for that key, written by the
     /// key's owning CC thread while it pre-annotates the range (the scan
@@ -300,10 +341,14 @@ pub struct TxnState {
     /// allocated or annotated — a declared terabyte-wide range must not
     /// allocate a pointer per slot) and the executor's ts-filtered
     /// fallback probe serves every row with identical semantics.
-    pub(crate) scan_refs: Box<[Box<[AtomicPtr<Version>]>]>,
+    ///
+    /// The inner slices are arena-backed; the outer box is heap-allocated
+    /// only for transactions that declare scans (`ASlice` has a `Drop`
+    /// keepalive, so it cannot itself live in drop-free arena memory).
+    pub(crate) scan_refs: Box<[ASlice<AtomicPtr<Version>>]>,
     /// One slot per write-set entry: the placeholder version installed by
     /// the owning CC thread (§3.2.2).
-    pub(crate) write_refs: Box<[AtomicPtr<Version>]>,
+    pub(crate) write_refs: ASlice<AtomicPtr<Version>>,
     /// Per-transaction completion delivery.
     pub(crate) hook: TxnHook,
 }
@@ -311,45 +356,53 @@ pub struct TxnState {
 impl TxnState {
     /// `annotate_max_reads`: see [`BohmConfig`](crate::BohmConfig); larger
     /// read sets get no annotation slots and no read plan entries.
-    pub(crate) fn new(txn: Txn, ts: Timestamp, annotate_max_reads: usize, hook: TxnHook) -> Self {
-        let nulls = |n: usize| -> Box<[AtomicPtr<Version>]> {
-            let mut v = Vec::with_capacity(n);
-            v.resize_with(n, || AtomicPtr::new(ptr::null_mut()));
-            v.into_boxed_slice()
-        };
+    pub(crate) fn new(
+        txn: Txn,
+        ts: Timestamp,
+        annotate_max_reads: usize,
+        hook: TxnHook,
+        arena: &mut Arena,
+    ) -> Self {
         let annotate = txn.reads.len() <= annotate_max_reads;
         let (nr, nw) = (if annotate { txn.reads.len() } else { 0 }, txn.writes.len());
-        let mut plan = Vec::with_capacity(nr + nw);
-        if annotate {
-            for (i, rid) in txn.reads.iter().enumerate() {
-                plan.push(PlanEntry::new(rid.stable_hash() >> 32, false, i));
+        let plan = arena.alloc_with(nr + nw, |i| {
+            if i < nr {
+                PlanEntry::new(txn.reads[i].stable_hash() >> 32, false, i)
+            } else {
+                PlanEntry::new(txn.writes[i - nr].stable_hash() >> 32, true, i - nr)
             }
-        }
-        for (i, rid) in txn.writes.iter().enumerate() {
-            plan.push(PlanEntry::new(rid.stable_hash() >> 32, true, i));
-        }
-        let scan_refs = txn
-            .scans
-            .iter()
-            .map(|s| {
-                // `annotate_max_reads` arrives as 0 when annotate_reads is
-                // off, so both knobs gate here; an empty slice marks the
-                // scan as fallback-only.
-                if s.len() as usize <= annotate_max_reads {
-                    nulls(s.len() as usize)
-                } else {
-                    nulls(0)
-                }
-            })
-            .collect::<Vec<_>>()
-            .into_boxed_slice();
+        });
+        let nulls = |arena: &mut Arena, n: usize| -> ASlice<AtomicPtr<Version>> {
+            arena.alloc_with(n, |_| AtomicPtr::new(ptr::null_mut()))
+        };
+        let scan_refs = if txn.scans.is_empty() {
+            // An empty boxed slice performs no allocation.
+            Vec::new().into_boxed_slice()
+        } else {
+            txn.scans
+                .iter()
+                .map(|s| {
+                    // `annotate_max_reads` arrives as 0 when annotate_reads
+                    // is off, so both knobs gate here; an empty slice marks
+                    // the scan as fallback-only.
+                    if s.len() as usize <= annotate_max_reads {
+                        nulls(arena, s.len() as usize)
+                    } else {
+                        ASlice::empty()
+                    }
+                })
+                .collect::<Vec<_>>()
+                .into_boxed_slice()
+        };
+        let read_refs = nulls(arena, nr);
+        let write_refs = nulls(arena, nw);
         Self {
             txn,
             ts,
             state: AtomicU8::new(txn_status::UNPROCESSED),
-            plan: plan.into_boxed_slice(),
-            read_refs: nulls(nr),
-            write_refs: nulls(nw),
+            plan,
+            read_refs,
+            write_refs,
             scan_refs,
             hook,
         }
@@ -415,7 +468,9 @@ pub struct Batch {
 }
 
 impl Batch {
-    /// Assemble a batch from sequencer-bound entries.
+    /// Assemble a batch from sequencer-bound entries. Per-transaction
+    /// runtime buffers are carved from `arena`, contiguous in timestamp
+    /// order.
     pub(crate) fn new(
         entries: Vec<(Txn, TxnHook)>,
         base_ts: Timestamp,
@@ -423,18 +478,22 @@ impl Batch {
         cc_threads: usize,
         exec_threads: usize,
         annotate_max_reads: usize,
+        arena: &mut Arena,
     ) -> Arc<Self> {
         let mut barriers = Vec::new();
-        let states: Vec<TxnState> = entries
-            .into_iter()
-            .enumerate()
-            .map(|(i, (txn, hook))| {
-                if hook.last_of_submission {
-                    barriers.push(Arc::clone(&hook.completion));
-                }
-                TxnState::new(txn, base_ts + i as u64, annotate_max_reads, hook)
-            })
-            .collect();
+        let mut states: Vec<TxnState> = Vec::with_capacity(entries.len());
+        for (i, (txn, hook)) in entries.into_iter().enumerate() {
+            if hook.last_of_submission {
+                barriers.push(Arc::clone(&hook.completion));
+            }
+            states.push(TxnState::new(
+                txn,
+                base_ts + i as u64,
+                annotate_max_reads,
+                hook,
+                arena,
+            ));
+        }
         Arc::new(Self {
             id,
             base_ts,
@@ -479,6 +538,10 @@ pub(crate) mod tests {
         )
     }
 
+    pub(crate) fn test_arena() -> Arena {
+        bohm_common::ArenaPool::default().arena()
+    }
+
     pub(crate) fn hooked(n: usize) -> (Vec<(Txn, TxnHook)>, Arc<Completion>) {
         let completion = Completion::new(n, true);
         let entries = (0..n)
@@ -499,7 +562,7 @@ pub(crate) mod tests {
     fn lone_state() -> (TxnState, Arc<Completion>) {
         let (mut entries, c) = hooked(1);
         let (t, hook) = entries.pop().unwrap();
-        (TxnState::new(t, 5, 64, hook), c)
+        (TxnState::new(t, 5, 64, hook, &mut test_arena()), c)
     }
 
     #[test]
@@ -533,7 +596,7 @@ pub(crate) mod tests {
     #[test]
     fn batch_timestamps_are_dense() {
         let (entries, _c) = hooked(3);
-        let b = Batch::new(entries, 100, 0, 2, 2, 64);
+        let b = Batch::new(entries, 100, 0, 2, 2, 64, &mut test_arena());
         assert_eq!(b.last_ts(), 102);
         assert!(b.contains(100) && b.contains(102));
         assert!(!b.contains(99) && !b.contains(103));
@@ -543,7 +606,7 @@ pub(crate) mod tests {
     #[test]
     fn completion_fires_per_txn_and_batch_barrier_gates_wait() {
         let (entries, completion) = hooked(2);
-        let b = Batch::new(entries, 1, 0, 1, 1, 64);
+        let b = Batch::new(entries, 1, 0, 1, 1, 64, &mut test_arena());
         assert!(!completion.is_done());
         b.txns[0].try_claim();
         b.txns[0].complete(true, 7);
@@ -578,7 +641,7 @@ pub(crate) mod tests {
     #[test]
     fn done_signalling_wakes_waiters() {
         let (entries, completion) = hooked(1);
-        let b = Batch::new(entries, 1, 0, 1, 1, 64);
+        let b = Batch::new(entries, 1, 0, 1, 1, 64, &mut test_arena());
         let c2 = Arc::clone(&completion);
         let waiter = std::thread::spawn(move || c2.wait_done());
         std::thread::sleep(std::time::Duration::from_millis(5));

@@ -40,6 +40,10 @@ pub(crate) struct Inner {
     /// Diagnostics: nanoseconds each layer spent busy (indexing by role).
     pub cc_busy_ns: AtomicU64,
     pub exec_busy_ns: AtomicU64,
+    /// Chunk pool backing the sequencer's batch arena. Lives on `Inner` so
+    /// chunks released by retiring batches (on exec threads) recycle to the
+    /// sequencer instead of freeing.
+    pub arena_pool: bohm_common::ArenaPool,
 }
 
 impl Inner {
@@ -96,6 +100,7 @@ impl Bohm {
             window: Window::new(config.max_inflight_batches, config.batch_size as u64),
             record_sizes,
             index,
+            arena_pool: bohm_common::ArenaPool::default(),
             config,
         });
 
@@ -173,7 +178,10 @@ impl Bohm {
         };
         if !txns.is_empty() {
             self.ingest
-                .send(SubmitReq { txns, completion })
+                .send(SubmitReq {
+                    txns: ingest::SubmitTxns::Many(txns),
+                    completion,
+                })
                 .unwrap_or_else(|_| panic!("engine is shut down"));
         }
         handle

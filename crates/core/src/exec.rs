@@ -22,7 +22,7 @@
 use crate::access::BohmAccess;
 use crate::batch::{txn_status, Batch, TxnState};
 use crate::engine::Inner;
-use bohm_common::{execute_procedure, AbortReason};
+use bohm_common::{execute_procedure, AbortReason, ExecScratch};
 use crossbeam_channel::Receiver;
 use crossbeam_epoch as epoch;
 use crossbeam_utils::Backoff;
@@ -31,10 +31,11 @@ use std::sync::Arc;
 
 /// Main loop of execution thread `me`.
 pub(crate) fn exec_loop(inner: Arc<Inner>, me: usize, rx: Receiver<Arc<Batch>>) {
-    let mut scratch = Vec::new();
+    let mut scratch = ExecScratch::new();
+    let mut remaining: Vec<usize> = Vec::new();
     while let Ok(batch) = rx.recv() {
         let t0 = std::time::Instant::now();
-        run_batch(&inner, me, &batch, &mut scratch);
+        run_batch(&inner, me, &batch, &mut scratch, &mut remaining);
         inner
             .exec_busy_ns
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -68,10 +69,19 @@ pub(crate) fn refresh_gc_bound(inner: &Inner) {
 }
 
 /// Drive every transaction this thread is responsible for to `Complete`.
-pub(crate) fn run_batch(inner: &Inner, me: usize, batch: &Batch, scratch: &mut Vec<u8>) {
+/// `remaining` is caller-owned scratch (reused across batches, alloc-free
+/// once warmed).
+pub(crate) fn run_batch(
+    inner: &Inner,
+    me: usize,
+    batch: &Batch,
+    scratch: &mut ExecScratch,
+    remaining: &mut Vec<usize>,
+) {
     let k = inner.config.exec_threads;
     let n = batch.txns.len();
-    let mut remaining: Vec<usize> = (me..n).step_by(k).collect();
+    remaining.clear();
+    remaining.extend((me..n).step_by(k));
     let backoff = Backoff::new();
     while !remaining.is_empty() {
         let before = remaining.len();
@@ -105,7 +115,7 @@ pub(crate) fn run_batch(inner: &Inner, me: usize, batch: &Batch, scratch: &mut V
 pub(crate) fn run_claimed(
     inner: &Inner,
     t: &TxnState,
-    scratch: &mut Vec<u8>,
+    scratch: &mut ExecScratch,
     depth: usize,
 ) -> bool {
     t.txn.think();
@@ -167,7 +177,7 @@ pub(crate) fn run_claimed(
 /// Returns `true` once the producer is `Complete` (possibly by executing it
 /// on this thread, recursively); `false` if it is being executed elsewhere
 /// or the recursion budget is exhausted — in both cases the caller parks.
-fn resolve_dependency(inner: &Inner, dep_ts: u64, scratch: &mut Vec<u8>, depth: usize) -> bool {
+fn resolve_dependency(inner: &Inner, dep_ts: u64, scratch: &mut ExecScratch, depth: usize) -> bool {
     if depth >= inner.config.max_resolve_depth {
         return false;
     }

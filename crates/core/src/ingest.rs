@@ -40,11 +40,60 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
 
+/// The transactions of one submission. Sessions submit single transactions
+/// at engine throughput, so the one-transaction case is stored inline —
+/// no `vec![txn]` allocation per submission.
+pub(crate) enum SubmitTxns {
+    One(Txn),
+    Many(Vec<Txn>),
+}
+
+impl SubmitTxns {
+    pub fn len(&self) -> usize {
+        match self {
+            SubmitTxns::One(_) => 1,
+            SubmitTxns::Many(v) => v.len(),
+        }
+    }
+}
+
+impl IntoIterator for SubmitTxns {
+    type Item = Txn;
+    type IntoIter = SubmitTxnsIter;
+
+    fn into_iter(self) -> SubmitTxnsIter {
+        match self {
+            SubmitTxns::One(t) => SubmitTxnsIter::One(std::iter::once(t)),
+            SubmitTxns::Many(v) => SubmitTxnsIter::Many(v.into_iter()),
+        }
+    }
+}
+
+pub(crate) enum SubmitTxnsIter {
+    One(std::iter::Once<Txn>),
+    Many(std::vec::IntoIter<Txn>),
+}
+
+impl Iterator for SubmitTxnsIter {
+    type Item = Txn;
+
+    fn next(&mut self) -> Option<Txn> {
+        match self {
+            SubmitTxnsIter::One(i) => i.next(),
+            SubmitTxnsIter::Many(i) => i.next(),
+        }
+    }
+}
+
 /// One client submission: a group of transactions bound to a completion.
 pub(crate) struct SubmitReq {
-    pub txns: Vec<Txn>,
+    pub txns: SubmitTxns,
     pub completion: Arc<Completion>,
 }
+
+/// [`IngestTx::send`] after [`IngestTx::close`]: nothing was enqueued.
+#[derive(Debug)]
+pub(crate) struct EngineClosed;
 
 struct QueueState {
     reqs: VecDeque<SubmitReq>,
@@ -102,12 +151,12 @@ impl IngestTx {
     ///
     /// A submission larger than the whole budget is admitted once the queue
     /// is empty, so oversized groups make progress instead of deadlocking.
-    pub fn send(&self, req: SubmitReq) -> Result<(), SubmitReq> {
+    pub fn send(&self, req: SubmitReq) -> Result<(), EngineClosed> {
         let n = req.txns.len();
         let mut st = self.shared.state.lock();
         loop {
             if st.closed {
-                return Err(req);
+                return Err(EngineClosed);
             }
             if st.queued_txns + n <= self.shared.capacity || st.reqs.is_empty() {
                 st.queued_txns += n;
@@ -186,35 +235,42 @@ pub(crate) fn seq_loop(inner: Arc<Inner>, rx: IngestRx, cc_senders: Vec<Sender<A
     let mut next_batch: u64 = 0;
     let mut open: Vec<(Txn, TxnHook)> = Vec::with_capacity(stride);
     let mut open_since = Instant::now();
+    // One persistent arena for the sequencer: consecutive batches pack their
+    // read/write sets and CC plans into the same chunks, and each chunk
+    // recycles through the pool once every batch referencing it retires —
+    // bounded by the in-flight window depth, so steady state is malloc-free.
+    let mut arena = inner.arena_pool.arena();
 
-    let seal = |open: &mut Vec<(Txn, TxnHook)>, next_batch: &mut u64| {
-        if open.is_empty() {
-            return;
-        }
-        let base_ts = 1 + *next_batch * stride as u64;
-        let batch = Batch::new(
-            std::mem::take(open),
-            base_ts,
-            *next_batch,
-            inner.config.cc_threads,
-            inner.config.exec_threads,
-            if inner.config.annotate_reads {
-                inner.config.annotate_max_reads
-            } else {
-                0
-            },
-        );
-        *next_batch += 1;
-        // Ring registration first (it may block on the in-flight budget —
-        // that stall is the backpressure), and *before* any CC thread can
-        // install a placeholder whose producer must be resolvable.
-        inner.window.push(Arc::clone(&batch));
-        for s in &cc_senders {
-            // Worker channels only close after this thread drops its
-            // senders at exit.
-            let _ = s.send(Arc::clone(&batch));
-        }
-    };
+    let seal =
+        |open: &mut Vec<(Txn, TxnHook)>, next_batch: &mut u64, arena: &mut bohm_common::Arena| {
+            if open.is_empty() {
+                return;
+            }
+            let base_ts = 1 + *next_batch * stride as u64;
+            let batch = Batch::new(
+                std::mem::take(open),
+                base_ts,
+                *next_batch,
+                inner.config.cc_threads,
+                inner.config.exec_threads,
+                if inner.config.annotate_reads {
+                    inner.config.annotate_max_reads
+                } else {
+                    0
+                },
+                arena,
+            );
+            *next_batch += 1;
+            // Ring registration first (it may block on the in-flight budget —
+            // that stall is the backpressure), and *before* any CC thread can
+            // install a placeholder whose producer must be resolvable.
+            inner.window.push(Arc::clone(&batch));
+            for s in &cc_senders {
+                // Worker channels only close after this thread drops its
+                // senders at exit.
+                let _ = s.send(Arc::clone(&batch));
+            }
+        };
 
     loop {
         let deadline = (!open.is_empty()).then(|| open_since + linger);
@@ -222,10 +278,14 @@ pub(crate) fn seq_loop(inner: Arc<Inner>, rx: IngestRx, cc_senders: Vec<Sender<A
             RecvOutcome::Req(req) => {
                 let n = req.txns.len();
                 debug_assert!(n > 0, "empty submissions complete client-side");
-                for (i, txn) in req.txns.into_iter().enumerate() {
+                for (i, mut txn) in req.txns.into_iter().enumerate() {
                     if open.is_empty() {
                         open_since = Instant::now();
                     }
+                    // Move the client-allocated sets into arena slices so the
+                    // batch's hot data is contiguous in submission order and
+                    // the client Vecs free here, off the execution path.
+                    txn.repack(&mut arena);
                     open.push((
                         txn,
                         TxnHook {
@@ -235,13 +295,14 @@ pub(crate) fn seq_loop(inner: Arc<Inner>, rx: IngestRx, cc_senders: Vec<Sender<A
                         },
                     ));
                     if open.len() >= stride {
-                        seal(&mut open, &mut next_batch); // size trigger
+                        seal(&mut open, &mut next_batch, &mut arena); // size trigger
                     }
                 }
             }
-            RecvOutcome::TimedOut => seal(&mut open, &mut next_batch), // time trigger
+            // time trigger
+            RecvOutcome::TimedOut => seal(&mut open, &mut next_batch, &mut arena),
             RecvOutcome::Closed => {
-                seal(&mut open, &mut next_batch);
+                seal(&mut open, &mut next_batch, &mut arena);
                 break;
             }
         }
@@ -258,15 +319,17 @@ mod tests {
     fn req(n: usize) -> SubmitReq {
         let rid = bohm_common::RecordId::new(0, 1);
         SubmitReq {
-            txns: (0..n)
-                .map(|_| {
-                    Txn::new(
-                        vec![rid],
-                        vec![rid],
-                        bohm_common::Procedure::ReadModifyWrite { delta: 1 },
-                    )
-                })
-                .collect(),
+            txns: SubmitTxns::Many(
+                (0..n)
+                    .map(|_| {
+                        Txn::new(
+                            vec![rid],
+                            vec![rid],
+                            bohm_common::Procedure::ReadModifyWrite { delta: 1 },
+                        )
+                    })
+                    .collect(),
+            ),
             completion: Completion::new(n, true),
         }
     }

@@ -4,7 +4,7 @@
 
 use crate::batch::{Completion, TxnHandle};
 use crate::engine::Bohm;
-use crate::ingest::{IngestTx, SubmitReq};
+use crate::ingest::{IngestTx, SubmitReq, SubmitTxns};
 use bohm_common::engine::{BatchEngine, ExecOutcome, Session};
 use bohm_common::{RecordId, Txn};
 use std::collections::VecDeque;
@@ -44,7 +44,7 @@ impl BohmSession {
         };
         self.ingest
             .send(SubmitReq {
-                txns: vec![txn],
+                txns: SubmitTxns::One(txn),
                 completion,
             })
             .unwrap_or_else(|_| panic!("engine is shut down"));

@@ -41,8 +41,23 @@ use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
+/// One ring slot, padded out to a cache line. Adjacent slots belong to
+/// *different* in-flight batches touched by different threads (the sequencer
+/// stores slot `i` while execution retires slot `i-1`); without the padding
+/// a retire's swap would false-share with the neighbouring slot's lookups.
+#[repr(align(64))]
+struct Slot(AtomicPtr<Batch>);
+
+impl std::ops::Deref for Slot {
+    type Target = AtomicPtr<Batch>;
+
+    fn deref(&self) -> &AtomicPtr<Batch> {
+        &self.0
+    }
+}
+
 pub(crate) struct Window {
-    slots: Box<[AtomicPtr<Batch>]>,
+    slots: Box<[Slot]>,
     mask: u64,
     /// Timestamp stride per batch id (`BohmConfig::batch_size`).
     stride: u64,
@@ -58,7 +73,7 @@ impl Window {
         assert!(capacity >= 2 && stride >= 1);
         let n = capacity.next_power_of_two();
         let mut slots = Vec::with_capacity(n);
-        slots.resize_with(n, || AtomicPtr::new(std::ptr::null_mut()));
+        slots.resize_with(n, || Slot(AtomicPtr::new(std::ptr::null_mut())));
         Self {
             slots: slots.into_boxed_slice(),
             mask: (n - 1) as u64,
@@ -188,7 +203,8 @@ mod tests {
     /// Batch `id` with `n` transactions at the strided base timestamp.
     fn mk_batch(id: u64, n: usize) -> Arc<Batch> {
         let (entries, _c) = hooked(n);
-        Batch::new(entries, 1 + id * STRIDE, id, 1, 1, 64)
+        let mut arena = crate::batch::tests::test_arena();
+        Batch::new(entries, 1 + id * STRIDE, id, 1, 1, 64, &mut arena)
     }
 
     fn window() -> Window {

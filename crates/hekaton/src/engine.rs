@@ -118,7 +118,7 @@ fn sweep_watermark(counter: &AtomicU64, slots: &SlotPool) -> u64 {
 pub struct HkWorker {
     reads: Vec<ReadRec>,
     writes: Vec<WriteRec>,
-    scratch: Vec<u8>,
+    scratch: bohm_common::ExecScratch,
     /// This worker's slot in the active-transaction registry.
     slot: usize,
     slots: Arc<SlotPool>,
@@ -970,7 +970,7 @@ impl Engine for Hekaton {
         HkWorker {
             reads: Vec::with_capacity(32),
             writes: Vec::with_capacity(16),
-            scratch: Vec::with_capacity(64),
+            scratch: bohm_common::ExecScratch::new(),
             slot: self.slots.acquire(),
             slots: Arc::clone(&self.slots),
             prune_rng: 0x9E37_79B9_7F4A_7C15 ^ (self.slots.next.load(Ordering::Relaxed) as u64),

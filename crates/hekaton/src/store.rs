@@ -11,12 +11,21 @@ use bohm_common::RecordId;
 use crossbeam_epoch as epoch;
 use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
 
-struct TableSlots {
-    heads: Box<[AtomicPtr<HkVersion>]>,
+/// One record's slot: chain head and pruner try-lock together, padded to a
+/// cache line. Any worker may CAS any head, so without the padding adjacent
+/// rows (8-byte heads, 8 per line) false-share under uniform access — every
+/// push invalidates the line under seven unrelated records.
+#[repr(align(64))]
+struct Slot {
+    head: AtomicPtr<HkVersion>,
     /// Per-record pruner mutual exclusion (try-lock; contenders skip). Only
     /// pruners write `prev` of published versions or free them, so holding
     /// this lock makes a record's chain structure single-writer again.
-    prune_locks: Box<[AtomicU8]>,
+    prune_lock: AtomicU8,
+}
+
+struct TableSlots {
+    slots: Box<[Slot]>,
     record_size: usize,
 }
 
@@ -32,13 +41,13 @@ impl HekatonStore {
             tables: specs
                 .iter()
                 .map(|&(rows, record_size)| {
-                    let mut heads = Vec::with_capacity(rows as usize);
-                    heads.resize_with(rows as usize, || AtomicPtr::new(std::ptr::null_mut()));
-                    let mut prune_locks = Vec::with_capacity(rows as usize);
-                    prune_locks.resize_with(rows as usize, || AtomicU8::new(0));
+                    let mut slots = Vec::with_capacity(rows as usize);
+                    slots.resize_with(rows as usize, || Slot {
+                        head: AtomicPtr::new(std::ptr::null_mut()),
+                        prune_lock: AtomicU8::new(0),
+                    });
                     TableSlots {
-                        heads: heads.into_boxed_slice(),
-                        prune_locks: prune_locks.into_boxed_slice(),
+                        slots: slots.into_boxed_slice(),
                         record_size,
                     }
                 })
@@ -49,7 +58,7 @@ impl HekatonStore {
     /// Preload every row of `table` with `seed(row)` as a committed version
     /// at timestamp 0. Call before sharing the store.
     pub fn seed_u64(&self, table: u32, seed: impl Fn(u64) -> u64) {
-        self.seed_rows_u64(table, self.tables[table as usize].heads.len() as u64, seed);
+        self.seed_rows_u64(table, self.tables[table as usize].slots.len() as u64, seed);
     }
 
     /// Preload only the first `rows` rows of `table`; the remaining slots
@@ -57,17 +66,17 @@ impl HekatonStore {
     /// transaction inserts them (tables declared with insert headroom).
     pub fn seed_rows_u64(&self, table: u32, rows: u64, seed: impl Fn(u64) -> u64) {
         let t = &self.tables[table as usize];
-        assert!(rows as usize <= t.heads.len(), "seed beyond capacity");
+        assert!(rows as usize <= t.slots.len(), "seed beyond capacity");
         for row in 0..rows as usize {
             let data = bohm_common::value::of_u64(seed(row as u64), t.record_size);
             let v = Box::into_raw(Box::new(HkVersion::committed(0, data)));
-            t.heads[row].store(v, Ordering::Release);
+            t.slots[row].head.store(v, Ordering::Release);
         }
     }
 
     #[inline]
     pub fn head(&self, rid: RecordId) -> &AtomicPtr<HkVersion> {
-        &self.tables[rid.table.index()].heads[rid.row as usize]
+        &self.tables[rid.table.index()].slots[rid.row as usize].head
     }
 
     #[inline]
@@ -77,7 +86,7 @@ impl HekatonStore {
 
     #[inline]
     pub fn rows(&self, table: u32) -> usize {
-        self.tables[table as usize].heads.len()
+        self.tables[table as usize].slots.len()
     }
 
     /// Number of tables in the store (the background sweep's outer loop).
@@ -166,7 +175,8 @@ impl HekatonStore {
     /// of versions retired.
     pub(crate) fn prune(&self, rid: RecordId, watermark: u64, guard: &epoch::Guard) -> usize {
         let t = &self.tables[rid.table.index()];
-        let lock = &t.prune_locks[rid.row as usize];
+        let slot = &t.slots[rid.row as usize];
+        let lock = &slot.prune_lock;
         if lock
             .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
@@ -174,7 +184,7 @@ impl HekatonStore {
             return 0;
         }
         let mut freed = 0;
-        let head = t.heads[rid.row as usize].load(Ordering::Acquire);
+        let head = slot.head.load(Ordering::Acquire);
         if !head.is_null() {
             // SAFETY: only pruners free versions, and we hold this record's
             // prune lock; the head itself is never freed.
@@ -226,7 +236,7 @@ impl HekatonStore {
         // after the seal no push can move the head and the head CAS below
         // is uncontended. A failed seal means a writer superseded the
         // tombstone first (a re-insert): leave everything to them.
-        let head = t.heads[rid.row as usize].load(Ordering::Acquire);
+        let head = slot.head.load(Ordering::Acquire);
         if !head.is_null() {
             // SAFETY: reachable under the prune lock; epoch-deferred frees.
             let h = unsafe { &*head };
@@ -237,7 +247,8 @@ impl HekatonStore {
                         && h.end
                             .compare_exchange(END_INF, b, Ordering::AcqRel, Ordering::Relaxed)
                             .is_ok()
-                        && t.heads[rid.row as usize]
+                        && slot
+                            .head
                             .compare_exchange(
                                 head,
                                 std::ptr::null_mut(),
@@ -261,8 +272,8 @@ impl HekatonStore {
 impl Drop for HekatonStore {
     fn drop(&mut self) {
         for t in &self.tables {
-            for h in t.heads.iter() {
-                let mut cur = h.load(Ordering::Relaxed);
+            for s in t.slots.iter() {
+                let mut cur = s.head.load(Ordering::Relaxed);
                 while !cur.is_null() {
                     // SAFETY: exclusive access via &mut self (Drop).
                     let v = unsafe { Box::from_raw(cur) };

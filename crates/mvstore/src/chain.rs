@@ -15,6 +15,12 @@ use crossbeam_epoch::{Atomic, Guard, Owned, Shared};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The version chain of one record.
+///
+/// Padded to a cache line: chains sit densely packed in index storage
+/// (`ArrayIndex` holds a `Box<[Chain]>` per table, the hash index inlines
+/// one per entry), and head installs by one CC thread would otherwise
+/// false-share with reads and installs on the three neighbouring records.
+#[repr(align(64))]
 pub struct Chain {
     head: Atomic<Version>,
     /// Largest timestamp of any transaction whose read or scan the owning

@@ -50,7 +50,7 @@ pub struct OccWorker {
     /// Posting-list copy for index scans (stable-reading the member rows
     /// recycles `read_buf`, so the list needs its own reusable buffer).
     list_buf: Vec<u8>,
-    scratch: Vec<u8>,
+    scratch: bohm_common::ExecScratch,
     /// Sorted indices into `wentries` (lock order), reused.
     lock_order: Vec<usize>,
     /// Largest TID this thread has committed with (Silo's per-thread clock).
@@ -397,7 +397,7 @@ impl Engine for SiloOcc {
             wbuf: Vec::with_capacity(16 * 1024),
             read_buf: Vec::with_capacity(1024),
             list_buf: Vec::with_capacity(256),
-            scratch: Vec::with_capacity(64),
+            scratch: bohm_common::ExecScratch::new(),
             lock_order: Vec::with_capacity(16),
             last_tid: 0,
         }

@@ -24,7 +24,7 @@ pub struct SerialOracle {
     /// `None` = slot reserved but absent (never inserted / headroom).
     tables: Vec<Vec<Option<Box<[u8]>>>>,
     record_sizes: Vec<usize>,
-    scratch: Vec<u8>,
+    scratch: bohm_common::ExecScratch,
 }
 
 struct OracleAccess<'a> {
@@ -154,7 +154,7 @@ impl SerialOracle {
         Self {
             tables,
             record_sizes: spec.tables.iter().map(|t| t.record_size).collect(),
-            scratch: Vec::new(),
+            scratch: bohm_common::ExecScratch::new(),
         }
     }
 
@@ -515,6 +515,70 @@ pub fn engine_row_count(
     (0..tdef.capacity())
         .filter(|&row| read(RecordId::new(table, row)).is_some())
         .count() as u64
+}
+
+// ---------------------------------------------------------------------------
+// Allocation accounting
+// ---------------------------------------------------------------------------
+
+/// A [`GlobalAlloc`](std::alloc::GlobalAlloc) wrapper over the system
+/// allocator that counts every allocation (count and bytes). Install it in
+/// a test binary to prove a code path is allocation-free:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: bohm_testkit::CountingAlloc = bohm_testkit::CountingAlloc;
+///
+/// let before = bohm_testkit::CountingAlloc::allocations();
+/// hot_path();
+/// assert!(bohm_testkit::CountingAlloc::allocations() - before < budget);
+/// ```
+///
+/// Only `alloc`/`alloc_zeroed`/`realloc` are counted — frees are not, so a
+/// steady-state window that only *returns* memory reads as zero. Counters
+/// are global (`Relaxed` atomics): snapshot deltas around the window under
+/// test rather than comparing absolute values, and keep such tests in their
+/// own binary so parallel tests don't pollute the window.
+pub struct CountingAlloc;
+
+static ALLOCATIONS: core::sync::atomic::AtomicU64 = core::sync::atomic::AtomicU64::new(0);
+static ALLOCATED_BYTES: core::sync::atomic::AtomicU64 = core::sync::atomic::AtomicU64::new(0);
+
+impl CountingAlloc {
+    /// Total allocation calls since process start.
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(core::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Total bytes requested since process start (reallocs count their new
+    /// size in full).
+    pub fn allocated_bytes() -> u64 {
+        ALLOCATED_BYTES.load(core::sync::atomic::Ordering::Relaxed)
+    }
+}
+
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, core::sync::atomic::Ordering::Relaxed);
+        std::alloc::System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, core::sync::atomic::Ordering::Relaxed);
+        std::alloc::System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, core::sync::atomic::Ordering::Relaxed);
+        std::alloc::System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        std::alloc::System.dealloc(ptr, layout)
+    }
 }
 
 #[cfg(test)]

@@ -31,7 +31,7 @@ pub struct TwoPhaseLocking {
 /// Per-worker reusable buffers (lock requests + procedure scratch).
 pub struct TplWorker {
     reqs: Vec<LockRequest>,
-    scratch: Vec<u8>,
+    scratch: bohm_common::ExecScratch,
 }
 
 impl TwoPhaseLocking {
@@ -185,7 +185,7 @@ impl Engine for TwoPhaseLocking {
     fn make_worker(&self) -> TplWorker {
         TplWorker {
             reqs: Vec::with_capacity(32),
-            scratch: Vec::with_capacity(64),
+            scratch: bohm_common::ExecScratch::new(),
         }
     }
 

@@ -111,7 +111,7 @@ mod tests {
         );
         let mut counts = [0u32; 10];
         for _ in 0..10_000 {
-            for r in g.next_txn().reads {
+            for r in &g.next_txn().reads {
                 counts[(r.row / 10) as usize] += 1;
             }
         }

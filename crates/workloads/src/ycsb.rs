@@ -202,7 +202,7 @@ mod tests {
         let mut hot = 0usize;
         let mut total = 0usize;
         for _ in 0..500 {
-            for r in g.next_txn().reads {
+            for r in &g.next_txn().reads {
                 total += 1;
                 if r.row < 100 {
                     hot += 1;

@@ -5,12 +5,30 @@
 # OrderHistory scan path) between two runs.
 #
 # Usage:
-#   scripts/bench_trend.sh OLD.json NEW.json   # explicit pair
+#   scripts/bench_trend.sh OLD.json NEW.json          # informational diff
+#   scripts/bench_trend.sh --gate OLD.json NEW.json   # variance-aware gate
 #   scripts/bench_trend.sh DIR                 # two newest BENCH_*.json in DIR
 #
-# Exit status: 0 always (the report is informational; gate on it in CI by
-# grepping the output if desired).
+# Modes:
+#   default  — report only; exit 0 always (regressions > 10% flagged inline).
+#   --gate   — fail (exit 2) when any point's regression exceeds a
+#              *variance-scaled* threshold: max(10%, 1.5 × (spread_old +
+#              spread_new)) for that point, where `spread` is the per-point
+#              (max−min)/median dispersion recorded by median-of-N figures
+#              (fig_tpcc). A noisy host widens its own threshold instead of
+#              flapping CI; a quiet host is held close to the 10% floor.
+#              When either artifact predates the dispersion fields (no
+#              median-of-N series), the gate cannot distinguish noise from
+#              regression and automatically downgrades to informational
+#              (exit 0) — so the first gated run after the schema change
+#              never fails against a pre-schema baseline.
 set -eu
+
+gate=0
+if [ "${1:-}" = "--gate" ]; then
+    gate=1
+    shift
+fi
 
 if [ "$#" -eq 2 ]; then
     old="$1"
@@ -24,11 +42,11 @@ elif [ "$#" -eq 1 ] && [ -d "$1" ]; then
         exit 1
     fi
 else
-    echo "usage: $0 OLD.json NEW.json | $0 DIR" >&2
+    echo "usage: $0 [--gate] OLD.json NEW.json | $0 DIR" >&2
     exit 1
 fi
 
-exec python3 - "$old" "$new" <<'PY'
+exec python3 - "$old" "$new" "$gate" <<'PY'
 import json
 import signal
 import sys
@@ -36,42 +54,83 @@ import sys
 # Die quietly when the output is piped into `head` etc.
 signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 
-old_path, new_path = sys.argv[1], sys.argv[2]
+old_path, new_path, gate = sys.argv[1], sys.argv[2], sys.argv[3] == "1"
+
+BASE_THRESHOLD = 0.10  # 10% floor, as before the variance-aware gate
+SPREAD_SCALE = 1.5  # threshold widens by 1.5x the summed dispersions
 
 
 def load(path):
-    """{(figure_title, series_label, x): throughput}"""
+    """{(figure_title, series_label, x): (throughput, spread_or_None)}
+
+    `spread` is the per-point (max-min)/median dispersion emitted by
+    median-of-N series; None for single-shot series or pre-schema
+    artifacts (which lack the field entirely).
+    """
     out = {}
     with open(path) as f:
         doc = json.load(f)
     for fig in doc.get("figures", []):
         for series in fig.get("series", []):
-            for x, y in series.get("points", []):
-                out[(fig["title"], series["label"], x)] = y
+            spreads = series.get("spread", [])
+            runs = series.get("runs", 1)
+            for i, (x, y) in enumerate(series.get("points", [])):
+                sp = spreads[i] if runs > 1 and i < len(spreads) else None
+                out[(fig["title"], series["label"], x)] = (y, sp)
     return out
 
 
 old, new = load(old_path), load(new_path)
-print(f"bench trend: {old_path} -> {new_path}")
+mode = "gate" if gate else "report"
+print(f"bench trend ({mode}): {old_path} -> {new_path}")
+
+# The gate needs dispersion on both sides to tell noise from regression.
+gateable = any(sp is not None for _, sp in old.values()) and any(
+    sp is not None for _, sp in new.values()
+)
+if gate and not gateable:
+    print(
+        "note: dispersion fields missing from one or both artifacts "
+        "(pre-median-of-N baseline?) — gate downgraded to informational"
+    )
+
+failures = []
 current_title = None
 for (title, label, x) in sorted(new):
     if title != current_title:
         current_title = title
         print(f"\n== {title} ==")
-    y_new = new[(title, label, x)]
-    y_old = old.get((title, label, x))
-    if y_old is None:
+    y_new, sp_new = new[(title, label, x)]
+    entry_old = old.get((title, label, x))
+    if entry_old is None:
         print(f"  {label:>12} @ {x:>5g}: {y_new:>12.0f}  (new series/point)")
-    elif y_old == 0:
+        continue
+    y_old, sp_old = entry_old
+    if y_old == 0:
         print(f"  {label:>12} @ {x:>5g}: {y_new:>12.0f}  (old was 0)")
-    else:
-        delta = 100.0 * (y_new - y_old) / y_old
-        flag = "  <-- regression" if delta < -10.0 else ""
-        print(
-            f"  {label:>12} @ {x:>5g}: {y_old:>12.0f} -> {y_new:>12.0f}"
-            f"  ({delta:+6.1f}%){flag}"
-        )
+        continue
+    delta = (y_new - y_old) / y_old
+    threshold = BASE_THRESHOLD
+    detail = ""
+    if sp_old is not None and sp_new is not None:
+        threshold = max(BASE_THRESHOLD, SPREAD_SCALE * (sp_old + sp_new))
+        detail = f" [thr {100 * threshold:.0f}%]"
+    flagged = delta < -threshold
+    flag = "  <-- regression" if flagged else ""
+    print(
+        f"  {label:>12} @ {x:>5g}: {y_old:>12.0f} -> {y_new:>12.0f}"
+        f"  ({100 * delta:+6.1f}%){detail}{flag}"
+    )
+    if flagged and sp_old is not None and sp_new is not None:
+        failures.append((title, label, x, 100 * delta, 100 * threshold))
+
 missing = sorted(set(old) - set(new))
 for (title, label, x) in missing:
     print(f"  dropped: {title} / {label} @ {x:g}")
+
+if gate and gateable and failures:
+    print(f"\ngate: {len(failures)} regression(s) beyond the variance-scaled threshold:")
+    for title, label, x, d, t in failures:
+        print(f"  {title} / {label} @ {x:g}: {d:+.1f}% (threshold {t:.0f}%)")
+    sys.exit(2)
 PY

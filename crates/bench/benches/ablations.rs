@@ -14,7 +14,7 @@ use bohm_bench::driver::{run_engine, DriverConfig};
 use bohm_bench::engines::build_bohm_with;
 use bohm_bench::figure::PIPELINED_DRIVER_SESSIONS;
 use bohm_bench::params::Params;
-use bohm_bench::report::{print_figure, Series};
+use bohm_bench::report::{print_figure, sweep_series, Series};
 use bohm_common::stats::RunStats;
 use bohm_workloads::ycsb::{YcsbConfig, YcsbGen, YcsbKind};
 
@@ -73,19 +73,20 @@ fn main() {
         } else {
             vec![10, 100, 1_000, 4_000]
         };
-        let mut points = Vec::new();
-        for &bs in &sizes {
+        let xs: Vec<f64> = sizes.iter().map(|&bs| bs as f64).collect();
+        let series = sweep_series("Bohm", &xs, 1, |x, _| {
+            let bs = x as usize;
             let mut cfg = BohmConfig::with_threads(cc, exec);
             cfg.batch_size = bs;
             cfg.ingest_capacity = bs * 4;
             let (st, _) = drive(&ycsb, cfg, YcsbKind::Rmw10, 7100, p.secs);
             eprintln!("batch={bs}: {:.0} txns/s", st.throughput());
-            points.push((bs as f64, st.throughput()));
-        }
+            st.throughput()
+        });
         print_figure(
             "Ablation 2: sequencer batch size (YCSB 10RMW, theta=0.9)",
             "batch_size",
-            &[Series::new("Bohm", points)],
+            &[series],
         );
     }
 
@@ -113,23 +114,25 @@ fn main() {
     // 4. CC/exec split at a fixed total budget.
     {
         let total = p.max_threads.max(4);
-        let mut points = Vec::new();
-        for cc_n in 1..total {
-            if p.full || cc_n % 2 == 1 || cc_n == total - 1 {
-                let cfg = BohmConfig::with_threads(cc_n, total - cc_n);
-                let (st, _) = drive(&ycsb, cfg, YcsbKind::Rmw10, 7300, p.secs);
-                eprintln!(
-                    "split cc={cc_n}/exec={}: {:.0} txns/s",
-                    total - cc_n,
-                    st.throughput()
-                );
-                points.push((cc_n as f64, st.throughput()));
-            }
-        }
+        let xs: Vec<f64> = (1..total)
+            .filter(|&cc_n| p.full || cc_n % 2 == 1 || cc_n == total - 1)
+            .map(|cc_n| cc_n as f64)
+            .collect();
+        let series = sweep_series("Bohm", &xs, 1, |x, _| {
+            let cc_n = x as usize;
+            let cfg = BohmConfig::with_threads(cc_n, total - cc_n);
+            let (st, _) = drive(&ycsb, cfg, YcsbKind::Rmw10, 7300, p.secs);
+            eprintln!(
+                "split cc={cc_n}/exec={}: {:.0} txns/s",
+                total - cc_n,
+                st.throughput()
+            );
+            st.throughput()
+        });
         print_figure(
             &format!("Ablation 4: CC/exec split at {total} total threads (YCSB 10RMW)"),
             "cc_threads",
-            &[Series::new("Bohm", points)],
+            &[series],
         );
     }
 }

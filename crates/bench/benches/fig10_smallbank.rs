@@ -12,7 +12,7 @@
 use bohm_bench::engines::EngineKind;
 use bohm_bench::figure::measure;
 use bohm_bench::params::Params;
-use bohm_bench::report::{print_figure, Series};
+use bohm_bench::report::{print_figure, sweep_series, Series};
 use bohm_workloads::smallbank::{SmallBankConfig, SmallBankGen};
 
 fn main() {
@@ -31,24 +31,26 @@ fn main() {
             initial_balance: 10_000,
         };
         let spec = cfg.spec();
-        let mut series = Vec::new();
-        for kind in EngineKind::ALL {
-            let mut points = Vec::new();
-            for &t in &p.thread_sweep {
-                let cfg2 = cfg.clone();
-                let st = measure(kind, &spec, t, p.secs, &move |i| {
-                    Box::new(SmallBankGen::new(cfg2.clone(), 6000 + i as u64))
-                });
-                points.push((t as f64, st.throughput()));
-                eprintln!(
-                    "{} customers={customers} t={t}: {:.0} txns/s (abort rate {:.1}%)",
-                    kind.name(),
-                    st.throughput(),
-                    st.abort_rate() * 100.0
-                );
-            }
-            series.push(Series::new(kind.name(), points));
-        }
+        let xs: Vec<f64> = p.thread_sweep.iter().map(|&t| t as f64).collect();
+        let series: Vec<Series> = EngineKind::ALL
+            .iter()
+            .map(|&kind| {
+                sweep_series(kind.name(), &xs, 1, |x, _| {
+                    let t = x as usize;
+                    let cfg2 = cfg.clone();
+                    let st = measure(kind, &spec, t, p.secs, &move |i| {
+                        Box::new(SmallBankGen::new(cfg2.clone(), 6000 + i as u64))
+                    });
+                    eprintln!(
+                        "{} customers={customers} t={t}: {:.0} txns/s (abort rate {:.1}%)",
+                        kind.name(),
+                        st.throughput(),
+                        st.abort_rate() * 100.0
+                    );
+                    st.throughput()
+                })
+            })
+            .collect();
         print_figure(
             &format!("Figure 10 ({name}): SmallBank"),
             "threads",

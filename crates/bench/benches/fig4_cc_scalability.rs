@@ -12,7 +12,7 @@ use bohm_bench::driver::{run_engine, DriverConfig};
 use bohm_bench::engines::build_bohm;
 use bohm_bench::figure::PIPELINED_DRIVER_SESSIONS;
 use bohm_bench::params::Params;
-use bohm_bench::report::{print_figure, Series};
+use bohm_bench::report::{print_figure, sweep_series, Series};
 use bohm_workloads::micro::{MicroConfig, MicroGen};
 
 fn main() {
@@ -39,29 +39,31 @@ fn main() {
         exec_sweep.push(p.thread_sweep[0]);
     }
 
-    let mut series = Vec::new();
-    for &cc in &cc_counts {
-        let mut points = Vec::new();
-        for &exec in &exec_sweep {
-            let engine = build_bohm(&spec, cc, exec);
-            let cfg2 = cfg.clone();
-            let st = run_engine(
-                &engine,
-                PIPELINED_DRIVER_SESSIONS,
-                DriverConfig::default(),
-                p.secs,
-                move |i| Box::new(MicroGen::new(cfg2.clone(), 42 + i as u64)),
-            );
-            engine.shutdown();
-            points.push((exec as f64, st.throughput()));
-            eprintln!(
-                "cc={cc} exec={exec}: {:.0} txns/s ({:.1}M accesses/s)",
-                st.throughput(),
-                st.access_rate() / 1e6
-            );
-        }
-        series.push(Series::new(format!("CC={cc}"), points));
-    }
+    let xs: Vec<f64> = exec_sweep.iter().map(|&t| t as f64).collect();
+    let series: Vec<Series> = cc_counts
+        .iter()
+        .map(|&cc| {
+            sweep_series(format!("CC={cc}"), &xs, 1, |x, _| {
+                let exec = x as usize;
+                let engine = build_bohm(&spec, cc, exec);
+                let cfg2 = cfg.clone();
+                let st = run_engine(
+                    &engine,
+                    PIPELINED_DRIVER_SESSIONS,
+                    DriverConfig::default(),
+                    p.secs,
+                    move |i| Box::new(MicroGen::new(cfg2.clone(), 42 + i as u64)),
+                );
+                engine.shutdown();
+                eprintln!(
+                    "cc={cc} exec={exec}: {:.0} txns/s ({:.1}M accesses/s)",
+                    st.throughput(),
+                    st.access_rate() / 1e6
+                );
+                st.throughput()
+            })
+        })
+        .collect();
     print_figure(
         "Figure 4: CC/execution module interaction (10RMW uniform)",
         "exec_threads",

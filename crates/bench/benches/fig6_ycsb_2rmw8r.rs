@@ -10,7 +10,7 @@
 use bohm_bench::engines::EngineKind;
 use bohm_bench::figure::measure;
 use bohm_bench::params::Params;
-use bohm_bench::report::{print_figure, Series};
+use bohm_bench::report::{print_figure, sweep_series, Series};
 use bohm_workloads::ycsb::{YcsbConfig, YcsbGen, YcsbKind};
 
 fn main() {
@@ -26,24 +26,26 @@ fn main() {
             ..Default::default()
         };
         let spec = cfg.spec();
-        let mut series = Vec::new();
-        for kind in EngineKind::ALL {
-            let mut points = Vec::new();
-            for &t in &p.thread_sweep {
-                let cfg2 = cfg.clone();
-                let st = measure(kind, &spec, t, p.secs, &move |i| {
-                    Box::new(YcsbGen::new(&cfg2, YcsbKind::Rmw2Read8, 2000 + i as u64))
-                });
-                points.push((t as f64, st.throughput()));
-                eprintln!(
-                    "{} θ={theta} t={t}: {:.0} txns/s (abort rate {:.1}%)",
-                    kind.name(),
-                    st.throughput(),
-                    st.abort_rate() * 100.0
-                );
-            }
-            series.push(Series::new(kind.name(), points));
-        }
+        let xs: Vec<f64> = p.thread_sweep.iter().map(|&t| t as f64).collect();
+        let series: Vec<Series> = EngineKind::ALL
+            .iter()
+            .map(|&kind| {
+                sweep_series(kind.name(), &xs, 1, |x, _| {
+                    let t = x as usize;
+                    let cfg2 = cfg.clone();
+                    let st = measure(kind, &spec, t, p.secs, &move |i| {
+                        Box::new(YcsbGen::new(&cfg2, YcsbKind::Rmw2Read8, 2000 + i as u64))
+                    });
+                    eprintln!(
+                        "{} θ={theta} t={t}: {:.0} txns/s (abort rate {:.1}%)",
+                        kind.name(),
+                        st.throughput(),
+                        st.abort_rate() * 100.0
+                    );
+                    st.throughput()
+                })
+            })
+            .collect();
         print_figure(
             &format!("Figure 6 ({name}): YCSB 2RMW-8R"),
             "threads",

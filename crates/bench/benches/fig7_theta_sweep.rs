@@ -10,7 +10,7 @@
 use bohm_bench::engines::EngineKind;
 use bohm_bench::figure::measure;
 use bohm_bench::params::Params;
-use bohm_bench::report::{print_figure, Series};
+use bohm_bench::report::{print_figure, sweep_series, Series};
 use bohm_workloads::ycsb::{YcsbConfig, YcsbGen, YcsbKind};
 
 fn main() {
@@ -21,25 +21,25 @@ fn main() {
         vec![0.0, 0.5, 0.9]
     };
     let threads = p.max_threads;
-    let mut series = Vec::new();
-    for kind in EngineKind::ALL {
-        let mut points = Vec::new();
-        for &theta in &thetas {
-            let cfg = YcsbConfig {
-                records: p.ycsb_records,
-                record_size: p.ycsb_record_size,
-                theta,
-                ..Default::default()
-            };
-            let spec = cfg.spec();
-            let st = measure(kind, &spec, threads, p.secs, &move |i| {
-                Box::new(YcsbGen::new(&cfg, YcsbKind::Rmw2Read8, 3000 + i as u64))
-            });
-            points.push((theta, st.throughput()));
-            eprintln!("{} θ={theta}: {:.0} txns/s", kind.name(), st.throughput());
-        }
-        series.push(Series::new(kind.name(), points));
-    }
+    let series: Vec<Series> = EngineKind::ALL
+        .iter()
+        .map(|&kind| {
+            sweep_series(kind.name(), &thetas, 1, |theta, _| {
+                let cfg = YcsbConfig {
+                    records: p.ycsb_records,
+                    record_size: p.ycsb_record_size,
+                    theta,
+                    ..Default::default()
+                };
+                let spec = cfg.spec();
+                let st = measure(kind, &spec, threads, p.secs, &move |i| {
+                    Box::new(YcsbGen::new(&cfg, YcsbKind::Rmw2Read8, 3000 + i as u64))
+                });
+                eprintln!("{} θ={theta}: {:.0} txns/s", kind.name(), st.throughput());
+                st.throughput()
+            })
+        })
+        .collect();
     print_figure(
         &format!("Figure 7: YCSB 2RMW-8R vs contention ({threads} threads)"),
         "theta",

@@ -12,7 +12,7 @@
 use bohm_bench::engines::EngineKind;
 use bohm_bench::figure::measure;
 use bohm_bench::params::Params;
-use bohm_bench::report::{print_figure, Series};
+use bohm_bench::report::{print_figure, sweep_series, Series};
 use bohm_workloads::ycsb::{YcsbConfig, YcsbGen, YcsbKind};
 
 fn main() {
@@ -23,36 +23,35 @@ fn main() {
         vec![0.01, 0.25, 1.0]
     };
     let threads = p.max_threads;
-    let mut series = Vec::new();
-    for kind in EngineKind::ALL {
-        let mut points = Vec::new();
-        for &frac in &fractions {
-            let cfg = YcsbConfig {
-                records: p.ycsb_records,
-                record_size: p.ycsb_record_size,
-                theta: 0.0,
-                read_only_len: p.read_only_len,
-                read_only_fraction: frac,
-            };
-            let spec = cfg.spec();
-            let kind_sel = if frac >= 1.0 {
-                YcsbKind::ReadOnly
-            } else {
-                YcsbKind::Rmw10
-            };
-            let st = measure(kind, &spec, threads, p.secs, &move |i| {
-                Box::new(YcsbGen::new(&cfg, kind_sel, 4000 + i as u64))
-            });
-            points.push((frac * 100.0, st.throughput()));
-            eprintln!(
-                "{} ro={:.0}%: {:.0} txns/s",
-                kind.name(),
-                frac * 100.0,
+    // The x-axis is the read-only percentage; the closure recovers the
+    // fraction from it.
+    let xs: Vec<f64> = fractions.iter().map(|&f| f * 100.0).collect();
+    let series: Vec<Series> = EngineKind::ALL
+        .iter()
+        .map(|&kind| {
+            sweep_series(kind.name(), &xs, 1, |x, _| {
+                let frac = x / 100.0;
+                let cfg = YcsbConfig {
+                    records: p.ycsb_records,
+                    record_size: p.ycsb_record_size,
+                    theta: 0.0,
+                    read_only_len: p.read_only_len,
+                    read_only_fraction: frac,
+                };
+                let spec = cfg.spec();
+                let kind_sel = if frac >= 1.0 {
+                    YcsbKind::ReadOnly
+                } else {
+                    YcsbKind::Rmw10
+                };
+                let st = measure(kind, &spec, threads, p.secs, &move |i| {
+                    Box::new(YcsbGen::new(&cfg, kind_sel, 4000 + i as u64))
+                });
+                eprintln!("{} ro={x:.0}%: {:.0} txns/s", kind.name(), st.throughput());
                 st.throughput()
-            );
-        }
-        series.push(Series::new(kind.name(), points));
-    }
+            })
+        })
+        .collect();
     print_figure(
         &format!("Figure 8: long read-only transaction mix ({threads} threads)"),
         "read_only_%",

@@ -7,7 +7,7 @@
 use bohm_bench::engines::EngineKind;
 use bohm_bench::figure::measure;
 use bohm_bench::params::Params;
-use bohm_bench::report::fmt_tput;
+use bohm_bench::report::{fmt_tput, sweep_series};
 use bohm_workloads::ycsb::{YcsbConfig, YcsbGen, YcsbKind};
 
 fn main() {
@@ -30,12 +30,17 @@ fn main() {
     ];
     let mut results = Vec::new();
     for kind in order {
-        let cfg2 = cfg.clone();
-        let st = measure(kind, &spec, threads, p.secs, &move |i| {
-            Box::new(YcsbGen::new(&cfg2, YcsbKind::Rmw10, 5000 + i as u64))
+        // One point per engine; still routed through the shared sweep
+        // helper so bumping its `runs` medians every figure uniformly.
+        let s = sweep_series(kind.name(), &[0.0], 1, |_, _| {
+            let cfg2 = cfg.clone();
+            let st = measure(kind, &spec, threads, p.secs, &move |i| {
+                Box::new(YcsbGen::new(&cfg2, YcsbKind::Rmw10, 5000 + i as u64))
+            });
+            eprintln!("{}: {:.0} txns/s", kind.name(), st.throughput());
+            st.throughput()
         });
-        eprintln!("{}: {:.0} txns/s", kind.name(), st.throughput());
-        results.push((kind, st.throughput()));
+        results.push((kind, s.points[0].1));
     }
     let bohm = results
         .iter()

@@ -10,19 +10,24 @@
 //! additionally validate absent reads, so the OrderStatus probes show up
 //! as (rare) validation aborts under contention.
 //!
-//! Four figures: few warehouses (hot district counters — every NewOrder
+//! Six figures: few warehouses (hot district counters — every NewOrder
 //! RMWs one of `warehouses × 10` counters), many warehouses, the
 //! scan-heavy OrderHistory mix (50% range scans racing inserts/deletes at
-//! the window edges — where scan-path regressions land), and the
-//! index-heavy CustomerStatus mix (50% secondary-index scans racing
-//! NewOrder/Delivery maintenance of the scanned posting lists — where
-//! index-path regressions land).
+//! the window edges — where scan-path regressions land), the index-heavy
+//! CustomerStatus mix (50% secondary-index scans racing NewOrder/Delivery
+//! maintenance of the scanned posting lists — where index-path regressions
+//! land), the **shard-count scalability** sweep (per-shard sequencers
+//! behind the `ShardedEngine` facade — where the single-sequencer ceiling
+//! shows), and the **Zipfian hot-customer** sweep (skewed Payment targets
+//! with per-engine abort rates — where contention-handling regressions
+//! land).
 
-use bohm_bench::engines::EngineKind;
+use bohm_bench::driver::{run_engine, DriverConfig};
+use bohm_bench::engines::{build_sharded, shutdown_sharded, EngineKind};
 use bohm_bench::figure::measure;
 use bohm_bench::params::Params;
-use bohm_bench::report::{print_figure, write_bench_json, Series};
-use bohm_workloads::tpcc::{TpccConfig, TpccGen};
+use bohm_bench::report::{print_figure, sweep_series, write_bench_json, Series};
+use bohm_workloads::tpcc::{self, TpccConfig, TpccGen};
 
 /// The shared workload shape; figures vary only warehouses + generator.
 fn config(p: &Params, warehouses: u64) -> TpccConfig {
@@ -39,25 +44,12 @@ fn config(p: &Params, warehouses: u64) -> TpccConfig {
     }
 }
 
-/// Median of a non-empty sample (midpoint average for even counts).
-fn median(samples: &mut [f64]) -> f64 {
-    samples.sort_by(|a, b| a.total_cmp(b));
-    let n = samples.len();
-    if n % 2 == 1 {
-        samples[n / 2]
-    } else {
-        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
-    }
-}
-
 /// Sweep every engine over the thread counts for one figure.
 ///
-/// This figure feeds the CI perf gate, so each point is the **median of
-/// `p.runs` measurements after one discarded warmup run** — the warmup pays
-/// the cold-cache/page-fault cost that made smoke-mode first iterations
-/// land systematically low — and the per-point dispersion
-/// `(max − min) / median` rides along in the artifact so the gate can
-/// scale its regression threshold to the host's actual noise.
+/// This figure feeds the CI perf gate, so each point is the median-of-N
+/// with a discarded warmup and per-point dispersion (see
+/// [`sweep_series`]), letting the gate scale its regression threshold to
+/// the host's actual noise.
 fn engine_sweep(
     p: &Params,
     cfg: &TpccConfig,
@@ -65,42 +57,40 @@ fn engine_sweep(
     mk_gen: impl Fn(TpccConfig, usize) -> TpccGen + Copy + 'static,
 ) -> Vec<Series> {
     let spec = cfg.spec();
-    let mut series = Vec::new();
-    for kind in EngineKind::ALL {
-        let mut points = Vec::new();
-        let mut spread = Vec::new();
-        for &t in &p.thread_sweep {
-            let mut samples = Vec::with_capacity(p.runs);
-            for run in 0..=p.runs {
+    let xs: Vec<f64> = p.thread_sweep.iter().map(|&t| t as f64).collect();
+    EngineKind::ALL
+        .iter()
+        .map(|&kind| {
+            sweep_series(kind.name(), &xs, p.runs, |x, run| {
+                let t = x as usize;
                 let cfg2 = cfg.clone();
                 let st = measure(kind, &spec, t, p.secs, &move |i| {
                     Box::new(mk_gen(cfg2.clone(), i))
                 });
-                if run == 0 {
-                    continue; // cold run: discard
+                if run > 0 {
+                    eprintln!(
+                        "{} {tag} t={t} run={run}/{}: {:.0} txns/s (abort rate {:.1}%)",
+                        kind.name(),
+                        p.runs,
+                        st.throughput(),
+                        st.abort_rate() * 100.0
+                    );
                 }
-                samples.push(st.throughput());
-                eprintln!(
-                    "{} {tag} t={t} run={run}/{}: {:.0} txns/s (abort rate {:.1}%)",
-                    kind.name(),
-                    p.runs,
-                    st.throughput(),
-                    st.abort_rate() * 100.0
-                );
-            }
-            let med = median(&mut samples);
-            let (lo, hi) = (samples[0], samples[samples.len() - 1]);
-            points.push((t as f64, med));
-            spread.push(if med > 0.0 { (hi - lo) / med } else { 0.0 });
-        }
-        series.push(Series {
-            label: kind.name().into(),
-            points,
-            runs: p.runs,
-            spread,
-        });
-    }
-    series
+                st.throughput()
+            })
+        })
+        .collect()
+}
+
+/// Shard counts swept by the scalability figure: powers of two up to
+/// `BOHM_SHARDS` (default 4) — every one divides the 64 order stripes and
+/// the warehouse count the figure provisions.
+fn shard_counts() -> Vec<u32> {
+    let max = bohm_common::shard::env_shards(4);
+    [1u32, 2, 4, 8, 16, 32, 64]
+        .into_iter()
+        .filter(|&s| s <= max)
+        .collect()
 }
 
 fn main() {
@@ -146,6 +136,103 @@ fn main() {
         let title = "TPC-C-lite CustomerStatus index_scan mix".to_string();
         print_figure(&title, "threads", &series);
         artifact.push((title, series));
+    }
+    // Shard-count scalability: BOHM behind the ShardedEngine facade with
+    // per-shard sequencers/CC/exec pools, driven by the shard-affine
+    // stripe mix so transactions route single-shard. `shards = 1` *is*
+    // the single-sequencer baseline; throughput beyond it is what
+    // sharding buys. The remote-payment series pays the stop-the-world
+    // cross-shard commit protocol on 10% of Payments — the honest price
+    // of epoch-aligned cross-shard transactions.
+    {
+        let counts = shard_counts();
+        let max_shards = *counts.last().unwrap() as u64;
+        let cfg = config(&p, max_shards.max(4)); // warehouses % shards == 0
+        let spec = cfg.spec();
+        let threads = *p.thread_sweep.last().unwrap();
+        let xs: Vec<f64> = counts.iter().map(|&s| s as f64).collect();
+        let mut series = Vec::new();
+        for (label, remote) in [("Bohm affine", 0u32), ("Bohm 10% remote", 10)] {
+            series.push(sweep_series(label, &xs, p.runs, |x, run| {
+                let shards = x as u32;
+                let map = tpcc::shard_map(&cfg, shards).expect("figure config shards evenly");
+                let engine = build_sharded(EngineKind::Bohm, &spec, threads, map);
+                let sessions = (2 * shards as usize).min(cfg.order_stripes as usize);
+                let cfg2 = cfg.clone();
+                let st = run_engine(
+                    &engine,
+                    sessions,
+                    DriverConfig::default(),
+                    p.secs,
+                    move |i| {
+                        Box::new(
+                            TpccGen::new(cfg2.clone(), 13_000 + i as u64, i as u64)
+                                .shard_affine(shards)
+                                .remote_payments(remote),
+                        )
+                    },
+                );
+                let epochs = engine.epoch();
+                shutdown_sharded(engine);
+                if run > 0 {
+                    eprintln!(
+                        "{label} shards={shards} run={run}/{}: {:.0} txns/s \
+                         ({epochs} cross-shard epochs)",
+                        p.runs,
+                        st.throughput()
+                    );
+                }
+                st.throughput()
+            }));
+        }
+        let title = "TPC-C-lite shard-count scalability (Bohm)".to_string();
+        print_figure(&title, "shards", &series);
+        artifact.push((title, series));
+    }
+    // Zipfian hot-customer Payments (ROADMAP 5c): sweep the skew θ and
+    // report every engine's throughput *and* abort rate — BOHM never
+    // aborts (pre-ordered writes), the validating engines (OCC, Hekaton,
+    // SI) pay increasingly for the hot district/customer counters, and
+    // 2PL serializes on them without aborting. Both figures ride in the
+    // artifact so contention-handling regressions gate like any other.
+    {
+        let cfg = config(&p, 2);
+        let spec = cfg.spec();
+        let threads = *p.thread_sweep.last().unwrap();
+        let thetas: Vec<f64> = if p.smoke {
+            vec![0.0, 0.99]
+        } else {
+            vec![0.0, 0.6, 0.9, 0.99]
+        };
+        let mut tput = Vec::new();
+        let mut aborts = Vec::new();
+        for kind in EngineKind::ALL {
+            let mut abort_points = Vec::new();
+            let s = sweep_series(kind.name(), &thetas, 1, |theta, _| {
+                let cfg2 = cfg.clone();
+                let st = measure(kind, &spec, threads, p.secs, &move |i| {
+                    Box::new(
+                        TpccGen::new(cfg2.clone(), 15_000 + i as u64, i as u64).hot_payments(theta),
+                    )
+                });
+                abort_points.push((theta, st.abort_rate() * 100.0));
+                eprintln!(
+                    "{} hot θ={theta}: {:.0} txns/s (abort rate {:.1}%)",
+                    kind.name(),
+                    st.throughput(),
+                    st.abort_rate() * 100.0
+                );
+                st.throughput()
+            });
+            tput.push(s);
+            aborts.push(Series::new(kind.name(), abort_points));
+        }
+        let title = "TPC-C-lite hot-customer zipf mix".to_string();
+        print_figure(&title, "theta", &tput);
+        artifact.push((title, tput));
+        let title = "TPC-C-lite hot-customer zipf abort rate (%)".to_string();
+        print_figure(&title, "theta", &aborts);
+        artifact.push((title, aborts));
     }
     // Seed the perf trajectory: CI sets BOHM_BENCH_JSON and uploads the file.
     write_bench_json(&artifact, "threads");

@@ -27,6 +27,59 @@ impl Series {
     }
 }
 
+/// Median of a non-empty sample (midpoint average for even counts).
+pub fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let n = samples.len();
+    if n % 2 == 1 {
+        samples[n / 2]
+    } else {
+        (samples[n / 2 - 1] + samples[n / 2]) / 2.0
+    }
+}
+
+/// Build one series by sweeping the x-axis: each point is the **median of
+/// `runs` measurements after one discarded warmup run** — the warmup pays
+/// the cold-cache/page-fault cost that makes first iterations land
+/// systematically low — and the per-point `(max − min) / median`
+/// dispersion rides along in the artifact so the CI trend gate can scale
+/// its regression threshold to the host's actual noise.
+///
+/// `sample(x, run)` performs one measurement; `run` 0 is the discarded
+/// warmup, `1..=runs` are kept. With `runs == 1` the figure stays
+/// **single-shot** — one measurement per point, no warmup, no dispersion
+/// data — exactly [`Series::new`] semantics.
+pub fn sweep_series(
+    label: impl Into<String>,
+    xs: &[f64],
+    runs: usize,
+    mut sample: impl FnMut(f64, usize) -> f64,
+) -> Series {
+    assert!(runs >= 1, "a series point needs at least one measurement");
+    let mut points = Vec::with_capacity(xs.len());
+    let mut spread = Vec::with_capacity(xs.len());
+    for &x in xs {
+        let mut samples = Vec::with_capacity(runs);
+        let first_run = if runs == 1 { 1 } else { 0 };
+        for run in first_run..=runs {
+            let y = sample(x, run);
+            if run > 0 {
+                samples.push(y);
+            }
+        }
+        let med = median(&mut samples);
+        let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+        points.push((x, med));
+        spread.push(if med > 0.0 { (hi - lo) / med } else { 0.0 });
+    }
+    Series {
+        label: label.into(),
+        points,
+        runs,
+        spread: if runs == 1 { Vec::new() } else { spread },
+    }
+}
+
 /// Print a figure's series as an aligned table plus machine-readable CSV.
 pub fn print_figure(title: &str, x_label: &str, series: &[Series]) {
     println!();
@@ -153,6 +206,47 @@ pub fn fmt_tput(v: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut [7.0]), 7.0);
+    }
+
+    #[test]
+    fn sweep_series_medians_after_one_warmup() {
+        // Per x: runs 0 (warmup), 1, 2, 3 → samples 10(x+1)·{1,2,3} with
+        // the warmup deliberately absurd so inclusion would be visible.
+        let mut calls = Vec::new();
+        let s = sweep_series("e", &[1.0, 2.0], 3, |x, run| {
+            calls.push((x, run));
+            if run == 0 {
+                return 1e9;
+            }
+            10.0 * x * run as f64
+        });
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.points, vec![(1.0, 20.0), (2.0, 40.0)]);
+        // (max − min) / median = (30 − 10) / 20 = 1.0 at x=1.
+        assert_eq!(s.spread, vec![1.0, 1.0]);
+        assert_eq!(calls.len(), 8, "one warmup + three kept runs per point");
+        assert_eq!(calls[0], (1.0, 0));
+    }
+
+    #[test]
+    fn sweep_series_single_shot_skips_warmup() {
+        let mut calls = 0;
+        let s = sweep_series("e", &[4.0], 1, |x, run| {
+            calls += 1;
+            assert_eq!(run, 1, "single-shot must not issue a warmup");
+            x * 2.0
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(s.points, vec![(4.0, 8.0)]);
+        assert_eq!(s.runs, 1);
+        assert!(s.spread.is_empty());
+    }
 
     #[test]
     fn tput_formatting() {

@@ -48,6 +48,11 @@ pub trait Engine: Send + Sync + 'static {
     /// Read the committed `u64` prefix of a record while the engine is
     /// quiescent (verification hooks for tests).
     fn read_u64(&self, rid: crate::RecordId) -> Option<u64>;
+
+    /// Snapshot the full committed payload of a record while the engine is
+    /// quiescent; `None` for a record that does not (currently) exist.
+    /// The cross-shard commit path reads participating shards through this.
+    fn read_record(&self, rid: crate::RecordId) -> Option<crate::Value>;
 }
 
 /// One client's submission stream into a [`BatchEngine`].
@@ -93,6 +98,19 @@ pub trait BatchEngine: Send + Sync + 'static {
     /// Read the committed `u64` prefix of a record while the engine is
     /// quiescent (verification hooks for tests).
     fn read_u64(&self, rid: crate::RecordId) -> Option<u64>;
+
+    /// Snapshot the full committed payload of a record while the engine is
+    /// quiescent; `None` for a record that does not (currently) exist.
+    fn read_record(&self, rid: crate::RecordId) -> Option<crate::Value>;
+
+    /// Block until every transaction submitted (by any session) before this
+    /// call has a decision applied to the store — an **epoch retirement
+    /// barrier**. Synchronous engines execute inside `submit` and are
+    /// always quiescent (the default no-op); pipelined engines must drain
+    /// their in-flight batches. The sharded facade aligns shards on a
+    /// common epoch by quiescing every participant before a cross-shard
+    /// transaction executes.
+    fn quiesce(&self) {}
 }
 
 /// [`Session`] adapter over an interactive [`Engine`] worker: `submit`
@@ -141,4 +159,11 @@ impl<E: Engine> BatchEngine for E {
     fn read_u64(&self, rid: crate::RecordId) -> Option<u64> {
         Engine::read_u64(self, rid)
     }
+
+    fn read_record(&self, rid: crate::RecordId) -> Option<crate::Value> {
+        Engine::read_record(self, rid)
+    }
+
+    // `quiesce`: interactive engines execute synchronously inside `submit`,
+    // so the default no-op is exact.
 }

@@ -144,7 +144,11 @@ pub fn range_audit_fingerprint(count: u64, first_row: u64) -> u64 {
 }
 
 /// Transaction logic, parameterized by the declared read/write sets.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+///
+/// `Clone` but (since [`Procedure::Apply`]) no longer `Copy`: cloning is a
+/// cheap `Arc` bump in the worst case, and every engine hot path takes the
+/// procedure by reference.
+#[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Procedure {
     /// Read every read-set entry, fold a checksum, write nothing. Used by
     /// YCSB long read-only transactions (§4.2.3).
@@ -198,6 +202,20 @@ pub enum Procedure {
     /// Exercises the delete path (including blind deletes of absent slots
     /// and aborted-delete rollback) outside the TPC-C mix.
     GuardedDelete { min: u64 },
+    /// Positionally apply a precomputed effect: write `values[i]` to
+    /// write-set entry `i` (`Some` ⇒ full-record write, `None` ⇒ delete).
+    /// No reads, no logic, no aborts — the sharded facade's cross-shard
+    /// commit path runs the real procedure once against the aligned epoch's
+    /// state, then installs each shard's slice of the write set through one
+    /// `Apply` sub-plan, so every shard commits the identical deterministic
+    /// effect without voting. Fingerprint = 0 (the orchestrator reports the
+    /// real procedure's fingerprint). Layout: reads = `[]`, writes = the
+    /// shard's slice, `values.len() == writes.len()`.
+    Apply {
+        /// Per-write-position payloads; `Arc` keeps `Procedure: Clone`
+        /// a pointer bump even when a sub-plan carries fat records.
+        values: std::sync::Arc<[Option<crate::Value>]>,
+    },
 }
 
 /// Reusable per-worker execution scratch: the byte workhorse plus every
@@ -322,6 +340,16 @@ pub fn execute_procedure(
                 access.delete(w)?;
             }
             Ok(g)
+        }
+        Procedure::Apply { values } => {
+            debug_assert_eq!(values.len(), writes.len(), "Apply: one value per write");
+            for (w, v) in values.iter().enumerate() {
+                match v {
+                    Some(data) => access.write(w, data)?,
+                    None => access.delete(w)?,
+                }
+            }
+            Ok(0)
         }
     }
 }
@@ -1379,6 +1407,31 @@ mod tests {
         .unwrap();
         assert_eq!(fp, 9, "fingerprint is the guard value");
         assert!(a.deleted.iter().all(|d| *d));
+    }
+
+    #[test]
+    fn apply_writes_and_deletes_positionally() {
+        let writes = vec![rid(5), rid(6), rid(7)];
+        let values: std::sync::Arc<[Option<crate::Value>]> = vec![
+            Some(crate::value::of_u64(11, 8)),
+            None,
+            Some(crate::value::of_u64(13, 8)),
+        ]
+        .into();
+        let mut a = MemAccess::new(vec![], 3, 8);
+        let mut scratch = ExecScratch::new();
+        let fp = exec_no_scans(
+            &Procedure::Apply { values },
+            &[],
+            &writes,
+            &mut a,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(fp, 0, "Apply carries no fingerprint of its own");
+        assert_eq!(a.written_u64(0), 11);
+        assert!(a.deleted[1], "None applies as a delete");
+        assert_eq!(a.written_u64(2), 13);
     }
 
     #[test]

@@ -1,0 +1,1070 @@
+//! Keyspace sharding: N independent engine instances behind one facade.
+//!
+//! The single sequencer thread (and single window ring) is the scalability
+//! ceiling of one BOHM instance. [`ShardedEngine`] partitions the keyspace
+//! across N *complete* engine instances — per-shard sequencers, CC/exec
+//! pools, window rings and GC — and exploits BOHM's determinism for
+//! cross-shard transactions, Calvin-style: no 2PC voting on the data path.
+//!
+//! * A [`ShardMap`] assigns every record to exactly one **owner** shard
+//!   (per-table [`ShardStrategy`]). Each shard engine is built from the
+//!   full catalog, but only its owned records are ever authoritative —
+//!   single-shard transactions touch owned records exclusively, and the
+//!   cross-shard path reads/writes each record on its owner.
+//! * [`ShardMap::route`] derives a transaction's participating-shard set
+//!   ([`ShardSet`]) from its declared read/write/scan/index-scan sets —
+//!   the same pre-declared sets BOHM's own CC phase relies on.
+//! * **Single-shard** transactions (the overwhelming majority under a good
+//!   partition key) are forwarded verbatim to their owner shard's session:
+//!   full pipelining, no global coordination. With one shard the facade is
+//!   pure pass-through, fingerprint-identical to the bare engine.
+//! * **Cross-shard** transactions align the shards on a fresh **global
+//!   epoch**: the facade bumps the shared epoch counter, quiesces every
+//!   participant (an epoch-retirement barrier — all transactions sequenced
+//!   before the bump are complete), executes the procedure *once* against
+//!   the aligned committed state, and installs each shard's slice of the
+//!   write set through one deterministic [`Procedure::Apply`] sub-plan.
+//!   The transaction is committed when every participant retires the
+//!   epoch; the result is assembled here in the session layer. There is no
+//!   voting — determinism makes every shard's decision identical.
+//!
+//! Writer exclusion uses a readers-writer lock: single-shard submits hold
+//! it shared (submission only — reaping is lock-free), a cross-shard commit
+//! holds it exclusively for the quiesce→execute→apply window. GC interacts
+//! through the same barrier: quiescing a shard drains its window ring, so
+//! per-shard GC watermarks advance past the epoch boundary and no shard
+//! reclaims versions an in-flight cross-shard read could still observe.
+
+use crate::engine::{BatchEngine, ExecOutcome, Session};
+use crate::procedures::{execute_procedure, ExecScratch, Procedure};
+use crate::{AbortReason, Access, RecordId, ScanRange, TableId, Txn, Value};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Upper bound on shard count: [`ShardSet`] is a `u64` bitmask.
+pub const MAX_SHARDS: u32 = 64;
+
+/// How one table's rows map to shards.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ShardStrategy {
+    /// The whole table lives on one shard (small/dimension tables).
+    Fixed(u32),
+    /// `shard = row % shards` — fine-grained spreading.
+    Modulo,
+    /// `shard = (row / block) % shards` — contiguous blocks of `block`
+    /// rows stay together (TPC-C order stripes: co-locate a stripe's rows
+    /// so stripe-local transactions are single-shard).
+    Blocks { block: u64 },
+}
+
+/// Table/key → shard assignment plus per-transaction routing.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    shards: u32,
+    /// Per table (dense [`TableId`] order).
+    strategies: Vec<ShardStrategy>,
+    /// Per table: `true` if posting lists stored in this table only
+    /// reference member rows owned by the *same* shard as the list record,
+    /// letting index scans route on the list alone.
+    colocated_lists: Vec<bool>,
+}
+
+impl ShardMap {
+    /// Validates the configuration (`TpccConfig::validate` style: clear
+    /// errors, no panics).
+    pub fn new(shards: u32, strategies: Vec<ShardStrategy>) -> Result<Self, String> {
+        if shards == 0 {
+            return Err("shards must be at least 1".into());
+        }
+        if shards > MAX_SHARDS {
+            return Err(format!(
+                "at most {MAX_SHARDS} shards (ShardSet is a u64 bitmask), got {shards}"
+            ));
+        }
+        for (t, s) in strategies.iter().enumerate() {
+            match *s {
+                ShardStrategy::Fixed(f) if f >= shards => {
+                    return Err(format!(
+                        "table {t}: Fixed({f}) is out of range for {shards} shards"
+                    ));
+                }
+                ShardStrategy::Blocks { block: 0 } => {
+                    return Err(format!("table {t}: Blocks block size must be non-zero"));
+                }
+                _ => {}
+            }
+        }
+        let colocated_lists = vec![false; strategies.len()];
+        Ok(Self {
+            shards,
+            strategies,
+            colocated_lists,
+        })
+    }
+
+    /// Declare that posting lists in `table` reference only member rows
+    /// co-owned with the list record, so index scans through them route on
+    /// the list read alone (no conservative fan-out to every shard).
+    #[must_use]
+    pub fn with_colocated_lists(mut self, table: TableId) -> Self {
+        self.colocated_lists[table.index()] = true;
+        self
+    }
+
+    /// Number of shards this map partitions across.
+    pub fn shards(&self) -> u32 {
+        self.shards
+    }
+
+    /// Owner shard of one record.
+    #[inline]
+    pub fn shard_of(&self, rid: RecordId) -> u32 {
+        match self.strategies[rid.table.index()] {
+            ShardStrategy::Fixed(s) => s,
+            ShardStrategy::Modulo => (rid.row % self.shards as u64) as u32,
+            ShardStrategy::Blocks { block } => ((rid.row / block) % self.shards as u64) as u32,
+        }
+    }
+
+    /// Shards owning any row of a declared range.
+    fn shards_of_range(&self, s: &ScanRange) -> ShardSet {
+        if s.is_empty() {
+            return ShardSet::empty();
+        }
+        match self.strategies[s.table.index()] {
+            ShardStrategy::Fixed(f) => ShardSet::single(f),
+            ShardStrategy::Modulo => {
+                if s.len() >= self.shards as u64 {
+                    ShardSet::all(self.shards)
+                } else {
+                    let mut set = ShardSet::empty();
+                    for row in s.rows() {
+                        set.add((row % self.shards as u64) as u32);
+                    }
+                    set
+                }
+            }
+            ShardStrategy::Blocks { block } => {
+                let (first, last) = (s.lo / block, (s.hi - 1) / block);
+                if last - first + 1 >= self.shards as u64 {
+                    ShardSet::all(self.shards)
+                } else {
+                    let mut set = ShardSet::empty();
+                    for b in first..=last {
+                        set.add((b % self.shards as u64) as u32);
+                    }
+                    set
+                }
+            }
+        }
+    }
+
+    /// Participating shards of one transaction, derived from its declared
+    /// sets. An index scan through a non-colocated posting-list table
+    /// conservatively involves every shard (member rows are only known at
+    /// execution time); a transaction that declares nothing routes to
+    /// shard 0.
+    pub fn route(&self, txn: &Txn) -> ShardSet {
+        let mut set = ShardSet::empty();
+        for r in txn.reads.iter() {
+            set.add(self.shard_of(*r));
+        }
+        for w in txn.writes.iter() {
+            set.add(self.shard_of(*w));
+        }
+        for s in txn.scans.iter() {
+            set = set.union(self.shards_of_range(s));
+        }
+        for is in txn.index_scans.iter() {
+            let list = txn.reads[is.list];
+            if !self.colocated_lists[list.table.index()] {
+                return ShardSet::all(self.shards);
+            }
+        }
+        if set.is_empty() {
+            set.add(0);
+        }
+        set
+    }
+}
+
+/// A set of shard ids (bitmask over at most [`MAX_SHARDS`]).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ShardSet(u64);
+
+impl ShardSet {
+    pub fn empty() -> Self {
+        Self(0)
+    }
+
+    pub fn all(n: u32) -> Self {
+        debug_assert!((1..=MAX_SHARDS).contains(&n));
+        Self(if n == 64 { u64::MAX } else { (1u64 << n) - 1 })
+    }
+
+    pub fn single(s: u32) -> Self {
+        Self(1u64 << s)
+    }
+
+    pub fn add(&mut self, s: u32) {
+        debug_assert!(s < MAX_SHARDS);
+        self.0 |= 1u64 << s;
+    }
+
+    #[must_use]
+    pub fn union(self, other: Self) -> Self {
+        Self(self.0 | other.0)
+    }
+
+    pub fn contains(self, s: u32) -> bool {
+        self.0 & (1u64 << s) != 0
+    }
+
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    pub fn is_single(self) -> bool {
+        self.len() == 1
+    }
+
+    /// Lowest shard id in the set. Panics on an empty set.
+    pub fn first(self) -> u32 {
+        debug_assert!(!self.is_empty());
+        self.0.trailing_zeros()
+    }
+
+    /// Iterate member shard ids in ascending order.
+    pub fn iter(self) -> impl Iterator<Item = u32> {
+        let mut bits = self.0;
+        std::iter::from_fn(move || {
+            if bits == 0 {
+                None
+            } else {
+                let s = bits.trailing_zeros();
+                bits &= bits - 1;
+                Some(s)
+            }
+        })
+    }
+}
+
+/// N engine instances behind the standard [`BatchEngine`] facade.
+///
+/// Generic over any [`BatchEngine`], so the equivalence suite can shard
+/// every engine, not just BOHM. See the [module docs](self) for the
+/// protocol.
+pub struct ShardedEngine<E: BatchEngine> {
+    shards: Vec<E>,
+    map: ShardMap,
+    record_sizes: Vec<usize>,
+    /// Global epoch counter, bumped once per cross-shard transaction.
+    /// Shard engines that stamp batches with an epoch (BOHM's
+    /// `epoch_source`) should share this exact counter.
+    epoch: Arc<AtomicU64>,
+    /// Single-shard submits hold this shared; a cross-shard commit holds it
+    /// exclusively across its quiesce→execute→apply window.
+    align: RwLock<()>,
+}
+
+impl<E: BatchEngine> ShardedEngine<E> {
+    /// Wrap `shards` (one fully-constructed engine per shard, identical
+    /// catalogs) under `map`. `record_sizes` is the per-table record size,
+    /// needed to validate cross-shard write payloads like the engines do.
+    pub fn new(shards: Vec<E>, map: ShardMap, record_sizes: Vec<usize>) -> Result<Self, String> {
+        Self::with_epoch_source(shards, map, record_sizes, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// Like [`new`](Self::new), but sharing `epoch` — pass the same counter
+    /// as each shard's `epoch_source` so per-shard batch stamps and this
+    /// facade agree on the global epoch.
+    pub fn with_epoch_source(
+        shards: Vec<E>,
+        map: ShardMap,
+        record_sizes: Vec<usize>,
+        epoch: Arc<AtomicU64>,
+    ) -> Result<Self, String> {
+        if shards.is_empty() {
+            return Err("sharded engine needs at least one shard".into());
+        }
+        if shards.len() != map.shards() as usize {
+            return Err(format!(
+                "shard map declares {} shards but {} engines were supplied",
+                map.shards(),
+                shards.len()
+            ));
+        }
+        Ok(Self {
+            shards,
+            map,
+            record_sizes,
+            epoch,
+            align: RwLock::new(()),
+        })
+    }
+
+    /// Current global epoch (number of cross-shard transactions so far).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// The shard map in force.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// Borrow the shard engines (diagnostics).
+    pub fn shard_engines(&self) -> &[E] {
+        &self.shards
+    }
+
+    /// Unwrap into the shard engines, e.g. to run each shard's shutdown.
+    pub fn into_shards(self) -> Vec<E> {
+        self.shards
+    }
+
+    /// The cross-shard commit path (exclusive; see module docs).
+    fn commit_cross_shard(
+        &self,
+        txn: &Txn,
+        parts: ShardSet,
+        scratch: &mut ExecScratch,
+    ) -> ExecOutcome {
+        let _x = self.align.write().expect("shard alignment lock poisoned");
+        // Bump first: batches any participant seals from here on carry the
+        // new epoch, including the quiesce barriers below.
+        self.epoch.fetch_add(1, Ordering::AcqRel);
+        // Epoch alignment: every transaction sequenced before the bump is
+        // complete and its batch retired before we read anything.
+        for s in parts.iter() {
+            self.shards[s as usize].quiesce();
+        }
+        txn.think();
+        let mut access = ShardAccess {
+            shards: &self.shards,
+            map: &self.map,
+            record_sizes: &self.record_sizes,
+            txn,
+            pending: Vec::new(),
+        };
+        match execute_procedure(
+            &txn.proc,
+            &txn.reads,
+            &txn.writes,
+            &txn.scans,
+            &mut access,
+            scratch,
+        ) {
+            Ok(fingerprint) => {
+                // Collapse repeated writes of one record (last wins), then
+                // install each shard's slice through one deterministic
+                // `Apply` sub-plan on its own sequencer.
+                let mut effects: Vec<(RecordId, Option<Value>)> =
+                    Vec::with_capacity(access.pending.len());
+                for (rid, v) in access.pending {
+                    match effects.iter_mut().find(|(r, _)| *r == rid) {
+                        Some(slot) => slot.1 = v,
+                        None => effects.push((rid, v)),
+                    }
+                }
+                for s in parts.iter() {
+                    let mut rids = Vec::new();
+                    let mut values = Vec::new();
+                    for (rid, v) in &effects {
+                        if self.map.shard_of(*rid) == s {
+                            rids.push(*rid);
+                            values.push(v.clone());
+                        }
+                    }
+                    if rids.is_empty() {
+                        continue; // read-only participant
+                    }
+                    let mut sess = self.shards[s as usize].open_session();
+                    sess.submit(Txn::new(
+                        Vec::new(),
+                        rids,
+                        Procedure::Apply {
+                            values: values.into(),
+                        },
+                    ));
+                    let out = sess.reap();
+                    debug_assert!(out.committed, "Apply sub-plans cannot abort");
+                }
+                // Committed once every participant retires the epoch: the
+                // sub-plans (and the barriers themselves) carry the new
+                // epoch stamp, so after this loop `retired_epoch >= epoch`
+                // on every participating shard.
+                for s in parts.iter() {
+                    self.shards[s as usize].quiesce();
+                }
+                ExecOutcome {
+                    committed: true,
+                    fingerprint,
+                    cc_retries: 0,
+                }
+            }
+            Err(AbortReason::User) => ExecOutcome {
+                committed: false,
+                fingerprint: 0,
+                cc_retries: 0,
+            },
+            Err(e) => unreachable!("cross-shard execution cannot raise {e:?}"),
+        }
+    }
+}
+
+impl<E: BatchEngine> BatchEngine for ShardedEngine<E> {
+    type Session<'a>
+        = ShardedSession<'a, E>
+    where
+        E: 'a;
+
+    fn name(&self) -> &'static str {
+        "Sharded"
+    }
+
+    fn open_session(&self) -> ShardedSession<'_, E> {
+        ShardedSession {
+            engine: self,
+            subs: self.shards.iter().map(|s| s.open_session()).collect(),
+            fifo: VecDeque::new(),
+            scratch: ExecScratch::new(),
+        }
+    }
+
+    fn read_u64(&self, rid: RecordId) -> Option<u64> {
+        self.shards[self.map.shard_of(rid) as usize].read_u64(rid)
+    }
+
+    fn read_record(&self, rid: RecordId) -> Option<Value> {
+        self.shards[self.map.shard_of(rid) as usize].read_record(rid)
+    }
+
+    fn quiesce(&self) {
+        for s in &self.shards {
+            s.quiesce();
+        }
+    }
+}
+
+/// Where one submitted transaction's outcome will come from.
+enum Slot {
+    /// Forwarded to shard `s`; reap from its sub-session.
+    Routed(u32),
+    /// Executed inline (cross-shard); outcome already assembled.
+    Done(ExecOutcome),
+}
+
+/// [`Session`] over a [`ShardedEngine`]: one sub-session per shard plus a
+/// FIFO tying reaps back to the right source. Single-shard transactions
+/// stay fully pipelined on their shard; cross-shard transactions complete
+/// inline during `submit` (their epoch must close before anything later
+/// may observe it).
+pub struct ShardedSession<'a, E: BatchEngine> {
+    engine: &'a ShardedEngine<E>,
+    subs: Vec<E::Session<'a>>,
+    fifo: VecDeque<Slot>,
+    scratch: ExecScratch,
+}
+
+impl<E: BatchEngine> Session for ShardedSession<'_, E> {
+    fn submit(&mut self, txn: Txn) {
+        let parts = self.engine.map.route(&txn);
+        let slot = if parts.is_single() {
+            let s = parts.first();
+            // Shared lock only across the enqueue: cross-shard commits must
+            // not begin mid-submission, but reaping (and the shard's own
+            // pipeline) proceeds without the lock.
+            let _s = self
+                .engine
+                .align
+                .read()
+                .expect("shard alignment lock poisoned");
+            self.subs[s as usize].submit(txn);
+            Slot::Routed(s)
+        } else {
+            Slot::Done(
+                self.engine
+                    .commit_cross_shard(&txn, parts, &mut self.scratch),
+            )
+        };
+        self.fifo.push_back(slot);
+    }
+
+    fn in_flight(&self) -> usize {
+        self.fifo.len()
+    }
+
+    fn reap(&mut self) -> ExecOutcome {
+        match self.fifo.pop_front().expect("reap with nothing in flight") {
+            Slot::Routed(s) => self.subs[s as usize].reap(),
+            Slot::Done(out) => out,
+        }
+    }
+}
+
+/// [`Access`] for the cross-shard path: reads resolve against the owner
+/// shard's committed state (every participant is quiescent and
+/// epoch-aligned), writes/deletes buffer into `pending` exactly like the
+/// serial oracle's access does — the procedure runs once, here, and shards
+/// only ever see its precomputed effects.
+struct ShardAccess<'a, E: BatchEngine> {
+    shards: &'a [E],
+    map: &'a ShardMap,
+    record_sizes: &'a [usize],
+    txn: &'a Txn,
+    /// Buffered writes and deletes (`None` = delete) in program order.
+    pending: Vec<(RecordId, Option<Value>)>,
+}
+
+impl<E: BatchEngine> ShardAccess<'_, E> {
+    fn committed(&self, rid: RecordId) -> Option<Value> {
+        self.shards[self.map.shard_of(rid) as usize].read_record(rid)
+    }
+}
+
+impl<E: BatchEngine> Access for ShardAccess<'_, E> {
+    fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
+        if !self.read_maybe(idx, out)? {
+            panic!("read of unknown record {}", self.txn.reads[idx]);
+        }
+        Ok(())
+    }
+
+    fn read_maybe(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<bool, AbortReason> {
+        let rid = self.txn.reads[idx];
+        if let Some((_, data)) = self.pending.iter().rev().find(|(r, _)| *r == rid) {
+            return Ok(match data {
+                Some(d) => {
+                    out(d);
+                    true
+                }
+                None => false, // deleted by this transaction
+            });
+        }
+        match self.committed(rid) {
+            Some(data) => {
+                out(&data);
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason> {
+        let rid = self.txn.writes[idx];
+        assert_eq!(
+            data.len(),
+            self.record_sizes[rid.table.index()],
+            "payload must be record-sized"
+        );
+        self.pending.push((rid, Some(data.into())));
+        Ok(())
+    }
+
+    fn delete(&mut self, idx: usize) -> Result<(), AbortReason> {
+        self.pending.push((self.txn.writes[idx], None));
+        Ok(())
+    }
+
+    fn scan(&mut self, idx: usize, out: &mut dyn FnMut(u64, &[u8])) -> Result<u64, AbortReason> {
+        // Aligned-epoch committed membership, in key order — the same
+        // serial-point semantics the per-engine phantom protection
+        // guarantees, here by exclusion (every participant is quiescent
+        // and no writer can start until this epoch closes).
+        let s = self.txn.scans[idx];
+        let mut n = 0;
+        for row in s.rows() {
+            if let Some(data) = self.committed(RecordId {
+                table: s.table,
+                row,
+            }) {
+                out(row, &data);
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    fn index_scan(
+        &mut self,
+        idx: usize,
+        out: &mut dyn FnMut(u64, &[u8]),
+    ) -> Result<u64, AbortReason> {
+        // Committed posting list at the aligned epoch, each member row read
+        // from its owner shard's committed state, ascending row order —
+        // mirrors the serial oracle (the pending buffer is not consulted;
+        // index-scanned keys must not be in the transaction's write set).
+        let s = self.txn.index_scans[idx];
+        let Some(list) = self.committed(self.txn.reads[s.list]) else {
+            return Ok(0);
+        };
+        let mut n = 0;
+        for row in crate::index::posting_rows(&list) {
+            if let Some(data) = self.committed(RecordId {
+                table: s.table,
+                row,
+            }) {
+                out(row, &data);
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    fn write_len(&mut self, idx: usize) -> usize {
+        self.record_sizes[self.txn.writes[idx].table.index()]
+    }
+}
+
+/// Shard count for sharded harness/bench runs: `default` unless the
+/// `BOHM_SHARDS` environment variable overrides it (CI's sharded smoke leg
+/// sets 4). Values are clamped to `1..=MAX_SHARDS`.
+pub fn env_shards(default: u32) -> u32 {
+    std::env::var("BOHM_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(default)
+        .clamp(1, MAX_SHARDS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::value;
+    use std::sync::Mutex;
+
+    // -- map / set -----------------------------------------------------
+
+    fn map2() -> ShardMap {
+        ShardMap::new(2, vec![ShardStrategy::Modulo, ShardStrategy::Fixed(1)]).unwrap()
+    }
+
+    #[test]
+    fn map_validation_rejects_bad_configs() {
+        assert!(ShardMap::new(0, vec![]).unwrap_err().contains("at least 1"));
+        assert!(ShardMap::new(65, vec![])
+            .unwrap_err()
+            .contains("at most 64"));
+        assert!(ShardMap::new(2, vec![ShardStrategy::Fixed(2)])
+            .unwrap_err()
+            .contains("out of range"));
+        assert!(ShardMap::new(2, vec![ShardStrategy::Blocks { block: 0 }])
+            .unwrap_err()
+            .contains("non-zero"));
+    }
+
+    #[test]
+    fn shard_set_operations() {
+        let mut s = ShardSet::empty();
+        assert!(s.is_empty());
+        s.add(3);
+        s.add(0);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(0) && s.contains(3) && !s.contains(1));
+        assert_eq!(s.first(), 0);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(ShardSet::all(64).len(), 64);
+        assert_eq!(ShardSet::all(5).len(), 5);
+        assert!(ShardSet::single(7).is_single());
+    }
+
+    #[test]
+    fn routing_follows_strategies() {
+        let m = map2();
+        // Modulo table 0: row parity picks the shard.
+        assert_eq!(m.shard_of(RecordId::new(0, 4)), 0);
+        assert_eq!(m.shard_of(RecordId::new(0, 5)), 1);
+        // Fixed table 1: always shard 1.
+        assert_eq!(m.shard_of(RecordId::new(1, 4)), 1);
+
+        let single = Txn::new(
+            vec![RecordId::new(0, 2)],
+            vec![RecordId::new(0, 2)],
+            Procedure::ReadModifyWrite { delta: 1 },
+        );
+        assert_eq!(m.route(&single), ShardSet::single(0));
+
+        let cross = Txn::new(
+            vec![RecordId::new(0, 2), RecordId::new(0, 3)],
+            vec![],
+            Procedure::ReadOnly,
+        );
+        assert_eq!(m.route(&cross), ShardSet::all(2));
+
+        // Empty declared sets route to shard 0.
+        let empty = Txn::new(vec![], vec![], Procedure::ReadOnly);
+        assert_eq!(m.route(&empty), ShardSet::single(0));
+    }
+
+    #[test]
+    fn block_strategy_keeps_stripes_together() {
+        let m = ShardMap::new(4, vec![ShardStrategy::Blocks { block: 100 }]).unwrap();
+        for row in 0..100 {
+            assert_eq!(m.shard_of(RecordId::new(0, row)), 0);
+        }
+        assert_eq!(m.shard_of(RecordId::new(0, 100)), 1);
+        assert_eq!(m.shard_of(RecordId::new(0, 499)), 0); // stripe 4 wraps
+
+        // A scan inside one stripe stays on that stripe's shard.
+        let narrow = Txn::with_scans(
+            vec![],
+            vec![],
+            vec![ScanRange::new(0, 110, 140)],
+            Procedure::RangeAudit { expect_base: 0 },
+        );
+        assert_eq!(m.route(&narrow), ShardSet::single(1));
+        // A scan spanning ≥ N stripes touches every shard.
+        let wide = Txn::with_scans(
+            vec![],
+            vec![],
+            vec![ScanRange::new(0, 0, 400)],
+            Procedure::RangeAudit { expect_base: 0 },
+        );
+        assert_eq!(m.route(&wide), ShardSet::all(4));
+    }
+
+    #[test]
+    fn narrow_modulo_scan_routes_precisely() {
+        let m = ShardMap::new(4, vec![ShardStrategy::Modulo]).unwrap();
+        let t = Txn::with_scans(
+            vec![],
+            vec![],
+            vec![ScanRange::new(0, 8, 10)], // rows 8, 9 → shards 0, 1
+            Procedure::RangeAudit { expect_base: 0 },
+        );
+        let set = m.route(&t);
+        assert_eq!(set.iter().collect::<Vec<_>>(), vec![0, 1]);
+    }
+
+    #[test]
+    fn index_scan_routing_honours_colocation() {
+        use crate::txn::IndexScan;
+        // Table 0 = member rows, table 1 = posting lists; both Modulo.
+        let strategies = vec![ShardStrategy::Modulo, ShardStrategy::Modulo];
+        let plain = ShardMap::new(4, strategies.clone()).unwrap();
+        // Routing inspects declared sets only, so any procedure works here.
+        let t = Txn::with_index_scans(
+            vec![RecordId::new(1, 4)], // list on shard 0
+            vec![],
+            vec![IndexScan::new(0, 0)],
+            Procedure::ReadOnly,
+        );
+        // Non-colocated: member rows could live anywhere.
+        assert_eq!(plain.route(&t), ShardSet::all(4));
+        // Colocated: the list read alone covers the scan.
+        let colo = ShardMap::new(4, strategies)
+            .unwrap()
+            .with_colocated_lists(TableId(1));
+        assert_eq!(colo.route(&t), ShardSet::single(0));
+    }
+
+    // -- a minimal interactive engine to exercise the facade -----------
+
+    /// Tiny serial engine: one mutex around option-rows per table. Gives
+    /// the facade tests a real `BatchEngine` (via the blanket impl)
+    /// without depending on the engine crates.
+    struct MiniEngine {
+        tables: Mutex<Vec<Vec<Option<Value>>>>,
+        record_sizes: Vec<usize>,
+    }
+
+    impl MiniEngine {
+        fn new(rows_per_table: &[u64], record_size: usize) -> Self {
+            let tables = rows_per_table
+                .iter()
+                .map(|&n| {
+                    (0..n)
+                        .map(|_| Some(value::of_u64(0, record_size)))
+                        .collect()
+                })
+                .collect();
+            Self {
+                tables: Mutex::new(tables),
+                record_sizes: vec![record_size; rows_per_table.len()],
+            }
+        }
+    }
+
+    struct MiniAccess<'a> {
+        tables: &'a mut Vec<Vec<Option<Value>>>,
+        record_sizes: &'a [usize],
+        txn: &'a Txn,
+        pending: Vec<(RecordId, Option<Value>)>,
+    }
+
+    impl Access for MiniAccess<'_> {
+        fn read(&mut self, idx: usize, out: &mut dyn FnMut(&[u8])) -> Result<(), AbortReason> {
+            if !self.read_maybe(idx, out)? {
+                panic!("read of unknown record {}", self.txn.reads[idx]);
+            }
+            Ok(())
+        }
+
+        fn read_maybe(
+            &mut self,
+            idx: usize,
+            out: &mut dyn FnMut(&[u8]),
+        ) -> Result<bool, AbortReason> {
+            let rid = self.txn.reads[idx];
+            if let Some((_, d)) = self.pending.iter().rev().find(|(r, _)| *r == rid) {
+                return Ok(match d {
+                    Some(d) => {
+                        out(d);
+                        true
+                    }
+                    None => false,
+                });
+            }
+            match &self.tables[rid.table.index()][rid.row as usize] {
+                Some(d) => {
+                    out(d);
+                    Ok(true)
+                }
+                None => Ok(false),
+            }
+        }
+
+        fn write(&mut self, idx: usize, data: &[u8]) -> Result<(), AbortReason> {
+            let rid = self.txn.writes[idx];
+            assert_eq!(data.len(), self.record_sizes[rid.table.index()]);
+            self.pending.push((rid, Some(data.into())));
+            Ok(())
+        }
+
+        fn delete(&mut self, idx: usize) -> Result<(), AbortReason> {
+            self.pending.push((self.txn.writes[idx], None));
+            Ok(())
+        }
+
+        fn write_len(&mut self, idx: usize) -> usize {
+            self.record_sizes[self.txn.writes[idx].table.index()]
+        }
+    }
+
+    impl Engine for MiniEngine {
+        type Worker = ExecScratch;
+
+        fn name(&self) -> &'static str {
+            "Mini"
+        }
+
+        fn make_worker(&self) -> ExecScratch {
+            ExecScratch::new()
+        }
+
+        fn execute(&self, txn: &Txn, w: &mut ExecScratch) -> ExecOutcome {
+            let mut tables = self.tables.lock().unwrap();
+            let mut access = MiniAccess {
+                tables: &mut tables,
+                record_sizes: &self.record_sizes,
+                txn,
+                pending: Vec::new(),
+            };
+            match execute_procedure(
+                &txn.proc,
+                &txn.reads,
+                &txn.writes,
+                &txn.scans,
+                &mut access,
+                w,
+            ) {
+                Ok(fp) => {
+                    let pending = std::mem::take(&mut access.pending);
+                    for (rid, data) in pending {
+                        tables[rid.table.index()][rid.row as usize] = data;
+                    }
+                    ExecOutcome {
+                        committed: true,
+                        fingerprint: fp,
+                        cc_retries: 0,
+                    }
+                }
+                Err(AbortReason::User) => ExecOutcome {
+                    committed: false,
+                    fingerprint: 0,
+                    cc_retries: 0,
+                },
+                Err(e) => unreachable!("MiniEngine cannot raise {e:?}"),
+            }
+        }
+
+        fn read_u64(&self, rid: RecordId) -> Option<u64> {
+            Engine::read_record(self, rid).map(|d| value::get_u64(&d, 0))
+        }
+
+        fn read_record(&self, rid: RecordId) -> Option<Value> {
+            self.tables.lock().unwrap()[rid.table.index()]
+                .get(rid.row as usize)
+                .cloned()
+                .flatten()
+        }
+    }
+
+    fn mini_sharded(n: u32) -> ShardedEngine<MiniEngine> {
+        let map = ShardMap::new(n, vec![ShardStrategy::Modulo]).unwrap();
+        let shards = (0..n).map(|_| MiniEngine::new(&[16], 8)).collect();
+        ShardedEngine::new(shards, map, vec![8]).unwrap()
+    }
+
+    #[test]
+    fn constructor_validates_shard_count() {
+        let map = ShardMap::new(2, vec![ShardStrategy::Modulo]).unwrap();
+        let err = ShardedEngine::new(vec![MiniEngine::new(&[4], 8)], map, vec![8])
+            .map(|_| ())
+            .unwrap_err();
+        assert!(err.contains("2 shards but 1 engines"));
+    }
+
+    #[test]
+    fn single_shard_transactions_route_and_commit() {
+        let e = mini_sharded(2);
+        let mut s = e.open_session();
+        for row in 0..8u64 {
+            s.submit(Txn::new(
+                vec![RecordId::new(0, row)],
+                vec![RecordId::new(0, row)],
+                Procedure::ReadModifyWrite { delta: row + 1 },
+            ));
+        }
+        for _ in 0..8 {
+            assert!(s.reap().committed);
+        }
+        for row in 0..8u64 {
+            assert_eq!(e.read_u64(RecordId::new(0, row)), Some(row + 1));
+        }
+        assert_eq!(e.epoch(), 0, "single-shard work must not bump the epoch");
+    }
+
+    #[test]
+    fn cross_shard_transaction_spans_owners() {
+        let e = mini_sharded(2);
+        let mut s = e.open_session();
+        // Rows 2 (shard 0) and 3 (shard 1): one atomic blind write.
+        s.submit(Txn::new(
+            vec![],
+            vec![RecordId::new(0, 2), RecordId::new(0, 3)],
+            Procedure::BlindWrite { value: 77 },
+        ));
+        let out = s.reap();
+        assert!(out.committed);
+        assert_eq!(out.fingerprint, 77);
+        assert_eq!(e.read_u64(RecordId::new(0, 2)), Some(77));
+        assert_eq!(e.read_u64(RecordId::new(0, 3)), Some(77));
+        assert_eq!(e.epoch(), 1);
+    }
+
+    #[test]
+    fn cross_shard_rmw_reads_aligned_state() {
+        let e = mini_sharded(2);
+        let mut s = e.open_session();
+        // Seed each shard through single-shard writes, then sum across.
+        s.submit(Txn::new(
+            vec![],
+            vec![RecordId::new(0, 4)],
+            Procedure::BlindWrite { value: 10 },
+        ));
+        s.submit(Txn::new(
+            vec![],
+            vec![RecordId::new(0, 5)],
+            Procedure::BlindWrite { value: 32 },
+        ));
+        // Cross-shard RMW: reads both, writes both (+1 each).
+        s.submit(Txn::new(
+            vec![RecordId::new(0, 4), RecordId::new(0, 5)],
+            vec![RecordId::new(0, 4), RecordId::new(0, 5)],
+            Procedure::ReadModifyWrite { delta: 1 },
+        ));
+        for _ in 0..3 {
+            assert!(s.reap().committed);
+        }
+        assert_eq!(e.read_u64(RecordId::new(0, 4)), Some(11));
+        assert_eq!(e.read_u64(RecordId::new(0, 5)), Some(33));
+    }
+
+    #[test]
+    fn aborted_cross_shard_transaction_leaves_no_trace() {
+        let e = mini_sharded(2);
+        let mut s = e.open_session();
+        // Guard on shard 0 holds 0 < min → user abort; victim on shard 1
+        // must survive untouched.
+        s.submit(Txn::new(
+            vec![RecordId::new(0, 0)],
+            vec![RecordId::new(0, 1)],
+            Procedure::GuardedDelete { min: 100 },
+        ));
+        let out = s.reap();
+        assert!(!out.committed);
+        assert_eq!(out.fingerprint, 0);
+        assert_eq!(e.read_u64(RecordId::new(0, 1)), Some(0));
+        assert_eq!(
+            e.epoch(),
+            1,
+            "aborted cross-shard txns still close an epoch"
+        );
+    }
+
+    #[test]
+    fn cross_shard_delete_applies_on_owner() {
+        let e = mini_sharded(2);
+        let mut s = e.open_session();
+        // Guard (row 0, shard 0) passes; deletes rows 1 and 2 (both shards).
+        s.submit(Txn::new(
+            vec![RecordId::new(0, 0)],
+            vec![RecordId::new(0, 1), RecordId::new(0, 2)],
+            Procedure::GuardedDelete { min: 0 },
+        ));
+        assert!(s.reap().committed);
+        assert_eq!(e.read_record(RecordId::new(0, 1)), None);
+        assert_eq!(e.read_record(RecordId::new(0, 2)), None);
+        assert_eq!(e.read_u64(RecordId::new(0, 0)), Some(0));
+    }
+
+    #[test]
+    fn one_shard_facade_matches_bare_engine() {
+        // shards = 1: pure pass-through — identical outcomes and state.
+        let bare = MiniEngine::new(&[16], 8);
+        let sharded = mini_sharded(1);
+        let txns: Vec<Txn> = (0..32)
+            .map(|i| {
+                Txn::new(
+                    vec![RecordId::new(0, i % 16)],
+                    vec![RecordId::new(0, (i * 7) % 16)],
+                    Procedure::ReadModifyWrite { delta: i },
+                )
+            })
+            .collect();
+        let mut bs = bare.open_session();
+        let mut ss = sharded.open_session();
+        for t in &txns {
+            bs.submit(t.clone());
+            ss.submit(t.clone());
+            assert_eq!(bs.reap(), ss.reap());
+        }
+        for row in 0..16 {
+            let rid = RecordId::new(0, row);
+            assert_eq!(
+                BatchEngine::read_u64(&bare, rid),
+                BatchEngine::read_u64(&sharded, rid)
+            );
+        }
+        assert_eq!(sharded.epoch(), 0);
+    }
+
+    #[test]
+    fn env_shards_parses_and_clamps() {
+        if std::env::var("BOHM_SHARDS").is_ok() {
+            return; // ambient override in play (CI's sharded leg)
+        }
+        // No env override: the default passes through, clamped.
+        assert_eq!(env_shards(4), 4);
+        assert_eq!(env_shards(0), 1);
+        assert_eq!(env_shards(100), MAX_SHARDS);
+    }
+}

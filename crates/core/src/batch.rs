@@ -457,6 +457,12 @@ pub struct Batch {
     /// `ts = base_ts + i`. Bases are strided by `BohmConfig::batch_size`
     /// regardless of fill, so `id = (ts - 1) / batch_size`.
     pub base_ts: Timestamp,
+    /// Global epoch the sequencer sampled when sealing this batch
+    /// (`BohmConfig::epoch_source`; 0 for a standalone engine). Retirement
+    /// publishes it as [`Bohm::retired_epoch`](crate::Bohm::retired_epoch) —
+    /// the sharded facade's alignment rule is "a cross-shard transaction's
+    /// epoch is committed once every participant retires it".
+    pub epoch: u64,
     pub txns: Box<[TxnState]>,
     /// CC threads yet to finish this batch (the §3.2.4 amortized barrier).
     pub(crate) cc_pending: AtomicUsize,
@@ -471,10 +477,12 @@ impl Batch {
     /// Assemble a batch from sequencer-bound entries. Per-transaction
     /// runtime buffers are carved from `arena`, contiguous in timestamp
     /// order.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         entries: Vec<(Txn, TxnHook)>,
         base_ts: Timestamp,
         id: u64,
+        epoch: u64,
         cc_threads: usize,
         exec_threads: usize,
         annotate_max_reads: usize,
@@ -497,6 +505,7 @@ impl Batch {
         Arc::new(Self {
             id,
             base_ts,
+            epoch,
             txns: states.into_boxed_slice(),
             cc_pending: AtomicUsize::new(cc_threads),
             exec_pending: AtomicUsize::new(exec_threads),
@@ -596,7 +605,7 @@ pub(crate) mod tests {
     #[test]
     fn batch_timestamps_are_dense() {
         let (entries, _c) = hooked(3);
-        let b = Batch::new(entries, 100, 0, 2, 2, 64, &mut test_arena());
+        let b = Batch::new(entries, 100, 0, 0, 2, 2, 64, &mut test_arena());
         assert_eq!(b.last_ts(), 102);
         assert!(b.contains(100) && b.contains(102));
         assert!(!b.contains(99) && !b.contains(103));
@@ -606,7 +615,7 @@ pub(crate) mod tests {
     #[test]
     fn completion_fires_per_txn_and_batch_barrier_gates_wait() {
         let (entries, completion) = hooked(2);
-        let b = Batch::new(entries, 1, 0, 1, 1, 64, &mut test_arena());
+        let b = Batch::new(entries, 1, 0, 0, 1, 1, 64, &mut test_arena());
         assert!(!completion.is_done());
         b.txns[0].try_claim();
         b.txns[0].complete(true, 7);
@@ -641,7 +650,7 @@ pub(crate) mod tests {
     #[test]
     fn done_signalling_wakes_waiters() {
         let (entries, completion) = hooked(1);
-        let b = Batch::new(entries, 1, 0, 1, 1, 64, &mut test_arena());
+        let b = Batch::new(entries, 1, 0, 0, 1, 1, 64, &mut test_arena());
         let c2 = Arc::clone(&completion);
         let waiter = std::thread::spawn(move || c2.wait_done());
         std::thread::sleep(std::time::Duration::from_millis(5));

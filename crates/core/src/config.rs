@@ -78,6 +78,14 @@ pub struct BohmConfig {
     /// enqueueing beyond this block until the sequencer drains. This is the
     /// front door of the backpressure chain.
     pub ingest_capacity: usize,
+    /// Shared **global epoch counter** for sharded deployments: the
+    /// sequencer samples it when sealing each batch and retirement publishes
+    /// the high-water mark through [`Bohm::retired_epoch`](crate::Bohm::retired_epoch).
+    /// The sharded facade hands every shard the same counter and bumps it
+    /// per cross-shard transaction, so "every participant retired epoch `e`"
+    /// is an observable alignment invariant. `None` (a standalone engine)
+    /// stamps every batch with epoch 0.
+    pub epoch_source: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
 }
 
 impl Default for BohmConfig {
@@ -95,6 +103,7 @@ impl Default for BohmConfig {
             batch_linger: Duration::from_micros(200),
             max_inflight_batches: 8,
             ingest_capacity: 4096 * 4,
+            epoch_source: None,
         }
     }
 }

@@ -27,6 +27,11 @@ pub(crate) struct Inner {
     /// Global Condition-3 low watermark, expressed as a timestamp bound:
     /// every transaction with `ts ≤ gc_bound` has finished executing.
     pub gc_bound: AtomicU64,
+    /// Highest `Batch::epoch` among retired batches. Batches retire in id
+    /// order, so once this reaches epoch `e` every transaction this shard
+    /// sequenced before the bump to `e` is complete — the per-shard half of
+    /// the sharded facade's epoch-alignment rule.
+    pub retired_epoch: AtomicU64,
     /// Total versions retired by GC (diagnostics / ablation benches).
     pub gc_retired: AtomicU64,
     /// Fully-deleted keys whose index entries were reclaimed by the CC
@@ -92,6 +97,7 @@ impl Bohm {
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
                 .collect(),
             gc_bound: AtomicU64::new(0),
+            retired_epoch: AtomicU64::new(0),
             gc_retired: AtomicU64::new(0),
             keys_retired: AtomicU64::new(0),
             deletes_seen: AtomicU64::new(0),
@@ -239,6 +245,15 @@ impl Bohm {
     /// Current GC low watermark (largest timestamp known fully executed).
     pub fn gc_bound(&self) -> u64 {
         self.inner.gc_bound.load(Ordering::Relaxed)
+    }
+
+    /// Highest global epoch this engine has fully retired (0 until a batch
+    /// stamped from [`BohmConfig::epoch_source`] retires). Because batches
+    /// retire in id order, `retired_epoch() >= e` means every transaction
+    /// sequenced here before the bump to `e` has executed and its batch
+    /// drained — the invariant the sharded cross-shard commit aligns on.
+    pub fn retired_epoch(&self) -> u64 {
+        self.inner.retired_epoch.load(Ordering::Acquire)
     }
 
     /// Number of CC / execution threads (for harness reporting).

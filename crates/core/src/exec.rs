@@ -48,6 +48,9 @@ pub(crate) fn exec_loop(inner: Arc<Inner>, me: usize, rx: Receiver<Arc<Batch>>) 
             // countdown decrement, so this refresh observes them all: slot
             // release and GC-bound advance travel together.
             refresh_gc_bound(&inner);
+            // Publish the epoch high-water mark before releasing the ring
+            // slot: a waiter unblocked by retirement must observe it.
+            inner.retired_epoch.fetch_max(batch.epoch, Ordering::AcqRel);
             inner.window.retire(batch.id);
             for c in batch.barriers.iter() {
                 c.batch_retired();

@@ -247,10 +247,19 @@ pub(crate) fn seq_loop(inner: Arc<Inner>, rx: IngestRx, cc_senders: Vec<Sender<A
                 return;
             }
             let base_ts = 1 + *next_batch * stride as u64;
+            // Sample the global epoch at seal time: every transaction sealed
+            // after an epoch bump carries the new epoch, which is what the
+            // sharded facade's alignment rule relies on.
+            let epoch = inner
+                .config
+                .epoch_source
+                .as_ref()
+                .map_or(0, |e| e.load(std::sync::atomic::Ordering::Acquire));
             let batch = Batch::new(
                 std::mem::take(open),
                 base_ts,
                 *next_batch,
+                epoch,
                 inner.config.cc_threads,
                 inner.config.exec_threads,
                 if inner.config.annotate_reads {

@@ -91,6 +91,23 @@ impl BatchEngine for Bohm {
     fn read_u64(&self, rid: RecordId) -> Option<u64> {
         Bohm::read_u64(self, rid)
     }
+
+    fn read_record(&self, rid: RecordId) -> Option<bohm_common::Value> {
+        Bohm::read_record(self, rid)
+    }
+
+    /// Epoch retirement barrier: a group submission waits for the batch
+    /// holding its last transaction to **retire**, and batches retire in id
+    /// order, so draining one no-op transaction through the pipeline implies
+    /// every earlier-submitted transaction has executed and its batch
+    /// drained (GC bound advanced, `read_record` race-free).
+    fn quiesce(&self) {
+        self.execute_sync(vec![Txn::new(
+            Vec::new(),
+            Vec::new(),
+            bohm_common::Procedure::ReadOnly,
+        )]);
+    }
 }
 
 #[cfg(test)]

@@ -204,7 +204,7 @@ mod tests {
     fn mk_batch(id: u64, n: usize) -> Arc<Batch> {
         let (entries, _c) = hooked(n);
         let mut arena = crate::batch::tests::test_arena();
-        Batch::new(entries, 1 + id * STRIDE, id, 1, 1, 64, &mut arena)
+        Batch::new(entries, 1 + id * STRIDE, id, 0, 1, 1, 64, &mut arena)
     }
 
     fn window() -> Window {

@@ -1069,6 +1069,10 @@ impl Engine for Hekaton {
     }
 
     fn read_u64(&self, rid: RecordId) -> Option<u64> {
+        Engine::read_record(self, rid).map(|d| bohm_common::value::get_u64(&d, 0))
+    }
+
+    fn read_record(&self, rid: RecordId) -> Option<bohm_common::Value> {
         if (rid.row as usize) >= self.store.rows(rid.table.0) {
             return None;
         }
@@ -1080,7 +1084,7 @@ impl Engine for Hekaton {
                 if vr.is_tombstone() {
                     return None; // committed absence
                 }
-                Some(bohm_common::value::get_u64(vr.data(), 0))
+                Some(vr.data().into())
             }
             _ => None,
         }

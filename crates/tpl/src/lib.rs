@@ -262,18 +262,20 @@ impl Engine for TwoPhaseLocking {
     }
 
     fn read_u64(&self, rid: RecordId) -> Option<u64> {
+        Engine::read_record(self, rid).map(|d| bohm_common::value::get_u64(&d, 0))
+    }
+
+    fn read_record(&self, rid: RecordId) -> Option<bohm_common::Value> {
         let table = self.store.table(rid);
         if (rid.row as usize) >= table.rows() || !table.is_present(rid.row as usize) {
             return None;
         }
-        let mut v = 0;
+        let mut v = None;
         // SAFETY: verification hook; caller guarantees quiescence.
         unsafe {
-            table.read(rid.row as usize, &mut |b| {
-                v = bohm_common::value::get_u64(b, 0)
-            });
+            table.read(rid.row as usize, &mut |b| v = Some(b.into()));
         }
-        Some(v)
+        v
     }
 }
 

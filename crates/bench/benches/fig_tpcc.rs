@@ -234,6 +234,61 @@ fn main() {
         print_figure(&title, "theta", &aborts);
         artifact.push((title, aborts));
     }
+    // WAL fsync-policy cost (fig_wal): BOHM with durability off vs. the
+    // three fsync policies, same workload and threads. The x axis is the
+    // policy (0 = no WAL, 1 = fsync off, 2 = every 64 batches, 3 =
+    // per-batch); the spread between x=0 and x=1 is the pure logging
+    // cost (serialize + write), and between x=1 and x=3 the group-commit
+    // sync cost the batch ring amortizes.
+    {
+        use bohm_bench::engines::build_bohm_with;
+        use bohm_common::wal::{DurabilityConfig, FsyncPolicy};
+        let cfg = config(&p, 4);
+        let spec = cfg.spec();
+        let threads = *p.thread_sweep.last().unwrap();
+        let policies: [(f64, Option<FsyncPolicy>); 4] = [
+            (0.0, None),
+            (1.0, Some(FsyncPolicy::Off)),
+            (2.0, Some(FsyncPolicy::EveryN(64))),
+            (3.0, Some(FsyncPolicy::PerBatch)),
+        ];
+        let xs: Vec<f64> = policies.iter().map(|(x, _)| *x).collect();
+        let series = vec![sweep_series("Bohm", &xs, p.runs, |x, run| {
+            let policy = policies.iter().find(|(px, _)| *px == x).unwrap().1;
+            let log_dir =
+                std::env::temp_dir().join(format!("bohm-fig-wal-{}-{x}-{run}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&log_dir);
+            let mut ecfg = bohm::BohmConfig::with_threads(threads, threads);
+            ecfg.durability = policy.map(|fsync| {
+                let mut d = DurabilityConfig::new(&log_dir);
+                d.fsync = fsync;
+                d
+            });
+            let engine = build_bohm_with(&spec, ecfg);
+            let cfg2 = cfg.clone();
+            let st = run_engine(
+                &engine,
+                bohm_bench::figure::PIPELINED_DRIVER_SESSIONS,
+                DriverConfig::default(),
+                p.secs,
+                move |i| Box::new(TpccGen::new(cfg2.clone(), 17_000 + i as u64, i as u64)),
+            );
+            let logged = engine.wal().map_or(0, |w| w.batches_logged());
+            engine.shutdown();
+            let _ = std::fs::remove_dir_all(&log_dir);
+            if run > 0 {
+                eprintln!(
+                    "Bohm wal policy={x} run={run}/{}: {:.0} txns/s ({logged} batches logged)",
+                    p.runs,
+                    st.throughput()
+                );
+            }
+            st.throughput()
+        })];
+        let title = "TPC-C-lite WAL fsync policy (Bohm)".to_string();
+        print_figure(&title, "policy (0=off,1=nosync,2=every64,3=batch)", &series);
+        artifact.push((title, series));
+    }
     // Seed the perf trajectory: CI sets BOHM_BENCH_JSON and uploads the file.
     write_bench_json(&artifact, "threads");
 }

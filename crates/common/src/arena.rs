@@ -319,7 +319,9 @@ impl<'a, T> IntoIterator for &'a ASlice<T> {
 /// arena slice. `Deref`s to `[T]` so call sites are agnostic.
 #[derive(Clone)]
 pub enum SetBuf<T> {
+    /// A client-built `Vec` (as submitted, before the sequencer repacks).
     Owned(Vec<T>),
+    /// A contiguous arena slice packed by the sequencer.
     Packed(ASlice<T>),
 }
 
@@ -330,6 +332,7 @@ impl<T: fmt::Debug> fmt::Debug for SetBuf<T> {
 }
 
 impl<T> SetBuf<T> {
+    /// Whether this buffer has been repacked into an arena slice.
     pub fn is_packed(&self) -> bool {
         matches!(self, SetBuf::Packed(_))
     }

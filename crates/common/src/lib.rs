@@ -10,11 +10,18 @@
 //!   stored procedures run identically on every engine,
 //! * deterministic fast RNG ([`rng`]) and the YCSB zipfian key generator
 //!   ([`zipf`], Gray et al. SIGMOD'94 as cited by the paper §4.2.1),
-//! * measurement utilities ([`stats`]).
+//! * measurement utilities ([`stats`]),
+//! * the batch-riding write-ahead log ([`wal`]): the sequencer logs each
+//!   formed batch's inputs before releasing it, and recovery is
+//!   deterministic replay ([`wal::replay_into`]) — see the workspace's
+//!   `recovery_demo` example for the end-to-end open-log → run → kill →
+//!   replay → fingerprint-check walkthrough.
 //!
 //! Engines (BOHM itself plus the Hekaton, SI, OCC and 2PL baselines) depend
 //! only on this crate, which keeps the comparison apples-to-apples: the same
 //! `Txn` values flow into every engine.
+
+#![warn(missing_docs)]
 
 pub mod access;
 pub mod arena;
@@ -27,6 +34,7 @@ pub mod stats;
 pub mod txn;
 pub mod types;
 pub mod value;
+pub mod wal;
 pub mod zipf;
 
 pub use access::{AbortReason, Access};
@@ -39,6 +47,7 @@ pub use shard::{ShardMap, ShardSet, ShardStrategy, ShardedEngine, MAX_SHARDS};
 pub use txn::{IndexScan, ScanRange, Txn};
 pub use types::{RecordId, TableId, Timestamp, TxnId, INFINITY_TS};
 pub use value::Value;
+pub use wal::{DurabilityConfig, FsyncPolicy, LogSink, LoggedBatch, Wal};
 
 /// Iteration budget for stress/hammer tests: `default` unless the
 /// `BOHM_STRESS_ITERS` environment variable overrides it (the scheduled

@@ -25,11 +25,17 @@ pub enum SmallBankProc {
     Balance,
     /// Deposit `v` into checking.
     /// Layout: reads = `[checking(c)]`, writes = `[checking(c)]`.
-    DepositChecking { v: u64 },
+    DepositChecking {
+        /// Amount deposited.
+        v: u64,
+    },
     /// Add `v` (possibly negative) to savings; **aborts** (user abort) if the
     /// resulting balance would be negative.
     /// Layout: reads = `[savings(c)]`, writes = `[savings(c)]`.
-    TransactSaving { v: i64 },
+    TransactSaving {
+        /// Signed delta applied to the savings balance.
+        v: i64,
+    },
     /// Move all funds of customer 0 into customer 1's checking account.
     /// Layout: reads = `[savings(c0), checking(c0), checking(c1)]`,
     /// writes = `[savings(c0), checking(c0), checking(c1)]`.
@@ -38,7 +44,10 @@ pub enum SmallBankProc {
     /// an extra 1-unit penalty is charged (classic SmallBank semantics —
     /// this is the transaction that makes SI non-serializable).
     /// Layout: reads = `[savings(c), checking(c)]`, writes = `[checking(c)]`.
-    WriteCheck { v: u64 },
+    WriteCheck {
+        /// Check amount.
+        v: u64,
+    },
 }
 
 /// TPC-C-lite stored procedures over warehouse, district, customer and
@@ -70,7 +79,10 @@ pub enum TpcCProc {
     /// district year-to-date totals and subtract it from the customer's
     /// balance (wrapping; balances may go negative, as in TPC-C).
     /// Layout: reads = writes = `[warehouse(w), district(w,d), customer(c)]`.
-    Payment { amount: u64 },
+    Payment {
+        /// Payment amount moved between customer and warehouse/district.
+        amount: u64,
+    },
     /// Read-only status check: read the customer, then probe one order slot
     /// which may or may not exist yet (an absence-tolerant read — the
     /// fingerprint distinguishes the two outcomes).
@@ -159,11 +171,17 @@ pub enum Procedure {
     /// Read-set entries that are not written are read (into a checksum).
     /// Used by the §4.1 microbenchmark ("simple increment of this integer"),
     /// YCSB 10RMW and YCSB 2RMW-8R.
-    ReadModifyWrite { delta: u64 },
+    ReadModifyWrite {
+        /// Increment applied to each written record.
+        delta: u64,
+    },
     /// Write `value`'s little-endian bytes to every write-set entry without
     /// reading. Exercises BOHM's write-write ordering without read
     /// dependencies (paper §3.3.1 "write dependencies").
-    BlindWrite { value: u64 },
+    BlindWrite {
+        /// Value written to every write-set entry.
+        value: u64,
+    },
     /// SmallBank logic.
     SmallBank(SmallBankProc),
     /// TPC-C-lite logic (the record-inserting workload family).
@@ -188,12 +206,19 @@ pub enum Procedure {
     /// whole-window inserts/deletes: any non-atomic observation poisons or
     /// truncates the fingerprint. Layout: scans = `[window…]`,
     /// reads = writes = `[]`.
-    RangeAudit { expect_base: u64 },
+    RangeAudit {
+        /// Expected value convention: present row `r` must hold
+        /// `expect_base + r`.
+        expect_base: u64,
+    },
     /// Blind-write every write-set entry with `base + row` in its `u64`
     /// prefix (row-keyed values, unlike [`Procedure::BlindWrite`]'s single
     /// value) — the insert half of the phantom hammer: one transaction
     /// atomically materializes a whole key window. Fingerprint = `base`.
-    InsertKeyed { base: u64 },
+    InsertKeyed {
+        /// Base of the row-keyed values (`base + row` per record).
+        base: u64,
+    },
     /// Delete every write-set entry, guarded by a user-abort check that
     /// runs **before** the first delete (honouring the logic-abort
     /// contract): if the `u64` prefix of read-set entry 0 is below `min`,
@@ -201,7 +226,10 @@ pub enum Procedure {
     /// guard value. Layout: reads = `[guard]`, writes = targets.
     /// Exercises the delete path (including blind deletes of absent slots
     /// and aborted-delete rollback) outside the TPC-C mix.
-    GuardedDelete { min: u64 },
+    GuardedDelete {
+        /// Abort threshold checked against the guard record.
+        min: u64,
+    },
     /// Positionally apply a precomputed effect: write `values[i]` to
     /// write-set entry `i` (`Some` ⇒ full-record write, `None` ⇒ delete).
     /// No reads, no logic, no aborts — the sharded facade's cross-shard
@@ -237,6 +265,7 @@ pub struct ExecScratch {
 }
 
 impl ExecScratch {
+    /// Fresh, empty scratch (equivalent to `Default`).
     pub fn new() -> Self {
         Self::default()
     }

@@ -55,7 +55,10 @@ pub enum ShardStrategy {
     /// `shard = (row / block) % shards` — contiguous blocks of `block`
     /// rows stay together (TPC-C order stripes: co-locate a stripe's rows
     /// so stripe-local transactions are single-shard).
-    Blocks { block: u64 },
+    Blocks {
+        /// Rows per contiguous block kept on one shard.
+        block: u64,
+    },
 }
 
 /// Table/key → shard assignment plus per-transaction routing.
@@ -194,41 +197,50 @@ impl ShardMap {
 pub struct ShardSet(u64);
 
 impl ShardSet {
+    /// The empty set.
     pub fn empty() -> Self {
         Self(0)
     }
 
+    /// The full set over `n` shards (every id in `0..n`).
     pub fn all(n: u32) -> Self {
         debug_assert!((1..=MAX_SHARDS).contains(&n));
         Self(if n == 64 { u64::MAX } else { (1u64 << n) - 1 })
     }
 
+    /// The singleton set `{s}`.
     pub fn single(s: u32) -> Self {
         Self(1u64 << s)
     }
 
+    /// Insert shard `s` into the set.
     pub fn add(&mut self, s: u32) {
         debug_assert!(s < MAX_SHARDS);
         self.0 |= 1u64 << s;
     }
 
+    /// Set union.
     #[must_use]
     pub fn union(self, other: Self) -> Self {
         Self(self.0 | other.0)
     }
 
+    /// Whether shard `s` is a member.
     pub fn contains(self, s: u32) -> bool {
         self.0 & (1u64 << s) != 0
     }
 
+    /// Number of member shards.
     pub fn len(self) -> u32 {
         self.0.count_ones()
     }
 
+    /// Whether the set has no members.
     pub fn is_empty(self) -> bool {
         self.0 == 0
     }
 
+    /// Whether exactly one shard is a member (single-shard fast path).
     pub fn is_single(self) -> bool {
         self.len() == 1
     }

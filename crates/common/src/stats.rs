@@ -74,6 +74,7 @@ impl Default for LatencyHistogram {
 }
 
 impl LatencyHistogram {
+    /// Fresh, empty histogram (equivalent to `Default`).
     pub fn new() -> Self {
         Self::default()
     }
@@ -89,16 +90,19 @@ impl LatencyHistogram {
         self.max_ns = self.max_ns.max(ns);
     }
 
+    /// Total observations recorded.
     pub fn count(&self) -> u64 {
         self.count
     }
 
+    /// Arithmetic mean of all observations.
     pub fn mean(&self) -> Duration {
         self.sum_ns
             .checked_div(self.count)
             .map_or(Duration::ZERO, Duration::from_nanos)
     }
 
+    /// Largest observation recorded.
     pub fn max(&self) -> Duration {
         Duration::from_nanos(self.max_ns)
     }
@@ -119,6 +123,7 @@ impl LatencyHistogram {
         self.max()
     }
 
+    /// Fold `other` into this histogram (per-worker merge).
     pub fn merge(&mut self, other: &LatencyHistogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
             *a += b;

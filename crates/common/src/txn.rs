@@ -23,6 +23,7 @@ use crate::types::{RecordId, TableId};
 /// [`Access::scan`](crate::access::Access::scan).
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct ScanRange {
+    /// Table whose key range is scanned.
     pub table: TableId,
     /// First row of the range (inclusive).
     pub lo: u64,
@@ -52,6 +53,8 @@ pub struct IndexScan {
 }
 
 impl IndexScan {
+    /// Declare a scan of the posting list at read-set position `list`,
+    /// whose members live in `table`.
     #[inline]
     pub const fn new(list: usize, table: u32) -> Self {
         Self {
@@ -62,6 +65,7 @@ impl IndexScan {
 }
 
 impl ScanRange {
+    /// Declare the range `lo..hi` of `table`.
     #[inline]
     pub const fn new(table: u32, lo: u64, hi: u64) -> Self {
         Self {
@@ -77,6 +81,7 @@ impl ScanRange {
         self.hi.saturating_sub(self.lo)
     }
 
+    /// Whether the range covers no rows.
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.hi <= self.lo

@@ -46,11 +46,14 @@ impl fmt::Display for TableId {
 /// the customer table (paper §4.3 — the customer table is never updated).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct RecordId {
+    /// Table the record belongs to.
     pub table: TableId,
+    /// Row (primary key) within the table.
     pub row: u64,
 }
 
 impl RecordId {
+    /// Reference row `row` of table `table`.
     #[inline]
     pub const fn new(table: u32, row: u64) -> Self {
         Self {

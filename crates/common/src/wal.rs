@@ -1,0 +1,1072 @@
+//! A logical write-ahead log that rides batch formation.
+//!
+//! BOHM's sequencer already totally orders every transaction (arrival
+//! order *is* the serialization order, paper §3.2.1), so durability needs
+//! no commit-time coordination of its own: the sequencer serializes each
+//! formed batch's **inputs** — procedure, declared read/write/scan/index
+//! sets, epoch stamp — into one length-prefixed, checksummed record,
+//! fsyncs according to the configured [`FsyncPolicy`], and only then
+//! releases the batch to the CC threads. Group commit falls out of the
+//! existing size/linger batching for free, and recovery is deterministic
+//! replay: re-submit the logged transactions in log order through the
+//! normal pipeline and the rebuilt state is fingerprint-identical to a
+//! serial oracle over the same inputs (batch boundaries do not affect
+//! outcomes — only order matters).
+//!
+//! # On-disk format
+//!
+//! The log is a directory of segment files `wal-NNNNNNNN.seg`. Each
+//! segment opens with the 8-byte magic [`SEGMENT_MAGIC`] and then carries
+//! a sequence of batch records:
+//!
+//! ```text
+//! [u32 payload_len][u64 fnv64(payload)][payload]
+//! payload := epoch u64, txn_count u32, txn*
+//! txn     := proc (tagged union), think_us u32,
+//!            reads*, writes*, scans*, index_scans*   (length-prefixed)
+//! ```
+//!
+//! All integers are little-endian. The checksum is FNV-1a over the whole
+//! payload, so a torn write (partial record at the tail of the **last**
+//! segment) is detected and dropped during replay — the torn-tail rule.
+//! The same damage in a non-final segment is *corruption* (append-only
+//! logs cannot have holes) and surfaces as an error instead of silent
+//! data loss.
+//!
+//! # Adoption surface
+//!
+//! [`Wal`] implements the object-safe [`LogSink`] trait, which is the
+//! integration point sized for the rest of the roadmap: the other four
+//! engines can log their own commit orders through the same trait, and
+//! the sharded facade can hand each shard its own `Wal` (per-shard logs
+//! compose because each shard's sequencer order is its serialization
+//! order). [`Wal::log_bytes`] and [`Wal::truncate_before`] are the hooks
+//! the future checkpointing milestone will drive: once a checkpoint
+//! covers every effect up to epoch `e`, all segments whose batches are
+//! entirely older than `e` can be dropped.
+//!
+//! See the `recovery_demo` example for the end-to-end open-log → run →
+//! kill → replay → fingerprint-check walkthrough, and `DESIGN.md`
+//! ("Durability & recovery") for the design rationale.
+
+use crate::engine::{BatchEngine, ExecOutcome, Session};
+use crate::txn::{IndexScan, ScanRange, Txn};
+use crate::types::RecordId;
+use crate::{Procedure, SmallBankProc, TpcCProc};
+use std::fmt;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// First 8 bytes of every segment file (format version rides in the last
+/// byte: bump it when the record encoding changes incompatibly).
+pub const SEGMENT_MAGIC: [u8; 8] = *b"BOHMWAL1";
+
+/// Upper bound accepted for one record's payload when reading a log back.
+/// A length prefix beyond this is treated as damage (torn tail in the
+/// last segment, corruption elsewhere) instead of an attempted
+/// multi-gigabyte allocation.
+pub const MAX_RECORD_BYTES: u32 = 1 << 28;
+
+/// When the sequencer fsyncs the log relative to batch release.
+///
+/// Whatever the policy, a batch's record is fully **written** before the
+/// batch is released to the CC threads; the policy only controls when
+/// `fdatasync` forces it to stable storage. The gap is the usual
+/// group-commit trade: `PerBatch` survives power loss at the cost of one
+/// sync per batch, `EveryN` bounds the loss window to `n` batches, `Off`
+/// leaves flushing to the OS (crash-of-the-process safe — the page cache
+/// survives — but not power-loss safe).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FsyncPolicy {
+    /// `fdatasync` after every batch record (classic group commit: the
+    /// whole batch is one sync).
+    PerBatch,
+    /// `fdatasync` after every `n` batch records (and on segment
+    /// rotation). `EveryN(1)` is equivalent to [`FsyncPolicy::PerBatch`].
+    EveryN(u64),
+    /// Never sync explicitly; the OS writes the page cache back on its
+    /// own schedule. Process crashes lose nothing, power loss may lose
+    /// the tail.
+    Off,
+}
+
+/// Opt-in durability configuration for an engine
+/// (`BohmConfig::durability`).
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// Directory holding the log segments (created if absent). One
+    /// engine per directory: concurrent writers would interleave
+    /// records incoherently.
+    pub dir: PathBuf,
+    /// When to force records to stable storage; see [`FsyncPolicy`].
+    pub fsync: FsyncPolicy,
+    /// Rotate to a fresh segment once the current one exceeds this many
+    /// bytes. Rotation bounds the unit [`Wal::truncate_before`] can
+    /// reclaim; a finished segment is always synced before the next one
+    /// opens.
+    pub segment_bytes: u64,
+}
+
+impl DurabilityConfig {
+    /// Configuration with the default policy (per-batch fsync, 64 MiB
+    /// segments) — the safest setting; relax `fsync` for throughput.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        Self {
+            dir: dir.into(),
+            fsync: FsyncPolicy::PerBatch,
+            segment_bytes: 64 << 20,
+        }
+    }
+
+    /// Panic on nonsensical settings (mirrors `BohmConfig::validate`).
+    pub fn validate(&self) {
+        assert!(
+            self.segment_bytes >= 1,
+            "durability.segment_bytes must be at least 1"
+        );
+        if let FsyncPolicy::EveryN(n) = self.fsync {
+            assert!(
+                n >= 1,
+                "FsyncPolicy::EveryN needs n >= 1 (use Off to disable)"
+            );
+        }
+    }
+}
+
+/// Object-safe sink for sequencer-ordered batch logging.
+///
+/// This is the adoption surface for the rest of the workspace: BOHM's
+/// sequencer calls it before releasing each batch, the other engines can
+/// call it at their commit points, and the sharded facade can hand every
+/// shard its own sink. `Debug` is a supertrait so configurations holding
+/// a sink stay `derive(Debug)`-compatible.
+pub trait LogSink: Send + Sync + fmt::Debug {
+    /// Append one batch — `epoch` stamp plus its transactions in
+    /// serialization order — and apply the sink's sync policy. Must not
+    /// return until the record is at least handed to the OS; callers
+    /// release the batch to execution only after this returns `Ok`.
+    fn log_batch(
+        &self,
+        epoch: u64,
+        txns: &mut dyn ExactSizeIterator<Item = &Txn>,
+    ) -> io::Result<()>;
+
+    /// Force everything appended so far to stable storage, regardless of
+    /// the configured policy (shutdown paths, checkpoints).
+    fn sync(&self) -> io::Result<()>;
+}
+
+/// One recovered batch: the epoch stamp and the transactions it carried,
+/// in serialization order.
+#[derive(Clone, Debug)]
+pub struct LoggedBatch {
+    /// Global epoch sampled by the sequencer at seal time (0 for
+    /// standalone engines without an epoch source).
+    pub epoch: u64,
+    /// The batch's transactions, in log (= serialization) order.
+    pub txns: Vec<Txn>,
+}
+
+struct SealedSegment {
+    index: u64,
+    bytes: u64,
+    /// Highest epoch stamped into the segment; `u64::MAX` for segments
+    /// inherited from a previous process (their epochs were not
+    /// re-scanned, so they are never auto-truncated).
+    max_epoch: u64,
+}
+
+struct WalState {
+    file: File,
+    seg_index: u64,
+    seg_len: u64,
+    seg_max_epoch: u64,
+    sealed: Vec<SealedSegment>,
+    sealed_bytes: u64,
+    unsynced_batches: u64,
+    batches: u64,
+    /// Reused encode buffer: steady-state logging allocates nothing.
+    buf: Vec<u8>,
+}
+
+/// The batch-riding write-ahead log. See the [module docs](self).
+pub struct Wal {
+    dir: PathBuf,
+    fsync: FsyncPolicy,
+    segment_bytes: u64,
+    state: Mutex<WalState>,
+}
+
+impl fmt::Debug for Wal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.dir)
+            .field("fsync", &self.fsync)
+            .field("segment_bytes", &self.segment_bytes)
+            .finish_non_exhaustive()
+    }
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:08}.seg"))
+}
+
+/// Parse `wal-NNNNNNNN.seg` back to its index.
+fn segment_index(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".seg")?
+        .parse()
+        .ok()
+}
+
+/// Sorted `(index, path, bytes)` of the segments present in `dir`.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf, u64)>> {
+    let mut segs = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(idx) = name.to_str().and_then(segment_index) {
+            segs.push((idx, entry.path(), entry.metadata()?.len()));
+        }
+    }
+    segs.sort_by_key(|(idx, _, _)| *idx);
+    Ok(segs)
+}
+
+/// Durably record the directory entry of a freshly created segment
+/// (no-op on platforms where directories cannot be fsynced).
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        File::open(dir)?.sync_all()?;
+    }
+    #[cfg(not(unix))]
+    let _ = dir;
+    Ok(())
+}
+
+fn create_segment(dir: &Path, index: u64) -> io::Result<File> {
+    let mut f = OpenOptions::new()
+        .write(true)
+        .create_new(true)
+        .open(segment_path(dir, index))?;
+    f.write_all(&SEGMENT_MAGIC)?;
+    sync_dir(dir)?;
+    Ok(f)
+}
+
+impl Wal {
+    /// Open (or create) the log directory and start a fresh segment.
+    ///
+    /// Segments left by a previous process are preserved — a reopened
+    /// log keeps appending after them, so crash → recover → continue
+    /// works without a copy step. (Inherited segments are never dropped
+    /// by [`truncate_before`](Self::truncate_before); their epoch range
+    /// was not re-scanned.)
+    pub fn open(config: &DurabilityConfig) -> io::Result<Self> {
+        config.validate();
+        fs::create_dir_all(&config.dir)?;
+        let existing = list_segments(&config.dir)?;
+        let next = existing.last().map_or(0, |(idx, _, _)| idx + 1);
+        let sealed: Vec<SealedSegment> = existing
+            .into_iter()
+            .map(|(index, _, bytes)| SealedSegment {
+                index,
+                bytes,
+                max_epoch: u64::MAX,
+            })
+            .collect();
+        let sealed_bytes = sealed.iter().map(|s| s.bytes).sum();
+        let file = create_segment(&config.dir, next)?;
+        Ok(Self {
+            dir: config.dir.clone(),
+            fsync: config.fsync,
+            segment_bytes: config.segment_bytes,
+            state: Mutex::new(WalState {
+                file,
+                seg_index: next,
+                seg_len: SEGMENT_MAGIC.len() as u64,
+                seg_max_epoch: 0,
+                sealed,
+                sealed_bytes,
+                unsynced_batches: 0,
+                batches: 0,
+                buf: Vec::new(),
+            }),
+        })
+    }
+
+    /// Total bytes across all segments (the checkpointing trigger: when
+    /// this grows past a budget, checkpoint and
+    /// [`truncate_before`](Self::truncate_before)).
+    pub fn log_bytes(&self) -> u64 {
+        let st = self.state.lock().unwrap();
+        st.sealed_bytes + st.seg_len
+    }
+
+    /// Batches appended through this handle so far.
+    pub fn batches_logged(&self) -> u64 {
+        self.state.lock().unwrap().batches
+    }
+
+    /// Delete every **sealed** segment whose batches are all stamped with
+    /// an epoch `< epoch` — the hook a checkpoint covering everything
+    /// before `epoch` will drive. The active segment and segments
+    /// inherited from a previous process are never dropped. Returns the
+    /// bytes reclaimed.
+    pub fn truncate_before(&self, epoch: u64) -> io::Result<u64> {
+        let mut st = self.state.lock().unwrap();
+        let mut freed = 0u64;
+        let mut keep = Vec::with_capacity(st.sealed.len());
+        for seg in st.sealed.drain(..) {
+            if seg.max_epoch < epoch {
+                fs::remove_file(segment_path(&self.dir, seg.index))?;
+                freed += seg.bytes;
+            } else {
+                keep.push(seg);
+            }
+        }
+        st.sealed = keep;
+        st.sealed_bytes -= freed;
+        Ok(freed)
+    }
+
+    /// Read an entire log directory back into batches, applying the
+    /// torn-tail rule: a short, oversized or checksum-failing record at
+    /// the tail of the **last** segment (a crash mid-append) is dropped
+    /// along with everything after it; the same damage in any earlier
+    /// segment is corruption and errors out. A checksummed record that
+    /// fails to *decode* is always an error (that is a format bug or
+    /// version mismatch, not a torn write).
+    pub fn read_log(dir: &Path) -> io::Result<Vec<LoggedBatch>> {
+        let segs = list_segments(dir)?;
+        let mut out = Vec::new();
+        let last = segs.len().saturating_sub(1);
+        for (i, (idx, path, _)) in segs.iter().enumerate() {
+            let is_last = i == last;
+            let mut bytes = Vec::new();
+            File::open(path)?.read_to_end(&mut bytes)?;
+            if !read_segment(&bytes, is_last, *idx, &mut out)? {
+                break; // torn tail: ignore anything after it
+            }
+        }
+        Ok(out)
+    }
+}
+
+impl LogSink for Wal {
+    fn log_batch(
+        &self,
+        epoch: u64,
+        txns: &mut dyn ExactSizeIterator<Item = &Txn>,
+    ) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        let st = &mut *st;
+        // Encode the payload into the reusable buffer, leaving room for
+        // the [len][checksum] header at the front.
+        st.buf.clear();
+        st.buf.resize(12, 0);
+        st.buf.extend_from_slice(&epoch.to_le_bytes());
+        st.buf.extend_from_slice(
+            &u32::try_from(txns.len())
+                .expect("batch size fits u32")
+                .to_le_bytes(),
+        );
+        for txn in txns {
+            encode_txn(&mut st.buf, txn);
+        }
+        let payload_len = (st.buf.len() - 12) as u32;
+        let sum = fnv64(&st.buf[12..]);
+        st.buf[0..4].copy_from_slice(&payload_len.to_le_bytes());
+        st.buf[4..12].copy_from_slice(&sum.to_le_bytes());
+        st.file.write_all(&st.buf)?;
+        st.seg_len += st.buf.len() as u64;
+        st.seg_max_epoch = st.seg_max_epoch.max(epoch);
+        st.batches += 1;
+        st.unsynced_batches += 1;
+        let sync_now = match self.fsync {
+            FsyncPolicy::PerBatch => true,
+            FsyncPolicy::EveryN(n) => st.unsynced_batches >= n,
+            FsyncPolicy::Off => false,
+        };
+        if sync_now {
+            st.file.sync_data()?;
+            st.unsynced_batches = 0;
+        }
+        if st.seg_len >= self.segment_bytes {
+            // Rotate: a finished segment is always made durable before
+            // the next opens, so only the active segment can be torn.
+            st.file.sync_data()?;
+            st.unsynced_batches = 0;
+            let finished = SealedSegment {
+                index: st.seg_index,
+                bytes: st.seg_len,
+                max_epoch: st.seg_max_epoch,
+            };
+            st.sealed_bytes += finished.bytes;
+            st.sealed.push(finished);
+            st.seg_index += 1;
+            st.file = create_segment(&self.dir, st.seg_index)?;
+            st.seg_len = SEGMENT_MAGIC.len() as u64;
+            st.seg_max_epoch = 0;
+        }
+        Ok(())
+    }
+
+    fn sync(&self) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        st.file.sync_data()?;
+        st.unsynced_batches = 0;
+        Ok(())
+    }
+}
+
+/// Re-submit recovered batches through an engine's normal pipeline, in
+/// log order, and quiesce. Returns the per-transaction outcomes in that
+/// order — determinism makes them (and the final state) identical to the
+/// pre-crash execution of the same prefix, which the kill-and-recover
+/// test checks against the serial oracle.
+///
+/// Batch boundaries are *not* reproduced: the engine re-forms its own
+/// batches, which is safe because outcomes depend only on transaction
+/// order, never on where batch seals fell (the same argument that lets
+/// the size/linger triggers vary freely between runs).
+pub fn replay_into<E: BatchEngine + ?Sized>(
+    batches: &[LoggedBatch],
+    engine: &E,
+) -> Vec<ExecOutcome> {
+    let mut session = engine.open_session();
+    let mut out = Vec::new();
+    for batch in batches {
+        for txn in &batch.txns {
+            session.submit(txn.clone());
+            while session.in_flight() > 8192 {
+                out.push(session.reap());
+            }
+        }
+    }
+    while session.in_flight() > 0 {
+        out.push(session.reap());
+    }
+    engine.quiesce();
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Record encoding
+// ---------------------------------------------------------------------------
+
+/// FNV-1a over the whole slice — unlike `value::checksum` (which hashes
+/// only a record's `u64` prefix and length), this must cover every byte:
+/// it is what detects a torn write anywhere in the payload.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// Procedure tags. The encoding is versioned by `SEGMENT_MAGIC`; adding a
+// variant appends a tag, changing one bumps the magic.
+const P_READ_ONLY: u8 = 0;
+const P_RMW: u8 = 1;
+const P_BLIND_WRITE: u8 = 2;
+const P_SMALL_BANK: u8 = 3;
+const P_TPCC: u8 = 4;
+const P_PROBE_ALL: u8 = 5;
+const P_RANGE_AUDIT: u8 = 6;
+const P_INSERT_KEYED: u8 = 7;
+const P_GUARDED_DELETE: u8 = 8;
+const P_APPLY: u8 = 9;
+
+const SB_BALANCE: u8 = 0;
+const SB_DEPOSIT: u8 = 1;
+const SB_TRANSACT: u8 = 2;
+const SB_AMALGAMATE: u8 = 3;
+const SB_WRITE_CHECK: u8 = 4;
+
+const TP_NEW_ORDER: u8 = 0;
+const TP_PAYMENT: u8 = 1;
+const TP_ORDER_STATUS: u8 = 2;
+const TP_CUSTOMER_STATUS: u8 = 3;
+const TP_ORDER_HISTORY: u8 = 4;
+const TP_DELIVERY: u8 = 5;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_proc(buf: &mut Vec<u8>, proc: &Procedure) {
+    match proc {
+        Procedure::ReadOnly => buf.push(P_READ_ONLY),
+        Procedure::ReadModifyWrite { delta } => {
+            buf.push(P_RMW);
+            put_u64(buf, *delta);
+        }
+        Procedure::BlindWrite { value } => {
+            buf.push(P_BLIND_WRITE);
+            put_u64(buf, *value);
+        }
+        Procedure::SmallBank(sb) => {
+            buf.push(P_SMALL_BANK);
+            match sb {
+                SmallBankProc::Balance => buf.push(SB_BALANCE),
+                SmallBankProc::DepositChecking { v } => {
+                    buf.push(SB_DEPOSIT);
+                    put_u64(buf, *v);
+                }
+                SmallBankProc::TransactSaving { v } => {
+                    buf.push(SB_TRANSACT);
+                    put_u64(buf, *v as u64);
+                }
+                SmallBankProc::Amalgamate => buf.push(SB_AMALGAMATE),
+                SmallBankProc::WriteCheck { v } => {
+                    buf.push(SB_WRITE_CHECK);
+                    put_u64(buf, *v);
+                }
+            }
+        }
+        Procedure::TpcC(tp) => {
+            buf.push(P_TPCC);
+            match tp {
+                TpcCProc::NewOrder { lines } => {
+                    buf.push(TP_NEW_ORDER);
+                    put_u32(buf, *lines);
+                }
+                TpcCProc::Payment { amount } => {
+                    buf.push(TP_PAYMENT);
+                    put_u64(buf, *amount);
+                }
+                TpcCProc::OrderStatus => buf.push(TP_ORDER_STATUS),
+                TpcCProc::CustomerStatus => buf.push(TP_CUSTOMER_STATUS),
+                TpcCProc::OrderHistory => buf.push(TP_ORDER_HISTORY),
+                TpcCProc::Delivery => buf.push(TP_DELIVERY),
+            }
+        }
+        Procedure::ProbeAll => buf.push(P_PROBE_ALL),
+        Procedure::RangeAudit { expect_base } => {
+            buf.push(P_RANGE_AUDIT);
+            put_u64(buf, *expect_base);
+        }
+        Procedure::InsertKeyed { base } => {
+            buf.push(P_INSERT_KEYED);
+            put_u64(buf, *base);
+        }
+        Procedure::GuardedDelete { min } => {
+            buf.push(P_GUARDED_DELETE);
+            put_u64(buf, *min);
+        }
+        Procedure::Apply { values } => {
+            buf.push(P_APPLY);
+            put_u32(buf, values.len() as u32);
+            for v in values.iter() {
+                match v {
+                    Some(data) => {
+                        buf.push(1);
+                        put_u32(buf, data.len() as u32);
+                        buf.extend_from_slice(data);
+                    }
+                    None => buf.push(0),
+                }
+            }
+        }
+    }
+}
+
+fn encode_txn(buf: &mut Vec<u8>, txn: &Txn) {
+    encode_proc(buf, &txn.proc);
+    put_u32(buf, txn.think_us);
+    put_u32(buf, txn.reads.len() as u32);
+    for r in txn.reads.iter() {
+        put_u32(buf, r.table.0);
+        put_u64(buf, r.row);
+    }
+    put_u32(buf, txn.writes.len() as u32);
+    for w in txn.writes.iter() {
+        put_u32(buf, w.table.0);
+        put_u64(buf, w.row);
+    }
+    put_u32(buf, txn.scans.len() as u32);
+    for s in txn.scans.iter() {
+        put_u32(buf, s.table.0);
+        put_u64(buf, s.lo);
+        put_u64(buf, s.hi);
+    }
+    put_u32(buf, txn.index_scans.len() as u32);
+    for s in txn.index_scans.iter() {
+        put_u64(buf, s.list as u64);
+        put_u32(buf, s.table.0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Record decoding
+// ---------------------------------------------------------------------------
+
+/// Bounds-checked little-endian reader over a record payload. Any
+/// out-of-bounds read means the (checksummed!) payload does not decode —
+/// a format error, reported as corruption by the caller.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let s = self.bytes.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// A length prefix about to drive per-element reads of ≥ `min_elem`
+    /// bytes each: reject counts the remaining payload cannot hold, so
+    /// corrupt-but-checksummed data cannot drive absurd allocations.
+    fn count(&mut self, min_elem: usize) -> Option<usize> {
+        let n = self.u32()? as usize;
+        (n.saturating_mul(min_elem) <= self.bytes.len() - self.pos).then_some(n)
+    }
+}
+
+fn decode_proc(r: &mut Reader) -> Option<Procedure> {
+    Some(match r.u8()? {
+        P_READ_ONLY => Procedure::ReadOnly,
+        P_RMW => Procedure::ReadModifyWrite { delta: r.u64()? },
+        P_BLIND_WRITE => Procedure::BlindWrite { value: r.u64()? },
+        P_SMALL_BANK => Procedure::SmallBank(match r.u8()? {
+            SB_BALANCE => SmallBankProc::Balance,
+            SB_DEPOSIT => SmallBankProc::DepositChecking { v: r.u64()? },
+            SB_TRANSACT => SmallBankProc::TransactSaving { v: r.u64()? as i64 },
+            SB_AMALGAMATE => SmallBankProc::Amalgamate,
+            SB_WRITE_CHECK => SmallBankProc::WriteCheck { v: r.u64()? },
+            _ => return None,
+        }),
+        P_TPCC => Procedure::TpcC(match r.u8()? {
+            TP_NEW_ORDER => TpcCProc::NewOrder { lines: r.u32()? },
+            TP_PAYMENT => TpcCProc::Payment { amount: r.u64()? },
+            TP_ORDER_STATUS => TpcCProc::OrderStatus,
+            TP_CUSTOMER_STATUS => TpcCProc::CustomerStatus,
+            TP_ORDER_HISTORY => TpcCProc::OrderHistory,
+            TP_DELIVERY => TpcCProc::Delivery,
+            _ => return None,
+        }),
+        P_PROBE_ALL => Procedure::ProbeAll,
+        P_RANGE_AUDIT => Procedure::RangeAudit {
+            expect_base: r.u64()?,
+        },
+        P_INSERT_KEYED => Procedure::InsertKeyed { base: r.u64()? },
+        P_GUARDED_DELETE => Procedure::GuardedDelete { min: r.u64()? },
+        P_APPLY => {
+            let n = r.count(1)?;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                values.push(match r.u8()? {
+                    0 => None,
+                    1 => {
+                        let len = r.count(1)?;
+                        Some(crate::Value::from(r.take(len)?))
+                    }
+                    _ => return None,
+                });
+            }
+            Procedure::Apply {
+                values: values.into(),
+            }
+        }
+        _ => return None,
+    })
+}
+
+fn decode_txn(r: &mut Reader) -> Option<Txn> {
+    let proc = decode_proc(r)?;
+    let think_us = r.u32()?;
+    let mut reads = Vec::with_capacity(r.count(12)?);
+    for _ in 0..reads.capacity() {
+        let table = r.u32()?;
+        reads.push(RecordId::new(table, r.u64()?));
+    }
+    let mut writes = Vec::with_capacity(r.count(12)?);
+    for _ in 0..writes.capacity() {
+        let table = r.u32()?;
+        writes.push(RecordId::new(table, r.u64()?));
+    }
+    let mut scans = Vec::with_capacity(r.count(20)?);
+    for _ in 0..scans.capacity() {
+        let table = r.u32()?;
+        let lo = r.u64()?;
+        scans.push(ScanRange::new(table, lo, r.u64()?));
+    }
+    let mut index_scans = Vec::with_capacity(r.count(12)?);
+    for _ in 0..index_scans.capacity() {
+        let list = r.u64()? as usize;
+        index_scans.push(IndexScan::new(list, r.u32()?));
+    }
+    let mut txn = Txn::new(reads, writes, proc);
+    txn.scans = scans.into();
+    txn.index_scans = index_scans.into();
+    txn.think_us = think_us;
+    Some(txn)
+}
+
+fn decode_batch(payload: &[u8]) -> Option<LoggedBatch> {
+    let mut r = Reader {
+        bytes: payload,
+        pos: 0,
+    };
+    let epoch = r.u64()?;
+    let n = r.count(1)?;
+    let mut txns = Vec::with_capacity(n);
+    for _ in 0..n {
+        txns.push(decode_txn(&mut r)?);
+    }
+    // Trailing bytes after the declared transactions would mean the
+    // writer and reader disagree about the format.
+    (r.pos == payload.len()).then_some(LoggedBatch { epoch, txns })
+}
+
+fn corrupt(segment: u64, offset: usize, what: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("wal segment {segment} corrupt at byte {offset}: {what}"),
+    )
+}
+
+/// Decode one segment's records into `out`. Returns `Ok(true)` if the
+/// segment was fully intact, `Ok(false)` if a torn tail was dropped
+/// (legal only when `is_last`).
+fn read_segment(
+    bytes: &[u8],
+    is_last: bool,
+    segment: u64,
+    out: &mut Vec<LoggedBatch>,
+) -> io::Result<bool> {
+    let torn = |offset: usize, what: &str| {
+        if is_last {
+            Ok(false) // crash mid-append: drop the tail
+        } else {
+            Err(corrupt(segment, offset, what))
+        }
+    };
+    if bytes.len() < SEGMENT_MAGIC.len() || bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return torn(0, "bad or short segment header");
+    }
+    let mut pos = SEGMENT_MAGIC.len();
+    while pos < bytes.len() {
+        let Some(header) = bytes.get(pos..pos + 12) else {
+            return torn(pos, "short record header");
+        };
+        let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
+        let sum = u64::from_le_bytes(header[4..12].try_into().unwrap());
+        if len > MAX_RECORD_BYTES {
+            return torn(pos, "record length out of range");
+        }
+        let Some(payload) = bytes.get(pos + 12..pos + 12 + len as usize) else {
+            return torn(pos, "short record payload");
+        };
+        if fnv64(payload) != sum {
+            return torn(pos, "record checksum mismatch");
+        }
+        // Past the checksum, failure to decode is always corruption: the
+        // bytes made it to disk intact but do not parse.
+        let batch = decode_batch(payload)
+            .ok_or_else(|| corrupt(segment, pos, "checksummed record fails to decode"))?;
+        out.push(batch);
+        pos += 12 + len as usize;
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("bohm-wal-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn rid(t: u32, r: u64) -> RecordId {
+        RecordId::new(t, r)
+    }
+
+    /// One transaction of every procedure shape (including nested
+    /// variants and `Apply` payloads) — the encode/decode gauntlet.
+    fn gauntlet() -> Vec<Txn> {
+        let mut apply = Txn::new(
+            vec![],
+            vec![rid(1, 7), rid(1, 8)],
+            Procedure::Apply {
+                values: Arc::from(vec![Some(crate::Value::from(&b"abcdefgh"[..])), None]),
+            },
+        );
+        apply.think_us = 3;
+        let mut scan = Txn::with_scans(
+            vec![rid(0, 1)],
+            vec![],
+            vec![ScanRange::new(2, 10, 20)],
+            Procedure::RangeAudit { expect_base: 42 },
+        );
+        scan.think_us = 50;
+        vec![
+            Txn::new(vec![rid(0, 1)], vec![], Procedure::ReadOnly),
+            Txn::new(
+                vec![rid(0, 2)],
+                vec![rid(0, 2)],
+                Procedure::ReadModifyWrite { delta: 9 },
+            ),
+            Txn::new(vec![], vec![rid(0, 3)], Procedure::BlindWrite { value: 77 }),
+            Txn::new(
+                vec![rid(0, 4)],
+                vec![rid(0, 4)],
+                Procedure::SmallBank(SmallBankProc::TransactSaving { v: -5 }),
+            ),
+            Txn::new(
+                vec![rid(0, 5), rid(0, 6)],
+                vec![rid(0, 6)],
+                Procedure::SmallBank(SmallBankProc::WriteCheck { v: 3 }),
+            ),
+            Txn::new(
+                vec![rid(0, 1), rid(2, 0)],
+                vec![rid(0, 1), rid(3, 9)],
+                Procedure::TpcC(TpcCProc::NewOrder { lines: 4 }),
+            ),
+            Txn::new(
+                vec![rid(0, 1)],
+                vec![],
+                Procedure::TpcC(TpcCProc::OrderStatus),
+            ),
+            Txn::with_index_scans(
+                vec![rid(2, 0), rid(5, 0)],
+                vec![],
+                vec![IndexScan::new(1, 3)],
+                Procedure::TpcC(TpcCProc::CustomerStatus),
+            ),
+            Txn::new(vec![rid(0, 1)], vec![], Procedure::ProbeAll),
+            scan,
+            Txn::new(
+                vec![],
+                vec![rid(0, 8)],
+                Procedure::InsertKeyed { base: 100 },
+            ),
+            Txn::new(
+                vec![rid(0, 1)],
+                vec![rid(0, 8)],
+                Procedure::GuardedDelete { min: 1 },
+            ),
+            apply,
+        ]
+    }
+
+    fn assert_txn_eq(a: &Txn, b: &Txn) {
+        assert_eq!(a.proc, b.proc);
+        assert_eq!(a.think_us, b.think_us);
+        assert_eq!(&a.reads[..], &b.reads[..]);
+        assert_eq!(&a.writes[..], &b.writes[..]);
+        assert_eq!(&a.scans[..], &b.scans[..]);
+        assert_eq!(&a.index_scans[..], &b.index_scans[..]);
+    }
+
+    #[test]
+    fn roundtrip_every_procedure_shape() {
+        let dir = tmpdir("roundtrip");
+        let cfg = DurabilityConfig::new(&dir);
+        let wal = Wal::open(&cfg).unwrap();
+        let txns = gauntlet();
+        wal.log_batch(3, &mut txns.iter()).unwrap();
+        wal.log_batch(4, &mut txns[..2].iter()).unwrap();
+        assert_eq!(wal.batches_logged(), 2);
+        drop(wal);
+        let log = Wal::read_log(&dir).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].epoch, 3);
+        assert_eq!(log[1].epoch, 4);
+        assert_eq!(log[0].txns.len(), txns.len());
+        for (got, want) in log[0].txns.iter().zip(&txns) {
+            assert_txn_eq(got, want);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn arena_packed_sets_encode_identically() {
+        // The sequencer logs *repacked* transactions; packed and owned
+        // sets must serialize to the same bytes.
+        let pool = crate::arena::ArenaPool::default();
+        let mut arena = pool.arena();
+        let mut owned = Vec::new();
+        let mut packed = Vec::new();
+        for txn in gauntlet() {
+            let mut p = txn.clone();
+            p.repack(&mut arena);
+            encode_txn(&mut owned, &txn);
+            encode_txn(&mut packed, &p);
+        }
+        assert_eq!(owned, packed);
+    }
+
+    #[test]
+    fn segment_rotation_and_truncate_before() {
+        let dir = tmpdir("rotate");
+        let mut cfg = DurabilityConfig::new(&dir);
+        cfg.segment_bytes = 256; // rotate almost every batch
+        cfg.fsync = FsyncPolicy::Off;
+        let wal = Wal::open(&cfg).unwrap();
+        let txns = gauntlet();
+        for epoch in 0..10u64 {
+            wal.log_batch(epoch, &mut txns.iter()).unwrap();
+        }
+        let segs = list_segments(&dir).unwrap();
+        assert!(
+            segs.len() > 3,
+            "expected rotation, got {} segments",
+            segs.len()
+        );
+        let before = wal.log_bytes();
+        // Epoch 5: every sealed segment whose batches are all < 5 goes.
+        let freed = wal.truncate_before(5).unwrap();
+        assert!(freed > 0, "sealed pre-epoch-5 segments must be reclaimed");
+        assert_eq!(wal.log_bytes(), before - freed);
+        // The surviving log still replays cleanly and in order.
+        drop(wal);
+        let log = Wal::read_log(&dir).unwrap();
+        assert!(!log.is_empty());
+        let epochs: Vec<u64> = log.iter().map(|b| b.epoch).collect();
+        let mut sorted = epochs.clone();
+        sorted.sort_unstable();
+        assert_eq!(epochs, sorted, "remaining batches stay in epoch order");
+        assert!(*epochs.last().unwrap() == 9, "recent batches survive");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopened_log_appends_new_segment_and_preserves_old() {
+        let dir = tmpdir("reopen");
+        let cfg = DurabilityConfig::new(&dir);
+        let txns = gauntlet();
+        {
+            let wal = Wal::open(&cfg).unwrap();
+            wal.log_batch(1, &mut txns.iter()).unwrap();
+        }
+        {
+            let wal = Wal::open(&cfg).unwrap();
+            wal.log_batch(2, &mut txns[..3].iter()).unwrap();
+            // Inherited segments are conservatively exempt from truncation.
+            assert_eq!(wal.truncate_before(u64::MAX).unwrap(), 0);
+        }
+        let log = Wal::read_log(&dir).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!((log[0].epoch, log[1].epoch), (1, 2));
+        assert_eq!(log[1].txns.len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_but_interior_corruption_errors() {
+        let dir = tmpdir("torn");
+        let mut cfg = DurabilityConfig::new(&dir);
+        cfg.fsync = FsyncPolicy::Off;
+        let txns = gauntlet();
+        {
+            let wal = Wal::open(&cfg).unwrap();
+            wal.log_batch(1, &mut txns.iter()).unwrap();
+            wal.log_batch(2, &mut txns.iter()).unwrap();
+        }
+        let seg = segment_path(&dir, 0);
+        let full = fs::read(&seg).unwrap();
+        // Tear the last record: everything before it must replay.
+        fs::write(&seg, &full[..full.len() - 5]).unwrap();
+        let log = Wal::read_log(&dir).unwrap();
+        assert_eq!(log.len(), 1, "torn tail dropped, prefix kept");
+        // Flip a byte in the *first* record (not the tail): corruption.
+        let mut flipped = full.clone();
+        flipped[SEGMENT_MAGIC.len() + 20] ^= 0xFF;
+        fs::write(&seg, &flipped).unwrap();
+        // Same damage, but with a later segment after it: hard error.
+        fs::write(segment_path(&dir, 1), {
+            let mut v = Vec::from(SEGMENT_MAGIC);
+            v.extend_from_slice(&full[SEGMENT_MAGIC.len()..]);
+            v
+        })
+        .unwrap();
+        let err = Wal::read_log(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("segment 0"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_and_absent_logs_replay_to_nothing() {
+        let dir = tmpdir("empty");
+        let cfg = DurabilityConfig::new(&dir);
+        let wal = Wal::open(&cfg).unwrap();
+        drop(wal);
+        assert!(Wal::read_log(&dir).unwrap().is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn log_sink_is_object_safe_and_swappable() {
+        /// In-memory sink standing in for a future engine adoption: the
+        /// trait surface must be usable through `dyn`.
+        #[derive(Debug, Default)]
+        struct MemSink {
+            batches: Mutex<Vec<(u64, usize)>>,
+        }
+        impl LogSink for MemSink {
+            fn log_batch(
+                &self,
+                epoch: u64,
+                txns: &mut dyn ExactSizeIterator<Item = &Txn>,
+            ) -> io::Result<()> {
+                self.batches.lock().unwrap().push((epoch, txns.len()));
+                Ok(())
+            }
+            fn sync(&self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let sink = MemSink::default();
+        let dyn_sink: &dyn LogSink = &sink;
+        let txns = gauntlet();
+        dyn_sink.log_batch(7, &mut txns.iter()).unwrap();
+        dyn_sink.sync().unwrap();
+        assert_eq!(*sink.batches.lock().unwrap(), vec![(7, txns.len())]);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment_bytes")]
+    fn zero_segment_bytes_rejected() {
+        let mut cfg = DurabilityConfig::new("/tmp/never-created");
+        cfg.segment_bytes = 0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "EveryN")]
+    fn zero_fsync_interval_rejected() {
+        let mut cfg = DurabilityConfig::new("/tmp/never-created");
+        cfg.fsync = FsyncPolicy::EveryN(0);
+        cfg.validate();
+    }
+}

@@ -86,6 +86,15 @@ pub struct BohmConfig {
     /// is an observable alignment invariant. `None` (a standalone engine)
     /// stamps every batch with epoch 0.
     pub epoch_source: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
+    /// Opt-in durability: when set, the sequencer appends every formed
+    /// batch's inputs to a write-ahead log
+    /// ([`bohm_common::wal::Wal`]) and applies the configured fsync
+    /// policy *before* releasing the batch to the CC threads — group
+    /// commit riding the existing size/linger batching. `None` (the
+    /// default) keeps the engine memory-only. Recover with
+    /// [`Wal::read_log`](bohm_common::wal::Wal::read_log) +
+    /// [`replay_into`](bohm_common::wal::replay_into).
+    pub durability: Option<bohm_common::wal::DurabilityConfig>,
 }
 
 impl Default for BohmConfig {
@@ -104,6 +113,7 @@ impl Default for BohmConfig {
             max_inflight_batches: 8,
             ingest_capacity: 4096 * 4,
             epoch_source: None,
+            durability: None,
         }
     }
 }
@@ -161,6 +171,9 @@ impl BohmConfig {
             "index_capacity must be at least 1 (it is a sizing hint, see \
              BohmConfig::effective_index_capacity)"
         );
+        if let Some(d) = &self.durability {
+            d.validate();
+        }
     }
 }
 
@@ -282,6 +295,16 @@ mod tests {
         // Real data above the clamp is still honoured in full.
         let rows = (MAX_INDEX_CAPACITY_HINT as u64) * 2;
         assert_eq!(cfg.effective_index_capacity(rows), rows as usize);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment_bytes")]
+    fn invalid_durability_config_rejected() {
+        let mut cfg = BohmConfig::small();
+        let mut d = bohm_common::wal::DurabilityConfig::new("/tmp/never-created");
+        d.segment_bytes = 0;
+        cfg.durability = Some(d);
+        cfg.validate();
     }
 
     #[test]

@@ -49,6 +49,9 @@ pub(crate) struct Inner {
     /// chunks released by retiring batches (on exec threads) recycle to the
     /// sequencer instead of freeing.
     pub arena_pool: bohm_common::ArenaPool,
+    /// The write-ahead log, when durability is configured: the sequencer
+    /// appends every formed batch here *before* releasing it to CC.
+    pub wal: Option<bohm_common::wal::Wal>,
 }
 
 impl Inner {
@@ -92,6 +95,12 @@ impl Bohm {
             }
         }
         let record_sizes = catalog.tables.iter().map(|t| t.record_size).collect();
+        // Open the log before any thread starts: failing to open durable
+        // storage must fail engine startup, not a later batch seal.
+        let wal = config.durability.as_ref().map(|d| {
+            bohm_common::wal::Wal::open(d)
+                .unwrap_or_else(|e| panic!("failed to open WAL at {}: {e}", d.dir.display()))
+        });
         let inner = Arc::new(Inner {
             finished_ts: (0..config.exec_threads)
                 .map(|_| CachePadded::new(AtomicU64::new(0)))
@@ -107,6 +116,7 @@ impl Bohm {
             record_sizes,
             index,
             arena_pool: bohm_common::ArenaPool::default(),
+            wal,
             config,
         });
 
@@ -261,6 +271,27 @@ impl Bohm {
         (self.inner.config.cc_threads, self.inner.config.exec_threads)
     }
 
+    /// The write-ahead log, when [`BohmConfig::durability`] was set.
+    pub fn wal(&self) -> Option<&bohm_common::wal::Wal> {
+        self.inner.wal.as_ref()
+    }
+
+    /// Total bytes currently held by the write-ahead log (0 for a
+    /// memory-only engine) — the checkpointing trigger surface.
+    pub fn log_bytes(&self) -> u64 {
+        self.inner.wal.as_ref().map_or(0, |w| w.log_bytes())
+    }
+
+    /// Reclaim sealed log segments whose batches all carry epochs below
+    /// `epoch` (see [`Wal::truncate_before`](bohm_common::wal::Wal::truncate_before)).
+    /// Returns the bytes freed; a no-op on a memory-only engine.
+    pub fn truncate_log_before(&self, epoch: u64) -> std::io::Result<u64> {
+        match &self.inner.wal {
+            Some(w) => w.truncate_before(epoch),
+            None => Ok(0),
+        }
+    }
+
     /// Stop accepting work, drain the pipeline, and join all threads.
     pub fn shutdown(mut self) {
         self.shutdown_impl();
@@ -273,6 +304,12 @@ impl Bohm {
         self.ingest.close();
         for h in self.threads.drain(..) {
             let _ = h.join();
+        }
+        // Every accepted batch is now logged; make the tail durable even
+        // under relaxed fsync policies, so a clean shutdown never loses work.
+        if let Some(wal) = &self.inner.wal {
+            use bohm_common::wal::LogSink as _;
+            let _ = wal.sync();
         }
     }
 }
@@ -916,6 +953,38 @@ mod tests {
         assert_eq!(e.read_u64(victim), Some(9));
         assert_eq!(e.index_keys(), 8, "live keys must never be reclaimed");
         e.shutdown();
+    }
+
+    #[test]
+    fn wal_engine_logs_every_batch_and_replay_rebuilds_state() {
+        use bohm_common::wal::{self, DurabilityConfig, FsyncPolicy, Wal};
+        let dir = std::env::temp_dir().join(format!("bohm-core-wal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let catalog = || CatalogSpec::new().table(16, 8, |r| r);
+        let mut cfg = BohmConfig::small();
+        let mut d = DurabilityConfig::new(&dir);
+        d.fsync = FsyncPolicy::EveryN(4);
+        cfg.durability = Some(d);
+        let e = Bohm::start(cfg, catalog());
+        for round in 0..5u64 {
+            let out = e.execute_sync((0..32).map(|i| rmw(&[(i + round) % 16], 1)).collect());
+            assert!(out.iter().all(|o| o.committed));
+        }
+        assert!(e.wal().is_some());
+        assert!(e.log_bytes() > 0);
+        assert_eq!(e.truncate_log_before(0).unwrap(), 0);
+        let expect: Vec<u64> = (0..16).map(|k| e.read_u64(rid(k)).unwrap()).collect();
+        e.shutdown();
+        // Recover into a fresh, memory-only engine: same final state.
+        let log = Wal::read_log(&dir).unwrap();
+        assert_eq!(log.iter().map(|b| b.txns.len()).sum::<usize>(), 160);
+        let fresh = Bohm::start(BohmConfig::small(), catalog());
+        let outcomes = wal::replay_into(&log, &fresh);
+        assert!(outcomes.iter().all(|o| o.committed));
+        let got: Vec<u64> = (0..16).map(|k| fresh.read_u64(rid(k)).unwrap()).collect();
+        assert_eq!(got, expect, "replayed state must match the logged run");
+        fresh.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -255,6 +255,16 @@ pub(crate) fn seq_loop(inner: Arc<Inner>, rx: IngestRx, cc_senders: Vec<Sender<A
                 .epoch_source
                 .as_ref()
                 .map_or(0, |e| e.load(std::sync::atomic::Ordering::Acquire));
+            // Durability point: the batch's inputs hit the log (and the
+            // configured fsync policy runs) *before* the batch is released
+            // to CC — nothing executes that isn't recoverable. A log the
+            // engine can no longer append to is a stop-the-world fault:
+            // continuing would silently break the recovery guarantee.
+            if let Some(wal) = &inner.wal {
+                use bohm_common::wal::LogSink as _;
+                wal.log_batch(epoch, &mut open.iter().map(|(t, _)| t))
+                    .expect("WAL append failed; refusing to execute unlogged batch");
+            }
             let batch = Batch::new(
                 std::mem::take(open),
                 base_ts,

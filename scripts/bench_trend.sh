@@ -65,22 +65,42 @@ def load(path):
 
     `spread` is the per-point (max-min)/median dispersion emitted by
     median-of-N series; None for single-shot series or pre-schema
-    artifacts (which lack the field entirely).
+    artifacts (which lack the field entirely). Malformed or unknown
+    entries (a figure without a title, a series without points) are
+    skipped, not fatal: a new figure landing in one artifact must never
+    break the trend diff against an older baseline.
     """
     out = {}
+    skipped = 0
     with open(path) as f:
         doc = json.load(f)
     for fig in doc.get("figures", []):
+        title = fig.get("title") if isinstance(fig, dict) else None
+        if not title:
+            skipped += 1
+            continue
         for series in fig.get("series", []):
+            label = series.get("label") if isinstance(series, dict) else None
+            if not label:
+                skipped += 1
+                continue
             spreads = series.get("spread", [])
             runs = series.get("runs", 1)
-            for i, (x, y) in enumerate(series.get("points", [])):
+            for i, point in enumerate(series.get("points", [])):
+                if not isinstance(point, (list, tuple)) or len(point) != 2:
+                    skipped += 1
+                    continue
+                x, y = point
                 sp = spreads[i] if runs > 1 and i < len(spreads) else None
-                out[(fig["title"], series["label"], x)] = (y, sp)
+                out[(title, label, x)] = (y, sp)
+    if skipped:
+        print(f"note: {path}: skipped {skipped} malformed figure/series entries")
     return out
 
 
 old, new = load(old_path), load(new_path)
+old_titles = {t for (t, _, _) in old}
+new_titles = {t for (t, _, _) in new}
 mode = "gate" if gate else "report"
 print(f"bench trend ({mode}): {old_path} -> {new_path}")
 
@@ -100,6 +120,10 @@ for (title, label, x) in sorted(new):
     if title != current_title:
         current_title = title
         print(f"\n== {title} ==")
+        if title not in old_titles:
+            # A figure the baseline has never seen (e.g. fig_wal landing
+            # for the first time): nothing to diff, nothing to gate.
+            print("  new figure — no baseline, skipped by the gate")
     y_new, sp_new = new[(title, label, x)]
     entry_old = old.get((title, label, x))
     if entry_old is None:
@@ -129,8 +153,15 @@ for (title, label, x) in missing:
     print(f"  dropped: {title} / {label} @ {x:g}")
 
 if gate and gateable and failures:
-    print(f"\ngate: {len(failures)} regression(s) beyond the variance-scaled threshold:")
-    for title, label, x, d, t in failures:
-        print(f"  {title} / {label} @ {x:g}: {d:+.1f}% (threshold {t:.0f}%)")
+    breached = sorted({title for title, _, _, _, _ in failures})
+    print(
+        f"\ngate FAILED: {len(failures)} regression(s) beyond the "
+        f"variance-scaled threshold in {len(breached)} figure(s):"
+    )
+    for fig_title in breached:
+        print(f"  figure: {fig_title}")
+        for title, label, x, d, t in failures:
+            if title == fig_title:
+                print(f"    {label} @ {x:g}: {d:+.1f}% (threshold {t:.0f}%)")
     sys.exit(2)
 PY

@@ -31,7 +31,10 @@
 //! segment) is detected and dropped during replay — the torn-tail rule.
 //! The same damage in a non-final segment is *corruption* (append-only
 //! logs cannot have holes) and surfaces as an error instead of silent
-//! data loss.
+//! data loss. [`Wal::open`] keeps that asymmetry sound across process
+//! lifetimes: before it appends a new segment after inherited ones, it
+//! truncates any torn tail off the last inherited segment, so a segment
+//! only ever stops being "last" once it is fully intact.
 //!
 //! # Adoption surface
 //!
@@ -57,6 +60,7 @@ use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read as _, Write as _};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
 /// First 8 bytes of every segment file (format version rides in the last
@@ -196,6 +200,9 @@ pub struct Wal {
     dir: PathBuf,
     fsync: FsyncPolicy,
     segment_bytes: u64,
+    /// While set, [`LogSink::log_batch`] is a no-op — the recovery-replay
+    /// hook (see [`Wal::pause_appends`]).
+    paused: AtomicBool,
     state: Mutex<WalState>,
 }
 
@@ -262,13 +269,42 @@ impl Wal {
     ///
     /// Segments left by a previous process are preserved — a reopened
     /// log keeps appending after them, so crash → recover → continue
-    /// works without a copy step. (Inherited segments are never dropped
-    /// by [`truncate_before`](Self::truncate_before); their epoch range
+    /// works without a copy step. Before the new segment is created, any
+    /// torn tail left in the last inherited segment by a crash
+    /// mid-append is **truncated away** (a header-less file is removed
+    /// outright): once a newer segment exists, the inherited one is no
+    /// longer last, where the torn-tail rule would treat the same bytes
+    /// as corruption and fail [`read_log`](Self::read_log). A
+    /// checksummed record that fails to decode is real corruption and
+    /// refuses to open. (Inherited segments are never dropped by
+    /// [`truncate_before`](Self::truncate_before); their epoch range
     /// was not re-scanned.)
     pub fn open(config: &DurabilityConfig) -> io::Result<Self> {
         config.validate();
         fs::create_dir_all(&config.dir)?;
-        let existing = list_segments(&config.dir)?;
+        let mut existing = list_segments(&config.dir)?;
+        // Torn-tail repair. A loop, because a file torn inside its header
+        // holds nothing and is removed, promoting the previous (sealed,
+        // so normally intact) segment to "last".
+        while let Some((idx, path, _)) = existing.last() {
+            let mut data = Vec::new();
+            File::open(path)?.read_to_end(&mut data)?;
+            let mut scratch = Vec::new();
+            let scan = read_segment(&data, true, *idx, &mut scratch)?;
+            if scan.intact {
+                break;
+            }
+            if scan.valid_len >= SEGMENT_MAGIC.len() {
+                let f = OpenOptions::new().write(true).open(path)?;
+                f.set_len(scan.valid_len as u64)?;
+                f.sync_all()?;
+                existing.last_mut().unwrap().2 = scan.valid_len as u64;
+                break;
+            }
+            fs::remove_file(path)?;
+            sync_dir(&config.dir)?;
+            existing.pop();
+        }
         let next = existing.last().map_or(0, |(idx, _, _)| idx + 1);
         let sealed: Vec<SealedSegment> = existing
             .into_iter()
@@ -284,6 +320,7 @@ impl Wal {
             dir: config.dir.clone(),
             fsync: config.fsync,
             segment_bytes: config.segment_bytes,
+            paused: AtomicBool::new(false),
             state: Mutex::new(WalState {
                 file,
                 seg_index: next,
@@ -311,25 +348,48 @@ impl Wal {
         self.state.lock().unwrap().batches
     }
 
+    /// Suspend appends: until [`resume_appends`](Self::resume_appends),
+    /// [`LogSink::log_batch`] returns `Ok` without writing anything.
+    ///
+    /// This is the recovery-replay hook. Replaying a recovered log
+    /// through an engine that reopened the **same** directory must not
+    /// re-log the replayed prefix — the inherited segments already hold
+    /// it, and logging it again would double-apply it on the next
+    /// recovery. The engine's recovery entry point pauses appends,
+    /// replays, waits for every replayed batch to drain, then resumes.
+    pub fn pause_appends(&self) {
+        self.paused.store(true, Ordering::Release);
+    }
+
+    /// Resume appends after [`pause_appends`](Self::pause_appends).
+    /// Callers must ensure every batch that should *not* be logged has
+    /// passed its log point (for the engine: has retired) before
+    /// resuming.
+    pub fn resume_appends(&self) {
+        self.paused.store(false, Ordering::Release);
+    }
+
     /// Delete every **sealed** segment whose batches are all stamped with
     /// an epoch `< epoch` — the hook a checkpoint covering everything
     /// before `epoch` will drive. The active segment and segments
     /// inherited from a previous process are never dropped. Returns the
-    /// bytes reclaimed.
+    /// bytes reclaimed. On an IO error, segments already removed are
+    /// accounted for and the rest stay tracked, so a failed call leaves
+    /// [`log_bytes`](Self::log_bytes) consistent and can be retried.
     pub fn truncate_before(&self, epoch: u64) -> io::Result<u64> {
         let mut st = self.state.lock().unwrap();
         let mut freed = 0u64;
-        let mut keep = Vec::with_capacity(st.sealed.len());
-        for seg in st.sealed.drain(..) {
-            if seg.max_epoch < epoch {
-                fs::remove_file(segment_path(&self.dir, seg.index))?;
-                freed += seg.bytes;
-            } else {
-                keep.push(seg);
+        let mut i = 0;
+        while i < st.sealed.len() {
+            if st.sealed[i].max_epoch >= epoch {
+                i += 1;
+                continue;
             }
+            fs::remove_file(segment_path(&self.dir, st.sealed[i].index))?;
+            let seg = st.sealed.remove(i);
+            st.sealed_bytes -= seg.bytes;
+            freed += seg.bytes;
         }
-        st.sealed = keep;
-        st.sealed_bytes -= freed;
         Ok(freed)
     }
 
@@ -348,7 +408,7 @@ impl Wal {
             let is_last = i == last;
             let mut bytes = Vec::new();
             File::open(path)?.read_to_end(&mut bytes)?;
-            if !read_segment(&bytes, is_last, *idx, &mut out)? {
+            if !read_segment(&bytes, is_last, *idx, &mut out)?.intact {
                 break; // torn tail: ignore anything after it
             }
         }
@@ -362,6 +422,9 @@ impl LogSink for Wal {
         epoch: u64,
         txns: &mut dyn ExactSizeIterator<Item = &Txn>,
     ) -> io::Result<()> {
+        if self.paused.load(Ordering::Acquire) {
+            return Ok(()); // recovery replay: already in inherited segments
+        }
         let mut st = self.state.lock().unwrap();
         let st = &mut *st;
         // Encode the payload into the reusable buffer, leaving room for
@@ -433,6 +496,14 @@ impl LogSink for Wal {
 /// batches, which is safe because outcomes depend only on transaction
 /// order, never on where batch seals fell (the same argument that lets
 /// the size/linger triggers vary freely between runs).
+///
+/// If `engine` itself logs to the **same directory** the batches came
+/// from, suspend its appends around the replay
+/// ([`Wal::pause_appends`]/[`Wal::resume_appends`]) — otherwise the
+/// replayed prefix is logged a second time and the *next* recovery
+/// double-applies it. The BOHM engine packages that protocol as
+/// `Bohm::recover`; replaying into a memory-only or fresh-directory
+/// engine needs no such care.
 pub fn replay_into<E: BatchEngine + ?Sized>(
     batches: &[LoggedBatch],
     engine: &E,
@@ -697,26 +768,33 @@ fn decode_proc(r: &mut Reader) -> Option<Procedure> {
 }
 
 fn decode_txn(r: &mut Reader) -> Option<Txn> {
+    // Loop bounds come from the decoded counts, never `Vec::capacity()`:
+    // `with_capacity(n)` only promises capacity >= n, and an allocator
+    // that rounds up must not make us decode extra elements.
     let proc = decode_proc(r)?;
     let think_us = r.u32()?;
-    let mut reads = Vec::with_capacity(r.count(12)?);
-    for _ in 0..reads.capacity() {
+    let n_reads = r.count(12)?;
+    let mut reads = Vec::with_capacity(n_reads);
+    for _ in 0..n_reads {
         let table = r.u32()?;
         reads.push(RecordId::new(table, r.u64()?));
     }
-    let mut writes = Vec::with_capacity(r.count(12)?);
-    for _ in 0..writes.capacity() {
+    let n_writes = r.count(12)?;
+    let mut writes = Vec::with_capacity(n_writes);
+    for _ in 0..n_writes {
         let table = r.u32()?;
         writes.push(RecordId::new(table, r.u64()?));
     }
-    let mut scans = Vec::with_capacity(r.count(20)?);
-    for _ in 0..scans.capacity() {
+    let n_scans = r.count(20)?;
+    let mut scans = Vec::with_capacity(n_scans);
+    for _ in 0..n_scans {
         let table = r.u32()?;
         let lo = r.u64()?;
         scans.push(ScanRange::new(table, lo, r.u64()?));
     }
-    let mut index_scans = Vec::with_capacity(r.count(12)?);
-    for _ in 0..index_scans.capacity() {
+    let n_index_scans = r.count(12)?;
+    let mut index_scans = Vec::with_capacity(n_index_scans);
+    for _ in 0..n_index_scans {
         let list = r.u64()? as usize;
         index_scans.push(IndexScan::new(list, r.u32()?));
     }
@@ -750,40 +828,53 @@ fn corrupt(segment: u64, offset: usize, what: &str) -> io::Error {
     )
 }
 
-/// Decode one segment's records into `out`. Returns `Ok(true)` if the
-/// segment was fully intact, `Ok(false)` if a torn tail was dropped
-/// (legal only when `is_last`).
+/// Result of scanning one segment: whether it was fully intact, and the
+/// byte length of its valid prefix (header plus every whole, checksummed
+/// record) — what [`Wal::open`] truncates a torn last segment back to.
+/// `valid_len` of 0 means even the header is damaged.
+struct SegScan {
+    intact: bool,
+    valid_len: usize,
+}
+
+/// Decode one segment's records into `out`. A torn tail is dropped and
+/// reported via [`SegScan`] (legal only when `is_last`; otherwise it is
+/// corruption and errors).
 fn read_segment(
     bytes: &[u8],
     is_last: bool,
     segment: u64,
     out: &mut Vec<LoggedBatch>,
-) -> io::Result<bool> {
-    let torn = |offset: usize, what: &str| {
+) -> io::Result<SegScan> {
+    let torn = |offset: usize, valid_len: usize, what: &str| {
         if is_last {
-            Ok(false) // crash mid-append: drop the tail
+            // crash mid-append: drop the tail
+            Ok(SegScan {
+                intact: false,
+                valid_len,
+            })
         } else {
             Err(corrupt(segment, offset, what))
         }
     };
     if bytes.len() < SEGMENT_MAGIC.len() || bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
-        return torn(0, "bad or short segment header");
+        return torn(0, 0, "bad or short segment header");
     }
     let mut pos = SEGMENT_MAGIC.len();
     while pos < bytes.len() {
         let Some(header) = bytes.get(pos..pos + 12) else {
-            return torn(pos, "short record header");
+            return torn(pos, pos, "short record header");
         };
         let len = u32::from_le_bytes(header[0..4].try_into().unwrap());
         let sum = u64::from_le_bytes(header[4..12].try_into().unwrap());
         if len > MAX_RECORD_BYTES {
-            return torn(pos, "record length out of range");
+            return torn(pos, pos, "record length out of range");
         }
         let Some(payload) = bytes.get(pos + 12..pos + 12 + len as usize) else {
-            return torn(pos, "short record payload");
+            return torn(pos, pos, "short record payload");
         };
         if fnv64(payload) != sum {
-            return torn(pos, "record checksum mismatch");
+            return torn(pos, pos, "record checksum mismatch");
         }
         // Past the checksum, failure to decode is always corruption: the
         // bytes made it to disk intact but do not parse.
@@ -792,7 +883,10 @@ fn read_segment(
         out.push(batch);
         pos += 12 + len as usize;
     }
-    Ok(true)
+    Ok(SegScan {
+        intact: true,
+        valid_len: pos,
+    })
 }
 
 #[cfg(test)]
@@ -978,6 +1072,86 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!((log[0].epoch, log[1].epoch), (1, 2));
         assert_eq!(log[1].txns.len(), 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_repairs_torn_tail_so_reopened_log_stays_readable() {
+        // Regression: a torn record left in the last segment used to
+        // survive reopen; the reopened log then appended a newer segment,
+        // the torn record sat in a *non-final* segment, and read_log
+        // hard-errored the whole directory. open() must truncate it away.
+        let dir = tmpdir("repair");
+        let mut cfg = DurabilityConfig::new(&dir);
+        cfg.fsync = FsyncPolicy::Off;
+        let txns = gauntlet();
+        {
+            let wal = Wal::open(&cfg).unwrap();
+            wal.log_batch(1, &mut txns.iter()).unwrap();
+            wal.log_batch(2, &mut txns.iter()).unwrap();
+        }
+        let seg = segment_path(&dir, 0);
+        let full = fs::read(&seg).unwrap();
+        fs::write(&seg, &full[..full.len() - 5]).unwrap(); // tear epoch-2 record
+        {
+            let wal = Wal::open(&cfg).unwrap();
+            wal.log_batch(3, &mut txns[..2].iter()).unwrap();
+        }
+        let log = Wal::read_log(&dir).unwrap();
+        assert_eq!(log.len(), 2, "torn batch dropped, prefix + new batch kept");
+        assert_eq!((log[0].epoch, log[1].epoch), (1, 3));
+        // The repaired segment is byte-exact: magic + the intact record.
+        assert!(fs::metadata(&seg).unwrap().len() < full.len() as u64 - 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_removes_header_torn_segment_and_repairs_the_previous() {
+        let dir = tmpdir("repair-header");
+        let mut cfg = DurabilityConfig::new(&dir);
+        cfg.fsync = FsyncPolicy::Off;
+        let txns = gauntlet();
+        {
+            let wal = Wal::open(&cfg).unwrap();
+            wal.log_batch(1, &mut txns.iter()).unwrap();
+        }
+        // Crash while creating segment 1 (header half-written) *and* a
+        // torn tail on segment 0: open must drop the junk file, truncate
+        // segment 0, and carry on.
+        let seg0 = segment_path(&dir, 0);
+        let full = fs::read(&seg0).unwrap();
+        let mut torn = full.clone();
+        torn.extend_from_slice(&[7, 7, 7]); // partial next record
+        fs::write(&seg0, &torn).unwrap();
+        fs::write(segment_path(&dir, 1), &SEGMENT_MAGIC[..4]).unwrap();
+        {
+            let wal = Wal::open(&cfg).unwrap();
+            wal.log_batch(2, &mut txns[..1].iter()).unwrap();
+        }
+        let log = Wal::read_log(&dir).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!((log[0].epoch, log[1].epoch), (1, 2));
+        assert_eq!(fs::metadata(&seg0).unwrap().len(), full.len() as u64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn paused_appends_write_nothing_until_resumed() {
+        let dir = tmpdir("pause");
+        let cfg = DurabilityConfig::new(&dir);
+        let wal = Wal::open(&cfg).unwrap();
+        let txns = gauntlet();
+        let empty = wal.log_bytes();
+        wal.pause_appends();
+        wal.log_batch(1, &mut txns.iter()).unwrap();
+        assert_eq!(wal.log_bytes(), empty, "paused appends must be no-ops");
+        assert_eq!(wal.batches_logged(), 0);
+        wal.resume_appends();
+        wal.log_batch(2, &mut txns.iter()).unwrap();
+        drop(wal);
+        let log = Wal::read_log(&dir).unwrap();
+        assert_eq!(log.len(), 1);
+        assert_eq!(log[0].epoch, 2);
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -97,6 +97,10 @@ impl Slots {
 struct DoneState {
     outcomes_done: bool,
     retired: bool,
+    /// Engine fault (e.g. a WAL append failure): the submission will
+    /// never execute. Waiters panic with a clear message instead of
+    /// blocking forever.
+    failed: bool,
 }
 
 impl Completion {
@@ -123,6 +127,7 @@ impl Completion {
                 outcomes_done: n == 0,
                 // An empty submission reaches no batch; nothing to wait for.
                 retired: n == 0 || !needs_barrier,
+                failed: false,
             }),
             cv: Condvar::new(),
         })
@@ -165,16 +170,31 @@ impl Completion {
         }
     }
 
+    /// Mark the submission as never-executing because the engine failed
+    /// (stop-the-world fault, e.g. the WAL rejected an append). Wakes
+    /// every waiter; their `wait_done` panics with the fault instead of
+    /// hanging on outcomes that will never arrive. Idempotent.
+    pub(crate) fn poison(&self) {
+        let mut st = self.state.lock();
+        st.failed = true;
+        self.cv.notify_all();
+    }
+
     pub(crate) fn wait_done(&self) {
         let mut st = self.state.lock();
-        while !(st.outcomes_done && st.retired) {
+        while !(st.failed || st.outcomes_done && st.retired) {
             self.cv.wait(&mut st);
         }
+        assert!(
+            !st.failed,
+            "BOHM engine failed (write-ahead log append error): \
+             this submission was never executed"
+        );
     }
 
     pub(crate) fn is_done(&self) -> bool {
         let st = self.state.lock();
-        st.outcomes_done && st.retired
+        st.failed || (st.outcomes_done && st.retired)
     }
 
     /// Outcome of transaction `idx`; valid only after [`wait_done`](Self::wait_done).
@@ -658,6 +678,23 @@ pub(crate) mod tests {
         b.txns[0].complete(true, 0);
         b.barriers[0].batch_retired();
         waiter.join().unwrap();
+    }
+
+    #[test]
+    fn poisoned_completion_panics_waiters_instead_of_hanging() {
+        let completion = Completion::new(1, true);
+        let c2 = Arc::clone(&completion);
+        let waiter = std::thread::spawn(move || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| c2.wait_done()))
+        });
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        completion.poison();
+        let woke = waiter.join().unwrap();
+        assert!(woke.is_err(), "poisoned wait must panic, not return");
+        assert!(completion.is_done(), "pollers must see a poisoned handle");
+        let late =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| completion.wait_done()));
+        assert!(late.is_err(), "late waiters observe the fault too");
     }
 
     #[test]

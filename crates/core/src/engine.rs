@@ -169,6 +169,57 @@ impl Bohm {
         }
     }
 
+    /// Recover a durable engine from its own log directory, then keep
+    /// running against the same log — the crash → recover → continue
+    /// path.
+    ///
+    /// Reads the log back ([`Wal::read_log`](bohm_common::wal::Wal::read_log),
+    /// torn-tail rule applied), starts the engine — whose
+    /// [`Wal::open`](bohm_common::wal::Wal::open) repairs any torn tail
+    /// before appending a fresh segment — and replays the recovered
+    /// batches through the normal pipeline with WAL appends **suspended**:
+    /// the inherited segments already hold the replayed prefix, and
+    /// logging it a second time would double-apply it on the next
+    /// recovery. Appends resume once every replayed batch has retired, so
+    /// work submitted afterwards is logged exactly once after the
+    /// inherited prefix.
+    ///
+    /// Returns the running engine plus the replayed transactions'
+    /// outcomes in log order — determinism makes them (and the rebuilt
+    /// state) identical to the pre-crash execution of the logged prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.durability` is `None`: recovery without a log
+    /// directory is meaningless. (Replay into a memory-only engine is
+    /// [`wal::replay_into`](bohm_common::wal::replay_into).)
+    pub fn recover(
+        config: BohmConfig,
+        catalog: CatalogSpec,
+    ) -> std::io::Result<(Self, Vec<TxnOutcome>)> {
+        let dir = config
+            .durability
+            .as_ref()
+            .expect("Bohm::recover requires BohmConfig::durability")
+            .dir
+            .clone();
+        let log = bohm_common::wal::Wal::read_log(&dir)?;
+        let engine = Bohm::start(config, catalog);
+        let wal = engine.inner.wal.as_ref().expect("durability configured");
+        wal.pause_appends();
+        // Pipeline the whole log, then wait in order. Waiting on a group
+        // handle synchronizes with its batches' retirement, so by the
+        // last wait every replayed batch is sealed (the log decision
+        // point) and appends can safely resume.
+        let handles: Vec<BatchHandle> = log.iter().map(|b| engine.submit(b.txns.clone())).collect();
+        let mut outcomes = Vec::new();
+        for h in &handles {
+            outcomes.extend(h.outcomes());
+        }
+        wal.resume_appends();
+        Ok((engine, outcomes))
+    }
+
     /// Open a submission session: the per-client handle for enqueueing
     /// single transactions with per-transaction completion.
     ///
@@ -984,6 +1035,99 @@ mod tests {
         let got: Vec<u64> = (0..16).map(|k| fresh.read_u64(rid(k)).unwrap()).collect();
         assert_eq!(got, expect, "replayed state must match the logged run");
         fresh.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_then_continue_on_same_dir_never_double_applies() {
+        use bohm_common::wal::{DurabilityConfig, FsyncPolicy, Wal};
+        let dir = std::env::temp_dir().join(format!("bohm-core-recover-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let catalog = || CatalogSpec::new().table(8, 8, |_| 0);
+        let cfg = || {
+            let mut c = BohmConfig::small();
+            let mut d = DurabilityConfig::new(&dir);
+            d.fsync = FsyncPolicy::Off;
+            c.durability = Some(d);
+            c
+        };
+        let sum = |e: &Bohm| -> u64 { (0..8).map(|k| e.read_u64(rid(k)).unwrap()).sum() };
+        // Run 1: 40 increments in 5 separate submissions (5 log records),
+        // then "crash" with a torn tail — truncate the live segment
+        // mid-record after shutdown.
+        let e = Bohm::start(cfg(), catalog());
+        for round in 0..5u64 {
+            assert!(e
+                .execute_sync((0..8).map(|i| rmw(&[(i + round) % 8], 1)).collect())
+                .iter()
+                .all(|o| o.committed));
+        }
+        e.shutdown();
+        let seg0 = dir.join("wal-00000000.seg");
+        let full = std::fs::read(&seg0).unwrap();
+        std::fs::write(&seg0, &full[..full.len() - 3]).unwrap();
+        let logged = Wal::read_log(&dir)
+            .unwrap()
+            .iter()
+            .map(|b| b.txns.len())
+            .sum::<usize>();
+        assert!(
+            (8..40).contains(&logged),
+            "the tear must drop exactly the final record, got {logged}"
+        );
+        // Recovery 1: replay the surviving prefix on the SAME dir, then
+        // continue with fresh work — both must be logged exactly once.
+        let (e, outcomes) = Bohm::recover(cfg(), catalog()).unwrap();
+        assert_eq!(outcomes.len(), logged);
+        assert!(outcomes.iter().all(|o| o.committed));
+        assert_eq!(sum(&e), logged as u64, "replayed prefix applied once");
+        assert!(e
+            .execute_sync((0..40).map(|i| rmw(&[i % 8], 1)).collect())
+            .iter()
+            .all(|o| o.committed));
+        assert_eq!(sum(&e), logged as u64 + 40);
+        e.shutdown();
+        // Recovery 2: the log must now hold prefix + continuation, each
+        // once — a re-logged replay would double them here.
+        let (e, outcomes) = Bohm::recover(cfg(), catalog()).unwrap();
+        assert_eq!(
+            outcomes.len(),
+            logged + 40,
+            "recovery must not re-log the replayed prefix"
+        );
+        assert_eq!(sum(&e), logged as u64 + 40);
+        e.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_append_failure_fails_waiters_and_submitters_instead_of_hanging() {
+        use bohm_common::wal::{DurabilityConfig, FsyncPolicy};
+        let dir = std::env::temp_dir().join(format!("bohm-core-walfail-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut cfg = BohmConfig::small();
+        let mut d = DurabilityConfig::new(&dir);
+        d.fsync = FsyncPolicy::Off;
+        d.segment_bytes = 1; // rotate after every batch
+        cfg.durability = Some(d);
+        let e = Bohm::start(cfg, CatalogSpec::new().table(8, 8, |_| 0));
+        // Sabotage the next rotation target: `create_new` on an existing
+        // path fails, so the first sealed batch faults the WAL.
+        std::fs::create_dir(dir.join("wal-00000001.seg")).unwrap();
+        let session = e.session();
+        let observed_fault = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            // Keep submitting until either a wait panics (poisoned
+            // completion) or a submit panics (queue closed) — both are
+            // the observable engine fault; hanging here is the bug.
+            for i in 0..10_000u64 {
+                session.submit(rmw(&[i % 8], 1)).wait();
+            }
+        }));
+        assert!(
+            observed_fault.is_err(),
+            "clients must observe the WAL fault, not hang or succeed"
+        );
+        drop(e); // shutdown must not hang either
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

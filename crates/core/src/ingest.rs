@@ -192,6 +192,17 @@ impl IngestTx {
 }
 
 impl IngestRx {
+    /// Receiver-side close: stop accepting submissions (senders blocked on
+    /// a full queue wake up and error out). The sequencer uses this when
+    /// the engine faults and can no longer execute accepted work.
+    pub fn close(&self) {
+        let mut st = self.shared.state.lock();
+        st.closed = true;
+        drop(st);
+        self.shared.not_full.notify_all();
+        self.shared.not_empty.notify_all();
+    }
+
     /// Pop the oldest submission; with a deadline, give up at the deadline
     /// (the sequencer's linger timer). `Closed` only after the queue has
     /// fully drained, so no accepted submission is ever dropped.
@@ -241,10 +252,12 @@ pub(crate) fn seq_loop(inner: Arc<Inner>, rx: IngestRx, cc_senders: Vec<Sender<A
     // bounded by the in-flight window depth, so steady state is malloc-free.
     let mut arena = inner.arena_pool.arena();
 
+    // Seal the open batch; `false` means the WAL rejected the append and
+    // the engine must stop (the entries stay in `open` for poisoning).
     let seal =
         |open: &mut Vec<(Txn, TxnHook)>, next_batch: &mut u64, arena: &mut bohm_common::Arena| {
             if open.is_empty() {
-                return;
+                return true;
             }
             let base_ts = 1 + *next_batch * stride as u64;
             // Sample the global epoch at seal time: every transaction sealed
@@ -259,11 +272,14 @@ pub(crate) fn seq_loop(inner: Arc<Inner>, rx: IngestRx, cc_senders: Vec<Sender<A
             // configured fsync policy runs) *before* the batch is released
             // to CC — nothing executes that isn't recoverable. A log the
             // engine can no longer append to is a stop-the-world fault:
-            // continuing would silently break the recovery guarantee.
+            // continuing would silently break the recovery guarantee, so
+            // the sequencer fails the engine instead (see `fail_engine`).
             if let Some(wal) = &inner.wal {
                 use bohm_common::wal::LogSink as _;
-                wal.log_batch(epoch, &mut open.iter().map(|(t, _)| t))
-                    .expect("WAL append failed; refusing to execute unlogged batch");
+                if let Err(e) = wal.log_batch(epoch, &mut open.iter().map(|(t, _)| t)) {
+                    eprintln!("bohm-seq: WAL append failed ({e}); failing the engine");
+                    return false;
+                }
             }
             let batch = Batch::new(
                 std::mem::take(open),
@@ -289,9 +305,10 @@ pub(crate) fn seq_loop(inner: Arc<Inner>, rx: IngestRx, cc_senders: Vec<Sender<A
                 // senders at exit.
                 let _ = s.send(Arc::clone(&batch));
             }
+            true
         };
 
-    loop {
+    'run: loop {
         let deadline = (!open.is_empty()).then(|| open_since + linger);
         match rx.recv_deadline(deadline) {
             RecvOutcome::Req(req) => {
@@ -314,20 +331,51 @@ pub(crate) fn seq_loop(inner: Arc<Inner>, rx: IngestRx, cc_senders: Vec<Sender<A
                         },
                     ));
                     if open.len() >= stride {
-                        seal(&mut open, &mut next_batch, &mut arena); // size trigger
+                        // size trigger
+                        if !seal(&mut open, &mut next_batch, &mut arena) {
+                            fail_engine(open, &rx);
+                            break 'run;
+                        }
                     }
                 }
             }
             // time trigger
-            RecvOutcome::TimedOut => seal(&mut open, &mut next_batch, &mut arena),
+            RecvOutcome::TimedOut => {
+                if !seal(&mut open, &mut next_batch, &mut arena) {
+                    fail_engine(open, &rx);
+                    break 'run;
+                }
+            }
             RecvOutcome::Closed => {
-                seal(&mut open, &mut next_batch, &mut arena);
-                break;
+                if !seal(&mut open, &mut next_batch, &mut arena) {
+                    fail_engine(open, &rx);
+                }
+                break 'run;
             }
         }
     }
     // Dropping `cc_senders` here closes the CC channels; CC threads exit,
     // their exec-sender clones drop, and the pipeline drains itself.
+}
+
+/// Stop-the-world engine fault (the WAL refused an append): nothing
+/// unlogged may execute, so every submission that has not reached a
+/// sealed batch is poisoned — its waiters panic with the fault instead of
+/// deadlocking on outcomes that will never arrive — and the ingest queue
+/// is closed so new submissions fail fast. Batches already sealed (and
+/// therefore logged) keep executing; they are recoverable.
+fn fail_engine(open: Vec<(Txn, TxnHook)>, rx: &IngestRx) {
+    for (_, hook) in open {
+        hook.completion.poison();
+    }
+    rx.close();
+    loop {
+        match rx.recv_deadline(None) {
+            RecvOutcome::Req(req) => req.completion.poison(),
+            RecvOutcome::Closed => break,
+            RecvOutcome::TimedOut => unreachable!("no deadline given"),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -12,6 +12,10 @@
 //!
 //! # 3. replay the log into a fresh engine; exits non-zero on mismatch
 //! cargo run --release --example recovery_demo -- replay /tmp/bohm-wal
+//!
+//! # …or recover in place and keep going on the same log directory
+//! # (appends are suspended during the replay, so nothing logs twice)
+//! cargo run --release --example recovery_demo -- recover /tmp/bohm-wal 10000
 //! ```
 //!
 //! The replay re-submits the logged transactions, in log order, through
@@ -146,6 +150,39 @@ fn run(dir: &Path, count: u64) {
     engine.shutdown();
 }
 
+/// `recover DIR [N]`: recover **in place** — rebuild state from the
+/// log on the same directory (appends suspended during the replay, so
+/// nothing is logged twice), then keep running `N` more transactions
+/// against the same log. This is the crash → recover → continue path a
+/// real deployment takes; `replay` is the read-only forensic one.
+fn recover(dir: &Path, count: u64) {
+    let mut cfg = BohmConfig::with_threads(2, 2);
+    cfg.durability = Some(DurabilityConfig::new(dir));
+    let (engine, outcomes) = Bohm::recover(cfg, catalog_of(&spec())).unwrap_or_else(|e| {
+        eprintln!("cannot recover from {}: {e}", dir.display());
+        std::process::exit(2);
+    });
+    println!(
+        "recovered {} transactions ({} committed); continuing with {count} more",
+        outcomes.len(),
+        outcomes.iter().filter(|o| o.committed).count()
+    );
+    // Continue the workload from a seed the original run never used, so
+    // the continuation is fresh work rather than a re-run.
+    let mut rng = FastRng::seed_from(9000 + outcomes.len() as u64);
+    for chunk in 0..count.div_ceil(1024) {
+        let n = (count - chunk * 1024).min(1024);
+        let txns: Vec<Txn> = (0..n).map(|_| gen_txn(&mut rng)).collect();
+        engine.execute_sync(txns);
+    }
+    println!(
+        "continued past recovery; log now {} bytes at {}",
+        engine.log_bytes(),
+        dir.display()
+    );
+    engine.shutdown();
+}
+
 /// `replay DIR`: rebuild from the log and verify against the oracle.
 fn replay(dir: &Path) {
     let log = Wal::read_log(dir).unwrap_or_else(|e| {
@@ -192,10 +229,19 @@ fn main() {
                 .unwrap_or_else(|| bohm_suite::common::stress_iters(500_000));
             run(Path::new(&args[2]), count);
         }
+        Some("recover") if args.len() >= 3 => {
+            let count = args
+                .get(3)
+                .map(|s| s.parse().expect("count must be a number"))
+                .unwrap_or(10_000);
+            recover(Path::new(&args[2]), count);
+        }
         Some("replay") if args.len() >= 3 => replay(Path::new(&args[2])),
         _ => {
             eprintln!(
-                "usage: recovery_demo run <log-dir> [count] | recovery_demo replay <log-dir>"
+                "usage: recovery_demo run <log-dir> [count] \
+                 | recovery_demo recover <log-dir> [count] \
+                 | recovery_demo replay <log-dir>"
             );
             std::process::exit(2);
         }

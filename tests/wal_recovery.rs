@@ -16,6 +16,7 @@
 //!   engine, and checks every commit decision, every read fingerprint,
 //!   and the complete final state against the serial oracle.
 
+use bohm_suite::common::engine::ExecOutcome;
 use bohm_suite::common::rng::FastRng;
 use bohm_suite::common::wal::{self, DurabilityConfig, FsyncPolicy, LogSink as _, Wal};
 use bohm_suite::common::{Procedure, RecordId, ScanRange, SmallBankProc, Txn};
@@ -187,6 +188,77 @@ fn torn_write_at_every_offset_recovers_exact_prefix() {
     }
     std::fs::remove_dir_all(&dir).unwrap();
     std::fs::remove_dir_all(&scratch).unwrap();
+}
+
+#[test]
+fn recover_then_continue_on_same_dir_matches_oracle_across_two_crashes() {
+    // The full crash → recover → continue lifecycle, on ONE directory:
+    // run, crash with a torn tail, `Bohm::recover` (same dir), run more
+    // work, crash again, recover again. The final log must hold the
+    // surviving prefix plus the continuation exactly once each — a
+    // recovery that re-logged its replayed prefix would double-apply it
+    // here — and the rebuilt state must match the serial oracle.
+    let dir = fresh_dir("continue");
+    let cfg = || {
+        let mut c = BohmConfig::with_threads(2, 2);
+        let mut d = DurabilityConfig::new(&dir);
+        d.fsync = FsyncPolicy::Off;
+        c.durability = Some(d);
+        c
+    };
+    let db = spec();
+    let mut rng = FastRng::seed_from(77);
+    // Phase 1: 30 submissions of 10 → 30 log records, then tear the tail.
+    let engine = Bohm::start(cfg(), catalog_of(&db));
+    for _ in 0..30 {
+        let txns: Vec<Txn> = (0..10).map(|_| gen_txn(&mut rng)).collect();
+        engine.execute_sync(txns);
+    }
+    engine.shutdown();
+    let seg = dir.join("wal-00000000.seg");
+    let full = std::fs::read(&seg).unwrap();
+    std::fs::write(&seg, &full[..full.len() - 7]).unwrap();
+    let prefix: Vec<Txn> = Wal::read_log(&dir)
+        .unwrap()
+        .iter()
+        .flat_map(|b| b.txns.iter().cloned())
+        .collect();
+    // The tear drops exactly the final record; that record holds at
+    // most one 10-txn submission (linger may have split one, never
+    // merged two — each submission waits for completion).
+    assert!(
+        (290..300).contains(&prefix.len()),
+        "tear should drop only the final record, got {} txns",
+        prefix.len()
+    );
+    // Phase 2: recover on the same dir, continue with fresh work, crash
+    // again (this time without a tear — shutdown syncs the tail).
+    let (engine, outcomes) = Bohm::recover(cfg(), catalog_of(&db)).expect("recover");
+    assert_eq!(outcomes.len(), prefix.len());
+    let continuation: Vec<Txn> = (0..150).map(|_| gen_txn(&mut rng)).collect();
+    engine.execute_sync(continuation.clone());
+    engine.shutdown();
+    // Phase 3: recover once more; the log is prefix + continuation, each
+    // applied exactly once, and the state matches the serial oracle.
+    let all: Vec<Txn> = prefix.iter().chain(&continuation).cloned().collect();
+    let (engine, outcomes) = Bohm::recover(cfg(), catalog_of(&db)).expect("second recover");
+    assert_eq!(
+        outcomes.len(),
+        all.len(),
+        "replayed prefix must not have been re-logged by recovery"
+    );
+    let outcomes: Vec<ExecOutcome> = outcomes
+        .iter()
+        .map(|o| ExecOutcome {
+            committed: o.committed,
+            fingerprint: o.fingerprint,
+            cc_retries: 0,
+        })
+        .collect();
+    let res = check_serial_equivalence(&db, &all, &outcomes, |rid| engine.read_u64(rid));
+    engine.shutdown();
+    res.expect("twice-recovered state diverged from the serial oracle");
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 /// Env var carrying the log dir into the re-exec'd child; when unset

@@ -289,6 +289,99 @@ fn main() {
         print_figure(&title, "policy (0=off,1=nosync,2=every64,3=batch)", &series);
         artifact.push((title, series));
     }
+    // Recovery time vs. log length (fig_recovery): durable BOHM runs of
+    // increasing logged-transaction counts; after shutdown, wall-clock
+    // `Bohm::recover`. Two series — replay-everything (no checkpoint)
+    // and a mid-run checkpoint that bounds replay to the post-cut
+    // suffix. The checkpointed line should stay roughly flat while the
+    // uncheckpointed one grows linearly with the log. Both series are
+    // lower-is-better: the JSON carries `"better":"lower"` and the
+    // trend gate flips its regression direction accordingly.
+    {
+        use bohm_common::wal::{DurabilityConfig, FsyncPolicy};
+        use bohm_common::{Procedure, RecordId, Txn};
+        use std::time::Instant;
+
+        const ROWS: u64 = 1024;
+        let counts: Vec<f64> = if p.smoke {
+            vec![2_000.0, 8_000.0]
+        } else {
+            vec![10_000.0, 40_000.0, 80_000.0]
+        };
+        let catalog = || bohm::CatalogSpec::new().table(ROWS, 8, |row| row);
+        let run_case = |n: usize, mid_checkpoint: bool, tag: &str| -> f64 {
+            let log_dir = std::env::temp_dir().join(format!(
+                "bohm-fig-recovery-{}-{n}-{mid_checkpoint}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&log_dir);
+            let mk_cfg = || {
+                let mut cfg = bohm::BohmConfig::with_threads(2, 2);
+                cfg.durability = Some({
+                    let mut d = DurabilityConfig::new(&log_dir);
+                    d.fsync = FsyncPolicy::Off;
+                    d
+                });
+                cfg
+            };
+            let engine = bohm::Bohm::start(mk_cfg(), catalog());
+            let chunk = 512usize;
+            let mut done = 0usize;
+            let mut seed = 0x9e37_79b9_7f4a_7c15u64 ^ n as u64;
+            while done < n {
+                let take = chunk.min(n - done);
+                let txns: Vec<Txn> = (0..take)
+                    .map(|_| {
+                        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        let rid = RecordId::new(0, seed % ROWS);
+                        Txn::new(
+                            vec![rid],
+                            vec![rid],
+                            Procedure::ReadModifyWrite { delta: 1 },
+                        )
+                    })
+                    .collect();
+                engine.execute_sync(txns);
+                done += take;
+                if mid_checkpoint && done >= n / 2 && done - take < n / 2 {
+                    engine.checkpoint().expect("mid-run checkpoint");
+                }
+            }
+            let log_bytes = engine.log_bytes();
+            engine.shutdown();
+            let start = Instant::now();
+            let (rec, replayed) = bohm::Bohm::recover(mk_cfg(), catalog()).expect("recover");
+            let ms = start.elapsed().as_secs_f64() * 1e3;
+            rec.shutdown();
+            eprintln!(
+                "recovery {tag} n={n}: {ms:.1} ms ({} txns replayed, {log_bytes} log bytes)",
+                replayed.len()
+            );
+            let _ = std::fs::remove_dir_all(&log_dir);
+            ms
+        };
+        let series = vec![
+            Series::new(
+                "no checkpoint",
+                counts
+                    .iter()
+                    .map(|&n| (n, run_case(n as usize, false, "no-ckp")))
+                    .collect(),
+            )
+            .lower_is_better(),
+            Series::new(
+                "mid-run checkpoint",
+                counts
+                    .iter()
+                    .map(|&n| (n, run_case(n as usize, true, "mid-ckp")))
+                    .collect(),
+            )
+            .lower_is_better(),
+        ];
+        let title = "Recovery time vs. log length (Bohm, ms)".to_string();
+        print_figure(&title, "logged txns", &series);
+        artifact.push((title, series));
+    }
     // Seed the perf trajectory: CI sets BOHM_BENCH_JSON and uploads the file.
     write_bench_json(&artifact, "threads");
 }

@@ -333,6 +333,15 @@ impl BatchEngine for AnyEngine {
         }
     }
 
+    fn snapshot_records(&self, f: &mut dyn FnMut(RecordId, &[u8])) {
+        match self {
+            AnyEngine::Bohm(e) => e.snapshot_records(f),
+            AnyEngine::Tpl(e) => BatchEngine::snapshot_records(e, f),
+            AnyEngine::Occ(e) => BatchEngine::snapshot_records(e, f),
+            AnyEngine::Hekaton(e) | AnyEngine::Si(e) => BatchEngine::snapshot_records(e, f),
+        }
+    }
+
     /// Quiesce the engine so direct [`read_u64`](BatchEngine::read_u64)
     /// state audits are race-free. The interactive engines are quiescent
     /// between calls already; BOHM drains through its own barrier quiesce

@@ -13,6 +13,10 @@ pub struct Series {
     /// repetitions; empty for single-shot figures. Downstream gating scales
     /// its regression threshold by this, so noisy hosts don't fail CI.
     pub spread: Vec<f64>,
+    /// `true` when smaller y is better (latencies, recovery times). The
+    /// artifact carries it as `"better":"lower"` and the trend gate flips
+    /// its regression direction; throughput figures leave it `false`.
+    pub lower_is_better: bool,
 }
 
 impl Series {
@@ -23,7 +27,17 @@ impl Series {
             points,
             runs: 1,
             spread: Vec::new(),
+            lower_is_better: false,
         }
+    }
+
+    /// Mark this series as lower-is-better (latency/recovery-time style):
+    /// the JSON artifact gains `"better":"lower"` and the CI trend gate
+    /// treats an *increase* as the regression.
+    #[must_use]
+    pub fn lower_is_better(mut self) -> Self {
+        self.lower_is_better = true;
+        self
     }
 }
 
@@ -77,6 +91,7 @@ pub fn sweep_series(
         points,
         runs,
         spread: if runs == 1 { Vec::new() } else { spread },
+        lower_is_better: false,
     }
 }
 
@@ -132,8 +147,11 @@ pub fn print_figure(title: &str, x_label: &str, series: &[Series]) {
 /// "points": [[x, txns_per_sec], …], "runs": N,
 /// "spread": [rel_dispersion, …]}]}]}`. `runs`/`spread` carry the
 /// repetition count and per-point `(max−min)/median` of median-of-N
-/// figures; single-shot figures emit `"runs":1,"spread":[]`. Consumers
-/// reading only `points` are unaffected.
+/// figures; single-shot figures emit `"runs":1,"spread":[]`. A series
+/// marked [`Series::lower_is_better`] additionally carries
+/// `"better":"lower"` so the trend gate flips its regression direction
+/// (absent ⇒ higher is better). Consumers reading only `points` are
+/// unaffected.
 pub fn write_bench_json(figures: &[(String, Vec<Series>)], x_label: &str) {
     let Ok(path) = std::env::var("BOHM_BENCH_JSON") else {
         return;
@@ -166,7 +184,11 @@ pub fn write_bench_json_to(
             if si > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("{{\"label\":\"{}\",\"points\":[", esc(&s.label)));
+            out.push_str(&format!("{{\"label\":\"{}\",", esc(&s.label)));
+            if s.lower_is_better {
+                out.push_str("\"better\":\"lower\",");
+            }
+            out.push_str("\"points\":[");
             for (pi, &(x, y)) in s.points.iter().enumerate() {
                 if pi > 0 {
                     out.push(',');
@@ -293,12 +315,41 @@ mod tests {
                     points: vec![(2.0, 1000.0)],
                     runs: 3,
                     spread: vec![0.0375],
+                    lower_is_better: false,
                 }],
             )],
             "threads",
         );
         let got = std::fs::read_to_string(&path).unwrap();
         assert!(got.contains("\"runs\":3,\"spread\":[0.0375]"), "{got}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bench_json_marks_lower_is_better_series() {
+        let dir = std::env::temp_dir().join(format!("bohm-bench-lower-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_lower.json");
+        write_bench_json_to(
+            &path,
+            &[(
+                "Recovery".into(),
+                vec![
+                    Series::new("no checkpoint", vec![(1000.0, 3.5)]).lower_is_better(),
+                    Series::new("throughput", vec![(1000.0, 9.0)]),
+                ],
+            )],
+            "txns logged",
+        );
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert!(
+            got.contains("\"label\":\"no checkpoint\",\"better\":\"lower\","),
+            "{got}"
+        );
+        assert!(
+            !got.contains("\"label\":\"throughput\",\"better\""),
+            "higher-is-better series must not carry the marker: {got}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

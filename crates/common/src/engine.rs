@@ -53,6 +53,13 @@ pub trait Engine: Send + Sync + 'static {
     /// quiescent; `None` for a record that does not (currently) exist.
     /// The cross-shard commit path reads participating shards through this.
     fn read_record(&self, rid: crate::RecordId) -> Option<crate::Value>;
+
+    /// Visit every currently present record — `(id, committed payload)` —
+    /// while the engine is quiescent. This is the checkpoint surface: the
+    /// durable layer snapshots the full table state (secondary-index
+    /// posting lists are ordinary records and ride along) through it.
+    /// Visit order is unspecified.
+    fn snapshot_records(&self, f: &mut dyn FnMut(crate::RecordId, &[u8]));
 }
 
 /// One client's submission stream into a [`BatchEngine`].
@@ -102,6 +109,11 @@ pub trait BatchEngine: Send + Sync + 'static {
     /// Snapshot the full committed payload of a record while the engine is
     /// quiescent; `None` for a record that does not (currently) exist.
     fn read_record(&self, rid: crate::RecordId) -> Option<crate::Value>;
+
+    /// Visit every currently present record — `(id, committed payload)` —
+    /// while the engine is quiescent; see [`Engine::snapshot_records`].
+    /// Checkpoints are built from exactly this iteration.
+    fn snapshot_records(&self, f: &mut dyn FnMut(crate::RecordId, &[u8]));
 
     /// Block until every transaction submitted (by any session) before this
     /// call has a decision applied to the store — an **epoch retirement
@@ -162,6 +174,10 @@ impl<E: Engine> BatchEngine for E {
 
     fn read_record(&self, rid: crate::RecordId) -> Option<crate::Value> {
         Engine::read_record(self, rid)
+    }
+
+    fn snapshot_records(&self, f: &mut dyn FnMut(crate::RecordId, &[u8])) {
+        Engine::snapshot_records(self, f)
     }
 
     // `quiesce`: interactive engines execute synchronously inside `submit`,

@@ -25,6 +25,8 @@
 
 pub mod access;
 pub mod arena;
+pub mod checkpoint;
+pub mod durable;
 pub mod engine;
 pub mod index;
 pub mod procedures;
@@ -39,15 +41,19 @@ pub mod zipf;
 
 pub use access::{AbortReason, Access};
 pub use arena::{ASlice, Arena, ArenaPool, SetBuf};
+pub use checkpoint::Checkpoint;
+pub use durable::DurableEngine;
 pub use procedures::{
     execute_procedure, range_audit_fingerprint, ExecScratch, Procedure, SmallBankProc, TpcCProc,
     ABSENT_FINGERPRINT, SCAN_POISON_GAP, SCAN_POISON_VALUE,
 };
-pub use shard::{ShardMap, ShardSet, ShardStrategy, ShardedEngine, MAX_SHARDS};
+pub use shard::{
+    consistent_cut, shard_wal_dir, ShardMap, ShardSet, ShardStrategy, ShardedEngine, MAX_SHARDS,
+};
 pub use txn::{IndexScan, ScanRange, Txn};
 pub use types::{RecordId, TableId, Timestamp, TxnId, INFINITY_TS};
 pub use value::Value;
-pub use wal::{DurabilityConfig, FsyncPolicy, LogSink, LoggedBatch, Wal};
+pub use wal::{DurabilityConfig, FsyncPolicy, LogSink, LoggedBatch, TxnDecision, Wal};
 
 /// Iteration budget for stress/hammer tests: `default` unless the
 /// `BOHM_STRESS_ITERS` environment variable overrides it (the scheduled

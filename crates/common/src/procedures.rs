@@ -243,6 +243,13 @@ pub enum Procedure {
         /// Per-write-position payloads; `Arc` keeps `Procedure: Clone`
         /// a pointer bump even when a sub-plan carries fat records.
         values: std::sync::Arc<[Option<crate::Value>]>,
+        /// Bitmask of the shards that received a sub-plan of the same
+        /// cross-shard transaction (bit `k` = shard `k`), `0` outside the
+        /// sharded facade. Recovery's consistent-cut rule needs the full
+        /// participant set *in the log*: an epoch's sub-plans replay only
+        /// if every shard in this mask logged its copy, otherwise the
+        /// stragglers are dropped uniformly (see `common::shard`).
+        participants: u64,
     },
 }
 
@@ -370,7 +377,7 @@ pub fn execute_procedure(
             }
             Ok(g)
         }
-        Procedure::Apply { values } => {
+        Procedure::Apply { values, .. } => {
             debug_assert_eq!(values.len(), writes.len(), "Apply: one value per write");
             for (w, v) in values.iter().enumerate() {
                 match v {
@@ -1450,7 +1457,10 @@ mod tests {
         let mut a = MemAccess::new(vec![], 3, 8);
         let mut scratch = ExecScratch::new();
         let fp = exec_no_scans(
-            &Procedure::Apply { values },
+            &Procedure::Apply {
+                values,
+                participants: 0,
+            },
             &[],
             &writes,
             &mut a,

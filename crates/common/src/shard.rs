@@ -39,6 +39,7 @@ use crate::engine::{BatchEngine, ExecOutcome, Session};
 use crate::procedures::{execute_procedure, ExecScratch, Procedure};
 use crate::{AbortReason, Access, RecordId, ScanRange, TableId, Txn, Value};
 use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
@@ -245,6 +246,20 @@ impl ShardSet {
         self.len() == 1
     }
 
+    /// The raw membership bitmask (bit `s` set ⇔ shard `s` is a member).
+    /// This is what cross-shard commits stamp into their logged `Apply`
+    /// sub-plans as `participants`, so sharded recovery can check that
+    /// every writing shard logged its slice of the transaction.
+    pub fn mask(self) -> u64 {
+        self.0
+    }
+
+    /// The set whose membership bitmask is `bits` (inverse of
+    /// [`mask`](Self::mask); used when decoding logged `Apply` records).
+    pub fn from_mask(bits: u64) -> Self {
+        Self(bits)
+    }
+
     /// Lowest shard id in the set. Panics on an empty set.
     pub fn first(self) -> u32 {
         debug_assert!(!self.is_empty());
@@ -384,7 +399,18 @@ impl<E: BatchEngine> ShardedEngine<E> {
                         None => effects.push((rid, v)),
                     }
                 }
+                // Writers mask: the shards that will actually log an
+                // `Apply` sub-plan. Read-only participants log nothing,
+                // so they must not appear in the stamp — recovery's
+                // consistent cut keeps a cross-shard transaction iff every
+                // *stamped* shard's log carries its slice at that epoch.
+                let mut writers = ShardSet::empty();
                 for s in parts.iter() {
+                    if effects.iter().any(|(rid, _)| self.map.shard_of(*rid) == s) {
+                        writers.add(s);
+                    }
+                }
+                for s in writers.iter() {
                     let mut rids = Vec::new();
                     let mut values = Vec::new();
                     for (rid, v) in &effects {
@@ -393,15 +419,13 @@ impl<E: BatchEngine> ShardedEngine<E> {
                             values.push(v.clone());
                         }
                     }
-                    if rids.is_empty() {
-                        continue; // read-only participant
-                    }
                     let mut sess = self.shards[s as usize].open_session();
                     sess.submit(Txn::new(
                         Vec::new(),
                         rids,
                         Procedure::Apply {
                             values: values.into(),
+                            participants: writers.mask(),
                         },
                     ));
                     let out = sess.reap();
@@ -455,6 +479,19 @@ impl<E: BatchEngine> BatchEngine for ShardedEngine<E> {
 
     fn read_record(&self, rid: RecordId) -> Option<Value> {
         self.shards[self.map.shard_of(rid) as usize].read_record(rid)
+    }
+
+    fn snapshot_records(&self, f: &mut dyn FnMut(RecordId, &[u8])) {
+        // Each record is authoritative on exactly one shard; the owner
+        // filter drops the seeded-but-never-owned copies every shard
+        // engine holds (each is built from the full catalog).
+        for (s, shard) in self.shards.iter().enumerate() {
+            shard.snapshot_records(&mut |rid, data| {
+                if self.map.shard_of(rid) == s as u32 {
+                    f(rid, data);
+                }
+            });
+        }
     }
 
     fn quiesce(&self) {
@@ -632,6 +669,87 @@ impl<E: BatchEngine> Access for ShardAccess<'_, E> {
     fn write_len(&mut self, idx: usize) -> usize {
         self.record_sizes[self.txn.writes[idx].table.index()]
     }
+}
+
+/// Per-shard WAL directory under `base`: shard `k` logs to
+/// `base/wal-shard-K/`. One directory per shard keeps the per-shard logs
+/// independent (a shard's sequencer never contends on another shard's log
+/// file) and lets sharded recovery read each shard's history separately
+/// before computing the consistent cut.
+pub fn shard_wal_dir(base: &Path, shard: u32) -> PathBuf {
+    base.join(format!("wal-shard-{shard}"))
+}
+
+/// Trim per-shard recovered logs to a **consistent cut**: a cross-shard
+/// transaction survives iff *every* participating (writing) shard's log
+/// carries its `Apply` sub-plan; stragglers are dropped from all shards
+/// uniformly. Returns the number of cross-shard transactions dropped.
+///
+/// `logs[k]` is shard `k`'s log (from [`Wal::read_log`](crate::wal::Wal::read_log)
+/// on its `wal-shard-K/` directory). The cut keys off the cross-shard
+/// commit protocol: each cross-shard transaction closes its own global
+/// epoch (the facade's `fetch_add` makes the epoch unique to it), and
+/// each participant's logged `Apply` carries the full writer set as a
+/// `participants` bitmask. A SIGKILL can only lose a *suffix* of each
+/// shard's log, so an epoch whose logged writer set is incomplete means
+/// some shard lost its sub-plan — replaying the surviving slices would
+/// tear the transaction. Dropping the whole epoch instead restores the
+/// state as if that transaction (which no client saw acknowledged with a
+/// fully durable write set) never ran; single-shard transactions in the
+/// same epoch are untouched, and later single-shard transactions replay
+/// deterministically against the cut state.
+pub fn consistent_cut(logs: &mut [Vec<crate::wal::LoggedBatch>]) -> usize {
+    use std::collections::HashMap;
+    // epoch → (stamped writer mask, shards that actually logged it).
+    let mut epochs: HashMap<u64, (u64, u64)> = HashMap::new();
+    for (s, log) in logs.iter().enumerate() {
+        for b in log {
+            for t in &b.txns {
+                if let Procedure::Apply { participants, .. } = &t.proc {
+                    if *participants != 0 {
+                        let e = epochs.entry(b.epoch).or_insert((0, 0));
+                        e.0 |= *participants;
+                        e.1 |= 1u64 << s;
+                    }
+                }
+            }
+        }
+    }
+    let incomplete: std::collections::HashSet<u64> = epochs
+        .into_iter()
+        .filter(|&(_, (mask, logged))| logged != mask)
+        .map(|(e, _)| e)
+        .collect();
+    for log in logs.iter_mut() {
+        for b in log.iter_mut() {
+            if !incomplete.contains(&b.epoch) {
+                continue;
+            }
+            let keep: Vec<bool> = b
+                .txns
+                .iter()
+                .map(|t| !matches!(&t.proc, Procedure::Apply { participants, .. } if *participants != 0))
+                .collect();
+            if keep.iter().all(|&k| k) {
+                continue;
+            }
+            let mut i = 0;
+            b.txns.retain(|_| {
+                let k = keep[i];
+                i += 1;
+                k
+            });
+            if let Some(outs) = &mut b.outcomes {
+                let mut i = 0;
+                outs.retain(|_| {
+                    let k = keep[i];
+                    i += 1;
+                    k
+                });
+            }
+        }
+    }
+    incomplete.len()
 }
 
 /// Shard count for sharded harness/bench runs: `default` unless the
@@ -916,6 +1034,17 @@ mod tests {
                 .get(rid.row as usize)
                 .cloned()
                 .flatten()
+        }
+
+        fn snapshot_records(&self, f: &mut dyn FnMut(RecordId, &[u8])) {
+            let tables = self.tables.lock().unwrap();
+            for (t, rows) in tables.iter().enumerate() {
+                for (row, v) in rows.iter().enumerate() {
+                    if let Some(d) = v {
+                        f(RecordId::new(t as u32, row as u64), d);
+                    }
+                }
+            }
         }
     }
 

@@ -21,10 +21,18 @@
 //!
 //! ```text
 //! [u32 payload_len][u64 fnv64(payload)][payload]
-//! payload := epoch u64, txn_count u32, txn*
+//! payload := epoch u64, txn_count u32, txn*,
+//!            [OUTCOMES_TAG u8, (committed u8, fingerprint u64)*txn_count]?
 //! txn     := proc (tagged union), think_us u32,
 //!            reads*, writes*, scans*, index_scans*   (length-prefixed)
 //! ```
+//!
+//! The trailing outcomes section is optional per record: BOHM logs pure
+//! inputs (determinism makes the commit decisions replayable), while the
+//! nondeterministic engines log their *commit outcomes* alongside the
+//! inputs via [`LogSink::log_batch_decided`], so recovery can filter
+//! replay to exactly the transactions that committed (see
+//! `common::durable`).
 //!
 //! All integers are little-endian. The checksum is FNV-1a over the whole
 //! payload, so a torn write (partial record at the tail of the **last**
@@ -63,9 +71,15 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Mutex;
 
+// Checkpoints co-locate with the log and bound its replay; re-exported
+// here so the durability surface reads as one module.
+pub use crate::checkpoint::{load_latest as load_latest_checkpoint, restore_into, Checkpoint};
+
 /// First 8 bytes of every segment file (format version rides in the last
-/// byte: bump it when the record encoding changes incompatibly).
-pub const SEGMENT_MAGIC: [u8; 8] = *b"BOHMWAL1";
+/// byte: bump it when the record encoding changes incompatibly). Version
+/// 2 added the `participants` mask to `Apply` records and the optional
+/// trailing commit-outcomes section.
+pub const SEGMENT_MAGIC: [u8; 8] = *b"BOHMWAL2";
 
 /// Upper bound accepted for one record's payload when reading a log back.
 /// A length prefix beyond this is treated as damage (torn tail in the
@@ -157,9 +171,32 @@ pub trait LogSink: Send + Sync + fmt::Debug {
         txns: &mut dyn ExactSizeIterator<Item = &Txn>,
     ) -> io::Result<()>;
 
+    /// Append one batch *with its commit outcomes* — the adoption path
+    /// for nondeterministic engines, whose replay must filter to the
+    /// transactions that actually committed. `outcomes` is positionally
+    /// aligned with `txns` (same length). BOHM never calls this: its
+    /// replay re-derives every decision deterministically.
+    fn log_batch_decided(
+        &self,
+        epoch: u64,
+        txns: &mut dyn ExactSizeIterator<Item = &Txn>,
+        outcomes: &[TxnDecision],
+    ) -> io::Result<()>;
+
     /// Force everything appended so far to stable storage, regardless of
     /// the configured policy (shutdown paths, checkpoints).
     fn sync(&self) -> io::Result<()>;
+}
+
+/// One logged commit decision: what a nondeterministic engine records
+/// alongside a transaction's inputs so recovery can replay exactly the
+/// committed prefix (and cross-check fingerprints).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TxnDecision {
+    /// Whether the transaction committed in the original execution.
+    pub committed: bool,
+    /// The original execution's read fingerprint (0 for aborts).
+    pub fingerprint: u64,
 }
 
 /// One recovered batch: the epoch stamp and the transactions it carried,
@@ -171,6 +208,10 @@ pub struct LoggedBatch {
     pub epoch: u64,
     /// The batch's transactions, in log (= serialization) order.
     pub txns: Vec<Txn>,
+    /// Per-transaction commit decisions, aligned with `txns` — present
+    /// only for records written through [`LogSink::log_batch_decided`]
+    /// (nondeterministic engines). `None` for pure input logs (BOHM).
+    pub outcomes: Option<Vec<TxnDecision>>,
 }
 
 struct SealedSegment {
@@ -416,11 +457,13 @@ impl Wal {
     }
 }
 
-impl LogSink for Wal {
-    fn log_batch(
+impl Wal {
+    /// Shared append path behind both [`LogSink`] entry points.
+    fn append(
         &self,
         epoch: u64,
         txns: &mut dyn ExactSizeIterator<Item = &Txn>,
+        outcomes: Option<&[TxnDecision]>,
     ) -> io::Result<()> {
         if self.paused.load(Ordering::Acquire) {
             return Ok(()); // recovery replay: already in inherited segments
@@ -432,13 +475,22 @@ impl LogSink for Wal {
         st.buf.clear();
         st.buf.resize(12, 0);
         st.buf.extend_from_slice(&epoch.to_le_bytes());
-        st.buf.extend_from_slice(
-            &u32::try_from(txns.len())
-                .expect("batch size fits u32")
-                .to_le_bytes(),
-        );
+        let count = u32::try_from(txns.len()).expect("batch size fits u32");
+        st.buf.extend_from_slice(&count.to_le_bytes());
         for txn in txns {
             encode_txn(&mut st.buf, txn);
+        }
+        if let Some(outcomes) = outcomes {
+            assert_eq!(
+                outcomes.len(),
+                count as usize,
+                "outcomes must align with txns"
+            );
+            st.buf.push(OUTCOMES_TAG);
+            for o in outcomes {
+                st.buf.push(o.committed as u8);
+                st.buf.extend_from_slice(&o.fingerprint.to_le_bytes());
+            }
         }
         let payload_len = (st.buf.len() - 12) as u32;
         let sum = fnv64(&st.buf[12..]);
@@ -459,23 +511,65 @@ impl LogSink for Wal {
             st.unsynced_batches = 0;
         }
         if st.seg_len >= self.segment_bytes {
-            // Rotate: a finished segment is always made durable before
-            // the next opens, so only the active segment can be torn.
-            st.file.sync_data()?;
-            st.unsynced_batches = 0;
-            let finished = SealedSegment {
-                index: st.seg_index,
-                bytes: st.seg_len,
-                max_epoch: st.seg_max_epoch,
-            };
-            st.sealed_bytes += finished.bytes;
-            st.sealed.push(finished);
-            st.seg_index += 1;
-            st.file = create_segment(&self.dir, st.seg_index)?;
-            st.seg_len = SEGMENT_MAGIC.len() as u64;
-            st.seg_max_epoch = 0;
+            self.rotate_locked(st)?;
         }
         Ok(())
+    }
+
+    /// Seal the active segment and open the next (with the state lock
+    /// held): a finished segment is always made durable before the next
+    /// opens, so only the active segment can be torn.
+    fn rotate_locked(&self, st: &mut WalState) -> io::Result<()> {
+        st.file.sync_data()?;
+        st.unsynced_batches = 0;
+        let finished = SealedSegment {
+            index: st.seg_index,
+            bytes: st.seg_len,
+            max_epoch: st.seg_max_epoch,
+        };
+        st.sealed_bytes += finished.bytes;
+        st.sealed.push(finished);
+        st.seg_index += 1;
+        st.file = create_segment(&self.dir, st.seg_index)?;
+        st.seg_len = SEGMENT_MAGIC.len() as u64;
+        st.seg_max_epoch = 0;
+        Ok(())
+    }
+
+    /// Force a segment rotation now, regardless of size. Checkpoints call
+    /// this after bumping the epoch so every record written *before* the
+    /// checkpoint sits in a sealed segment that
+    /// [`truncate_before`](Self::truncate_before) can actually reclaim —
+    /// without it, the pre-checkpoint tail of the active segment would
+    /// pin those bytes until the next size-triggered rotation.
+    pub fn rotate(&self) -> io::Result<()> {
+        let mut st = self.state.lock().unwrap();
+        self.rotate_locked(&mut st)
+    }
+
+    /// The log directory this handle appends to (checkpoints co-locate
+    /// their snapshot and manifest files here).
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl LogSink for Wal {
+    fn log_batch(
+        &self,
+        epoch: u64,
+        txns: &mut dyn ExactSizeIterator<Item = &Txn>,
+    ) -> io::Result<()> {
+        self.append(epoch, txns, None)
+    }
+
+    fn log_batch_decided(
+        &self,
+        epoch: u64,
+        txns: &mut dyn ExactSizeIterator<Item = &Txn>,
+        outcomes: &[TxnDecision],
+    ) -> io::Result<()> {
+        self.append(epoch, txns, Some(outcomes))
     }
 
     fn sync(&self) -> io::Result<()> {
@@ -553,6 +647,11 @@ const P_RANGE_AUDIT: u8 = 6;
 const P_INSERT_KEYED: u8 = 7;
 const P_GUARDED_DELETE: u8 = 8;
 const P_APPLY: u8 = 9;
+
+/// Marker byte opening the optional trailing commit-outcomes section of a
+/// batch payload (any value would do — the section's presence is decided
+/// by payload length, the tag just catches writer/reader drift).
+const OUTCOMES_TAG: u8 = 0xD1;
 
 const SB_BALANCE: u8 = 0;
 const SB_DEPOSIT: u8 = 1;
@@ -635,8 +734,12 @@ fn encode_proc(buf: &mut Vec<u8>, proc: &Procedure) {
             buf.push(P_GUARDED_DELETE);
             put_u64(buf, *min);
         }
-        Procedure::Apply { values } => {
+        Procedure::Apply {
+            values,
+            participants,
+        } => {
             buf.push(P_APPLY);
+            put_u64(buf, *participants);
             put_u32(buf, values.len() as u32);
             for v in values.iter() {
                 match v {
@@ -747,6 +850,7 @@ fn decode_proc(r: &mut Reader) -> Option<Procedure> {
         P_INSERT_KEYED => Procedure::InsertKeyed { base: r.u64()? },
         P_GUARDED_DELETE => Procedure::GuardedDelete { min: r.u64()? },
         P_APPLY => {
+            let participants = r.u64()?;
             let n = r.count(1)?;
             let mut values = Vec::with_capacity(n);
             for _ in 0..n {
@@ -761,6 +865,7 @@ fn decode_proc(r: &mut Reader) -> Option<Procedure> {
             }
             Procedure::Apply {
                 values: values.into(),
+                participants,
             }
         }
         _ => return None,
@@ -816,9 +921,35 @@ fn decode_batch(payload: &[u8]) -> Option<LoggedBatch> {
     for _ in 0..n {
         txns.push(decode_txn(&mut r)?);
     }
-    // Trailing bytes after the declared transactions would mean the
-    // writer and reader disagree about the format.
-    (r.pos == payload.len()).then_some(LoggedBatch { epoch, txns })
+    // Optional trailing commit-outcomes section (nondeterministic-engine
+    // records); its presence is decided by payload length.
+    let outcomes = if r.pos == payload.len() {
+        None
+    } else {
+        if r.u8()? != OUTCOMES_TAG {
+            return None;
+        }
+        let mut decisions = Vec::with_capacity(n);
+        for _ in 0..n {
+            let committed = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => return None,
+            };
+            decisions.push(TxnDecision {
+                committed,
+                fingerprint: r.u64()?,
+            });
+        }
+        Some(decisions)
+    };
+    // Trailing bytes after the declared sections would mean the writer
+    // and reader disagree about the format.
+    (r.pos == payload.len()).then_some(LoggedBatch {
+        epoch,
+        txns,
+        outcomes,
+    })
 }
 
 fn corrupt(segment: u64, offset: usize, what: &str) -> io::Error {
@@ -912,6 +1043,7 @@ mod tests {
             vec![rid(1, 7), rid(1, 8)],
             Procedure::Apply {
                 values: Arc::from(vec![Some(crate::Value::from(&b"abcdefgh"[..])), None]),
+                participants: 0b101,
             },
         );
         apply.think_us = 3;
@@ -1216,6 +1348,16 @@ mod tests {
                 self.batches.lock().unwrap().push((epoch, txns.len()));
                 Ok(())
             }
+            fn log_batch_decided(
+                &self,
+                epoch: u64,
+                txns: &mut dyn ExactSizeIterator<Item = &Txn>,
+                outcomes: &[TxnDecision],
+            ) -> io::Result<()> {
+                assert_eq!(txns.len(), outcomes.len());
+                self.batches.lock().unwrap().push((epoch, txns.len()));
+                Ok(())
+            }
             fn sync(&self) -> io::Result<()> {
                 Ok(())
             }
@@ -1224,8 +1366,69 @@ mod tests {
         let dyn_sink: &dyn LogSink = &sink;
         let txns = gauntlet();
         dyn_sink.log_batch(7, &mut txns.iter()).unwrap();
+        dyn_sink
+            .log_batch_decided(
+                8,
+                &mut txns[..1].iter(),
+                &[TxnDecision {
+                    committed: true,
+                    fingerprint: 5,
+                }],
+            )
+            .unwrap();
         dyn_sink.sync().unwrap();
-        assert_eq!(*sink.batches.lock().unwrap(), vec![(7, txns.len())]);
+        assert_eq!(*sink.batches.lock().unwrap(), vec![(7, txns.len()), (8, 1)]);
+    }
+
+    #[test]
+    fn outcome_records_roundtrip_and_input_records_stay_bare() {
+        let dir = tmpdir("outcomes");
+        let cfg = DurabilityConfig::new(&dir);
+        let wal = Wal::open(&cfg).unwrap();
+        let txns = gauntlet();
+        wal.log_batch(1, &mut txns.iter()).unwrap();
+        let decisions: Vec<TxnDecision> = (0..txns.len())
+            .map(|i| TxnDecision {
+                committed: i % 2 == 0,
+                fingerprint: 0x1000 + i as u64,
+            })
+            .collect();
+        wal.log_batch_decided(2, &mut txns.iter(), &decisions)
+            .unwrap();
+        drop(wal);
+        let log = Wal::read_log(&dir).unwrap();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].outcomes, None, "input-only records carry nothing");
+        assert_eq!(log[1].outcomes.as_deref(), Some(&decisions[..]));
+        for (got, want) in log[1].txns.iter().zip(&txns) {
+            assert_txn_eq(got, want);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn explicit_rotation_seals_the_active_segment() {
+        let dir = tmpdir("explicit-rotate");
+        let mut cfg = DurabilityConfig::new(&dir);
+        cfg.fsync = FsyncPolicy::Off;
+        let wal = Wal::open(&cfg).unwrap();
+        let txns = gauntlet();
+        for epoch in 0..3u64 {
+            wal.log_batch(epoch, &mut txns.iter()).unwrap();
+        }
+        // Without rotation nothing is sealed, so nothing can be freed.
+        assert_eq!(wal.truncate_before(u64::MAX).unwrap(), 0);
+        wal.rotate().unwrap();
+        let before = wal.log_bytes();
+        let freed = wal.truncate_before(3).unwrap();
+        assert!(freed > 0, "rotated segment must be reclaimable");
+        assert_eq!(wal.log_bytes(), before - freed);
+        wal.log_batch(3, &mut txns[..1].iter()).unwrap();
+        drop(wal);
+        let log = Wal::read_log(&dir).unwrap();
+        assert_eq!(log.len(), 1, "only the post-truncate batch survives");
+        assert_eq!(log[0].epoch, 3);
+        fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -36,6 +36,8 @@ pub(crate) mod txn_outcome {
 /// Result of one transaction, readable once its handle reports done.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct TxnOutcome {
+    /// Whether the transaction committed (`false` ⇒ user/logic abort —
+    /// BOHM has no concurrency-control aborts, §3.3.3).
     pub committed: bool,
     /// Procedure-defined digest of the values read (used by equivalence
     /// tests to compare engines); 0 for aborted transactions.
@@ -272,6 +274,7 @@ impl BatchHandle {
         self.completion.len()
     }
 
+    /// Whether the submission carried no transactions.
     pub fn is_empty(&self) -> bool {
         self.completion.len() == 0
     }
@@ -339,7 +342,9 @@ impl PlanEntry {
 /// contiguous in timestamp order for the CC threads' sequential scan, and
 /// they recycle wholesale when the batch retires out of the window ring.
 pub struct TxnState {
+    /// The transaction as submitted (whole, with pre-declared sets).
     pub txn: Txn,
+    /// Serialization timestamp = position in the input log (§3.2.1).
     pub ts: Timestamp,
     pub(crate) state: AtomicU8,
     /// Packed access plan: reads first, then writes (see [`PlanEntry`]).
@@ -483,6 +488,7 @@ pub struct Batch {
     /// the sharded facade's alignment rule is "a cross-shard transaction's
     /// epoch is committed once every participant retires it".
     pub epoch: u64,
+    /// The batch's transactions in timestamp order, with runtime state.
     pub txns: Box<[TxnState]>,
     /// CC threads yet to finish this batch (the §3.2.4 amortized barrier).
     pub(crate) cc_pending: AtomicUsize,

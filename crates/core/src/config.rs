@@ -199,6 +199,7 @@ impl Default for CatalogSpec {
 }
 
 impl CatalogSpec {
+    /// An empty catalog; chain [`table`](Self::table) calls to populate.
     pub fn new() -> Self {
         Self { tables: Vec::new() }
     }

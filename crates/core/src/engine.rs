@@ -77,8 +77,15 @@ impl Bohm {
     /// Build the store from `catalog`, preload it (every seeded version has
     /// timestamp 0), and spawn the sequencer plus
     /// `cc_threads + exec_threads` worker threads.
-    pub fn start(config: BohmConfig, catalog: CatalogSpec) -> Self {
+    pub fn start(mut config: BohmConfig, catalog: CatalogSpec) -> Self {
         config.validate();
+        // A durable engine needs an epoch authority even standalone:
+        // checkpoints bump it to cut the log into a covered prefix and a
+        // replay suffix. Sharded deployments pass their shared counter in
+        // explicitly; everyone else gets a private one here.
+        if config.durability.is_some() && config.epoch_source.is_none() {
+            config.epoch_source = Some(Arc::new(AtomicU64::new(0)));
+        }
         let index = HashIndex::with_capacity(config.effective_index_capacity(catalog.total_rows()));
         {
             // Preloading happens before any worker exists, so the
@@ -173,20 +180,29 @@ impl Bohm {
     /// running against the same log — the crash → recover → continue
     /// path.
     ///
+    /// Checkpoint-aware: if the directory holds a valid
+    /// [`Checkpoint`](bohm_common::wal::Checkpoint) (see
+    /// [`checkpoint`](Self::checkpoint)), its snapshot is restored first
+    /// and only the log suffix stamped at or after the checkpoint epoch
+    /// is replayed — recovery time is bounded by the work since the last
+    /// checkpoint, not the log's lifetime. Without a checkpoint the whole
+    /// log replays, as before.
+    ///
     /// Reads the log back ([`Wal::read_log`](bohm_common::wal::Wal::read_log),
     /// torn-tail rule applied), starts the engine — whose
     /// [`Wal::open`](bohm_common::wal::Wal::open) repairs any torn tail
-    /// before appending a fresh segment — and replays the recovered
-    /// batches through the normal pipeline with WAL appends **suspended**:
-    /// the inherited segments already hold the replayed prefix, and
-    /// logging it a second time would double-apply it on the next
-    /// recovery. Appends resume once every replayed batch has retired, so
-    /// work submitted afterwards is logged exactly once after the
-    /// inherited prefix.
+    /// before appending a fresh segment — and restores/replays through
+    /// the normal pipeline with WAL appends **suspended**: the inherited
+    /// segments already hold the replayed suffix, and logging it a second
+    /// time would double-apply it on the next recovery. Appends resume
+    /// once every replayed batch has retired, so work submitted
+    /// afterwards is logged exactly once after the inherited prefix.
     ///
-    /// Returns the running engine plus the replayed transactions'
+    /// Returns the running engine plus the *replayed* transactions'
     /// outcomes in log order — determinism makes them (and the rebuilt
-    /// state) identical to the pre-crash execution of the logged prefix.
+    /// state) identical to the pre-crash execution of the same suffix.
+    /// Checkpoint-restored transactions are not re-executed and
+    /// contribute no outcomes.
     ///
     /// # Panics
     ///
@@ -204,20 +220,165 @@ impl Bohm {
             .dir
             .clone();
         let log = bohm_common::wal::Wal::read_log(&dir)?;
+        let ckp = bohm_common::checkpoint::load_latest(&dir)?;
+        Self::recover_with(config, catalog, ckp, &log)
+    }
+
+    /// Recover from an explicit batch list instead of the config's own
+    /// directory — the sharded-recovery entry point: the facade reads
+    /// each shard's `wal-shard-K/` log, trims the set to a consistent cut
+    /// ([`consistent_cut`](bohm_common::shard::consistent_cut)), and
+    /// hands every shard its surviving batches here. The engine still
+    /// opens (and appends to) `config.durability`'s directory; appends
+    /// stay suspended during the replay exactly as in
+    /// [`recover`](Self::recover), so the cut batches — which the
+    /// inherited segments already hold — are not re-logged.
+    ///
+    /// No checkpoint is consulted: the caller owns the decision of what
+    /// to replay. (Sharded checkpointing would need a cross-shard
+    /// snapshot cut; single-engine checkpoints via
+    /// [`recover`](Self::recover) cover the standalone case.)
+    pub fn recover_replay(
+        config: BohmConfig,
+        catalog: CatalogSpec,
+        batches: &[bohm_common::wal::LoggedBatch],
+    ) -> std::io::Result<(Self, Vec<TxnOutcome>)> {
+        assert!(
+            config.durability.is_some(),
+            "Bohm::recover_replay requires BohmConfig::durability"
+        );
+        Self::recover_with(config, catalog, None, batches)
+    }
+
+    /// Shared recovery body: start, suspend appends, restore the
+    /// checkpoint (if any) through the normal submission path, replay the
+    /// post-checkpoint suffix, advance the epoch source past everything
+    /// recovered, resume appends.
+    fn recover_with(
+        config: BohmConfig,
+        catalog: CatalogSpec,
+        ckp: Option<bohm_common::wal::Checkpoint>,
+        log: &[bohm_common::wal::LoggedBatch],
+    ) -> std::io::Result<(Self, Vec<TxnOutcome>)> {
+        // The catalog's seeded row counts, captured before `start`
+        // consumes it: checkpoint restore must delete rows that were
+        // seeded at engine start but deleted by snapshot time.
+        let seeded: Vec<u64> = catalog.tables.iter().map(|t| t.rows).collect();
         let engine = Bohm::start(config, catalog);
         let wal = engine.inner.wal.as_ref().expect("durability configured");
         wal.pause_appends();
-        // Pipeline the whole log, then wait in order. Waiting on a group
-        // handle synchronizes with its batches' retirement, so by the
-        // last wait every replayed batch is sealed (the log decision
+        let base = match &ckp {
+            Some(c) => {
+                bohm_common::checkpoint::restore_into(c, &seeded, &engine);
+                c.epoch
+            }
+            None => 0,
+        };
+        // Pipeline the whole suffix, then wait in order. Waiting on a
+        // group handle synchronizes with its batches' retirement, so by
+        // the last wait every replayed batch is sealed (the log decision
         // point) and appends can safely resume.
-        let handles: Vec<BatchHandle> = log.iter().map(|b| engine.submit(b.txns.clone())).collect();
+        let handles: Vec<BatchHandle> = log
+            .iter()
+            .filter(|b| b.epoch >= base)
+            .map(|b| engine.submit(b.txns.clone()))
+            .collect();
         let mut outcomes = Vec::new();
         for h in &handles {
             outcomes.extend(h.outcomes());
         }
+        // The epoch authority must resume past everything recovered, or
+        // the next checkpoint's cut could collide with replayed stamps.
+        let max_epoch = log.iter().map(|b| b.epoch).max().unwrap_or(0).max(base);
+        if let Some(src) = &engine.inner.config.epoch_source {
+            src.fetch_max(max_epoch, Ordering::AcqRel);
+        }
         wal.resume_appends();
         Ok((engine, outcomes))
+    }
+
+    /// Snapshot the current committed state to a durable
+    /// [`Checkpoint`](bohm_common::wal::Checkpoint) in the log directory
+    /// and reclaim the log prefix it covers.
+    ///
+    /// The caller must be **submission-quiescent**: no session may be
+    /// submitting concurrently (the paper's epoch/GC machinery has no
+    /// fuzzy-checkpoint path, and the demo/test harnesses naturally
+    /// checkpoint between submission waves). The method quiesces the
+    /// pipeline with a barrier submission, bumps the epoch source so
+    /// every later batch is stamped past the cut, snapshots through
+    /// [`snapshot_records`](Self::snapshot_records), writes the
+    /// checkpoint atomically, rotates the log, and truncates the sealed
+    /// pre-cut segments.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::Unsupported`](std::io::ErrorKind::Unsupported)
+    /// on a memory-only engine (no `durability` configured); otherwise
+    /// any I/O error from the checkpoint write or log maintenance.
+    pub fn checkpoint(&self) -> std::io::Result<bohm_common::durable::CheckpointStats> {
+        let wal = self.inner.wal.as_ref().ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "checkpoint requires BohmConfig::durability",
+            )
+        })?;
+        // Epoch retirement barrier: every batch submitted before this is
+        // executed and logged once this no-op completes.
+        self.execute_sync(vec![Txn::new(
+            vec![],
+            vec![],
+            bohm_common::Procedure::ReadOnly,
+        )]);
+        let src = self
+            .inner
+            .config
+            .epoch_source
+            .as_ref()
+            .expect("durable engines always have an epoch source");
+        // Everything sealed so far is stamped <= the pre-bump value, i.e.
+        // strictly below the cut; everything sealed after carries >= cut.
+        let cut = src.fetch_add(1, Ordering::AcqRel) + 1;
+        let mut records: Vec<(RecordId, Box<[u8]>)> = Vec::new();
+        self.snapshot_records(&mut |rid, data| records.push((rid, data.into())));
+        let count = records.len();
+        let ckp = bohm_common::wal::Checkpoint {
+            epoch: cut,
+            records,
+        };
+        // Order matters: the snapshot must be durable (atomic write, dir
+        // fsync) before any log bytes it supersedes are reclaimed.
+        ckp.write(wal.dir())?;
+        wal.rotate()?;
+        let freed = wal.truncate_before(cut)?;
+        Ok(bohm_common::durable::CheckpointStats {
+            epoch: cut,
+            records: count,
+            freed_bytes: freed,
+        })
+    }
+
+    /// Visit every currently present record — `(id, latest committed
+    /// payload)` — while the engine is quiescent: the checkpoint surface
+    /// (secondary-index posting lists are ordinary records and ride
+    /// along).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a pending (unexecuted) chain head, like
+    /// [`read_record`](Self::read_record): snapshotting a non-quiescent
+    /// engine is a harness bug.
+    pub fn snapshot_records(&self, f: &mut dyn FnMut(RecordId, &[u8])) {
+        let guard = epoch::pin();
+        self.inner.index.for_each(&guard, &mut |rid, chain| {
+            if let Some(v) = chain.latest(&guard) {
+                match v.state() {
+                    VersionState::Ready => f(rid, v.data()),
+                    VersionState::Tombstone => {}
+                    VersionState::Pending => panic!("snapshot_records on a non-quiescent engine"),
+                }
+            }
+        });
     }
 
     /// Open a submission session: the per-client handle for enqueueing
@@ -335,11 +496,23 @@ impl Bohm {
 
     /// Reclaim sealed log segments whose batches all carry epochs below
     /// `epoch` (see [`Wal::truncate_before`](bohm_common::wal::Wal::truncate_before)).
-    /// Returns the bytes freed; a no-op on a memory-only engine.
+    /// Returns the bytes freed.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::Unsupported`](std::io::ErrorKind::Unsupported) on
+    /// a memory-only engine: there is no log to truncate, and a silent
+    /// `Ok(0)` here used to make a misconfigured retention job look like
+    /// it was running against a durable engine when it was not. Callers
+    /// that legitimately run both modes should gate on
+    /// [`wal`](Self::wal)`.is_some()`.
     pub fn truncate_log_before(&self, epoch: u64) -> std::io::Result<u64> {
         match &self.inner.wal {
             Some(w) => w.truncate_before(epoch),
-            None => Ok(0),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "truncate_log_before requires BohmConfig::durability (no WAL is attached)",
+            )),
         }
     }
 

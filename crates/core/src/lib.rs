@@ -84,6 +84,8 @@
 //! engine.shutdown();
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod access;
 pub mod batch;
 pub mod cc;

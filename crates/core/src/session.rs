@@ -96,6 +96,10 @@ impl BatchEngine for Bohm {
         Bohm::read_record(self, rid)
     }
 
+    fn snapshot_records(&self, f: &mut dyn FnMut(RecordId, &[u8])) {
+        Bohm::snapshot_records(self, f)
+    }
+
     /// Epoch retirement barrier: a group submission waits for the batch
     /// holding its last transaction to **retire**, and batches retire in id
     /// order, so draining one no-op transaction through the pipeline implies

@@ -1089,6 +1089,25 @@ impl Engine for Hekaton {
             _ => None,
         }
     }
+
+    fn snapshot_records(&self, f: &mut dyn FnMut(RecordId, &[u8])) {
+        // Quiescent by the trait contract, so resolving each row at the
+        // infinite horizon yields exactly the committed state (the same
+        // walk `read_record` does, over the whole dense keyspace).
+        let _guard = epoch::pin();
+        for table in 0..self.store.table_count() as u32 {
+            for row in 0..self.store.rows(table) as u64 {
+                let rid = RecordId::new(table, row);
+                if let Ok(Some(v)) = self.resolve(rid, END_INF, None) {
+                    // SAFETY: alive under the pin (pruner defers frees).
+                    let vr = unsafe { &*v };
+                    if !vr.is_tombstone() {
+                        f(rid, vr.data());
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -97,6 +97,25 @@ impl HashIndex {
         self.buckets.len()
     }
 
+    /// Visit every `(key, chain)` present in the index, under the caller's
+    /// epoch pin (the borrow rule of [`VersionIndex::get`] applies to each
+    /// visited chain). Visit order is bucket order — unspecified to
+    /// callers. This is the checkpoint snapshot walk: on a quiescent
+    /// engine each chain's latest version is the committed state.
+    pub fn for_each<'g>(&'g self, guard: &'g Guard, f: &mut dyn FnMut(RecordId, &'g Chain)) {
+        for bucket in self.buckets.iter() {
+            let mut cur = bucket.load(Ordering::Acquire);
+            while !cur.is_null() {
+                // SAFETY: entry retirement is epoch-deferred and we hold
+                // `guard`'s pin, so `cur` stays alive across the visit.
+                let entry = unsafe { &*cur };
+                f(entry.rid, &entry.chain);
+                cur = entry.next.load(Ordering::Acquire);
+            }
+        }
+        let _ = guard;
+    }
+
     /// Visit `count` buckets starting at `start` (wrapping) and retire
     /// every entry `reclaim` approves, returning how many were retired.
     /// Entry destruction (and the destruction of the chain and versions

@@ -460,6 +460,12 @@ impl Engine for SiloOcc {
         }
         v
     }
+
+    fn snapshot_records(&self, f: &mut dyn FnMut(RecordId, &[u8])) {
+        // Quiescent by the trait contract: no TID lock bits are held, so
+        // the present bits and payloads are the committed state.
+        self.store.for_each_present(f);
+    }
 }
 
 #[cfg(test)]

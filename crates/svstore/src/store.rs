@@ -73,6 +73,26 @@ impl SingleVersionStore {
     pub fn free_slots(&self, table: u32) -> u64 {
         self.tables[table as usize].free_slots() as u64
     }
+
+    /// Visit every present record across all tables — the checkpoint
+    /// snapshot iteration of the single-version engines (2PL, OCC).
+    ///
+    /// Only call when no writers are active (it reads without the engines'
+    /// synchronization protocols); on a quiescent store the visited bytes
+    /// are exactly the committed state.
+    pub fn for_each_present(&self, f: &mut dyn FnMut(RecordId, &[u8])) {
+        for (table, t) in self.tables.iter().enumerate() {
+            for row in 0..t.rows() {
+                if !t.is_present(row) {
+                    continue;
+                }
+                // SAFETY: caller contract — quiescent store.
+                unsafe {
+                    t.read(row, &mut |b| f(RecordId::new(table as u32, row as u64), b));
+                }
+            }
+        }
+    }
 }
 
 /// Builder: declare tables, optionally seed initial values, then freeze.

@@ -277,6 +277,12 @@ impl Engine for TwoPhaseLocking {
         }
         v
     }
+
+    fn snapshot_records(&self, f: &mut dyn FnMut(RecordId, &[u8])) {
+        // Quiescent by the trait contract: no locks are held, so the
+        // present bits and payloads are the committed state.
+        self.store.for_each_present(f);
+    }
 }
 
 #[cfg(test)]

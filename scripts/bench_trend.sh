@@ -22,6 +22,9 @@
 #              regression and automatically downgrades to informational
 #              (exit 0) — so the first gated run after the schema change
 #              never fails against a pre-schema baseline.
+#              Series marked `"better": "lower"` in the artifact (e.g.
+#              the recovery-time figure) gate on the value *rising* past
+#              the threshold instead of falling.
 set -eu
 
 gate=0
@@ -61,11 +64,14 @@ SPREAD_SCALE = 1.5  # threshold widens by 1.5x the summed dispersions
 
 
 def load(path):
-    """{(figure_title, series_label, x): (throughput, spread_or_None)}
+    """{(figure_title, series_label, x): (value, spread_or_None, lower)}
 
     `spread` is the per-point (max-min)/median dispersion emitted by
     median-of-N series; None for single-shot series or pre-schema
-    artifacts (which lack the field entirely). Malformed or unknown
+    artifacts (which lack the field entirely). `lower` is True for
+    series marked `"better": "lower"` (e.g. recovery latency) — the
+    gate flips its regression direction for those; the key is absent
+    on higher-is-better (throughput) series. Malformed or unknown
     entries (a figure without a title, a series without points) are
     skipped, not fatal: a new figure landing in one artifact must never
     break the trend diff against an older baseline.
@@ -86,13 +92,14 @@ def load(path):
                 continue
             spreads = series.get("spread", [])
             runs = series.get("runs", 1)
+            lower = series.get("better") == "lower"
             for i, point in enumerate(series.get("points", [])):
                 if not isinstance(point, (list, tuple)) or len(point) != 2:
                     skipped += 1
                     continue
                 x, y = point
                 sp = spreads[i] if runs > 1 and i < len(spreads) else None
-                out[(title, label, x)] = (y, sp)
+                out[(title, label, x)] = (y, sp, lower)
     if skipped:
         print(f"note: {path}: skipped {skipped} malformed figure/series entries")
     return out
@@ -105,8 +112,8 @@ mode = "gate" if gate else "report"
 print(f"bench trend ({mode}): {old_path} -> {new_path}")
 
 # The gate needs dispersion on both sides to tell noise from regression.
-gateable = any(sp is not None for _, sp in old.values()) and any(
-    sp is not None for _, sp in new.values()
+gateable = any(sp is not None for _, sp, _ in old.values()) and any(
+    sp is not None for _, sp, _ in new.values()
 )
 if gate and not gateable:
     print(
@@ -124,12 +131,12 @@ for (title, label, x) in sorted(new):
             # A figure the baseline has never seen (e.g. fig_wal landing
             # for the first time): nothing to diff, nothing to gate.
             print("  new figure — no baseline, skipped by the gate")
-    y_new, sp_new = new[(title, label, x)]
+    y_new, sp_new, lower_new = new[(title, label, x)]
     entry_old = old.get((title, label, x))
     if entry_old is None:
         print(f"  {label:>12} @ {x:>5g}: {y_new:>12.0f}  (new series/point)")
         continue
-    y_old, sp_old = entry_old
+    y_old, sp_old, lower_old = entry_old
     if y_old == 0:
         print(f"  {label:>12} @ {x:>5g}: {y_new:>12.0f}  (old was 0)")
         continue
@@ -139,7 +146,13 @@ for (title, label, x) in sorted(new):
     if sp_old is not None and sp_new is not None:
         threshold = max(BASE_THRESHOLD, SPREAD_SCALE * (sp_old + sp_new))
         detail = f" [thr {100 * threshold:.0f}%]"
-    flagged = delta < -threshold
+    # Lower-is-better series (latency-style: `"better": "lower"` in
+    # either artifact) regress when the value RISES past the threshold.
+    if lower_new or lower_old:
+        detail += " [lower-better]"
+        flagged = delta > threshold
+    else:
+        flagged = delta < -threshold
     flag = "  <-- regression" if flagged else ""
     print(
         f"  {label:>12} @ {x:>5g}: {y_old:>12.0f} -> {y_new:>12.0f}"

@@ -155,7 +155,11 @@ fn torn_write_at_every_offset_recovers_exact_prefix() {
         let txns: Vec<Txn> = (0..(3 + epoch * 2)).map(|_| gen_txn(&mut rng)).collect();
         wal.log_batch(epoch, &mut txns.iter()).unwrap();
         ends.push(wal.log_bytes());
-        batches.push(wal::LoggedBatch { epoch, txns });
+        batches.push(wal::LoggedBatch {
+            epoch,
+            txns,
+            outcomes: None,
+        });
     }
     wal.sync().unwrap();
     drop(wal);

@@ -1,0 +1,326 @@
+//! A minimal Rust lexer: just enough to separate code tokens from
+//! comments and string literals, with line numbers. No keywords, no
+//! precedence — the rules operate on identifier/punct sequences.
+
+/// Token kinds the rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// Any single punctuation byte (`:`, `{`, `#`, ...).
+    Punct(u8),
+    /// String/char/byte-string literal (contents ignored).
+    Literal,
+    /// Line or block comment (text preserved for SAFETY/RELAXED checks).
+    Comment,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok<'a> {
+    pub kind: Kind,
+    pub text: &'a str,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+/// Lex `src` into tokens. Unterminated constructs swallow to EOF (good
+/// enough for a lint that only runs on code rustc already accepted).
+pub fn lex(src: &str) -> Vec<Tok<'_>> {
+    let b = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < b.len() {
+        let start = i;
+        let start_line = line;
+        let c = b[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => {
+                i += 1;
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'/' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Comment,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'/' if i + 1 < b.len() && b[i + 1] == b'*' => {
+                i += 2;
+                let mut depth = 1u32;
+                while i < b.len() && depth > 0 {
+                    if b[i] == b'\n' {
+                        line += 1;
+                        i += 1;
+                    } else if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                        depth += 1;
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                toks.push(Tok {
+                    kind: Kind::Comment,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'"' => {
+                i += 1;
+                while i < b.len() && b[i] != b'"' {
+                    if b[i] == b'\\' {
+                        i += 1;
+                    }
+                    if i < b.len() {
+                        if b[i] == b'\n' {
+                            line += 1;
+                        }
+                        i += 1;
+                    }
+                }
+                i = (i + 1).min(b.len());
+                toks.push(Tok {
+                    kind: Kind::Literal,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'r' | b'b' if is_raw_string_start(b, i) => {
+                // r"...", r#"..."#, br"...", b"..." etc.
+                let mut j = i;
+                while j < b.len() && (b[j] == b'r' || b[j] == b'b') {
+                    j += 1;
+                }
+                let raw = src[i..j].contains('r');
+                let mut hashes = 0usize;
+                while j < b.len() && b[j] == b'#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < b.len() && b[j] == b'"' {
+                    j += 1;
+                    if raw {
+                        // Scan for `"` followed by `hashes` `#`s.
+                        'scan: while j < b.len() {
+                            if b[j] == b'\n' {
+                                line += 1;
+                                j += 1;
+                                continue;
+                            }
+                            if b[j] == b'"' {
+                                let mut k = j + 1;
+                                let mut h = 0usize;
+                                while k < b.len() && b[k] == b'#' && h < hashes {
+                                    k += 1;
+                                    h += 1;
+                                }
+                                if h == hashes {
+                                    j = k;
+                                    break 'scan;
+                                }
+                            }
+                            j += 1;
+                        }
+                    } else {
+                        // b"..." — escape-aware like ordinary strings.
+                        while j < b.len() && b[j] != b'"' {
+                            if b[j] == b'\\' {
+                                j += 1;
+                            }
+                            if j < b.len() {
+                                if b[j] == b'\n' {
+                                    line += 1;
+                                }
+                                j += 1;
+                            }
+                        }
+                        j = (j + 1).min(b.len());
+                    }
+                    i = j;
+                    toks.push(Tok {
+                        kind: Kind::Literal,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
+                    continue;
+                }
+                // Not actually a raw string (e.g. ident starting with r/b).
+                i = lex_ident(b, i);
+                toks.push(Tok {
+                    kind: Kind::Ident,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            b'\'' => {
+                // Char literal or lifetime. Lifetime: 'ident not followed
+                // by closing quote.
+                if i + 1 < b.len() && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_') {
+                    let j = lex_ident(b, i + 1);
+                    if j < b.len() && b[j] == b'\'' {
+                        // 'a' — a char literal.
+                        i = j + 1;
+                        toks.push(Tok {
+                            kind: Kind::Literal,
+                            text: &src[start..i],
+                            line: start_line,
+                        });
+                    } else {
+                        // 'a — a lifetime; emit as punct+ident.
+                        toks.push(Tok {
+                            kind: Kind::Punct(b'\''),
+                            text: &src[start..start + 1],
+                            line: start_line,
+                        });
+                        toks.push(Tok {
+                            kind: Kind::Ident,
+                            text: &src[i + 1..j],
+                            line: start_line,
+                        });
+                        i = j;
+                    }
+                } else {
+                    // Escaped or punctuation char literal: '\n', '}', ...
+                    let mut j = i + 1;
+                    if j < b.len() && b[j] == b'\\' {
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                    while j < b.len() && b[j] != b'\'' {
+                        j += 1;
+                    }
+                    i = (j + 1).min(b.len());
+                    toks.push(Tok {
+                        kind: Kind::Literal,
+                        text: &src[start..i],
+                        line: start_line,
+                    });
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                i = lex_ident(b, i);
+                toks.push(Tok {
+                    kind: Kind::Ident,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                {
+                    // Numeric literal (incl. floats/suffixes); dot is greedy
+                    // but fine for our rules.
+                    if b[i] == b'.' && i + 1 < b.len() && !b[i + 1].is_ascii_digit() {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Tok {
+                    kind: Kind::Literal,
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+            c => {
+                i += 1;
+                toks.push(Tok {
+                    kind: Kind::Punct(c),
+                    text: &src[start..i],
+                    line: start_line,
+                });
+            }
+        }
+    }
+    toks
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let mut j = i;
+    while j < b.len() && (b[j] == b'r' || b[j] == b'b') && j - i < 2 {
+        j += 1;
+    }
+    if j >= b.len() {
+        return false;
+    }
+    // Must contain an 'r' to be raw, or be b"..." (byte string).
+    let has_r = b[i..j].contains(&b'r');
+    let has_b = b[i..j].contains(&b'b');
+    match b[j] {
+        b'"' => has_r || has_b,
+        b'#' => has_r && b[j..].iter().find(|&&c| c != b'#') == Some(&b'"'),
+        _ => false,
+    }
+}
+
+fn lex_ident(b: &[u8], mut i: usize) -> usize {
+    while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+        i += 1;
+    }
+    i
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src)
+            .into_iter()
+            .map(|t| (t.kind, t.text.to_owned()))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_opaque() {
+        let toks = kinds("let a = \"unsafe {\"; // unsafe tail\n/* unsafe */ b");
+        assert!(toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Ident)
+            .all(|(_, t)| t != "unsafe"));
+        assert_eq!(toks.iter().filter(|(k, _)| *k == Kind::Comment).count(), 2);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let toks = kinds(r####"let s = r#"std::sync::atomic "quoted""#; x"####);
+        let idents: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == Kind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s", "x"].to_vec());
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) {}");
+        assert!(toks.iter().any(|(k, t)| *k == Kind::Ident && t == "a"));
+        assert!(!toks.iter().any(|(k, _)| *k == Kind::Literal));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex("a\nb\n  c");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* a /* b */ c */ after");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[1].1, "after");
+    }
+}

@@ -116,7 +116,7 @@ fn bench_locks() {
 }
 
 fn bench_timestamps() {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use bohm_sync::atomic::{AtomicU64, Ordering};
     use std::sync::Arc;
     // BOHM: the sequencer thread owns the log; assignment is an
     // uncontended add.
@@ -135,6 +135,7 @@ fn bench_timestamps() {
                 let c = Arc::clone(&counter);
                 s.spawn(move || {
                     for _ in 0..per {
+                        // RELAXED: measuring raw RMW cost; no ordering use.
                         black_box(c.fetch_add(1, Ordering::Relaxed));
                     }
                 });

@@ -12,9 +12,9 @@
 
 use bohm_common::engine::{BatchEngine, Session};
 use bohm_common::stats::RunStats;
+use bohm_sync::atomic::{AtomicBool, Ordering};
 use bohm_workloads::TxnGen;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -97,6 +97,8 @@ pub fn run_engine<E: BatchEngine>(
                     st.cc_aborts += out.cc_retries;
                 };
                 let start = Instant::now();
+                // RELAXED: stop flag only bounds the measurement window; a
+                // stale read runs one extra transaction.
                 while !stop.load(Ordering::Relaxed) {
                     let txn = gen.next_txn();
                     in_flight_accesses.push_back(txn.access_count() as u64);
@@ -113,6 +115,7 @@ pub fn run_engine<E: BatchEngine>(
             }));
         }
         std::thread::sleep(duration);
+        // RELAXED: see the workers' loads; joins synchronize the stats.
         stop.store(true, Ordering::Relaxed);
         let mut total = RunStats::default();
         for h in handles {

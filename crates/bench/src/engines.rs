@@ -168,7 +168,7 @@ pub fn build_sharded(
 ) -> ShardedEngine<AnyEngine> {
     let n = map.shards() as usize;
     let per_shard = (threads / n).max(2);
-    let epoch = std::sync::Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let epoch = std::sync::Arc::new(bohm_sync::atomic::AtomicU64::new(0));
     let engines = (0..n)
         .map(|_| match kind {
             EngineKind::Bohm => {

@@ -31,12 +31,13 @@
 //!
 //! `TxnState` is not named in this crate; see `bohm::batch` for the consumer.
 
+use bohm_sync::Mutex;
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::{align_of, needs_drop, size_of, MaybeUninit};
 use std::ops::Deref;
 use std::ptr::NonNull;
-use std::sync::{Arc, Mutex, Weak};
+use std::sync::{Arc, Weak};
 
 /// Default chunk size. Large enough that a smoke-sized batch (a few thousand
 /// TPC-C-lite transactions) needs only a handful of chunks; small enough that
@@ -105,7 +106,7 @@ impl ArenaPool {
 
     /// Number of idle buffers currently held for reuse (test/metrics hook).
     pub fn free_chunks(&self) -> usize {
-        self.shared.free.lock().unwrap().len()
+        self.shared.free.lock().len()
     }
 
     /// Pop a recycled buffer able to hold `min_bytes`, or allocate one.
@@ -117,7 +118,6 @@ impl ArenaPool {
             self.shared
                 .free
                 .lock()
-                .unwrap()
                 .pop()
                 .unwrap_or_else(|| new_buf(self.shared.chunk_bytes))
         } else {
@@ -135,7 +135,7 @@ impl PoolShared {
         if buf.len() != self.chunk_bytes {
             return; // oversized one-off; let it free
         }
-        let mut free = self.free.lock().unwrap();
+        let mut free = self.free.lock();
         if free.len() < self.max_free {
             free.push(buf);
         }
@@ -155,6 +155,7 @@ struct Chunk {
 // (through `&mut Arena`, single-threaded by construction) and only in the
 // not-yet-published tail of the buffer; published regions are immutable.
 unsafe impl Send for Chunk {}
+// SAFETY: same single-writer/published-immutable argument as `Send`.
 unsafe impl Sync for Chunk {}
 
 impl Chunk {
@@ -219,7 +220,12 @@ impl Arena {
                     .checked_add(bytes)
                     .is_some_and(|end| end <= chunk.capacity())
                 {
-                    let ptr = aligned as *mut T;
+                    // Compute only the *offset* in integer space; derive the
+                    // element pointer from the chunk base so it keeps the
+                    // allocation's provenance (an `aligned as *mut T` cast
+                    // would round-trip through usize and lose it).
+                    // SAFETY: `start` is in bounds per the check above.
+                    let ptr = unsafe { chunk.base().add(start) } as *mut T;
                     // SAFETY: [start, start+bytes) lies inside the chunk, is
                     // aligned for T, and no previously returned ASlice
                     // overlaps it (they all end at or before `offset`). The
@@ -232,6 +238,8 @@ impl Arena {
                     self.offset = start + bytes;
                     return ASlice {
                         chunk: Some(chunk.clone()),
+                        // SAFETY: `ptr` came from a live allocation offset,
+                        // never null.
                         ptr: unsafe { NonNull::new_unchecked(ptr) },
                         len,
                     };
@@ -259,6 +267,7 @@ pub struct ASlice<T> {
 // SAFETY: ASlice only hands out shared references to its (immutable,
 // initialized) elements; the chunk keepalive is Send+Sync.
 unsafe impl<T: Send + Sync> Send for ASlice<T> {}
+// SAFETY: same shared-immutable argument as `Send` above.
 unsafe impl<T: Send + Sync> Sync for ASlice<T> {}
 
 impl<T> ASlice<T> {
@@ -406,6 +415,22 @@ mod tests {
         let c = arena.alloc_with(4, |i| i as u16);
         assert_eq!(&*c, &[0, 1, 2, 3]);
         assert_eq!(&*a, &[1, 2, 3]);
+    }
+
+    // Regression for the provenance fix in `alloc_with`: padding inserted
+    // for alignment must land the next slice at the right chunk offset and
+    // the derived pointer must cover the slice's full extent.
+    #[test]
+    fn aligned_allocations_after_odd_offsets() {
+        let pool = ArenaPool::new(512, 4);
+        let mut arena = pool.arena();
+        let a = arena.alloc_copy(&[7u8; 3]); // leaves the bump offset odd
+        let b = arena.alloc_with(5, |i| (i as u64) << 40);
+        assert_eq!(b.as_ptr() as usize % align_of::<u64>(), 0);
+        let c = arena.alloc_copy(&[1u8]);
+        assert_eq!(&*a, &[7; 3]);
+        assert_eq!(&*b, &[0, 1 << 40, 2 << 40, 3 << 40, 4 << 40]);
+        assert_eq!(&*c, &[1]);
     }
 
     #[test]

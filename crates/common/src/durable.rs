@@ -52,9 +52,9 @@ use crate::checkpoint::{self, Checkpoint};
 use crate::engine::{Engine, ExecOutcome};
 use crate::txn::Txn;
 use crate::wal::{DurabilityConfig, LogSink, TxnDecision, Wal};
+use bohm_sync::atomic::{AtomicU64, Ordering};
+use bohm_sync::Mutex;
 use std::io;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 
 /// What [`DurableEngine::open`] did to bring the engine back: how much
 /// state came from a checkpoint and how much from log replay.
@@ -219,11 +219,15 @@ impl<E: Engine> DurableEngine<E> {
     /// quiesce anything: the commit lock blocks every in-flight
     /// `execute`, so the snapshot lands exactly on a commit boundary.
     pub fn checkpoint(&self) -> io::Result<CheckpointStats> {
-        let _commit = self.commit_lock.lock().expect("commit lock poisoned");
+        let _commit = self.commit_lock.lock();
         // Everything logged so far carries an epoch < cut; everything
         // after this store carries >= cut. The checkpoint covers exactly
         // the former.
+        // RELAXED: `epoch` is only read and written under `commit_lock`,
+        // whose release edge publishes it; the atomic exists for the
+        // lock-free Debug/diagnostic readers.
         let cut = self.epoch.load(Ordering::Relaxed) + 1;
+        // RELAXED: as above — still under `commit_lock`.
         self.epoch.store(cut, Ordering::Relaxed);
         let mut records: Vec<(crate::RecordId, Box<[u8]>)> = Vec::new();
         self.inner
@@ -265,6 +269,7 @@ impl<E: Engine> DurableEngine<E> {
     /// Current epoch stamp (= number of checkpoints taken, across all
     /// incarnations of this directory).
     pub fn epoch(&self) -> u64 {
+        // RELAXED: diagnostic snapshot; writers serialize on `commit_lock`.
         self.epoch.load(Ordering::Relaxed)
     }
 }
@@ -281,7 +286,7 @@ impl<E: Engine> Engine for DurableEngine<E> {
     }
 
     fn execute(&self, txn: &Txn, w: &mut E::Worker) -> ExecOutcome {
-        let _commit = self.commit_lock.lock().expect("commit lock poisoned");
+        let _commit = self.commit_lock.lock();
         let out = self.inner.execute(txn, w);
         let decision = TxnDecision {
             committed: out.committed,
@@ -289,6 +294,7 @@ impl<E: Engine> Engine for DurableEngine<E> {
         };
         let mut one = std::iter::once(txn);
         self.wal
+            // RELAXED: read under `commit_lock`, same as the writers.
             .log_batch_decided(self.epoch.load(Ordering::Relaxed), &mut one, &[decision])
             .expect("durable engine: WAL append failed");
         out
@@ -312,6 +318,7 @@ impl<E: Engine> std::fmt::Debug for DurableEngine<E> {
         f.debug_struct("DurableEngine")
             .field("engine", &self.inner.name())
             .field("wal", &self.wal)
+            // RELAXED: Debug output is allowed to race.
             .field("epoch", &self.epoch.load(Ordering::Relaxed))
             .field("seeded_rows", &self.seeded_rows)
             .finish()

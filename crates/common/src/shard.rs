@@ -38,10 +38,11 @@
 use crate::engine::{BatchEngine, ExecOutcome, Session};
 use crate::procedures::{execute_procedure, ExecScratch, Procedure};
 use crate::{AbortReason, Access, RecordId, ScanRange, TableId, Txn, Value};
+use bohm_sync::atomic::{AtomicU64, Ordering};
+use bohm_sync::RwLock;
 use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::Arc;
 
 /// Upper bound on shard count: [`ShardSet`] is a `u64` bitmask.
 pub const MAX_SHARDS: u32 = 64;
@@ -362,7 +363,7 @@ impl<E: BatchEngine> ShardedEngine<E> {
         parts: ShardSet,
         scratch: &mut ExecScratch,
     ) -> ExecOutcome {
-        let _x = self.align.write().expect("shard alignment lock poisoned");
+        let _x = self.align.write();
         // Bump first: batches any participant seals from here on carry the
         // new epoch, including the quiesce barriers below.
         self.epoch.fetch_add(1, Ordering::AcqRel);
@@ -529,11 +530,7 @@ impl<E: BatchEngine> Session for ShardedSession<'_, E> {
             // Shared lock only across the enqueue: cross-shard commits must
             // not begin mid-submission, but reaping (and the shard's own
             // pipeline) proceeds without the lock.
-            let _s = self
-                .engine
-                .align
-                .read()
-                .expect("shard alignment lock poisoned");
+            let _s = self.engine.align.read();
             self.subs[s as usize].submit(txn);
             Slot::Routed(s)
         } else {
@@ -768,7 +765,7 @@ mod tests {
     use super::*;
     use crate::engine::Engine;
     use crate::value;
-    use std::sync::Mutex;
+    use bohm_sync::Mutex;
 
     // -- map / set -----------------------------------------------------
 
@@ -990,7 +987,7 @@ mod tests {
         }
 
         fn execute(&self, txn: &Txn, w: &mut ExecScratch) -> ExecOutcome {
-            let mut tables = self.tables.lock().unwrap();
+            let mut tables = self.tables.lock();
             let mut access = MiniAccess {
                 tables: &mut tables,
                 record_sizes: &self.record_sizes,
@@ -1030,14 +1027,14 @@ mod tests {
         }
 
         fn read_record(&self, rid: RecordId) -> Option<Value> {
-            self.tables.lock().unwrap()[rid.table.index()]
+            self.tables.lock()[rid.table.index()]
                 .get(rid.row as usize)
                 .cloned()
                 .flatten()
         }
 
         fn snapshot_records(&self, f: &mut dyn FnMut(RecordId, &[u8])) {
-            let tables = self.tables.lock().unwrap();
+            let tables = self.tables.lock();
             for (t, rows) in tables.iter().enumerate() {
                 for (row, v) in rows.iter().enumerate() {
                     if let Some(d) = v {

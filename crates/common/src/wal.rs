@@ -64,12 +64,12 @@ use crate::engine::{BatchEngine, ExecOutcome, Session};
 use crate::txn::{IndexScan, ScanRange, Txn};
 use crate::types::RecordId;
 use crate::{Procedure, SmallBankProc, TpcCProc};
+use bohm_sync::atomic::{AtomicBool, Ordering};
+use bohm_sync::Mutex;
 use std::fmt;
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Read as _, Write as _};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
 
 // Checkpoints co-locate with the log and bound its replay; re-exported
 // here so the durability surface reads as one module.
@@ -380,13 +380,13 @@ impl Wal {
     /// this grows past a budget, checkpoint and
     /// [`truncate_before`](Self::truncate_before)).
     pub fn log_bytes(&self) -> u64 {
-        let st = self.state.lock().unwrap();
+        let st = self.state.lock();
         st.sealed_bytes + st.seg_len
     }
 
     /// Batches appended through this handle so far.
     pub fn batches_logged(&self) -> u64 {
-        self.state.lock().unwrap().batches
+        self.state.lock().batches
     }
 
     /// Suspend appends: until [`resume_appends`](Self::resume_appends),
@@ -418,7 +418,7 @@ impl Wal {
     /// accounted for and the rest stay tracked, so a failed call leaves
     /// [`log_bytes`](Self::log_bytes) consistent and can be retried.
     pub fn truncate_before(&self, epoch: u64) -> io::Result<u64> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         let mut freed = 0u64;
         let mut i = 0;
         while i < st.sealed.len() {
@@ -468,7 +468,7 @@ impl Wal {
         if self.paused.load(Ordering::Acquire) {
             return Ok(()); // recovery replay: already in inherited segments
         }
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         let st = &mut *st;
         // Encode the payload into the reusable buffer, leaving room for
         // the [len][checksum] header at the front.
@@ -543,7 +543,7 @@ impl Wal {
     /// without it, the pre-checkpoint tail of the active segment would
     /// pin those bytes until the next size-triggered rotation.
     pub fn rotate(&self) -> io::Result<()> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         self.rotate_locked(&mut st)
     }
 
@@ -573,7 +573,7 @@ impl LogSink for Wal {
     }
 
     fn sync(&self) -> io::Result<()> {
-        let mut st = self.state.lock().unwrap();
+        let mut st = self.state.lock();
         st.file.sync_data()?;
         st.unsynced_batches = 0;
         Ok(())
@@ -1345,7 +1345,7 @@ mod tests {
                 epoch: u64,
                 txns: &mut dyn ExactSizeIterator<Item = &Txn>,
             ) -> io::Result<()> {
-                self.batches.lock().unwrap().push((epoch, txns.len()));
+                self.batches.lock().push((epoch, txns.len()));
                 Ok(())
             }
             fn log_batch_decided(
@@ -1355,7 +1355,7 @@ mod tests {
                 outcomes: &[TxnDecision],
             ) -> io::Result<()> {
                 assert_eq!(txns.len(), outcomes.len());
-                self.batches.lock().unwrap().push((epoch, txns.len()));
+                self.batches.lock().push((epoch, txns.len()));
                 Ok(())
             }
             fn sync(&self) -> io::Result<()> {
@@ -1377,7 +1377,7 @@ mod tests {
             )
             .unwrap();
         dyn_sink.sync().unwrap();
-        assert_eq!(*sink.batches.lock().unwrap(), vec![(7, txns.len()), (8, 1)]);
+        assert_eq!(*sink.batches.lock(), vec![(7, txns.len()), (8, 1)]);
     }
 
     #[test]

@@ -24,8 +24,8 @@
 use crate::batch::TxnState;
 use bohm_common::{AbortReason, Access};
 use bohm_mvstore::{HashIndex, Version, VersionIndex, VersionState};
+use bohm_sync::atomic::Ordering;
 use crossbeam_epoch::Guard;
-use std::sync::atomic::Ordering;
 
 pub(crate) struct BohmAccess<'a> {
     pub t: &'a TxnState,
@@ -33,7 +33,7 @@ pub(crate) struct BohmAccess<'a> {
     pub guard: &'a Guard,
     /// `Inner::deletes_seen` — bumped when a tombstone is published, which
     /// arms the CC threads' key sweep (a pure gate; see `cc::sweep_keys`).
-    pub deletes: &'a std::sync::atomic::AtomicU64,
+    pub deletes: &'a bohm_sync::atomic::AtomicU64,
 }
 
 impl BohmAccess<'_> {
@@ -254,6 +254,8 @@ impl Access for BohmAccess<'_> {
         // SAFETY: placeholder liveness per Condition 3; unique producer.
         let v = unsafe { &*ptr };
         if v.fill_tombstone_once() {
+            // RELAXED: monotone per-batch delete tally; consumed after the
+            // batch barrier synchronizes.
             self.deletes.fetch_add(1, Ordering::Relaxed);
         } else {
             // Already resolved. A legal replay (re-run after a blocked

@@ -27,9 +27,9 @@ use crate::batch::Batch;
 use crate::engine::Inner;
 use bohm_common::RecordId;
 use bohm_mvstore::{Version, VersionIndex};
+use bohm_sync::atomic::Ordering;
 use crossbeam_channel::{Receiver, Sender};
 use crossbeam_epoch::{self as epoch, Owned};
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Main loop of CC thread `me`. Exits when the submission side hangs up.
@@ -49,6 +49,7 @@ pub(crate) fn cc_loop(
         sweep_keys(&inner, me, &mut sweep_cursor);
         inner
             .cc_busy_ns
+            // RELAXED: monotonic statistics counter.
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         // The §3.2.4 barrier, amortized over the whole batch: the last CC
         // thread through publishes the batch to the execution layer.
@@ -81,6 +82,8 @@ pub(crate) fn sweep_keys(inner: &Inner, me: usize, cursor: &mut usize) {
     }
     // No tombstone has ever been produced ⇒ no key can be in the
     // reclaimable shape: delete-free workloads skip the sweep outright.
+    // RELAXED: monotone flag-counter; a stale zero only postpones the
+    // sweep until the writer's next batch is visible.
     if inner.deletes_seen.load(Ordering::Relaxed) == 0 {
         return;
     }
@@ -105,15 +108,18 @@ pub(crate) fn sweep_keys(inner: &Inner, me: usize, cursor: &mut usize) {
     if versions > 0 {
         inner
             .gc_retired
+            // RELAXED: monotonic statistics counter.
             .fetch_add(versions as u64, Ordering::Relaxed);
     }
     if retired > 0 {
         // Each retired key frees its sole tombstone with the entry.
         inner
             .gc_retired
+            // RELAXED: monotonic statistics counter.
             .fetch_add(retired as u64, Ordering::Relaxed);
         inner
             .keys_retired
+            // RELAXED: monotonic statistics counter.
             .fetch_add(retired as u64, Ordering::Relaxed);
     }
 }
@@ -189,12 +195,16 @@ pub(crate) fn process_batch(inner: &Inner, me: usize, batch: &Batch, probe_tick:
                 // and starve a chain of probes.
                 *probe_tick += 1;
                 if gc && *probe_tick & 0x7 == 0 {
+                    // RELAXED: a stale (smaller) bound only truncates less
+                    // this probe; the Acquire load in `sweep_keys` is the
+                    // edge that guards key retirement.
                     let bound = inner.gc_bound.load(Ordering::Relaxed);
                     if bound > 0 {
                         let retired = chain.truncate(bound, &guard);
                         if retired > 0 {
                             inner
                                 .gc_retired
+                                // RELAXED: monotonic statistics counter.
                                 .fetch_add(retired as u64, Ordering::Relaxed);
                         }
                     }

@@ -85,7 +85,7 @@ pub struct BohmConfig {
     /// per cross-shard transaction, so "every participant retired epoch `e`"
     /// is an observable alignment invariant. `None` (a standalone engine)
     /// stamps every batch with epoch 0.
-    pub epoch_source: Option<std::sync::Arc<std::sync::atomic::AtomicU64>>,
+    pub epoch_source: Option<std::sync::Arc<bohm_sync::atomic::AtomicU64>>,
     /// Opt-in durability: when set, the sequencer appends every formed
     /// batch's inputs to a write-ahead log
     /// ([`bohm_common::wal::Wal`]) and applies the configured fsync

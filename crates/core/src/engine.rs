@@ -8,10 +8,10 @@ use crate::window::Window;
 use crate::{cc, exec};
 use bohm_common::{RecordId, TableId, Txn};
 use bohm_mvstore::{HashIndex, Version, VersionIndex, VersionState};
+use bohm_sync::atomic::{AtomicU64, Ordering};
 use crossbeam_channel::unbounded;
 use crossbeam_epoch::{self as epoch, Owned};
 use crossbeam_utils::CachePadded;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -441,12 +441,14 @@ impl Bohm {
 
     /// Versions retired by Condition-3 GC so far.
     pub fn gc_retired(&self) -> u64 {
+        // RELAXED: statistics read; approximate under concurrency.
         self.inner.gc_retired.load(Ordering::Relaxed)
     }
 
     /// Fully-deleted keys whose index entries (tombstone, chain and all)
     /// were reclaimed by the key sweep so far.
     pub fn keys_retired(&self) -> u64 {
+        // RELAXED: statistics read; approximate under concurrency.
         self.inner.keys_retired.load(Ordering::Relaxed)
     }
 
@@ -459,13 +461,18 @@ impl Bohm {
     /// Diagnostics: total busy time of (CC, execution) layers so far.
     pub fn busy_times(&self) -> (std::time::Duration, std::time::Duration) {
         (
+            // RELAXED: diagnostic counters; tearing between the two reads
+            // is acceptable.
             std::time::Duration::from_nanos(self.inner.cc_busy_ns.load(Ordering::Relaxed)),
+            // RELAXED: as above.
             std::time::Duration::from_nanos(self.inner.exec_busy_ns.load(Ordering::Relaxed)),
         )
     }
 
     /// Current GC low watermark (largest timestamp known fully executed).
     pub fn gc_bound(&self) -> u64 {
+        // RELAXED: monotone watermark snapshot for diagnostics; internal
+        // consumers use the Acquire load in `sweep_keys`.
         self.inner.gc_bound.load(Ordering::Relaxed)
     }
 

@@ -23,10 +23,10 @@ use crate::access::BohmAccess;
 use crate::batch::{txn_status, Batch, TxnState};
 use crate::engine::Inner;
 use bohm_common::{execute_procedure, AbortReason, ExecScratch};
+use bohm_sync::atomic::Ordering;
 use crossbeam_channel::Receiver;
 use crossbeam_epoch as epoch;
 use crossbeam_utils::Backoff;
-use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
 /// Main loop of execution thread `me`.
@@ -38,6 +38,7 @@ pub(crate) fn exec_loop(inner: Arc<Inner>, me: usize, rx: Receiver<Arc<Batch>>) 
         run_batch(&inner, me, &batch, &mut scratch, &mut remaining);
         inner
             .exec_busy_ns
+            // RELAXED: monotonic statistics counter.
             .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
         inner.finished_ts[me].store(batch.last_ts(), Ordering::Release);
         if me == 0 {
@@ -246,6 +247,8 @@ fn copy_through(inner: &Inner, t: &TxnState, guard: &epoch::Guard) -> Result<(),
                 // Aborted insert of a fresh record: publish a tombstone so
                 // readers see continued absence.
                 v.fill_tombstone();
+                // RELAXED: monotone hint that unlocks the key sweep; a
+                // stale zero there only delays GC.
                 inner.deletes_seen.fetch_add(1, Ordering::Relaxed);
             }
             Some(prev) => {
@@ -255,6 +258,7 @@ fn copy_through(inner: &Inner, t: &TxnState, guard: &epoch::Guard) -> Result<(),
                 match prev.state() {
                     bohm_mvstore::VersionState::Tombstone => {
                         v.fill_tombstone();
+                        // RELAXED: monotone sweep hint, as above.
                         inner.deletes_seen.fetch_add(1, Ordering::Relaxed);
                     }
                     _ => {

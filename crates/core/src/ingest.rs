@@ -34,8 +34,8 @@
 use crate::batch::{Batch, Completion, TxnHook};
 use crate::engine::Inner;
 use bohm_common::Txn;
+use bohm_sync::{Condvar, Mutex};
 use crossbeam_channel::Sender;
-use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Instant;
@@ -267,7 +267,7 @@ pub(crate) fn seq_loop(inner: Arc<Inner>, rx: IngestRx, cc_senders: Vec<Sender<A
                 .config
                 .epoch_source
                 .as_ref()
-                .map_or(0, |e| e.load(std::sync::atomic::Ordering::Acquire));
+                .map_or(0, |e| e.load(bohm_sync::atomic::Ordering::Acquire));
             // Durability point: the batch's inputs hit the log (and the
             // configured fsync policy runs) *before* the batch is released
             // to CC — nothing executes that isn't recoverable. A log the
@@ -418,7 +418,7 @@ mod tests {
 
     #[test]
     fn saturated_queue_blocks_sender_until_drained() {
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use bohm_sync::atomic::{AtomicBool, Ordering};
         let (tx, rx) = ingest_queue(4);
         tx.send(req(4)).map_err(|_| ()).unwrap(); // budget exhausted
         let sent = Arc::new(AtomicBool::new(false));
@@ -464,7 +464,7 @@ mod tests {
         // Regression: a wakeup that delivers no data must not re-arm a full
         // wait past the deadline. A hammering notifier emulates spurious
         // wakeups; the receiver must still time out close to the deadline.
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use bohm_sync::atomic::{AtomicBool, Ordering};
         let (tx, rx) = ingest_queue(4);
         let stop = Arc::new(AtomicBool::new(false));
         let hammer = {

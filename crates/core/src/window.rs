@@ -33,12 +33,15 @@
 //! batches are in flight, with the sequencer blocked until the previous
 //! occupant retired.
 
+// HOT-PATH: the blocked-read lookup runs per dependency resolution; no
+// clocks, no syscalls, no I/O in non-test code (enforced by the lint).
+
 use crate::batch::Batch;
 use bohm_common::Timestamp;
+use bohm_sync::atomic::{AtomicPtr, Ordering};
+use bohm_sync::{Condvar, Mutex};
 use crossbeam_epoch as epoch;
 use crossbeam_utils::Backoff;
-use parking_lot::{Condvar, Mutex};
-use std::sync::atomic::{AtomicPtr, Ordering};
 use std::sync::Arc;
 
 /// One ring slot, padded out to a cache line. Adjacent slots belong to
@@ -117,6 +120,8 @@ impl Window {
         let slot = &self.slots[(id & self.mask) as usize];
         let ptr = slot.swap(std::ptr::null_mut(), Ordering::AcqRel);
         debug_assert!(!ptr.is_null(), "retire of unregistered batch {id}");
+        // SAFETY: the swap made us the unique unlinker; the Arc reference
+        // the slot held keeps the batch alive until the deferred drop.
         debug_assert_eq!(unsafe { &*ptr }.id, id);
         // Readers racing `lookup` may still hold the raw pointer; drop the
         // window's reference only after their epoch pins release.
@@ -250,7 +255,7 @@ mod tests {
 
     #[test]
     fn push_blocks_until_slot_vacated() {
-        use std::sync::atomic::{AtomicBool, Ordering as O};
+        use bohm_sync::atomic::{AtomicBool, Ordering as O};
         let w = Arc::new(window()); // capacity 4
         for id in 0..4 {
             w.push(mk_batch(id, 10));
@@ -276,7 +281,7 @@ mod tests {
         // pusher's park decision, every push must eventually complete. A
         // lost wakeup would deadlock this test (the old code masked it
         // with a 10 ms poll; there is no timeout to hide behind now).
-        use std::sync::atomic::{AtomicU64, Ordering as O};
+        use bohm_sync::atomic::{AtomicU64, Ordering as O};
         let batches: u64 = bohm_common::stress_iters(3_000);
         let w = Arc::new(Window::new(2, STRIDE));
         let highest_pushed = Arc::new(AtomicU64::new(0));
@@ -316,7 +321,7 @@ mod tests {
         // across the live window. Readers must only ever observe a batch
         // whose id matches the timestamp arithmetic. The nightly CI job
         // raises the batch count via BOHM_STRESS_ITERS.
-        use std::sync::atomic::{AtomicBool, AtomicU64, Ordering as O};
+        use bohm_sync::atomic::{AtomicBool, AtomicU64, Ordering as O};
         let batches: u64 = bohm_common::stress_iters(400);
         let w = Arc::new(Window::new(8, STRIDE));
         let highest_pushed = Arc::new(AtomicU64::new(0));
@@ -371,5 +376,112 @@ mod tests {
         let total_hits: u64 = readers.into_iter().map(|r| r.join().unwrap()).sum();
         assert!(total_hits > 0, "stress readers never hit a live batch");
         assert_eq!(w.len(), 0, "all slots released");
+    }
+}
+
+/// Controlled-scheduler models of the ring
+/// (`RUSTFLAGS="--cfg bohm_modelcheck" cargo test -p bohm modelcheck`).
+///
+/// The stress tests above rely on the OS scheduler to stumble into bad
+/// interleavings; these models *enumerate* them. The interesting window
+/// bug class is the lost wakeup on the vacancy condvar: a retire whose
+/// notification slips between a parking pusher's slot re-check and its
+/// wait would strand the pusher forever. Under the model checker that is
+/// not a hang — every thread is blocked with no timed waiter, so the run
+/// is reported as a deadlock with a replayable seed.
+#[cfg(all(test, bohm_modelcheck))]
+mod modelcheck {
+    use super::*;
+    use bohm_sync::model;
+
+    const STRIDE: u64 = 10;
+
+    fn mk_batch(id: u64, n: usize) -> Arc<Batch> {
+        let (entries, _c) = crate::batch::tests::hooked(n);
+        let mut arena = crate::batch::tests::test_arena();
+        Batch::new(entries, 1 + id * STRIDE, id, 0, 1, 1, 64, &mut arena)
+    }
+
+    /// Capacity-2 ring, three batches: the third push targets the slot
+    /// batch 0 still occupies and must park until the retirer frees it,
+    /// while a reader hammers lookups across all three ids. Covers
+    /// push/retire slot hand-off, the park/notify path, and the lookup
+    /// epoch-pin upgrade, in every schedule the seeds reach.
+    fn ring_model() {
+        let w = Arc::new(Window::new(2, STRIDE));
+        w.push(mk_batch(0, 1));
+        w.push(mk_batch(1, 1));
+        let pusher = {
+            let w = Arc::clone(&w);
+            bohm_sync::thread::spawn(move || w.push(mk_batch(2, 1)))
+        };
+        let retirer = {
+            let w = Arc::clone(&w);
+            bohm_sync::thread::spawn(move || {
+                w.retire(0);
+                w.retire(1);
+            })
+        };
+        let reader = {
+            let w = Arc::clone(&w);
+            bohm_sync::thread::spawn(move || {
+                for ts in [1u64, 11, 21] {
+                    if let Some(b) = w.lookup(ts) {
+                        // The O(1) contract under every interleaving: a hit
+                        // is *the* containing batch, never a stale aliased
+                        // occupant.
+                        assert_eq!(b.id, (ts - 1) / STRIDE);
+                        assert!(b.contains(ts));
+                    }
+                }
+            })
+        };
+        pusher.join().unwrap();
+        retirer.join().unwrap();
+        reader.join().unwrap();
+        assert_eq!(w.len(), 1, "only batch 2 should remain in flight");
+        w.retire(2);
+        assert_eq!(w.len(), 0);
+    }
+
+    #[test]
+    fn ring_push_retire_lookup_explored() {
+        model::explore(model::Options::default(), ring_model);
+    }
+
+    /// Two retirers racing a parked pusher: both free slots the pusher may
+    /// be waiting on, exercising notify-while-not-yet-parked and
+    /// notify-while-parked orders. A dropped notification deadlocks the
+    /// model and names its seed.
+    fn vacancy_wakeup_model() {
+        let w = Arc::new(Window::new(2, STRIDE));
+        w.push(mk_batch(0, 1));
+        w.push(mk_batch(1, 1));
+        let pusher = {
+            let w = Arc::clone(&w);
+            bohm_sync::thread::spawn(move || {
+                w.push(mk_batch(2, 1)); // waits on slot 0 (batch 0)
+                w.push(mk_batch(3, 1)); // waits on slot 1 (batch 1)
+            })
+        };
+        let r0 = {
+            let w = Arc::clone(&w);
+            bohm_sync::thread::spawn(move || w.retire(0))
+        };
+        let r1 = {
+            let w = Arc::clone(&w);
+            bohm_sync::thread::spawn(move || w.retire(1))
+        };
+        pusher.join().unwrap();
+        r0.join().unwrap();
+        r1.join().unwrap();
+        assert_eq!(w.len(), 2);
+        w.retire(2);
+        w.retire(3);
+    }
+
+    #[test]
+    fn vacancy_condvar_has_no_lost_wakeup() {
+        model::explore(model::Options::default(), vacancy_wakeup_model);
     }
 }

@@ -5,10 +5,10 @@ use crate::txn::{state, HkTxn};
 use crate::version::{txn_word, unpack, HkVersion, WordView, END_INF};
 use bohm_common::engine::{Engine, ExecOutcome};
 use bohm_common::{AbortReason, Access, RecordId, Txn};
+use bohm_sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use bohm_sync::Mutex;
 use crossbeam_epoch as epoch;
 use crossbeam_utils::CachePadded;
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// Isolation level of a [`Hekaton`] instance.
@@ -71,6 +71,8 @@ impl SlotPool {
         if let Some(slot) = self.free.lock().pop() {
             return slot;
         }
+        // RELAXED: slot ids only need to be unique; the mutex-protected
+        // free list above is the sole other coordination point.
         let slot = self.next.fetch_add(1, Ordering::Relaxed);
         assert!(
             slot < ACTIVE_SLOTS,
@@ -207,6 +209,7 @@ fn sweep_slice(shared: &SweepShared, cursor: &mut (usize, usize)) -> usize {
         *row += 1;
     }
     if freed > 0 {
+        // RELAXED: monotonic statistics counter.
         shared.pruned.fetch_add(freed as u64, Ordering::Relaxed);
     }
     freed
@@ -324,6 +327,7 @@ impl Hekaton {
             }
         }
         if freed > 0 {
+            // RELAXED: monotonic statistics counter.
             self.pruned.fetch_add(freed as u64, Ordering::Relaxed);
         }
         freed
@@ -364,6 +368,7 @@ impl Hekaton {
 
     /// Versions reclaimed by the chain pruner so far.
     pub fn pruned_versions(&self) -> u64 {
+        // RELAXED: statistics read; callers tolerate approximate values.
         self.pruned.load(Ordering::Relaxed)
     }
 
@@ -373,6 +378,7 @@ impl Hekaton {
 
     /// Current counter value (diagnostics: shows ≥ 2 bumps per txn).
     pub fn counter_value(&self) -> u64 {
+        // RELAXED: diagnostic snapshot of the timestamp counter.
         self.counter.load(Ordering::Relaxed)
     }
 
@@ -572,6 +578,7 @@ impl Hekaton {
             return self.install_insert(rid, data, me, w);
         }
         // SAFETY: store-lifetime versions.
+        // SAFETY: non-null resolve result, live under our epoch pin.
         let old_ref = unsafe { &*old };
         if old_ref
             .end
@@ -657,6 +664,7 @@ impl Hekaton {
             reads.push(ReadRec { rid, version: old });
             return Ok(());
         }
+        // SAFETY: non-null resolve result, live under our epoch pin.
         let old_ref = unsafe { &*old };
         if old_ref
             .end
@@ -701,6 +709,7 @@ impl Hekaton {
             freed += self.store.prune(r.rid, watermark, guard);
         }
         if freed > 0 {
+            // RELAXED: monotonic statistics counter.
             self.pruned.fetch_add(freed as u64, Ordering::Relaxed);
         }
     }
@@ -973,6 +982,8 @@ impl Engine for Hekaton {
             scratch: bohm_common::ExecScratch::new(),
             slot: self.slots.acquire(),
             slots: Arc::clone(&self.slots),
+            // RELAXED: any racy snapshot works — it only seeds the
+            // worker's prune-sampling RNG.
             prune_rng: 0x9E37_79B9_7F4A_7C15 ^ (self.slots.next.load(Ordering::Relaxed) as u64),
         }
     }
@@ -1584,7 +1595,7 @@ mod tests {
         // quantum), so each thread runs a sustained stream of conflicting
         // RMWs: timer preemption then lands mid-transaction and the other
         // stream's commit invalidates the interrupted read set.
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use bohm_sync::atomic::{AtomicBool, Ordering};
         // Sweeper off: this test isolates commit validation, and on a
         // single-CPU host the background thread would eat into the tight
         // scheduling budget the racing streams depend on.
@@ -1696,6 +1707,7 @@ mod tests {
             bohm_common::value::of_u64(99, 8),
         )));
         s.push(fresh, garbage);
+        // SAFETY: single-threaded test; `garbage` is the live chain head.
         unsafe { &*garbage }.mark_aborted();
         let e = Hekaton::serializable(s);
         let mut w = e.make_worker();

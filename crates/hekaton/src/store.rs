@@ -6,10 +6,13 @@
 //! backward-linked version chain; pushes are CAS-loops because, unlike
 //! BOHM, *any* worker thread may install a version on any record.
 
+// HOT-PATH: push/prune/scan run per write and per GC pass; no clocks,
+// no syscalls, no I/O (enforced by the lint).
+
 use crate::version::{unpack, HkVersion, WordView, ABORTED_SENTINEL, END_INF};
 use bohm_common::RecordId;
+use bohm_sync::atomic::{AtomicPtr, AtomicU8, Ordering};
 use crossbeam_epoch as epoch;
-use std::sync::atomic::{AtomicPtr, AtomicU8, Ordering};
 
 /// One record's slot: chain head and pruner try-lock together, padded to a
 /// cache line. Any worker may CAS any head, so without the padding adjacent
@@ -103,8 +106,12 @@ impl HekatonStore {
         loop {
             let h = head.load(Ordering::Acquire);
             // SAFETY: nv is exclusively ours until the CAS succeeds.
+            // RELAXED: `nv` is unpublished; the Release CAS below makes
+            // `prev` visible together with the new head.
             unsafe { (*nv).prev.store(h, Ordering::Relaxed) };
             if head
+                // RELAXED: failure-order only — a lost race retries; the
+                // reloaded head is re-Acquired at the top.
                 .compare_exchange_weak(h, nv, Ordering::Release, Ordering::Relaxed)
                 .is_ok()
             {
@@ -128,7 +135,11 @@ impl HekatonStore {
     ) -> bool {
         let head = self.head(rid);
         // SAFETY: nv is exclusively ours until the CAS succeeds.
+        // RELAXED: unpublished until the Release CAS; on CAS failure the
+        // caller still owns `nv` and nobody else ever saw this store.
         unsafe { (*nv).prev.store(expected, Ordering::Relaxed) };
+        // RELAXED: failure-order only — the caller treats failure as retry;
+        // no data is read through the failed result.
         head.compare_exchange(expected, nv, Ordering::Release, Ordering::Relaxed)
             .is_ok()
     }
@@ -142,6 +153,8 @@ impl HekatonStore {
         let mut cur = self.head(rid).load(Ordering::Acquire);
         while !cur.is_null() {
             n += 1;
+            // SAFETY: non-null chain pointers loaded under the epoch pin
+            // above stay live — pruners defer frees past in-flight pins.
             cur = unsafe { &*cur }.prev.load(Ordering::Acquire);
         }
         n
@@ -178,6 +191,8 @@ impl HekatonStore {
         let slot = &t.slots[rid.row as usize];
         let lock = &slot.prune_lock;
         if lock
+            // RELAXED: failure-order only — losing the try-lock reads nothing
+            // protected by it; the contender just returns.
             .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
             .is_err()
         {
@@ -218,6 +233,7 @@ impl HekatonStore {
                             // head; destruction deferred past live pins.
                             let older = unsafe { &*dead }.prev.load(Ordering::Acquire);
                             let p = dead;
+                            // SAFETY: as above — unreachable suffix node.
                             unsafe { guard.defer_unchecked(move || drop(Box::from_raw(p))) };
                             freed += 1;
                             dead = older;
@@ -245,6 +261,9 @@ impl HekatonStore {
                     if b != ABORTED_SENTINEL
                         && b <= watermark
                         && h.end
+                            // RELAXED: failure-order only — failure means a
+                            // writer superseded the tombstone; we abandon
+                            // without reading through the result.
                             .compare_exchange(END_INF, b, Ordering::AcqRel, Ordering::Relaxed)
                             .is_ok()
                         && slot
@@ -253,6 +272,7 @@ impl HekatonStore {
                                 head,
                                 std::ptr::null_mut(),
                                 Ordering::AcqRel,
+                                // RELAXED: failure-order only, as above.
                                 Ordering::Relaxed,
                             )
                             .is_ok()
@@ -273,10 +293,13 @@ impl Drop for HekatonStore {
     fn drop(&mut self) {
         for t in &self.tables {
             for s in t.slots.iter() {
+                // RELAXED: `&mut self` in Drop proves exclusive access; all
+                // prior writers are already synchronized-with.
                 let mut cur = s.head.load(Ordering::Relaxed);
                 while !cur.is_null() {
                     // SAFETY: exclusive access via &mut self (Drop).
                     let v = unsafe { Box::from_raw(cur) };
+                    // RELAXED: as above — no concurrency in Drop.
                     cur = v.prev.load(Ordering::Relaxed);
                 }
             }
@@ -297,6 +320,7 @@ mod tests {
             let rid = RecordId::new(0, row);
             assert_eq!(s.chain_depth(rid), 1);
             let head = s.head(rid).load(Ordering::Acquire);
+            // SAFETY: single-threaded test; the seeded head is live.
             let v = unsafe { &*head };
             assert_eq!(bohm_common::value::get_u64(v.data(), 0), row * 2);
             assert_eq!(v.end.load(Ordering::Relaxed), END_INF);
@@ -326,5 +350,90 @@ mod tests {
         assert_eq!(s.rows(0), 2);
         assert_eq!(s.rows(1), 3);
         assert_eq!(s.record_size(RecordId::new(1, 0)), 16);
+    }
+}
+
+/// Controlled-scheduler models of the version-chain protocol
+/// (`RUSTFLAGS="--cfg bohm_modelcheck" cargo test -p bohm-hekaton modelcheck`).
+///
+/// Push, prune and scan race on one record with every interleaving the
+/// seeds reach. The invariants the models assert are the ones the stress
+/// tests can only sample: a scanner never observes a depth outside the
+/// set of chain shapes the protocol can produce, the seeded committed
+/// version is never reclaimed, and the prune try-lock plus epoch deferral
+/// never let a reader walk freed memory (the race detector and address
+/// sanitizer of the model runtime would flag it).
+#[cfg(all(test, bohm_modelcheck))]
+mod modelcheck {
+    use super::*;
+    use bohm_sync::model;
+    use std::sync::Arc;
+
+    /// One record seeded with a committed version; a writer stacks an
+    /// aborted uncommitted version and then a committed successor on top
+    /// while a pruner (watermark 0: only aborted garbage is reclaimable)
+    /// and a depth scanner race the pushes.
+    fn push_prune_scan_model() {
+        let s = Arc::new(HekatonStore::new(&[(1, 8)]));
+        s.seed_u64(0, |_| 1);
+        let rid = RecordId::new(0, 0);
+        let writer = {
+            let s = Arc::clone(&s);
+            bohm_sync::thread::spawn(move || {
+                let t = crate::txn::HkTxn::new(5);
+                let aborted = Box::into_raw(Box::new(HkVersion::uncommitted(
+                    &t,
+                    bohm_common::value::of_u64(2, 8),
+                )));
+                s.push(rid, aborted);
+                // SAFETY: published above; the store now owns the
+                // allocation and frees it via prune's epoch deferral.
+                unsafe { &*aborted }.mark_aborted();
+                // A committed successor on top, leaving the aborted
+                // version as a mid-chain node prune must unlink.
+                let committed = Box::into_raw(Box::new(HkVersion::committed(
+                    7,
+                    bohm_common::value::of_u64(3, 8),
+                )));
+                s.push(rid, committed);
+            })
+        };
+        let pruner = {
+            let s = Arc::clone(&s);
+            bohm_sync::thread::spawn(move || {
+                let g = epoch::pin();
+                s.prune(rid, 0, &g);
+            })
+        };
+        let scanner = {
+            let s = Arc::clone(&s);
+            bohm_sync::thread::spawn(move || {
+                let d = s.chain_depth(rid);
+                // seed | {aborted,committed} ∪ seed | all three.
+                assert!((1..=3).contains(&d), "impossible chain depth {d}");
+            })
+        };
+        writer.join().unwrap();
+        pruner.join().unwrap();
+        scanner.join().unwrap();
+        // Quiescent cleanup: whatever the racing pruner managed, one more
+        // pass must leave exactly [committed(7), seed] — the aborted node
+        // gone, the live seed untouched.
+        let g = epoch::pin();
+        s.prune(rid, 0, &g);
+        drop(g);
+        assert_eq!(s.chain_depth(rid), 2);
+        let head = s.head(rid).load(Ordering::Acquire);
+        // SAFETY: all model threads joined; no concurrent reclamation.
+        let h = unsafe { &*head };
+        assert_eq!(bohm_common::value::get_u64(h.data(), 0), 3);
+        let seed = h.prev.load(Ordering::Acquire);
+        // SAFETY: as above — quiescent chain walk.
+        assert_eq!(bohm_common::value::get_u64(unsafe { &*seed }.data(), 0), 1);
+    }
+
+    #[test]
+    fn push_prune_scan_explored() {
+        model::explore(model::Options::default(), push_prune_scan_model);
     }
 }

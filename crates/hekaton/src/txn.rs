@@ -1,7 +1,7 @@
 //! Transaction objects and the commit-dependency machinery.
 
-use parking_lot::Mutex;
-use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
+use bohm_sync::atomic::{AtomicBool, AtomicI64, AtomicU32, AtomicU64, Ordering};
+use bohm_sync::Mutex;
 
 /// Transaction lifecycle states (Larson et al. §2, plus `ENDING`).
 pub mod state {

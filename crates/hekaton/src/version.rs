@@ -9,8 +9,8 @@
 //! "no incremental GC" configuration for these baselines.
 
 use crate::txn::HkTxn;
+use bohm_sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicPtr, AtomicU64, Ordering};
 
 /// Tag bit: the word is a pointer to an [`HkTxn`], not a timestamp.
 pub const TXN_FLAG: u64 = 1 << 63;
@@ -61,6 +61,7 @@ pub struct HkVersion {
 // SAFETY: `data` is written only before the version becomes reachable
 // (publication via the record slot's CAS is the release point).
 unsafe impl Send for HkVersion {}
+// SAFETY: same pre-publication argument as `Send` above.
 unsafe impl Sync for HkVersion {}
 
 impl HkVersion {

@@ -8,8 +8,11 @@
 //! granularity our waits are short because transactions are short and
 //! deadlock-free ordering bounds hold times).
 
+// HOT-PATH: taken per record access under 2PL; no clocks, no syscalls,
+// no I/O (enforced by the lint).
+
+use bohm_sync::atomic::{AtomicU32, Ordering};
 use crossbeam_utils::Backoff;
-use std::sync::atomic::{AtomicU32, Ordering};
 
 const WRITER: u32 = 1 << 31;
 
@@ -29,11 +32,14 @@ impl RwSpin {
     /// Try to add a reader; fails if a writer holds the lock.
     #[inline]
     pub fn try_lock_shared(&self) -> bool {
+        // RELAXED: optimistic probe only — the Acquire CAS below is the
+        // edge that actually takes the reader slot.
         let s = self.state.load(Ordering::Relaxed);
         if s & WRITER != 0 {
             return false;
         }
         self.state
+            // RELAXED: failure-order only; failure reads nothing protected.
             .compare_exchange_weak(s, s + 1, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
     }
@@ -51,6 +57,7 @@ impl RwSpin {
     #[inline]
     pub fn try_lock_exclusive(&self) -> bool {
         self.state
+            // RELAXED: failure-order only; the caller just retries.
             .compare_exchange(0, WRITER, Ordering::Acquire, Ordering::Relaxed)
             .is_ok()
     }
@@ -80,6 +87,7 @@ impl RwSpin {
 
     /// Diagnostic: current raw state (racy).
     pub fn raw(&self) -> u32 {
+        // RELAXED: diagnostic snapshot; declared racy.
         self.state.load(Ordering::Relaxed)
     }
 }
@@ -113,7 +121,7 @@ mod tests {
 
     #[test]
     fn exclusive_protects_a_counter() {
-        use std::sync::atomic::{AtomicU64, Ordering as O};
+        use bohm_sync::atomic::{AtomicU64, Ordering as O};
         let l = Arc::new(RwSpin::new());
         // Relaxed load+store is a data race *unless* the lock serializes the
         // critical sections — losing increments would expose a broken lock.
@@ -139,7 +147,7 @@ mod tests {
 
     #[test]
     fn readers_drain_before_writer_enters() {
-        use std::sync::atomic::{AtomicBool, Ordering as O};
+        use bohm_sync::atomic::{AtomicBool, Ordering as O};
         let l = Arc::new(RwSpin::new());
         let writer_in = Arc::new(AtomicBool::new(false));
         l.lock_shared();

@@ -199,7 +199,7 @@ mod tests {
         let t = Arc::new(LockTable::new(n));
         let balances = Arc::new(
             (0..n)
-                .map(|_| std::sync::atomic::AtomicU64::new(100))
+                .map(|_| bohm_sync::atomic::AtomicU64::new(100))
                 .collect::<Vec<_>>(),
         );
         let mut handles = Vec::new();
@@ -225,7 +225,7 @@ mod tests {
                     t.acquire_raw(&reqs);
                     // Move 1 unit a → c under the locks (Relaxed is fine:
                     // the locks provide the ordering).
-                    use std::sync::atomic::Ordering::Relaxed;
+                    use bohm_sync::atomic::Ordering::Relaxed;
                     let va = b[a as usize].load(Relaxed);
                     b[a as usize].store(va.wrapping_sub(1), Relaxed);
                     let vc = b[c as usize].load(Relaxed);
@@ -240,7 +240,7 @@ mod tests {
         // Balances may individually wrap below zero; the *wrapping* sum is
         // conserved exactly iff no increment was lost or duplicated.
         let sum = balances.iter().fold(0u64, |acc, a| {
-            acc.wrapping_add(a.load(std::sync::atomic::Ordering::SeqCst))
+            acc.wrapping_add(a.load(bohm_sync::atomic::Ordering::SeqCst))
         });
         assert_eq!(sum, 100 * n);
     }

@@ -9,10 +9,13 @@
 //! traverse under a `crossbeam_epoch` guard and perform no shared-memory
 //! writes whatsoever (paper §2.2, design goal 2).
 
+// HOT-PATH: install/visible run per write and per read of every
+// transaction; no clocks, no syscalls, no I/O (enforced by the lint).
+
 use crate::version::Version;
 use bohm_common::Timestamp;
+use bohm_sync::atomic::{AtomicU64, Ordering};
 use crossbeam_epoch::{Atomic, Guard, Owned, Shared};
-use std::sync::atomic::{AtomicU64, Ordering};
 
 /// The version chain of one record.
 ///
@@ -52,12 +55,15 @@ impl Chain {
     /// monotonic — see the field docs.
     #[inline]
     pub fn note_annotation(&self, ts: Timestamp) {
+        // RELAXED: single-writer monotonic watermark read only by the same
+        // CC thread's reclamation sweep; no payload is published through it.
         self.annotated_ts.store(ts, Ordering::Relaxed);
     }
 
     /// Largest timestamp ever passed to [`note_annotation`](Self::note_annotation).
     #[inline]
     pub fn annotated_ts(&self) -> Timestamp {
+        // RELAXED: same-thread read of the single-writer watermark above.
         self.annotated_ts.load(Ordering::Relaxed)
     }
 
@@ -68,6 +74,9 @@ impl Chain {
     /// the key's index entry can be retired outright.
     pub fn sole_tombstone(&self, guard: &Guard) -> Option<Timestamp> {
         let head = self.head.load(Ordering::Acquire, guard);
+        // SAFETY: `head` was loaded from the chain under `guard`; versions
+        // are unlinked before being deferred, so anything reachable here
+        // outlives the pin.
         let v = unsafe { head.as_ref() }?;
         if v.state() == crate::version::VersionState::Tombstone
             && v.prev.load(Ordering::Acquire, guard).is_null()
@@ -89,6 +98,8 @@ impl Chain {
     /// invariants (§3.2.2/§3.2.3); the monotonicity is debug-asserted.
     pub fn install<'g>(&self, version: Owned<Version>, guard: &'g Guard) -> Shared<'g, Version> {
         let old = self.head.load(Ordering::Acquire, guard);
+        // SAFETY: only the owning CC thread unlinks versions, and that is
+        // this thread — `old` cannot be retired while we hold it.
         if let Some(old_ref) = unsafe { old.as_ref() } {
             debug_assert!(
                 old_ref.begin() < version.begin(),
@@ -96,6 +107,9 @@ impl Chain {
             );
             old_ref.supersede(version.begin());
         }
+        // RELAXED: `version` is still thread-private (an `Owned`); the
+        // Release head store below publishes `prev` together with the rest
+        // of the version's fields.
         version.prev.store(old, Ordering::Relaxed);
         let shared = version.into_shared(guard);
         self.head.store(shared, Ordering::Release);
@@ -105,6 +119,8 @@ impl Chain {
     /// Latest version, if any.
     #[inline]
     pub fn latest<'g>(&self, guard: &'g Guard) -> Option<&'g Version> {
+        // SAFETY: loaded under `guard`; epoch reclamation defers the head's
+        // destruction past every live pin.
         unsafe { self.head.load(Ordering::Acquire, guard).as_ref() }
     }
 
@@ -120,6 +136,9 @@ impl Chain {
     pub fn visible<'g>(&self, ts: Timestamp, guard: &'g Guard) -> Option<&'g Version> {
         let mut cur = self.head.load(Ordering::Acquire, guard);
         loop {
+            // SAFETY: `cur` came from the head or a `prev` edge under
+            // `guard`; truncation unlinks before deferring destruction, so
+            // every pointer we can still reach stays live for this pin.
             let v = unsafe { cur.as_ref() }?;
             if v.begin() < ts {
                 // Ends decrease monotonically as we walk older versions, so
@@ -135,6 +154,7 @@ impl Chain {
     pub fn depth(&self, guard: &Guard) -> usize {
         let mut n = 0;
         let mut cur = self.head.load(Ordering::Acquire, guard);
+        // SAFETY: as in `visible` — reachable-under-guard pointers are live.
         while let Some(v) = unsafe { cur.as_ref() } {
             n += 1;
             cur = v.prev.load(Ordering::Acquire, guard);
@@ -157,11 +177,15 @@ impl Chain {
         // The head always has end = ∞, so the truncation point is strictly
         // below the head and `pred` is always valid.
         let head = self.head.load(Ordering::Acquire, guard);
+        // SAFETY: loaded under `guard`, and only this (owning) thread ever
+        // unlinks — the head is live.
         let Some(mut pred) = (unsafe { head.as_ref() }) else {
             return 0;
         };
         loop {
             let next = pred.prev.load(Ordering::Acquire, guard);
+            // SAFETY: still linked (we only unlink below, and no other
+            // thread truncates this chain), loaded under `guard`.
             let Some(v) = (unsafe { next.as_ref() }) else {
                 return 0;
             };
@@ -170,6 +194,8 @@ impl Chain {
                 pred.prev.store(Shared::null(), Ordering::Release);
                 let mut retired = 0;
                 let mut cur = next;
+                // SAFETY: the tail was just unlinked by its only writer;
+                // our own guard keeps the memory live while we walk it.
                 while let Some(vv) = unsafe { cur.as_ref() } {
                     let older = vv.prev.load(Ordering::Acquire, guard);
                     // SAFETY: the tail is unreachable from the head; any
@@ -192,8 +218,11 @@ impl Drop for Chain {
         // whole list eagerly.
         unsafe {
             let guard = crossbeam_epoch::unprotected();
+            // RELAXED: `&mut self` means this thread already synchronized
+            // with every past writer; no concurrent access exists.
             let mut cur = self.head.load(Ordering::Relaxed, guard);
             while let Some(v) = cur.as_ref() {
+                // RELAXED: same exclusive-access argument as the head load.
                 let prev = v.prev.load(Ordering::Relaxed, guard);
                 drop(cur.into_owned());
                 cur = prev;
@@ -306,6 +335,7 @@ mod tests {
         let g = epoch::pin();
         c.install(ready(100, 1), &g); // end=200 after delete
         let del = c.install(Owned::new(Version::placeholder(200, 8)), &g);
+        // SAFETY: `del` was just installed under `g` and nothing truncates.
         unsafe { del.as_ref() }.unwrap().fill_tombstone();
         // Deleted: readers above the tombstone observe it (absence).
         assert_eq!(
@@ -332,6 +362,7 @@ mod tests {
         c.install(ready(100, 1), &g);
         assert!(c.sole_tombstone(&g).is_none(), "live value");
         let del = c.install(Owned::new(Version::placeholder(200, 8)), &g);
+        // SAFETY: `del` was just installed under `g` and nothing truncates.
         unsafe { del.as_ref() }.unwrap().fill_tombstone();
         assert!(
             c.sole_tombstone(&g).is_none(),
@@ -367,7 +398,7 @@ mod tests {
 
     #[test]
     fn concurrent_readers_during_install_and_truncate() {
-        use std::sync::atomic::{AtomicBool, Ordering as O};
+        use bohm_sync::atomic::{AtomicBool, Ordering as O};
         use std::sync::Arc;
         let c = Arc::new(Chain::new());
         {

@@ -21,11 +21,14 @@
 //! caller's `Guard` and tie the returned chain borrow to it. The caller
 //! contract on `sweep_retire` restricts *who* may approve a reclamation.
 
+// HOT-PATH: every record access resolves its chain here; no clocks, no
+// syscalls, no I/O (enforced by the lint).
+
 use crate::chain::Chain;
 use bohm_common::{RecordId, TableId};
+use bohm_sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 use crossbeam_epoch::Guard;
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU8, AtomicUsize, Ordering};
 
 /// Common interface over the two index kinds.
 ///
@@ -144,6 +147,8 @@ impl HashIndex {
             let bi = (start + i) & (self.mask as usize);
             let stripe = &self.retire_locks[bi & (self.retire_locks.len() - 1)];
             if stripe
+                // RELAXED: failure-order only — a losing remover skips the
+                // stripe without reading anything it protects.
                 .compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed)
                 .is_err()
             {
@@ -170,10 +175,13 @@ impl HashIndex {
                                 continue 'restart;
                             }
                         } else {
-                            // Mid-list: pred is stable (stripe-locked
-                            // removers; inserters only touch the head).
+                            // SAFETY: mid-list `pred` is stable — removers
+                            // hold the stripe lock and inserters only touch
+                            // the head — and it is live under our pin.
                             unsafe { &*pred }.next.store(next, Ordering::Release);
                         }
+                        // RELAXED: `len` is an approximate size gauge; no
+                        // payload is published through it.
                         self.len.fetch_sub(1, Ordering::Relaxed);
                         retired += 1;
                         // SAFETY: unlinked; traversals that still hold a
@@ -245,6 +253,8 @@ impl VersionIndex for HashIndex {
             // stays correct without that assumption.)
             let mut cur = head;
             while !cur.is_null() {
+                // SAFETY: reachable from the bucket head loaded above;
+                // removers defer frees past our epoch pin.
                 let e = unsafe { &*cur };
                 if e.rid == rid {
                     // SAFETY: `new` was never published.
@@ -253,10 +263,17 @@ impl VersionIndex for HashIndex {
                 }
                 cur = e.next.load(Ordering::Acquire);
             }
+            // SAFETY: `new` is a live allocation we exclusively own until
+            // the CAS below publishes it.
+            // RELAXED: unpublished store; the Release CAS publishes `next`
+            // together with the entry.
             unsafe { &*new }.next.store(head, Ordering::Relaxed);
             match bucket.compare_exchange(head, new, Ordering::Release, Ordering::Acquire) {
                 Ok(_) => {
+                    // RELAXED: approximate size gauge, as in `retire_scan`.
                     self.len.fetch_add(1, Ordering::Relaxed);
+                    // SAFETY: just published by this thread; entries are
+                    // never freed while the index is externally reachable.
                     return &unsafe { &*new }.chain;
                 }
                 Err(_) => {
@@ -268,6 +285,7 @@ impl VersionIndex for HashIndex {
     }
 
     fn len(&self) -> usize {
+        // RELAXED: racy gauge by design; callers use it for sizing hints.
         self.len.load(Ordering::Relaxed)
     }
 }
@@ -275,10 +293,12 @@ impl VersionIndex for HashIndex {
 impl Drop for HashIndex {
     fn drop(&mut self) {
         for b in self.buckets.iter() {
+            // RELAXED: `&mut self` in Drop proves exclusive access.
             let mut cur = b.load(Ordering::Relaxed);
             while !cur.is_null() {
                 // SAFETY: exclusive access via &mut self.
                 let e = unsafe { Box::from_raw(cur) };
+                // RELAXED: as above — no concurrency in Drop.
                 cur = e.next.load(Ordering::Relaxed);
             }
         }
@@ -477,7 +497,7 @@ mod tests {
 
     #[test]
     fn sweep_retire_races_concurrent_inserts_safely() {
-        use std::sync::atomic::AtomicBool;
+        use bohm_sync::atomic::AtomicBool;
         use std::sync::Arc;
         // One sweeper retires key 0's entries while other threads insert
         // distinct keys into the same (tiny) bucket space: no key other

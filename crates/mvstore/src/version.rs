@@ -11,9 +11,9 @@
 //! window.
 
 use bohm_common::{Timestamp, INFINITY_TS};
+use bohm_sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use crossbeam_epoch::Atomic;
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
 /// Lifecycle of a version's payload.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -61,6 +61,7 @@ pub struct Version {
 // publication via the `state` release/acquire edge. All other fields are
 // atomics or immutable.
 unsafe impl Send for Version {}
+// SAFETY: same argument as `Send` above.
 unsafe impl Sync for Version {}
 
 impl Version {
@@ -104,6 +105,8 @@ impl Version {
     /// timestamp to 200").
     #[inline]
     pub(crate) fn supersede(&self, end: Timestamp) {
+        // RELAXED: debug-only sanity probe; release builds elide it and
+        // correctness never hangs off this load.
         debug_assert_eq!(self.end.load(Ordering::Relaxed), INFINITY_TS);
         debug_assert!(end > self.begin);
         self.end.store(end, Ordering::Release);
@@ -144,6 +147,8 @@ impl Version {
     /// the transaction whose timestamp equals `self.begin()`.
     pub fn fill(&self, src: &[u8]) {
         debug_assert_eq!(
+            // RELAXED: debug-only probe by the sole producer; not a sync
+            // edge and elided in release builds.
             self.state.load(Ordering::Relaxed),
             VersionState::Pending as u32
         );
@@ -160,6 +165,8 @@ impl Version {
     /// producer computes directly into the version (avoids a copy).
     pub fn fill_with(&self, f: impl FnOnce(&mut [u8])) {
         debug_assert_eq!(
+            // RELAXED: debug-only probe by the sole producer; not a sync
+            // edge and elided in release builds.
             self.state.load(Ordering::Relaxed),
             VersionState::Pending as u32
         );
@@ -188,12 +195,17 @@ impl Version {
     /// The previous (older) version, if still linked.
     #[inline]
     pub fn prev<'g>(&self, guard: &'g crossbeam_epoch::Guard) -> Option<&'g Version> {
+        // SAFETY: `prev` edges are only unlinked by the owning CC thread's
+        // truncate, which defers destruction — anything loaded under
+        // `guard` stays live for the guard's lifetime.
         unsafe { self.prev.load(Ordering::Acquire, guard).as_ref() }
     }
 
     /// Publish this placeholder as a deletion tombstone.
     pub fn fill_tombstone(&self) {
         debug_assert_eq!(
+            // RELAXED: debug-only probe by the sole producer; not a sync
+            // edge and elided in release builds.
             self.state.load(Ordering::Relaxed),
             VersionState::Pending as u32
         );
@@ -235,6 +247,7 @@ impl std::fmt::Debug for Version {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Version")
             .field("begin", &self.begin)
+            // RELAXED: diagnostic snapshot; Debug output is allowed to race.
             .field("end", &self.end.load(Ordering::Relaxed))
             .field("state", &self.state())
             .finish()
@@ -300,7 +313,7 @@ mod tests {
 
     #[test]
     fn concurrent_readers_see_published_fill() {
-        use std::sync::atomic::AtomicBool;
+        use bohm_sync::atomic::AtomicBool;
         use std::sync::Arc;
         let v = Arc::new(Version::placeholder(1, 8));
         let stop = Arc::new(AtomicBool::new(false));

@@ -23,7 +23,7 @@
 use bohm_common::engine::{Engine, ExecOutcome};
 use bohm_common::{AbortReason, Access, RecordId, Txn};
 use bohm_svstore::{SingleVersionStore, StoreBuilder};
-use std::sync::atomic::{fence, AtomicU64, Ordering};
+use bohm_sync::atomic::{fence, AtomicU64, Ordering};
 
 /// Lock bit of the TID word.
 const LOCK: u64 = 1 << 63;
@@ -303,6 +303,8 @@ impl SiloOcc {
         for &i in &w.lock_order {
             let meta = self.meta(w.wentries[i].rid);
             loop {
+                // RELAXED: optimistic probe; the Acquire CAS below is the
+                // edge that takes the lock bit.
                 let cur = meta.load(Ordering::Relaxed);
                 if cur & LOCK == 0
                     && meta
@@ -310,6 +312,7 @@ impl SiloOcc {
                             cur,
                             cur | LOCK,
                             Ordering::Acquire,
+                            // RELAXED: failure-order only — retry path.
                             Ordering::Relaxed,
                         )
                         .is_ok()
@@ -761,7 +764,7 @@ mod tests {
         let e = Arc::new(SiloOcc::from_builder(b));
         let window: Vec<RecordId> = (0..8).map(|r| RecordId::new(1, r)).collect();
         let fp_full = range_audit_fingerprint(8, 0);
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop = Arc::new(bohm_sync::atomic::AtomicBool::new(false));
         let writer = {
             let e = Arc::clone(&e);
             let stop = Arc::clone(&stop);
@@ -828,7 +831,7 @@ mod tests {
             .wrapping_add(ABSENT_FINGERPRINT);
         let c9 = bohm_common::value::checksum(&bohm_common::value::of_u64(9, 8));
         let fp_present = c9.wrapping_mul(31).wrapping_add(c9);
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop = Arc::new(bohm_sync::atomic::AtomicBool::new(false));
         let writer = {
             let e = Arc::clone(&e);
             let stop = Arc::clone(&stop);
@@ -886,7 +889,7 @@ mod tests {
             let t = Txn::new(vec![], rids, Procedure::BlindWrite { value: 0 });
             assert!(e.execute(&t, &mut w).committed);
         }
-        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let stop = Arc::new(bohm_sync::atomic::AtomicBool::new(false));
         let writer = {
             let e = Arc::clone(&e);
             let stop = Arc::clone(&stop);

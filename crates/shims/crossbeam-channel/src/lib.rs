@@ -87,6 +87,8 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
+        // RELAXED: refcount increment from an existing handle (same
+        // argument as Arc::clone); the mutex in drop orders the decrement.
         self.chan.senders.fetch_add(1, Ordering::Relaxed);
         Self {
             chan: Arc::clone(&self.chan),
@@ -133,6 +135,7 @@ impl<T> Receiver<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
+        // RELAXED: refcount increment, as for `Sender`.
         self.chan.receivers.fetch_add(1, Ordering::Relaxed);
         Self {
             chan: Arc::clone(&self.chan),

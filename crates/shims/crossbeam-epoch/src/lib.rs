@@ -15,11 +15,12 @@
 //! auditability, not cycle counts — pins are one uncontended store plus a
 //! re-check load, which is what the BOHM hot paths need.
 
+use bohm_sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use bohm_sync::Mutex;
 use std::cell::Cell;
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::OnceLock;
 
 // ---------------------------------------------------------------------------
 // Global collector state
@@ -69,10 +70,7 @@ impl Global {
     fn try_advance(&self) {
         let e = self.epoch.load(Ordering::SeqCst);
         {
-            let mut parts = self
-                .participants
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
+            let mut parts = self.participants.lock();
             // Drop entries of exited threads while we hold the lock anyway.
             parts.retain(|p| p.status.load(Ordering::SeqCst) != DEPARTED);
             for p in parts.iter() {
@@ -93,9 +91,7 @@ impl Global {
         // pinned can reach it (see module docs). Take it out under the lock,
         // run the frees outside.
         let drained: Vec<Deferred> = {
-            let mut bin = self.bins[((e + 1) % BINS as u64) as usize]
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner);
+            let mut bin = self.bins[((e + 1) % BINS as u64) as usize].lock();
             std::mem::take(&mut *bin)
         };
         for d in drained {
@@ -105,10 +101,9 @@ impl Global {
 
     fn defer(&self, d: Deferred) {
         let e = self.epoch.load(Ordering::SeqCst);
-        self.bins[(e % BINS as u64) as usize]
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(d);
+        self.bins[(e % BINS as u64) as usize].lock().push(d);
+        // RELAXED: heuristic pacing counter for collection; correctness
+        // never depends on when `try_advance` fires, only that it does.
         if self.defers.fetch_add(1, Ordering::Relaxed) % ADVANCE_EVERY == ADVANCE_EVERY - 1 {
             self.try_advance();
         }
@@ -135,11 +130,7 @@ impl Handle {
         let participant: &'static Participant = Box::leak(Box::new(Participant {
             status: AtomicU64::new(UNPINNED),
         }));
-        global()
-            .participants
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .push(participant);
+        global().participants.lock().push(participant);
         Self {
             participant,
             depth: Cell::new(0),
@@ -404,7 +395,10 @@ mod tests {
     fn owned_into_shared_roundtrip() {
         let g = pin();
         let s = Owned::new(41usize).into_shared(&g);
+        // SAFETY: `s` was just created from an `Owned` and never shared
+        // with another thread; reading and reclaiming it here is exclusive.
         assert_eq!(unsafe { s.as_ref() }, Some(&41));
+        // SAFETY: as above — exclusive ownership.
         drop(unsafe { s.into_owned() });
     }
 
@@ -416,7 +410,10 @@ mod tests {
         let s = Owned::new(7u32).into_shared(&g);
         a.store(s, Ordering::Release);
         let got = a.load(Ordering::Acquire, &g);
+        // SAFETY: this thread is the only one touching `a`; the pointer is
+        // live and uniquely owned, so deref + take-ownership are sound.
         assert_eq!(unsafe { got.as_ref() }, Some(&7));
+        // SAFETY: as above — exclusive ownership.
         drop(unsafe { got.into_owned() });
     }
 
@@ -432,12 +429,16 @@ mod tests {
         {
             let g = pin();
             let s = Owned::new(Counts).into_shared(&g);
+            // SAFETY: `s` is unlinked (never published); no later reader
+            // can reach it, so deferred destruction is sound.
             unsafe { g.defer_destroy(s) };
         }
         // Drive the collector: repeated pin/defer cycles must eventually
         // advance the epoch twice and run the free.
         for _ in 0..10 * ADVANCE_EVERY {
             let g = pin();
+            // SAFETY: the closure captures nothing and touches no shared
+            // state; running it at any later point is trivially sound.
             unsafe { g.defer_unchecked(|| ()) };
             drop(g);
             global().try_advance();
@@ -459,6 +460,7 @@ mod tests {
         }
         let outer = pin();
         let s = Owned::new(Flag).into_shared(&outer);
+        // SAFETY: `s` was never published; nothing else can reach it.
         unsafe { outer.defer_destroy(s) };
         // Hammer the collector from another thread; the outer pin must hold
         // the free back the whole time.
@@ -467,6 +469,7 @@ mod tests {
         let t = std::thread::spawn(move || {
             while stop2.load(Ordering::SeqCst) == 0 {
                 let g = pin();
+                // SAFETY: empty closure; sound to run whenever.
                 unsafe { g.defer_unchecked(|| ()) };
                 drop(g);
                 global().try_advance();
@@ -482,7 +485,11 @@ mod tests {
     #[test]
     fn unprotected_defers_immediately() {
         static FREED: AtomicUsize = AtomicUsize::new(0);
+        // SAFETY: this test is single-threaded, so no other participant
+        // can be inside a critical section — `unprotected` is sound, and
+        // the deferred closure only touches a static counter.
         let g = unsafe { unprotected() };
+        // SAFETY: unprotected guards run deferred work inline; see above.
         unsafe {
             g.defer_unchecked(|| {
                 FREED.fetch_add(1, Ordering::SeqCst);
@@ -509,6 +516,8 @@ mod tests {
                     val: i,
                     next: Atomic::null(),
                 });
+                // RELAXED: `n` is still thread-private; the Release store
+                // of `head` below publishes `next` with it.
                 n.next
                     .store(head.load(Ordering::Acquire, &g), Ordering::Relaxed);
                 let s = n.into_shared(&g);
@@ -525,6 +534,8 @@ mod tests {
                     let g = pin();
                     let mut cur = head.load(Ordering::Acquire, &g);
                     let mut last = u64::MAX;
+                    // SAFETY: nodes reachable from `head` under a pin are
+                    // not freed until two epochs after being unlinked.
                     while let Some(n) = unsafe { cur.as_ref() } {
                         // Values strictly decrease toward the tail.
                         assert!(n.val < last);
@@ -539,10 +550,14 @@ mod tests {
         while popped < 1_000 {
             let g = pin();
             let top = head.load(Ordering::Acquire, &g);
+            // SAFETY: this is the only thread that unlinks, so `top` is
+            // still linked and live under our pin.
             let Some(n) = (unsafe { top.as_ref() }) else {
                 break;
             };
             head.store(n.next.load(Ordering::Acquire, &g), Ordering::Release);
+            // SAFETY: `top` was just unlinked by its sole writer; readers
+            // that still hold it are pinned, which defers the free.
             unsafe { g.defer_destroy(top) };
             popped += 1;
         }

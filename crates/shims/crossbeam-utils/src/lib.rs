@@ -62,8 +62,14 @@ impl Backoff {
 
     /// Spin-only backoff (for lock-free retries that are about to succeed).
     pub fn spin(&self) {
+        // Under the model checker one scheduling point replaces the whole
+        // pause burst: burning 2^step virtual steps would only shrink the
+        // schedules a bounded exploration can reach.
+        #[cfg(bohm_modelcheck)]
+        bohm_sync::hint::spin_loop();
+        #[cfg(not(bohm_modelcheck))]
         for _ in 0..1u32 << self.step.get().min(SPIN_LIMIT) {
-            std::hint::spin_loop();
+            bohm_sync::hint::spin_loop();
         }
         if self.step.get() <= SPIN_LIMIT {
             self.step.set(self.step.get() + 1);
@@ -72,12 +78,15 @@ impl Backoff {
 
     /// Spin first, then yield the thread (for blocking-ish waits).
     pub fn snooze(&self) {
+        #[cfg(bohm_modelcheck)]
+        bohm_sync::thread::yield_now();
+        #[cfg(not(bohm_modelcheck))]
         if self.step.get() <= SPIN_LIMIT {
             for _ in 0..1u32 << self.step.get() {
-                std::hint::spin_loop();
+                bohm_sync::hint::spin_loop();
             }
         } else {
-            std::thread::yield_now();
+            bohm_sync::thread::yield_now();
         }
         if self.step.get() <= YIELD_LIMIT {
             self.step.set(self.step.get() + 1);

@@ -1,7 +1,10 @@
 //! One table: a contiguous slab of fixed-size records plus metadata words.
 
+// HOT-PATH: record reads/writes of every single-version transaction land
+// here; no clocks, no syscalls, no I/O (enforced by the lint).
+
+use bohm_sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::cell::UnsafeCell;
-use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 /// A fixed-capacity table of `rows` record slots, each `record_size` bytes,
 /// with one atomic metadata word per record.
@@ -35,6 +38,7 @@ pub struct Table {
 // documented on the unsafe accessors (engines serialize writers via the
 // metadata word or external locks).
 unsafe impl Send for Table {}
+// SAFETY: same caller-protocol argument as `Send` above.
 unsafe impl Sync for Table {}
 
 impl Table {
@@ -54,6 +58,8 @@ impl Table {
         let mut present = Vec::with_capacity(rows);
         present.resize_with(rows, || AtomicU8::new(0));
         for p in present.iter().take(seeded) {
+            // RELAXED: the table is still thread-private during
+            // construction; callers publish it when they share it.
             p.store(1, Ordering::Relaxed);
         }
         let mut data = Vec::with_capacity(rows * record_size);
@@ -86,8 +92,12 @@ impl Table {
     /// line (readers of ~64 neighbouring rows share it via `is_present`).
     #[inline]
     pub fn mark_present(&self, row: usize) {
+        // RELAXED: the caller holds the row exclusively (see above), so
+        // this load cannot race another writer of the flag; racing readers
+        // re-validate through their engine's own edge.
         if self.present[row].load(Ordering::Relaxed) == 0 {
             self.present[row].store(1, Ordering::Release);
+            // RELAXED: racy occupancy gauge; exact only at quiescence.
             self.present_count.fetch_add(1, Ordering::Relaxed);
         }
     }
@@ -98,8 +108,10 @@ impl Table {
     /// immediately reusable by a later insert.
     #[inline]
     pub fn clear_present(&self, row: usize) {
+        // RELAXED: exclusive-writer contract, as in `mark_present`.
         if self.present[row].load(Ordering::Relaxed) != 0 {
             self.present[row].store(0, Ordering::Release);
+            // RELAXED: racy occupancy gauge; exact only at quiescence.
             self.present_count.fetch_sub(1, Ordering::Relaxed);
         }
     }
@@ -173,7 +185,12 @@ impl Table {
     #[inline]
     fn base(&self, row: usize) -> *const u8 {
         assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
-        self.data[row * self.record_size].get()
+        // Derive the record pointer from the whole `data` slice, not from
+        // one indexed element: `self.data[i].get()` would carry provenance
+        // for a single byte, making the record-sized slices built on top
+        // of it UB. `UnsafeCell<u8>` is repr(transparent) over `u8`.
+        // SAFETY: the bounds assert above keeps the offset inside `data`.
+        unsafe { (self.data.as_ptr() as *const u8).add(row * self.record_size) }
     }
 }
 
@@ -185,15 +202,17 @@ mod tests {
     #[test]
     fn zero_initialized() {
         let t = Table::new(4, 16);
+        // SAFETY: single-threaded test — no concurrent writer exists.
         unsafe {
             t.read(3, &mut |b| assert!(b.iter().all(|&x| x == 0)));
         }
-        assert_eq!(t.meta(0).load(std::sync::atomic::Ordering::Relaxed), 0);
+        assert_eq!(t.meta(0).load(bohm_sync::atomic::Ordering::Relaxed), 0);
     }
 
     #[test]
     fn write_then_read_roundtrip() {
         let t = Table::new(8, 8);
+        // SAFETY: single-threaded test — this thread is the only accessor.
         unsafe {
             t.write(5, &42u64.to_le_bytes());
             t.read(5, &mut |b| assert_eq!(get_u64(b, 0), 42));
@@ -206,6 +225,7 @@ mod tests {
     #[test]
     fn with_mut_updates_in_place() {
         let t = Table::new(2, 16);
+        // SAFETY: single-threaded test — exclusive access is trivial.
         unsafe {
             t.with_mut(1, &mut |b| put_u64(b, 8, 7));
             t.read(1, &mut |b| {
@@ -219,7 +239,27 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn bounds_checked() {
         let t = Table::new(2, 8);
+        // SAFETY: single-threaded; the call panics on bounds, not UB.
         unsafe { t.read(2, &mut |_| {}) };
+    }
+
+    // Regression: `base()` must carry provenance for the whole record, not
+    // just its first byte — a full-width write/readback through the last
+    // row exercises every byte the derived pointer must be allowed to see.
+    #[test]
+    fn full_record_roundtrip_at_the_last_row() {
+        let t = Table::new(3, 24);
+        let pattern: Vec<u8> = (0..24).map(|i| 0xA0 ^ i as u8).collect();
+        // SAFETY: single-threaded test — exclusive access is trivial.
+        unsafe {
+            t.write(2, &pattern);
+            t.read(2, &mut |b| assert_eq!(b, &pattern[..]));
+            t.with_mut(2, &mut |b| b[23] = 0xFF);
+            t.read(2, &mut |b| {
+                assert_eq!(b[23], 0xFF);
+                assert_eq!(&b[..23], &pattern[..23]);
+            });
+        }
     }
 
     #[test]
@@ -265,8 +305,8 @@ mod tests {
     #[test]
     fn meta_words_are_independent() {
         let t = Table::new(3, 8);
-        t.meta(1).store(9, std::sync::atomic::Ordering::Relaxed);
-        assert_eq!(t.meta(0).load(std::sync::atomic::Ordering::Relaxed), 0);
-        assert_eq!(t.meta(1).load(std::sync::atomic::Ordering::Relaxed), 9);
+        t.meta(1).store(9, bohm_sync::atomic::Ordering::Relaxed);
+        assert_eq!(t.meta(0).load(bohm_sync::atomic::Ordering::Relaxed), 0);
+        assert_eq!(t.meta(1).load(bohm_sync::atomic::Ordering::Relaxed), 9);
     }
 }

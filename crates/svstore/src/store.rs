@@ -205,6 +205,7 @@ mod tests {
         assert_eq!(s.table_sum(1), 10 + 11, "absent slots don't contribute");
         // Insert into a spare slot (builder-side shortcut for the test).
         let table = s.table(RecordId::new(1, 4));
+        // SAFETY: single-threaded test — exclusive access is trivial.
         unsafe { table.write(4, &7u64.to_le_bytes()) };
         table.mark_present(4);
         assert_eq!(s.row_count(1), 3);
@@ -217,6 +218,7 @@ mod tests {
         let t = b.add_table(4, 8);
         b.seed_u64(t, |row| row * 100);
         let s = b.build();
+        // SAFETY: single-threaded test — no concurrent writer exists.
         unsafe {
             s.table(RecordId::new(0, 3))
                 .read(3, &mut |bytes| assert_eq!(get_u64(bytes, 0), 300));

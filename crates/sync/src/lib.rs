@@ -1,0 +1,48 @@
+//! The workspace's synchronization facade.
+//!
+//! Every sync-critical crate in this workspace imports its atomics, mutexes,
+//! condvars and spin/yield hints from here instead of `std::sync` /
+//! `parking_lot` (an invariant enforced by `cargo run -p analysis --
+//! --check`). The facade has two personalities:
+//!
+//! * **Normal builds** — pure re-exports. [`atomic`] is
+//!   `std::sync::atomic`, [`Mutex`]/[`Condvar`]/[`RwLock`] are the
+//!   `parking_lot` types the workspace already used, [`hint::spin_loop`] is
+//!   `std::hint::spin_loop`. Zero code, zero cost: the facade compiles away
+//!   completely (the perf gate holds `fig_tpcc` to this).
+//!
+//! * **`--cfg bohm_modelcheck` builds** (`RUSTFLAGS="--cfg bohm_modelcheck"`)
+//!   — every load, store, RMW, lock, unlock, wait and notify becomes a
+//!   *scheduling point* of a deterministic controlled scheduler, and the
+//!   runtime carries a vector-clock happens-before tracker that flags data
+//!   races on [`cell::UnsafeCell`] payloads whose accesses are not ordered
+//!   by the synchronization actually present in the execution. See
+//!   [`model`] for the harness API (seeded PCT-style and random scheduling,
+//!   exhaustive small-bound DFS, replayable seeds).
+//!
+//! Outside an active [`model::run`] execution the instrumented types fall
+//! back to the real primitives, so a `--cfg bohm_modelcheck` build still
+//! runs the ordinary test suites correctly (just slower).
+//!
+//! # Facade rules (the short version)
+//!
+//! * Import `bohm_sync::atomic::*`, never `std::sync::atomic` — the lint
+//!   gate fails the tree otherwise (shims and this crate excepted).
+//! * `Ordering::Relaxed` on a sync-critical atomic needs a `// RELAXED:`
+//!   justification comment; stronger orderings don't.
+//! * Structures that want model-checkable payload-race detection store
+//!   shared plain data in [`cell::UnsafeCell`] and access it through
+//!   [`cell::UnsafeCell::with`] / [`cell::UnsafeCell::with_mut`].
+
+#[cfg(not(bohm_modelcheck))]
+mod real;
+#[cfg(not(bohm_modelcheck))]
+pub use real::*;
+
+#[cfg(bohm_modelcheck)]
+mod model_impl;
+#[cfg(bohm_modelcheck)]
+pub use model_impl::*;
+
+#[cfg(bohm_modelcheck)]
+pub mod selftest;

@@ -1,0 +1,114 @@
+//! The harness-facing model-check API (`bohm_sync::model`).
+//!
+//! * [`run`] — one controlled execution of a closure under a given seed.
+//! * [`explore`] — a bounded sweep of seeds (PCT or random scheduling);
+//!   `BOHM_MODEL_SEEDS` overrides the count, `BOHM_MODEL_SEED` pins a
+//!   single seed for replaying a reported failure.
+//! * [`exhaustive`] — systematic DFS over every scheduling decision, for
+//!   small self-contained models; `BOHM_MODEL_EXECS` overrides the
+//!   execution cap.
+//!
+//! Any failure (data race, deadlock, budget overrun, harness panic)
+//! panics with the seed in the message and prints a
+//! `BOHM_MODEL_SEED=<n>` replay hint on stderr.
+
+use super::rt;
+use super::rt::Mode;
+
+/// Summary of one controlled execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Execution {
+    /// FNV fingerprint of every scheduling decision taken. Two executions
+    /// of the same harness with the same seed must produce the same
+    /// fingerprint — that is the determinism contract.
+    pub fingerprint: u64,
+    /// Scheduling points executed.
+    pub steps: u64,
+}
+
+/// Exploration options.
+#[derive(Debug, Clone, Copy)]
+pub struct Options {
+    /// Seeds to explore ([`explore`]) or execution cap ([`exhaustive`]).
+    pub seeds: u64,
+    /// First seed for [`explore`].
+    pub start_seed: u64,
+    /// Per-execution scheduling-point budget (exceeding it fails the
+    /// execution as a livelock).
+    pub max_steps: u64,
+    /// Use uniformly random scheduling instead of PCT priorities.
+    pub random: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            seeds: 64,
+            start_seed: 1,
+            max_steps: 50_000,
+            random: false,
+        }
+    }
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Run `f` once under the controlled scheduler with `seed`.
+pub fn run(seed: u64, f: impl FnOnce()) -> Execution {
+    let out = rt::run_one(seed, Mode::Pct, Options::default().max_steps, Vec::new(), f);
+    Execution {
+        fingerprint: out.fingerprint,
+        steps: out.steps,
+    }
+}
+
+/// Run `f` under every seed in the configured range.
+pub fn explore(opts: Options, f: impl Fn()) {
+    let mode = if opts.random { Mode::Random } else { Mode::Pct };
+    if let Some(seed) = env_u64("BOHM_MODEL_SEED") {
+        rt::run_one(seed, mode, opts.max_steps, Vec::new(), &f);
+        return;
+    }
+    let seeds = env_u64("BOHM_MODEL_SEEDS").unwrap_or(opts.seeds);
+    for i in 0..seeds {
+        rt::run_one(opts.start_seed + i, mode, opts.max_steps, Vec::new(), &f);
+    }
+}
+
+/// Systematically enumerate scheduling decisions depth-first, re-running
+/// `f` once per distinct schedule until the space is exhausted or the
+/// execution cap (`opts.seeds`, or `BOHM_MODEL_EXECS`) is hit. Returns the
+/// number of executions run.
+///
+/// Only suitable for *self-contained* models (no state shared across
+/// executions, e.g. via the global epoch collector): DFS replays decision
+/// prefixes, which requires each execution to be a pure function of its
+/// schedule.
+pub fn exhaustive(opts: Options, f: impl Fn()) -> u64 {
+    let cap = env_u64("BOHM_MODEL_EXECS").unwrap_or(opts.seeds);
+    let mut prefix: Vec<u8> = Vec::new();
+    let mut execs = 0u64;
+    loop {
+        let out = rt::run_one(0, Mode::Dfs, opts.max_steps, prefix.clone(), &f);
+        execs += 1;
+        if execs >= cap {
+            return execs;
+        }
+        // Advance to the next schedule: bump the deepest decision that
+        // still has an unexplored branch, dropping everything below it.
+        let mut choices = out.choices;
+        loop {
+            match choices.pop() {
+                Some((n, c)) if c + 1 < n => {
+                    choices.push((n, c + 1));
+                    break;
+                }
+                Some(_) => continue,
+                None => return execs,
+            }
+        }
+        prefix = choices.iter().map(|&(_, c)| c).collect();
+    }
+}

@@ -1,0 +1,82 @@
+//! Tracked interior-mutability cell: the race detector's probe points.
+//!
+//! Accesses through [`UnsafeCell::with`] / [`UnsafeCell::with_mut`] are
+//! recorded FastTrack-style (last write + current read set, with caller
+//! source locations) and checked against the accessor's vector clock; a
+//! conflicting pair with no happens-before path fails the execution with
+//! both locations and the replay seed.
+
+use std::panic::Location;
+use std::sync::Mutex as StdMutex;
+
+use super::rt;
+use super::rt::CellMeta;
+
+/// Interior-mutable storage whose accesses the model checker audits.
+pub struct UnsafeCell<T: ?Sized> {
+    meta: StdMutex<CellMeta>,
+    v: std::cell::UnsafeCell<T>,
+}
+
+impl<T> UnsafeCell<T> {
+    /// Wrap a value.
+    pub const fn new(value: T) -> Self {
+        Self {
+            meta: StdMutex::new(CellMeta::new()),
+            v: std::cell::UnsafeCell::new(value),
+        }
+    }
+
+    /// Unwrap the value.
+    pub fn into_inner(self) -> T {
+        self.v.into_inner()
+    }
+}
+
+impl<T: ?Sized> UnsafeCell<T> {
+    /// Raw pointer to the payload (untracked escape hatch — prefer
+    /// [`with`](Self::with) / [`with_mut`](Self::with_mut), which the race
+    /// detector sees).
+    pub const fn get(&self) -> *mut T {
+        self.v.get()
+    }
+
+    /// Run `f` on a shared-read pointer to the payload; recorded as a
+    /// *read access* for race detection.
+    ///
+    /// # Safety
+    ///
+    /// Callers uphold the usual `UnsafeCell` aliasing contract: no
+    /// concurrent mutable access for the duration of `f`.
+    #[track_caller]
+    pub unsafe fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+        rt::yield_point();
+        rt::cell_access(&self.meta, false, Location::caller());
+        f(self.v.get())
+    }
+
+    /// Run `f` on an exclusive pointer to the payload; recorded as a
+    /// *write access* for race detection.
+    ///
+    /// # Safety
+    ///
+    /// Callers uphold the usual `UnsafeCell` aliasing contract: no
+    /// concurrent access of any kind for the duration of `f`.
+    #[track_caller]
+    pub unsafe fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+        rt::yield_point();
+        rt::cell_access(&self.meta, true, Location::caller());
+        f(self.v.get())
+    }
+
+    /// Exclusive access through an exclusive reference (always safe).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.v.get_mut()
+    }
+}
+
+impl<T: Default> Default for UnsafeCell<T> {
+    fn default() -> Self {
+        Self::new(T::default())
+    }
+}

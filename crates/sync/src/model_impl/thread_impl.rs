@@ -1,0 +1,82 @@
+//! Model-aware thread spawning and joining.
+//!
+//! A thread spawned *from a model thread* becomes part of the controlled
+//! execution: it is a real OS thread, but it parks immediately and runs
+//! only when the scheduler hands it the token. Spawns from ordinary
+//! threads pass straight through to `std::thread`.
+
+use std::panic::AssertUnwindSafe;
+
+use super::rt;
+
+/// Join handle mirroring [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<T>,
+    tid: Option<usize>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish, returning its result. On a model
+    /// thread this is a blocking scheduling point that joins the child's
+    /// final vector clock (join is an acquire of everything the child did).
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(t) = self.tid {
+            rt::join_thread(t);
+        }
+        self.inner.join()
+    }
+
+    /// Whether the thread has finished.
+    pub fn is_finished(&self) -> bool {
+        self.inner.is_finished()
+    }
+}
+
+/// Spawn a thread; registered with the scheduler when the caller is a
+/// model thread (see module docs).
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    // yield_point validates (and clears, if stale) the thread-local
+    // registration, so a Some() below is from the live execution.
+    rt::yield_point();
+    if let Some((_, me)) = rt::current() {
+        let (gen, tid, parker) = rt::register_child(me);
+        let inner = std::thread::spawn(move || {
+            rt::child_start(gen, tid, &parker);
+            let r = std::panic::catch_unwind(AssertUnwindSafe(f));
+            match r {
+                Ok(v) => {
+                    rt::finish_thread(gen, tid, None);
+                    v
+                }
+                Err(p) => {
+                    rt::finish_thread(gen, tid, Some(rt::panic_msg(p.as_ref())));
+                    std::panic::resume_unwind(p)
+                }
+            }
+        });
+        JoinHandle {
+            inner,
+            tid: Some(tid),
+        }
+    } else {
+        JoinHandle {
+            inner: std::thread::spawn(f),
+            tid: None,
+        }
+    }
+}
+
+/// Yield: deprioritizes the calling model thread (PCT treats an explicit
+/// yield as "someone else should run"), plain `yield_now` otherwise.
+pub fn yield_now() {
+    if rt::on_model_thread() {
+        rt::deprioritize_current();
+        rt::yield_point();
+    } else {
+        std::thread::yield_now();
+    }
+}

@@ -1,0 +1,148 @@
+//! Normal-build personality: nothing but re-exports.
+//!
+//! Every item here must stay API-compatible with the instrumented twins in
+//! `model_impl` — code written against the facade compiles identically under
+//! both personalities.
+
+pub use parking_lot::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
+
+/// `std::sync::atomic`, verbatim.
+pub mod atomic {
+    pub use std::sync::atomic::{
+        fence, AtomicBool, AtomicI64, AtomicPtr, AtomicU32, AtomicU64, AtomicU8, AtomicUsize,
+        Ordering,
+    };
+}
+
+/// Spin hints (`std::hint`, verbatim).
+pub mod hint {
+    pub use std::hint::spin_loop;
+}
+
+/// Thread spawning and yielding (`std::thread`, verbatim).
+pub mod thread {
+    pub use std::thread::{spawn, yield_now, JoinHandle};
+}
+
+/// Shared mutable payload cell.
+///
+/// In normal builds this is a transparent wrapper over
+/// [`std::cell::UnsafeCell`]; under `--cfg bohm_modelcheck` the tracked
+/// accessors feed the vector-clock race detector.
+pub mod cell {
+    /// Interior-mutable storage whose accesses the model checker audits.
+    #[repr(transparent)]
+    #[derive(Default)]
+    pub struct UnsafeCell<T: ?Sized>(std::cell::UnsafeCell<T>);
+
+    impl<T> UnsafeCell<T> {
+        /// Wrap a value.
+        pub const fn new(value: T) -> Self {
+            Self(std::cell::UnsafeCell::new(value))
+        }
+
+        /// Unwrap the value.
+        pub fn into_inner(self) -> T {
+            self.0.into_inner()
+        }
+    }
+
+    impl<T: ?Sized> UnsafeCell<T> {
+        /// Raw pointer to the payload (untracked escape hatch — prefer
+        /// [`with`](Self::with) / [`with_mut`](Self::with_mut), which the
+        /// race detector sees).
+        pub const fn get(&self) -> *mut T {
+            self.0.get()
+        }
+
+        /// Run `f` on a shared-read pointer to the payload. Counts as a
+        /// *read access* for race detection under `bohm_modelcheck`.
+        ///
+        /// # Safety
+        ///
+        /// Callers uphold the usual `UnsafeCell` aliasing contract: no
+        /// concurrent mutable access for the duration of `f`.
+        pub unsafe fn with<R>(&self, f: impl FnOnce(*const T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Run `f` on an exclusive pointer to the payload. Counts as a
+        /// *write access* for race detection under `bohm_modelcheck`.
+        ///
+        /// # Safety
+        ///
+        /// Callers uphold the usual `UnsafeCell` aliasing contract: no
+        /// concurrent access of any kind for the duration of `f`.
+        pub unsafe fn with_mut<R>(&self, f: impl FnOnce(*mut T) -> R) -> R {
+            f(self.0.get())
+        }
+
+        /// Exclusive access through an exclusive reference (always safe).
+        pub fn get_mut(&mut self) -> &mut T {
+            self.0.get_mut()
+        }
+    }
+}
+
+/// Model-check harness API (inert stub in normal builds).
+///
+/// The real implementation lives behind `--cfg bohm_modelcheck`; this stub
+/// lets harness code compile (and run once, uncontrolled) in ordinary
+/// builds so doc examples and shared helpers need no cfg of their own.
+pub mod model {
+    /// Summary of one controlled execution.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct Execution {
+        /// FNV fingerprint of every scheduling decision taken.
+        pub fingerprint: u64,
+        /// Scheduling points executed.
+        pub steps: u64,
+    }
+
+    /// Exploration options. See the `bohm_modelcheck` docs for semantics;
+    /// the stub ignores everything but runs the closure once.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Options {
+        /// Number of seeds to explore.
+        pub seeds: u64,
+        /// First seed.
+        pub start_seed: u64,
+        /// Per-execution scheduling-point budget.
+        pub max_steps: u64,
+        /// Use random scheduling instead of PCT priorities.
+        pub random: bool,
+    }
+
+    impl Default for Options {
+        fn default() -> Self {
+            Self {
+                seeds: 64,
+                start_seed: 1,
+                max_steps: 50_000,
+                random: false,
+            }
+        }
+    }
+
+    /// Run `f` once (uncontrolled in normal builds).
+    pub fn run(_seed: u64, f: impl FnOnce()) -> Execution {
+        f();
+        Execution {
+            fingerprint: 0,
+            steps: 0,
+        }
+    }
+
+    /// Run `f` once (uncontrolled in normal builds).
+    pub fn explore(_opts: Options, f: impl Fn()) {
+        f();
+    }
+
+    /// Run `f` once (uncontrolled in normal builds). Returns executions run.
+    pub fn exhaustive(_opts: Options, f: impl Fn()) -> u64 {
+        f();
+        1
+    }
+}

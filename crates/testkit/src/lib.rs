@@ -319,7 +319,7 @@ pub fn phantom_hammer_ranges<E: bohm_common::engine::BatchEngine>(
 ) {
     use bohm_common::engine::Session;
     use bohm_common::{range_audit_fingerprint, Procedure, ScanRange};
-    use std::sync::atomic::{AtomicBool, Ordering};
+    use bohm_sync::atomic::{AtomicBool, Ordering};
     assert!(
         ranges >= 1 && ranges <= width,
         "window must split into ranges"
@@ -355,6 +355,9 @@ pub fn phantom_hammer_ranges<E: bohm_common::engine::BatchEngine>(
                     sess.submit(del.clone());
                     assert!(sess.reap().committed, "window delete must commit");
                 }
+                // RELAXED: `stop` only ends the scanners' loops; every
+                // correctness check flows through the engine, and the scope
+                // join synchronizes the final counts.
                 stop.store(true, Ordering::Relaxed);
             })
         };
@@ -373,6 +376,8 @@ pub fn phantom_hammer_ranges<E: bohm_common::engine::BatchEngine>(
                 let mut seen = 0u64;
                 // A floor of scans keeps the audit meaningful even when a
                 // fast writer drains its rounds before this thread spins up.
+                // RELAXED: see the writer's store — a stale read just runs
+                // one more harmless scan iteration.
                 while !stop.load(Ordering::Relaxed) || seen < 64 {
                     sess.submit(scan.clone());
                     let out = sess.reap();
@@ -422,8 +427,8 @@ pub fn index_phantom_hammer<E: bohm_common::engine::BatchEngine>(
 ) {
     use bohm_common::engine::Session;
     use bohm_common::value::{checksum, of_u64, put_u64};
+    use bohm_sync::atomic::{AtomicBool, Ordering};
     use bohm_workloads::tpcc;
-    use std::sync::atomic::{AtomicBool, Ordering};
     assert!(cfg.has_customer_index(), "hammer needs the customer index");
     let batch = cfg.delivery_batch;
     assert_eq!(
@@ -472,6 +477,7 @@ pub fn index_phantom_hammer<E: bohm_common::engine::BatchEngine>(
                     sess.submit(tpcc::delivery(cfg, 0, round * batch, batch, &custs));
                     assert!(sess.reap().committed, "Delivery must commit");
                 }
+                // RELAXED: exit flag only; no data is published through it.
                 stop.store(true, Ordering::Relaxed);
             })
         };
@@ -483,6 +489,7 @@ pub fn index_phantom_hammer<E: bohm_common::engine::BatchEngine>(
                 let mut sess = engine.open_session();
                 let scan = tpcc::customer_status(cfg, w, d, c);
                 let mut seen = 0u64;
+                // RELAXED: stale reads only add extra scan iterations.
                 while !stop.load(Ordering::Relaxed) || seen < 64 {
                     sess.submit(scan.clone());
                     let out = sess.reap();
@@ -547,35 +554,55 @@ static ALLOCATED_BYTES: core::sync::atomic::AtomicU64 = core::sync::atomic::Atom
 impl CountingAlloc {
     /// Total allocation calls since process start.
     pub fn allocations() -> u64 {
+        // RELAXED: statistics counter; callers only diff it around a
+        // single-threaded region.
         ALLOCATIONS.load(core::sync::atomic::Ordering::Relaxed)
     }
 
     /// Total bytes requested since process start (reallocs count their new
     /// size in full).
     pub fn allocated_bytes() -> u64 {
+        // RELAXED: statistics counter, as above.
         ALLOCATED_BYTES.load(core::sync::atomic::Ordering::Relaxed)
     }
 }
 
+// The counters deliberately use raw `core::sync::atomic` instead of the
+// `bohm_sync` facade: a global allocator runs under every thread including
+// the model scheduler itself, and instrumenting it would recurse (the
+// scheduler allocates while recording the allocation's yield point).
+//
+// SAFETY: every method delegates to `std::alloc::System` with the caller's
+// exact layout; the counter bumps have no effect on allocation semantics.
 unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    // SAFETY: forwards to `System.alloc` under the caller's contract.
     unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        // RELAXED: monotonic statistics; readers tolerate approximate views.
         ALLOCATIONS.fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+        // RELAXED: as above.
         ALLOCATED_BYTES.fetch_add(layout.size() as u64, core::sync::atomic::Ordering::Relaxed);
         std::alloc::System.alloc(layout)
     }
 
+    // SAFETY: forwards to `System.alloc_zeroed` under the caller's contract.
     unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        // RELAXED: monotonic statistics; readers tolerate approximate views.
         ALLOCATIONS.fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+        // RELAXED: as above.
         ALLOCATED_BYTES.fetch_add(layout.size() as u64, core::sync::atomic::Ordering::Relaxed);
         std::alloc::System.alloc_zeroed(layout)
     }
 
+    // SAFETY: forwards to `System.realloc` under the caller's contract.
     unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        // RELAXED: monotonic statistics; readers tolerate approximate views.
         ALLOCATIONS.fetch_add(1, core::sync::atomic::Ordering::Relaxed);
+        // RELAXED: as above.
         ALLOCATED_BYTES.fetch_add(new_size as u64, core::sync::atomic::Ordering::Relaxed);
         std::alloc::System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: forwards to `System.dealloc` under the caller's contract.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
         std::alloc::System.dealloc(ptr, layout)
     }

@@ -48,8 +48,8 @@ use bohm_suite::common::{
 use bohm_suite::core::{Bohm, BohmConfig, CatalogSpec};
 use bohm_suite::testkit::check_serial_equivalence;
 use bohm_suite::workloads::{DatabaseSpec, TableDef};
+use bohm_sync::atomic::AtomicU64;
 use std::path::Path;
-use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 /// Rows per table; the workload also inserts into `spare_rows` beyond

@@ -12,7 +12,7 @@ use bohm_suite::common::engine::Engine;
 use bohm_suite::common::stats::RunStats;
 use bohm_suite::workloads::ycsb::{YcsbConfig, YcsbGen, YcsbKind};
 use bohm_suite::workloads::TxnGen;
-use std::sync::atomic::{AtomicBool, Ordering};
+use bohm_sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 const THREADS: usize = 8;
@@ -30,6 +30,8 @@ fn drive_interactive<E: Engine>(engine: &E, cfg: &YcsbConfig) -> RunStats {
                 let mut w = engine.make_worker();
                 let mut st = RunStats::default();
                 let start = Instant::now();
+                // RELAXED: stop flag only bounds the window; joins
+                // synchronize the stats.
                 while !stop.load(Ordering::Relaxed) {
                     let t = gen.next_txn();
                     let out = engine.execute(&t, &mut w);
@@ -43,6 +45,7 @@ fn drive_interactive<E: Engine>(engine: &E, cfg: &YcsbConfig) -> RunStats {
             }));
         }
         std::thread::sleep(WINDOW);
+        // RELAXED: see the workers' loads.
         stop.store(true, Ordering::Relaxed);
         let mut total = RunStats::default();
         for h in handles {

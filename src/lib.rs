@@ -9,6 +9,17 @@
 //! pattern on which glibc malloc was measured to be the bottleneck (see
 //! DESIGN.md). The hermetic build has no mimalloc crate, so the system
 //! allocator is used; correctness is unaffected.
+//!
+//! Concurrency-correctness quickstart (details in DESIGN.md §"Concurrency
+//! correctness"):
+//!
+//! ```sh
+//! cargo run -p analysis -- --check                      # repo-invariant lint
+//! RUSTFLAGS="--cfg bohm_modelcheck" \
+//!     cargo test --test modelcheck                      # model-check harnesses
+//! BOHM_MODEL_SEED=17 RUSTFLAGS="--cfg bohm_modelcheck" \
+//!     cargo test --test modelcheck my_model             # replay a reported seed
+//! ```
 
 pub use bohm as core;
 pub use bohm_common as common;

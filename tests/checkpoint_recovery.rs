@@ -28,8 +28,8 @@ use bohm_suite::common::{
 use bohm_suite::core::{Bohm, BohmConfig, CatalogSpec};
 use bohm_suite::testkit::check_serial_equivalence;
 use bohm_suite::workloads::{DatabaseSpec, TableDef};
+use bohm_sync::atomic::AtomicU64;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 const ROWS: u64 = 64;
@@ -369,7 +369,7 @@ fn sharded_recovery_consistent_cut() {
     let n = run_sharded_workload(&engine);
     assert!(n > 0);
     assert!(
-        epoch.load(std::sync::atomic::Ordering::Acquire) > 0,
+        epoch.load(bohm_sync::atomic::Ordering::Acquire) > 0,
         "workload must include cross-shard commits"
     );
     for s in engine.into_shards() {

@@ -14,7 +14,7 @@ use bohm_suite::svstore::StoreBuilder;
 use bohm_suite::tpl::TwoPhaseLocking;
 use bohm_suite::workloads::smallbank::{tables, SmallBankConfig, SmallBankGen};
 use bohm_suite::workloads::TxnGen;
-use std::sync::atomic::{AtomicI64, Ordering};
+use bohm_sync::atomic::{AtomicI64, Ordering};
 use std::sync::Arc;
 
 fn sv_store(rows: usize, seed: fn(u64) -> u64) -> StoreBuilder {
@@ -208,7 +208,7 @@ fn snapshot_audit<E: Engine>(engine: Arc<E>) {
         let init = Txn::new(vec![], rids.clone(), Procedure::BlindWrite { value: 0 });
         assert!(engine.execute(&init, &mut w).committed);
     }
-    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop = Arc::new(bohm_sync::atomic::AtomicBool::new(false));
     let writer = {
         let e = Arc::clone(&engine);
         let stop = Arc::clone(&stop);
